@@ -1,0 +1,93 @@
+// The other defence from the authors' group: media replication ("double
+// CAN", ICC'98) versus the paper's protocol fix, measured on the same
+// disturbance patterns.
+//
+//   * a single-bus disturbance pattern (Fig. 3a) is masked by replication
+//     and by MajorCAN alike;
+//   * correlated disturbances on both buses defeat plain replication but
+//     not MajorCAN links;
+//   * a permanent stuck-dominant medium kills a single bus entirely —
+//     only replication helps there (the paper's assumptions exclude it);
+//   * the costs: replication doubles bandwidth and transceivers, MajorCAN
+//     pays 2m-7 bits per frame.
+#include <cstdio>
+
+#include "fault/scripted.hpp"
+#include "higher/dualbus.hpp"
+#include "scenario/figures.hpp"
+#include "util/text.hpp"
+
+namespace {
+
+using namespace mcan;
+
+std::vector<FaultTarget> fig3_pattern(const ProtocolParams& p) {
+  const int last = p.eof_bits() - 1;
+  return {FaultTarget::eof_bit(1, last - 1), FaultTarget::eof_bit(2, last - 1),
+          FaultTarget::eof_bit(0, last)};
+}
+
+std::string single_bus_verdict(const ProtocolParams& p) {
+  auto r = run_fig3(p);
+  return r.imo() ? "AGREEMENT VIOLATED" : "agreement holds";
+}
+
+std::string dual_bus_verdict(const ProtocolParams& p, bool correlated) {
+  DualBusNetwork net(5, p);
+  ScriptedFaults inj_a(fig3_pattern(p));
+  ScriptedFaults inj_b(fig3_pattern(p));
+  net.set_injector(0, inj_a);
+  if (correlated) net.set_injector(1, inj_b);
+  net.broadcast(0, MessageKey{0, 1});
+  net.run_until_quiet();
+  return net.check().agreement_violations == 0 ? "agreement holds"
+                                               : "AGREEMENT VIOLATED";
+}
+
+std::string stuck_bus_verdict(const ProtocolParams& p, bool dual) {
+  if (!dual) {
+    // A single stuck bus delivers nothing, ever.
+    return "bus lost: no service";
+  }
+  DualBusNetwork net(4, p);
+  StuckDominantBus dead(30);
+  net.set_injector(0, dead);
+  net.broadcast(0, MessageKey{0, 1});
+  net.run(25000);
+  bool all = true;
+  for (int i = 1; i < 4; ++i) all = all && net.app_deliveries(i) == 1;
+  return all ? "service continues on bus B" : "DELIVERY LOST";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Replication (double CAN) vs the MajorCAN protocol fix ===\n\n");
+
+  const auto can = ProtocolParams::standard_can();
+  const auto major = ProtocolParams::major_can(5);
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"architecture", "Fig 3a on one bus", "Fig 3a on both buses",
+                  "stuck-dominant medium", "extra cost"});
+  rows.push_back({"single CAN", single_bus_verdict(can), "-",
+                  stuck_bus_verdict(can, false), "none"});
+  rows.push_back({"single MajorCAN_5", single_bus_verdict(major), "-",
+                  stuck_bus_verdict(major, false), "3..11 bits/frame"});
+  rows.push_back({"double CAN", dual_bus_verdict(can, false),
+                  dual_bus_verdict(can, true), stuck_bus_verdict(can, true),
+                  "2x bandwidth+hw"});
+  rows.push_back({"double MajorCAN_5", dual_bus_verdict(major, false),
+                  dual_bus_verdict(major, true), stuck_bus_verdict(major, true),
+                  "2x + 3..11 bits"});
+  std::printf("%s\n", render_table(rows).c_str());
+
+  std::printf(
+      "reading: replication masks whatever stays on one bus — including\n"
+      "the paper's scenario — and is the only cure for a dead medium,\n"
+      "but correlated disturbances (EMI usually hits both harnesses)\n"
+      "split a replicated standard-CAN system just like a single bus.\n"
+      "MajorCAN fixes the protocol-level scenarios for 3 bits per frame;\n"
+      "the two defences compose.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Reproduces Figure 1 of the paper: the classic error scenarios on
+// standard CAN.
+//   (a) error in the last EOF bit          -> consistency survives
+//   (b) error in the last-but-one EOF bit  -> double reception at Y
+//   (c) as (b) + transmitter crash         -> inconsistent message omission
+// Prints the bit-level timeline of each scenario (the paper's diagram, in
+// ASCII) and the delivery verdicts.
+#include <cstdio>
+
+#include "scenario/figures.hpp"
+
+namespace {
+
+void show(const mcan::ScenarioOutcome& r) {
+  std::printf("--- %s ---\n", r.name.c_str());
+  std::printf("%s\n", r.summary().c_str());
+  std::printf("timeline (node 0 = transmitter; 1,2 = X; 3,4 = Y;\n"
+              "          UPPERCASE = node drives dominant, '*' = disturbed view):\n%s\n",
+              r.trace.c_str());
+  for (const std::string& n : r.notes) std::printf("%s", n.c_str());
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace mcan;
+  const auto p = ProtocolParams::standard_can();
+
+  std::printf("=== Figure 1: error scenarios in standard CAN ===\n\n");
+  show(run_fig1a(p));
+  show(run_fig1b(p));
+  show(run_fig1c(p));
+
+  std::printf(
+      "reading: (a) the last-bit rule saves consistency; (b) the same rule\n"
+      "causes double reception; (c) with a transmitter crash it causes an\n"
+      "inconsistent message omission — CAN is not Atomic Broadcast.\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Reproduces Figure 2 of the paper: MinorCAN achieving consistency in the
+// Figure 1 scenarios through the Primary_error rule.
+#include <cstdio>
+
+#include "scenario/figures.hpp"
+
+namespace {
+
+void show(const mcan::ScenarioOutcome& r) {
+  std::printf("--- %s ---\n%s\n", r.name.c_str(), r.summary().c_str());
+  std::printf("%s\n", r.trace.c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace mcan;
+  const auto p = ProtocolParams::minor_can();
+
+  std::printf("=== Figure 2: the same scenarios under MinorCAN ===\n\n");
+  show(run_fig1a(p));
+  show(run_fig1b(p));
+  show(run_fig1c(p));
+
+  std::printf(
+      "reading: in (a) the first detector is primary and accepts — no\n"
+      "retransmission (MinorCAN even beats CAN's performance here); in (b)\n"
+      "everyone rejects and the retransmission delivers exactly once — no\n"
+      "double reception; in (c) the crash leaves a consistent all-or-none\n"
+      "outcome (nobody has the frame).\n");
+  return 0;
+}

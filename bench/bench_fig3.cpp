@@ -1,0 +1,35 @@
+// Reproduces Figure 3 of the paper: the newly identified two-disturbance
+// scenario — X hit in the last-but-one EOF bit while the transmitter's view
+// of the last EOF bit is flipped so it cannot see the error flag.
+//   (a) standard CAN  -> IMO with a perfectly correct transmitter
+//   (b) MinorCAN      -> same inconsistency (Y decides "primary", accepts)
+//   (+) MajorCAN_5    -> consistency restored (the point of the paper)
+#include <cstdio>
+
+#include "scenario/figures.hpp"
+
+namespace {
+
+void show(const mcan::ScenarioOutcome& r) {
+  std::printf("--- %s ---\n%s\n", r.name.c_str(), r.summary().c_str());
+  std::printf("%s\n", r.trace.c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace mcan;
+
+  std::printf("=== Figure 3: the new inconsistency scenario ===\n\n");
+  show(run_fig3(ProtocolParams::standard_can()));
+  show(run_fig3(ProtocolParams::minor_can()));
+  std::printf("--- the same disturbance pattern under MajorCAN_5 ---\n");
+  show(run_fig3(ProtocolParams::major_can(5)));
+
+  std::printf(
+      "reading: two disturbances defeat both CAN and MinorCAN even though\n"
+      "the transmitter never fails — the recovery hooks of RELCAN/TOTCAN\n"
+      "(which trigger on transmitter failure) never fire.  MajorCAN's split\n"
+      "EOF turns the same pattern into an agreed outcome.\n");
+  return 0;
+}

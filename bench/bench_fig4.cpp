@@ -1,0 +1,34 @@
+// Reproduces Figure 4 of the paper: the behaviour of a MajorCAN_5 node for
+// an error detected at each position of the (2m-bit) EOF, plus the CRC
+// error case.  Each probe runs a real two-node bus with the disturbance at
+// exactly that position and reports what the node did.
+#include <cstdio>
+
+#include "scenario/figures.hpp"
+#include "util/text.hpp"
+
+int main() {
+  using namespace mcan;
+
+  for (int m : {5, 3}) {
+    std::printf("=== Figure 4: behaviour of a MajorCAN_%d node ===\n", m);
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"error at", "flag sent", "sampling", "verdict"});
+    for (const Fig4Row& r : run_fig4(m)) {
+      rows.push_back({r.error_at, r.flag, r.sampling ? "yes" : "no",
+                      r.verdict});
+    }
+    std::printf("%s\n", render_table(rows).c_str());
+  }
+
+  std::printf(
+      "reading: CRC errors and first-sub-field errors answer with the\n"
+      "regular 6-bit flag (first-sub-field detectors then majority-vote the\n"
+      "2m-1 sampled bits); second-sub-field errors accept immediately and\n"
+      "notify with the extended error flag, exactly as in the paper's\n"
+      "Fig. 4.  The verdict of a first-sub-field probe depends on where the\n"
+      "transmitter sees the flag: for the last first-sub-field bit the\n"
+      "transmitter's detection lands in the second sub-field, it extends,\n"
+      "and the sampler accepts; earlier probes reject and retransmit.\n");
+  return 0;
+}

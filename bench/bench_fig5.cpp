@@ -1,0 +1,31 @@
+// Reproduces Figure 5 of the paper: MajorCAN_5 reaching consistency in the
+// presence of five disturbances — one phantom error at X, two flips hiding
+// the flag from the transmitter (delaying its detection into the second
+// sub-field), and two flips corrupting X's sampling window.
+#include <cstdio>
+
+#include "scenario/figures.hpp"
+
+int main() {
+  using namespace mcan;
+
+  std::printf("=== Figure 5: MajorCAN_m consistency under m errors ===\n\n");
+  for (int m : {5, 4, 6}) {
+    auto r = run_fig5(m);
+    std::printf("--- m = %d ---\n%s\n", m, r.summary().c_str());
+    if (m == 5) {
+      std::printf(
+          "timeline (node 0 = transmitter, node 1 = X, nodes 2,3 = Y):\n%s\n",
+          r.trace.c_str());
+      for (const std::string& n : r.notes) std::printf("%s", n.c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "reading: X's 6-bit flag, the transmitter's delayed detection in the\n"
+      "second sub-field, the extended error flag and the majority vote over\n"
+      "2m-1 sampled bits leave every node accepting the frame exactly once,\n"
+      "with no retransmission — Atomic Broadcast despite m disturbances.\n");
+  return 0;
+}

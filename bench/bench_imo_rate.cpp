@@ -1,0 +1,113 @@
+// End-to-end validation of the paper's probability model: the hourly IMO
+// rates of Table 1 come from expression (4) evaluated analytically; here
+// the *executable bus* is run for many frames under iid ber* noise and the
+// inconsistent-omission rate is measured directly, at elevated ber so the
+// statistics converge.  bench_model_check validates the combinatorics of
+// expression (4) in isolation; this bench validates it through the whole
+// simulator — and honestly shows where the simulated bus finds *more*
+// inconsistencies than the model: the expression counts only the exact
+// Fig. 3a pattern, while the real machine also exposes crash-free
+// duplicates and the stuffing-desync channel (DESIGN.md §7).
+#include <cstdio>
+
+#include "analysis/prob_model.hpp"
+#include "analysis/tagged.hpp"
+#include "core/network.hpp"
+#include "fault/random_faults.hpp"
+#include "util/text.hpp"
+
+namespace {
+
+using namespace mcan;
+
+struct Measured {
+  long frames = 0;
+  long imo = 0;
+  long dup = 0;
+};
+
+Measured measure(const ProtocolParams& proto, int n_nodes, double ber_star,
+                 long frames, std::uint64_t seed) {
+  Measured out;
+  Rng master(seed, 0xF1E1D);
+  for (long f = 0; f < frames; ++f) {
+    Network net(n_nodes, proto);
+    RandomFaults inj(ber_star, master.split(static_cast<std::uint64_t>(f)));
+    net.set_injector(inj);
+    net.node(0).enqueue(make_tagged_frame(0x100, MsgKind::Data, MessageKey{0, 1}));
+    // Quiesce with the noise still on (the paper's model is a continuously
+    // disturbed bus), bounded to avoid rare livelocks at high ber.
+    if (!net.run_until_quiet(4000)) continue;
+    ++out.frames;
+    const bool tx_ok = net.log().count(EventKind::TxSuccess, 0) > 0;
+    bool any = false, all = true, dup = false;
+    for (int i = 1; i < n_nodes; ++i) {
+      const auto c = net.deliveries(i).size();
+      if (c > 0) any = true;
+      if (c == 0) all = false;
+      if (c > 1) dup = true;
+    }
+    if ((any || tx_ok) && !all) ++out.imo;
+    if (dup) ++out.dup;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const long frames = argc > 1 ? std::atol(argv[1]) : 30000;
+  const int n = 5;
+
+  std::printf("=== Measured IMO rate vs expression (4), through the bus ===\n");
+  std::printf("%d nodes, %ld frames per cell, iid per-node noise\n\n", n,
+              frames);
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"ber*", "analytic P4/frame", "CAN IMO/frame",
+                  "CAN dup/frame", "MajorCAN_5 IMO/frame",
+                  "MajorCAN_8 IMO/frame"});
+  for (double bs : {2e-3, 1e-3, 5e-4}) {
+    ModelParams p;
+    p.n_nodes = n;
+    // The tagged 4-byte frame is ~86 wire bits.
+    p.frame_bits = 86;
+    p.ber = bs * n;
+    const double analytic = p_new_scenario_per_frame(p);
+
+    const Measured can = measure(ProtocolParams::standard_can(), n, bs,
+                                 frames, 0xCA11);
+    const Measured m5 = measure(ProtocolParams::major_can(5), n, bs,
+                                frames, 0xCA11);
+    const Measured m8 = measure(ProtocolParams::major_can(8), n, bs,
+                                frames, 0xCA11);
+    auto rate = [](long k, long tot) {
+      return tot ? static_cast<double>(k) / static_cast<double>(tot) : 0.0;
+    };
+    rows.push_back({sci(bs, 2), sci(analytic),
+                    sci(rate(can.imo, can.frames)),
+                    sci(rate(can.dup, can.frames)),
+                    sci(rate(m5.imo, m5.frames)),
+                    sci(rate(m8.imo, m8.frames))});
+  }
+  std::printf("%s\n", render_table(rows).c_str());
+
+  std::printf(
+      "reading (the sharpest finding of this reproduction, DESIGN.md §7):\n"
+      "standard CAN's measured omission rate sits above the expression-(4)\n"
+      "value, as it must — the expression counts only the exact Fig. 3a\n"
+      "pattern.  But MajorCAN_5's omission rate is *higher than CAN's*\n"
+      "here: a single body flip can desynchronise a receiver's destuffer,\n"
+      "and its late stuff-error flag surfaces around EOF bits 5..6 — which\n"
+      "m = 5 reads as an acceptance notification (omission at that node),\n"
+      "whereas CAN reads it as an error and retransmits (a duplicate).\n"
+      "Because one flip suffices, this channel scales linearly with ber\n"
+      "and dominates the quadratic Fig.-3a pattern at every rate.  The\n"
+      "MajorCAN_8 column shows the structural fix: desynchronised flags\n"
+      "surface at most ~7 positions into the EOF, so a first sub-field of\n"
+      ">= 8 bits keeps them on the rejecting side and the omission rate\n"
+      "collapses to (near) zero.  On real receiver machinery the paper's\n"
+      "m = 5 is therefore not sufficient; m must also exceed the maximum\n"
+      "parser-resynchronisation delay (~8 for CAN framing).\n");
+  return 0;
+}

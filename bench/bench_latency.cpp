@@ -1,0 +1,178 @@
+// Extension experiment: delivery latency and bus utilisation under
+// periodic traffic and iid channel noise, across all six protocols.
+//
+// This is the cost side of the paper's overhead argument measured under
+// load: MajorCAN's few extra bits per frame barely move the latency
+// distribution, while the higher-level protocols (extra frames per
+// message) shift it wholesale — and standard CAN / MinorCAN pay in
+// *consistency*, not latency (their violation counts are shown alongside).
+#include <cstdio>
+
+#include "analysis/stats.hpp"
+#include "core/network.hpp"
+#include "fault/random_faults.hpp"
+#include "higher/higher_network.hpp"
+#include "util/text.hpp"
+
+namespace {
+
+using namespace mcan;
+
+struct RunResult {
+  Summary latency;
+  double utilization = 0;
+  int violations = 0;  // AB2+AB3 counts
+  int frames = 0;
+};
+
+constexpr int kSenders = 3;
+constexpr int kFramesPerSender = 40;
+constexpr int kPeriod = 500;
+
+RunResult run_link(const ProtocolParams& proto, double ber_star,
+                   std::uint64_t seed) {
+  Network net(6, proto);
+  RandomFaults inj(ber_star, Rng(seed, 0xBEEF));
+  net.set_injector(inj);
+  UtilizationProbe util;
+  net.sim().add_observer(util);
+
+  LatencyTracker lat;
+  for (int i = 0; i < net.size(); ++i) {
+    const NodeId id = net.node(i).id();
+    net.node(i).add_delivery_handler([&lat, id](const Frame& f, BitTime t) {
+      if (auto tag = parse_tag(f)) lat.on_delivery(id, tag->key, t);
+    });
+  }
+
+  std::map<NodeId, DeliveryJournal> journals;
+  std::vector<BroadcastRecord> broadcasts;
+  for (int i = 0; i < net.size(); ++i) {
+    journals.emplace(static_cast<NodeId>(i), DeliveryJournal{});
+  }
+  for (int i = 0; i < net.size(); ++i) {
+    auto& journal = journals.at(net.node(i).id());
+    net.node(i).add_delivery_handler([&journal](const Frame& f, BitTime t) {
+      if (auto tag = parse_tag(f)) journal.push_back({tag->key, t});
+    });
+  }
+  for (int i = 0; i < kSenders; ++i) {
+    auto& journal = journals.at(net.node(i).id());
+    net.node(i).add_tx_done_handler([&journal](const Frame& f, BitTime t) {
+      if (auto tag = parse_tag(f)) journal.push_back({tag->key, t});
+    });
+  }
+
+  std::vector<int> seq(kSenders, 0);
+  const BitTime horizon = static_cast<BitTime>(kFramesPerSender) * kPeriod;
+  for (BitTime t = 0; t < horizon; ++t) {
+    for (int i = 0; i < kSenders; ++i) {
+      if ((t + static_cast<BitTime>(i) * 101) % kPeriod == 0 &&
+          seq[static_cast<std::size_t>(i)] < kFramesPerSender) {
+        const auto s =
+            static_cast<std::uint16_t>(++seq[static_cast<std::size_t>(i)]);
+        const MessageKey key{static_cast<NodeId>(i), s};
+        lat.on_broadcast(key, net.sim().now());
+        broadcasts.push_back({key, static_cast<NodeId>(i)});
+        net.node(i).enqueue(make_tagged_frame(
+            0x100 + static_cast<std::uint32_t>(i), MsgKind::Data, key));
+      }
+    }
+    net.sim().step();
+  }
+  inj.set_rate(0.0);
+  net.run_until_quiet(60000);
+
+  std::set<NodeId> correct;
+  for (int i = 0; i < net.size(); ++i) {
+    if (net.node(i).active()) correct.insert(net.node(i).id());
+  }
+  const AbReport rep = check_atomic_broadcast(broadcasts, journals, correct);
+
+  RunResult out;
+  out.latency = lat.summary();
+  out.utilization = util.utilization();
+  out.violations = rep.agreement_violations + rep.duplicate_deliveries;
+  out.frames = static_cast<int>(broadcasts.size());
+  return out;
+}
+
+RunResult run_higher(HigherKind kind, double ber_star, std::uint64_t seed) {
+  HigherNetwork net(kind, 6, HostParams{900});
+  RandomFaults inj(ber_star, Rng(seed, 0xBEEF));
+  net.link().set_injector(inj);
+  UtilizationProbe util;
+  net.link().sim().add_observer(util);
+
+  LatencyTracker lat;
+  std::vector<int> seq(kSenders, 0);
+  const BitTime horizon = static_cast<BitTime>(kFramesPerSender) * kPeriod;
+  for (BitTime t = 0; t < horizon; ++t) {
+    for (int i = 0; i < kSenders; ++i) {
+      if ((t + static_cast<BitTime>(i) * 101) % kPeriod == 0 &&
+          seq[static_cast<std::size_t>(i)] < kFramesPerSender) {
+        const auto s =
+            static_cast<std::uint16_t>(++seq[static_cast<std::size_t>(i)]);
+        const MessageKey key{static_cast<NodeId>(i), s};
+        lat.on_broadcast(key, net.link().sim().now());
+        net.host(i).broadcast(key);
+      }
+    }
+    net.step();
+  }
+  inj.set_rate(0.0);
+  net.run_until_quiet(120000);
+
+  for (const auto& [node, journal] : net.journals()) {
+    for (const DeliveryEvent& e : journal) lat.on_delivery(node, e.key, e.t);
+  }
+  const AbReport rep = net.check();
+
+  RunResult out;
+  out.latency = lat.summary();
+  out.utilization = util.utilization();
+  out.violations = rep.agreement_violations + rep.duplicate_deliveries;
+  out.frames = rep.broadcasts;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Delivery latency & utilisation under noise ===\n");
+  std::printf("6 nodes, %d senders, %d frames each, period %d bits\n\n",
+              kSenders, kFramesPerSender, kPeriod);
+
+  for (double ber_star : {0.0, 2e-4, 1e-3}) {
+    std::printf("-- ber* = %s --\n", sci(ber_star, 2).c_str());
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"protocol", "latency p50", "p95", "p99", "mean",
+                    "bus util", "AB2+AB3 violations"});
+    auto add = [&rows](const std::string& name, const RunResult& r) {
+      rows.push_back({name, std::to_string(static_cast<long>(r.latency.p50)),
+                      std::to_string(static_cast<long>(r.latency.p95)),
+                      std::to_string(static_cast<long>(r.latency.p99)),
+                      std::to_string(static_cast<long>(r.latency.mean)),
+                      sci(r.utilization, 3),
+                      std::to_string(r.violations)});
+    };
+    add("CAN", run_link(ProtocolParams::standard_can(), ber_star, 1));
+    add("MinorCAN", run_link(ProtocolParams::minor_can(), ber_star, 1));
+    add("MajorCAN_5", run_link(ProtocolParams::major_can(5), ber_star, 1));
+    add("EDCAN", run_higher(HigherKind::Edcan, ber_star, 1));
+    add("RELCAN", run_higher(HigherKind::Relcan, ber_star, 1));
+    add("TOTCAN", run_higher(HigherKind::Totcan, ber_star, 1));
+    std::printf("%s\n", render_table(rows).c_str());
+  }
+
+  std::printf(
+      "reading: MajorCAN's latency tracks standard CAN within a few bits\n"
+      "at every noise level (the 2m-7 = 3-bit frame tax) while eliminating\n"
+      "the tail-error violations; the extra-frame protocols saturate the\n"
+      "bus (EDCAN relays, RELCAN recovery storms) and TOTCAN's delivery\n"
+      "waits for its ACCEPT frame.  Residual MajorCAN violations at the\n"
+      "extreme ber* = 1e-3 are the bit-stuffing desynchronisation finding\n"
+      "(DESIGN.md section 7) triggered by body errors, not end-game\n"
+      "failures.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Reproduces the paper's §5/§6 overhead accounting and extends it with
+// measured numbers:
+//   * analytic: MajorCAN_m costs 2m-7 extra bits per frame error-free and
+//     4m-9 worst case (m=5: 3 and 11 bits);
+//   * measured on the simulator: wall-clock bits from SOF to bus-quiet for
+//     one message, per protocol — including the higher-level baselines
+//     (EDCAN/RELCAN/TOTCAN), which pay one or more *frames*, not bits.
+#include <cstdio>
+
+#include "core/network.hpp"
+#include "fault/scripted.hpp"
+#include "frame/encoder.hpp"
+#include "higher/higher_network.hpp"
+#include "util/text.hpp"
+
+namespace {
+
+using namespace mcan;
+
+Frame payload_frame() { return Frame::make_blank(0x100, 4); }
+
+/// Bits from t=0 (SOF) until the bus is quiet again, link-level protocols.
+BitTime measure_link(const ProtocolParams& p, bool worst_case) {
+  Network net(4, p);
+  ScriptedFaults inj;
+  if (worst_case) {
+    // An error in the frame tail forces the full end-game: for MajorCAN the
+    // extended flags/sampling run to position 3m+5 plus the delimiter; for
+    // CAN/MinorCAN an error frame plus a retransmission.
+    inj.add(FaultTarget::eof_bit(1, p.eof_bits() - 2));
+    net.set_injector(inj);
+  }
+  net.node(0).enqueue(payload_frame());
+  net.run_until_quiet();
+  return net.sim().now() - 1 - kIntermissionBits;  // exclude trailing idle
+}
+
+BitTime measure_higher(HigherKind kind, bool worst_case) {
+  HigherNetwork net(kind, 4, HostParams{600});
+  ScriptedFaults inj;
+  if (worst_case) {
+    inj.add(FaultTarget::eof_bit(1, 5, 0));
+    net.link().set_injector(inj);
+  }
+  net.host(0).broadcast(MessageKey{0, 1});
+  net.run_until_quiet();
+  return net.link().sim().now() - 1 - kIntermissionBits;
+}
+
+}  // namespace
+
+int main() {
+  const Frame f = payload_frame();
+  const int base = wire_length(f, kStandardEofBits);
+
+  std::printf("=== Overhead per message (paper section 5/6) ===\n");
+  std::printf("message: %s, standard CAN frame = %d wire bits\n\n",
+              f.to_string().c_str(), base);
+
+  std::printf("-- analytic MajorCAN_m overhead (bits vs standard CAN) --\n");
+  {
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"m", "error-free (2m-7)", "worst case (4m-9)"});
+    for (int m : {3, 4, 5, 6, 7, 8}) {
+      auto p = ProtocolParams::major_can(m);
+      rows.push_back({std::to_string(m),
+                      std::to_string(p.best_case_overhead_bits()),
+                      std::to_string(p.worst_case_overhead_bits())});
+    }
+    std::printf("%s\n", render_table(rows).c_str());
+  }
+
+  std::printf("-- measured: bits on the bus until one message settles --\n");
+  {
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"protocol", "error-free", "with one tail error",
+                    "extra frames"});
+    auto add_link = [&](const ProtocolParams& p) {
+      rows.push_back({p.name(), std::to_string(measure_link(p, false)),
+                      std::to_string(measure_link(p, true)), "0"});
+    };
+    add_link(ProtocolParams::standard_can());
+    add_link(ProtocolParams::minor_can());
+    for (int m : {3, 5, 7}) add_link(ProtocolParams::major_can(m));
+
+    struct H { HigherKind k; const char* frames; };
+    for (auto [kind, frames] : {H{HigherKind::Edcan, ">=N-1"},
+                                H{HigherKind::Relcan, "1 (CONFIRM)"},
+                                H{HigherKind::Totcan, "1 (ACCEPT)"}}) {
+      rows.push_back({higher_kind_name(kind),
+                      std::to_string(measure_higher(kind, false)),
+                      std::to_string(measure_higher(kind, true)), frames});
+    }
+    std::printf("%s\n", render_table(rows).c_str());
+  }
+
+  std::printf(
+      "reading: MajorCAN_5 pays 3 bits per error-free frame (11 worst\n"
+      "case) while every higher-level protocol pays at least one whole\n"
+      "extra frame (~60+ bits for this payload, x(N-1) for EDCAN) — the\n"
+      "paper's 'negligible overhead' argument, measured.\n"
+      "note: RELCAN/TOTCAN error-free costs include their CONFIRM/ACCEPT\n"
+      "frame; the one-tail-error column additionally retransmits the frame.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Schedulability extension: worst-case response-time analysis of a
+// realistic periodic message set, under standard CAN and MajorCAN_m EOF
+// lengths, validated against worst observed latencies on the simulator
+// (critical-instant release).  This quantifies the real-time price of
+// MajorCAN's consistency: a few bits of extra response time per frame in
+// the path of every lower-priority message.
+#include <cstdio>
+#include <map>
+
+#include "app/rta.hpp"
+#include "core/network.hpp"
+#include "util/text.hpp"
+
+namespace {
+
+using namespace mcan;
+
+std::vector<RtaMessage> benchmark_set() {
+  // An SAE-flavoured mix: fast safety-critical messages down to slow
+  // housekeeping, ~62% utilisation at standard CAN.
+  return {
+      {"brake_cmd", 0x050, false, 2, 500},
+      {"steer_angle", 0x080, false, 4, 700},
+      {"wheel_speed", 0x100, false, 8, 900},
+      {"engine_status", 0x180, false, 8, 1200},
+      {"transmission", 0x200, false, 6, 1500},
+      {"body_control", 0x280, false, 8, 2500},
+      {"diagnostics", 0x600, false, 8, 5000},
+  };
+}
+
+std::map<std::uint32_t, BitTime> measure(const std::vector<RtaMessage>& set,
+                                         const ProtocolParams& proto) {
+  Network net(static_cast<int>(set.size()) + 1, proto);
+  const int rx = static_cast<int>(set.size());
+  std::map<std::uint32_t, BitTime> queued_at;
+  std::map<std::uint32_t, BitTime> worst;
+  net.node(rx).add_delivery_handler([&](const Frame& f, BitTime t) {
+    auto it = queued_at.find(f.id);
+    if (it == queued_at.end()) return;
+    worst[f.id] = std::max(worst[f.id], t - it->second);
+    queued_at.erase(it);
+  });
+  std::vector<BitTime> next(set.size(), 0);
+  for (BitTime t = 0; t < 40000; ++t) {
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      if (t == next[i]) {
+        next[i] += set[i].period;
+        queued_at[set[i].can_id] = t;
+        net.node(static_cast<int>(i))
+            .enqueue(Frame::make_blank(set[i].can_id,
+                                       static_cast<std::uint8_t>(set[i].dlc)));
+      }
+    }
+    net.sim().step();
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  const auto set = benchmark_set();
+
+  std::printf("=== Worst-case response times: analysis vs simulation ===\n");
+  std::printf("critical-instant release, bits as time unit (1 Mbit/s: 1 bit = 1 us)\n\n");
+
+  for (int eof : {7, 10}) {
+    const ProtocolParams proto = eof == 7 ? ProtocolParams::standard_can()
+                                          : ProtocolParams::major_can(5);
+    auto rows = response_time_analysis(set, eof);
+    auto worst = measure(set, proto);
+
+    std::printf("-- %s (EOF = %d bits) --\n", proto.name().c_str(), eof);
+    std::vector<std::vector<std::string>> cells;
+    cells.push_back({"message", "T", "C", "B", "R (analytic)",
+                     "worst measured", "margin", "schedulable"});
+    for (const RtaRow& r : rows) {
+      const BitTime m = worst[r.msg.can_id];
+      cells.push_back({r.msg.name, std::to_string(r.msg.period),
+                       std::to_string(r.c_bits), std::to_string(r.blocking),
+                       std::to_string(r.response), std::to_string(m),
+                       std::to_string(static_cast<long long>(r.response) -
+                                      static_cast<long long>(m)),
+                       r.schedulable ? "yes" : "NO"});
+    }
+    std::printf("%s", render_table(cells).c_str());
+    std::printf("utilisation: %.1f%%\n\n", 100 * rta_utilisation(rows));
+  }
+
+  std::printf(
+      "reading: every measured worst case respects its analytic bound; the\n"
+      "MajorCAN_5 column shifts each response time by a few bits (2m-7 = 3\n"
+      "per frame in the busy period) — the schedulability cost of Atomic\n"
+      "Broadcast at the link level, versus whole extra frames for the\n"
+      "higher-level protocols.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Simulator performance microbenchmarks (google-benchmark): how many bus
+// bits per second the bit-synchronous kernel simulates, plus the frame
+// encode/CRC primitives.  Useful for sizing fault-injection campaigns.
+#include <benchmark/benchmark.h>
+
+#include "core/network.hpp"
+#include "fault/random_faults.hpp"
+#include "frame/crc15.hpp"
+#include "frame/encoder.hpp"
+
+namespace {
+
+using namespace mcan;
+
+void BM_IdleBus(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Network net(n, ProtocolParams::standard_can());
+  for (auto _ : state) {
+    net.sim().step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IdleBus)->Arg(4)->Arg(16)->Arg(32);
+
+void BM_SaturatedBus(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Network net(n, ProtocolParams::standard_can());
+  int next = 0;
+  for (auto _ : state) {
+    // Keep node 0 permanently loaded so a frame is always in flight.
+    if (net.node(0).pending_tx() < 2) {
+      net.node(0).enqueue(Frame::make_blank(
+          0x100 + static_cast<std::uint32_t>(next++ % 8), 8));
+    }
+    net.sim().step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SaturatedBus)->Arg(4)->Arg(16)->Arg(32);
+
+void BM_SaturatedMajorCan(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Network net(n, ProtocolParams::major_can(5));
+  int next = 0;
+  for (auto _ : state) {
+    if (net.node(0).pending_tx() < 2) {
+      net.node(0).enqueue(Frame::make_blank(
+          0x100 + static_cast<std::uint32_t>(next++ % 8), 8));
+    }
+    net.sim().step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SaturatedMajorCan)->Arg(4)->Arg(32);
+
+void BM_NoisyBus(benchmark::State& state) {
+  Network net(8, ProtocolParams::major_can(5));
+  RandomFaults inj(1e-4, Rng(1));
+  net.set_injector(inj);
+  int next = 0;
+  for (auto _ : state) {
+    if (net.node(0).pending_tx() < 2) {
+      net.node(0).enqueue(Frame::make_blank(
+          0x100 + static_cast<std::uint32_t>(next++ % 8), 8));
+    }
+    net.sim().step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NoisyBus);
+
+void BM_EncodeFrame(benchmark::State& state) {
+  Frame f = Frame::make_blank(0x2aa, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encode_tx(f, 7));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncodeFrame);
+
+void BM_Crc15(benchmark::State& state) {
+  BitVec v;
+  for (int i = 0; i < 90; ++i) v.push_back(level_of((i * 7 % 3) != 0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc15(v));
+  }
+  state.SetItemsProcessed(state.iterations() * 90);
+}
+BENCHMARK(BM_Crc15);
+
+}  // namespace
+
+BENCHMARK_MAIN();

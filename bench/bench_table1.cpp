@@ -1,0 +1,40 @@
+// Reproduces Table 1 of the paper: hourly rates of inconsistent message
+// omissions for the new scenarios (Fig. 3a, expression (4)) versus the old
+// scenarios (Fig. 1c, expression (5), ber* model) on the reference bus
+// (1 Mbit/s, 90% load, 110-bit frames, 32 nodes).
+#include <cstdio>
+
+#include "analysis/prob_model.hpp"
+#include "util/text.hpp"
+
+int main() {
+  using namespace mcan;
+
+  std::printf("=== Table 1: probabilities of the inconsistency scenarios ===\n");
+  std::printf("reference bus: 1 Mbit/s, 90%% load, tau=110 bits, N=32 nodes,\n");
+  std::printf("lambda=1e-3/h, dt=5 ms (expression (5))\n\n");
+
+  const auto computed = compute_table1();
+  std::printf("-- computed with this library --\n%s\n",
+              render_table1(computed).c_str());
+
+  const auto published = published_table1();
+  std::printf("-- published in the paper --\n%s\n",
+              render_table1(published).c_str());
+
+  std::printf("relative error vs published values:\n");
+  for (std::size_t i = 0; i < computed.size(); ++i) {
+    const double e_new = computed[i].imo_new_per_hour /
+                             published[i].imo_new_per_hour - 1.0;
+    const double e_old = computed[i].imo_old_star_per_hour /
+                             published[i].imo_old_star_per_hour - 1.0;
+    std::printf("  ber=%s: IMOnew %+.2f%%  IMO* %+.2f%%\n",
+                sci(computed[i].ber, 1).c_str(), 100 * e_new, 100 * e_old);
+  }
+
+  std::printf(
+      "\nreading: the new scenarios are ~3 orders of magnitude more likely\n"
+      "than the previously reported ones and far above the 1e-9/h aerospace\n"
+      "reference — the motivation for MajorCAN.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// The paper's motivating domain: a distributed automotive control system
+// where nodes must agree on safety-critical broadcasts with minimal memory
+// and CPU overhead (no room for higher-level protocol stacks).
+//
+// We model a small vehicle bus — brake controller, four wheel ECUs and a
+// dashboard — where the brake controller broadcasts brake-state *toggle*
+// commands (exactly the kind of message Zeltwanger's recommendations forbid
+// on raw CAN because a double reception toggles a receiver twice).  The
+// same disturbed bus is run under standard CAN and MajorCAN_5 and each
+// wheel's final brake state is compared.
+#include <cstdio>
+#include <vector>
+
+#include "core/network.hpp"
+#include "fault/scripted.hpp"
+
+namespace {
+
+using namespace mcan;
+
+constexpr std::uint32_t kBrakeCmdId = 0x050;  // high priority
+constexpr int kWheels = 4;
+
+struct WheelState {
+  bool braking = false;
+  int commands_seen = 0;
+};
+
+/// Run `toggles` brake-toggle broadcasts over a bus where the i-th command
+/// suffers the Fig. 1b / Fig. 3a disturbance patterns, and report each
+/// wheel's resulting state.
+std::vector<WheelState> drive(const ProtocolParams& proto) {
+  // node 0 = brake controller, 1..4 = wheel ECUs, 5 = dashboard.
+  Network net(2 + kWheels, proto);
+  std::vector<WheelState> wheels(kWheels);
+
+  for (int w = 0; w < kWheels; ++w) {
+    net.node(1 + w).add_delivery_handler(
+        [&wheels, w](const Frame& f, BitTime) {
+          if (f.id != kBrakeCmdId) return;
+          wheels[static_cast<std::size_t>(w)].braking =
+              !wheels[static_cast<std::size_t>(w)].braking;
+          ++wheels[static_cast<std::size_t>(w)].commands_seen;
+        });
+  }
+
+  ScriptedFaults inj;
+  net.set_injector(inj);
+  const int last = proto.eof_bits() - 1;
+
+  auto send_command = [&](int c) {
+    Frame cmd = Frame::make_blank(kBrakeCmdId, 1);
+    cmd.data[0] = static_cast<std::uint8_t>(c);
+    net.node(0).enqueue(cmd);
+    net.run_until_quiet();
+  };
+
+  // Command 0: double-reception pattern — wheels 3,4 see a phantom in the
+  // last-but-one EOF bit of the *next* frame on the bus.  (Faults are armed
+  // just in time because retransmissions advance the frame index.)
+  const auto frame0 =
+      static_cast<int>(net.log().count(EventKind::SofSent, 0));
+  inj.add(FaultTarget::eof_bit(3, last - 1, frame0));
+  inj.add(FaultTarget::eof_bit(4, last - 1, frame0));
+  send_command(0);
+
+  // Command 1: the paper's new scenario — phantom at wheels 2,3 plus the
+  // brake controller missing the error flag in its last EOF bit.
+  const auto frame1 =
+      static_cast<int>(net.log().count(EventKind::SofSent, 0));
+  inj.add(FaultTarget::eof_bit(2, last - 1, frame1));
+  inj.add(FaultTarget::eof_bit(3, last - 1, frame1));
+  inj.add(FaultTarget::eof_bit(0, last, frame1));
+  send_command(1);
+
+  return wheels;
+}
+
+void report(const char* title, const std::vector<WheelState>& wheels) {
+  std::printf("%s\n", title);
+  bool agree = true;
+  for (int w = 0; w < kWheels; ++w) {
+    const WheelState& s = wheels[static_cast<std::size_t>(w)];
+    std::printf("  wheel %d: braking=%s (saw %d command frames)\n", w + 1,
+                s.braking ? "YES" : "no ", s.commands_seen);
+    agree = agree && s.braking == wheels[0].braking;
+  }
+  std::printf("  => wheels %s\n\n", agree ? "AGREE" : "DISAGREE: the car pulls to one side");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Automotive brake bus: 2 toggle commands, 5 disturbances ===\n\n");
+  std::printf("command 0 hits the double-reception pattern (Fig 1b);\n");
+  std::printf("command 1 hits the new-scenario pattern (Fig 3a).\n\n");
+
+  report("standard CAN:", drive(ProtocolParams::standard_can()));
+  report("MajorCAN_5:", drive(ProtocolParams::major_can(5)));
+
+  std::printf(
+      "reading: on raw CAN, wheels receive different numbers of copies of a\n"
+      "toggle command (double reception + omission), leaving the vehicle\n"
+      "with split brake state; MajorCAN delivers every command exactly once\n"
+      "to every wheel at a cost of 3 extra bits per frame.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Quickstart: build a 4-node MajorCAN_5 bus, broadcast a frame, watch every
+// node deliver it, then repeat with an injected end-of-frame disturbance and
+// see the protocol keep all-or-none semantics.
+#include <cstdio>
+
+#include "core/network.hpp"
+#include "fault/scripted.hpp"
+
+int main() {
+  using namespace mcan;
+
+  // A bus of 4 nodes speaking MajorCAN with the paper's proposed m = 5.
+  Network net(4, ProtocolParams::major_can(5));
+
+  // Node 0 broadcasts one 4-byte frame.
+  const std::uint8_t payload[] = {0x12, 0x34, 0x56, 0x78};
+  net.node(0).enqueue(Frame::make_data(0x123, payload));
+  net.run_until_quiet();
+
+  std::printf("clean channel:\n");
+  for (int i = 1; i < net.size(); ++i) {
+    std::printf("  node %d delivered %zu frame(s)\n", i,
+                net.deliveries(i).size());
+  }
+
+  // Same broadcast, but node 1's view of EOF bit 3 is disturbed — the kind
+  // of error that breaks agreement in standard CAN.  MajorCAN's end-game
+  // (error flag + majority vote over 2m-1 sampled bits) keeps every node
+  // consistent.
+  Network net2(4, ProtocolParams::major_can(5));
+  ScriptedFaults faults;
+  faults.add(FaultTarget::eof_bit(/*node=*/1, /*eof_pos=*/2));
+  net2.set_injector(faults);
+  net2.node(0).enqueue(Frame::make_data(0x123, payload));
+  net2.run_until_quiet();
+
+  std::printf("disturbed EOF (node 1, bit 3):\n");
+  for (int i = 1; i < net2.size(); ++i) {
+    std::printf("  node %d delivered %zu frame(s)\n", i,
+                net2.deliveries(i).size());
+  }
+  std::printf("transmitter attempts: %zu\n",
+              net2.log().count(EventKind::SofSent, 0));
+  return 0;
+}

@@ -1,0 +1,126 @@
+// A realistic control-bus application on top of the broadcast layer: an
+// engine ECU and a brake ECU periodically broadcast signal-packed frames
+// (mini-DBC codec + periodic scheduler) while the channel suffers random
+// disturbances; a dashboard node decodes everything it receives.
+//
+// Run once over standard CAN and once over MajorCAN_5 to see the broadcast
+// layer's consistency reflected in application state: under CAN the two
+// consumer nodes end up with different views of the same bus.
+#include <cstdio>
+
+#include "app/scheduler.hpp"
+#include "app/signals.hpp"
+#include "core/network.hpp"
+#include "fault/random_faults.hpp"
+
+namespace {
+
+using namespace mcan;
+
+MessageSpec engine_spec() {
+  MessageSpec m;
+  m.name = "engine";
+  m.can_id = 0x0c8;
+  m.dlc = 8;
+  m.signals = {{"rpm", 0, 16, 0.25, 0.0, false},
+               {"coolant_temp", 16, 8, 1.0, -40.0, false}};
+  return m;
+}
+
+MessageSpec brake_spec() {
+  MessageSpec m;
+  m.name = "brake";
+  m.can_id = 0x064;  // brakes outrank engine chatter
+  m.dlc = 8;
+  m.signals = {{"pressure", 0, 12, 0.1, 0.0, false},
+               {"abs_active", 12, 1, 1.0, 0.0, false}};
+  return m;
+}
+
+struct ConsumerState {
+  int engine_frames = 0;
+  int brake_frames = 0;
+  double last_rpm = 0;
+  double last_pressure = 0;
+};
+
+void run(const ProtocolParams& proto, double ber_star) {
+  // 0 = engine ECU, 1 = brake ECU, 2 = instrument cluster, 3 = logger.
+  Network net(4, proto);
+  RandomFaults noise(ber_star, Rng(2024, 0x11));
+  net.set_injector(noise);
+
+  const MessageSpec engine = engine_spec();
+  const MessageSpec brake = brake_spec();
+
+  PeriodicScheduler engine_sched(net.node(0));
+  engine_sched.add({engine, 600, 0, [](BitTime now) {
+                      const double rpm = 900.0 + (now % 5000) / 2.0;
+                      return SignalValues{{"rpm", rpm},
+                                          {"coolant_temp", 88.0}};
+                    }});
+  PeriodicScheduler brake_sched(net.node(1));
+  brake_sched.add({brake, 400, 150, [](BitTime now) {
+                     const bool braking = (now / 2000) % 2 == 1;
+                     return SignalValues{
+                         {"pressure", braking ? 85.0 : 0.0},
+                         {"abs_active", braking && (now % 3 == 0) ? 1.0 : 0.0}};
+                   }});
+
+  ConsumerState consumers[2];
+  for (int c = 0; c < 2; ++c) {
+    net.node(2 + c).add_delivery_handler(
+        [&consumers, c, &engine, &brake](const Frame& f, BitTime) {
+          ConsumerState& s = consumers[c];
+          if (f.id == engine.can_id) {
+            ++s.engine_frames;
+            s.last_rpm = decode_signal(*engine.find("rpm"), f);
+          } else if (f.id == brake.can_id) {
+            ++s.brake_frames;
+            s.last_pressure = decode_signal(*brake.find("pressure"), f);
+          }
+        });
+  }
+
+  const BitTime horizon = 60000;
+  for (BitTime t = 0; t < horizon; ++t) {
+    engine_sched.tick(net.sim().now());
+    brake_sched.tick(net.sim().now());
+    net.sim().step();
+  }
+  noise.set_rate(0.0);
+  net.run_until_quiet();
+
+  std::printf("-- %s, ber* = %g --\n", proto.name().c_str(), ber_star);
+  std::printf("  releases: engine=%d (overruns %d), brake=%d (overruns %d)\n",
+              engine_sched.releases(), engine_sched.overruns(),
+              brake_sched.releases(), brake_sched.overruns());
+  for (int c = 0; c < 2; ++c) {
+    std::printf(
+        "  consumer %d: engine frames=%d (last rpm %.1f), brake frames=%d "
+        "(last pressure %.1f)\n",
+        c, consumers[c].engine_frames, consumers[c].last_rpm,
+        consumers[c].brake_frames, consumers[c].last_pressure);
+  }
+  const bool agree =
+      consumers[0].engine_frames == consumers[1].engine_frames &&
+      consumers[0].brake_frames == consumers[1].brake_frames;
+  std::printf("  => consumer views %s\n\n",
+              agree ? "IDENTICAL" : "DIVERGED (copies lost or duplicated)");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Vehicle signal bus: periodic ECU traffic under noise ===\n\n");
+  const double noisy = 5e-4;
+  run(ProtocolParams::standard_can(), 0.0);
+  run(ProtocolParams::standard_can(), noisy);
+  run(ProtocolParams::major_can(5), noisy);
+  std::printf(
+      "reading: with a clean channel both stacks behave identically; under\n"
+      "noise, raw CAN's tail inconsistencies make the two consumers see\n"
+      "different frame counts for the same traffic, while MajorCAN keeps\n"
+      "their views identical for 3 extra bits per frame.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// The paper's probabilistic model of inconsistency scenarios (§4).
+//
+// Error spatial model (Charzinski): a bit error somewhere on the network
+// affects one particular node's view with probability p_eff = 1/N, so the
+// per-node per-bit error probability is ber* = ber / N  (expression (3)).
+//
+// Expression (4): probability per frame of the *new* scenario (Fig. 3a) —
+// at least one receiver (but not all) hit in the last-but-one bit, the rest
+// of the receivers clean for the whole frame, and the transmitter hit in
+// the last bit so it cannot see the error flag.
+//
+// Expression (5): probability per frame of the *old* scenario (Fig. 1c) —
+// same receiver split, transmitter clean but crashing within the
+// vulnerability window Δt before the retransmission (rate λ).
+//
+// Table 1 multiplies by the hourly frame count of the reference bus
+// (1 Mbit/s, 90% load, τ = 110-bit frames, 32 nodes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcan {
+
+struct ModelParams {
+  int n_nodes = 32;             ///< N
+  double ber = 1e-5;            ///< bit error rate, network-wide
+  int frame_bits = 110;         ///< τ_data
+  double bitrate = 1e6;         ///< bus speed [bit/s]
+  double load = 0.9;            ///< fraction of bus time carrying frames
+  double lambda_per_hour = 1e-3;  ///< transmitter crash rate (expr. (5))
+  double delta_t_s = 5e-3;        ///< vulnerability window Δt (expr. (5))
+
+  /// ber* = ber / N  (expression (3)).
+  [[nodiscard]] double ber_star() const { return ber / n_nodes; }
+
+  /// Frames transmitted per hour at the configured load.
+  [[nodiscard]] double frames_per_hour() const {
+    return bitrate * load / frame_bits * 3600.0;
+  }
+};
+
+/// Expression (4): P{new scenario (Fig. 3a) in a frame}.
+[[nodiscard]] double p_new_scenario_per_frame(const ModelParams& p);
+
+/// Expression (5): P{old scenario (Fig. 1c) in a frame}, ber* model.
+[[nodiscard]] double p_old_scenario_per_frame(const ModelParams& p);
+
+/// IMOnew/hour — Table 1, column 2.
+[[nodiscard]] double imo_new_per_hour(const ModelParams& p);
+
+/// IMO*/hour — Table 1, column 4.
+[[nodiscard]] double imo_old_star_per_hour(const ModelParams& p);
+
+/// One row of Table 1.
+struct Table1Row {
+  double ber = 0;
+  double imo_new_per_hour = 0;       ///< our model, new scenarios (Fig. 3a)
+  double imo_rufino_per_hour = 0;    ///< published values from [10] (Fig. 1c)
+  double imo_old_star_per_hour = 0;  ///< our ber* model, old scenarios
+};
+
+/// The paper's Table 1: ber in {1e-4, 1e-5, 1e-6} with the reference
+/// parameters.  The Rufino column carries the values published in the paper
+/// (computed with their model, which we do not re-derive).
+[[nodiscard]] std::vector<Table1Row> compute_table1();
+
+/// The paper's published Table 1 numbers, for comparison in tests/benches.
+[[nodiscard]] std::vector<Table1Row> published_table1();
+
+/// Render rows in the paper's layout.
+[[nodiscard]] std::string render_table1(const std::vector<Table1Row>& rows);
+
+/// Binomial coefficient as a double (exact for the sizes used here).
+[[nodiscard]] double binom(int n, int k);
+
+}  // namespace mcan

@@ -1,0 +1,124 @@
+#include "analysis/properties.hpp"
+
+#include <algorithm>
+
+namespace mcan {
+
+namespace {
+
+/// First-delivery order of messages at one node (by first occurrence).
+std::map<MessageKey, std::size_t> first_positions(const DeliveryJournal& j) {
+  std::map<MessageKey, std::size_t> pos;
+  std::size_t next = 0;
+  for (const DeliveryEvent& e : j) {
+    if (pos.emplace(e.key, next).second) ++next;
+  }
+  return pos;
+}
+
+}  // namespace
+
+AbReport check_atomic_broadcast(
+    const std::vector<BroadcastRecord>& broadcasts,
+    const std::map<NodeId, DeliveryJournal>& journals,
+    const std::set<NodeId>& correct) {
+  AbReport rep;
+  rep.broadcasts = static_cast<int>(broadcasts.size());
+  rep.correct_nodes = static_cast<int>(correct.size());
+
+  std::set<MessageKey> broadcast_keys;
+  for (const BroadcastRecord& b : broadcasts) broadcast_keys.insert(b.key);
+
+  // Who delivered what (correct nodes only), and duplicate accounting.
+  std::map<MessageKey, std::set<NodeId>> delivered_by;
+  std::set<MessageKey> keys_with_dups;
+  for (const auto& [node, journal] : journals) {
+    if (!correct.contains(node)) continue;
+    std::map<MessageKey, int> copies;
+    for (const DeliveryEvent& e : journal) {
+      ++copies[e.key];
+      delivered_by[e.key].insert(node);
+      if (!broadcast_keys.contains(e.key)) {
+        ++rep.nontriviality_violations;  // AB4
+      }
+    }
+    for (const auto& [key, n] : copies) {
+      if (n > 1) {
+        rep.duplicate_deliveries += n - 1;  // AB3
+        keys_with_dups.insert(key);
+      }
+    }
+  }
+  rep.messages_with_duplicates = static_cast<int>(keys_with_dups.size());
+
+  // AB1 + AB2.
+  for (const BroadcastRecord& b : broadcasts) {
+    auto it = delivered_by.find(b.key);
+    const std::size_t receivers = it == delivered_by.end() ? 0 : it->second.size();
+    if (receivers == 0) {
+      if (correct.contains(b.sender)) ++rep.validity_violations;  // AB1
+      continue;
+    }
+    if (receivers < correct.size()) ++rep.agreement_violations;  // AB2 (IMO)
+  }
+
+  // AB5: pairwise order comparison across correct nodes.
+  std::vector<std::map<MessageKey, std::size_t>> orders;
+  for (const auto& [node, journal] : journals) {
+    if (!correct.contains(node)) continue;
+    orders.push_back(first_positions(journal));
+  }
+
+  // Per-source FIFO: within one node, first deliveries of one sender must
+  // come in ascending sequence order.
+  for (const auto& order : orders) {
+    // Re-sort by position, then scan per source.
+    std::map<NodeId, std::uint16_t> last_seq;
+    std::vector<std::pair<std::size_t, MessageKey>> by_pos;
+    for (const auto& [key, pos] : order) by_pos.emplace_back(pos, key);
+    std::sort(by_pos.begin(), by_pos.end());
+    for (const auto& [pos, key] : by_pos) {
+      auto it = last_seq.find(key.source);
+      if (it != last_seq.end() && key.seq < it->second) ++rep.fifo_violations;
+      if (it == last_seq.end() || key.seq > it->second) {
+        last_seq[key.source] = key.seq;
+      }
+    }
+  }
+  for (std::size_t a = 0; a < orders.size(); ++a) {
+    for (std::size_t b = a + 1; b < orders.size(); ++b) {
+      // Messages delivered at both nodes.
+      std::vector<MessageKey> common;
+      for (const auto& [key, pos] : orders[a]) {
+        if (orders[b].contains(key)) common.push_back(key);
+      }
+      for (std::size_t i = 0; i < common.size(); ++i) {
+        for (std::size_t j = i + 1; j < common.size(); ++j) {
+          const bool ab = orders[a].at(common[i]) < orders[a].at(common[j]);
+          const bool ba = orders[b].at(common[i]) < orders[b].at(common[j]);
+          if (ab != ba) ++rep.order_inversions;
+        }
+      }
+    }
+  }
+
+  return rep;
+}
+
+std::string AbReport::summary() const {
+  std::string s;
+  s += "broadcasts=" + std::to_string(broadcasts);
+  s += " correct_nodes=" + std::to_string(correct_nodes);
+  s += " | AB1 validity violations=" + std::to_string(validity_violations);
+  s += " AB2 agreement violations (IMO)=" + std::to_string(agreement_violations);
+  s += " AB3 duplicate deliveries=" + std::to_string(duplicate_deliveries);
+  s += " AB4 non-triviality violations=" + std::to_string(nontriviality_violations);
+  s += " AB5 order inversions=" + std::to_string(order_inversions);
+  if (fifo_violations) {
+    s += " per-source FIFO violations=" + std::to_string(fifo_violations);
+  }
+  s += atomic_broadcast() ? " => ATOMIC BROADCAST HOLDS" : " => VIOLATED";
+  return s;
+}
+
+}  // namespace mcan

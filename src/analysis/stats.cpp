@@ -1,0 +1,66 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace mcan {
+
+Summary Summary::of(std::vector<double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  s.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+  auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(values.size() - 1) + 0.5);
+    return values[std::min(idx, values.size() - 1)];
+  };
+  s.p50 = at(0.50);
+  s.p95 = at(0.95);
+  s.p99 = at(0.99);
+  return s;
+}
+
+std::string Summary::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu min=%.0f mean=%.1f p50=%.0f p95=%.0f p99=%.0f max=%.0f",
+                count, min, mean, p50, p95, p99, max);
+  return buf;
+}
+
+void LatencyTracker::on_broadcast(const MessageKey& key, BitTime t) {
+  sent_.emplace(key, t);
+}
+
+void LatencyTracker::on_delivery(NodeId node, const MessageKey& key,
+                                 BitTime t) {
+  if (!first_delivery_.emplace(std::make_pair(node, key), t).second) {
+    return;  // duplicate: latency is to the first copy
+  }
+  auto it = sent_.find(key);
+  if (it == sent_.end()) return;
+  latencies_.push_back(static_cast<double>(t - it->second));
+}
+
+Summary LatencyTracker::summary() const { return Summary::of(latencies_); }
+
+void UtilizationProbe::on_bit(const BitRecord& rec) {
+  ++total_;
+  if (is_dominant(rec.bus)) ++dominant_;
+  for (std::size_t i = 0; i < rec.info.size(); ++i) {
+    if (!rec.active[i]) continue;
+    const Seg s = rec.info[i].seg;
+    if (s != Seg::Idle && s != Seg::Intermission && s != Seg::Off) {
+      ++busy_;
+      return;
+    }
+  }
+}
+
+}  // namespace mcan

@@ -1,0 +1,74 @@
+// Run statistics: delivery-latency distributions and bus utilisation,
+// computed from delivery journals and the per-bit trace.  Used by the
+// latency/bandwidth extension benches (the cost side of the paper's
+// overhead argument under realistic traffic and noise).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/tagged.hpp"
+#include "sim/simulator.hpp"
+
+namespace mcan {
+
+/// Five-number-ish summary of a sample of values.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+
+  [[nodiscard]] static Summary of(std::vector<double> values);
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Tracks broadcast-to-delivery latency per (message, receiver).
+class LatencyTracker {
+ public:
+  /// Record that `key` was handed to its sender's queue at time `t`.
+  void on_broadcast(const MessageKey& key, BitTime t);
+
+  /// Record a delivery of `key` at `node` at time `t` (first copy counts).
+  void on_delivery(NodeId node, const MessageKey& key, BitTime t);
+
+  /// All recorded latencies, in bit times.
+  [[nodiscard]] Summary summary() const;
+
+  /// Messages broadcast but never delivered at some node are not latency
+  /// samples; how many (message, node) deliveries were recorded.
+  [[nodiscard]] std::size_t samples() const { return latencies_.size(); }
+
+ private:
+  std::map<MessageKey, BitTime> sent_;
+  std::map<std::pair<NodeId, MessageKey>, BitTime> first_delivery_;
+  std::vector<double> latencies_;
+};
+
+/// Trace observer measuring how busy the bus is: a bit is "busy" when any
+/// node is inside a frame, flag or delimiter (anything but idle,
+/// intermission or off).
+class UtilizationProbe final : public TraceObserver {
+ public:
+  void on_bit(const BitRecord& rec) override;
+
+  [[nodiscard]] BitTime total_bits() const { return total_; }
+  [[nodiscard]] BitTime busy_bits() const { return busy_; }
+  [[nodiscard]] BitTime dominant_bits() const { return dominant_; }
+
+  [[nodiscard]] double utilization() const {
+    return total_ ? static_cast<double>(busy_) / static_cast<double>(total_)
+                  : 0.0;
+  }
+
+ private:
+  BitTime total_ = 0;
+  BitTime busy_ = 0;
+  BitTime dominant_ = 0;
+};
+
+}  // namespace mcan

@@ -1,0 +1,28 @@
+#include "analysis/tagged.hpp"
+
+#include <stdexcept>
+
+namespace mcan {
+
+Frame make_tagged_frame(std::uint32_t can_id, MsgKind kind, MessageKey key,
+                        std::uint8_t dlc) {
+  if (dlc < 4) throw std::invalid_argument("tagged frames need dlc >= 4");
+  Frame f = Frame::make_blank(can_id, dlc);
+  f.data[0] = static_cast<std::uint8_t>(kind);
+  f.data[1] = static_cast<std::uint8_t>(key.source);
+  f.data[2] = static_cast<std::uint8_t>(key.seq >> 8);
+  f.data[3] = static_cast<std::uint8_t>(key.seq & 0xff);
+  return f;
+}
+
+std::optional<Tag> parse_tag(const Frame& f) {
+  if (f.remote || f.dlc < 4) return std::nullopt;
+  if (f.data[0] > static_cast<std::uint8_t>(MsgKind::Accept)) return std::nullopt;
+  Tag tag;
+  tag.kind = static_cast<MsgKind>(f.data[0]);
+  tag.key.source = f.data[1];
+  tag.key.seq = static_cast<std::uint16_t>((f.data[2] << 8) | f.data[3]);
+  return tag;
+}
+
+}  // namespace mcan

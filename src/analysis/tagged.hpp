@@ -1,0 +1,54 @@
+// Tagged messages: ground-truth identity for broadcast property checking.
+//
+// The property checker must match deliveries at different nodes to the
+// application message that was broadcast.  We carry the identity *in the
+// payload* — data[0] = message kind, data[1] = source node, data[2..3] =
+// 16-bit sequence number (big endian) — so identity survives exactly as far
+// as the real frame content does: a frame corrupted past the CRC would show
+// up as a non-triviality (AB4) violation instead of being silently matched.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "frame/frame.hpp"
+#include "util/bit.hpp"
+
+namespace mcan {
+
+/// Application-level message kinds used by the campaigns and the
+/// higher-level protocols (EDCAN/RELCAN/TOTCAN).
+enum class MsgKind : std::uint8_t {
+  Data = 0,
+  Confirm = 1,  ///< RELCAN
+  Accept = 2,   ///< TOTCAN
+};
+
+struct MessageKey {
+  NodeId source = 0;
+  std::uint16_t seq = 0;
+
+  [[nodiscard]] bool operator==(const MessageKey&) const = default;
+  [[nodiscard]] auto operator<=>(const MessageKey&) const = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return "m(" + std::to_string(source) + "," + std::to_string(seq) + ")";
+  }
+};
+
+struct Tag {
+  MsgKind kind = MsgKind::Data;
+  MessageKey key;
+};
+
+/// Build a tagged frame.  `can_id` sets the arbitration priority; extra
+/// payload bytes (beyond the 4 tag bytes) are zero.
+[[nodiscard]] Frame make_tagged_frame(std::uint32_t can_id, MsgKind kind,
+                                      MessageKey key, std::uint8_t dlc = 4);
+
+/// Recover the tag from a delivered frame; nullopt if the frame cannot
+/// carry one (dlc < 4 or unknown kind byte).
+[[nodiscard]] std::optional<Tag> parse_tag(const Frame& f);
+
+}  // namespace mcan

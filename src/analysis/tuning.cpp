@@ -1,0 +1,74 @@
+#include "analysis/tuning.hpp"
+
+#include <cmath>
+
+#include "util/text.hpp"
+
+namespace mcan {
+
+double binomial_pmf(int n, int k, double p) {
+  if (k < 0 || k > n) return 0.0;
+  if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return k == n ? 1.0 : 0.0;
+  // log-space to survive n ~ thousands.
+  double log_pmf = std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+                   std::lgamma(n - k + 1.0) + k * std::log(p) +
+                   (n - k) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double p_more_than_m_errors_per_frame(const ModelParams& p, int m) {
+  const int n = p.n_nodes * p.frame_bits;
+  const double q = p.ber_star();
+  // Sum the upper tail directly: 1 - CDF cancels catastrophically once the
+  // tail drops below double-precision epsilon, and these tails go far
+  // below 1e-16 for realistic ber.
+  double tail = 0.0;
+  for (int k = m + 1; k <= n; ++k) {
+    const double term = binomial_pmf(n, k, q);
+    tail += term;
+    if (term < tail * 1e-18 && k > m + 3) break;
+  }
+  return tail;
+}
+
+double residual_exposure_per_hour(const ModelParams& p, int m) {
+  return p_more_than_m_errors_per_frame(p, m) * p.frames_per_hour();
+}
+
+std::vector<TuningRow> tuning_table(const ModelParams& p, int m_max) {
+  std::vector<TuningRow> rows;
+  for (int m = 3; m <= m_max; ++m) {
+    TuningRow r;
+    r.m = m;
+    r.p_exceed_per_frame = p_more_than_m_errors_per_frame(p, m);
+    r.exposure_per_hour = residual_exposure_per_hour(p, m);
+    // Paper §5/§6 overhead formulas (kept in sync with ProtocolParams).
+    r.overhead_bits_best = 2 * m - 7;
+    r.overhead_bits_worst = 4 * m - 9;
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+int recommend_m(const ModelParams& p, double target_per_hour, int m_max) {
+  for (int m = 3; m <= m_max; ++m) {
+    if (residual_exposure_per_hour(p, m) <= target_per_hour) return m;
+  }
+  return m_max + 1;
+}
+
+std::string render_tuning_table(const std::vector<TuningRow>& rows) {
+  std::vector<std::vector<std::string>> cells;
+  cells.push_back({"m", "P{>m errors}/frame", "exposure/hour",
+                   "overhead best", "overhead worst"});
+  for (const TuningRow& r : rows) {
+    cells.push_back({std::to_string(r.m), sci(r.p_exceed_per_frame),
+                     sci(r.exposure_per_hour),
+                     std::to_string(r.overhead_bits_best) + " bits",
+                     std::to_string(r.overhead_bits_worst) + " bits"});
+  }
+  return render_table(cells);
+}
+
+}  // namespace mcan

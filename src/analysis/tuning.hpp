@@ -1,0 +1,52 @@
+// Choosing MajorCAN's m for a given environment (paper §5).
+//
+// The paper proposes m = 5 to match the CRC's detection guarantee, but
+// notes: "this decision strongly depends on the ber value.  If ber is
+// larger then larger values of m should be considered.  So the new
+// protocol ... is designed to be parametrisable in m to make the upgrade
+// simpler."  This module makes that engineering decision computable: under
+// the ber* error model the number of per-node view errors per frame is
+// Binomial(N * tau, ber*); MajorCAN_m guarantees consistency for up to m
+// of them, so the residual exposure rate is
+//     P{ > m errors in a frame } * frames/hour,
+// to be driven below a dependability target (1e-9/h in aerospace).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/prob_model.hpp"
+
+namespace mcan {
+
+/// P{exactly k Bernoulli(p) successes out of n} — numerically stable for
+/// the small-p large-n regime used here.
+[[nodiscard]] double binomial_pmf(int n, int k, double p);
+
+/// P{more than m errors affect node views during one frame} under the
+/// ber* model: n = N * tau trials at p = ber*.
+[[nodiscard]] double p_more_than_m_errors_per_frame(const ModelParams& p, int m);
+
+/// Residual exposure of MajorCAN_m per hour (frames/hour * P{> m}).
+[[nodiscard]] double residual_exposure_per_hour(const ModelParams& p, int m);
+
+struct TuningRow {
+  int m = 0;
+  double p_exceed_per_frame = 0;
+  double exposure_per_hour = 0;
+  int overhead_bits_best = 0;
+  int overhead_bits_worst = 0;
+};
+
+/// Exposure/overhead trade-off table for m in [3, m_max].
+[[nodiscard]] std::vector<TuningRow> tuning_table(const ModelParams& p,
+                                                  int m_max = 12);
+
+/// Smallest m >= 3 whose residual exposure is below `target_per_hour`
+/// (returns m_max+1 if none qualifies up to m_max).
+[[nodiscard]] int recommend_m(const ModelParams& p, double target_per_hour,
+                              int m_max = 32);
+
+[[nodiscard]] std::string render_tuning_table(const std::vector<TuningRow>& rows);
+
+}  // namespace mcan

@@ -1,0 +1,82 @@
+#include "app/rta.hpp"
+
+#include <algorithm>
+
+#include "frame/layout.hpp"
+
+namespace mcan {
+
+int worst_case_frame_bits(int dlc, bool extended, int eof_bits) {
+  // Stuffable bits (SOF..CRC sequence); at most one stuff bit per 4
+  // stuffable bits after the first (the classic ceil((g-1)/4) bound).
+  const int stuffable =
+      body_bits_for(8 * dlc) + (extended ? kExtendedExtraBits : 0);
+  const int max_stuff = (stuffable - 1) / 4;
+  const int tail = tail_bits_for(eof_bits);
+  return stuffable + max_stuff + tail + kIntermissionBits;
+}
+
+bool arbitration_before(const RtaMessage& a, const RtaMessage& b) {
+  const std::uint32_t base_a = a.extended ? a.can_id >> kExtIdBits : a.can_id;
+  const std::uint32_t base_b = b.extended ? b.can_id >> kExtIdBits : b.can_id;
+  if (base_a != base_b) return base_a < base_b;
+  if (a.extended != b.extended) return !a.extended;  // dominant RTR/IDE wins
+  return a.can_id < b.can_id;
+}
+
+std::vector<RtaRow> response_time_analysis(std::vector<RtaMessage> messages,
+                                           int eof_bits) {
+  std::sort(messages.begin(), messages.end(), arbitration_before);
+
+  std::vector<RtaRow> rows;
+  rows.reserve(messages.size());
+  for (const RtaMessage& m : messages) {
+    RtaRow r;
+    r.msg = m;
+    r.c_bits = worst_case_frame_bits(m.dlc, m.extended, eof_bits);
+    rows.push_back(r);
+  }
+
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    // Blocking: the longest lower-priority frame already on the wire.
+    int blocking = 0;
+    for (std::size_t k = i + 1; k < rows.size(); ++k) {
+      blocking = std::max(blocking, rows[k].c_bits);
+    }
+    rows[i].blocking = blocking;
+
+    // Fixed-point iteration of the queueing delay.
+    const BitTime deadline = rows[i].msg.period;
+    BitTime w = static_cast<BitTime>(blocking);
+    for (;;) {
+      BitTime next = static_cast<BitTime>(blocking);
+      for (std::size_t j = 0; j < i; ++j) {
+        const BitTime tj = rows[j].msg.period;
+        const BitTime releases = (w + 1 + tj - 1) / tj;  // ceil((w+1)/T_j)
+        next += releases * static_cast<BitTime>(rows[j].c_bits);
+      }
+      if (next + static_cast<BitTime>(rows[i].c_bits) > deadline) {
+        rows[i].schedulable = false;
+        rows[i].response = next + static_cast<BitTime>(rows[i].c_bits);
+        break;
+      }
+      if (next == w) {
+        rows[i].schedulable = true;
+        rows[i].response = w + static_cast<BitTime>(rows[i].c_bits);
+        break;
+      }
+      w = next;
+    }
+  }
+  return rows;
+}
+
+double rta_utilisation(const std::vector<RtaRow>& rows) {
+  double u = 0;
+  for (const RtaRow& r : rows) {
+    u += static_cast<double>(r.c_bits) / static_cast<double>(r.msg.period);
+  }
+  return u;
+}
+
+}  // namespace mcan

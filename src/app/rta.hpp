@@ -1,0 +1,57 @@
+// Worst-case response-time analysis for periodic CAN traffic — the classic
+// fixed-priority non-preemptive analysis (Tindell & Burns, refined by
+// Davis et al.) — parameterised by the protocol's EOF length so the cost
+// of MajorCAN's longer frames shows up directly in the schedulability
+// numbers.
+//
+// Model: messages are queued periodically (period T_i, implicit deadline
+// D_i = T_i), priorities follow CAN arbitration (lower identifier wins,
+// standard beats extended on equal base ids), transmission is
+// non-preemptive.  The response time of message i is
+//     R_i = w_i + C_i,
+//     w_i = B_i + sum_{j in hp(i)} ceil((w_i + 1) / T_j) * C_j
+// where B_i is the longest lower-priority frame that may block the bus and
+// C_i the worst-case frame length (maximal bit stuffing) plus the
+// intermission.  The recurrence is iterated to a fixed point; if w_i + C_i
+// exceeds T_i the message is unschedulable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frame/frame.hpp"
+#include "util/bit.hpp"
+
+namespace mcan {
+
+/// Worst-case wire bits of a frame with `dlc` data bytes: fixed fields +
+/// data + maximal stuffing + the EOF of the protocol in use + intermission.
+[[nodiscard]] int worst_case_frame_bits(int dlc, bool extended, int eof_bits);
+
+struct RtaMessage {
+  std::string name;
+  std::uint32_t can_id = 0;
+  bool extended = false;
+  int dlc = 8;
+  BitTime period = 1000;  ///< also the deadline
+};
+
+struct RtaRow {
+  RtaMessage msg;
+  int c_bits = 0;         ///< worst-case transmission time C_i
+  int blocking = 0;       ///< B_i
+  BitTime response = 0;   ///< R_i (meaningless if !schedulable)
+  bool schedulable = false;
+};
+
+/// Analyse the whole set; rows come back sorted by priority (bus order).
+[[nodiscard]] std::vector<RtaRow> response_time_analysis(
+    std::vector<RtaMessage> messages, int eof_bits);
+
+/// Total bus utilisation of the set (sum C_i / T_i).
+[[nodiscard]] double rta_utilisation(const std::vector<RtaRow>& rows);
+
+/// True iff frame a outranks frame b in CAN arbitration.
+[[nodiscard]] bool arbitration_before(const RtaMessage& a, const RtaMessage& b);
+
+}  // namespace mcan

@@ -1,0 +1,31 @@
+#include "app/scheduler.hpp"
+
+namespace mcan {
+
+void PeriodicScheduler::add(PeriodicMessage msg) {
+  msg.spec.validate();
+  Entry e;
+  e.next_release = msg.phase;
+  e.msg = std::move(msg);
+  entries_.push_back(std::move(e));
+}
+
+void PeriodicScheduler::tick(BitTime now) {
+  for (Entry& e : entries_) {
+    while (now >= e.next_release) {
+      const SignalValues values =
+          e.msg.sampler ? e.msg.sampler(now) : SignalValues{};
+      const Frame f = encode_signals(e.msg.spec, values);
+      ++releases_;
+      if (ctrl_->replace_pending(f)) {
+        // The previous instance never made it out: overrun, superseded.
+        ++overruns_;
+      } else {
+        ctrl_->enqueue(f);
+      }
+      e.next_release += e.msg.period;
+    }
+  }
+}
+
+}  // namespace mcan

@@ -1,0 +1,51 @@
+// Periodic transmission scheduler: the standard shape of control traffic
+// on a CAN bus (sensor values every T bit times, staggered offsets), with
+// overrun accounting — the queue-depth and deadline statistics a bus
+// designer watches.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "app/signals.hpp"
+#include "core/controller.hpp"
+
+namespace mcan {
+
+struct PeriodicMessage {
+  MessageSpec spec;
+  BitTime period = 1000;
+  BitTime phase = 0;  ///< first release offset
+  /// Called at each release to sample the current values.
+  std::function<SignalValues(BitTime)> sampler;
+};
+
+class PeriodicScheduler {
+ public:
+  explicit PeriodicScheduler(CanController& ctrl) : ctrl_(&ctrl) {}
+
+  void add(PeriodicMessage msg);
+
+  /// Advance to `now` (call once per bit, or at any stride): enqueues every
+  /// message whose release time passed.  If the previous instance is still
+  /// sitting in the controller queue, the release is counted as an overrun
+  /// and the stale instance is superseded (fresher data wins — standard
+  /// practice for periodic state messages).
+  void tick(BitTime now);
+
+  [[nodiscard]] int releases() const { return releases_; }
+  [[nodiscard]] int overruns() const { return overruns_; }
+
+ private:
+  struct Entry {
+    PeriodicMessage msg;
+    BitTime next_release = 0;
+  };
+
+  CanController* ctrl_;
+  std::vector<Entry> entries_;
+  int releases_ = 0;
+  int overruns_ = 0;
+};
+
+}  // namespace mcan

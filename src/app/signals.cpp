@@ -1,0 +1,140 @@
+#include "app/signals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mcan {
+
+namespace {
+
+std::uint64_t payload_raw(const Frame& f) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < kMaxDataBytes; ++i) {
+    v |= static_cast<std::uint64_t>(f.data[static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+void store_payload(std::uint64_t v, Frame& f) {
+  for (int i = 0; i < kMaxDataBytes; ++i) {
+    f.data[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+  }
+}
+
+std::uint64_t mask_of(int length) {
+  return length >= 64 ? ~0ULL : ((1ULL << length) - 1);
+}
+
+}  // namespace
+
+std::int64_t SignalSpec::raw_min() const {
+  if (!is_signed) return 0;
+  return length >= 64 ? std::numeric_limits<std::int64_t>::min()
+                      : -(static_cast<std::int64_t>(1) << (length - 1));
+}
+
+std::int64_t SignalSpec::raw_max() const {
+  if (is_signed) {
+    return length >= 64 ? std::numeric_limits<std::int64_t>::max()
+                        : (static_cast<std::int64_t>(1) << (length - 1)) - 1;
+  }
+  return length >= 64
+             ? std::numeric_limits<std::int64_t>::max()  // pragmatic cap
+             : static_cast<std::int64_t>(mask_of(length));
+}
+
+void SignalSpec::validate() const {
+  if (name.empty()) throw std::invalid_argument("signal needs a name");
+  if (length < 1 || length > 64) {
+    throw std::invalid_argument(name + ": length must be 1..64");
+  }
+  if (start_bit < 0 || start_bit + length > 64) {
+    throw std::invalid_argument(name + ": exceeds the 64-bit payload");
+  }
+  if (scale == 0.0) throw std::invalid_argument(name + ": zero scale");
+}
+
+const SignalSpec* MessageSpec::find(const std::string& signal) const {
+  for (const SignalSpec& s : signals) {
+    if (s.name == signal) return &s;
+  }
+  return nullptr;
+}
+
+void MessageSpec::validate() const {
+  if (extended ? can_id > kMaxExtId : can_id > kMaxId) {
+    throw std::invalid_argument(name + ": identifier out of range");
+  }
+  if (dlc > kMaxDataBytes) throw std::invalid_argument(name + ": dlc > 8");
+  std::uint64_t used = 0;
+  for (const SignalSpec& s : signals) {
+    s.validate();
+    if (s.start_bit + s.length > 8 * dlc) {
+      throw std::invalid_argument(s.name + ": exceeds the dlc payload");
+    }
+    const std::uint64_t bits = mask_of(s.length) << s.start_bit;
+    if (used & bits) {
+      throw std::invalid_argument(s.name + ": overlaps another signal");
+    }
+    used |= bits;
+  }
+}
+
+Frame encode_signals(const MessageSpec& spec, const SignalValues& values) {
+  spec.validate();
+  Frame f = spec.extended ? Frame::make_extended(spec.can_id, {})
+                          : Frame::make_blank(spec.can_id, spec.dlc);
+  f.dlc = spec.dlc;
+  for (const auto& [name, value] : values) {
+    const SignalSpec* sig = spec.find(name);
+    if (sig == nullptr) {
+      throw std::invalid_argument("unknown signal: " + name);
+    }
+    set_signal(*sig, value, f);
+  }
+  return f;
+}
+
+void set_signal(const SignalSpec& sig, double value, Frame& f) {
+  const double clamped = std::clamp(value, sig.phys_min(), sig.phys_max());
+  const auto raw =
+      static_cast<std::int64_t>(std::llround((clamped - sig.offset) / sig.scale));
+  const std::uint64_t bits =
+      static_cast<std::uint64_t>(raw) & mask_of(sig.length);
+  std::uint64_t payload = payload_raw(f);
+  payload &= ~(mask_of(sig.length) << sig.start_bit);
+  payload |= bits << sig.start_bit;
+  store_payload(payload, f);
+}
+
+double decode_signal(const SignalSpec& sig, const Frame& f) {
+  std::uint64_t raw = (payload_raw(f) >> sig.start_bit) & mask_of(sig.length);
+  std::int64_t value;
+  if (sig.is_signed && sig.length < 64 &&
+      (raw & (1ULL << (sig.length - 1)))) {
+    value = static_cast<std::int64_t>(raw | ~mask_of(sig.length));
+  } else {
+    value = static_cast<std::int64_t>(raw);
+  }
+  return static_cast<double>(value) * sig.scale + sig.offset;
+}
+
+SignalValues decode_signals(const MessageSpec& spec, const Frame& f) {
+  if (f.id != spec.can_id || f.extended != spec.extended) {
+    throw std::invalid_argument(spec.name + ": frame id mismatch");
+  }
+  if (f.dlc < spec.dlc) {
+    throw std::invalid_argument(spec.name + ": frame too short");
+  }
+  SignalValues out;
+  for (const SignalSpec& s : spec.signals) {
+    out.emplace(s.name, decode_signal(s, f));
+  }
+  return out;
+}
+
+}  // namespace mcan

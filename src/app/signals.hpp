@@ -1,0 +1,75 @@
+// Signal codec: physical values packed into CAN payloads, DBC-style.
+//
+// A MessageSpec names a CAN identifier and a set of signals; each signal
+// occupies `length` bits starting at `start_bit` (Intel/little-endian bit
+// order: bit i lives in byte i/8, bit position i%8), holds an optionally
+// signed raw integer, and maps to a physical value via
+//     physical = raw * scale + offset.
+// This is the application substrate a control system puts on top of the
+// broadcast layer — and what makes the consistency properties *matter*:
+// a brake-pressure signal decoded from an inconsistently delivered frame
+// is a plant-level fault.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "frame/frame.hpp"
+
+namespace mcan {
+
+struct SignalSpec {
+  std::string name;
+  int start_bit = 0;       ///< 0..63, Intel bit order
+  int length = 1;          ///< 1..64
+  double scale = 1.0;
+  double offset = 0.0;
+  bool is_signed = false;
+
+  /// Raw-value range representable by this signal.
+  [[nodiscard]] std::int64_t raw_min() const;
+  [[nodiscard]] std::int64_t raw_max() const;
+
+  [[nodiscard]] double phys_min() const { return raw_min() * scale + offset; }
+  [[nodiscard]] double phys_max() const { return raw_max() * scale + offset; }
+
+  /// Throws std::invalid_argument on nonsense (bad range, zero scale...).
+  void validate() const;
+};
+
+struct MessageSpec {
+  std::string name;
+  std::uint32_t can_id = 0;
+  bool extended = false;
+  std::uint8_t dlc = 8;
+  std::vector<SignalSpec> signals;
+
+  [[nodiscard]] const SignalSpec* find(const std::string& signal) const;
+
+  /// Throws std::invalid_argument on overlapping signals, signals past the
+  /// payload, or invalid component specs.
+  void validate() const;
+};
+
+using SignalValues = std::map<std::string, double>;
+
+/// Encode the given physical values (missing signals encode as raw 0;
+/// unknown names throw).  Values are clamped to the signal's range and
+/// rounded to the nearest representable step.
+[[nodiscard]] Frame encode_signals(const MessageSpec& spec,
+                                   const SignalValues& values);
+
+/// Decode every signal of `spec` from a frame.  Throws if the frame does
+/// not match the spec's identifier/dlc.
+[[nodiscard]] SignalValues decode_signals(const MessageSpec& spec,
+                                          const Frame& f);
+
+/// Decode a single signal.
+[[nodiscard]] double decode_signal(const SignalSpec& sig, const Frame& f);
+
+/// Overwrite one signal in an existing frame payload.
+void set_signal(const SignalSpec& sig, double value, Frame& f);
+
+}  // namespace mcan

@@ -1,0 +1,898 @@
+#include "core/controller.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace mcan {
+
+namespace {
+std::string at_eof(int pos) {
+  // Paper figures number EOF bits from 1; keep diagnostics in that style.
+  return "EOF bit " + std::to_string(pos + 1);
+}
+}  // namespace
+
+CanController::CanController(ControllerConfig cfg, EventLog& log)
+    : cfg_(std::move(cfg)), log_(&log), fc_(cfg_.fc) {
+  cfg_.protocol.validate();
+}
+
+void CanController::enqueue(const Frame& f) { queue_.push_back(f); }
+
+bool CanController::replace_pending(const Frame& f) {
+  // While a transmission is on the wire the queue front is that frame;
+  // leave it alone and only supersede genuinely pending entries.
+  const std::size_t first = st_ == St::Tx ? 1 : 0;
+  for (std::size_t i = first; i < queue_.size(); ++i) {
+    if (queue_[i].id == f.id && queue_[i].extended == f.extended) {
+      queue_[i] = f;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t CanController::pending_tx() const { return queue_.size(); }
+
+void CanController::emit(BitTime t, EventKind kind, std::string detail,
+                         std::optional<Frame> frame) {
+  log_->emit(Event{t, cfg_.id, kind, std::move(detail), std::move(frame)});
+}
+
+// ---------------------------------------------------------------------------
+// drive
+// ---------------------------------------------------------------------------
+
+Level CanController::drive(BitTime t) {
+  switch (st_) {
+    case St::Idle:
+      if (!queue_.empty()) {
+        start_transmission(t);
+        return txe_.current().level;  // SOF, dominant
+      }
+      return Level::Recessive;
+
+    case St::Tx:
+      return txe_.current().level;
+
+    case St::RxTail:
+      // ACK slot: a receiver that got a CRC-correct body answers dominant.
+      if (tail_pos_ == 1 && will_ack_) return Level::Dominant;
+      return Level::Recessive;
+
+    case St::ErrorFlag:
+    case St::OverloadFlag:
+    case St::ExtFlag:
+      return Level::Dominant;
+
+    case St::Intermission:
+    case St::BusOffWait:
+    case St::Suspend:
+    case St::Rx:
+    case St::RxEof:
+    case St::PassiveFlag:
+    case St::DelimWait:
+    case St::Delim:
+    case St::Sampling:
+      return Level::Recessive;
+  }
+  return Level::Recessive;
+}
+
+// ---------------------------------------------------------------------------
+// sample: the FSM transition function
+// ---------------------------------------------------------------------------
+
+void CanController::sample(BitTime t, Level view) {
+  switch (st_) {
+    case St::Idle:
+      if (is_dominant(view)) start_reception(t, view);
+      break;
+    case St::BusOffWait:
+      // ISO 11898 recovery: 128 occurrences of 11 consecutive recessive
+      // bits, then rejoin error-active with cleared counters.
+      if (is_recessive(view)) {
+        if (++recovery_run_ >= 11) {
+          recovery_run_ = 0;
+          if (++recovery_runs_ >= 128) {
+            fc_.reset_after_busoff();
+            last_fc_state_ = fc_.state();
+            become_idle();
+            emit(t, EventKind::BusOffRecovered);
+          }
+        }
+      } else {
+        recovery_run_ = 0;
+      }
+      break;
+    case St::Intermission:
+      handle_intermission_bit(t, view);
+      break;
+    case St::Suspend:
+      if (is_dominant(view)) {
+        start_reception(t, view);
+      } else if (--suspend_left_ <= 0) {
+        become_idle();
+      }
+      break;
+    case St::Tx:
+      handle_tx_bit(t, txe_.current().level, view);
+      break;
+    case St::Rx:
+      handle_rx_body_bit(t, view);
+      break;
+    case St::RxTail:
+      handle_rx_tail_bit(t, view);
+      break;
+    case St::RxEof:
+      handle_rx_eof_bit(t, view);
+      break;
+    case St::ErrorFlag:
+    case St::OverloadFlag:
+      handle_flag_bit(t, view);
+      break;
+    case St::PassiveFlag: {
+      if (passive_run_ == 0 || view == passive_last_) {
+        ++passive_run_;
+      } else {
+        passive_run_ = 1;
+      }
+      passive_last_ = view;
+      bump_eof_rel();
+      if (passive_run_ >= ProtocolParams::flag_bits()) {
+        after_own_flag();
+      }
+      break;
+    }
+    case St::DelimWait:
+      handle_delim_wait_bit(t, view);
+      break;
+    case St::Delim:
+      handle_delim_bit(t, view);
+      break;
+    case St::Sampling:
+      handle_sampling_bit(t, view);
+      break;
+    case St::ExtFlag:
+      handle_ext_flag_bit(t, view);
+      break;
+  }
+  note_fc_state(t);
+}
+
+void CanController::note_fc_state(BitTime t) {
+  const FcState s = fc_.state();
+  if (s == last_fc_state_) return;
+  last_fc_state_ = s;
+  switch (s) {
+    case FcState::ErrorActive:
+      break;
+    case FcState::ErrorPassive:
+      emit(t, EventKind::EnteredErrorPassive);
+      break;
+    case FcState::BusOff:
+      emit(t, EventKind::EnteredBusOff);
+      if (cfg_.busoff_auto_recovery) {
+        txe_.abort();
+        st_ = St::BusOffWait;
+        recovery_runs_ = 0;
+        recovery_run_ = 0;
+        eof_rel_ = kNoEofRel;
+      }
+      break;
+    case FcState::SwitchedOff:
+      emit(t, EventKind::WarningSwitchOff);
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// frame start / end helpers
+// ---------------------------------------------------------------------------
+
+void CanController::start_transmission(BitTime t) {
+  assert(!queue_.empty());
+  txe_.start(queue_.front(), cfg_.protocol.eof_bits());
+  rx_.reset();  // runs in parallel so an arbitration loss can continue as rx
+  st_ = St::Tx;
+  tx_role_ = true;
+  tx_in_flight_ = true;
+  ack_seen_ = false;
+  eof_rel_ = kNoEofRel;
+  ++frame_index_;
+  emit(t, EventKind::SofSent, {}, queue_.front());
+}
+
+void CanController::start_reception(BitTime t, Level first_bit) {
+  rx_.reset();
+  rx_.push(first_bit);  // the dominant SOF that brought us here
+  st_ = St::Rx;
+  tx_role_ = false;
+  have_rx_frame_ = false;
+  crc_failed_ = false;
+  will_ack_ = false;
+  eof_rel_ = kNoEofRel;
+  ++frame_index_;
+  emit(t, EventKind::SofSeen);
+}
+
+void CanController::become_idle() {
+  st_ = St::Idle;
+  tx_role_ = false;
+  eof_rel_ = kNoEofRel;
+}
+
+void CanController::enter_intermission() {
+  st_ = St::Intermission;
+  interm_pos_ = 0;
+  eof_rel_ = kNoEofRel;
+}
+
+void CanController::bump_eof_rel() {
+  if (eof_rel_ != kNoEofRel) ++eof_rel_;
+}
+
+void CanController::after_own_flag() {
+  switch (after_flag_) {
+    case AfterFlag::Delimiter:
+      if (is_major() && eof_rel_ != kNoEofRel &&
+          cfg_.protocol.delimiter != DelimiterMode::EagerCount) {
+        // A frame-tail error in MajorCAN: other nodes may be running the
+        // end-game until EOF-relative position 3m+4, so hold the delimiter
+        // until then (vote-less wait).  This is what keeps all nodes
+        // reconverging on the same bit.  (EagerCount is the ablation that
+        // skips the hold — see DelimiterMode.)
+        st_ = St::Sampling;
+        vote_enabled_ = false;
+        return;
+      }
+      st_ = St::DelimWait;
+      delim_first_bit_ = true;
+      delim_seen_ = 0;
+      delim_dom_run_ = 0;
+      return;
+    case AfterFlag::MinorCheck:
+      st_ = St::DelimWait;
+      delim_first_bit_ = true;
+      delim_seen_ = 0;
+      delim_dom_run_ = 0;
+      return;
+    case AfterFlag::MajorSample:
+      st_ = St::Sampling;
+      vote_enabled_ = true;
+      return;
+  }
+}
+
+void CanController::start_error_flag(BitTime t, AfterFlag next,
+                                     const std::string& why) {
+  after_flag_ = next;
+  delim_is_overload_ = false;
+  if (fc_.error_passive()) {
+    st_ = St::PassiveFlag;
+    passive_run_ = 0;
+    emit(t, EventKind::PassiveFlagStart, why);
+  } else {
+    st_ = St::ErrorFlag;
+    flag_sent_ = 0;
+    emit(t, EventKind::ErrorFlagStart, why);
+  }
+}
+
+void CanController::start_overload_flag(BitTime t, const std::string& why) {
+  st_ = St::OverloadFlag;
+  flag_sent_ = 0;
+  after_flag_ = AfterFlag::Delimiter;
+  delim_is_overload_ = true;
+  eof_rel_ = kNoEofRel;
+  emit(t, EventKind::OverloadFlagStart, why);
+}
+
+// ---------------------------------------------------------------------------
+// error entry points
+// ---------------------------------------------------------------------------
+
+void CanController::rx_error(BitTime t, AfterFlag next, const std::string& why) {
+  emit(t, EventKind::ErrorDetected, why);
+  if (next == AfterFlag::Delimiter) {
+    // Immediate verdict: the frame in progress is lost for this node.
+    fc_.on_rx_error();
+    reject_frame(t, why.c_str());
+  }
+  start_error_flag(t, next, why);
+}
+
+void CanController::tx_error(BitTime t, AfterFlag next, const std::string& why) {
+  emit(t, EventKind::ErrorDetected, why);
+  txe_.abort();
+  if (next == AfterFlag::Delimiter) {
+    fc_.on_tx_error();
+    tx_rejected(t, why.c_str());
+  }
+  start_error_flag(t, next, why);
+}
+
+// ---------------------------------------------------------------------------
+// verdicts
+// ---------------------------------------------------------------------------
+
+void CanController::accept_frame(BitTime t, const char* how) {
+  fc_.on_rx_success();
+  have_rx_frame_ = false;
+  emit(t, EventKind::FrameAccepted, how, rx_.frame());
+  for (const DeliveryHandler& h : on_deliver_) h(rx_.frame(), t);
+}
+
+void CanController::reject_frame(BitTime t, const char* why) {
+  std::optional<Frame> f;
+  if (have_rx_frame_) f = rx_.frame();
+  have_rx_frame_ = false;
+  emit(t, EventKind::FrameRejected, why, std::move(f));
+}
+
+void CanController::tx_success(BitTime t, const char* how) {
+  fc_.on_tx_success();
+  tx_in_flight_ = false;
+  Frame f = queue_.front();
+  queue_.pop_front();
+  if (fc_.error_passive()) suspend_left_ = 8;
+  emit(t, EventKind::TxSuccess, how, f);
+  for (const TxDoneHandler& h : on_tx_done_) h(f, t);
+}
+
+void CanController::tx_rejected(BitTime t, const char* why) {
+  tx_in_flight_ = false;
+  emit(t, EventKind::TxRejected, why,
+       queue_.empty() ? std::optional<Frame>{}
+                      : std::optional<Frame>{queue_.front()});
+  if (fc_.error_passive()) suspend_left_ = 8;
+  if (cfg_.auto_retransmit) {
+    emit(t, EventKind::TxRetransmit);
+  } else if (!queue_.empty()) {
+    queue_.pop_front();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// transmitter path
+// ---------------------------------------------------------------------------
+
+void CanController::handle_tx_bit(BitTime t, Level sent, Level view) {
+  // Keep the receive parser in lockstep so an arbitration loss can continue
+  // seamlessly as a reception.
+  if (!rx_.done()) rx_.push(view);
+
+  const TxPhase phase = txe_.current().phase;
+
+  // Track the EOF-relative position of the current bit.  The transmitter
+  // knows it exactly everywhere; we anchor it once the frame is close
+  // enough to the tail that an error flag here could start someone else's
+  // end-game (within m+4 bits: detection delays of up to m-1 plus the
+  // receivers' own -3 tail anchor).  Anchored errors then hold through the
+  // end-game horizon instead of re-flagging into a sampling window —
+  // paper §5's "no additional error flag" rule, which the duplicate
+  // counterexample in DESIGN.md §5 shows is load-bearing here.
+  {
+    const int rel = txe_.eof_relative();
+    eof_rel_ = rel >= -(cfg_.protocol.m + 4) ? rel : kNoEofRel;
+  }
+
+  if (phase == TxPhase::Eof) {
+    const int pos = txe_.eof_index();
+    if (is_dominant(view)) {
+      handle_eof_error_tx(t, pos);
+      bump_eof_rel();  // end-game positions continue past the detection bit
+      return;
+    }
+    if (pos == cfg_.protocol.eof_bits() - 1) {
+      // Frame valid for the transmitter: no error through the end of EOF.
+      tx_success(t, "clean EOF");
+      enter_intermission();
+      return;
+    }
+    txe_.advance();
+    return;
+  }
+
+  if (phase == TxPhase::AckSlot) {
+    if (is_dominant(view)) {
+      ack_seen_ = true;
+    } else {
+      tx_error(t, AfterFlag::Delimiter, "ACK error");
+      bump_eof_rel();
+      return;
+    }
+    txe_.advance();
+    return;
+  }
+
+  if (view != sent) {
+    if ((phase == TxPhase::Arbitration || phase == TxPhase::Sof) &&
+        is_recessive(sent) && is_dominant(view)) {
+      // Lost arbitration: back off and continue receiving; the frame stays
+      // queued and is retried once the bus is free.
+      txe_.abort();
+      tx_role_ = false;
+      tx_in_flight_ = false;
+      st_ = rx_.done() ? St::RxTail : St::Rx;
+      tail_pos_ = 0;
+      emit(t, EventKind::ArbitrationLost);
+      return;
+    }
+    tx_error(t, AfterFlag::Delimiter, "bit error in " + to_string(phase));
+    bump_eof_rel();
+    return;
+  }
+
+  txe_.advance();
+}
+
+void CanController::handle_eof_error_tx(BitTime t, int pos) {
+  const ProtocolParams& p = cfg_.protocol;
+  const int last = p.eof_bits() - 1;
+
+  switch (p.variant) {
+    case Variant::StandardCan:
+      // A transmitter handles an error in the last EOF bit like any other:
+      // flag and retransmit (the asymmetry at the root of Fig. 1b/1c).
+      tx_error(t, AfterFlag::Delimiter, at_eof(pos) + " (tx)");
+      return;
+
+    case Variant::MinorCan:
+      if (pos < last) {
+        tx_error(t, AfterFlag::Delimiter, at_eof(pos) + " (tx)");
+      } else {
+        // Defer the verdict to the Primary_error observation.
+        emit(t, EventKind::ErrorDetected, at_eof(pos) + " (tx, last bit)");
+        txe_.abort();
+        start_error_flag(t, AfterFlag::MinorCheck, "last-EOF-bit flag");
+      }
+      return;
+
+    case Variant::MajorCan:
+      txe_.abort();
+      if (pos <= p.first_subfield_last()) {
+        // First sub-field: someone may have rejected; flag then vote.
+        emit(t, EventKind::ErrorDetected, at_eof(pos) + " (tx, 1st sub-field)");
+        samples_dom_ = 0;
+        samples_seen_ = 0;
+        start_error_flag(t, AfterFlag::MajorSample, "first-sub-field flag");
+      } else {
+        // Second sub-field: the first detector is already sampling; accept
+        // and notify with the extended flag.
+        emit(t, EventKind::ErrorDetected, at_eof(pos) + " (tx, 2nd sub-field)");
+        tx_success(t, "second sub-field acceptance");
+        st_ = St::ExtFlag;
+        emit(t, EventKind::ExtendedFlagStart, at_eof(pos));
+      }
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// receiver path
+// ---------------------------------------------------------------------------
+
+void CanController::handle_rx_body_bit(BitTime t, Level view) {
+  switch (rx_.push(view)) {
+    case RxParser::Status::InBody:
+      return;
+    case RxParser::Status::StuffError:
+      rx_error(t, AfterFlag::Delimiter, "stuff error");
+      return;
+    case RxParser::Status::FormError:
+      rx_error(t, AfterFlag::Delimiter, "form error in body");
+      return;
+    case RxParser::Status::BodyDone:
+      have_rx_frame_ = true;
+      crc_failed_ = !rx_.crc_ok();
+      will_ack_ = rx_.crc_ok() && cfg_.ack_enabled;
+      st_ = St::RxTail;
+      tail_pos_ = 0;
+      eof_rel_ = -3;  // next bit is the CRC delimiter
+      return;
+  }
+}
+
+void CanController::handle_rx_tail_bit(BitTime t, Level view) {
+  switch (tail_pos_) {
+    case 0:  // CRC delimiter, fixed recessive
+      if (is_dominant(view)) {
+        rx_error(t, AfterFlag::Delimiter, "form error at CRC delimiter");
+        bump_eof_rel();
+        return;
+      }
+      tail_pos_ = 1;
+      bump_eof_rel();
+      return;
+    case 1:  // ACK slot: no receiver-side error condition
+      if (will_ack_) emit(t, EventKind::AckSent);
+      tail_pos_ = 2;
+      bump_eof_rel();
+      return;
+    case 2:  // ACK delimiter, fixed recessive
+      if (is_dominant(view)) {
+        rx_error(t, AfterFlag::Delimiter, "form error at ACK delimiter");
+        bump_eof_rel();
+        return;
+      }
+      if (crc_failed_) {
+        // ISO 11898: the CRC-error flag starts at the bit following the ACK
+        // delimiter — the first bit of EOF.  In MajorCAN this node must
+        // never accept, so no sampling follows (Fig. 4, first row).
+        rx_error(t, AfterFlag::Delimiter, "CRC error");
+        bump_eof_rel();
+        return;
+      }
+      st_ = St::RxEof;
+      eof_rel_ = 0;
+      return;
+    default:
+      assert(false);
+  }
+}
+
+void CanController::handle_rx_eof_bit(BitTime t, Level view) {
+  const int pos = eof_rel_;
+  if (is_dominant(view)) {
+    handle_eof_error_rx(t, pos);
+    bump_eof_rel();
+    return;
+  }
+  if (pos == cfg_.protocol.eof_bits() - 1) {
+    accept_frame(t, "clean EOF");
+    enter_intermission();
+    return;
+  }
+  bump_eof_rel();
+}
+
+void CanController::handle_eof_error_rx(BitTime t, int pos) {
+  const ProtocolParams& p = cfg_.protocol;
+  const int last = p.eof_bits() - 1;
+
+  switch (p.variant) {
+    case Variant::StandardCan:
+      if (pos < last) {
+        rx_error(t, AfterFlag::Delimiter, at_eof(pos) + " (rx)");
+      } else {
+        // The last-bit rule: accept and signal an overload condition.
+        emit(t, EventKind::ErrorDetected, at_eof(pos) + " (rx, last bit)");
+        accept_frame(t, "last-EOF-bit rule");
+        start_overload_flag(t, "last-EOF-bit overload");
+      }
+      return;
+
+    case Variant::MinorCan:
+      if (pos < last) {
+        rx_error(t, AfterFlag::Delimiter, at_eof(pos) + " (rx)");
+      } else {
+        emit(t, EventKind::ErrorDetected, at_eof(pos) + " (rx, last bit)");
+        start_error_flag(t, AfterFlag::MinorCheck, "last-EOF-bit flag");
+      }
+      return;
+
+    case Variant::MajorCan:
+      if (pos <= p.first_subfield_last()) {
+        emit(t, EventKind::ErrorDetected, at_eof(pos) + " (rx, 1st sub-field)");
+        samples_dom_ = 0;
+        samples_seen_ = 0;
+        start_error_flag(t, AfterFlag::MajorSample, "first-sub-field flag");
+      } else {
+        emit(t, EventKind::ErrorDetected, at_eof(pos) + " (rx, 2nd sub-field)");
+        accept_frame(t, "second sub-field acceptance");
+        st_ = St::ExtFlag;
+        emit(t, EventKind::ExtendedFlagStart, at_eof(pos));
+      }
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// flags, delimiters, end-game
+// ---------------------------------------------------------------------------
+
+void CanController::handle_flag_bit(BitTime, Level /*view*/) {
+  // While transmitting a flag the node does not evaluate new errors.
+  ++flag_sent_;
+  bump_eof_rel();
+  if (flag_sent_ >= ProtocolParams::flag_bits()) after_own_flag();
+}
+
+void CanController::handle_delim_wait_bit(BitTime t, Level view) {
+  const bool first = delim_first_bit_;
+  delim_first_bit_ = false;
+
+  if (first && after_flag_ == AfterFlag::MinorCheck) {
+    // MinorCAN verdict: a dominant bit right after our own flag means we
+    // were the first detector (Primary_error) — nobody rejected before us,
+    // so we must not either.
+    if (is_dominant(view)) {
+      if (tx_role_) {
+        tx_success(t, "Primary_error: first detector");
+      } else {
+        accept_frame(t, "Primary_error: first detector");
+      }
+    } else {
+      if (tx_role_) {
+        fc_.on_tx_error();
+        tx_rejected(t, "not primary: another node rejected first");
+      } else {
+        fc_.on_rx_error();
+        reject_frame(t, "not primary: another node rejected first");
+      }
+    }
+    after_flag_ = AfterFlag::Delimiter;
+  } else if (first && is_dominant(view) && !tx_role_ && !delim_is_overload_) {
+    // Dominant right after our error flag: we signalled a primary error.
+    fc_.on_rx_primary_error();
+  }
+
+  bump_eof_rel();
+
+  if (is_dominant(view)) {
+    // ISO 11898: after the 8th consecutive dominant bit following an error
+    // (or overload) flag, and after each further sequence of 8, the
+    // counters increase by 8 — this is how a stuck-dominant medium drives
+    // its nodes towards passive/bus-off instead of hanging them silently.
+    if (++delim_dom_run_ % 8 == 0) {
+      if (tx_role_) {
+        fc_.on_tx_error();
+      } else {
+        fc_.on_rx_primary_error();  // +8 on the receive counter
+      }
+      emit(t, EventKind::ErrorDetected,
+           "8 consecutive dominant bits after flag");
+    }
+    return;
+  }
+
+  delim_dom_run_ = 0;
+  if (is_recessive(view)) {
+    st_ = St::Delim;
+    delim_seen_ = 1;
+    delim_fixed_ = false;
+    // Under the ablation delimiter modes, MajorCAN flag delimiters count
+    // convergently (reset on dominant, no re-flagging).
+    delim_convergent_ =
+        is_major() && cfg_.protocol.delimiter != DelimiterMode::FixedEndGame;
+  }
+}
+
+void CanController::handle_delim_bit(BitTime t, Level view) {
+  const int total = cfg_.protocol.error_delim_total();
+
+  bump_eof_rel();
+
+  if (delim_fixed_) {
+    // MajorCAN end-game participants: all of them left the end-game on the
+    // same bit (position 3m+4), so a fixed, content-ignoring count of 2m+1
+    // bits keeps them bit-synchronised and immune to view disturbances —
+    // the second-error suppression of §5 extended through the delimiter.
+    if (++delim_seen_ >= total) {
+      delim_fixed_ = false;
+      enter_intermission();
+    }
+    return;
+  }
+
+  if (delim_convergent_) {
+    // Ablation delimiter (ConvergentCount / EagerCount): count consecutive
+    // recessive bits, restarting on any dominant one, never re-flagging.
+    if (is_recessive(view)) {
+      if (++delim_seen_ >= total) {
+        delim_convergent_ = false;
+        enter_intermission();
+      }
+    } else {
+      delim_seen_ = 0;
+    }
+    return;
+  }
+
+  if (is_recessive(view)) {
+    if (++delim_seen_ >= total) enter_intermission();
+    return;
+  }
+  // Dominant inside the delimiter.
+  if (delim_seen_ == total - 1) {
+    // Last delimiter bit: overload condition (ISO 11898).
+    start_overload_flag(t, "dominant at last delimiter bit");
+    return;
+  }
+  // Form error in the delimiter: signal again.
+  if (tx_role_) {
+    fc_.on_tx_error();
+  } else {
+    fc_.on_rx_error();
+  }
+  emit(t, EventKind::ErrorDetected, "form error in delimiter");
+  start_error_flag(t, AfterFlag::Delimiter, "delimiter form error");
+}
+
+void CanController::handle_sampling_bit(BitTime t, Level view) {
+  const ProtocolParams& p = cfg_.protocol;
+  const int pos = eof_rel_;
+
+  if (!p.suppress_second_errors && is_dominant(view) &&
+      pos < p.sample_begin()) {
+    // Ablation: without §5's second-error suppression, a dominant bit in
+    // the gap before the window is answered with a fresh error flag —
+    // which destroys the agreement the end-game was establishing.
+    if (tx_role_) {
+      tx_error(t, AfterFlag::Delimiter, "second error during end-game");
+    } else {
+      rx_error(t, AfterFlag::Delimiter, "second error during end-game");
+    }
+    bump_eof_rel();
+    return;
+  }
+
+  if (vote_enabled_ && pos >= p.sample_begin() && pos <= p.sample_end()) {
+    ++samples_seen_;
+    if (is_dominant(view)) ++samples_dom_;
+  }
+  // Dominant bits outside the window are deliberately ignored: a second
+  // error during the end-game must not start a new flag (paper §5).
+
+  bump_eof_rel();
+  if (pos >= p.sample_end()) {
+    if (vote_enabled_) {
+      conclude_sampling(t);
+    }
+    st_ = St::Delim;
+    delim_seen_ = 0;
+    delim_fixed_ = p.delimiter == DelimiterMode::FixedEndGame;
+    delim_convergent_ = !delim_fixed_;
+  }
+}
+
+void CanController::conclude_sampling(BitTime t) {
+  const ProtocolParams& p = cfg_.protocol;
+  const bool accept = samples_dom_ >= p.majority();
+  emit(t, EventKind::SamplingDecision,
+       (accept ? "accept: " : "reject: ") + std::to_string(samples_dom_) +
+           "/" + std::to_string(samples_seen_) + " dominant");
+
+  if (accept) {
+    if (tx_role_) {
+      tx_success(t, "majority vote");
+    } else {
+      accept_frame(t, "majority vote");
+    }
+  } else {
+    if (tx_role_) {
+      fc_.on_tx_error();
+      tx_rejected(t, "majority vote");
+    } else {
+      fc_.on_rx_error();
+      reject_frame(t, "majority vote");
+    }
+  }
+}
+
+void CanController::handle_ext_flag_bit(BitTime, Level /*view*/) {
+  const int pos = eof_rel_;
+  bump_eof_rel();
+  if (pos >= cfg_.protocol.sample_end()) {
+    st_ = St::Delim;
+    delim_seen_ = 0;
+    delim_fixed_ = cfg_.protocol.delimiter == DelimiterMode::FixedEndGame;
+    delim_convergent_ = !delim_fixed_;
+  }
+}
+
+void CanController::handle_intermission_bit(BitTime t, Level view) {
+  if (is_dominant(view)) {
+    if (interm_pos_ <= 1) {
+      start_overload_flag(t, "dominant at intermission bit " +
+                                 std::to_string(interm_pos_ + 1));
+    } else {
+      // Third intermission bit: interpreted as a start of frame.
+      start_reception(t, view);
+    }
+    return;
+  }
+  if (++interm_pos_ >= kIntermissionBits) {
+    if (suspend_left_ > 0 && fc_.error_passive()) {
+      st_ = St::Suspend;
+    } else {
+      suspend_left_ = 0;
+      become_idle();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// introspection
+// ---------------------------------------------------------------------------
+
+NodeBitInfo CanController::bit_info() const {
+  NodeBitInfo info;
+  info.frame_index = frame_index_;
+  info.transmitter = tx_role_;
+  info.eof_rel = eof_rel_ == kNoEofRel ? -1 : eof_rel_;
+
+  switch (st_) {
+    case St::Idle:
+      info.seg = Seg::Idle;
+      break;
+    case St::Intermission:
+      info.seg = Seg::Intermission;
+      info.index = interm_pos_;
+      break;
+    case St::BusOffWait:
+      info.seg = Seg::Off;
+      info.index = recovery_runs_;
+      break;
+    case St::Suspend:
+      info.seg = Seg::Suspend;
+      info.index = suspend_left_;
+      break;
+    case St::Tx:
+      switch (txe_.current().phase) {
+        case TxPhase::Eof:
+          info.seg = Seg::Eof;
+          info.index = txe_.eof_index();
+          info.eof_rel = info.index;
+          break;
+        case TxPhase::CrcDelim:
+        case TxPhase::AckSlot:
+        case TxPhase::AckDelim:
+          info.seg = Seg::Tail;
+          info.index =
+              txe_.current().phase == TxPhase::CrcDelim
+                  ? 0
+                  : (txe_.current().phase == TxPhase::AckSlot ? 1 : 2);
+          break;
+        default:
+          info.seg = Seg::Body;
+          info.index = txe_.position();
+          break;
+      }
+      break;
+    case St::Rx:
+      info.seg = Seg::Body;
+      info.index = rx_.bits_consumed();
+      break;
+    case St::RxTail:
+      info.seg = Seg::Tail;
+      info.index = tail_pos_;
+      break;
+    case St::RxEof:
+      info.seg = Seg::Eof;
+      info.index = eof_rel_;
+      break;
+    case St::ErrorFlag:
+      info.seg = Seg::ErrorFlag;
+      info.index = flag_sent_;
+      break;
+    case St::PassiveFlag:
+      info.seg = Seg::PassiveFlag;
+      info.index = passive_run_;
+      break;
+    case St::OverloadFlag:
+      info.seg = Seg::OverloadFlag;
+      info.index = flag_sent_;
+      break;
+    case St::DelimWait:
+      info.seg =
+          delim_is_overload_ ? Seg::OverloadDelimWait : Seg::ErrorDelimWait;
+      break;
+    case St::Delim:
+      info.seg = delim_is_overload_ ? Seg::OverloadDelim : Seg::ErrorDelim;
+      info.index = delim_seen_;
+      break;
+    case St::Sampling:
+      info.seg = Seg::Sampling;
+      info.index = eof_rel_ == kNoEofRel ? 0 : eof_rel_;
+      break;
+    case St::ExtFlag:
+      info.seg = Seg::ExtFlag;
+      info.index = eof_rel_ == kNoEofRel ? 0 : eof_rel_;
+      break;
+  }
+  return info;
+}
+
+}  // namespace mcan

@@ -1,0 +1,240 @@
+// The CAN / MinorCAN / MajorCAN controller: a bit-level protocol FSM
+// implementing ISO 11898 medium access, error detection and signalling,
+// fault confinement, and — selected by ProtocolParams — one of the three
+// frame end-game rules the paper studies:
+//
+//   * StandardCan: a receiver seeing a dominant level at the *last* EOF bit
+//     accepts the frame and signals an overload condition; the transmitter
+//     treats the same observation as an error and retransmits.  This
+//     asymmetry is the root of double reception (Fig. 1b) and of the
+//     inconsistent-message-omission scenarios (Fig. 1c, Fig. 3a).
+//   * MinorCan (§3): both roles flag the last-bit error and then decide by
+//     the Primary_error observation — a dominant bit right after one's own
+//     flag means the node was the *first* detector (nobody rejected before
+//     it) so it accepts; a recessive bit means it was reacting to someone
+//     else's flag, so it rejects.
+//   * MajorCan (§5): a 2m-bit EOF in two sub-fields.  Detection in the
+//     first sub-field => 6-bit flag + majority vote over the 2m-1 sampled
+//     bits at EOF-relative positions [m+6, 3m+4] (0-based).  Detection in
+//     the second sub-field => accept + extended error flag up to position
+//     3m+4.  Errors detected during the end-game are never answered with a
+//     new flag (second-error suppression), and the delimiter is 2m+1
+//     consecutive recessive bits re-counted from scratch after any dominant
+//     one, which makes all nodes reconverge at the same bit.
+//
+// One instance is one node.  The host (application or a higher-level
+// protocol such as EDCAN/RELCAN/TOTCAN) talks to it through enqueue() and
+// the delivery / tx-done callbacks; the simulator drives it through the
+// BusParticipant interface.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "node/fault_confinement.hpp"
+#include "node/rx_parser.hpp"
+#include "node/tx_engine.hpp"
+#include "sim/bus.hpp"
+#include "sim/event.hpp"
+
+namespace mcan {
+
+struct ControllerConfig {
+  NodeId id = 0;
+  ProtocolParams protocol;
+  FaultConfinementConfig fc;
+  bool ack_enabled = true;      ///< drive the ACK slot for correct frames
+  bool auto_retransmit = true;  ///< retransmit rejected frames automatically
+  /// ISO 11898 bus-off recovery: rejoin after observing 128 sequences of
+  /// 11 consecutive recessive bits.  Off by default: the paper assumes
+  /// fail-silent nodes, so a bus-off node stays off.
+  bool busoff_auto_recovery = false;
+};
+
+class CanController final : public BusParticipant {
+ public:
+  using DeliveryHandler = std::function<void(const Frame&, BitTime)>;
+  using TxDoneHandler = std::function<void(const Frame&, BitTime)>;
+
+  CanController(ControllerConfig cfg, EventLog& log);
+
+  // ---- host API ----
+
+  /// Queue a frame for transmission (FIFO per node; inter-node priority is
+  /// resolved by bus arbitration on the identifier).
+  void enqueue(const Frame& f);
+
+  /// Supersede a queued frame carrying the same identifier with fresher
+  /// content (periodic state messages).  The frame currently on the wire
+  /// is never touched.  Returns true if a queued frame was replaced.
+  bool replace_pending(const Frame& f);
+
+  /// Called on every frame this node accepts (delivers).  Duplicates are
+  /// delivered as duplicates — exactly what the CAN3 at-least-once property
+  /// says; deduplication is a host concern.  Several observers may listen
+  /// (e.g. the link-level journal plus a higher-level protocol host).
+  void add_delivery_handler(DeliveryHandler h) {
+    on_deliver_.push_back(std::move(h));
+  }
+
+  /// Called when this node, as transmitter, considers a frame successfully
+  /// broadcast (used by RELCAN/TOTCAN to trigger CONFIRM/ACCEPT).
+  void add_tx_done_handler(TxDoneHandler h) {
+    on_tx_done_.push_back(std::move(h));
+  }
+
+  [[nodiscard]] std::size_t pending_tx() const;
+  [[nodiscard]] bool bus_idle() const { return st_ == St::Idle; }
+  [[nodiscard]] int tec() const { return fc_.tec(); }
+  [[nodiscard]] int rec() const { return fc_.rec(); }
+  [[nodiscard]] FcState fc_state() const { return fc_.state(); }
+  [[nodiscard]] const ProtocolParams& protocol() const { return cfg_.protocol; }
+
+  /// Scenario/test hook: preload error counters (e.g. "node is already
+  /// error-passive", paper §2).
+  void force_error_counters(int tec, int rec) { fc_.force_counters(tec, rec); }
+
+  // ---- BusParticipant ----
+
+  [[nodiscard]] Level drive(BitTime t) override;
+  void sample(BitTime t, Level view) override;
+  [[nodiscard]] NodeBitInfo bit_info() const override;
+  [[nodiscard]] NodeId id() const override { return cfg_.id; }
+  [[nodiscard]] bool active() const override {
+    if (fc_.state() == FcState::BusOff && cfg_.busoff_auto_recovery) {
+      return true;  // stays on the bus, silently counting towards recovery
+    }
+    return !fc_.off();
+  }
+
+ private:
+  enum class St : std::uint8_t {
+    Idle,
+    Intermission,
+    BusOffWait,     ///< counting recessive sequences towards recovery
+    Suspend,        ///< error-passive transmitter back-off (8 bits)
+    Tx,             ///< pumping the TxEngine (body + tail + EOF)
+    Rx,             ///< parser consuming the stuffed body
+    RxTail,         ///< CRC delimiter / ACK slot / ACK delimiter
+    RxEof,          ///< receiver inside the EOF field
+    ErrorFlag,      ///< 6 dominant bits
+    PassiveFlag,    ///< 6 equal bits observed, driving recessive
+    OverloadFlag,   ///< 6 dominant bits, no frame rejection implied
+    DelimWait,      ///< flag sent; waiting to see a recessive bit
+    Delim,          ///< counting delimiter recessive bits
+    Sampling,       ///< MajorCAN: gap + majority-vote window
+    ExtFlag,        ///< MajorCAN: extended acceptance-notification flag
+  };
+
+  /// What to do once an error/overload flag has been fully transmitted.
+  enum class AfterFlag : std::uint8_t {
+    Delimiter,      ///< normal: wait for recessive, count delimiter
+    MinorCheck,     ///< MinorCAN: decide accept/reject on the next bit
+    MajorSample,    ///< MajorCAN: enter the sampling window
+  };
+
+  /// Sentinel for "no EOF-relative anchor"; real values run from -3 (CRC
+  /// delimiter) through the MajorCAN end-game positions.
+  static constexpr int kNoEofRel = -1000;
+
+  // --- helpers ---
+  void start_transmission(BitTime t);
+  void start_reception(BitTime t, Level first_bit);
+  void become_idle();
+  void enter_intermission();
+  void bump_eof_rel();
+  void after_own_flag();
+  void start_error_flag(BitTime t, AfterFlag next, const std::string& why);
+  void start_overload_flag(BitTime t, const std::string& why);
+
+  void rx_error(BitTime t, AfterFlag next, const std::string& why);
+  void tx_error(BitTime t, AfterFlag next, const std::string& why);
+
+  void accept_frame(BitTime t, const char* how);
+  void reject_frame(BitTime t, const char* why);
+  void tx_success(BitTime t, const char* how);
+  void tx_rejected(BitTime t, const char* why);
+
+  void handle_tx_bit(BitTime t, Level sent, Level view);
+  void handle_rx_body_bit(BitTime t, Level view);
+  void handle_rx_tail_bit(BitTime t, Level view);
+  void handle_rx_eof_bit(BitTime t, Level view);
+  void handle_eof_error_rx(BitTime t, int pos);
+  void handle_eof_error_tx(BitTime t, int pos);
+  void handle_flag_bit(BitTime t, Level view);
+  void handle_delim_wait_bit(BitTime t, Level view);
+  void handle_delim_bit(BitTime t, Level view);
+  void handle_sampling_bit(BitTime t, Level view);
+  void handle_ext_flag_bit(BitTime t, Level view);
+  void handle_intermission_bit(BitTime t, Level view);
+
+  void conclude_sampling(BitTime t);
+
+  /// Emit state-change events and react to fault-confinement transitions
+  /// (bus-off entry, recovery start); called once per sampled bit.
+  void note_fc_state(BitTime t);
+
+  void emit(BitTime t, EventKind kind, std::string detail = {},
+            std::optional<Frame> frame = std::nullopt);
+
+  [[nodiscard]] bool is_major() const {
+    return cfg_.protocol.variant == Variant::MajorCan;
+  }
+  [[nodiscard]] bool is_minor() const {
+    return cfg_.protocol.variant == Variant::MinorCan;
+  }
+
+  // --- configuration & collaborators ---
+  ControllerConfig cfg_;
+  EventLog* log_;
+  std::vector<DeliveryHandler> on_deliver_;
+  std::vector<TxDoneHandler> on_tx_done_;
+
+  FaultConfinement fc_;
+  RxParser rx_;
+  TxEngine txe_;
+  std::deque<Frame> queue_;
+
+  // --- FSM state ---
+  St st_ = St::Idle;
+  bool tx_role_ = false;        ///< this node transmitted the current frame
+  bool tx_in_flight_ = false;   ///< a frame attempt is unresolved
+  int tail_pos_ = 0;            ///< 0 = CRC delim, 1 = ACK slot, 2 = ACK delim
+  int eof_rel_ = kNoEofRel;     ///< 0-based position relative to EOF start
+  int flag_sent_ = 0;           ///< dominant flag bits transmitted so far
+  int delim_seen_ = 0;          ///< delimiter recessive bits counted
+  int interm_pos_ = 0;
+  int suspend_left_ = 0;
+  bool crc_failed_ = false;     ///< receiver: CRC mismatch pending signalling
+  bool ack_seen_ = false;       ///< transmitter: dominant in the ACK slot
+  bool will_ack_ = false;       ///< receiver: drive ACK slot dominant
+  AfterFlag after_flag_ = AfterFlag::Delimiter;
+  bool delim_first_bit_ = false;   ///< next DelimWait bit is the first after our flag
+  bool delim_is_overload_ = false; ///< delimiter follows an overload flag
+  bool delim_fixed_ = false;       ///< MajorCAN post-end-game fixed-length delimiter
+  bool delim_convergent_ = false;  ///< ablation: reset-on-dominant counting
+  int delim_dom_run_ = 0;          ///< consecutive dominants after own flag
+  int frame_index_ = -1;           ///< frames started on the bus, 0-based
+
+  // passive flag progress
+  int passive_run_ = 0;
+  Level passive_last_ = Level::Recessive;
+
+  // fault-confinement bookkeeping
+  FcState last_fc_state_ = FcState::ErrorActive;
+  int recovery_runs_ = 0;  ///< completed 11-recessive sequences
+  int recovery_run_ = 0;   ///< current consecutive recessive count
+
+  // MajorCAN end-game
+  int samples_dom_ = 0;
+  int samples_seen_ = 0;
+  bool vote_enabled_ = false;  ///< Sampling state carries a pending verdict
+
+  // deferred decision bookkeeping
+  bool have_rx_frame_ = false;  ///< rx_ holds a complete body for this frame
+};
+
+}  // namespace mcan

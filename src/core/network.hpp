@@ -1,0 +1,69 @@
+// Convenience assembly of a complete simulated bus: N controllers of one
+// protocol variant, an event log, a trace recorder and the simulator,
+// wired together with per-node delivery journals.  This is the entry point
+// most examples, tests and benches use.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace mcan {
+
+/// One recorded delivery at one node.
+struct Delivery {
+  Frame frame;
+  BitTime t = 0;
+};
+
+class Network {
+ public:
+  /// Build `n` nodes (ids 0..n-1) speaking `protocol`.
+  Network(int n, const ProtocolParams& protocol,
+          const FaultConfinementConfig& fc = {});
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] CanController& node(int i) { return *nodes_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] const CanController& node(int i) const {
+    return *nodes_.at(static_cast<std::size_t>(i));
+  }
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] const Simulator& sim() const { return sim_; }
+  [[nodiscard]] EventLog& log() { return log_; }
+  [[nodiscard]] TraceRecorder& trace() { return trace_; }
+
+  /// Frames delivered at node `i`, in delivery order.
+  [[nodiscard]] const std::vector<Delivery>& deliveries(int i) const {
+    return deliveries_.at(static_cast<std::size_t>(i));
+  }
+
+  /// Enable per-bit trace recording (off by default: it is memory-hungry).
+  void enable_trace();
+
+  /// Install a fault injector for the whole bus.
+  void set_injector(FaultInjector& inj) { sim_.set_injector(inj); }
+
+  /// Run until every live node is idle with nothing queued, or `max_bits`.
+  /// Returns true if the bus quiesced.
+  bool run_until_quiet(BitTime max_bits = 100000);
+
+  /// Node labels ("tx 0", "rx 1", ...) for the trace renderer.
+  [[nodiscard]] std::vector<std::string> labels() const;
+
+ private:
+  EventLog log_;
+  TraceRecorder trace_;
+  Simulator sim_;
+  std::vector<std::unique_ptr<CanController>> nodes_;
+  std::vector<std::vector<Delivery>> deliveries_;
+};
+
+}  // namespace mcan

@@ -1,0 +1,72 @@
+#include "core/protocol.hpp"
+
+#include <stdexcept>
+
+#include "frame/layout.hpp"
+
+namespace mcan {
+
+const char* delimiter_mode_name(DelimiterMode m) {
+  switch (m) {
+    case DelimiterMode::FixedEndGame: return "fixed-end-game";
+    case DelimiterMode::ConvergentCount: return "convergent-count";
+    case DelimiterMode::EagerCount: return "eager-count";
+  }
+  return "?";
+}
+
+const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::StandardCan: return "CAN";
+    case Variant::MinorCan: return "MinorCAN";
+    case Variant::MajorCan: return "MajorCAN";
+  }
+  return "?";
+}
+
+ProtocolParams ProtocolParams::standard_can() {
+  return ProtocolParams{Variant::StandardCan, 5};
+}
+
+ProtocolParams ProtocolParams::minor_can() {
+  return ProtocolParams{Variant::MinorCan, 5};
+}
+
+ProtocolParams ProtocolParams::major_can(int m) {
+  ProtocolParams p{Variant::MajorCan, m};
+  p.validate();
+  return p;
+}
+
+void ProtocolParams::validate() const {
+  if (variant == Variant::MajorCan && m < 3) {
+    throw std::invalid_argument(
+        "MajorCAN requires m >= 3: with 2 errors the Fig. 3a scenario "
+        "defeats any smaller tolerance (paper, section 5)");
+  }
+}
+
+int ProtocolParams::eof_bits() const {
+  return variant == Variant::MajorCan ? majorcan_eof_bits(m) : kStandardEofBits;
+}
+
+int ProtocolParams::error_delim_total() const {
+  return variant == Variant::MajorCan ? 2 * m + 1 : 8;
+}
+
+int ProtocolParams::best_case_overhead_bits() const {
+  return variant == Variant::MajorCan ? 2 * m - 7 : 0;
+}
+
+int ProtocolParams::worst_case_overhead_bits() const {
+  return variant == Variant::MajorCan ? 4 * m - 9 : 0;
+}
+
+std::string ProtocolParams::name() const {
+  if (variant == Variant::MajorCan) {
+    return "MajorCAN_" + std::to_string(m);
+  }
+  return variant_name(variant);
+}
+
+}  // namespace mcan

@@ -1,0 +1,53 @@
+#include "fault/burst_faults.hpp"
+
+namespace mcan {
+
+double BurstParams::average_rate() const {
+  // Stationary probability of the Bad state.
+  const double denom = p_good_to_bad + p_bad_to_good;
+  const double pi_bad = denom > 0 ? p_good_to_bad / denom : 0.0;
+  return pi_bad * flip_bad + (1.0 - pi_bad) * flip_good;
+}
+
+BurstFaults::BurstFaults(BurstParams params, Rng rng)
+    : params_(params), master_(rng) {
+  global_.rng = master_.split(0);
+}
+
+bool BurstFaults::step_channel(Channel& ch, BitTime t) {
+  // Advance the Markov chain once per bit time (channels are polled once
+  // per node per bit; only the first poll of a bit advances the state).
+  if (ch.last_t != t) {
+    ch.last_t = t;
+    if (ch.bad) {
+      if (ch.rng.chance(params_.p_bad_to_good)) ch.bad = false;
+    } else {
+      if (ch.rng.chance(params_.p_good_to_bad)) {
+        ch.bad = true;
+        ++bursts_;
+      }
+    }
+  }
+  const double p = ch.bad ? params_.flip_bad : params_.flip_good;
+  if (ch.rng.chance(p)) {
+    ++injected_;
+    return true;
+  }
+  return false;
+}
+
+bool BurstFaults::flips(NodeId node, BitTime t, const NodeBitInfo&, Level) {
+  if (params_.bus_global) {
+    return step_channel(global_, t);
+  }
+  if (per_node_.size() <= node) {
+    const auto old = per_node_.size();
+    per_node_.resize(node + 1);
+    for (std::size_t i = old; i < per_node_.size(); ++i) {
+      per_node_[i].rng = master_.split(i + 1);
+    }
+  }
+  return step_channel(per_node_[node], t);
+}
+
+}  // namespace mcan

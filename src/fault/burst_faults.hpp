@@ -1,0 +1,62 @@
+// Bursty channel disturbances: a two-state Gilbert-Elliott model per bus.
+//
+// The paper (following Charzinski) assumes errors *randomly distributed*
+// over nodes and bits — that is what ber* and the "up to m per frame"
+// budget mean.  Real EMI on a harness is bursty: quiet for long stretches,
+// then several corrupted bits in a row.  This injector makes that regime
+// testable: in the Good state bits flip with a small probability, in the
+// Bad state with a large one; state transitions follow the classic
+// two-state Markov chain.  Bursts can be bus-global (all nodes disturbed
+// together, e.g. common-mode EMI) or drawn per node.
+#pragma once
+
+#include <vector>
+
+#include "sim/injector.hpp"
+#include "util/rng.hpp"
+
+namespace mcan {
+
+struct BurstParams {
+  double p_good_to_bad = 1e-4;  ///< per bit
+  double p_bad_to_good = 0.2;   ///< per bit => mean burst length 5 bits
+  double flip_good = 0.0;       ///< flip probability in the Good state
+  double flip_bad = 0.3;        ///< flip probability in the Bad state
+  /// One channel state for the whole bus: burst *timing* is common-mode
+  /// (EMI hits everyone at once) while each node's view still flips
+  /// independently within the burst.  false = fully independent per-node
+  /// channels.
+  bool bus_global = true;
+
+  /// Long-run average flip probability (per node view bit).
+  [[nodiscard]] double average_rate() const;
+};
+
+class BurstFaults final : public FaultInjector {
+ public:
+  BurstFaults(BurstParams params, Rng rng);
+
+  [[nodiscard]] bool flips(NodeId node, BitTime t, const NodeBitInfo& info,
+                           Level bus) override;
+
+  [[nodiscard]] long long injected() const { return injected_; }
+  [[nodiscard]] long long bursts() const { return bursts_; }
+
+ private:
+  struct Channel {
+    bool bad = false;
+    BitTime last_t = kNoTime;
+    Rng rng{0, 0};
+  };
+
+  bool step_channel(Channel& ch, BitTime t);
+
+  BurstParams params_;
+  Rng master_;
+  Channel global_;
+  std::vector<Channel> per_node_;
+  long long injected_ = 0;
+  long long bursts_ = 0;
+};
+
+}  // namespace mcan

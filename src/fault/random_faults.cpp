@@ -1,0 +1,19 @@
+#include "fault/random_faults.hpp"
+
+namespace mcan {
+
+bool RandomFaults::flips(NodeId /*node*/, BitTime /*t*/,
+                         const NodeBitInfo& info, Level /*bus*/) {
+  if (frames_only_ &&
+      (info.seg == Seg::Idle || info.seg == Seg::Intermission ||
+       info.seg == Seg::Off)) {
+    return false;
+  }
+  if (rng_.chance(ber_star_)) {
+    ++injected_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace mcan

@@ -1,0 +1,37 @@
+// Random fault injection following the paper's probabilistic error model:
+// every node's view of every bit is independently flipped with probability
+// ber* = ber / N (Charzinski's p_eff = 1/N spatial distribution, paper §4).
+#pragma once
+
+#include "sim/injector.hpp"
+#include "util/rng.hpp"
+
+namespace mcan {
+
+class RandomFaults final : public FaultInjector {
+ public:
+  /// `ber_star` — per-node per-bit flip probability.
+  RandomFaults(double ber_star, Rng rng)
+      : ber_star_(ber_star), rng_(rng) {}
+
+  [[nodiscard]] bool flips(NodeId node, BitTime t, const NodeBitInfo& info,
+                           Level bus) override;
+
+  /// Restrict injection to bits where the node is *inside a frame* (any
+  /// non-idle, non-intermission segment).  Useful to relate error counts to
+  /// "errors per frame" in campaigns.
+  void set_frames_only(bool v) { frames_only_ = v; }
+
+  /// Change the flip rate mid-run (campaigns drain the bus with rate 0).
+  void set_rate(double ber_star) { ber_star_ = ber_star; }
+
+  [[nodiscard]] long long injected() const { return injected_; }
+
+ private:
+  double ber_star_;
+  Rng rng_;
+  bool frames_only_ = false;
+  long long injected_ = 0;
+};
+
+}  // namespace mcan

@@ -1,0 +1,58 @@
+#include "fault/scripted.hpp"
+
+namespace mcan {
+
+FaultTarget FaultTarget::eof_bit(NodeId node, int eof_pos, int frame_index) {
+  FaultTarget t;
+  t.node = node;
+  t.seg = Seg::Eof;
+  t.index = eof_pos;
+  t.frame_index = frame_index;
+  return t;
+}
+
+FaultTarget FaultTarget::eof_relative(NodeId node, int pos, int frame_index) {
+  FaultTarget t;
+  t.node = node;
+  t.eof_rel = pos;
+  t.frame_index = frame_index;
+  return t;
+}
+
+FaultTarget FaultTarget::at_time(NodeId node, BitTime at) {
+  FaultTarget t;
+  t.node = node;
+  t.at = at;
+  return t;
+}
+
+ScriptedFaults::ScriptedFaults(std::vector<FaultTarget> targets) {
+  for (FaultTarget& t : targets) add(t);
+}
+
+bool ScriptedFaults::flips(NodeId node, BitTime t, const NodeBitInfo& info,
+                           Level /*bus*/) {
+  for (Armed& a : targets_) {
+    const FaultTarget& tg = a.target;
+    if (a.fired >= tg.count) continue;
+    if (tg.node != node) continue;
+    if (tg.at && *tg.at != t) continue;
+    if (tg.seg && *tg.seg != info.seg) continue;
+    if (tg.index && *tg.index != info.index) continue;
+    if (tg.eof_rel && *tg.eof_rel != info.eof_rel) continue;
+    if (tg.frame_index && *tg.frame_index != info.frame_index) continue;
+    ++a.fired;
+    ++fired_;
+    return true;
+  }
+  return false;
+}
+
+bool ScriptedFaults::all_fired() const {
+  for (const Armed& a : targets_) {
+    if (a.fired < a.target.count) return false;
+  }
+  return true;
+}
+
+}  // namespace mcan

@@ -1,0 +1,101 @@
+// Scripted fault injection: flip specific bits of specific nodes' views,
+// addressed either by absolute bit time or — much more robustly — by the
+// node's frame-relative position, in the same vocabulary the paper's
+// figures use ("the last but one bit of the EOF of the nodes belonging to
+// X", "the 4th and 5th bit of the transmitter's EOF", ...).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/injector.hpp"
+
+namespace mcan {
+
+/// One disturbance.  All optional criteria must match for the flip to fire;
+/// it fires at most `count` times.
+struct FaultTarget {
+  NodeId node = 0;
+  std::optional<Seg> seg;          ///< FSM segment to match
+  std::optional<int> index;        ///< bit index within the segment
+  std::optional<int> eof_rel;      ///< 0-based EOF-relative position
+  std::optional<int> frame_index;  ///< which frame start (0-based) at the node
+  std::optional<BitTime> at;       ///< absolute bit time
+  int count = 1;
+
+  /// Flip `node`'s view of EOF bit `eof_pos` (0-based) of its
+  /// `frame_index`-th observed frame.
+  [[nodiscard]] static FaultTarget eof_bit(NodeId node, int eof_pos,
+                                           int frame_index = 0);
+
+  /// Flip `node`'s view at EOF-relative position `pos` (0-based; continues
+  /// past the EOF field through flags/sampling in MajorCAN).
+  [[nodiscard]] static FaultTarget eof_relative(NodeId node, int pos,
+                                                int frame_index = 0);
+
+  /// Flip `node`'s view at absolute time `t`.
+  [[nodiscard]] static FaultTarget at_time(NodeId node, BitTime t);
+};
+
+/// A bus-wide permanent medium failure: from `from` on, every node sees a
+/// dominant level regardless of what is driven — a wire short, the classic
+/// failure a replicated-bus architecture is built against (and which the
+/// paper's assumptions exclude for a single bus).
+class StuckDominantBus final : public FaultInjector {
+ public:
+  explicit StuckDominantBus(BitTime from) : from_(from) {}
+
+  [[nodiscard]] bool flips(NodeId, BitTime t, const NodeBitInfo&,
+                           Level bus) override {
+    return t >= from_ && is_recessive(bus);
+  }
+
+ private:
+  BitTime from_;
+};
+
+/// Combine several injectors: a view bit is flipped iff an odd number of
+/// children flip it.
+class CompositeInjector final : public FaultInjector {
+ public:
+  void add(FaultInjector& inj) { children_.push_back(&inj); }
+
+  [[nodiscard]] bool flips(NodeId node, BitTime t, const NodeBitInfo& info,
+                           Level bus) override {
+    bool f = false;
+    for (FaultInjector* c : children_) {
+      if (c->flips(node, t, info, bus)) f = !f;
+    }
+    return f;
+  }
+
+ private:
+  std::vector<FaultInjector*> children_;
+};
+
+class ScriptedFaults final : public FaultInjector {
+ public:
+  ScriptedFaults() = default;
+  explicit ScriptedFaults(std::vector<FaultTarget> targets);
+
+  void add(FaultTarget t) { targets_.push_back(Armed{t, 0}); }
+
+  [[nodiscard]] bool flips(NodeId node, BitTime t, const NodeBitInfo& info,
+                           Level bus) override;
+
+  /// Total flips that actually fired.
+  [[nodiscard]] int fired() const { return fired_; }
+
+  /// True iff every target fired its full count (scenario sanity check).
+  [[nodiscard]] bool all_fired() const;
+
+ private:
+  struct Armed {
+    FaultTarget target;
+    int fired = 0;
+  };
+  std::vector<Armed> targets_;
+  int fired_ = 0;
+};
+
+}  // namespace mcan

@@ -1,0 +1,18 @@
+#include "frame/crc15.hpp"
+
+namespace mcan {
+
+void Crc15::feed(Level bit) {
+  bool in = logical(bit);
+  bool crcnxt = in != (((reg_ >> 14) & 1u) != 0);
+  reg_ = static_cast<std::uint16_t>((reg_ << 1) & 0x7fff);
+  if (crcnxt) reg_ ^= kCrc15Poly;
+}
+
+std::uint16_t crc15(const BitVec& bits) {
+  Crc15 c;
+  for (Level l : bits) c.feed(l);
+  return c.value();
+}
+
+}  // namespace mcan

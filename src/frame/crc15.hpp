@@ -1,0 +1,37 @@
+// The CAN CRC-15 (polynomial x^15+x^14+x^10+x^8+x^7+x^4+x^3+1, i.e. 0x4599).
+//
+// ISO 11898 computes the CRC over the *destuffed* bit sequence from SOF
+// through the end of the data field.  The code detects up to 5 randomly
+// distributed bit errors per frame, which is why the paper proposes m = 5
+// for MajorCAN: the atomic-broadcast guarantee then matches the error-
+// detection guarantee.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bitvec.hpp"
+
+namespace mcan {
+
+inline constexpr std::uint16_t kCrc15Poly = 0x4599;
+inline constexpr int kCrcBits = 15;
+
+/// Incremental CRC-15 register, fed one destuffed bit at a time.
+class Crc15 {
+ public:
+  /// Feed one logical bit (dominant = 0, recessive = 1).
+  void feed(Level bit);
+
+  /// Current remainder (15 significant bits).
+  [[nodiscard]] std::uint16_t value() const { return reg_; }
+
+  void reset() { reg_ = 0; }
+
+ private:
+  std::uint16_t reg_ = 0;
+};
+
+/// CRC of a whole destuffed bit sequence.
+[[nodiscard]] std::uint16_t crc15(const BitVec& bits);
+
+}  // namespace mcan

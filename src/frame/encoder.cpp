@@ -1,0 +1,80 @@
+#include "frame/encoder.hpp"
+
+#include "frame/stuffing.hpp"
+
+namespace mcan {
+
+namespace {
+
+/// Phase of unstuffed body bit `i`.
+///
+/// The arbitration field runs through the RTR bit: SOF + 11 id + RTR for
+/// standard frames; SOF + 11 id + SRR + IDE + 18 id + RTR for extended
+/// ones (a 2.0B transmitter backs off on a dominant bit anywhere in
+/// there — which is also how a standard frame with the same base id beats
+/// the extended frame, via its dominant RTR/IDE).
+TxPhase body_phase(int i, int data_bits, bool extended) {
+  const int arb_bits =
+      extended ? kIdBits + 1 + kIdeBits + kExtIdBits + kRtrBits  // +SRR
+               : kIdBits + kRtrBits;
+  const int ctrl_bits = extended ? 1 + kR0Bits + kDlcBits  // r1, r0, DLC
+                                 : kIdeBits + kR0Bits + kDlcBits;
+  int p = i;
+  if (p < kSofBits) return TxPhase::Sof;
+  p -= kSofBits;
+  if (p < arb_bits) return TxPhase::Arbitration;
+  p -= arb_bits;
+  if (p < ctrl_bits) return TxPhase::Control;
+  p -= ctrl_bits;
+  if (p < data_bits) return TxPhase::Data;
+  return TxPhase::Crc;
+}
+
+}  // namespace
+
+std::vector<TxBit> encode_tx(const Frame& f, int eof_bits) {
+  const BitVec body = unstuffed_body(f);
+  const int data_bits = f.remote ? 0 : f.dlc * 8;
+
+  std::vector<TxBit> out;
+  out.reserve(body.size() + body.size() / kStuffRun + 16);
+
+  BitStuffer st;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    TxPhase phase = body_phase(static_cast<int>(i), data_bits, f.extended);
+    if (auto s = st.due()) {
+      // A stuff bit belongs to the phase of the bit that precedes it: losing
+      // arbitration on a stuff bit inside the identifier is possible.
+      TxPhase stuff_phase =
+          (i == 0) ? phase
+                   : body_phase(static_cast<int>(i) - 1, data_bits, f.extended);
+      out.push_back({*s, stuff_phase, true});
+      st.record(*s);
+    }
+    out.push_back({body[i], phase, false});
+    st.record(body[i]);
+  }
+  if (auto s = st.due()) {
+    // Stuff condition fired on the final CRC bit.
+    out.push_back({*s, TxPhase::Crc, true});
+  }
+
+  out.push_back({Level::Recessive, TxPhase::CrcDelim, false});
+  out.push_back({Level::Recessive, TxPhase::AckSlot, false});
+  out.push_back({Level::Recessive, TxPhase::AckDelim, false});
+  for (int i = 0; i < eof_bits; ++i) {
+    out.push_back({Level::Recessive, TxPhase::Eof, false});
+  }
+  return out;
+}
+
+int wire_length(const Frame& f, int eof_bits) {
+  return static_cast<int>(encode_tx(f, eof_bits).size());
+}
+
+int stuff_bit_count(const Frame& f) {
+  const BitVec body = unstuffed_body(f);
+  return static_cast<int>(stuff(body).size() - body.size());
+}
+
+}  // namespace mcan

@@ -1,0 +1,31 @@
+// Transmit-side frame encoding: the exact wire bit sequence a transmitter
+// pushes onto the bus, with per-bit phase annotations that the controller
+// FSM uses to pick error semantics (arbitration loss, ACK handling, bit
+// error) for each position.
+#pragma once
+
+#include <vector>
+
+#include "frame/frame.hpp"
+#include "frame/layout.hpp"
+
+namespace mcan {
+
+struct TxBit {
+  Level level;
+  TxPhase phase;
+  bool is_stuff = false;
+};
+
+/// Full transmit bitstream: stuffed body followed by the fixed-form tail
+/// (CRC delimiter, recessive ACK slot, ACK delimiter, `eof_bits` of EOF).
+[[nodiscard]] std::vector<TxBit> encode_tx(const Frame& f, int eof_bits);
+
+/// Wire length of the frame as transmitted (stuffed body + tail), in bits.
+/// Excludes intermission.
+[[nodiscard]] int wire_length(const Frame& f, int eof_bits);
+
+/// Number of stuff bits the frame's body incurs.
+[[nodiscard]] int stuff_bit_count(const Frame& f);
+
+}  // namespace mcan

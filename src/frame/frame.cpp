@@ -1,0 +1,79 @@
+#include "frame/frame.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mcan {
+
+Frame Frame::make_data(std::uint32_t id, std::span<const std::uint8_t> bytes) {
+  if (id > kMaxId) throw std::invalid_argument("CAN id exceeds 11 bits");
+  if (bytes.size() > kMaxDataBytes) {
+    throw std::invalid_argument("CAN payload exceeds 8 bytes");
+  }
+  Frame f;
+  f.id = id;
+  f.dlc = static_cast<std::uint8_t>(bytes.size());
+  std::copy(bytes.begin(), bytes.end(), f.data.begin());
+  return f;
+}
+
+Frame Frame::make_blank(std::uint32_t id, std::uint8_t dlc) {
+  if (id > kMaxId) throw std::invalid_argument("CAN id exceeds 11 bits");
+  if (dlc > kMaxDataBytes) throw std::invalid_argument("dlc exceeds 8");
+  Frame f;
+  f.id = id;
+  f.dlc = dlc;
+  return f;
+}
+
+Frame Frame::make_remote(std::uint32_t id, std::uint8_t dlc) {
+  Frame f = make_blank(id, dlc);
+  f.remote = true;
+  return f;
+}
+
+Frame Frame::make_extended(std::uint32_t id,
+                           std::span<const std::uint8_t> bytes) {
+  if (id > kMaxExtId) throw std::invalid_argument("CAN id exceeds 29 bits");
+  if (bytes.size() > kMaxDataBytes) {
+    throw std::invalid_argument("CAN payload exceeds 8 bytes");
+  }
+  Frame f;
+  f.id = id;
+  f.extended = true;
+  f.dlc = static_cast<std::uint8_t>(bytes.size());
+  std::copy(bytes.begin(), bytes.end(), f.data.begin());
+  return f;
+}
+
+Frame Frame::make_extended_remote(std::uint32_t id, std::uint8_t dlc) {
+  if (id > kMaxExtId) throw std::invalid_argument("CAN id exceeds 29 bits");
+  if (dlc > kMaxDataBytes) throw std::invalid_argument("dlc exceeds 8");
+  Frame f;
+  f.id = id;
+  f.extended = true;
+  f.remote = true;
+  f.dlc = dlc;
+  return f;
+}
+
+std::string Frame::to_string() const {
+  char buf[96];
+  int n = std::snprintf(buf, sizeof(buf), "%s%s(id=0x%03x dlc=%u",
+                        extended ? "ext-" : "", remote ? "rtr" : "data", id,
+                        dlc);
+  std::string s(buf, static_cast<std::size_t>(n));
+  if (!remote && dlc > 0) {
+    s += " [";
+    for (int i = 0; i < dlc; ++i) {
+      std::snprintf(buf, sizeof(buf), "%s%02x", i ? " " : "", data[static_cast<std::size_t>(i)]);
+      s += buf;
+    }
+    s += ']';
+  }
+  s += ')';
+  return s;
+}
+
+}  // namespace mcan

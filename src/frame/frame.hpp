@@ -1,0 +1,76 @@
+// The CAN 2.0A (11-bit identifier) data/remote frame as an application-level
+// value.  Wire-level concerns (stuffing, CRC, fixed-form fields) live in
+// encoder.hpp / layout.hpp; this type is what hosts enqueue and what
+// controllers deliver.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace mcan {
+
+/// Maximum payload of a classical CAN frame.
+inline constexpr int kMaxDataBytes = 8;
+
+/// Number of identifier bits in a standard (2.0A) frame.
+inline constexpr int kIdBits = 11;
+
+/// Extra identifier bits of an extended (2.0B) frame.
+inline constexpr int kExtIdBits = 18;
+
+/// Highest valid 11-bit identifier.  Lower numeric ids win arbitration.
+inline constexpr std::uint32_t kMaxId = (1u << kIdBits) - 1;
+
+/// Highest valid 29-bit identifier (2.0B).
+inline constexpr std::uint32_t kMaxExtId = (1u << (kIdBits + kExtIdBits)) - 1;
+
+struct Frame {
+  std::uint32_t id = 0;        ///< 11-bit (or 29-bit when extended) identifier
+  bool remote = false;         ///< RTR frame (no data field)
+  bool extended = false;       ///< 2.0B frame (29-bit identifier)
+  std::uint8_t dlc = 0;        ///< data length code, 0..8
+  std::array<std::uint8_t, kMaxDataBytes> data{};
+
+  /// Construct a data frame from a byte span (size sets dlc; max 8 bytes).
+  [[nodiscard]] static Frame make_data(std::uint32_t id,
+                                       std::span<const std::uint8_t> bytes);
+
+  /// Construct a data frame with `dlc` zero bytes (common in tests).
+  [[nodiscard]] static Frame make_blank(std::uint32_t id, std::uint8_t dlc);
+
+  /// Construct a remote (RTR) frame.
+  [[nodiscard]] static Frame make_remote(std::uint32_t id, std::uint8_t dlc);
+
+  /// Construct an extended (29-bit identifier) data frame.
+  [[nodiscard]] static Frame make_extended(std::uint32_t id,
+                                           std::span<const std::uint8_t> bytes);
+
+  /// Construct an extended remote frame.
+  [[nodiscard]] static Frame make_extended_remote(std::uint32_t id,
+                                                  std::uint8_t dlc);
+
+  /// Base (most significant 11) identifier bits — the first arbitration
+  /// field.  For standard frames this is the whole identifier.
+  [[nodiscard]] std::uint32_t base_id() const {
+    return extended ? id >> kExtIdBits : id;
+  }
+
+  /// Extension (least significant 18) identifier bits, extended frames only.
+  [[nodiscard]] std::uint32_t ext_id() const {
+    return extended ? id & (kMaxExtId >> kIdBits) : 0;
+  }
+
+  [[nodiscard]] std::span<const std::uint8_t> payload() const {
+    // DLC codes 9..15 are legal on the wire but carry 8 bytes (ISO 11898).
+    const int bytes = remote ? 0 : (dlc > kMaxDataBytes ? kMaxDataBytes : dlc);
+    return {data.data(), static_cast<std::size_t>(bytes)};
+  }
+
+  [[nodiscard]] bool operator==(const Frame&) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace mcan

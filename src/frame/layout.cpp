@@ -1,0 +1,56 @@
+#include "frame/layout.hpp"
+
+#include <algorithm>
+
+#include "frame/crc15.hpp"
+
+namespace mcan {
+
+std::string to_string(TxPhase p) {
+  switch (p) {
+    case TxPhase::Sof: return "SOF";
+    case TxPhase::Arbitration: return "ARB";
+    case TxPhase::Control: return "CTRL";
+    case TxPhase::Data: return "DATA";
+    case TxPhase::Crc: return "CRC";
+    case TxPhase::CrcDelim: return "CRCDEL";
+    case TxPhase::AckSlot: return "ACK";
+    case TxPhase::AckDelim: return "ACKDEL";
+    case TxPhase::Eof: return "EOF";
+  }
+  return "?";
+}
+
+BitVec unstuffed_body(const Frame& f) {
+  BitVec v;
+  v.push_back(Level::Dominant);                       // SOF
+  v.append_uint(f.base_id(), kIdBits);                // base identifier
+  if (f.extended) {
+    v.push_back(Level::Recessive);                    // SRR
+    v.push_back(Level::Recessive);                    // IDE: extended
+    v.append_uint(f.ext_id(), kExtIdBits);            // identifier extension
+    v.push_back(level_of(f.remote));                  // RTR: dominant = data
+    v.push_back(Level::Dominant);                     // r1
+  } else {
+    v.push_back(level_of(f.remote));                  // RTR: dominant = data
+    v.push_back(Level::Dominant);                     // IDE: standard frame
+  }
+  v.push_back(Level::Dominant);                       // r0
+  v.append_uint(f.dlc, kDlcBits);                     // DLC
+  if (!f.remote) {
+    // ISO 11898: DLC values 9..15 are transmitted as-is but carry 8 bytes.
+    const int bytes = std::min<int>(f.dlc, kMaxDataBytes);
+    for (int i = 0; i < bytes; ++i) {
+      v.append_uint(f.data[static_cast<std::size_t>(i)], 8);
+    }
+  }
+  v.append_uint(crc15(v), kCrcBits);                  // CRC over SOF..data
+  return v;
+}
+
+int body_bits_of(const Frame& f) {
+  const int data_bits = f.remote ? 0 : f.dlc * 8;
+  return body_bits_for(data_bits) + (f.extended ? kExtendedExtraBits : 0);
+}
+
+}  // namespace mcan

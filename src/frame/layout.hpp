@@ -1,0 +1,80 @@
+// Wire-level layout of a CAN 2.0A frame.
+//
+// The *body* (SOF through CRC sequence) is subject to bit stuffing and CRC;
+// the *tail* (CRC delimiter, ACK slot, ACK delimiter, EOF) is fixed-form.
+// The EOF length is a protocol-variant parameter: 7 bits in standard CAN and
+// MinorCAN, 2m bits in MajorCAN_m — that is the paper's §5 modification.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "frame/crc15.hpp"
+#include "frame/frame.hpp"
+#include "util/bitvec.hpp"
+
+namespace mcan {
+
+/// Phase of a transmitted wire bit; drives the transmitter's error semantics
+/// (arbitration loss vs. bit error vs. ACK).
+enum class TxPhase : std::uint8_t {
+  Sof,          ///< start of frame: 1 dominant bit
+  Arbitration,  ///< identifier + RTR: recessive-vs-dominant means arb loss
+  Control,      ///< IDE, r0, DLC
+  Data,         ///< 0..64 data bits
+  Crc,          ///< 15-bit CRC sequence
+  CrcDelim,     ///< fixed recessive
+  AckSlot,      ///< transmitter sends recessive, receivers answer dominant
+  AckDelim,     ///< fixed recessive
+  Eof,          ///< end of frame: all recessive, length = eof_bits
+};
+
+[[nodiscard]] std::string to_string(TxPhase p);
+
+/// Field widths of the standard frame.
+inline constexpr int kSofBits = 1;
+inline constexpr int kRtrBits = 1;
+inline constexpr int kIdeBits = 1;
+inline constexpr int kR0Bits = 1;
+inline constexpr int kDlcBits = 4;
+inline constexpr int kCrcDelimBits = 1;
+inline constexpr int kAckSlotBits = 1;
+inline constexpr int kAckDelimBits = 1;
+
+/// Standard CAN EOF length (also used by MinorCAN).
+inline constexpr int kStandardEofBits = 7;
+
+/// Length of the intermission (interframe space) in bit times.
+inline constexpr int kIntermissionBits = 3;
+
+/// EOF length for MajorCAN_m: two sub-fields of m bits each (paper §5).
+[[nodiscard]] constexpr int majorcan_eof_bits(int m) { return 2 * m; }
+
+/// Unstuffed body of a frame.
+/// Standard (2.0A): SOF, ID(11), RTR, IDE(=d), r0, DLC, data, CRC.
+/// Extended (2.0B): SOF, base ID(11), SRR(=r), IDE(=r), ext ID(18), RTR,
+///                  r1, r0, DLC, data, CRC.
+/// This is the sequence the CRC is computed over (CRC excluded, of course)
+/// and the sequence bit stuffing applies to (CRC included).
+[[nodiscard]] BitVec unstuffed_body(const Frame& f);
+
+/// Number of unstuffed body bits for a standard frame with `data_bits`
+/// payload bits.
+[[nodiscard]] constexpr int body_bits_for(int data_bits) {
+  return kSofBits + kIdBits + kRtrBits + kIdeBits + kR0Bits + kDlcBits +
+         data_bits + kCrcBits;
+}
+
+/// Extra unstuffed body bits of an extended frame vs. a standard one:
+/// SRR + 18 extension id bits + r1 = 20.
+inline constexpr int kExtendedExtraBits = 1 + kExtIdBits + 1;
+
+/// Number of unstuffed body bits for frame `f`.
+[[nodiscard]] int body_bits_of(const Frame& f);
+
+/// Fixed tail length after the CRC sequence, for a given EOF length.
+[[nodiscard]] constexpr int tail_bits_for(int eof_bits) {
+  return kCrcDelimBits + kAckSlotBits + kAckDelimBits + eof_bits;
+}
+
+}  // namespace mcan

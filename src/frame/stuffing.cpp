@@ -1,0 +1,82 @@
+#include "frame/stuffing.hpp"
+
+namespace mcan {
+
+std::optional<Level> BitStuffer::due() const {
+  if (run_ >= kStuffRun) return flip(last_);
+  return std::nullopt;
+}
+
+void BitStuffer::record(Level l) {
+  if (run_ > 0 && l == last_) {
+    ++run_;
+  } else {
+    last_ = l;
+    run_ = 1;
+  }
+}
+
+void BitStuffer::reset() {
+  last_ = Level::Recessive;
+  run_ = 0;
+}
+
+BitDestuffer::Result BitDestuffer::push(Level l) {
+  if (run_ >= kStuffRun) {
+    if (l == last_) {
+      // Sixth equal bit: stuff error.  The caller resets us via reset().
+      return Result::StuffError;
+    }
+    last_ = l;
+    run_ = 1;
+    return Result::StuffBit;
+  }
+  if (run_ > 0 && l == last_) {
+    ++run_;
+  } else {
+    last_ = l;
+    run_ = 1;
+  }
+  return Result::Payload;
+}
+
+void BitDestuffer::reset() {
+  last_ = Level::Recessive;
+  run_ = 0;
+}
+
+BitVec stuff(const BitVec& unstuffed) {
+  BitVec out;
+  BitStuffer st;
+  for (Level l : unstuffed) {
+    if (auto s = st.due()) {
+      out.push_back(*s);
+      st.record(*s);
+    }
+    out.push_back(l);
+    st.record(l);
+  }
+  // A stuff condition triggered by the final payload bit still inserts a
+  // stuff bit (it is part of the stuffed region on the wire).
+  if (auto s = st.due()) out.push_back(*s);
+  return out;
+}
+
+std::optional<BitVec> destuff(const BitVec& stuffed) {
+  BitVec out;
+  BitDestuffer ds;
+  for (Level l : stuffed) {
+    switch (ds.push(l)) {
+      case BitDestuffer::Result::Payload:
+        out.push_back(l);
+        break;
+      case BitDestuffer::Result::StuffBit:
+        break;
+      case BitDestuffer::Result::StuffError:
+        return std::nullopt;
+    }
+  }
+  return out;
+}
+
+}  // namespace mcan

@@ -1,0 +1,70 @@
+// CAN bit stuffing.
+//
+// In the stuffed region (SOF through the CRC sequence) the transmitter
+// inserts a complementary bit after every run of five equal wire bits (stuff
+// bits themselves count towards the next run); receivers remove these stuff
+// bits and treat a sixth equal bit as a *stuff error*.  Error and overload
+// flags deliberately violate this rule (six dominant bits) — that is how a
+// local error is globalised.
+#pragma once
+
+#include <optional>
+
+#include "util/bitvec.hpp"
+
+namespace mcan {
+
+/// Length of an equal-bit run that triggers stuffing / stuff errors.
+inline constexpr int kStuffRun = 5;
+
+/// Incremental stuffing encoder (transmitter side).
+///
+/// Protocol: before emitting each payload bit, check `due()`; if it returns a
+/// level, that stuff bit goes on the wire first (and must be `record`ed).
+/// Every wire bit actually transmitted — payload or stuff — is `record`ed.
+class BitStuffer {
+ public:
+  /// Level of the stuff bit that must be transmitted next, if one is due.
+  [[nodiscard]] std::optional<Level> due() const;
+
+  /// Account for a wire bit that was just transmitted.
+  void record(Level l);
+
+  void reset();
+
+ private:
+  Level last_ = Level::Recessive;
+  int run_ = 0;
+};
+
+/// Incremental destuffing decoder (receiver side).
+class BitDestuffer {
+ public:
+  enum class Result {
+    Payload,     ///< bit is payload; hand it to the frame parser
+    StuffBit,    ///< bit was a stuff bit; discard
+    StuffError,  ///< sixth equal bit in a row: protocol violation
+  };
+
+  /// Classify the next received wire bit in the stuffed region.
+  Result push(Level l);
+
+  /// True when the run length says the *next* wire bit must be a stuff bit.
+  /// The receiver FSM uses this after the final CRC bit: a stuff condition
+  /// firing there still inserts one stuff bit before the CRC delimiter.
+  [[nodiscard]] bool stuff_pending() const { return run_ >= kStuffRun; }
+
+  void reset();
+
+ private:
+  Level last_ = Level::Recessive;
+  int run_ = 0;
+};
+
+/// Whole-vector convenience: stuff an unstuffed sequence.
+[[nodiscard]] BitVec stuff(const BitVec& unstuffed);
+
+/// Whole-vector convenience: destuff; returns nullopt on stuff error.
+[[nodiscard]] std::optional<BitVec> destuff(const BitVec& stuffed);
+
+}  // namespace mcan

@@ -1,0 +1,76 @@
+#include "higher/dualbus.hpp"
+
+namespace mcan {
+
+DualBusNetwork::DualBusNetwork(int n, const ProtocolParams& link)
+    : n_(n), a_(n, link), b_(n, link) {
+  for (int i = 0; i < n; ++i) {
+    const auto id = static_cast<NodeId>(i);
+    journals_.emplace(id, DeliveryJournal{});
+    seen_.emplace(id, std::set<MessageKey>{});
+    auto deliver = [this, id](const Frame& f, BitTime t) {
+      auto tag = parse_tag(f);
+      if (!tag || tag->kind != MsgKind::Data) return;
+      if (!seen_.at(id).insert(tag->key).second) return;  // twin copy
+      journals_.at(id).push_back({tag->key, t});
+    };
+    a_.node(i).add_delivery_handler(deliver);
+    b_.node(i).add_delivery_handler(deliver);
+  }
+}
+
+void DualBusNetwork::broadcast(int node, MessageKey key) {
+  const Frame f = make_tagged_frame(
+      0x100 + static_cast<std::uint32_t>(node), MsgKind::Data, key);
+  a_.node(node).enqueue(f);
+  b_.node(node).enqueue(f);
+  broadcasts_.push_back({key, static_cast<NodeId>(node)});
+  // The sender has its own message.
+  if (seen_.at(static_cast<NodeId>(node)).insert(key).second) {
+    journals_.at(static_cast<NodeId>(node)).push_back({key, a_.sim().now()});
+  }
+}
+
+void DualBusNetwork::step() {
+  a_.sim().step();
+  b_.sim().step();
+}
+
+void DualBusNetwork::run(BitTime n) {
+  for (BitTime i = 0; i < n; ++i) step();
+}
+
+bool DualBusNetwork::run_until_quiet(BitTime max_bits) {
+  for (BitTime i = 0; i < max_bits; ++i) {
+    step();
+    bool quiet = true;
+    for (Network* net : {&a_, &b_}) {
+      for (int j = 0; j < n_; ++j) {
+        const CanController& node = net->node(j);
+        if (net->sim().crashed(node.id()) || !node.active()) continue;
+        if (!node.bus_idle() || node.pending_tx() > 0) {
+          quiet = false;
+          break;
+        }
+      }
+      if (!quiet) break;
+    }
+    if (quiet) return true;
+  }
+  return false;
+}
+
+AbReport DualBusNetwork::check() const {
+  // A node is correct if it is alive on at least one bus (the architecture
+  // treats the pair as one logical node).
+  std::set<NodeId> correct;
+  for (int i = 0; i < n_; ++i) {
+    const auto id = static_cast<NodeId>(i);
+    const bool on_a = !a_.sim().crashed(id) && a_.node(i).active();
+    const bool on_b = !b_.sim().crashed(id) && b_.node(i).active();
+    if (on_a || on_b) correct.insert(id);
+  }
+  return check_atomic_broadcast(broadcasts_, journals_, correct);
+}
+
+}  // namespace mcan

@@ -1,0 +1,71 @@
+// Replicated-media architecture: the "double CAN" of Ferriol, Navio,
+// Proenza et al. (ICC'98), the same group's other answer to CAN
+// dependability limits.  Every node owns one controller on each of two
+// independent buses; a broadcast goes out on both, receivers deliver the
+// first copy and discard the twin.
+//
+// This masks any disturbance pattern confined to one bus — including the
+// paper's Fig. 3a scenario — and survives a permanent medium failure
+// (which the paper's single-bus assumptions exclude), at the price of
+// duplicating the bandwidth and the transceivers.  Correlated disturbances
+// hitting both buses still split the receivers, so replication and
+// MajorCAN are complementary, not substitutes; the dual-bus bench
+// quantifies exactly that.
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "analysis/properties.hpp"
+#include "analysis/tagged.hpp"
+#include "core/network.hpp"
+
+namespace mcan {
+
+class DualBusNetwork {
+ public:
+  DualBusNetwork(int n, const ProtocolParams& link);
+
+  DualBusNetwork(const DualBusNetwork&) = delete;
+  DualBusNetwork& operator=(const DualBusNetwork&) = delete;
+
+  [[nodiscard]] int size() const { return n_; }
+
+  /// The two replicated buses (0 = A, 1 = B).
+  [[nodiscard]] Network& bus(int which) { return which == 0 ? a_ : b_; }
+
+  /// Install per-bus fault injectors.
+  void set_injector(int which, FaultInjector& inj) {
+    bus(which).set_injector(inj);
+  }
+
+  /// Application broadcast: the tagged message goes out on both buses.
+  void broadcast(int node, MessageKey key);
+
+  /// One bit time on both buses (they run the same clock).
+  void step();
+  void run(BitTime n);
+  bool run_until_quiet(BitTime max_bits = 60000);
+
+  /// Application-level (deduplicated) journals per node.
+  [[nodiscard]] const std::map<NodeId, DeliveryJournal>& journals() const {
+    return journals_;
+  }
+
+  [[nodiscard]] AbReport check() const;
+
+  /// Copies of `key` node `i` delivered at the application level (0 or 1).
+  [[nodiscard]] std::size_t app_deliveries(int i) const {
+    return journals_.at(static_cast<NodeId>(i)).size();
+  }
+
+ private:
+  int n_;
+  Network a_;
+  Network b_;
+  std::map<NodeId, DeliveryJournal> journals_;
+  std::map<NodeId, std::set<MessageKey>> seen_;
+  std::vector<BroadcastRecord> broadcasts_;
+};
+
+}  // namespace mcan

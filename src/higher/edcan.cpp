@@ -1,0 +1,4 @@
+#include "higher/edcan.hpp"
+
+// EdcanHost is header-only; this TU anchors the library target.
+namespace mcan {}

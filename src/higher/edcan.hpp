@@ -1,0 +1,28 @@
+// EDCAN (Rufino et al., FTCS'98): Eager Diffusion.
+//
+// Every receiver retransmits each message once upon first reception, so a
+// transmitter failure after a partial delivery cannot leave anyone without
+// the message: whoever got a copy spreads it.  This gives Reliable
+// Broadcast (no total order, AB5 fails) and is the only one of the three
+// baselines that also survives the paper's new Fig. 3 scenarios — at the
+// cost of at least one extra frame per message per receiver.
+#pragma once
+
+#include "higher/host.hpp"
+
+namespace mcan {
+
+class EdcanHost final : public HigherHost {
+ public:
+  using HigherHost::HigherHost;
+
+ protected:
+  void on_data(const MessageKey& key, BitTime t) override {
+    const bool first = deliver(key, t);
+    if (first && key.source != id()) {
+      send_data(key, /*relay=*/true);
+    }
+  }
+};
+
+}  // namespace mcan

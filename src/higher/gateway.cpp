@@ -1,0 +1,27 @@
+#include "higher/gateway.hpp"
+
+namespace mcan {
+
+Gateway::Gateway(CanController& a, CanController& b) : side_{&a, &b} {
+  a.add_delivery_handler(
+      [this](const Frame& f, BitTime) { on_frame(0, f); });
+  b.add_delivery_handler(
+      [this](const Frame& f, BitTime) { on_frame(1, f); });
+}
+
+void Gateway::add_rule(int from_bus, std::uint32_t id_lo, std::uint32_t id_hi) {
+  rules_.push_back({from_bus == 0 ? 0 : 1, id_lo, id_hi});
+}
+
+void Gateway::on_frame(int from_bus, const Frame& f) {
+  for (const Rule& r : rules_) {
+    if (r.from_bus == from_bus && f.id >= r.lo && f.id <= r.hi) {
+      side_[from_bus == 0 ? 1 : 0]->enqueue(f);
+      ++forwarded_[from_bus];
+      return;
+    }
+  }
+  ++dropped_[from_bus];
+}
+
+}  // namespace mcan

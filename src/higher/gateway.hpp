@@ -1,0 +1,50 @@
+// Store-and-forward gateway between two buses — the standard way vehicle
+// networks segment traffic (powertrain bus vs body bus) while sharing
+// selected identifiers.  The gateway owns one controller per bus and
+// re-enqueues every delivered frame that matches a directional identifier
+// range.  Controllers never deliver their own transmissions, so forwarded
+// frames cannot bounce back through the gateway.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/controller.hpp"
+
+namespace mcan {
+
+class Gateway {
+ public:
+  /// `a` and `b` are the gateway's controllers on the two buses.
+  Gateway(CanController& a, CanController& b);
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  /// Forward frames delivered on bus `from_bus` (0 = a, 1 = b) whose
+  /// identifier lies in [id_lo, id_hi] to the other bus.
+  void add_rule(int from_bus, std::uint32_t id_lo, std::uint32_t id_hi);
+
+  [[nodiscard]] long long forwarded(int from_bus) const {
+    return forwarded_[from_bus == 0 ? 0 : 1];
+  }
+  [[nodiscard]] long long dropped(int from_bus) const {
+    return dropped_[from_bus == 0 ? 0 : 1];
+  }
+
+ private:
+  struct Rule {
+    int from_bus;
+    std::uint32_t lo;
+    std::uint32_t hi;
+  };
+
+  void on_frame(int from_bus, const Frame& f);
+
+  CanController* side_[2];
+  std::vector<Rule> rules_;
+  long long forwarded_[2] = {0, 0};
+  long long dropped_[2] = {0, 0};
+};
+
+}  // namespace mcan

@@ -1,0 +1,99 @@
+#include "higher/higher_network.hpp"
+
+namespace mcan {
+
+const char* higher_kind_name(HigherKind k) {
+  switch (k) {
+    case HigherKind::Edcan: return "EDCAN";
+    case HigherKind::Relcan: return "RELCAN";
+    case HigherKind::Totcan: return "TOTCAN";
+  }
+  return "?";
+}
+
+HigherNetwork::HigherNetwork(HigherKind kind, int n, HostParams params,
+                             const ProtocolParams& link)
+    : net_(n, link) {
+  hosts_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    switch (kind) {
+      case HigherKind::Edcan:
+        hosts_.push_back(std::make_unique<EdcanHost>(net_.node(i), params));
+        break;
+      case HigherKind::Relcan:
+        hosts_.push_back(std::make_unique<RelcanHost>(net_.node(i), params));
+        break;
+      case HigherKind::Totcan:
+        hosts_.push_back(std::make_unique<TotcanHost>(net_.node(i), params));
+        break;
+    }
+  }
+}
+
+void HigherNetwork::step() {
+  net_.sim().step();
+  const BitTime now = net_.sim().now();
+  for (auto& host : hosts_) host->tick(now);
+}
+
+void HigherNetwork::run(BitTime n) {
+  for (BitTime i = 0; i < n; ++i) step();
+}
+
+bool HigherNetwork::run_until_quiet(BitTime max_bits) {
+  for (BitTime i = 0; i < max_bits; ++i) {
+    step();
+    bool quiet = true;
+    for (int j = 0; j < net_.size(); ++j) {
+      const CanController& node = net_.node(j);
+      if (net_.sim().crashed(node.id()) || !node.active()) continue;
+      if (!node.bus_idle() || node.pending_tx() > 0 ||
+          hosts_[static_cast<std::size_t>(j)]->busy()) {
+        quiet = false;
+        break;
+      }
+    }
+    if (quiet) return true;
+  }
+  return false;
+}
+
+std::vector<BroadcastRecord> HigherNetwork::all_broadcasts() const {
+  std::vector<BroadcastRecord> out;
+  for (const auto& host : hosts_) {
+    const auto& b = host->broadcasts();
+    out.insert(out.end(), b.begin(), b.end());
+  }
+  return out;
+}
+
+std::map<NodeId, DeliveryJournal> HigherNetwork::journals() const {
+  std::map<NodeId, DeliveryJournal> out;
+  for (const auto& host : hosts_) {
+    out.emplace(host->id(), host->app_deliveries());
+  }
+  return out;
+}
+
+AbReport HigherNetwork::check() const {
+  std::set<NodeId> correct;
+  for (int i = 0; i < net_.size(); ++i) {
+    const CanController& node = net_.node(i);
+    if (!net_.sim().crashed(node.id()) && node.active()) {
+      correct.insert(node.id());
+    }
+  }
+  return check(correct);
+}
+
+AbReport HigherNetwork::check(const std::set<NodeId>& correct) const {
+  return check_atomic_broadcast(all_broadcasts(), journals(), correct);
+}
+
+int HigherNetwork::extra_frames() const {
+  int n = 0;
+  for (const auto& host : hosts_) n += host->extra_frames_sent();
+  return n;
+}
+
+}  // namespace mcan

@@ -1,0 +1,58 @@
+// A complete bus running one of the higher-level protocols over standard
+// CAN: controllers + hosts + per-bit host ticking, with journal collection
+// for the property checker.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/network.hpp"
+#include "higher/edcan.hpp"
+#include "higher/relcan.hpp"
+#include "higher/totcan.hpp"
+
+namespace mcan {
+
+enum class HigherKind { Edcan, Relcan, Totcan };
+
+[[nodiscard]] const char* higher_kind_name(HigherKind k);
+
+class HigherNetwork {
+ public:
+  HigherNetwork(HigherKind kind, int n, HostParams params = {},
+                const ProtocolParams& link = ProtocolParams::standard_can());
+
+  [[nodiscard]] int size() const { return net_.size(); }
+  [[nodiscard]] Network& link() { return net_; }
+  [[nodiscard]] HigherHost& host(int i) {
+    return *hosts_.at(static_cast<std::size_t>(i));
+  }
+
+  /// One bit time: simulator step + host timers.
+  void step();
+  void run(BitTime n);
+
+  /// Run until bus idle, controller queues empty and hosts not busy.
+  bool run_until_quiet(BitTime max_bits = 200000);
+
+  /// Everything broadcast by any host.
+  [[nodiscard]] std::vector<BroadcastRecord> all_broadcasts() const;
+
+  /// Application-level journals per node.
+  [[nodiscard]] std::map<NodeId, DeliveryJournal> journals() const;
+
+  /// AB1..AB5 over the app-level journals of `correct` nodes (defaults to
+  /// every node that is still active and not crashed).
+  [[nodiscard]] AbReport check() const;
+  [[nodiscard]] AbReport check(const std::set<NodeId>& correct) const;
+
+  /// Total extra (control + relay) frames across hosts.
+  [[nodiscard]] int extra_frames() const;
+
+ private:
+  Network net_;
+  std::vector<std::unique_ptr<HigherHost>> hosts_;
+};
+
+}  // namespace mcan

@@ -1,0 +1,68 @@
+#include "higher/host.hpp"
+
+namespace mcan {
+
+namespace {
+// CAN-id bands: control frames outrank data, data outranks relays, and the
+// node id breaks ties, so every concurrent sender has a distinct identifier.
+std::uint32_t control_id(NodeId node) { return 0x080 + node; }
+std::uint32_t data_id(NodeId node) { return 0x100 + node; }
+std::uint32_t relay_id(NodeId node) { return 0x300 + node; }
+}  // namespace
+
+HigherHost::HigherHost(CanController& ctrl, HostParams params)
+    : ctrl_(ctrl), params_(params) {
+  ctrl_.add_delivery_handler(
+      [this](const Frame& f, BitTime t) { handle_frame(f, t); });
+  ctrl_.add_tx_done_handler([this](const Frame& f, BitTime t) {
+    if (auto tag = parse_tag(f)) on_own_tx_done(*tag, t);
+  });
+}
+
+void HigherHost::broadcast(MessageKey key) {
+  broadcasts_.push_back({key, id()});
+  on_broadcast(key, now_);
+}
+
+void HigherHost::on_broadcast(const MessageKey& key, BitTime now) {
+  deliver(key, now);  // the sender has its own message
+  send_data(key, /*relay=*/false);
+}
+
+void HigherHost::tick(BitTime now) {
+  now_ = now;
+  on_tick(now);
+}
+
+bool HigherHost::deliver(const MessageKey& key, BitTime t) {
+  if (!seen_.insert(key).second) return false;
+  delivered_.push_back({key, t});
+  return true;
+}
+
+void HigherHost::send_data(const MessageKey& key, bool relay) {
+  const std::uint32_t id = relay ? relay_id(ctrl_.id()) : data_id(ctrl_.id());
+  ctrl_.enqueue(make_tagged_frame(id, MsgKind::Data, key));
+  if (relay) ++extra_frames_;
+}
+
+void HigherHost::send_control(MsgKind kind, const MessageKey& key) {
+  ctrl_.enqueue(make_tagged_frame(control_id(ctrl_.id()), kind, key));
+  ++extra_frames_;
+}
+
+void HigherHost::handle_frame(const Frame& f, BitTime t) {
+  auto tag = parse_tag(f);
+  if (!tag) return;
+  if (tag->kind == MsgKind::Data) {
+    on_data(tag->key, t);
+  } else {
+    on_control(*tag, t);
+  }
+}
+
+void HigherHost::on_control(const Tag&, BitTime) {}
+void HigherHost::on_own_tx_done(const Tag&, BitTime) {}
+void HigherHost::on_tick(BitTime) {}
+
+}  // namespace mcan

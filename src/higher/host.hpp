@@ -1,0 +1,99 @@
+// Base class for the Rufino et al. higher-level protocols (EDCAN, RELCAN,
+// TOTCAN) layered over *standard* CAN controllers.  These are the paper's
+// baselines: they repair the Fig. 1 inconsistencies with extra frames, but
+// (except EDCAN) fail in the new Fig. 3 scenarios, and all of them cost more
+// than a frame per message — the overhead MajorCAN's 3..11 bits avoid.
+//
+// A host owns the application-level view of one node: it broadcasts tagged
+// DATA messages, reacts to frames its controller delivers, keeps timers in
+// bit time, deduplicates, and journals application-level deliveries for the
+// property checker.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "analysis/properties.hpp"
+#include "analysis/tagged.hpp"
+#include "core/controller.hpp"
+
+namespace mcan {
+
+struct HostParams {
+  /// Timeout, in bit times, a receiver waits for CONFIRM/ACCEPT before
+  /// acting (RELCAN: relay; TOTCAN: discard).  Must exceed the worst-case
+  /// time for the sender's control frame to win the bus.
+  BitTime timeout_bits = 800;
+};
+
+class HigherHost {
+ public:
+  HigherHost(CanController& ctrl, HostParams params);
+  virtual ~HigherHost() = default;
+
+  HigherHost(const HigherHost&) = delete;
+  HigherHost& operator=(const HigherHost&) = delete;
+
+  /// Application broadcast of message `key` (key.source should be this
+  /// node).  The message is considered delivered locally right away.
+  void broadcast(MessageKey key);
+
+  /// Advance host timers; call once per bit after the simulator step.
+  void tick(BitTime now);
+
+  /// Application-level deliveries (post-dedup, post-ordering), in order.
+  [[nodiscard]] const DeliveryJournal& app_deliveries() const {
+    return delivered_;
+  }
+
+  [[nodiscard]] const std::vector<BroadcastRecord>& broadcasts() const {
+    return broadcasts_;
+  }
+
+  /// True while timers or relays are outstanding (quiescence check).
+  [[nodiscard]] virtual bool busy() const { return false; }
+
+  [[nodiscard]] NodeId id() const { return ctrl_.id(); }
+
+  /// Total control/relay frames this host originated (overhead accounting).
+  [[nodiscard]] int extra_frames_sent() const { return extra_frames_; }
+
+ protected:
+  virtual void on_data(const MessageKey& key, BitTime t) = 0;
+  virtual void on_control(const Tag& tag, BitTime t);
+  virtual void on_own_tx_done(const Tag& tag, BitTime t);
+  virtual void on_tick(BitTime now);
+
+  /// Local handling of an own broadcast.  Default: deliver immediately and
+  /// queue the DATA frame.  TOTCAN defers its own delivery to ACCEPT time.
+  virtual void on_broadcast(const MessageKey& key, BitTime now);
+
+  /// Deliver `key` to the application unless already delivered.
+  /// Returns true on first delivery.
+  bool deliver(const MessageKey& key, BitTime t);
+
+  [[nodiscard]] bool already_delivered(const MessageKey& key) const {
+    return seen_.contains(key);
+  }
+
+  /// Queue a DATA frame for `key` (relays mark `relay` for id spacing).
+  void send_data(const MessageKey& key, bool relay);
+
+  /// Queue a control frame (CONFIRM/ACCEPT) for `key` — high priority.
+  void send_control(MsgKind kind, const MessageKey& key);
+
+  CanController& ctrl_;
+  HostParams params_;
+
+ private:
+  void handle_frame(const Frame& f, BitTime t);
+
+  DeliveryJournal delivered_;
+  std::set<MessageKey> seen_;
+  std::vector<BroadcastRecord> broadcasts_;
+  int extra_frames_ = 0;
+  BitTime now_ = 0;
+};
+
+}  // namespace mcan

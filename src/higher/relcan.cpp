@@ -1,0 +1,36 @@
+#include "higher/relcan.hpp"
+
+namespace mcan {
+
+void RelcanHost::on_data(const MessageKey& key, BitTime t) {
+  const bool first = deliver(key, t);
+  if (first && key.source != id()) {
+    waiting_.emplace(key, t + params_.timeout_bits);
+  }
+}
+
+void RelcanHost::on_control(const Tag& tag, BitTime) {
+  if (tag.kind == MsgKind::Confirm) waiting_.erase(tag.key);
+}
+
+void RelcanHost::on_own_tx_done(const Tag& tag, BitTime) {
+  // Our DATA frame made it out: confirm it.  (CONFIRM frames need no
+  // follow-up of their own.)
+  if (tag.kind == MsgKind::Data && tag.key.source == id()) {
+    send_control(MsgKind::Confirm, tag.key);
+  }
+}
+
+void RelcanHost::on_tick(BitTime now) {
+  for (auto it = waiting_.begin(); it != waiting_.end();) {
+    if (now >= it->second) {
+      // No CONFIRM: assume the transmitter failed and diffuse the message.
+      send_data(it->first, /*relay=*/true);
+      it = waiting_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace mcan

@@ -1,0 +1,35 @@
+// RELCAN (Rufino et al., FTCS'98): lazy diffusion with confirmation.
+//
+// The transmitter sends a CONFIRM control frame after the main message
+// succeeds.  Receivers deliver immediately but arm a timer; only if the
+// CONFIRM fails to arrive (transmitter died) do they retransmit the main
+// message themselves.  Cheaper than EDCAN in the failure-free case (one
+// extra CONFIRM frame), but its recovery only triggers on *transmitter*
+// failure — in the paper's Fig. 3 scenarios the transmitter stays correct
+// and never learns some receivers rejected, so RELCAN inherits the
+// inconsistency (§4).
+#pragma once
+
+#include <map>
+
+#include "higher/host.hpp"
+
+namespace mcan {
+
+class RelcanHost final : public HigherHost {
+ public:
+  using HigherHost::HigherHost;
+
+  [[nodiscard]] bool busy() const override { return !waiting_.empty(); }
+
+ protected:
+  void on_data(const MessageKey& key, BitTime t) override;
+  void on_control(const Tag& tag, BitTime t) override;
+  void on_own_tx_done(const Tag& tag, BitTime t) override;
+  void on_tick(BitTime now) override;
+
+ private:
+  std::map<MessageKey, BitTime> waiting_;  ///< key -> confirm deadline
+};
+
+}  // namespace mcan

@@ -1,0 +1,67 @@
+#include "higher/totcan.hpp"
+
+namespace mcan {
+
+void TotcanHost::on_data(const MessageKey& key, BitTime t) {
+  if (already_delivered(key)) return;
+  for (const Pending& p : pending_) {
+    if (p.key == key) return;  // duplicate reception: position already fixed
+  }
+  pending_.push_back({key, t + params_.timeout_bits, false});
+}
+
+void TotcanHost::on_control(const Tag& tag, BitTime t) {
+  if (tag.kind != MsgKind::Accept) return;
+  for (Pending& p : pending_) {
+    if (p.key == tag.key) {
+      p.accepted = true;
+      break;
+    }
+  }
+  release_head(t);
+}
+
+void TotcanHost::on_own_tx_done(const Tag& tag, BitTime t) {
+  if (tag.kind == MsgKind::Data && tag.key.source == id()) {
+    // Our DATA frame just cleared the bus: receivers enqueued it at this
+    // moment, so this — not broadcast time — is our own queue position too.
+    // (Queueing at broadcast time would misorder concurrent senders.)
+    pending_.push_back({tag.key, t + params_.timeout_bits, false});
+    send_control(MsgKind::Accept, tag.key);
+  } else if (tag.kind == MsgKind::Accept && tag.key.source == id()) {
+    // Our own ACCEPT went out: our message's position is fixed for us too.
+    for (Pending& p : pending_) {
+      if (p.key == tag.key) {
+        p.accepted = true;
+        break;
+      }
+    }
+    release_head(t);
+  }
+}
+
+void TotcanHost::on_tick(BitTime now) {
+  // Expire unaccepted heads; deliver accepted ones in queue order.
+  while (!pending_.empty()) {
+    Pending& head = pending_.front();
+    if (head.accepted) {
+      deliver(head.key, now);
+      pending_.pop_front();
+    } else if (now >= head.deadline) {
+      pending_.pop_front();  // ACCEPT never came: discard undelivered
+    } else {
+      break;
+    }
+  }
+}
+
+void TotcanHost::release_head(BitTime now) { on_tick(now); }
+
+void TotcanHost::on_broadcast(const MessageKey& key, BitTime) {
+  // The sender's own message also waits for its ACCEPT, keeping one total
+  // order across all nodes; it joins pending_ when the DATA frame clears
+  // the bus (see on_own_tx_done).
+  send_data(key, /*relay=*/false);
+}
+
+}  // namespace mcan

@@ -1,0 +1,46 @@
+// TOTCAN (Rufino et al., FTCS'98): totally ordered broadcast via ACCEPT.
+//
+// Receivers do not deliver DATA immediately: each message joins the tail of
+// a pending queue.  The transmitter sends an ACCEPT control frame after the
+// main message succeeds; receiving the ACCEPT fixes the message's position
+// and releases it (in queue order).  If the ACCEPT does not arrive within
+// the timeout, the message is removed undelivered.  This yields Atomic
+// Broadcast under the Fig. 1 failure assumptions — but in the paper's new
+// Fig. 3 scenarios the DATA frame itself is inconsistently received while
+// the transmitter believes it succeeded, so the ACCEPT releases the message
+// only where the DATA arrived: agreement breaks (§4).
+#pragma once
+
+#include <deque>
+#include <set>
+
+#include "higher/host.hpp"
+
+namespace mcan {
+
+class TotcanHost final : public HigherHost {
+ public:
+  using HigherHost::HigherHost;
+
+  [[nodiscard]] bool busy() const override { return !pending_.empty(); }
+
+ protected:
+  void on_data(const MessageKey& key, BitTime t) override;
+  void on_control(const Tag& tag, BitTime t) override;
+  void on_own_tx_done(const Tag& tag, BitTime t) override;
+  void on_tick(BitTime now) override;
+  void on_broadcast(const MessageKey& key, BitTime now) override;
+
+ private:
+  struct Pending {
+    MessageKey key;
+    BitTime deadline = 0;
+    bool accepted = false;
+  };
+
+  void release_head(BitTime now);
+
+  std::deque<Pending> pending_;
+};
+
+}  // namespace mcan

@@ -1,0 +1,83 @@
+#include "node/fault_confinement.hpp"
+
+#include <algorithm>
+
+namespace mcan {
+
+const char* fc_state_name(FcState s) {
+  switch (s) {
+    case FcState::ErrorActive: return "error-active";
+    case FcState::ErrorPassive: return "error-passive";
+    case FcState::BusOff: return "bus-off";
+    case FcState::SwitchedOff: return "switched-off";
+  }
+  return "?";
+}
+
+void FaultConfinement::on_rx_error() {
+  if (!cfg_.enabled || off()) return;
+  rec_ += 1;
+  update_state();
+}
+
+void FaultConfinement::on_rx_primary_error() {
+  if (!cfg_.enabled || off()) return;
+  rec_ += 8;
+  update_state();
+}
+
+void FaultConfinement::on_tx_error() {
+  if (!cfg_.enabled || off()) return;
+  tec_ += 8;
+  update_state();
+}
+
+void FaultConfinement::on_tx_success() {
+  if (!cfg_.enabled || off()) return;
+  tec_ = std::max(0, tec_ - 1);
+  update_state();
+}
+
+void FaultConfinement::on_rx_success() {
+  if (!cfg_.enabled || off()) return;
+  // ISO 11898: if REC was above 127, set it to a value between 119 and 127.
+  rec_ = rec_ > 127 ? 119 : std::max(0, rec_ - 1);
+  update_state();
+}
+
+bool FaultConfinement::warning() const {
+  return cfg_.enabled &&
+         (tec_ >= cfg_.warning_limit || rec_ >= cfg_.warning_limit);
+}
+
+void FaultConfinement::reset_after_busoff() {
+  if (state_ != FcState::BusOff) return;
+  tec_ = 0;
+  rec_ = 0;
+  state_ = FcState::ErrorActive;
+}
+
+void FaultConfinement::force_counters(int tec, int rec) {
+  tec_ = tec;
+  rec_ = rec;
+  update_state();
+}
+
+void FaultConfinement::update_state() {
+  if (!cfg_.enabled || off()) return;
+  if (cfg_.switch_off_at_warning && warning()) {
+    state_ = FcState::SwitchedOff;
+    return;
+  }
+  if (tec_ >= cfg_.busoff_limit) {
+    state_ = FcState::BusOff;
+    return;
+  }
+  if (tec_ >= cfg_.passive_limit || rec_ >= cfg_.passive_limit) {
+    state_ = FcState::ErrorPassive;
+  } else {
+    state_ = FcState::ErrorActive;
+  }
+}
+
+}  // namespace mcan

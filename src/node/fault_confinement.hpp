@@ -1,0 +1,87 @@
+// The CAN Fault Confinement Entity (FCE): transmit/receive error counters
+// and the error-active / error-passive / bus-off state machine.
+//
+// The paper's premise (§2) is that the error-passive state must be avoided
+// for data consistency: a passive node signals errors with recessive bits
+// nobody is forced to see.  Most designs therefore switch the node off when
+// a counter reaches the *error warning* limit (96) — "assuring that every
+// node is either helping to achieve data consistency or disconnected".
+// That recommendation is available here as `switch_off_at_warning`.
+#pragma once
+
+#include <cstdint>
+
+namespace mcan {
+
+struct FaultConfinementConfig {
+  bool enabled = true;
+  int warning_limit = 96;
+  int passive_limit = 128;
+  int busoff_limit = 256;
+  /// Paper §2: disconnect at the warning limit instead of ever going
+  /// error-passive.
+  bool switch_off_at_warning = false;
+};
+
+enum class FcState : std::uint8_t {
+  ErrorActive,
+  ErrorPassive,
+  BusOff,
+  SwitchedOff,  ///< disconnected by the warning rule
+};
+
+[[nodiscard]] const char* fc_state_name(FcState s);
+
+class FaultConfinement {
+ public:
+  FaultConfinement() = default;
+  explicit FaultConfinement(FaultConfinementConfig cfg) : cfg_(cfg) {}
+
+  /// Receiver detected an error (REC += 1).
+  void on_rx_error();
+
+  /// Receiver saw a dominant bit right after sending its error flag — a
+  /// *primary* error (REC += 8).  This is the same MAC observation MinorCAN
+  /// reuses for its acceptance rule.
+  void on_rx_primary_error();
+
+  /// Transmitter detected an error and sent an error flag (TEC += 8).
+  void on_tx_error();
+
+  /// Frame transmitted successfully (TEC -= 1).
+  void on_tx_success();
+
+  /// Frame received successfully (REC -= 1).
+  void on_rx_success();
+
+  [[nodiscard]] FcState state() const { return state_; }
+  [[nodiscard]] int tec() const { return tec_; }
+  [[nodiscard]] int rec() const { return rec_; }
+
+  /// Error warning notification (either counter at/above the limit).
+  [[nodiscard]] bool warning() const;
+
+  [[nodiscard]] bool error_passive() const { return state_ == FcState::ErrorPassive; }
+  [[nodiscard]] bool off() const {
+    return state_ == FcState::BusOff || state_ == FcState::SwitchedOff;
+  }
+
+  /// Force counters (tests and scenario setup, e.g. "node is already
+  /// error-passive" from the paper's introduction).
+  void force_counters(int tec, int rec);
+
+  /// Complete a bus-off recovery (ISO 11898: after 128 occurrences of 11
+  /// consecutive recessive bits): counters reset, back to error-active.
+  /// No-op unless currently bus-off.
+  void reset_after_busoff();
+
+ private:
+  void update_state();
+
+  FaultConfinementConfig cfg_;
+  FcState state_ = FcState::ErrorActive;
+  int tec_ = 0;
+  int rec_ = 0;
+};
+
+}  // namespace mcan

@@ -1,0 +1,166 @@
+#include "node/rx_parser.hpp"
+
+#include <algorithm>
+
+namespace mcan {
+
+void RxParser::reset() {
+  destuff_.reset();
+  crc_.reset();
+  frame_ = Frame{};
+  field_ = Field::Sof;
+  field_bits_ = 0;
+  data_bits_ = 0;
+  acc_ = 0;
+  rtr_or_srr_ = Level::Recessive;
+  crc_received_ = 0;
+  crc_computed_ = 0;
+  wire_bits_ = 0;
+}
+
+RxParser::Status RxParser::push(Level wire_bit) {
+  ++wire_bits_;
+
+  if (field_ == Field::TrailingStuff) {
+    // One stuff bit owed after the final CRC bit; classify it so a corrupted
+    // trailing stuff bit still raises a stuff error.
+    if (destuff_.push(wire_bit) == BitDestuffer::Result::StuffError) {
+      return Status::StuffError;
+    }
+    field_ = Field::Done;
+    return Status::BodyDone;
+  }
+
+  switch (destuff_.push(wire_bit)) {
+    case BitDestuffer::Result::StuffError:
+      return Status::StuffError;
+    case BitDestuffer::Result::StuffBit:
+      return Status::InBody;
+    case BitDestuffer::Result::Payload:
+      return consume_payload(wire_bit);
+  }
+  return Status::InBody;
+}
+
+RxParser::Status RxParser::consume_payload(Level bit) {
+  // CRC covers SOF through the end of the data field.
+  if (field_ != Field::Crc) crc_.feed(bit);
+
+  switch (field_) {
+    case Field::Sof:
+      // The controller only starts us on a dominant bit, so no check needed.
+      field_ = Field::Id;
+      field_bits_ = 0;
+      acc_ = 0;
+      return Status::InBody;
+
+    case Field::Id:
+      acc_ = (acc_ << 1) | (logical(bit) ? 1u : 0u);
+      if (++field_bits_ == kIdBits) {
+        frame_.id = acc_;
+        field_ = Field::RtrOrSrr;
+      }
+      return Status::InBody;
+
+    case Field::RtrOrSrr:
+      // Standard RTR or extended SRR; the next bit (IDE) disambiguates.
+      rtr_or_srr_ = bit;
+      field_ = Field::Ide;
+      return Status::InBody;
+
+    case Field::Ide:
+      if (is_dominant(bit)) {
+        // Standard (2.0A) frame: the previous bit was its RTR.
+        frame_.extended = false;
+        frame_.remote = is_recessive(rtr_or_srr_);
+        field_ = Field::R0;
+        return Status::InBody;
+      }
+      // Extended (2.0B) frame: the previous bit was the SRR, which 2.0B
+      // requires to be recessive.
+      if (is_dominant(rtr_or_srr_)) return Status::FormError;
+      frame_.extended = true;
+      field_ = Field::ExtId;
+      field_bits_ = 0;
+      acc_ = 0;
+      return Status::InBody;
+
+    case Field::ExtId:
+      acc_ = (acc_ << 1) | (logical(bit) ? 1u : 0u);
+      if (++field_bits_ == kExtIdBits) {
+        frame_.id = (frame_.id << kExtIdBits) | acc_;
+        field_ = Field::ExtRtr;
+      }
+      return Status::InBody;
+
+    case Field::ExtRtr:
+      frame_.remote = is_recessive(bit);
+      field_ = Field::R1;
+      return Status::InBody;
+
+    case Field::R1:
+      // Reserved bit: transmitted dominant, accepted either way (ISO 11898).
+      field_ = Field::R0;
+      return Status::InBody;
+
+    case Field::R0:
+      field_ = Field::Dlc;
+      field_bits_ = 0;
+      acc_ = 0;
+      return Status::InBody;
+
+    case Field::Dlc: {
+      acc_ = (acc_ << 1) | (logical(bit) ? 1u : 0u);
+      if (++field_bits_ == kDlcBits) {
+        frame_.dlc = static_cast<std::uint8_t>(acc_);
+        // DLC values 9..15 mean 8 data bytes on the wire (ISO 11898).
+        int effective = frame_.remote ? 0 : std::min<int>(frame_.dlc, kMaxDataBytes);
+        data_bits_ = effective * 8;
+        field_bits_ = 0;
+        acc_ = 0;
+        field_ = data_bits_ > 0 ? Field::Data : Field::Crc;
+      }
+      return Status::InBody;
+    }
+
+    case Field::Data:
+      acc_ = (acc_ << 1) | (logical(bit) ? 1u : 0u);
+      ++field_bits_;
+      if (field_bits_ % 8 == 0) {
+        frame_.data[static_cast<std::size_t>(field_bits_ / 8 - 1)] =
+            static_cast<std::uint8_t>(acc_ & 0xff);
+        acc_ = 0;
+      }
+      if (field_bits_ == data_bits_) {
+        crc_computed_ = crc_.value();
+        field_ = Field::Crc;
+        field_bits_ = 0;
+        acc_ = 0;
+      }
+      return Status::InBody;
+
+    case Field::Crc:
+      if (field_bits_ == 0 && data_bits_ == 0) {
+        // No data field: CRC snapshot happens on entry instead.
+        crc_computed_ = crc_.value();
+      }
+      acc_ = (acc_ << 1) | (logical(bit) ? 1u : 0u);
+      if (++field_bits_ == kCrcBits) {
+        crc_received_ = static_cast<std::uint16_t>(acc_);
+        if (destuff_.stuff_pending()) {
+          field_ = Field::TrailingStuff;
+          return Status::InBody;
+        }
+        field_ = Field::Done;
+        return Status::BodyDone;
+      }
+      return Status::InBody;
+
+    case Field::TrailingStuff:
+    case Field::Done:
+      break;
+  }
+  return Status::InBody;
+}
+
+}  // namespace mcan

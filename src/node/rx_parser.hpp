@@ -1,0 +1,80 @@
+// Incremental receiver-side parser for the stuffed frame body
+// (SOF .. CRC sequence, including a possible trailing stuff bit).
+//
+// The controller feeds it one wire bit per bit time starting with SOF and it
+// reports when the body is complete, whether the CRC matched, and any stuff
+// error.  It is deliberately ignorant of everything after the CRC sequence —
+// the fixed-form tail and the EOF end-game are the controller's (and the
+// protocol variant's) business.
+#pragma once
+
+#include <cstdint>
+
+#include "frame/crc15.hpp"
+#include "frame/frame.hpp"
+#include "frame/layout.hpp"
+#include "frame/stuffing.hpp"
+
+namespace mcan {
+
+class RxParser {
+ public:
+  enum class Status {
+    InBody,      ///< still consuming body bits
+    BodyDone,    ///< final CRC bit (and trailing stuff bit, if any) consumed
+    StuffError,  ///< six equal bits in the stuffed region
+    FormError,   ///< unsupported fixed-form content (e.g. extended IDE)
+  };
+
+  RxParser() { reset(); }
+
+  /// Feed the next wire bit; the first bit fed must be the (dominant) SOF.
+  Status push(Level wire_bit);
+
+  void reset();
+
+  /// Valid once push() has returned BodyDone.
+  [[nodiscard]] const Frame& frame() const { return frame_; }
+  [[nodiscard]] bool crc_ok() const { return crc_received_ == crc_computed_; }
+  [[nodiscard]] std::uint16_t crc_received() const { return crc_received_; }
+  [[nodiscard]] std::uint16_t crc_computed() const { return crc_computed_; }
+
+  /// Wire bits consumed so far (payload + stuff bits).
+  [[nodiscard]] int bits_consumed() const { return wire_bits_; }
+
+  /// True once the body is fully consumed.
+  [[nodiscard]] bool done() const { return field_ == Field::Done; }
+
+ private:
+  enum class Field : std::uint8_t {
+    Sof,
+    Id,        ///< 11 base identifier bits
+    RtrOrSrr,  ///< RTR (standard) or SRR (extended) — decided by IDE
+    Ide,
+    ExtId,     ///< 18 extension identifier bits (2.0B)
+    ExtRtr,    ///< RTR of an extended frame
+    R1,        ///< reserved bit of an extended frame
+    R0,
+    Dlc,
+    Data,
+    Crc,
+    TrailingStuff,
+    Done,
+  };
+
+  Status consume_payload(Level bit);
+
+  BitDestuffer destuff_;
+  Crc15 crc_;
+  Frame frame_;
+  Field field_ = Field::Sof;
+  int field_bits_ = 0;   ///< payload bits consumed within current field
+  int data_bits_ = 0;    ///< total data bits expected (8 * effective dlc)
+  std::uint32_t acc_ = 0;
+  Level rtr_or_srr_ = Level::Recessive;
+  std::uint16_t crc_received_ = 0;
+  std::uint16_t crc_computed_ = 0;
+  int wire_bits_ = 0;
+};
+
+}  // namespace mcan

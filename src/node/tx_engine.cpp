@@ -1,0 +1,24 @@
+#include "node/tx_engine.hpp"
+
+namespace mcan {
+
+void TxEngine::start(const Frame& f, int eof_bits) {
+  frame_ = f;
+  bits_ = encode_tx(f, eof_bits);
+  idx_ = 0;
+  eof_start_ = bits_.size() - static_cast<std::size_t>(eof_bits);
+}
+
+bool TxEngine::advance() {
+  if (idx_ < bits_.size()) ++idx_;
+  return idx_ >= bits_.size();
+}
+
+int TxEngine::eof_index() const {
+  if (idx_ >= eof_start_ && idx_ < bits_.size()) {
+    return static_cast<int>(idx_ - eof_start_);
+  }
+  return -1;
+}
+
+}  // namespace mcan

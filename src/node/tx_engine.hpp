@@ -1,0 +1,51 @@
+// Transmit-side bit pump.
+//
+// Wraps the encoded wire bitstream of one frame and tracks the cursor as the
+// controller pushes it onto the bus.  The controller consults the current
+// phase to pick error semantics (arbitration loss vs. bit error vs. ACK).
+#pragma once
+
+#include <vector>
+
+#include "frame/encoder.hpp"
+
+namespace mcan {
+
+class TxEngine {
+ public:
+  /// Prepare transmission of `f` with a protocol-specific EOF length.
+  void start(const Frame& f, int eof_bits);
+
+  [[nodiscard]] bool in_progress() const { return idx_ < bits_.size(); }
+
+  /// The bit to put on the wire this bit time.
+  [[nodiscard]] const TxBit& current() const { return bits_[idx_]; }
+
+  /// Advance past the current bit; returns true when the stream is finished.
+  bool advance();
+
+  /// Cursor position within the wire stream (0-based).
+  [[nodiscard]] int position() const { return static_cast<int>(idx_); }
+
+  /// 0-based index within the EOF field if the cursor is there, else -1.
+  [[nodiscard]] int eof_index() const;
+
+  /// Cursor position relative to the first EOF bit (negative inside the
+  /// body/tail).  Unlike receivers, the transmitter knows this exactly at
+  /// every bit — which MajorCAN uses to time its end-game suppression.
+  [[nodiscard]] int eof_relative() const {
+    return static_cast<int>(idx_) - static_cast<int>(eof_start_);
+  }
+
+  [[nodiscard]] const Frame& frame() const { return frame_; }
+
+  void abort() { idx_ = bits_.size(); }
+
+ private:
+  Frame frame_;
+  std::vector<TxBit> bits_;
+  std::size_t idx_ = 0;
+  std::size_t eof_start_ = 0;
+};
+
+}  // namespace mcan

@@ -1,0 +1,320 @@
+#include "scenario/campaign.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "analysis/tagged.hpp"
+#include "core/network.hpp"
+#include "fault/random_faults.hpp"
+#include "fault/scripted.hpp"
+#include "frame/encoder.hpp"
+#include "frame/layout.hpp"
+#include "util/rng.hpp"
+#include "util/text.hpp"
+
+namespace mcan {
+
+std::string CampaignResult::summary() const {
+  std::string s = cfg.protocol.name();
+  s += " errors=" + std::to_string(cfg.errors);
+  s += " trials=" + std::to_string(trials);
+  s += " | IMO=" + std::to_string(imo);
+  s += " double-rx=" + std::to_string(double_rx);
+  s += " total-loss=" + std::to_string(total_loss);
+  s += " retransmissions=" + std::to_string(retransmissions);
+  if (timeouts) s += " TIMEOUTS=" + std::to_string(timeouts);
+  return s;
+}
+
+CampaignResult run_eof_campaign(const CampaignConfig& cfg) {
+  return run_eof_campaign_range(cfg, 0, cfg.trials);
+}
+
+CampaignResult run_eof_campaign_range(const CampaignConfig& cfg, int first,
+                                      int last) {
+  CampaignResult res;
+  res.cfg = cfg;
+
+  Rng master(cfg.seed, 0x9d5c0f3a);
+  const Frame frame = make_tagged_frame(0x100, MsgKind::Data, MessageKey{0, 1});
+  const int eof_bits = cfg.protocol.eof_bits();
+  const int wire_len = wire_length(frame, eof_bits);
+  const int eof_start = wire_len - eof_bits;
+
+  // The frame starts at bit time 0 (node 0 holds the only pending frame).
+  BitTime win_lo = 0;
+  BitTime win_hi = 0;  // exclusive
+  switch (cfg.window) {
+    case FaultWindow::FrameTail:
+      // The tail plus the whole end-game region (extended flags / sampling
+      // run up to EOF-relative position 3m+4 in MajorCAN).
+      win_lo = static_cast<BitTime>(eof_start > 4 ? eof_start - 4 : 0);
+      win_hi = static_cast<BitTime>(eof_start + 3 * cfg.protocol.m + 6);
+      break;
+    case FaultWindow::WholeFrame:
+      win_lo = 0;
+      win_hi = static_cast<BitTime>(wire_len);
+      break;
+    case FaultWindow::TailAndRecovery:
+      // Through the end-game and the full error delimiter — but not the
+      // intermission or the retransmitted frame's bits, whose disturbance
+      // effects are the separate parser-resynchronisation finding
+      // (DESIGN.md §7), not delimiter robustness.
+      win_lo = static_cast<BitTime>(eof_start > 4 ? eof_start - 4 : 0);
+      win_hi = static_cast<BitTime>(eof_start + 5 * cfg.protocol.m + 6);
+      break;
+  }
+  const auto win_size = static_cast<std::uint32_t>(win_hi - win_lo);
+
+  for (int trial = first; trial < last; ++trial) {
+    Rng rng = master.split(static_cast<std::uint64_t>(trial));
+
+    Network net(cfg.n_nodes, cfg.protocol);
+    ScriptedFaults inj;
+    for (int e = 0; e < cfg.errors; ++e) {
+      const auto node =
+          static_cast<NodeId>(rng.next_below(static_cast<std::uint32_t>(cfg.n_nodes)));
+      const BitTime at = win_lo + rng.next_below(win_size);
+      inj.add(FaultTarget::at_time(node, at));
+    }
+    net.set_injector(inj);
+
+    bool tx_crashed = false;
+    if (cfg.crash_tx_randomly && rng.chance(0.5)) {
+      // Crash the transmitter somewhere in or shortly after the fault
+      // window — the Fig. 1c failure mode, randomised.
+      const BitTime at = win_lo + rng.next_below(win_size + 20);
+      net.sim().schedule_crash(0, at);
+      tx_crashed = true;
+    }
+
+    net.node(0).enqueue(frame);
+    const bool quiesced = net.run_until_quiet(30000);
+    if (!quiesced) {
+      ++res.timeouts;
+      continue;
+    }
+
+    const int tx_success =
+        static_cast<int>(net.log().count(EventKind::TxSuccess, 0));
+    res.retransmissions +=
+        static_cast<int>(net.log().count(EventKind::TxRetransmit, 0));
+
+    bool any = false;
+    bool all = true;
+    bool dup = false;
+    for (int i = 1; i < cfg.n_nodes; ++i) {
+      const auto copies = static_cast<int>(net.deliveries(i).size());
+      if (copies > 0) any = true;
+      if (copies == 0) all = false;
+      if (copies > 1) dup = true;
+    }
+
+    // The sender counts as having the message iff it reported TxSuccess and
+    // did not crash; a correct sender with no deliveries anywhere is a total
+    // loss (validity violation).
+    const bool sender_has = tx_success > 0 && !tx_crashed;
+    if ((any || sender_has) && !all) ++res.imo;
+    if (dup) ++res.double_rx;
+    if (!any && sender_has) ++res.total_loss;
+    ++res.trials;
+  }
+  return res;
+}
+
+CampaignResult run_eof_campaign_parallel(const CampaignConfig& cfg,
+                                         unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(
+                                            std::max(1, cfg.trials)));
+  if (threads <= 1) return run_eof_campaign(cfg);
+
+  std::vector<CampaignResult> parts(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const int per = cfg.trials / static_cast<int>(threads);
+  const int extra = cfg.trials % static_cast<int>(threads);
+  int next = 0;
+  for (unsigned w = 0; w < threads; ++w) {
+    const int count = per + (static_cast<int>(w) < extra ? 1 : 0);
+    const int first = next;
+    const int last = next + count;
+    next = last;
+    workers.emplace_back([&parts, w, &cfg, first, last] {
+      parts[w] = run_eof_campaign_range(cfg, first, last);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  CampaignResult res;
+  res.cfg = cfg;
+  for (const CampaignResult& p : parts) {
+    res.trials += p.trials;
+    res.imo += p.imo;
+    res.double_rx += p.double_rx;
+    res.total_loss += p.total_loss;
+    res.retransmissions += p.retransmissions;
+    res.timeouts += p.timeouts;
+  }
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// higher-level baselines
+// ---------------------------------------------------------------------------
+
+std::string HigherCampaignResult::summary() const {
+  std::string s = higher_kind_name(cfg.kind);
+  s += " errors=" + std::to_string(cfg.errors);
+  if (cfg.crash_tx_randomly) s += " +crashes";
+  s += " trials=" + std::to_string(trials);
+  s += " | AB2 violations=" + std::to_string(agreement_violations);
+  s += " AB3=" + std::to_string(duplicate_trials);
+  s += " AB5=" + std::to_string(order_trials);
+  if (timeouts) s += " TIMEOUTS=" + std::to_string(timeouts);
+  return s;
+}
+
+HigherCampaignResult run_higher_campaign(const HigherCampaignConfig& cfg) {
+  HigherCampaignResult res;
+  res.cfg = cfg;
+
+  Rng master(cfg.seed, 0x8a7e11);
+  // The DATA frame is the first thing on the bus; its geometry fixes the
+  // disturbance window exactly as in the link-level campaign.
+  const Frame data =
+      make_tagged_frame(0x100, MsgKind::Data, MessageKey{0, 1});
+  const int wire_len = wire_length(data, kStandardEofBits);
+  const int eof_start = wire_len - kStandardEofBits;
+  const BitTime win_lo = static_cast<BitTime>(eof_start - 4);
+  const BitTime win_hi = static_cast<BitTime>(eof_start + kStandardEofBits + 3);
+  const auto win_size = static_cast<std::uint32_t>(win_hi - win_lo);
+
+  for (int trial = 0; trial < cfg.trials; ++trial) {
+    Rng rng = master.split(static_cast<std::uint64_t>(trial));
+
+    HigherNetwork net(cfg.kind, cfg.n_nodes, HostParams{cfg.timeout_bits});
+    ScriptedFaults inj;
+    for (int e = 0; e < cfg.errors; ++e) {
+      const auto node = static_cast<NodeId>(
+          rng.next_below(static_cast<std::uint32_t>(cfg.n_nodes)));
+      inj.add(FaultTarget::at_time(node, win_lo + rng.next_below(win_size)));
+    }
+    net.link().set_injector(inj);
+
+    bool crashed = false;
+    if (cfg.crash_tx_randomly && rng.chance(0.5)) {
+      net.link().sim().schedule_crash(0, win_lo + rng.next_below(win_size + 30));
+      crashed = true;
+    }
+
+    net.host(0).broadcast(MessageKey{0, 1});
+    if (!net.run_until_quiet(60000)) {
+      ++res.timeouts;
+      continue;
+    }
+
+    std::set<NodeId> correct;
+    for (int i = crashed ? 1 : 0; i < cfg.n_nodes; ++i) {
+      correct.insert(static_cast<NodeId>(i));
+    }
+    const AbReport rep = net.check(correct);
+    if (rep.agreement_violations > 0) ++res.agreement_violations;
+    if (rep.duplicate_deliveries > 0) ++res.duplicate_trials;
+    if (rep.order_inversions > 0) ++res.order_trials;
+    ++res.trials;
+  }
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// soak
+// ---------------------------------------------------------------------------
+
+std::string SoakResult::summary() const {
+  std::string s = cfg.protocol.name();
+  s += " nodes=" + std::to_string(cfg.n_nodes);
+  s += " ber*=" + sci(cfg.ber_star, 2);
+  s += " frames=" + std::to_string(frames_broadcast);
+  s += " injected=" + std::to_string(errors_injected);
+  s += " bits=" + std::to_string(duration_bits);
+  s += "\n  " + report.summary();
+  return s;
+}
+
+SoakResult run_soak(const SoakConfig& cfg) {
+  SoakResult res;
+  res.cfg = cfg;
+
+  Network net(cfg.n_nodes, cfg.protocol);
+  RandomFaults inj(cfg.ber_star, Rng(cfg.seed, 0x51a7b0));
+  net.set_injector(inj);
+
+  std::vector<BroadcastRecord> broadcasts;
+  std::map<NodeId, DeliveryJournal> journals;
+  for (int i = 0; i < cfg.n_nodes; ++i) {
+    journals.emplace(static_cast<NodeId>(i), DeliveryJournal{});
+  }
+
+  // Senders journal their own broadcasts at TxSuccess (the moment the
+  // controller reports the frame delivered).
+  for (int i = 0; i < cfg.senders; ++i) {
+    auto& journal = journals.at(static_cast<NodeId>(i));
+    net.node(i).add_tx_done_handler([&journal](const Frame& f, BitTime t) {
+      if (auto tag = parse_tag(f)) journal.push_back({tag->key, t});
+    });
+  }
+
+  std::vector<int> next_seq(static_cast<std::size_t>(cfg.senders), 0);
+  BitTime t = 0;
+  const BitTime horizon =
+      static_cast<BitTime>(cfg.frames_per_sender) * cfg.period_bits + 50;
+  while (t < horizon) {
+    for (int i = 0; i < cfg.senders; ++i) {
+      // Staggered periodic release.
+      const BitTime phase = static_cast<BitTime>(i) * 37;
+      if ((t + phase) % static_cast<BitTime>(cfg.period_bits) == 0 &&
+          next_seq[static_cast<std::size_t>(i)] < cfg.frames_per_sender) {
+        const auto seq = static_cast<std::uint16_t>(
+            ++next_seq[static_cast<std::size_t>(i)]);
+        const MessageKey key{static_cast<NodeId>(i), seq};
+        net.node(i).enqueue(make_tagged_frame(
+            0x100 + static_cast<std::uint32_t>(i), MsgKind::Data, key));
+        broadcasts.push_back({key, static_cast<NodeId>(i)});
+      }
+    }
+    net.sim().step();
+    ++t;
+  }
+  // Drain with a clean channel so pending retransmissions settle.
+  inj.set_rate(0.0);
+  net.run_until_quiet(60000);
+
+  for (int i = 0; i < cfg.n_nodes; ++i) {
+    auto& journal = journals.at(static_cast<NodeId>(i));
+    for (const Delivery& d : net.deliveries(i)) {
+      if (auto tag = parse_tag(d.frame)) {
+        journal.push_back({tag->key, d.t});
+      }
+    }
+    std::sort(journal.begin(), journal.end(),
+              [](const DeliveryEvent& a, const DeliveryEvent& b) {
+                return a.t < b.t;
+              });
+  }
+
+  std::set<NodeId> correct;
+  for (int i = 0; i < cfg.n_nodes; ++i) {
+    if (net.node(i).active()) correct.insert(static_cast<NodeId>(i));
+  }
+
+  res.report = check_atomic_broadcast(broadcasts, journals, correct);
+  res.frames_broadcast = static_cast<int>(broadcasts.size());
+  res.errors_injected = inj.injected();
+  res.duration_bits = net.sim().now();
+  return res;
+}
+
+}  // namespace mcan

@@ -1,0 +1,203 @@
+#include "scenario/dsl.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/tagged.hpp"
+#include "core/network.hpp"
+
+namespace mcan {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::invalid_argument("scenario line " + std::to_string(line) + ": " +
+                              what);
+}
+
+std::uint32_t parse_uint(int line, const std::string& s) {
+  try {
+    return static_cast<std::uint32_t>(std::stoul(s, nullptr, 0));
+  } catch (const std::exception&) {
+    fail(line, "not a number: '" + s + "'");
+  }
+}
+
+/// Parse "key=value" tokens into a map.
+std::map<std::string, std::string> parse_kv(
+    int line, const std::vector<std::string>& tokens, std::size_t from) {
+  std::map<std::string, std::string> kv;
+  for (std::size_t i = from; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string::npos) fail(line, "expected key=value: " + tokens[i]);
+    kv[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
+  }
+  return kv;
+}
+
+}  // namespace
+
+ScenarioSpec parse_scenario(const std::string& text) {
+  ScenarioSpec spec;
+  spec.protocol = ProtocolParams::standard_can();
+
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream line(raw);
+    std::vector<std::string> tok;
+    for (std::string t; line >> t;) tok.push_back(t);
+    if (tok.empty()) continue;
+
+    const std::string& cmd = tok[0];
+    if (cmd == "name") {
+      spec.name = tok.size() > 1 ? raw.substr(raw.find(tok[1])) : "";
+    } else if (cmd == "protocol") {
+      if (tok.size() < 2) fail(line_no, "protocol needs a variant");
+      if (tok[1] == "can") {
+        spec.protocol = ProtocolParams::standard_can();
+      } else if (tok[1] == "minor") {
+        spec.protocol = ProtocolParams::minor_can();
+      } else if (tok[1] == "major") {
+        const int m = tok.size() > 2
+                          ? static_cast<int>(parse_uint(line_no, tok[2]))
+                          : 5;
+        spec.protocol = ProtocolParams::major_can(m);
+      } else {
+        fail(line_no, "unknown protocol: " + tok[1]);
+      }
+    } else if (cmd == "nodes") {
+      if (tok.size() < 2) fail(line_no, "nodes needs a count");
+      spec.n_nodes = static_cast<int>(parse_uint(line_no, tok[1]));
+      if (spec.n_nodes < 2) fail(line_no, "need at least 2 nodes");
+    } else if (cmd == "frame") {
+      auto kv = parse_kv(line_no, tok, 1);
+      if (kv.contains("id")) spec.frame_id = parse_uint(line_no, kv["id"]);
+      if (kv.contains("dlc")) {
+        spec.frame_dlc = static_cast<std::uint8_t>(parse_uint(line_no, kv["dlc"]));
+      }
+    } else if (cmd == "flip") {
+      auto kv = parse_kv(line_no, tok, 1);
+      if (!kv.contains("node")) fail(line_no, "flip needs node=");
+      const NodeId node = parse_uint(line_no, kv["node"]);
+      const int frame =
+          kv.contains("frame")
+              ? static_cast<int>(parse_uint(line_no, kv["frame"]))
+              : 0;
+      if (kv.contains("eof")) {
+        spec.flips.push_back(FaultTarget::eof_bit(
+            node, static_cast<int>(parse_uint(line_no, kv["eof"])), frame));
+      } else if (kv.contains("eofrel")) {
+        spec.flips.push_back(FaultTarget::eof_relative(
+            node, static_cast<int>(parse_uint(line_no, kv["eofrel"])), frame));
+      } else if (kv.contains("body")) {
+        FaultTarget t;
+        t.node = node;
+        t.seg = Seg::Body;
+        t.index = static_cast<int>(parse_uint(line_no, kv["body"]));
+        t.frame_index = frame;
+        spec.flips.push_back(t);
+      } else if (kv.contains("t")) {
+        spec.flips.push_back(
+            FaultTarget::at_time(node, parse_uint(line_no, kv["t"])));
+      } else {
+        fail(line_no, "flip needs eof=, eofrel=, body= or t=");
+      }
+    } else if (cmd == "crash") {
+      auto kv = parse_kv(line_no, tok, 1);
+      if (!kv.contains("node") || !kv.contains("t")) {
+        fail(line_no, "crash needs node= and t=");
+      }
+      spec.crash = {parse_uint(line_no, kv["node"]),
+                    parse_uint(line_no, kv["t"])};
+    } else if (cmd == "expect") {
+      if (tok.size() < 2) fail(line_no, "expect needs a verdict");
+      if (tok[1] == "imo") {
+        spec.expect = Expectation::Imo;
+      } else if (tok[1] == "consistent") {
+        spec.expect = Expectation::Consistent;
+      } else if (tok[1] == "double") {
+        spec.expect = Expectation::Double;
+      } else if (tok[1] == "any") {
+        spec.expect = Expectation::Any;
+      } else {
+        fail(line_no, "unknown expectation: " + tok[1]);
+      }
+    } else {
+      fail(line_no, "unknown directive: " + cmd);
+    }
+  }
+  return spec;
+}
+
+ScenarioSpec load_scenario_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::invalid_argument("cannot open scenario file: " + path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  ScenarioSpec spec = parse_scenario(buf.str());
+  if (spec.name.empty()) spec.name = path;
+  return spec;
+}
+
+DslRunResult run_scenario(const ScenarioSpec& spec) {
+  // Reuse the figure engine for the run + trace, then layer the crash.
+  Network net(spec.n_nodes, spec.protocol);
+  net.enable_trace();
+  ScriptedFaults inj(spec.flips);
+  net.set_injector(inj);
+  if (spec.crash) net.sim().schedule_crash(spec.crash->first, spec.crash->second);
+
+  const Frame frame =
+      make_tagged_frame(spec.frame_id, MsgKind::Data, MessageKey{0, 1},
+                        std::max<std::uint8_t>(4, spec.frame_dlc));
+  net.node(0).enqueue(frame);
+  net.run_until_quiet(30000);
+
+  DslRunResult res;
+  res.outcome.name = spec.name.empty() ? "scenario" : spec.name;
+  res.outcome.protocol = spec.protocol;
+  res.outcome.tx_node = 0;
+  res.outcome.n_nodes = spec.n_nodes;
+  res.outcome.deliveries.assign(static_cast<std::size_t>(spec.n_nodes), 0);
+  for (int i = 0; i < spec.n_nodes; ++i) {
+    res.outcome.deliveries[static_cast<std::size_t>(i)] =
+        static_cast<int>(net.deliveries(i).size());
+  }
+  res.outcome.tx_success =
+      static_cast<int>(net.log().count(EventKind::TxSuccess, 0));
+  res.outcome.tx_attempts =
+      static_cast<int>(net.log().count(EventKind::SofSent, 0));
+  res.outcome.tx_crashed = spec.crash.has_value();
+  res.outcome.faults_all_fired = inj.all_fired();
+  res.outcome.trace = net.trace().render(net.labels());
+
+  switch (spec.expect) {
+    case Expectation::Any:
+      res.expectation_met = true;
+      res.expectation_text = "(no expectation)";
+      break;
+    case Expectation::Imo:
+      res.expectation_met = res.outcome.imo();
+      res.expectation_text = "expected inconsistent message omission";
+      break;
+    case Expectation::Consistent:
+      res.expectation_met =
+          !res.outcome.imo() && !res.outcome.double_reception();
+      res.expectation_text = "expected consistency";
+      break;
+    case Expectation::Double:
+      res.expectation_met = res.outcome.double_reception();
+      res.expectation_text = "expected double reception";
+      break;
+  }
+  return res;
+}
+
+}  // namespace mcan

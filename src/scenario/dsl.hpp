@@ -1,0 +1,53 @@
+// A small text language for disturbance scenarios, so experiments can live
+// as data files (scenarios/*.scn) and be replayed by the trace explorer:
+//
+//     # Fig 3a: the paper's new scenario
+//     protocol can            # can | minor | major <m>
+//     nodes 5
+//     frame id=0x100 dlc=4
+//     flip node=1 eof=5       # 0-based EOF bit of that node's view
+//     flip node=2 eof=5
+//     flip node=0 eof=6
+//     crash node=0 t=75       # optional, absolute bit time
+//     expect imo              # imo | consistent | double | any
+//
+// Addressing forms for `flip`: eof=<pos> [frame=<k>], eofrel=<pos>
+// [frame=<k>], body=<wire-bit> [frame=<k>], t=<absolute-bit>.
+#pragma once
+
+#include <string>
+
+#include "scenario/figures.hpp"
+
+namespace mcan {
+
+enum class Expectation { Any, Consistent, Imo, Double };
+
+struct ScenarioSpec {
+  std::string name;
+  ProtocolParams protocol;
+  int n_nodes = 5;
+  std::uint32_t frame_id = 0x100;
+  std::uint8_t frame_dlc = 4;
+  std::vector<FaultTarget> flips;
+  std::optional<std::pair<NodeId, BitTime>> crash;
+  Expectation expect = Expectation::Any;
+};
+
+/// Parse the DSL; throws std::invalid_argument with a line-numbered message
+/// on syntax errors.
+[[nodiscard]] ScenarioSpec parse_scenario(const std::string& text);
+
+/// Load and parse a scenario file.
+[[nodiscard]] ScenarioSpec load_scenario_file(const std::string& path);
+
+struct DslRunResult {
+  ScenarioOutcome outcome;
+  bool expectation_met = true;
+  std::string expectation_text;
+};
+
+/// Run the scenario and evaluate its `expect` clause.
+[[nodiscard]] DslRunResult run_scenario(const ScenarioSpec& spec);
+
+}  // namespace mcan

@@ -1,0 +1,140 @@
+#include "scenario/exhaustive.hpp"
+
+#include <functional>
+
+#include "analysis/tagged.hpp"
+#include "core/network.hpp"
+#include "fault/scripted.hpp"
+#include "frame/encoder.hpp"
+
+namespace mcan {
+
+int ExhaustiveConfig::window_hi() const {
+  if (win_hi_rel != 0) return win_hi_rel;
+  if (protocol.variant == Variant::MajorCan) return 3 * protocol.m + 5;
+  return protocol.eof_bits() + 3;  // EOF + intermission
+}
+
+std::string Counterexample::to_string() const {
+  std::string s = "flips:";
+  for (const auto& [node, pos] : flips) {
+    s += " (node " + std::to_string(node) + ", EOF" +
+         (pos >= 0 ? "+" : "") + std::to_string(pos) + ")";
+  }
+  s += " => " + outcome;
+  return s;
+}
+
+std::string ExhaustiveResult::summary() const {
+  std::string s = cfg.protocol.name();
+  s += " nodes=" + std::to_string(cfg.n_nodes);
+  s += " k=" + std::to_string(cfg.errors);
+  s += " cases=" + std::to_string(cases);
+  s += " | IMO=" + std::to_string(imo);
+  s += " double-rx=" + std::to_string(double_rx);
+  s += " total-loss=" + std::to_string(total_loss);
+  if (timeouts) s += " TIMEOUTS=" + std::to_string(timeouts);
+  s += violations() == 0 ? " => VERIFIED CONSISTENT" : " => COUNTEREXAMPLES";
+  return s;
+}
+
+namespace {
+
+struct CaseOutcome {
+  bool imo = false;
+  bool dup = false;
+  bool loss = false;
+  bool timeout = false;
+  std::string describe;
+};
+
+CaseOutcome run_case(const ExhaustiveConfig& cfg, const Frame& frame,
+                     int eof_start,
+                     const std::vector<std::pair<NodeId, int>>& flips) {
+  Network net(cfg.n_nodes, cfg.protocol);
+  ScriptedFaults inj;
+  for (const auto& [node, pos] : flips) {
+    inj.add(FaultTarget::at_time(node, static_cast<BitTime>(eof_start + pos)));
+  }
+  net.set_injector(inj);
+  net.node(0).enqueue(frame);
+
+  CaseOutcome out;
+  if (!net.run_until_quiet(30000)) {
+    out.timeout = true;
+    out.describe = "TIMEOUT";
+    return out;
+  }
+
+  const int tx_success =
+      static_cast<int>(net.log().count(EventKind::TxSuccess, 0));
+  bool any = false;
+  bool all = true;
+  std::string counts;
+  for (int i = 1; i < cfg.n_nodes; ++i) {
+    const auto c = static_cast<int>(net.deliveries(i).size());
+    counts += (counts.empty() ? "" : " ") + std::to_string(c);
+    if (c > 0) any = true;
+    if (c == 0) all = false;
+    if (c > 1) out.dup = true;
+  }
+  const bool sender_has = tx_success > 0;
+  out.imo = (any || sender_has) && !all;
+  out.loss = !any && sender_has;
+
+  if (out.imo) {
+    out.describe = "IMO: deliveries " + counts;
+  } else if (out.dup) {
+    out.describe = "double reception: deliveries " + counts;
+  } else if (out.loss) {
+    out.describe = "total loss (tx believed success)";
+  }
+  return out;
+}
+
+}  // namespace
+
+ExhaustiveResult run_exhaustive(const ExhaustiveConfig& cfg, int max_examples) {
+  ExhaustiveResult res;
+  res.cfg = cfg;
+  res.cfg.win_hi_rel = cfg.window_hi();
+
+  const Frame frame = make_tagged_frame(0x100, MsgKind::Data, MessageKey{0, 1});
+  const int eof_start =
+      wire_length(frame, cfg.protocol.eof_bits()) - cfg.protocol.eof_bits();
+
+  // The flip slot grid: (node, EOF-relative position).
+  std::vector<std::pair<NodeId, int>> slots;
+  for (int n = 0; n < cfg.n_nodes; ++n) {
+    for (int pos = cfg.win_lo_rel; pos <= res.cfg.win_hi_rel; ++pos) {
+      slots.emplace_back(static_cast<NodeId>(n), pos);
+    }
+  }
+
+  // Enumerate k-combinations of slots recursively.
+  std::vector<std::pair<NodeId, int>> chosen;
+  std::function<void(std::size_t)> recurse = [&](std::size_t start) {
+    if (static_cast<int>(chosen.size()) == cfg.errors) {
+      ++res.cases;
+      const CaseOutcome out = run_case(cfg, frame, eof_start, chosen);
+      if (out.imo) ++res.imo;
+      if (out.dup) ++res.double_rx;
+      if (out.loss) ++res.total_loss;
+      if (out.timeout) ++res.timeouts;
+      if ((out.imo || out.dup || out.loss || out.timeout) &&
+          static_cast<int>(res.examples.size()) < max_examples) {
+        res.examples.push_back({chosen, out.describe});
+      }
+      return;
+    }
+    for (std::size_t i = start; i < slots.size(); ++i) {
+      chosen.push_back(slots[i]);
+      recurse(i + 1);
+      chosen.pop_back();
+    }
+  };
+  recurse(0);
+  return res;
+}
+
+}  // namespace mcan

@@ -1,0 +1,63 @@
+// Bounded exhaustive verification — the "model checking" the paper left as
+// future work, done on the executable protocol model.
+//
+// For a given protocol, node count and error budget k, enumerate *every*
+// combination of k view-flips over the (node x frame-tail-bit) grid, run
+// the bus to quiescence, and classify the outcome.  Within the paper's
+// scenario space this is complete: if no pattern up to k errors violates
+// agreement / at-most-once, none exists (for that bus size and window).
+//
+// Standard CAN and MinorCAN produce concrete counterexample sets (the
+// Fig. 1b/3a patterns fall out automatically); MajorCAN_m must produce
+// none up to k = m.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "util/bit.hpp"
+
+namespace mcan {
+
+struct ExhaustiveConfig {
+  ProtocolParams protocol;
+  int n_nodes = 3;
+  int errors = 2;      ///< exact number of flips per case
+  /// Window of EOF-relative positions to flip, inclusive on both ends.
+  /// Default [-4, 3m+5] covers the tail, the EOF and the whole end-game.
+  int win_lo_rel = -4;
+  int win_hi_rel = 0;  ///< 0 = auto: 3m+5 (or EOF+intermission for others)
+
+  [[nodiscard]] int window_hi() const;
+};
+
+struct Counterexample {
+  std::vector<std::pair<NodeId, int>> flips;  ///< (node, EOF-relative pos)
+  std::string outcome;                        ///< e.g. "IMO: deliveries 0 1"
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct ExhaustiveResult {
+  ExhaustiveConfig cfg;
+  long long cases = 0;
+  long long imo = 0;
+  long long double_rx = 0;
+  long long total_loss = 0;
+  long long timeouts = 0;
+  std::vector<Counterexample> examples;  ///< first few violating patterns
+
+  [[nodiscard]] long long violations() const {
+    return imo + double_rx + total_loss + timeouts;
+  }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Run the full enumeration.  `max_examples` bounds how many concrete
+/// counterexamples are kept for reporting.
+[[nodiscard]] ExhaustiveResult run_exhaustive(const ExhaustiveConfig& cfg,
+                                              int max_examples = 5);
+
+}  // namespace mcan

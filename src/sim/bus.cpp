@@ -1,0 +1,27 @@
+#include "sim/bus.hpp"
+
+namespace mcan {
+
+const char* seg_name(Seg s) {
+  switch (s) {
+    case Seg::Off: return "OFF";
+    case Seg::Idle: return "IDLE";
+    case Seg::Intermission: return "IFS";
+    case Seg::Suspend: return "SUSP";
+    case Seg::Body: return "BODY";
+    case Seg::Tail: return "TAIL";
+    case Seg::Eof: return "EOF";
+    case Seg::ErrorFlag: return "EFLAG";
+    case Seg::PassiveFlag: return "PFLAG";
+    case Seg::ErrorDelimWait: return "EDELW";
+    case Seg::ErrorDelim: return "EDEL";
+    case Seg::OverloadFlag: return "OFLAG";
+    case Seg::OverloadDelimWait: return "ODELW";
+    case Seg::OverloadDelim: return "ODEL";
+    case Seg::Sampling: return "SAMP";
+    case Seg::ExtFlag: return "XFLAG";
+  }
+  return "?";
+}
+
+}  // namespace mcan

@@ -1,0 +1,84 @@
+// The bus abstraction: a wired-AND medium sampled bit-synchronously.
+//
+// One simulation step is one bit time.  Every participant drives a level,
+// the bus resolves to dominant if anyone drives dominant, and every
+// participant then samples the bus *through its own view*, which the fault
+// injector may flip.  This mirrors the paper's error model exactly: a
+// disturbance affects one node's view of one bit (Charzinski's p_eff
+// spatial model), so one physical bit can look recessive to one node and
+// dominant to another — which is precisely how every inconsistency scenario
+// in the paper arises.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bit.hpp"
+
+namespace mcan {
+
+/// Coarse FSM position of a node at one bit time.  Published so that
+/// scripted fault injection can target frame-relative positions ("EOF bit 6
+/// of the receivers in X") in the same vocabulary the paper's figures use.
+enum class Seg : std::uint8_t {
+  Off,            ///< bus-off / crashed / switched off
+  Idle,           ///< bus idle
+  Intermission,   ///< interframe space, index 0..2
+  Suspend,        ///< error-passive transmitter suspend window
+  Body,           ///< SOF..CRC (stuffed wire bits), index = wire offset
+  Tail,           ///< CRC delim (0), ACK slot (1), ACK delim (2)
+  Eof,            ///< EOF field, index = 0-based position within EOF
+  ErrorFlag,      ///< transmitting an (active) error flag, index 0..5
+  PassiveFlag,    ///< error-passive flag window
+  ErrorDelimWait, ///< sent flag, waiting to see recessive
+  ErrorDelim,     ///< counting the recessive delimiter bits
+  OverloadFlag,   ///< transmitting an overload flag, index 0..5
+  OverloadDelimWait,
+  OverloadDelim,
+  Sampling,       ///< MajorCAN: gap + majority-vote window; index = EOF-relative pos
+  ExtFlag,        ///< MajorCAN: transmitting the extended error flag; index = EOF-relative pos
+};
+
+[[nodiscard]] const char* seg_name(Seg s);
+
+/// Everything the simulator / injector / tracer can know about a node's
+/// position at the current bit time.
+struct NodeBitInfo {
+  Seg seg = Seg::Idle;
+  int index = 0;          ///< bit index within the segment, 0-based
+  int eof_rel = -1;       ///< 0-based position relative to EOF start, if anchored
+  int frame_index = -1;   ///< how many frame starts this node has seen (0-based)
+  bool transmitter = false;
+};
+
+/// A bus participant: one CAN (or variant) controller.
+///
+/// Contract per bit time t: the simulator calls drive(t) on every active
+/// participant, resolves the wired-AND bus level, then calls sample(t, view)
+/// on every active participant with that participant's possibly-disturbed
+/// view.  State transitions happen inside sample().
+class BusParticipant {
+ public:
+  virtual ~BusParticipant() = default;
+
+  BusParticipant() = default;
+  BusParticipant(const BusParticipant&) = delete;
+  BusParticipant& operator=(const BusParticipant&) = delete;
+
+  /// Level this node puts on the bus for bit time t.
+  [[nodiscard]] virtual Level drive(BitTime t) = 0;
+
+  /// Observe this node's view of the resolved bus level for bit time t.
+  virtual void sample(BitTime t, Level view) = 0;
+
+  /// Where this node is right now (valid between drive() and sample()).
+  [[nodiscard]] virtual NodeBitInfo bit_info() const = 0;
+
+  /// Stable identity on this bus.
+  [[nodiscard]] virtual NodeId id() const = 0;
+
+  /// Inactive nodes (crashed, bus-off, switched off) neither drive nor
+  /// sample; the bus sees them as permanently recessive.
+  [[nodiscard]] virtual bool active() const { return true; }
+};
+
+}  // namespace mcan

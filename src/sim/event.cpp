@@ -1,0 +1,68 @@
+#include "sim/event.hpp"
+
+#include <cstdio>
+
+namespace mcan {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::SofSent: return "SofSent";
+    case EventKind::SofSeen: return "SofSeen";
+    case EventKind::ArbitrationLost: return "ArbitrationLost";
+    case EventKind::ErrorDetected: return "ErrorDetected";
+    case EventKind::ErrorFlagStart: return "ErrorFlagStart";
+    case EventKind::PassiveFlagStart: return "PassiveFlagStart";
+    case EventKind::OverloadFlagStart: return "OverloadFlagStart";
+    case EventKind::ExtendedFlagStart: return "ExtendedFlagStart";
+    case EventKind::SamplingDecision: return "SamplingDecision";
+    case EventKind::FrameAccepted: return "FrameAccepted";
+    case EventKind::FrameRejected: return "FrameRejected";
+    case EventKind::TxSuccess: return "TxSuccess";
+    case EventKind::TxRejected: return "TxRejected";
+    case EventKind::TxRetransmit: return "TxRetransmit";
+    case EventKind::AckSent: return "AckSent";
+    case EventKind::EnteredErrorPassive: return "EnteredErrorPassive";
+    case EventKind::EnteredBusOff: return "EnteredBusOff";
+    case EventKind::WarningSwitchOff: return "WarningSwitchOff";
+    case EventKind::Crashed: return "Crashed";
+    case EventKind::BusOffRecovered: return "BusOffRecovered";
+  }
+  return "?";
+}
+
+std::string Event::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "t=%llu node=%u ",
+                static_cast<unsigned long long>(t), node);
+  std::string s = buf;
+  s += event_kind_name(kind);
+  if (!detail.empty()) {
+    s += " (";
+    s += detail;
+    s += ')';
+  }
+  if (frame) {
+    s += ' ';
+    s += frame->to_string();
+  }
+  return s;
+}
+
+std::vector<Event> EventLog::filter(EventKind kind,
+                                    std::optional<NodeId> node) const {
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (e.kind == kind && (!node || e.node == *node)) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t EventLog::count(EventKind kind, std::optional<NodeId> node) const {
+  std::size_t n = 0;
+  for (const Event& e : events_) {
+    if (e.kind == kind && (!node || e.node == *node)) ++n;
+  }
+  return n;
+}
+
+}  // namespace mcan

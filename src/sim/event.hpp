@@ -1,0 +1,72 @@
+// Protocol events emitted by controllers and consumed by the trace
+// recorder, the scenario verdict logic, and the atomic-broadcast property
+// checker.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "frame/frame.hpp"
+#include "util/bit.hpp"
+
+namespace mcan {
+
+enum class EventKind : std::uint8_t {
+  SofSent,             ///< transmitter put SOF on the wire
+  SofSeen,             ///< idle node saw a start of frame
+  ArbitrationLost,     ///< transmitter backed off; now receiving
+  ErrorDetected,       ///< any of the five detection mechanisms fired
+  ErrorFlagStart,      ///< active error flag transmission begins
+  PassiveFlagStart,    ///< passive error flag window begins
+  OverloadFlagStart,   ///< overload flag transmission begins
+  ExtendedFlagStart,   ///< MajorCAN acceptance-notification flag begins
+  SamplingDecision,    ///< MajorCAN majority vote concluded
+  FrameAccepted,       ///< receiver accepted (delivered) a frame
+  FrameRejected,       ///< receiver discarded the frame in progress
+  TxSuccess,           ///< transmitter considers the frame delivered
+  TxRejected,          ///< transmitter considers the attempt failed
+  TxRetransmit,        ///< retransmission scheduled
+  AckSent,             ///< receiver drove the ACK slot dominant
+  EnteredErrorPassive,
+  EnteredBusOff,
+  WarningSwitchOff,    ///< node switched itself off at the warning limit
+  Crashed,             ///< externally injected crash
+  BusOffRecovered,     ///< rejoined after the 128 x 11-recessive sequence
+};
+
+[[nodiscard]] const char* event_kind_name(EventKind k);
+
+struct Event {
+  BitTime t = 0;
+  NodeId node = 0;
+  EventKind kind = EventKind::SofSeen;
+  std::string detail;           ///< free-form, e.g. "form error at EOF[5]"
+  std::optional<Frame> frame;   ///< present for accept/reject/success events
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Shared sink controllers emit into.  Observers (trace recorder, property
+/// checker) read the log after — or during — the run.
+class EventLog {
+ public:
+  void emit(Event e) { events_.push_back(std::move(e)); }
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// All events of one kind, optionally restricted to one node.
+  [[nodiscard]] std::vector<Event> filter(
+      EventKind kind, std::optional<NodeId> node = std::nullopt) const;
+
+  /// Count of events of one kind, optionally restricted to one node.
+  [[nodiscard]] std::size_t count(
+      EventKind kind, std::optional<NodeId> node = std::nullopt) const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace mcan

@@ -1,0 +1,35 @@
+// Fault-injection interface.
+//
+// The simulator asks the injector, for every (node, bit), whether that
+// node's view of the resolved bus level is flipped.  A flip models a channel
+// disturbance local to that node: recessive seen as dominant (a phantom
+// error flag, Fig. 1 of the paper) or dominant seen as recessive (a missed
+// error flag, Fig. 3a).  Concrete injectors live in src/fault.
+#pragma once
+
+#include "sim/bus.hpp"
+#include "util/bit.hpp"
+
+namespace mcan {
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// True iff `node`'s view of the bus at time `t` is inverted.
+  /// `info` describes the node's frame-relative position (for scripted
+  /// scenarios); `bus` is the resolved level before disturbance.
+  [[nodiscard]] virtual bool flips(NodeId node, BitTime t,
+                                   const NodeBitInfo& info, Level bus) = 0;
+};
+
+/// The default: a perfectly clean channel.
+class NoFaults final : public FaultInjector {
+ public:
+  [[nodiscard]] bool flips(NodeId, BitTime, const NodeBitInfo&,
+                           Level) override {
+    return false;
+  }
+};
+
+}  // namespace mcan

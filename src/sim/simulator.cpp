@@ -1,0 +1,111 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace mcan {
+
+void Simulator::attach(BusParticipant& node) {
+  for (const Slot& s : nodes_) {
+    if (s.node->id() == node.id()) {
+      throw std::invalid_argument("duplicate node id on bus");
+    }
+  }
+  nodes_.push_back(Slot{&node, kNoTime, false});
+}
+
+void Simulator::schedule_crash(NodeId node, BitTime t) {
+  for (Slot& s : nodes_) {
+    if (s.node->id() == node) {
+      s.crash_at = t;
+      return;
+    }
+  }
+  throw std::invalid_argument("schedule_crash: unknown node");
+}
+
+bool Simulator::crashed(NodeId node) const {
+  for (const Slot& s : nodes_) {
+    if (s.node->id() == node) return s.crashed;
+  }
+  return false;
+}
+
+void Simulator::step() {
+  const std::size_t n = nodes_.size();
+  driven_.assign(n, Level::Recessive);
+  infos_.resize(n);
+  views_.assign(n, Level::Recessive);
+
+  FaultInjector& inj = injector_ ? *injector_ : no_faults_;
+
+  // Apply scheduled crashes for this bit time.
+  for (Slot& s : nodes_) {
+    if (!s.crashed && s.crash_at != kNoTime && now_ >= s.crash_at) {
+      s.crashed = true;
+    }
+  }
+
+  // Phase 1: drive.
+  Level bus = Level::Recessive;
+  for (std::size_t i = 0; i < n; ++i) {
+    Slot& s = nodes_[i];
+    if (s.crashed || !s.node->active()) {
+      driven_[i] = Level::Recessive;
+      infos_[i] = NodeBitInfo{Seg::Off, 0, -1, -1, false};
+      continue;
+    }
+    driven_[i] = s.node->drive(now_);
+    infos_[i] = s.node->bit_info();
+    bus = bus & driven_[i];
+  }
+
+  // Phase 2: resolve views and sample.
+  std::vector<bool> disturbed(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    Slot& s = nodes_[i];
+    if (s.crashed || !s.node->active()) {
+      views_[i] = bus;
+      continue;
+    }
+    bool f = inj.flips(s.node->id(), now_, infos_[i], bus);
+    disturbed[i] = f;
+    views_[i] = f ? flip(bus) : bus;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    Slot& s = nodes_[i];
+    if (s.crashed || !s.node->active()) continue;
+    s.node->sample(now_, views_[i]);
+  }
+
+  // Phase 3: trace.
+  if (!observers_.empty()) {
+    BitRecord rec;
+    rec.t = now_;
+    rec.bus = bus;
+    rec.driven = driven_;
+    rec.view = views_;
+    rec.info = infos_;
+    rec.disturbed = disturbed;
+    rec.active.reserve(n);
+    for (const Slot& s : nodes_) {
+      rec.active.push_back(!s.crashed && s.node->active());
+    }
+    for (TraceObserver* obs : observers_) obs->on_bit(rec);
+  }
+
+  ++now_;
+}
+
+void Simulator::run(BitTime n) {
+  for (BitTime i = 0; i < n; ++i) step();
+}
+
+bool Simulator::run_until(const std::function<bool()>& pred, BitTime max_bits) {
+  for (BitTime i = 0; i < max_bits; ++i) {
+    if (pred()) return true;
+    step();
+  }
+  return pred();
+}
+
+}  // namespace mcan

@@ -1,0 +1,95 @@
+// The bit-synchronous simulation kernel.
+//
+// Owns nothing: participants, injector and trace observers are attached by
+// reference and must outlive the simulator.  Each step() advances global
+// time by one bit:
+//   1. every active participant drives a level;
+//   2. the bus resolves by wired-AND (dominant wins);
+//   3. every active participant samples its own — possibly disturbed —
+//      view of the bus and advances its FSM.
+// Crashes are scheduled against absolute bit times and take effect before
+// the drive phase of that bit.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/bus.hpp"
+#include "sim/injector.hpp"
+#include "util/bit.hpp"
+
+namespace mcan {
+
+class TraceObserver;
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  /// Attach a participant (non-owning; must outlive the simulator).
+  void attach(BusParticipant& node);
+
+  /// Install the fault injector (non-owning).  Default: clean channel.
+  void set_injector(FaultInjector& inj) { injector_ = &inj; }
+
+  /// Install a trace observer (non-owning).  Optional.
+  void add_observer(TraceObserver& obs) { observers_.push_back(&obs); }
+
+  /// Mark a node crashed (fail-silent) from bit time `t` on.
+  void schedule_crash(NodeId node, BitTime t);
+
+  /// Advance one bit time.
+  void step();
+
+  /// Advance `n` bit times.
+  void run(BitTime n);
+
+  /// Run until `pred()` is true or `max_bits` elapsed; returns true if the
+  /// predicate fired.
+  bool run_until(const std::function<bool()>& pred, BitTime max_bits);
+
+  [[nodiscard]] BitTime now() const { return now_; }
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// True iff the node was administratively crashed by schedule_crash.
+  [[nodiscard]] bool crashed(NodeId node) const;
+
+ private:
+  struct Slot {
+    BusParticipant* node = nullptr;
+    BitTime crash_at = kNoTime;
+    bool crashed = false;
+  };
+
+  std::vector<Slot> nodes_;
+  NoFaults no_faults_;
+  FaultInjector* injector_ = nullptr;
+  std::vector<TraceObserver*> observers_;
+  BitTime now_ = 0;
+
+  // Scratch buffers reused across steps to avoid per-bit allocation.
+  std::vector<Level> driven_;
+  std::vector<NodeBitInfo> infos_;
+  std::vector<Level> views_;
+};
+
+/// Per-bit record handed to trace observers.
+struct BitRecord {
+  BitTime t = 0;
+  Level bus = Level::Recessive;
+  // Parallel arrays, one entry per attached node (in attach order).
+  std::vector<Level> driven;
+  std::vector<Level> view;
+  std::vector<NodeBitInfo> info;
+  std::vector<bool> disturbed;
+  std::vector<bool> active;
+};
+
+class TraceObserver {
+ public:
+  virtual ~TraceObserver() = default;
+  virtual void on_bit(const BitRecord& rec) = 0;
+};
+
+}  // namespace mcan

@@ -1,0 +1,77 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+#include "util/text.hpp"
+
+namespace mcan {
+
+namespace {
+
+char view_char(const BitRecord& rec, std::size_t node) {
+  if (!rec.active[node]) return '.';
+  char c = level_char(rec.view[node]);
+  if (is_dominant(rec.driven[node])) c = static_cast<char>(c - 'a' + 'A');
+  return c;
+}
+
+}  // namespace
+
+std::string TraceRecorder::render(const std::vector<std::string>& labels,
+                                  BitTime from, BitTime to) const {
+  if (bits_.empty()) return "(empty trace)\n";
+  const std::size_t n = bits_.front().driven.size();
+
+  std::size_t label_w = 4;
+  for (const auto& l : labels) label_w = std::max(label_w, l.size());
+  label_w += 2;
+
+  std::string out;
+
+  // Time ruler (mod 10 digits) to keep rows readable.
+  out += pad_right("t%10", label_w);
+  for (const BitRecord& rec : bits_) {
+    if (rec.t < from || rec.t >= to) continue;
+    out += static_cast<char>('0' + rec.t % 10);
+  }
+  out += '\n';
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string label = i < labels.size() ? labels[i] : "n" + std::to_string(i);
+    out += pad_right(label, label_w);
+    for (const BitRecord& rec : bits_) {
+      if (rec.t < from || rec.t >= to) continue;
+      out += view_char(rec, i);
+    }
+    out += '\n';
+    // Disturbance band: '*' under every injected flip.
+    bool any = false;
+    std::string band = pad_right("", label_w);
+    for (const BitRecord& rec : bits_) {
+      if (rec.t < from || rec.t >= to) continue;
+      band += rec.disturbed[i] ? '*' : ' ';
+      any = any || rec.disturbed[i];
+    }
+    if (any) {
+      out += band;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string TraceRecorder::render(const std::vector<std::string>& labels) const {
+  if (bits_.empty()) return "(empty trace)\n";
+  return render(labels, bits_.front().t, bits_.back().t + 1);
+}
+
+BitTime TraceRecorder::first_time_in_seg(Seg s) const {
+  for (const BitRecord& rec : bits_) {
+    for (const NodeBitInfo& info : rec.info) {
+      if (info.seg == s) return rec.t;
+    }
+  }
+  return kNoTime;
+}
+
+}  // namespace mcan

@@ -1,0 +1,94 @@
+#include "sim/vcd.hpp"
+
+#include <fstream>
+
+namespace mcan {
+
+namespace {
+
+/// VCD identifier characters for up to a few hundred signals.
+std::string vcd_id(std::size_t index) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+char vcd_level(Level l) { return is_dominant(l) ? '0' : '1'; }
+
+std::string sanitize(std::string s) {
+  for (char& c : s) {
+    if (c == ' ' || c == '\t') c = '_';
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string trace_to_vcd(const TraceRecorder& trace,
+                         const std::vector<std::string>& labels,
+                         const std::string& timescale) {
+  const auto& bits = trace.bits();
+  std::string out;
+  out += "$date majorcan simulation $end\n";
+  out += "$version majorcan trace_to_vcd $end\n";
+  out += "$timescale " + timescale + " $end\n";
+  out += "$scope module bus $end\n";
+
+  const std::size_t n = bits.empty() ? labels.size() : bits.front().driven.size();
+  // Signal order: bus, then per node drive/view/fault.
+  std::vector<std::string> ids;
+  auto declare = [&](const std::string& name) {
+    const std::string id = vcd_id(ids.size());
+    out += "$var wire 1 " + id + " " + sanitize(name) + " $end\n";
+    ids.push_back(id);
+  };
+  declare("BUS");
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string base =
+        i < labels.size() ? labels[i] : "node" + std::to_string(i);
+    declare(base + ".drive");
+    declare(base + ".view");
+    declare(base + ".fault");
+  }
+  out += "$upscope $end\n$enddefinitions $end\n";
+
+  // Emit changes only.
+  std::vector<char> last(ids.size(), '?');
+  for (const BitRecord& rec : bits) {
+    std::string changes;
+    auto put = [&](std::size_t sig, char v) {
+      if (last[sig] != v) {
+        changes += v;
+        changes += ids[sig];
+        changes += '\n';
+        last[sig] = v;
+      }
+    };
+    put(0, vcd_level(rec.bus));
+    for (std::size_t i = 0; i < n; ++i) {
+      put(1 + 3 * i, vcd_level(rec.driven[i]));
+      put(2 + 3 * i, vcd_level(rec.view[i]));
+      put(3 + 3 * i, rec.disturbed[i] ? '1' : '0');
+    }
+    if (!changes.empty()) {
+      out += "#" + std::to_string(rec.t) + "\n" + changes;
+    }
+  }
+  if (!bits.empty()) {
+    out += "#" + std::to_string(bits.back().t + 1) + "\n";
+  }
+  return out;
+}
+
+bool write_vcd_file(const std::string& path, const TraceRecorder& trace,
+                    const std::vector<std::string>& labels) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << trace_to_vcd(trace, labels);
+  return static_cast<bool>(f);
+}
+
+}  // namespace mcan

@@ -1,0 +1,24 @@
+// VCD (IEEE 1364 value-change dump) export of recorded traces, so bus
+// episodes can be inspected in standard waveform viewers (GTKWave et al.):
+// one wire for the resolved bus, and per node its driven level, its view,
+// and a disturbance marker.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace mcan {
+
+/// Render the recorded trace as VCD text.  `labels` — one display name per
+/// node (attach order); `timescale` is cosmetic (one bit time = one unit).
+[[nodiscard]] std::string trace_to_vcd(const TraceRecorder& trace,
+                                       const std::vector<std::string>& labels,
+                                       const std::string& timescale = "1us");
+
+/// Convenience: write to a file; returns false on I/O failure.
+bool write_vcd_file(const std::string& path, const TraceRecorder& trace,
+                    const std::vector<std::string>& labels);
+
+}  // namespace mcan

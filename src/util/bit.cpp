@@ -1,0 +1,28 @@
+#include "util/bit.hpp"
+
+#include <stdexcept>
+
+namespace mcan {
+
+char level_char(Level l) { return is_dominant(l) ? 'd' : 'r'; }
+
+Level level_from_char(char c) {
+  switch (c) {
+    case 'd':
+    case 'D':
+    case '0':
+      return Level::Dominant;
+    case 'r':
+    case 'R':
+    case '1':
+      return Level::Recessive;
+    default:
+      throw std::invalid_argument(std::string("not a level char: ") + c);
+  }
+}
+
+std::string to_string(Level l) {
+  return is_dominant(l) ? "dominant" : "recessive";
+}
+
+}  // namespace mcan

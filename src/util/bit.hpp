@@ -1,0 +1,59 @@
+// Fundamental bit-level types for the CAN wire model.
+//
+// CAN is a wired-AND bus: the *dominant* level (logical '0') overwrites the
+// *recessive* level (logical '1').  Everything in the simulator that touches
+// the wire uses `Level` rather than bool so that intent is explicit at call
+// sites ("is this bit dominant?" instead of "is this bit true?").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mcan {
+
+/// One bus level for one bit time.
+enum class Level : std::uint8_t {
+  Dominant = 0,   ///< logical '0'; wins on the bus
+  Recessive = 1,  ///< logical '1'; default/idle level
+};
+
+/// Wired-AND combination of two levels: dominant wins.
+[[nodiscard]] constexpr Level operator&(Level a, Level b) {
+  return (a == Level::Dominant || b == Level::Dominant) ? Level::Dominant
+                                                        : Level::Recessive;
+}
+
+/// Invert a level (used by the fault injector to model a disturbed view).
+[[nodiscard]] constexpr Level flip(Level l) {
+  return l == Level::Dominant ? Level::Recessive : Level::Dominant;
+}
+
+[[nodiscard]] constexpr bool is_dominant(Level l) { return l == Level::Dominant; }
+[[nodiscard]] constexpr bool is_recessive(Level l) { return l == Level::Recessive; }
+
+/// Map a logical bit value (0/1) onto a level.
+[[nodiscard]] constexpr Level level_of(bool logical_one) {
+  return logical_one ? Level::Recessive : Level::Dominant;
+}
+
+/// Logical value of a level (dominant = 0, recessive = 1).
+[[nodiscard]] constexpr bool logical(Level l) { return l == Level::Recessive; }
+
+/// 'd' / 'r' rendering used in the paper's trace figures.
+[[nodiscard]] char level_char(Level l);
+
+/// Parse 'd'/'r' (or '0'/'1') into a level; throws std::invalid_argument.
+[[nodiscard]] Level level_from_char(char c);
+
+/// Node identity within one simulated bus.
+using NodeId = std::uint32_t;
+
+/// Global simulation time, in bit times since simulation start.
+using BitTime = std::uint64_t;
+
+/// Sentinel for "no such time".
+inline constexpr BitTime kNoTime = ~BitTime{0};
+
+[[nodiscard]] std::string to_string(Level l);
+
+}  // namespace mcan

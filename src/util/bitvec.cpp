@@ -1,0 +1,49 @@
+#include "util/bitvec.hpp"
+
+#include <stdexcept>
+
+namespace mcan {
+
+BitVec BitVec::from_string(const std::string& s) {
+  BitVec v;
+  for (char c : s) {
+    if (c == ' ' || c == '\t') continue;
+    v.push_back(level_from_char(c));
+  }
+  return v;
+}
+
+void BitVec::append_uint(std::uint32_t value, int width) {
+  if (width < 0 || width > 32) throw std::invalid_argument("bad width");
+  for (int i = width - 1; i >= 0; --i) {
+    bits_.push_back(level_of(((value >> i) & 1u) != 0));
+  }
+}
+
+std::uint32_t BitVec::read_uint(std::size_t pos, int width) const {
+  if (width < 0 || width > 32 || pos + static_cast<std::size_t>(width) > size()) {
+    throw std::out_of_range("read_uint out of range");
+  }
+  std::uint32_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    v = (v << 1) | (logical(bits_[pos + static_cast<std::size_t>(i)]) ? 1u : 0u);
+  }
+  return v;
+}
+
+void BitVec::append(const BitVec& other) {
+  bits_.insert(bits_.end(), other.bits_.begin(), other.bits_.end());
+}
+
+void BitVec::append_repeated(Level l, std::size_t n) {
+  bits_.insert(bits_.end(), n, l);
+}
+
+std::string BitVec::to_string() const {
+  std::string s;
+  s.reserve(size());
+  for (Level l : bits_) s.push_back(level_char(l));
+  return s;
+}
+
+}  // namespace mcan

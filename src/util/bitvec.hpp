@@ -1,0 +1,59 @@
+// A small, value-semantic sequence of wire levels.
+//
+// Used for frame bitstreams, CRC computation, and the trace renderer.  A thin
+// wrapper over std::vector<Level> with helpers for the encodings that show up
+// constantly in CAN work (integers MSB-first, 'd'/'r' strings).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/bit.hpp"
+
+namespace mcan {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::vector<Level> bits) : bits_(std::move(bits)) {}
+  BitVec(std::initializer_list<Level> bits) : bits_(bits) {}
+
+  /// Build from a 'd'/'r' string, e.g. "rrdddr".  Spaces are skipped.
+  [[nodiscard]] static BitVec from_string(const std::string& s);
+
+  /// Append `width` bits of `value`, most-significant bit first, as logical
+  /// values (1 = recessive).
+  void append_uint(std::uint32_t value, int width);
+
+  /// Read `width` bits starting at `pos` as an MSB-first unsigned integer.
+  [[nodiscard]] std::uint32_t read_uint(std::size_t pos, int width) const;
+
+  void push_back(Level l) { bits_.push_back(l); }
+  void append(const BitVec& other);
+  /// Append `n` copies of level `l`.
+  void append_repeated(Level l, std::size_t n);
+
+  [[nodiscard]] Level operator[](std::size_t i) const { return bits_[i]; }
+  [[nodiscard]] Level& operator[](std::size_t i) { return bits_[i]; }
+  [[nodiscard]] Level at(std::size_t i) const { return bits_.at(i); }
+
+  [[nodiscard]] std::size_t size() const { return bits_.size(); }
+  [[nodiscard]] bool empty() const { return bits_.empty(); }
+
+  [[nodiscard]] auto begin() const { return bits_.begin(); }
+  [[nodiscard]] auto end() const { return bits_.end(); }
+
+  /// 'd'/'r' rendering (same alphabet as the paper's figures).
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool operator==(const BitVec&) const = default;
+
+  [[nodiscard]] const std::vector<Level>& raw() const { return bits_; }
+
+ private:
+  std::vector<Level> bits_;
+};
+
+}  // namespace mcan

@@ -1,0 +1,64 @@
+#include "util/rng.hpp"
+
+namespace mcan {
+
+namespace {
+constexpr std::uint64_t kMult = 6364136223846793005ULL;
+
+// SplitMix64 step: used to hash seeds/tags into well-mixed stream parameters.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed, std::uint64_t seq) : state_(0), inc_((seq << 1u) | 1u) {
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+std::uint32_t Rng::next_u32() {
+  std::uint64_t old = state_;
+  state_ = old * kMult + inc_;
+  auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint32_t Rng::next_below(std::uint32_t bound) {
+  if (bound == 0) return 0;
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint32_t threshold = (0u - bound) % bound;
+  for (;;) {
+    std::uint32_t r = next_u32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::next_double() {
+  // 53 random bits into [0,1).
+  std::uint64_t hi = next_u32();
+  std::uint64_t lo = next_u32();
+  std::uint64_t v = ((hi << 32) | lo) >> 11;
+  return static_cast<double>(v) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+Rng Rng::split(std::uint64_t tag) const {
+  std::uint64_t mix = state_ ^ (inc_ * 0x9e3779b97f4a7c15ULL);
+  std::uint64_t a = mix + tag;
+  std::uint64_t seed = splitmix64(a);
+  std::uint64_t seq = splitmix64(a);
+  return Rng(seed, seq);
+}
+
+}  // namespace mcan

@@ -1,0 +1,41 @@
+// Deterministic pseudo-random number generation for fault-injection
+// campaigns.
+//
+// We implement PCG32 (O'Neill) rather than using std::mt19937 so that stream
+// splitting is cheap and the generator state is tiny: campaigns spawn one
+// independent stream per (node, trial) and must be reproducible across
+// platforms from a single campaign seed.
+#pragma once
+
+#include <cstdint>
+
+namespace mcan {
+
+/// PCG32: 64-bit state, 32-bit output, selectable stream.
+class Rng {
+ public:
+  /// `seq` selects one of 2^63 independent streams for the same seed.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t seq = 0xda3e39cb94b95bdbULL);
+
+  /// Uniform 32-bit value.
+  std::uint32_t next_u32();
+
+  /// Uniform in [0, bound) without modulo bias.
+  std::uint32_t next_below(std::uint32_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability `p`.
+  bool chance(double p);
+
+  /// Derive an independent child stream; `tag` distinguishes siblings.
+  [[nodiscard]] Rng split(std::uint64_t tag) const;
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace mcan

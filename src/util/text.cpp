@@ -1,0 +1,53 @@
+#include "util/text.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mcan {
+
+std::string pad_right(std::string s, std::size_t width) {
+  if (s.size() < width) s.append(width - s.size(), ' ');
+  return s;
+}
+
+std::string sci(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", digits - 1, v);
+  return buf;
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string render_table(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return {};
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      out += pad_right(rows[r][c], widths[c] + 2);
+    }
+    out += '\n';
+    if (r == 0) {
+      for (std::size_t c = 0; c < rows[0].size(); ++c) {
+        out += std::string(widths[c], '-') + "  ";
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace mcan

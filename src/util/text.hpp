@@ -1,0 +1,24 @@
+// Small text-formatting helpers shared by the trace renderer and benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcan {
+
+/// Left-pad/truncate to exactly `width` characters.
+[[nodiscard]] std::string pad_right(std::string s, std::size_t width);
+
+/// Format a double in scientific notation with `digits` significant digits,
+/// in the style the paper's Table 1 uses (e.g. "8.80e-03").
+[[nodiscard]] std::string sci(double v, int digits = 3);
+
+/// Join strings with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               const std::string& sep);
+
+/// Render a simple fixed-width text table (first row = header).
+[[nodiscard]] std::string render_table(
+    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace mcan

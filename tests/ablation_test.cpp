@@ -1,0 +1,116 @@
+// Ablation tests: every deviation from the paper's §5 design must lose the
+// <= m guarantee somewhere, and the paper's design must keep it — including
+// against disturbances in the delimiter/recovery region and the
+// delayed-CRC-flag worst case the first sub-field is sized for.
+#include <gtest/gtest.h>
+
+#include "scenario/campaign.hpp"
+#include "scenario/figures.hpp"
+
+namespace {
+
+using namespace mcan;
+
+CampaignResult recovery_campaign(const ProtocolParams& proto, int errors,
+                                 std::uint64_t seed) {
+  CampaignConfig cfg;
+  cfg.protocol = proto;
+  cfg.n_nodes = 5;
+  cfg.trials = 2500;
+  cfg.errors = errors;
+  cfg.window = FaultWindow::TailAndRecovery;
+  cfg.seed = seed;
+  return run_eof_campaign(cfg);
+}
+
+int violations(const CampaignResult& r) {
+  return r.imo + r.double_rx + r.total_loss;
+}
+
+TEST(Ablation, PaperDesignSurvivesRecoveryWindow) {
+  for (int k = 1; k <= 5; ++k) {
+    auto res = recovery_campaign(ProtocolParams::major_can(5), k,
+                                 0xAA00u + static_cast<std::uint64_t>(k));
+    EXPECT_EQ(violations(res), 0) << res.summary();
+    EXPECT_EQ(res.timeouts, 0) << res.summary();
+  }
+}
+
+TEST(Ablation, NoSecondErrorSuppressionBreaks) {
+  auto p = ProtocolParams::major_can(5);
+  p.suppress_second_errors = false;
+  auto res = recovery_campaign(p, 2, 0xAB01);
+  EXPECT_GT(violations(res), 0)
+      << "§5: second-error flags 'could spoil the agreement process'";
+  // And the scripted Fig. 5 run degrades too.
+  auto fig5 = run_eof_scenario(
+      "fig5-ablated", p, 4,
+      {FaultTarget::eof_bit(1, 2), FaultTarget::eof_bit(0, 3),
+       FaultTarget::eof_bit(0, 4),
+       FaultTarget::eof_relative(1, p.sample_begin() + 1),
+       FaultTarget::eof_relative(1, p.sample_begin() + 3)});
+  EXPECT_FALSE(fig5.consistent_single_delivery()) << fig5.summary();
+}
+
+TEST(Ablation, ConvergentDelimiterBreaksOnDelimiterFlips) {
+  auto p = ProtocolParams::major_can(5);
+  p.delimiter = DelimiterMode::ConvergentCount;
+  auto res = recovery_campaign(p, 2, 0xAB02);
+  EXPECT_GT(res.imo, 0)
+      << "a flip during the delimiter silently stalls a node: "
+      << res.summary();
+}
+
+TEST(Ablation, EagerDelimiterBreaks) {
+  auto p = ProtocolParams::major_can(5);
+  p.delimiter = DelimiterMode::EagerCount;
+  auto res = recovery_campaign(p, 2, 0xAB03);
+  EXPECT_GT(res.imo, 0) << res.summary();
+}
+
+TEST(Ablation, FirstSubfieldSizingIsTight) {
+  // The sizing worst case: a CRC-error flag delayed by m-1 disturbances.
+  // Paper's m-bit sub-field: the delayed observer stays on the rejecting
+  // side; everyone rejects, the retransmission restores consistency.
+  auto paper = run_crc_delay_scenario(ProtocolParams::major_can(5));
+  EXPECT_FALSE(paper.imo()) << paper.summary();
+  EXPECT_FALSE(paper.double_reception()) << paper.summary();
+
+  // A sub-field narrower than m reads the delayed flag as an acceptance
+  // notification: the CRC-error node is left behind.
+  auto narrow_proto = ProtocolParams::major_can(5);
+  narrow_proto.first_subfield_override = 3;
+  auto narrow = run_crc_delay_scenario(narrow_proto);
+  EXPECT_TRUE(narrow.imo()) << narrow.summary();
+}
+
+TEST(Ablation, LowVoteThresholdAcceptsOnNoise) {
+  auto p = ProtocolParams::major_can(5);
+  p.majority_override = 2;
+  auto res = recovery_campaign(p, 4, 0xAB04);
+  EXPECT_GT(violations(res), 0) << res.summary();
+}
+
+TEST(Ablation, HighVoteThresholdRejectsAgainstExtenders) {
+  auto p = ProtocolParams::major_can(5);
+  p.majority_override = 2 * 5 - 2;
+  // Fig. 5 has two sampling-window disturbances: 7/9 dominant fails a
+  // threshold of 8, so X rejects while the transmitter and Y accept.
+  auto fig5 = run_eof_scenario(
+      "fig5-high-threshold", p, 4,
+      {FaultTarget::eof_bit(1, 2), FaultTarget::eof_bit(0, 3),
+       FaultTarget::eof_bit(0, 4),
+       FaultTarget::eof_relative(1, p.sample_begin() + 1),
+       FaultTarget::eof_relative(1, p.sample_begin() + 3)});
+  EXPECT_TRUE(fig5.imo()) << fig5.summary();
+}
+
+TEST(Ablation, DelimiterModeNamesExist) {
+  EXPECT_STREQ(delimiter_mode_name(DelimiterMode::FixedEndGame),
+               "fixed-end-game");
+  EXPECT_STREQ(delimiter_mode_name(DelimiterMode::ConvergentCount),
+               "convergent-count");
+  EXPECT_STREQ(delimiter_mode_name(DelimiterMode::EagerCount), "eager-count");
+}
+
+}  // namespace

@@ -1,0 +1,227 @@
+// Tests for the analysis module: the paper's probability model (Table 1)
+// and the Atomic Broadcast property checker.
+#include <gtest/gtest.h>
+
+#include "analysis/prob_model.hpp"
+#include "analysis/properties.hpp"
+#include "analysis/tagged.hpp"
+
+namespace mcan {
+namespace {
+
+TEST(ProbModel, Binomials) {
+  EXPECT_DOUBLE_EQ(binom(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binom(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(binom(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(binom(31, 1), 31.0);
+  EXPECT_DOUBLE_EQ(binom(31, 2), 465.0);
+  EXPECT_DOUBLE_EQ(binom(4, 7), 0.0);
+  EXPECT_DOUBLE_EQ(binom(4, -1), 0.0);
+}
+
+TEST(ProbModel, BerStarIsBerOverN) {
+  ModelParams p;
+  p.ber = 3.2e-5;
+  p.n_nodes = 32;
+  EXPECT_DOUBLE_EQ(p.ber_star(), 1e-6);
+}
+
+TEST(ProbModel, FramesPerHourReference) {
+  ModelParams p;  // 1 Mbit/s, 90% load, 110-bit frames
+  EXPECT_NEAR(p.frames_per_hour(), 0.9e6 / 110 * 3600, 1.0);
+}
+
+TEST(ProbModel, Table1MatchesPaperToPrintedPrecision) {
+  const auto computed = compute_table1();
+  const auto published = published_table1();
+  ASSERT_EQ(computed.size(), published.size());
+  for (std::size_t i = 0; i < computed.size(); ++i) {
+    // The paper prints 3 significant digits; require < 1% relative error.
+    EXPECT_NEAR(computed[i].imo_new_per_hour / published[i].imo_new_per_hour,
+                1.0, 0.01)
+        << "IMOnew row " << i;
+    EXPECT_NEAR(
+        computed[i].imo_old_star_per_hour / published[i].imo_old_star_per_hour,
+        1.0, 0.01)
+        << "IMO* row " << i;
+  }
+}
+
+TEST(ProbModel, NewScenarioDominatesOld) {
+  // The dominance ratio shrinks with ber (ber* vs the fixed crash factor):
+  // ~2000x at ber=1e-4 down to ~22x at ber=1e-6 — exactly Table 1's shape.
+  for (double ber : {1e-4, 1e-5, 1e-6}) {
+    ModelParams p;
+    p.ber = ber;
+    const double ratio =
+        p_new_scenario_per_frame(p) / p_old_scenario_per_frame(p);
+    EXPECT_GT(ratio, 10.0) << "ber=" << ber;
+  }
+  ModelParams aggressive;
+  aggressive.ber = 1e-4;
+  EXPECT_GT(p_new_scenario_per_frame(aggressive) /
+                p_old_scenario_per_frame(aggressive),
+            1e3);
+}
+
+TEST(ProbModel, AboveAerospaceReference) {
+  // The paper's point: even at benign ber=1e-6, the new scenarios exceed
+  // the 1e-9/h aerospace target.
+  ModelParams p;
+  p.ber = 1e-6;
+  EXPECT_GT(imo_new_per_hour(p), 1e-9);
+}
+
+TEST(ProbModel, ScalesRoughlyQuadraticallyInBer) {
+  // Expression (4) has two independent hits => ~ber^2 behaviour.
+  ModelParams a, b;
+  a.ber = 1e-5;
+  b.ber = 1e-6;
+  const double ratio = p_new_scenario_per_frame(a) / p_new_scenario_per_frame(b);
+  EXPECT_NEAR(ratio, 100.0, 2.0);
+}
+
+// --- tagged messages ---
+
+TEST(Tagged, RoundTrip) {
+  Frame f = make_tagged_frame(0x123, MsgKind::Confirm, MessageKey{7, 0xbeef});
+  auto tag = parse_tag(f);
+  ASSERT_TRUE(tag.has_value());
+  EXPECT_EQ(tag->kind, MsgKind::Confirm);
+  EXPECT_EQ(tag->key.source, 7u);
+  EXPECT_EQ(tag->key.seq, 0xbeef);
+}
+
+TEST(Tagged, RejectsNonTaggedFrames) {
+  EXPECT_FALSE(parse_tag(Frame::make_blank(1, 2)).has_value());
+  EXPECT_FALSE(parse_tag(Frame::make_remote(1, 4)).has_value());
+  Frame f = Frame::make_blank(1, 4);
+  f.data[0] = 99;  // unknown kind
+  EXPECT_FALSE(parse_tag(f).has_value());
+}
+
+TEST(Tagged, NeedsFourBytes) {
+  EXPECT_THROW(make_tagged_frame(1, MsgKind::Data, MessageKey{0, 0}, 2),
+               std::invalid_argument);
+}
+
+// --- property checker ---
+
+DeliveryJournal journal(std::initializer_list<MessageKey> keys) {
+  DeliveryJournal j;
+  BitTime t = 0;
+  for (const MessageKey& k : keys) j.push_back({k, ++t});
+  return j;
+}
+
+TEST(Properties, CleanRunIsAtomicBroadcast) {
+  const MessageKey a{0, 1}, b{1, 1};
+  std::map<NodeId, DeliveryJournal> js;
+  js[0] = journal({a, b});
+  js[1] = journal({a, b});
+  js[2] = journal({a, b});
+  auto rep = check_atomic_broadcast({{a, 0}, {b, 1}}, js, {0, 1, 2});
+  EXPECT_TRUE(rep.atomic_broadcast()) << rep.summary();
+}
+
+TEST(Properties, AgreementViolationIsImo) {
+  const MessageKey a{0, 1};
+  std::map<NodeId, DeliveryJournal> js;
+  js[0] = journal({a});
+  js[1] = journal({a});
+  js[2] = journal({});  // node 2 never got it
+  auto rep = check_atomic_broadcast({{a, 0}}, js, {0, 1, 2});
+  EXPECT_EQ(rep.agreement_violations, 1);
+  EXPECT_FALSE(rep.atomic_broadcast());
+}
+
+TEST(Properties, CrashedNodesDoNotCountForAgreement) {
+  const MessageKey a{0, 1};
+  std::map<NodeId, DeliveryJournal> js;
+  js[0] = journal({a});
+  js[1] = journal({a});
+  js[2] = journal({});  // crashed: excluded from `correct`
+  auto rep = check_atomic_broadcast({{a, 0}}, js, {0, 1});
+  EXPECT_EQ(rep.agreement_violations, 0);
+  EXPECT_TRUE(rep.atomic_broadcast()) << rep.summary();
+}
+
+TEST(Properties, DuplicateDeliveriesCounted) {
+  const MessageKey a{0, 1};
+  std::map<NodeId, DeliveryJournal> js;
+  js[0] = journal({a});
+  js[1] = journal({a, a, a});
+  auto rep = check_atomic_broadcast({{a, 0}}, js, {0, 1});
+  EXPECT_EQ(rep.duplicate_deliveries, 2);
+  EXPECT_EQ(rep.messages_with_duplicates, 1);
+  EXPECT_FALSE(rep.atomic_broadcast());
+  EXPECT_TRUE(rep.reliable_broadcast()) << "dups don't break agreement";
+}
+
+TEST(Properties, ValidityViolationWhenNobodyDelivers) {
+  const MessageKey a{0, 1};
+  std::map<NodeId, DeliveryJournal> js;
+  js[0] = journal({});
+  js[1] = journal({});
+  auto rep = check_atomic_broadcast({{a, 0}}, js, {0, 1});
+  EXPECT_EQ(rep.validity_violations, 1);
+}
+
+TEST(Properties, NoValidityViolationForCrashedSender) {
+  const MessageKey a{5, 1};
+  std::map<NodeId, DeliveryJournal> js;
+  js[0] = journal({});
+  js[1] = journal({});
+  auto rep = check_atomic_broadcast({{a, 5}}, js, {0, 1});  // 5 not correct
+  EXPECT_EQ(rep.validity_violations, 0);
+}
+
+TEST(Properties, NontrivialityOnUnknownMessage) {
+  const MessageKey ghost{9, 9};
+  std::map<NodeId, DeliveryJournal> js;
+  js[0] = journal({ghost});
+  auto rep = check_atomic_broadcast({}, js, {0});
+  EXPECT_EQ(rep.nontriviality_violations, 1);
+}
+
+TEST(Properties, OrderInversionsDetected) {
+  const MessageKey a{0, 1}, b{1, 1};
+  std::map<NodeId, DeliveryJournal> js;
+  js[0] = journal({a, b});
+  js[1] = journal({b, a});
+  auto rep = check_atomic_broadcast({{a, 0}, {b, 1}}, js, {0, 1});
+  EXPECT_EQ(rep.order_inversions, 1);
+  EXPECT_FALSE(rep.atomic_broadcast());
+}
+
+TEST(Properties, FifoViolationDetected) {
+  const MessageKey a1{0, 1}, a2{0, 2};
+  std::map<NodeId, DeliveryJournal> js;
+  js[0] = journal({a1, a2});
+  js[1] = journal({a2, a1});  // same source delivered out of order
+  auto rep = check_atomic_broadcast({{a1, 0}, {a2, 0}}, js, {0, 1});
+  EXPECT_EQ(rep.fifo_violations, 1);
+}
+
+TEST(Properties, FifoHoldsAcrossSources) {
+  const MessageKey a{0, 5}, b{1, 1};
+  std::map<NodeId, DeliveryJournal> js;
+  js[0] = journal({a, b});
+  js[1] = journal({b, a});  // different sources: total order broken,
+                            // per-source FIFO intact
+  auto rep = check_atomic_broadcast({{a, 0}, {b, 1}}, js, {0, 1});
+  EXPECT_EQ(rep.fifo_violations, 0);
+  EXPECT_EQ(rep.order_inversions, 1);
+}
+
+TEST(Properties, DuplicatesUseFirstDeliveryForOrder) {
+  const MessageKey a{0, 1}, b{1, 1};
+  std::map<NodeId, DeliveryJournal> js;
+  js[0] = journal({a, b, a});  // duplicate a at the end
+  js[1] = journal({a, b});
+  auto rep = check_atomic_broadcast({{a, 0}, {b, 1}}, js, {0, 1});
+  EXPECT_EQ(rep.order_inversions, 0) << "order judged by first delivery";
+}
+
+}  // namespace
+}  // namespace mcan

@@ -1,0 +1,221 @@
+// Tests for the application substrate: the signal codec (mini-DBC) and the
+// periodic scheduler with overrun accounting.
+#include <gtest/gtest.h>
+
+#include "app/scheduler.hpp"
+#include "app/signals.hpp"
+#include "core/network.hpp"
+#include "util/rng.hpp"
+
+namespace mcan {
+namespace {
+
+MessageSpec engine_spec() {
+  MessageSpec m;
+  m.name = "engine_status";
+  m.can_id = 0x0c8;
+  m.dlc = 8;
+  m.signals = {
+      {"rpm", 0, 16, 0.25, 0.0, false},
+      {"coolant_temp", 16, 8, 1.0, -40.0, false},
+      {"throttle", 24, 10, 0.1, 0.0, false},
+      {"torque", 34, 12, 0.5, -1024.0, true},
+  };
+  return m;
+}
+
+TEST(Signals, RoundTripAllSignals) {
+  const MessageSpec spec = engine_spec();
+  SignalValues in{{"rpm", 3050.25},
+                  {"coolant_temp", 92.0},
+                  {"throttle", 42.7},
+                  {"torque", -123.5}};
+  const Frame f = encode_signals(spec, in);
+  const SignalValues out = decode_signals(spec, f);
+  EXPECT_DOUBLE_EQ(out.at("rpm"), 3050.25);
+  EXPECT_DOUBLE_EQ(out.at("coolant_temp"), 92.0);
+  EXPECT_NEAR(out.at("throttle"), 42.7, 0.05);
+  EXPECT_DOUBLE_EQ(out.at("torque"), -123.5);
+}
+
+TEST(Signals, MissingSignalsEncodeAsRawZero) {
+  const MessageSpec spec = engine_spec();
+  const Frame f = encode_signals(spec, {});
+  EXPECT_DOUBLE_EQ(decode_signal(*spec.find("rpm"), f), 0.0);
+  EXPECT_DOUBLE_EQ(decode_signal(*spec.find("coolant_temp"), f), -40.0)
+      << "raw 0 maps through the offset";
+}
+
+TEST(Signals, UnknownSignalThrows) {
+  EXPECT_THROW(encode_signals(engine_spec(), {{"boost", 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(Signals, ClampsToRange) {
+  const MessageSpec spec = engine_spec();
+  // rpm: 16 bits * 0.25 -> max 16383.75
+  Frame f = encode_signals(spec, {{"rpm", 99999.0}});
+  EXPECT_DOUBLE_EQ(decode_signal(*spec.find("rpm"), f), 16383.75);
+  f = encode_signals(spec, {{"rpm", -5.0}});
+  EXPECT_DOUBLE_EQ(decode_signal(*spec.find("rpm"), f), 0.0);
+  // torque: signed 12 bits * 0.5 - 1024 -> [-2048-..., ...]
+  f = encode_signals(spec, {{"torque", -99999.0}});
+  EXPECT_DOUBLE_EQ(decode_signal(*spec.find("torque"), f),
+                   spec.find("torque")->phys_min());
+}
+
+TEST(Signals, SignedSignExtension) {
+  SignalSpec s{"v", 5, 7, 1.0, 0.0, true};
+  Frame f = Frame::make_blank(1, 8);
+  set_signal(s, -3.0, f);
+  EXPECT_DOUBLE_EQ(decode_signal(s, f), -3.0);
+  set_signal(s, 63.0, f);
+  EXPECT_DOUBLE_EQ(decode_signal(s, f), 63.0);
+  set_signal(s, -64.0, f);
+  EXPECT_DOUBLE_EQ(decode_signal(s, f), -64.0);
+}
+
+TEST(Signals, SettingOneSignalPreservesOthers) {
+  const MessageSpec spec = engine_spec();
+  Frame f = encode_signals(spec, {{"rpm", 1000.0}, {"coolant_temp", 80.0}});
+  set_signal(*spec.find("throttle"), 50.0, f);
+  EXPECT_DOUBLE_EQ(decode_signal(*spec.find("rpm"), f), 1000.0);
+  EXPECT_DOUBLE_EQ(decode_signal(*spec.find("coolant_temp"), f), 80.0);
+  EXPECT_NEAR(decode_signal(*spec.find("throttle"), f), 50.0, 0.05);
+}
+
+TEST(Signals, FuzzRoundTripRandomSpecs) {
+  Rng rng(53);
+  for (int trial = 0; trial < 200; ++trial) {
+    SignalSpec s;
+    s.name = "x";
+    s.length = 1 + static_cast<int>(rng.next_below(32));
+    s.start_bit = static_cast<int>(rng.next_below(
+        static_cast<std::uint32_t>(64 - s.length + 1)));
+    s.is_signed = rng.chance(0.5) && s.length > 1;
+    s.scale = 1.0;
+    const std::int64_t lo = s.raw_min();
+    const std::int64_t hi = s.raw_max();
+    const auto raw = static_cast<std::int64_t>(
+        lo + static_cast<std::int64_t>(
+                 rng.next_below(static_cast<std::uint32_t>(
+                     std::min<std::int64_t>(hi - lo, 1000000) + 1))));
+    Frame f = Frame::make_blank(1, 8);
+    set_signal(s, static_cast<double>(raw), f);
+    EXPECT_DOUBLE_EQ(decode_signal(s, f), static_cast<double>(raw))
+        << "len=" << s.length << " start=" << s.start_bit
+        << " signed=" << s.is_signed;
+  }
+}
+
+TEST(Signals, ValidationCatchesOverlap) {
+  MessageSpec m = engine_spec();
+  m.signals.push_back({"bad", 8, 10, 1.0, 0.0, false});  // overlaps rpm
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Signals, ValidationCatchesDlcOverflow) {
+  MessageSpec m;
+  m.name = "tiny";
+  m.can_id = 1;
+  m.dlc = 2;
+  m.signals = {{"wide", 8, 10, 1.0, 0.0, false}};  // bits 8..17 > 16
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Signals, ValidationCatchesBadSpecs) {
+  EXPECT_THROW((SignalSpec{"", 0, 8, 1.0, 0.0, false}).validate(),
+               std::invalid_argument);
+  EXPECT_THROW((SignalSpec{"z", 60, 8, 1.0, 0.0, false}).validate(),
+               std::invalid_argument);
+  EXPECT_THROW((SignalSpec{"z", 0, 0, 1.0, 0.0, false}).validate(),
+               std::invalid_argument);
+  EXPECT_THROW((SignalSpec{"z", 0, 8, 0.0, 0.0, false}).validate(),
+               std::invalid_argument);
+}
+
+TEST(Signals, DecodeRejectsWrongFrame) {
+  const MessageSpec spec = engine_spec();
+  EXPECT_THROW(decode_signals(spec, Frame::make_blank(0x555, 8)),
+               std::invalid_argument);
+  EXPECT_THROW(decode_signals(spec, Frame::make_blank(spec.can_id, 2)),
+               std::invalid_argument);
+}
+
+// --- scheduler ---
+
+TEST(Scheduler, ReleasesOnSchedule) {
+  Network net(2, ProtocolParams::standard_can());
+  PeriodicScheduler sched(net.node(0));
+  MessageSpec spec = engine_spec();
+  int samples = 0;
+  sched.add({spec, 500, 0, [&](BitTime) {
+               ++samples;
+               return SignalValues{{"rpm", 1000.0 + samples}};
+             }});
+  for (BitTime t = 0; t < 2500; ++t) {
+    sched.tick(net.sim().now());
+    net.sim().step();
+  }
+  net.run_until_quiet();
+  EXPECT_EQ(sched.releases(), 5);
+  EXPECT_EQ(sched.overruns(), 0);
+  EXPECT_EQ(net.deliveries(1).size(), 5u);
+  // Receiver decodes monotonically increasing rpm samples.
+  double prev = 0;
+  for (const Delivery& d : net.deliveries(1)) {
+    const double rpm = decode_signal(*spec.find("rpm"), d.frame);
+    EXPECT_GT(rpm, prev);
+    prev = rpm;
+  }
+}
+
+TEST(Scheduler, PhaseStaggering) {
+  Network net(2, ProtocolParams::standard_can());
+  PeriodicScheduler sched(net.node(0));
+  MessageSpec a = engine_spec();
+  MessageSpec b = engine_spec();
+  b.name = "b";
+  b.can_id = 0x0c9;
+  sched.add({a, 1000, 0, nullptr});
+  sched.add({b, 1000, 400, nullptr});
+  for (BitTime t = 0; t < 1200; ++t) {
+    sched.tick(net.sim().now());
+    net.sim().step();
+  }
+  net.run_until_quiet();
+  ASSERT_EQ(net.deliveries(1).size(), 3u);  // a@0, b@400, a@1000
+  EXPECT_EQ(net.deliveries(1)[0].frame.id, 0x0c8u);
+  EXPECT_EQ(net.deliveries(1)[1].frame.id, 0x0c9u);
+  EXPECT_EQ(net.deliveries(1)[2].frame.id, 0x0c8u);
+}
+
+TEST(Scheduler, OverrunSupersedesStaleInstance) {
+  // A period far shorter than the frame time forces overruns: the queue
+  // must never grow beyond one pending instance and the receiver must see
+  // the *latest* sample, not a backlog.
+  Network net(2, ProtocolParams::standard_can());
+  PeriodicScheduler sched(net.node(0));
+  MessageSpec spec = engine_spec();
+  int sample = 0;
+  sched.add({spec, 20, 0, [&](BitTime) {
+               ++sample;
+               return SignalValues{{"rpm", static_cast<double>(sample)}};
+             }});
+  for (BitTime t = 0; t < 3000; ++t) {
+    sched.tick(net.sim().now());
+    net.sim().step();
+  }
+  net.run_until_quiet();
+  EXPECT_GT(sched.overruns(), 0);
+  EXPECT_LE(net.node(0).pending_tx(), 1u);
+  EXPECT_LT(net.deliveries(1).size(),
+            static_cast<std::size_t>(sched.releases()));
+  // The last delivered sample is close to the last released one.
+  const double last = decode_signal(*spec.find("rpm"),
+                                    net.deliveries(1).back().frame);
+  EXPECT_GT(last, sample - 10);
+}
+
+}  // namespace
+}  // namespace mcan

@@ -1,0 +1,108 @@
+// Tests for the Gilbert-Elliott burst injector and the behaviour of the
+// protocols under bursty (vs randomly distributed) disturbances.
+#include <gtest/gtest.h>
+
+#include "analysis/tagged.hpp"
+#include "core/network.hpp"
+#include "fault/burst_faults.hpp"
+#include "fault/scripted.hpp"
+#include "scenario/campaign.hpp"
+
+namespace mcan {
+namespace {
+
+NodeBitInfo body_info() {
+  NodeBitInfo i;
+  i.seg = Seg::Body;
+  return i;
+}
+
+TEST(Burst, AverageRateFormula) {
+  BurstParams p;
+  p.p_good_to_bad = 0.01;
+  p.p_bad_to_good = 0.99;
+  p.flip_good = 0.0;
+  p.flip_bad = 0.5;
+  EXPECT_NEAR(p.average_rate(), 0.01 / (0.01 + 0.99) * 0.5, 1e-12);
+}
+
+TEST(Burst, EmpiricalRateMatchesFormula) {
+  BurstParams p;
+  p.p_good_to_bad = 1e-3;
+  p.p_bad_to_good = 0.2;
+  p.flip_bad = 0.4;
+  BurstFaults inj(p, Rng(5));
+  const int n = 400000;
+  int fired = 0;
+  for (int t = 0; t < n; ++t) {
+    if (inj.flips(0, static_cast<BitTime>(t), body_info(), Level::Recessive)) {
+      ++fired;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(fired) / n, p.average_rate(),
+              p.average_rate() * 0.25);
+  EXPECT_GT(inj.bursts(), 100);
+}
+
+TEST(Burst, FlipsClusterInTime) {
+  // Compare the distribution of gaps between flips against iid: bursty
+  // flips must show many short gaps (within-burst) and very long ones.
+  BurstParams p;
+  p.p_good_to_bad = 2e-4;
+  p.p_bad_to_good = 0.2;
+  p.flip_bad = 0.5;
+  BurstFaults inj(p, Rng(9));
+  std::vector<BitTime> flips;
+  for (BitTime t = 0; t < 2000000 && flips.size() < 3000; ++t) {
+    if (inj.flips(0, t, body_info(), Level::Recessive)) flips.push_back(t);
+  }
+  ASSERT_GT(flips.size(), 500u);
+  int short_gaps = 0;
+  for (std::size_t i = 1; i < flips.size(); ++i) {
+    if (flips[i] - flips[i - 1] <= 5) ++short_gaps;
+  }
+  // In a burst (mean length 5, flip 0.5) consecutive flips are a few bits
+  // apart; under iid at the same average rate (~5e-4) gaps <= 5 would be
+  // vanishingly rare.
+  EXPECT_GT(static_cast<double>(short_gaps) / static_cast<double>(flips.size()),
+            0.3);
+}
+
+TEST(Burst, PerNodeChannelsAreIndependent) {
+  BurstParams p;
+  p.p_good_to_bad = 5e-3;
+  p.p_bad_to_good = 0.2;
+  p.flip_bad = 1.0;  // every bad-state bit flips: flips trace the channel
+  p.bus_global = false;
+  BurstFaults inj(p, Rng(11));
+  int both = 0, either = 0;
+  for (BitTime t = 0; t < 100000; ++t) {
+    const bool a = inj.flips(0, t, body_info(), Level::Recessive);
+    const bool b = inj.flips(1, t, body_info(), Level::Recessive);
+    if (a || b) ++either;
+    if (a && b) ++both;
+  }
+  ASSERT_GT(either, 100);
+  // Independent channels rarely burst simultaneously.
+  EXPECT_LT(static_cast<double>(both) / static_cast<double>(either), 0.2);
+}
+
+TEST(Burst, MajorCanBudgetHoldsForShortBurstsInTheTail) {
+  // A burst of <= m flips confined to one node's frame tail is within the
+  // design budget: scripted as m consecutive flips at the worst spot.
+  const int m = 5;
+  Network net(4, ProtocolParams::major_can(m));
+  ScriptedFaults inj;
+  for (int d = 0; d < m; ++d) {
+    inj.add(FaultTarget::eof_relative(1, m - 1 + d));  // burst across the split
+  }
+  net.set_injector(inj);
+  net.node(0).enqueue(make_tagged_frame(0x100, MsgKind::Data, MessageKey{0, 1}));
+  ASSERT_TRUE(net.run_until_quiet());
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(net.deliveries(i).size(), 1u) << "node " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mcan

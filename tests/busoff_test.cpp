@@ -1,0 +1,133 @@
+// Fault-confinement integration: error-passive entry events, the warning
+// switch-off rule, and ISO 11898 bus-off auto-recovery.
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "fault/scripted.hpp"
+
+namespace mcan {
+namespace {
+
+TEST(BusOff, LoneTransmitterStaysOffByDefault) {
+  Network net(1, ProtocolParams::standard_can());
+  net.node(0).enqueue(Frame::make_blank(0x1, 0));
+  net.run_until_quiet(60000);
+  EXPECT_EQ(net.node(0).fc_state(), FcState::BusOff);
+  EXPECT_FALSE(net.node(0).active());
+  EXPECT_EQ(net.log().count(EventKind::EnteredBusOff, 0), 1u);
+  EXPECT_EQ(net.log().count(EventKind::BusOffRecovered, 0), 0u);
+}
+
+TEST(BusOff, EnteredErrorPassiveEventEmitted) {
+  Network net(1, ProtocolParams::standard_can());
+  net.node(0).enqueue(Frame::make_blank(0x1, 0));
+  net.run_until_quiet(60000);
+  EXPECT_EQ(net.log().count(EventKind::EnteredErrorPassive, 0), 1u)
+      << "TEC crosses 128 on the way to 256";
+}
+
+TEST(BusOff, AutoRecoveryRejoinsAndCycles) {
+  EventLog log;
+  ControllerConfig cfg;
+  cfg.id = 0;
+  cfg.busoff_auto_recovery = true;
+  CanController node(cfg, log);
+  Simulator sim;
+  sim.attach(node);
+  node.enqueue(Frame::make_blank(0x1, 0));
+  // One bus-off trip: 32 failed attempts; recovery: 128*11 recessive bits;
+  // then it tries (and fails) again.  Run long enough for two cycles.
+  sim.run(2 * (32 * 80 + 128 * 11 + 200));
+  EXPECT_GE(log.count(EventKind::EnteredBusOff, 0), 2u);
+  EXPECT_GE(log.count(EventKind::BusOffRecovered, 0), 1u);
+  EXPECT_TRUE(node.active()) << "recovery keeps the node attached";
+}
+
+TEST(BusOff, RecoveredNodeWorksAgain) {
+  // Drive node 1 to bus-off artificially, then let the bus idle long
+  // enough for recovery, then check it receives a frame normally.
+  EventLog log;
+  ControllerConfig c0;
+  c0.id = 0;
+  ControllerConfig c1;
+  c1.id = 1;
+  c1.busoff_auto_recovery = true;
+  CanController tx(c0, log), rx(c1, log);
+  Simulator sim;
+  sim.attach(tx);
+  sim.attach(rx);
+
+  rx.force_error_counters(250, 0);  // close to the cliff
+  // Two more tx errors (+8 each) push it over; easiest artificial path:
+  rx.force_error_counters(256, 0);
+  EXPECT_EQ(rx.fc_state(), FcState::BusOff);
+
+  int delivered = 0;
+  rx.add_delivery_handler([&](const Frame&, BitTime) { ++delivered; });
+
+  // note_fc_state runs on the next sampled bit and starts the recovery.
+  sim.run(1 + 128 * 11 + 5);
+  EXPECT_EQ(rx.fc_state(), FcState::ErrorActive);
+  EXPECT_EQ(log.count(EventKind::BusOffRecovered, 1), 1u);
+
+  tx.enqueue(Frame::make_blank(0x42, 1));
+  sim.run(300);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(rx.tec(), 0);
+  EXPECT_EQ(rx.rec(), 0);
+}
+
+TEST(BusOff, FramesOnBusDelayRecovery) {
+  // While other traffic runs, the 11-recessive sequences only accumulate
+  // in the inter-frame gaps, so recovery takes longer than on a quiet bus.
+  EventLog log;
+  ControllerConfig c0;
+  c0.id = 0;
+  ControllerConfig c1;
+  c1.id = 1;
+  ControllerConfig c2;
+  c2.id = 2;
+  c2.busoff_auto_recovery = true;
+  CanController tx(c0, log), other(c1, log), rx(c2, log);
+  Simulator sim;
+  sim.attach(tx);
+  sim.attach(other);
+  sim.attach(rx);
+  rx.force_error_counters(256, 0);
+
+  // Saturate the bus with back-to-back frames for a while.
+  for (int i = 0; i < 30; ++i) tx.enqueue(Frame::make_blank(0x100, 8));
+  sim.run(128 * 11 + 10);
+  EXPECT_EQ(rx.fc_state(), FcState::BusOff)
+      << "a busy bus must not complete the recovery sequence this fast";
+  // Let the bus drain and go quiet: recovery completes.
+  sim.run(30 * 140 + 128 * 11 + 20);
+  EXPECT_EQ(rx.fc_state(), FcState::ErrorActive);
+}
+
+TEST(BusOff, WarningSwitchOffEventEmitted) {
+  FaultConfinementConfig fc;
+  fc.switch_off_at_warning = true;
+  Network net(2, ProtocolParams::standard_can(), fc);
+  ScriptedFaults inj;
+  // Hammer the receiver with view errors mid-frame on several frames.
+  for (int f = 0; f < 15; ++f) {
+    FaultTarget t;
+    t.node = 1;
+    t.seg = Seg::Body;
+    t.index = 20;
+    t.frame_index = f;
+    inj.add(t);
+  }
+  net.set_injector(inj);
+  for (int i = 0; i < 15; ++i) net.node(0).enqueue(Frame::make_blank(0x20, 2));
+  net.run_until_quiet(60000);
+  // Each primary error costs +8/+1; the warning limit (96) must trip and
+  // the node must disconnect.
+  EXPECT_EQ(net.node(1).fc_state(), FcState::SwitchedOff);
+  EXPECT_EQ(net.log().count(EventKind::WarningSwitchOff, 1), 1u);
+  EXPECT_FALSE(net.node(1).active());
+}
+
+}  // namespace
+}  // namespace mcan

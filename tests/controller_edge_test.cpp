@@ -1,0 +1,135 @@
+// Edge-case controller tests: oversized DLC codes, remote-frame
+// request/response traffic, intermission disturbances, error-passive
+// receivers, and recovery of the bus after a fake start of frame.
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "fault/scripted.hpp"
+#include "frame/encoder.hpp"
+
+namespace mcan {
+namespace {
+
+TEST(ControllerEdge, OversizedDlcCarriesEightBytesOnTheWire) {
+  // DLC 9..15 is legal on the wire and means 8 data bytes (ISO 11898).
+  Frame f;
+  f.id = 0x123;
+  f.dlc = 12;
+  for (int i = 0; i < 8; ++i) {
+    f.data[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i + 1);
+  }
+  Network net(2, ProtocolParams::standard_can());
+  net.node(0).enqueue(f);
+  ASSERT_TRUE(net.run_until_quiet());
+  ASSERT_EQ(net.deliveries(1).size(), 1u);
+  const Frame& rx = net.deliveries(1)[0].frame;
+  EXPECT_EQ(rx.dlc, 12) << "the code itself is preserved";
+  EXPECT_EQ(rx.payload().size(), 8u);
+  EXPECT_EQ(rx.data[7], 8);
+  // Wire length equals a dlc=8 frame apart from the DLC bits themselves.
+  EXPECT_EQ(unstuffed_body(f).size(),
+            static_cast<std::size_t>(body_bits_for(64)));
+}
+
+TEST(ControllerEdge, RemoteFrameRequestResponse) {
+  // Classic RTR usage: node 1 answers a remote request for id 0x155 with
+  // the matching data frame.
+  Network net(3, ProtocolParams::standard_can());
+  const std::uint8_t value[] = {0x42, 0x99};
+  net.node(1).add_delivery_handler([&net, &value](const Frame& f, BitTime) {
+    if (f.remote && f.id == 0x155) {
+      net.node(1).enqueue(Frame::make_data(0x155, value));
+    }
+  });
+  net.node(0).enqueue(Frame::make_remote(0x155, 2));
+  ASSERT_TRUE(net.run_until_quiet());
+  // Node 2 saw the request and the answer.
+  ASSERT_EQ(net.deliveries(2).size(), 2u);
+  EXPECT_TRUE(net.deliveries(2)[0].frame.remote);
+  EXPECT_FALSE(net.deliveries(2)[1].frame.remote);
+  EXPECT_EQ(net.deliveries(2)[1].frame.data[0], 0x42);
+}
+
+TEST(ControllerEdge, FakeSofInIntermissionRecovers) {
+  // A phantom dominant at a node's third intermission bit makes it parse a
+  // nonexistent frame; the resulting error frame delays the bus but every
+  // later frame still arrives everywhere exactly once.
+  Network net(3, ProtocolParams::standard_can());
+  ScriptedFaults inj;
+  FaultTarget t;
+  t.node = 1;
+  t.seg = Seg::Intermission;
+  t.index = 2;
+  inj.add(t);
+  net.set_injector(inj);
+  net.node(0).enqueue(Frame::make_blank(0x100, 1));
+  net.node(0).enqueue(Frame::make_blank(0x101, 1));
+  ASSERT_TRUE(net.run_until_quiet(60000));
+  EXPECT_TRUE(inj.all_fired());
+  ASSERT_EQ(net.deliveries(2).size(), 2u);
+  EXPECT_EQ(net.deliveries(1).size(), 2u);
+}
+
+TEST(ControllerEdge, FakeSofWhileIdleRecovers) {
+  Network net(3, ProtocolParams::major_can(5));
+  ScriptedFaults inj;
+  FaultTarget t;
+  t.node = 2;
+  t.seg = Seg::Idle;
+  t.index = 0;
+  inj.add(t);
+  net.set_injector(inj);
+  net.sim().run(5);  // the idle phantom fires immediately
+  net.node(0).enqueue(Frame::make_blank(0x100, 1));
+  ASSERT_TRUE(net.run_until_quiet(60000));
+  EXPECT_EQ(net.deliveries(1).size(), 1u);
+  EXPECT_EQ(net.deliveries(2).size(), 1u);
+}
+
+TEST(ControllerEdge, ErrorPassiveReceiverStillAcksAndDelivers) {
+  Network net(2, ProtocolParams::standard_can());
+  net.node(1).force_error_counters(0, 130);
+  EXPECT_EQ(net.node(1).fc_state(), FcState::ErrorPassive);
+  net.node(0).enqueue(Frame::make_blank(0x42, 1));
+  ASSERT_TRUE(net.run_until_quiet());
+  EXPECT_EQ(net.deliveries(1).size(), 1u);
+  EXPECT_EQ(net.log().count(EventKind::TxSuccess, 0), 1u)
+      << "the passive receiver's ACK still satisfies the transmitter";
+  EXPECT_EQ(net.node(1).rec(), 119)
+      << "a successful reception resets REC below the passive limit "
+         "(ISO 11898: >127 becomes 119..127)";
+  EXPECT_EQ(net.node(1).fc_state(), FcState::ErrorActive);
+}
+
+TEST(ControllerEdge, ReplacePendingSupersedesQueuedOnly) {
+  EventLog log;
+  ControllerConfig cfg;
+  cfg.id = 0;
+  CanController node(cfg, log);
+  Frame a = Frame::make_blank(0x100, 1);
+  a.data[0] = 1;
+  Frame b = a;
+  b.data[0] = 2;
+  node.enqueue(a);
+  EXPECT_TRUE(node.replace_pending(b)) << "idle: the queued frame is fair game";
+  Frame c = Frame::make_blank(0x200, 1);
+  EXPECT_FALSE(node.replace_pending(c)) << "no matching id queued";
+  EXPECT_EQ(node.pending_tx(), 1u);
+}
+
+TEST(ControllerEdge, MajorCanDlc0FrameEndGame) {
+  // The shortest possible frame still carries the full end-game.
+  Network net(4, ProtocolParams::major_can(5));
+  ScriptedFaults inj;
+  inj.add(FaultTarget::eof_bit(1, 7));  // second sub-field
+  net.set_injector(inj);
+  net.node(0).enqueue(Frame::make_blank(0x001, 0));
+  ASSERT_TRUE(net.run_until_quiet());
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(net.deliveries(i).size(), 1u) << "node " << i;
+  }
+  EXPECT_EQ(net.log().count(EventKind::ExtendedFlagStart, 1), 1u);
+}
+
+}  // namespace
+}  // namespace mcan

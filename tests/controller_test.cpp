@@ -1,0 +1,302 @@
+// Integration tests for the CAN controller FSM on a simulated bus:
+// clean exchanges, arbitration, acknowledgement, error signalling,
+// retransmission, and fault confinement driven through real traffic.
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "fault/scripted.hpp"
+#include "frame/encoder.hpp"
+
+namespace mcan {
+namespace {
+
+Frame test_frame(std::uint32_t id = 0x123, std::uint8_t dlc = 2) {
+  Frame f = Frame::make_blank(id, dlc);
+  for (int i = 0; i < dlc; ++i) {
+    f.data[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(0xa0 + i);
+  }
+  return f;
+}
+
+TEST(Controller, CleanBroadcastDeliversToAllOnce) {
+  Network net(4, ProtocolParams::standard_can());
+  const Frame f = test_frame();
+  net.node(0).enqueue(f);
+  ASSERT_TRUE(net.run_until_quiet());
+  for (int i = 1; i < 4; ++i) {
+    ASSERT_EQ(net.deliveries(i).size(), 1u) << "node " << i;
+    EXPECT_EQ(net.deliveries(i)[0].frame, f);
+  }
+  EXPECT_EQ(net.deliveries(0).size(), 0u) << "no self-delivery";
+  EXPECT_EQ(net.log().count(EventKind::TxSuccess, 0), 1u);
+  EXPECT_EQ(net.log().count(EventKind::SofSent, 0), 1u);
+  EXPECT_EQ(net.node(0).tec(), 0);
+}
+
+TEST(Controller, CleanBroadcastTimingMatchesWireLength) {
+  Network net(2, ProtocolParams::standard_can());
+  const Frame f = test_frame();
+  net.node(0).enqueue(f);
+  ASSERT_TRUE(net.run_until_quiet());
+  // Delivery happens at the last EOF bit: wire_length - 1 bits after SOF(t=0).
+  ASSERT_EQ(net.deliveries(1).size(), 1u);
+  EXPECT_EQ(net.deliveries(1)[0].t,
+            static_cast<BitTime>(wire_length(f, 7) - 1));
+}
+
+TEST(Controller, BackToBackFramesFromOneNode) {
+  Network net(3, ProtocolParams::standard_can());
+  for (int k = 0; k < 5; ++k) net.node(0).enqueue(test_frame(0x100 + k, 1));
+  ASSERT_TRUE(net.run_until_quiet());
+  for (int i = 1; i < 3; ++i) {
+    ASSERT_EQ(net.deliveries(i).size(), 5u);
+    for (int k = 0; k < 5; ++k) {
+      EXPECT_EQ(net.deliveries(i)[static_cast<std::size_t>(k)].frame.id,
+                0x100u + static_cast<std::uint32_t>(k));
+    }
+  }
+}
+
+TEST(Controller, ArbitrationLowestIdWins) {
+  Network net(3, ProtocolParams::standard_can());
+  net.node(0).enqueue(test_frame(0x200));
+  net.node(1).enqueue(test_frame(0x100));
+  ASSERT_TRUE(net.run_until_quiet());
+  // Both frames arrive everywhere (except at their own senders), id 0x100
+  // first.
+  ASSERT_EQ(net.deliveries(2).size(), 2u);
+  EXPECT_EQ(net.deliveries(2)[0].frame.id, 0x100u);
+  EXPECT_EQ(net.deliveries(2)[1].frame.id, 0x200u);
+  EXPECT_EQ(net.log().count(EventKind::ArbitrationLost, 0), 1u);
+  // The loser receives the winner's frame (but never its own).
+  ASSERT_EQ(net.deliveries(0).size(), 1u);
+  EXPECT_EQ(net.deliveries(0)[0].frame.id, 0x100u);
+  ASSERT_EQ(net.deliveries(1).size(), 1u);
+  EXPECT_EQ(net.deliveries(1)[0].frame.id, 0x200u);
+}
+
+TEST(Controller, ArbitrationManyContenders) {
+  const int n = 8;
+  Network net(n, ProtocolParams::standard_can());
+  for (int i = 0; i < n; ++i) {
+    net.node(i).enqueue(test_frame(0x100 + static_cast<std::uint32_t>(n - i), 1));
+  }
+  ASSERT_TRUE(net.run_until_quiet());
+  // Everyone receives all frames but its own, in ascending id order.
+  for (int i = 0; i < n; ++i) {
+    ASSERT_EQ(net.deliveries(i).size(), static_cast<std::size_t>(n - 1));
+    std::uint32_t prev = 0;
+    for (const Delivery& d : net.deliveries(i)) {
+      EXPECT_GT(d.frame.id, prev);
+      prev = d.frame.id;
+    }
+  }
+}
+
+TEST(Controller, NoAckMeansAckErrorAndEventualBusOff) {
+  // A transmitter alone on the bus never gets an ACK: it must signal an ACK
+  // error, retransmit, and accumulate TEC +8 per attempt until bus-off.
+  Network net(1, ProtocolParams::standard_can());
+  net.node(0).enqueue(test_frame());
+  net.run_until_quiet(60000);
+  EXPECT_EQ(net.node(0).fc_state(), FcState::BusOff);
+  EXPECT_FALSE(net.node(0).active());
+  EXPECT_GE(net.log().count(EventKind::ErrorDetected, 0), 31u);
+  EXPECT_EQ(net.log().count(EventKind::TxSuccess, 0), 0u);
+}
+
+TEST(Controller, AckDisabledReceiversCauseAckError) {
+  FaultConfinementConfig fc;
+  fc.enabled = false;  // keep the tx error-active forever
+  Network net(3, ProtocolParams::standard_can(), fc);
+  // Receivers silent in the ACK slot: the transmitter keeps retrying.
+  // (ack_enabled is per-node config; emulate by building a custom net.)
+  EventLog log;
+  ControllerConfig c0;
+  c0.id = 10;
+  ControllerConfig c1;
+  c1.id = 11;
+  c1.ack_enabled = false;
+  CanController tx(c0, log), rx(c1, log);
+  Simulator sim;
+  sim.attach(tx);
+  sim.attach(rx);
+  tx.enqueue(test_frame());
+  sim.run(400);
+  EXPECT_EQ(log.count(EventKind::TxSuccess, 10), 0u);
+  EXPECT_GT(log.count(EventKind::TxRetransmit, 10), 0u);
+  // The receiver still parses the frames but they always die at the ACK
+  // slot, so nothing is delivered... actually the rx accepts at EOF: the
+  // frame is fine for it; only the transmitter errors out at the ACK slot.
+  // The tx error flag then destroys the rx's EOF, so no delivery.
+  EXPECT_GT(log.count(EventKind::ErrorDetected, 10), 0u);
+}
+
+TEST(Controller, MidFrameCorruptionRetransmitsConsistently) {
+  // Flip one receiver's view of a body bit: whatever the detection
+  // mechanism (stuff/CRC/form), the error frame globalises it and the
+  // retransmission leaves every receiver with exactly one copy.
+  for (int body_bit = 16; body_bit < 26; ++body_bit) {
+    Network net(4, ProtocolParams::standard_can());
+    ScriptedFaults inj;
+    FaultTarget t;
+    t.node = 1;
+    t.seg = Seg::Body;
+    t.index = body_bit;
+    inj.add(t);
+    net.set_injector(inj);
+    net.node(0).enqueue(test_frame());
+    ASSERT_TRUE(net.run_until_quiet());
+    for (int i = 1; i < 4; ++i) {
+      EXPECT_EQ(net.deliveries(i).size(), 1u)
+          << "node " << i << " with flip at body bit " << body_bit;
+    }
+  }
+}
+
+TEST(Controller, TransmitterBitErrorRetransmits) {
+  // Flip the transmitter's own view of a body bit: bit error, flag,
+  // retransmission.
+  Network net(3, ProtocolParams::standard_can());
+  ScriptedFaults inj;
+  FaultTarget t;
+  t.node = 0;
+  t.seg = Seg::Body;
+  t.index = 30;
+  inj.add(t);
+  net.set_injector(inj);
+  net.node(0).enqueue(test_frame());
+  ASSERT_TRUE(net.run_until_quiet());
+  EXPECT_EQ(net.log().count(EventKind::TxRetransmit, 0), 1u);
+  EXPECT_EQ(net.log().count(EventKind::TxSuccess, 0), 1u);
+  for (int i = 1; i < 3; ++i) EXPECT_EQ(net.deliveries(i).size(), 1u);
+  EXPECT_EQ(net.node(0).tec(), 7) << "+8 on the error, -1 on the success";
+}
+
+TEST(Controller, ReceiverErrorBumpsRec) {
+  Network net(3, ProtocolParams::standard_can());
+  ScriptedFaults inj;
+  FaultTarget t;
+  t.node = 1;
+  t.seg = Seg::Body;
+  t.index = 22;
+  inj.add(t);
+  net.set_injector(inj);
+  net.node(0).enqueue(test_frame());
+  ASSERT_TRUE(net.run_until_quiet());
+  // +1 on the error (+8 if it was primary), -1 on the successful reception.
+  EXPECT_GT(net.node(1).rec(), 0);
+}
+
+TEST(Controller, AutoRetransmitOffDropsFrame) {
+  EventLog log;
+  ControllerConfig c0;
+  c0.id = 0;
+  c0.auto_retransmit = false;
+  ControllerConfig c1;
+  c1.id = 1;
+  CanController tx(c0, log), rx(c1, log);
+  Simulator sim;
+  sim.attach(tx);
+  sim.attach(rx);
+  ScriptedFaults inj;
+  FaultTarget t;
+  t.node = 0;
+  t.seg = Seg::Body;
+  t.index = 30;
+  inj.add(t);
+  sim.set_injector(inj);
+  tx.enqueue(test_frame());
+  sim.run(400);
+  EXPECT_EQ(log.count(EventKind::TxRejected, 0), 1u);
+  EXPECT_EQ(log.count(EventKind::TxRetransmit, 0), 0u);
+  EXPECT_EQ(log.count(EventKind::TxSuccess, 0), 0u);
+  EXPECT_EQ(tx.pending_tx(), 0u);
+}
+
+TEST(Controller, LastEofBitRuleAcceptsAndOverloads) {
+  // Standard CAN: a receiver seeing dominant at the last EOF bit accepts
+  // the frame and signals an overload condition; the transmitter, clean,
+  // does not retransmit.
+  Network net(3, ProtocolParams::standard_can());
+  ScriptedFaults inj;
+  inj.add(FaultTarget::eof_bit(1, 6));
+  net.set_injector(inj);
+  net.node(0).enqueue(test_frame());
+  ASSERT_TRUE(net.run_until_quiet());
+  EXPECT_EQ(net.deliveries(1).size(), 1u);
+  EXPECT_EQ(net.deliveries(2).size(), 1u);
+  EXPECT_EQ(net.log().count(EventKind::SofSent, 0), 1u) << "no retransmission";
+  EXPECT_GE(net.log().count(EventKind::OverloadFlagStart), 1u);
+}
+
+TEST(Controller, OverloadAtIntermissionDelaysNextFrame) {
+  Network net(2, ProtocolParams::standard_can());
+  ScriptedFaults inj;
+  FaultTarget t;
+  t.node = 1;
+  t.seg = Seg::Intermission;
+  t.index = 0;
+  inj.add(t);
+  net.set_injector(inj);
+  net.node(0).enqueue(test_frame(0x100));
+  net.node(0).enqueue(test_frame(0x101));
+  ASSERT_TRUE(net.run_until_quiet());
+  EXPECT_GE(net.log().count(EventKind::OverloadFlagStart, 1), 1u);
+  ASSERT_EQ(net.deliveries(1).size(), 2u) << "both frames still delivered";
+}
+
+TEST(Controller, EnqueueWhileBusBusyWaits) {
+  Network net(3, ProtocolParams::standard_can());
+  net.node(0).enqueue(test_frame(0x100, 8));
+  net.sim().run(20);  // frame 0 is mid-flight
+  net.node(1).enqueue(test_frame(0x050, 1));
+  ASSERT_TRUE(net.run_until_quiet());
+  // Node 1's (higher-priority) frame must NOT preempt the ongoing one.
+  ASSERT_EQ(net.deliveries(2).size(), 2u);
+  EXPECT_EQ(net.deliveries(2)[0].frame.id, 0x100u);
+  EXPECT_EQ(net.deliveries(2)[1].frame.id, 0x050u);
+}
+
+TEST(Controller, IdenticalFramesMergeOnTheBus) {
+  // Two nodes transmitting the same frame at the same bit: every wire bit
+  // coincides, both see success.
+  Network net(3, ProtocolParams::standard_can());
+  const Frame f = test_frame(0x0aa, 1);
+  net.node(0).enqueue(f);
+  net.node(1).enqueue(f);
+  ASSERT_TRUE(net.run_until_quiet());
+  EXPECT_EQ(net.log().count(EventKind::TxSuccess, 0), 1u);
+  EXPECT_EQ(net.log().count(EventKind::TxSuccess, 1), 1u);
+  ASSERT_EQ(net.deliveries(2).size(), 1u) << "one frame on the wire";
+}
+
+TEST(Controller, MinorCanValidatesProtocol) {
+  EXPECT_THROW(ProtocolParams::major_can(2), std::invalid_argument);
+  EXPECT_NO_THROW(ProtocolParams::major_can(3));
+}
+
+TEST(Controller, MajorCanCleanBroadcast) {
+  for (int m : {3, 4, 5, 7}) {
+    Network net(4, ProtocolParams::major_can(m));
+    const Frame f = test_frame();
+    net.node(0).enqueue(f);
+    ASSERT_TRUE(net.run_until_quiet()) << "m=" << m;
+    for (int i = 1; i < 4; ++i) {
+      ASSERT_EQ(net.deliveries(i).size(), 1u) << "m=" << m << " node " << i;
+    }
+    // Clean-channel cost: exactly 2m-7 bits longer than standard CAN.
+    EXPECT_EQ(net.deliveries(1)[0].t,
+              static_cast<BitTime>(wire_length(f, 2 * m) - 1));
+  }
+}
+
+TEST(Controller, MinorCanCleanBroadcast) {
+  Network net(4, ProtocolParams::minor_can());
+  net.node(0).enqueue(test_frame());
+  ASSERT_TRUE(net.run_until_quiet());
+  for (int i = 1; i < 4; ++i) EXPECT_EQ(net.deliveries(i).size(), 1u);
+}
+
+}  // namespace
+}  // namespace mcan

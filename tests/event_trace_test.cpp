@@ -1,0 +1,119 @@
+// Tests for the event log and the ASCII trace renderer.
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "fault/scripted.hpp"
+#include "sim/event.hpp"
+
+namespace mcan {
+namespace {
+
+TEST(EventLog, EmitFilterCount) {
+  EventLog log;
+  log.emit({1, 0, EventKind::SofSent, "", std::nullopt});
+  log.emit({2, 1, EventKind::SofSeen, "", std::nullopt});
+  log.emit({3, 1, EventKind::FrameAccepted, "clean", std::nullopt});
+  log.emit({4, 2, EventKind::FrameAccepted, "clean", std::nullopt});
+
+  EXPECT_EQ(log.events().size(), 4u);
+  EXPECT_EQ(log.count(EventKind::FrameAccepted), 2u);
+  EXPECT_EQ(log.count(EventKind::FrameAccepted, 1), 1u);
+  EXPECT_EQ(log.filter(EventKind::FrameAccepted, 2).size(), 1u);
+  EXPECT_EQ(log.filter(EventKind::TxSuccess).size(), 0u);
+  log.clear();
+  EXPECT_TRUE(log.events().empty());
+}
+
+TEST(EventLog, ToStringCarriesDetailAndFrame) {
+  Event e{42, 7, EventKind::FrameRejected, "stuff error",
+          Frame::make_blank(0x1a, 2)};
+  const std::string s = e.to_string();
+  EXPECT_NE(s.find("t=42"), std::string::npos);
+  EXPECT_NE(s.find("node=7"), std::string::npos);
+  EXPECT_NE(s.find("FrameRejected"), std::string::npos);
+  EXPECT_NE(s.find("stuff error"), std::string::npos);
+  EXPECT_NE(s.find("0x01a"), std::string::npos);
+}
+
+TEST(EventLog, AllKindNamesDistinct) {
+  std::set<std::string> names;
+  const int last = static_cast<int>(EventKind::BusOffRecovered);
+  for (int k = 0; k <= last; ++k) {
+    names.insert(event_kind_name(static_cast<EventKind>(k)));
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(last) + 1);
+  EXPECT_FALSE(names.contains("?"));
+}
+
+TEST(SegNames, AllDistinct) {
+  std::set<std::string> names;
+  for (int s = 0; s <= static_cast<int>(Seg::ExtFlag); ++s) {
+    names.insert(seg_name(static_cast<Seg>(s)));
+  }
+  EXPECT_EQ(names.size(),
+            static_cast<std::size_t>(static_cast<int>(Seg::ExtFlag)) + 1);
+}
+
+TEST(Trace, WindowedRenderContainsOnlyRequestedBits) {
+  Network net(2, ProtocolParams::standard_can());
+  net.enable_trace();
+  net.node(0).enqueue(Frame::make_blank(0x3c, 0));
+  ASSERT_TRUE(net.run_until_quiet());
+  const std::string full = net.trace().render(net.labels());
+  const std::string window = net.trace().render(net.labels(), 10, 20);
+  EXPECT_GT(full.size(), window.size());
+  // The window row for each node is exactly 10 chars of levels.
+  // (ruler + 2 node rows; find the node-0 row)
+  auto pos = window.find("node 0");
+  ASSERT_NE(pos, std::string::npos);
+  auto eol = window.find('\n', pos);
+  // label is padded; levels follow — total row length is label width + 10.
+  EXPECT_EQ(window.substr(pos, eol - pos).size(),
+            window.find('\n') - 0);  // same width as the ruler row
+}
+
+TEST(Trace, DisturbanceBandOnlyWhenDisturbed) {
+  Network clean(2, ProtocolParams::standard_can());
+  clean.enable_trace();
+  clean.node(0).enqueue(Frame::make_blank(0x3c, 0));
+  ASSERT_TRUE(clean.run_until_quiet());
+  EXPECT_EQ(clean.trace().render(clean.labels()).find('*'), std::string::npos);
+
+  Network dirty(2, ProtocolParams::standard_can());
+  dirty.enable_trace();
+  ScriptedFaults inj;
+  inj.add(FaultTarget::eof_bit(1, 3));
+  dirty.set_injector(inj);
+  dirty.node(0).enqueue(Frame::make_blank(0x3c, 0));
+  ASSERT_TRUE(dirty.run_until_quiet());
+  EXPECT_NE(dirty.trace().render(dirty.labels()).find('*'), std::string::npos);
+}
+
+TEST(Trace, CrashedNodeRendersDots) {
+  Network net(3, ProtocolParams::standard_can());
+  net.enable_trace();
+  net.sim().schedule_crash(2, 5);
+  net.node(0).enqueue(Frame::make_blank(0x3c, 0));
+  ASSERT_TRUE(net.run_until_quiet());
+  const std::string out = net.trace().render(net.labels());
+  EXPECT_NE(out.find('.'), std::string::npos);
+}
+
+TEST(Network, LabelsMatchSize) {
+  Network net(4, ProtocolParams::standard_can());
+  EXPECT_EQ(net.labels().size(), 4u);
+  EXPECT_EQ(net.labels()[2], "node 2");
+}
+
+TEST(Network, RunUntilQuietTimesOutWhenBusStuck) {
+  // A lone transmitter never gets an ACK and retries forever (until
+  // bus-off); with fault confinement disabled it really is forever.
+  FaultConfinementConfig fc;
+  fc.enabled = false;
+  Network net(1, ProtocolParams::standard_can(), fc);
+  net.node(0).enqueue(Frame::make_blank(0x1, 0));
+  EXPECT_FALSE(net.run_until_quiet(2000));
+}
+
+}  // namespace
+}  // namespace mcan

@@ -1,0 +1,134 @@
+// CAN 2.0B extended-frame tests: encoding, wire length, mixed-format
+// arbitration (a standard frame beats an extended frame with the same base
+// id through its dominant RTR/IDE bits), and MajorCAN's end-game running
+// unchanged on extended frames.
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "fault/scripted.hpp"
+#include "frame/encoder.hpp"
+
+namespace mcan {
+namespace {
+
+TEST(ExtendedFrame, Construction) {
+  const std::uint8_t bytes[] = {1, 2, 3};
+  Frame f = Frame::make_extended(0x1fffffff, bytes);
+  EXPECT_TRUE(f.extended);
+  EXPECT_EQ(f.id, 0x1fffffffu);
+  EXPECT_EQ(f.base_id(), 0x7ffu);
+  EXPECT_EQ(f.ext_id(), 0x3ffffu);
+  EXPECT_EQ(f.dlc, 3);
+  EXPECT_THROW(Frame::make_extended(0x20000000, bytes), std::invalid_argument);
+}
+
+TEST(ExtendedFrame, BaseAndExtSplit) {
+  Frame f = Frame::make_extended(0x12345678 & kMaxExtId, {});
+  EXPECT_EQ(f.id, (f.base_id() << kExtIdBits) | f.ext_id());
+  Frame s = Frame::make_blank(0x123, 0);
+  EXPECT_EQ(s.base_id(), 0x123u);
+  EXPECT_EQ(s.ext_id(), 0u);
+}
+
+TEST(ExtendedFrame, BodyIsTwentyBitsLonger) {
+  Frame std_f = Frame::make_blank(0x155, 4);
+  Frame ext_f = Frame::make_extended(0x155u << kExtIdBits, {});
+  ext_f.dlc = 4;
+  EXPECT_EQ(body_bits_of(ext_f) - body_bits_of(std_f), kExtendedExtraBits);
+  EXPECT_EQ(static_cast<int>(unstuffed_body(ext_f).size()), body_bits_of(ext_f));
+}
+
+TEST(ExtendedFrame, SrrAndIdeAreRecessive) {
+  Frame f = Frame::make_extended(0, {});
+  BitVec body = unstuffed_body(f);
+  EXPECT_EQ(body[12], Level::Recessive) << "SRR";
+  EXPECT_EQ(body[13], Level::Recessive) << "IDE";
+}
+
+TEST(ExtendedFrame, ArbitrationPhaseCoversBothIdFields) {
+  Frame f = Frame::make_extended(0x15555555 & kMaxExtId, {});
+  auto bits = encode_tx(f, kStandardEofBits);
+  int arb = 0;
+  for (const TxBit& b : bits) {
+    if (b.phase == TxPhase::Arbitration && !b.is_stuff) ++arb;
+  }
+  // 11 base id + SRR + IDE + 18 ext id + RTR = 32.
+  EXPECT_EQ(arb, 32);
+}
+
+TEST(ExtendedFrame, BroadcastDeliversEverywhere) {
+  Network net(4, ProtocolParams::standard_can());
+  const std::uint8_t bytes[] = {0xca, 0xfe};
+  const Frame f = Frame::make_extended(0xabcdef, bytes);
+  net.node(0).enqueue(f);
+  ASSERT_TRUE(net.run_until_quiet());
+  for (int i = 1; i < 4; ++i) {
+    ASSERT_EQ(net.deliveries(i).size(), 1u) << "node " << i;
+    EXPECT_EQ(net.deliveries(i)[0].frame, f);
+  }
+}
+
+TEST(ExtendedFrame, StandardBeatsExtendedWithSameBaseId) {
+  // ISO 11898: a standard frame wins against an extended frame with the
+  // same 11-bit base identifier — its RTR/IDE bits are dominant where the
+  // extended frame sends recessive SRR/IDE.
+  Network net(3, ProtocolParams::standard_can());
+  const Frame ext = Frame::make_extended(0x155u << kExtIdBits, {});
+  const Frame std_f = Frame::make_blank(0x155, 1);
+  net.node(0).enqueue(ext);
+  net.node(1).enqueue(std_f);
+  ASSERT_TRUE(net.run_until_quiet());
+  ASSERT_EQ(net.deliveries(2).size(), 2u);
+  EXPECT_FALSE(net.deliveries(2)[0].frame.extended) << "standard first";
+  EXPECT_TRUE(net.deliveries(2)[1].frame.extended);
+  EXPECT_EQ(net.log().count(EventKind::ArbitrationLost, 0), 1u);
+}
+
+TEST(ExtendedFrame, LowerExtensionIdWinsAmongExtended) {
+  Network net(3, ProtocolParams::standard_can());
+  net.node(0).enqueue(Frame::make_extended((0x100u << kExtIdBits) | 0x200, {}));
+  net.node(1).enqueue(Frame::make_extended((0x100u << kExtIdBits) | 0x100, {}));
+  ASSERT_TRUE(net.run_until_quiet());
+  ASSERT_EQ(net.deliveries(2).size(), 2u);
+  EXPECT_EQ(net.deliveries(2)[0].frame.ext_id(), 0x100u);
+  EXPECT_EQ(net.deliveries(2)[1].frame.ext_id(), 0x200u);
+}
+
+TEST(ExtendedFrame, MajorCanEndGameWorksOnExtendedFrames) {
+  // The paper's scenarios act on the frame tail, which is format-agnostic:
+  // replaying the Fig. 3a pattern on an extended frame must stay
+  // consistent under MajorCAN (and split under standard CAN).
+  for (bool major : {false, true}) {
+    const ProtocolParams p =
+        major ? ProtocolParams::major_can(5) : ProtocolParams::standard_can();
+    const int last = p.eof_bits() - 1;
+    Network net(5, p);
+    ScriptedFaults inj;
+    inj.add(FaultTarget::eof_bit(1, last - 1));
+    inj.add(FaultTarget::eof_bit(2, last - 1));
+    inj.add(FaultTarget::eof_bit(0, last));
+    net.set_injector(inj);
+    net.node(0).enqueue(Frame::make_extended(0xdeadbe, {}));
+    ASSERT_TRUE(net.run_until_quiet());
+    const bool split = net.deliveries(1).empty() != net.deliveries(3).empty();
+    if (major) {
+      EXPECT_FALSE(split) << "MajorCAN must keep agreement";
+      EXPECT_EQ(net.deliveries(1).size(), 1u);
+      EXPECT_EQ(net.deliveries(3).size(), 1u);
+    } else {
+      EXPECT_TRUE(split) << "standard CAN splits exactly as with 2.0A";
+    }
+  }
+}
+
+TEST(ExtendedFrame, RemoteRoundTripOnBus) {
+  Network net(2, ProtocolParams::minor_can());
+  const Frame f = Frame::make_extended_remote(0x00ff00, 2);
+  net.node(0).enqueue(f);
+  ASSERT_TRUE(net.run_until_quiet());
+  ASSERT_EQ(net.deliveries(1).size(), 1u);
+  EXPECT_EQ(net.deliveries(1)[0].frame, f);
+}
+
+}  // namespace
+}  // namespace mcan

@@ -1,0 +1,117 @@
+// Tests for the fault-injection module: scripted target matching semantics
+// and the calibration of the random (ber*) injector.
+#include <gtest/gtest.h>
+
+#include "fault/random_faults.hpp"
+#include "fault/scripted.hpp"
+
+namespace mcan {
+namespace {
+
+NodeBitInfo info_at(Seg seg, int index, int eof_rel = -1, int frame = 0,
+                    bool tx = false) {
+  NodeBitInfo i;
+  i.seg = seg;
+  i.index = index;
+  i.eof_rel = eof_rel;
+  i.frame_index = frame;
+  i.transmitter = tx;
+  return i;
+}
+
+TEST(ScriptedFaults, AtTimeMatchesOnlyThatBit) {
+  ScriptedFaults inj;
+  inj.add(FaultTarget::at_time(3, 100));
+  EXPECT_FALSE(inj.flips(3, 99, info_at(Seg::Body, 0), Level::Recessive));
+  EXPECT_FALSE(inj.flips(2, 100, info_at(Seg::Body, 0), Level::Recessive));
+  EXPECT_TRUE(inj.flips(3, 100, info_at(Seg::Body, 0), Level::Recessive));
+  // count = 1: exhausted.
+  EXPECT_FALSE(inj.flips(3, 100, info_at(Seg::Body, 0), Level::Recessive));
+  EXPECT_EQ(inj.fired(), 1);
+  EXPECT_TRUE(inj.all_fired());
+}
+
+TEST(ScriptedFaults, EofBitMatchesSegmentIndexAndFrame) {
+  ScriptedFaults inj;
+  inj.add(FaultTarget::eof_bit(1, 5, 2));
+  EXPECT_FALSE(inj.flips(1, 10, info_at(Seg::Eof, 5, 5, 1), Level::Recessive))
+      << "wrong frame";
+  EXPECT_FALSE(inj.flips(1, 10, info_at(Seg::Eof, 4, 4, 2), Level::Recessive))
+      << "wrong position";
+  EXPECT_FALSE(inj.flips(1, 10, info_at(Seg::Body, 5, -1, 2), Level::Recessive))
+      << "wrong segment";
+  EXPECT_TRUE(inj.flips(1, 10, info_at(Seg::Eof, 5, 5, 2), Level::Recessive));
+}
+
+TEST(ScriptedFaults, EofRelativeMatchesAcrossSegments) {
+  ScriptedFaults inj;
+  inj.add(FaultTarget::eof_relative(0, 12));
+  // The same EOF-relative position can occur while the node is sampling.
+  EXPECT_TRUE(inj.flips(0, 50, info_at(Seg::Sampling, 12, 12, 0), Level::Recessive));
+}
+
+TEST(ScriptedFaults, MultiCountFiresRepeatedly) {
+  ScriptedFaults inj;
+  FaultTarget t;
+  t.node = 0;
+  t.seg = Seg::Eof;
+  t.count = 3;
+  inj.add(t);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(inj.flips(0, static_cast<BitTime>(i), info_at(Seg::Eof, i, i, 0),
+                          Level::Recessive));
+  }
+  EXPECT_FALSE(inj.flips(0, 9, info_at(Seg::Eof, 9, 9, 0), Level::Recessive));
+  EXPECT_EQ(inj.fired(), 3);
+}
+
+TEST(ScriptedFaults, MultipleTargetsIndependent) {
+  ScriptedFaults inj;
+  inj.add(FaultTarget::at_time(0, 5));
+  inj.add(FaultTarget::at_time(1, 5));
+  EXPECT_TRUE(inj.flips(0, 5, info_at(Seg::Idle, 0), Level::Recessive));
+  EXPECT_TRUE(inj.flips(1, 5, info_at(Seg::Idle, 0), Level::Recessive));
+  EXPECT_TRUE(inj.all_fired());
+}
+
+TEST(RandomFaults, RateZeroNeverFires) {
+  RandomFaults inj(0.0, Rng(1));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(inj.flips(0, static_cast<BitTime>(i),
+                           info_at(Seg::Body, i), Level::Recessive));
+  }
+  EXPECT_EQ(inj.injected(), 0);
+}
+
+TEST(RandomFaults, RateCalibrated) {
+  RandomFaults inj(0.1, Rng(7));
+  int fired = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (inj.flips(0, static_cast<BitTime>(i), info_at(Seg::Body, i),
+                  Level::Recessive)) {
+      ++fired;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(fired) / n, 0.1, 0.01);
+  EXPECT_EQ(inj.injected(), fired);
+}
+
+TEST(RandomFaults, FramesOnlySkipsIdleBits) {
+  RandomFaults inj(1.0, Rng(9));  // always fires when eligible
+  inj.set_frames_only(true);
+  EXPECT_FALSE(inj.flips(0, 0, info_at(Seg::Idle, 0), Level::Recessive));
+  EXPECT_FALSE(inj.flips(0, 1, info_at(Seg::Intermission, 0), Level::Recessive));
+  EXPECT_TRUE(inj.flips(0, 2, info_at(Seg::Body, 10), Level::Recessive));
+  EXPECT_TRUE(inj.flips(0, 3, info_at(Seg::Eof, 2, 2), Level::Recessive));
+}
+
+TEST(RandomFaults, SetRateTakesEffect) {
+  RandomFaults inj(1.0, Rng(11));
+  EXPECT_TRUE(inj.flips(0, 0, info_at(Seg::Body, 0), Level::Recessive));
+  inj.set_rate(0.0);
+  EXPECT_FALSE(inj.flips(0, 1, info_at(Seg::Body, 1), Level::Recessive));
+}
+
+}  // namespace
+}  // namespace mcan

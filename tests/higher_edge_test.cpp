@@ -1,0 +1,134 @@
+// Edge-case tests for the higher-level baselines: timer paths (RELCAN
+// relay after missing CONFIRM, TOTCAN discard after missing ACCEPT),
+// deduplication under relay storms, id bands, and overhead accounting.
+#include <gtest/gtest.h>
+
+#include "fault/scripted.hpp"
+#include "higher/higher_network.hpp"
+
+namespace mcan {
+namespace {
+
+TEST(RelcanEdge, TimeoutRelayFiresWhenConfirmNeverComes) {
+  // Crash the sender right after the DATA frame succeeds: no CONFIRM is
+  // ever sent; every receiver's timer must expire and the relay must keep
+  // the message alive everywhere.
+  HigherNetwork net(HigherKind::Relcan, 4, HostParams{400});
+  net.host(0).broadcast(MessageKey{0, 1});
+  // The tagged DATA frame is ~86 wire bits: crash just after it completes,
+  // before the CONFIRM can go out.
+  net.link().sim().schedule_crash(0, 95);
+  ASSERT_TRUE(net.run_until_quiet());
+  auto rep = net.check({1, 2, 3});
+  EXPECT_EQ(rep.agreement_violations, 0) << rep.summary();
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(net.host(i).app_deliveries().size(), 1u) << "node " << i;
+  }
+  // At least one relay happened (timeout path), maybe several (every
+  // waiting receiver relays).
+  EXPECT_GE(net.extra_frames(), 1);
+}
+
+TEST(RelcanEdge, ConfirmSuppressesRelays) {
+  HigherNetwork net(HigherKind::Relcan, 4, HostParams{400});
+  net.host(0).broadcast(MessageKey{0, 1});
+  ASSERT_TRUE(net.run_until_quiet());
+  EXPECT_EQ(net.extra_frames(), 1) << "only the CONFIRM, no relays";
+}
+
+TEST(TotcanEdge, MissingAcceptDiscardsEverywhere) {
+  // Crash the sender after DATA but before the ACCEPT: receivers must
+  // discard the pending message on timeout — consistently undelivered.
+  HigherNetwork net(HigherKind::Totcan, 4, HostParams{400});
+  net.host(0).broadcast(MessageKey{0, 1});
+  net.link().sim().schedule_crash(0, 95);  // after DATA, before ACCEPT
+  ASSERT_TRUE(net.run_until_quiet());
+  auto rep = net.check({1, 2, 3});
+  EXPECT_EQ(rep.agreement_violations, 0) << rep.summary();
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(net.host(i).app_deliveries().size(), 0u)
+        << "node " << i << " must drop the unaccepted message";
+  }
+}
+
+TEST(TotcanEdge, HeadOfLineBlockingUntilAccept) {
+  // Two messages from two senders; the first sender's ACCEPT is what
+  // releases both in order at every node.  Delivery times must not precede
+  // the corresponding ACCEPT's success on the wire.
+  HigherNetwork net(HigherKind::Totcan, 4, HostParams{800});
+  net.host(0).broadcast(MessageKey{0, 1});
+  net.host(1).broadcast(MessageKey{1, 1});
+  ASSERT_TRUE(net.run_until_quiet());
+  auto rep = net.check();
+  EXPECT_TRUE(rep.atomic_broadcast()) << rep.summary();
+  // Every node delivered both messages in the same order.
+  auto js = net.journals();
+  const auto& ref = js.at(2);
+  ASSERT_EQ(ref.size(), 2u);
+  for (const auto& [node, j] : js) {
+    ASSERT_EQ(j.size(), 2u) << "node " << node;
+    EXPECT_EQ(j[0].key, ref[0].key) << "node " << node;
+    EXPECT_EQ(j[1].key, ref[1].key) << "node " << node;
+  }
+}
+
+TEST(EdcanEdge, RelayStormIsDeduplicated) {
+  // 6 nodes: one broadcast triggers 5 relays; every host must still
+  // deliver exactly once.
+  HigherNetwork net(HigherKind::Edcan, 6);
+  net.host(0).broadcast(MessageKey{0, 1});
+  ASSERT_TRUE(net.run_until_quiet());
+  EXPECT_EQ(net.extra_frames(), 5);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(net.host(i).app_deliveries().size(), 1u) << "node " << i;
+  }
+  auto rep = net.check();
+  EXPECT_EQ(rep.duplicate_deliveries, 0);
+}
+
+TEST(EdcanEdge, RelaysDoNotRelayRelays) {
+  // Receiving a relayed copy of an already-seen message must not trigger
+  // another relay: the extra-frame count stays at N-1 per broadcast.
+  HigherNetwork net(HigherKind::Edcan, 5);
+  net.host(0).broadcast(MessageKey{0, 1});
+  ASSERT_TRUE(net.run_until_quiet());
+  net.host(1).broadcast(MessageKey{1, 1});
+  ASSERT_TRUE(net.run_until_quiet());
+  EXPECT_EQ(net.extra_frames(), 2 * 4);
+}
+
+TEST(HigherEdge, ControlFramesOutrankData) {
+  // A CONFIRM queued while another node has DATA pending must win
+  // arbitration (control id band 0x080+ < data band 0x100+).
+  HigherNetwork net(HigherKind::Relcan, 4, HostParams{600});
+  net.host(0).broadcast(MessageKey{0, 1});
+  net.run(20);
+  net.host(1).broadcast(MessageKey{1, 1});  // queues DATA during frame 1
+  ASSERT_TRUE(net.run_until_quiet());
+  // After node 0's DATA finishes, its CONFIRM contends with node 1's DATA
+  // and must come first on the bus.  Verify via the link-level journal of
+  // a third node: kinds in order DATA(0), CONFIRM(0), DATA(1), CONFIRM(1).
+  std::vector<MsgKind> kinds;
+  for (const Delivery& d : net.link().deliveries(3)) {
+    if (auto tag = parse_tag(d.frame)) kinds.push_back(tag->kind);
+  }
+  ASSERT_EQ(kinds.size(), 4u);
+  EXPECT_EQ(kinds[0], MsgKind::Data);
+  EXPECT_EQ(kinds[1], MsgKind::Confirm);
+  EXPECT_EQ(kinds[2], MsgKind::Data);
+  EXPECT_EQ(kinds[3], MsgKind::Confirm);
+}
+
+TEST(HigherEdge, BusyReflectsOutstandingTimers) {
+  HigherNetwork net(HigherKind::Relcan, 3, HostParams{5000});
+  ScriptedFaults inj;
+  net.link().set_injector(inj);
+  net.host(0).broadcast(MessageKey{0, 1});
+  net.run(70);  // DATA delivered, CONFIRM likely still pending/queued
+  // Eventually everything drains and no host stays busy.
+  ASSERT_TRUE(net.run_until_quiet());
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(net.host(i).busy());
+}
+
+}  // namespace
+}  // namespace mcan

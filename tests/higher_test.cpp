@@ -1,0 +1,179 @@
+// Tests for the higher-level baselines (EDCAN, RELCAN, TOTCAN) over
+// standard CAN: failure-free operation, recovery from the Fig. 1c
+// transmitter crash, and their documented fate in the paper's new Fig. 3
+// scenarios (only EDCAN survives; none of the others do).
+#include <gtest/gtest.h>
+
+#include "fault/scripted.hpp"
+#include "higher/higher_network.hpp"
+
+namespace mcan {
+namespace {
+
+void broadcast_one(HigherNetwork& net, int sender, std::uint16_t seq) {
+  net.host(sender).broadcast(MessageKey{static_cast<NodeId>(sender), seq});
+}
+
+TEST(Higher, EdcanCleanRunDeliversEverywhereOnce) {
+  HigherNetwork net(HigherKind::Edcan, 4);
+  broadcast_one(net, 0, 1);
+  ASSERT_TRUE(net.run_until_quiet());
+  auto rep = net.check();
+  EXPECT_TRUE(rep.reliable_broadcast()) << rep.summary();
+  EXPECT_EQ(rep.duplicate_deliveries, 0) << "app-level dedup";
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(net.host(i).app_deliveries().size(), 1u) << "node " << i;
+  }
+  // Eager diffusion: every receiver relays once => 3 extra frames.
+  EXPECT_EQ(net.extra_frames(), 3);
+}
+
+TEST(Higher, RelcanCleanRunCostsOneConfirm) {
+  HigherNetwork net(HigherKind::Relcan, 4);
+  broadcast_one(net, 0, 1);
+  ASSERT_TRUE(net.run_until_quiet());
+  auto rep = net.check();
+  EXPECT_TRUE(rep.reliable_broadcast()) << rep.summary();
+  EXPECT_EQ(net.extra_frames(), 1) << "just the CONFIRM";
+}
+
+TEST(Higher, TotcanCleanRunCostsOneAccept) {
+  HigherNetwork net(HigherKind::Totcan, 4);
+  broadcast_one(net, 0, 1);
+  ASSERT_TRUE(net.run_until_quiet());
+  auto rep = net.check();
+  EXPECT_TRUE(rep.atomic_broadcast()) << rep.summary();
+  EXPECT_EQ(net.extra_frames(), 1) << "just the ACCEPT";
+}
+
+TEST(Higher, TotcanOrdersConcurrentSenders) {
+  HigherNetwork net(HigherKind::Totcan, 5);
+  for (int s = 0; s < 3; ++s) broadcast_one(net, s, 1);
+  ASSERT_TRUE(net.run_until_quiet());
+  auto rep = net.check();
+  EXPECT_TRUE(rep.atomic_broadcast()) << rep.summary();
+  EXPECT_EQ(rep.order_inversions, 0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(net.host(i).app_deliveries().size(), 3u);
+  }
+}
+
+TEST(Higher, ManyMessagesAllProtocolsAgree) {
+  for (HigherKind kind :
+       {HigherKind::Edcan, HigherKind::Relcan, HigherKind::Totcan}) {
+    HigherNetwork net(kind, 4);
+    for (std::uint16_t q = 1; q <= 5; ++q) {
+      broadcast_one(net, static_cast<int>(q % 3), q);
+      net.run(80);
+    }
+    ASSERT_TRUE(net.run_until_quiet()) << higher_kind_name(kind);
+    auto rep = net.check();
+    EXPECT_EQ(rep.agreement_violations, 0)
+        << higher_kind_name(kind) << ": " << rep.summary();
+    EXPECT_EQ(rep.validity_violations, 0) << higher_kind_name(kind);
+  }
+}
+
+// --- recovery from the Fig. 1c pattern (tx crash after partial delivery) ---
+
+/// Drive the Fig. 1b/1c disturbance against a higher-protocol net: X (nodes
+/// 1,2) see a phantom in the last-but-one EOF bit of the DATA frame, and the
+/// transmitter crashes before it can retransmit.
+template <typename Prep>
+AbReport fig1c_against(HigherKind kind, Prep&& prep) {
+  HigherNetwork net(kind, 5);
+  ScriptedFaults inj;
+  inj.add(FaultTarget::eof_bit(1, 5, 0));
+  inj.add(FaultTarget::eof_bit(2, 5, 0));
+  net.link().set_injector(inj);
+  prep(net);
+  broadcast_one(net, 0, 1);
+  // Crash the transmitter right after the error frame of the first attempt:
+  // the DATA frame is ~55 bits; the error frame ends well before bit 110.
+  net.link().sim().schedule_crash(0, 75);
+  net.run_until_quiet();
+  // Node 0 crashed: correct set is 1..4.
+  return net.check({1, 2, 3, 4});
+}
+
+TEST(Higher, EdcanRecoversFromTransmitterCrash) {
+  auto rep = fig1c_against(HigherKind::Edcan, [](HigherNetwork&) {});
+  EXPECT_EQ(rep.agreement_violations, 0) << rep.summary();
+}
+
+TEST(Higher, RelcanRecoversFromTransmitterCrash) {
+  auto rep = fig1c_against(HigherKind::Relcan, [](HigherNetwork&) {});
+  EXPECT_EQ(rep.agreement_violations, 0) << rep.summary();
+}
+
+TEST(Higher, TotcanStaysConsistentUnderTransmitterCrash) {
+  auto rep = fig1c_against(HigherKind::Totcan, [](HigherNetwork&) {});
+  // TOTCAN may deliver nowhere (ACCEPT never sent) but never inconsistently.
+  EXPECT_EQ(rep.agreement_violations, 0) << rep.summary();
+  EXPECT_EQ(rep.order_inversions, 0);
+}
+
+// --- the paper's §4 claim: the new scenario defeats RELCAN and TOTCAN ---
+
+/// The Fig. 3a disturbance against the DATA frame of a higher protocol:
+/// X rejects, Y accepts, and the (correct!) transmitter sees nothing wrong.
+AbReport fig3_against(HigherKind kind) {
+  HigherNetwork net(kind, 5);
+  ScriptedFaults inj;
+  inj.add(FaultTarget::eof_bit(1, 5, 0));
+  inj.add(FaultTarget::eof_bit(2, 5, 0));
+  inj.add(FaultTarget::eof_bit(0, 6, 0));
+  net.link().set_injector(inj);
+  broadcast_one(net, 0, 1);
+  net.run_until_quiet();
+  return net.check();
+}
+
+TEST(Higher, EdcanSurvivesTheNewScenario) {
+  auto rep = fig3_against(HigherKind::Edcan);
+  EXPECT_EQ(rep.agreement_violations, 0) << rep.summary();
+}
+
+TEST(Higher, RelcanFailsTheNewScenario) {
+  auto rep = fig3_against(HigherKind::Relcan);
+  EXPECT_GT(rep.agreement_violations, 0)
+      << "RELCAN only recovers on transmitter failure; the transmitter is "
+         "correct here: "
+      << rep.summary();
+}
+
+TEST(Higher, TotcanFailsTheNewScenario) {
+  auto rep = fig3_against(HigherKind::Totcan);
+  EXPECT_GT(rep.agreement_violations, 0)
+      << "TOTCAN's ACCEPT releases the message only where DATA arrived: "
+      << rep.summary();
+}
+
+TEST(Higher, EdcanDoesNotProvideTotalOrder) {
+  // EDCAN relays break ordering: with two concurrent broadcasts and a
+  // disturbance pattern delaying one DATA frame, nodes can deliver in
+  // different orders.  We reproduce the paper's weaker statement: EDCAN
+  // gives Reliable Broadcast; total order is simply not enforced by any
+  // mechanism (delivery happens at first copy, whichever that is).
+  HigherNetwork net(HigherKind::Edcan, 5);
+  ScriptedFaults inj;
+  // Nodes 3,4 miss the end of A's DATA frame => they reject it and first
+  // meet A through a relay, after B.
+  inj.add(FaultTarget::eof_bit(3, 5, 0));
+  inj.add(FaultTarget::eof_bit(4, 5, 0));
+  inj.add(FaultTarget::eof_bit(0, 6, 0));
+  net.link().set_injector(inj);
+  broadcast_one(net, 0, 1);
+  net.run(20);
+  broadcast_one(net, 1, 1);
+  net.run_until_quiet();
+  auto rep = net.check();
+  EXPECT_EQ(rep.agreement_violations, 0) << rep.summary();
+  // Order may or may not invert depending on relay timing; the property we
+  // assert is that EDCAN never *guarantees* order — verified structurally in
+  // the scenario benches.  Here: reliable broadcast holds.
+  EXPECT_TRUE(rep.reliable_broadcast()) << rep.summary();
+}
+
+}  // namespace
+}  // namespace mcan

@@ -1,0 +1,324 @@
+// Deep tests of the MajorCAN end-game, parameterised over m and error
+// position: geometry, extended-flag extent, vote boundaries, delimiter
+// timing (bit-exact reconvergence), and the corner cases analysed in §5.
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "fault/scripted.hpp"
+#include "frame/encoder.hpp"
+#include "scenario/figures.hpp"
+
+namespace mcan {
+namespace {
+
+Frame probe_frame() { return Frame::make_blank(0x155, 2); }
+
+// --- geometry (paper §5 formulas) ---
+
+class Geometry : public ::testing::TestWithParam<int> {};
+
+TEST_P(Geometry, WindowAndFlagFormulas) {
+  const int m = GetParam();
+  auto p = ProtocolParams::major_can(m);
+  EXPECT_EQ(p.eof_bits(), 2 * m);
+  EXPECT_EQ(p.first_subfield_last(), m - 1);
+  EXPECT_EQ(p.second_subfield_last(), 2 * m - 1);
+  // Paper, 1-based: window spans the (m+7)th..(3m+5)th bits = 2m-1 bits.
+  EXPECT_EQ(p.sample_begin(), m + 6);
+  EXPECT_EQ(p.sample_end(), 3 * m + 4);
+  EXPECT_EQ(p.sample_count(), 2 * m - 1);
+  EXPECT_EQ(p.sample_end() - p.sample_begin() + 1, p.sample_count());
+  EXPECT_EQ(p.majority(), m);
+  // A sampler flagging from the last first-sub-field bit ends its 6-bit
+  // flag exactly where the window begins: positions m..m+5, window at m+6.
+  EXPECT_EQ(p.first_subfield_last() + 1 + ProtocolParams::flag_bits(),
+            p.sample_begin());
+  EXPECT_EQ(p.error_delim_total(), 2 * m + 1);
+  EXPECT_EQ(p.best_case_overhead_bits(), 2 * m - 7);
+  EXPECT_EQ(p.worst_case_overhead_bits(), 4 * m - 9);
+  EXPECT_EQ(p.name(), "MajorCAN_" + std::to_string(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ms, Geometry, ::testing::Values(3, 4, 5, 6, 8, 12));
+
+// --- single receiver-side phantom at every EOF position ---
+
+struct PosParam {
+  int m;
+  int pos;  // 0-based EOF position of the phantom at node 1
+};
+
+class SinglePhantom : public ::testing::TestWithParam<PosParam> {};
+
+TEST_P(SinglePhantom, AlwaysConsistentExactlyOnce) {
+  const auto [m, pos] = GetParam();
+  Network net(5, ProtocolParams::major_can(m));
+  ScriptedFaults inj;
+  inj.add(FaultTarget::eof_bit(1, pos));
+  net.set_injector(inj);
+  net.node(0).enqueue(probe_frame());
+  ASSERT_TRUE(net.run_until_quiet());
+  EXPECT_TRUE(inj.all_fired());
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_EQ(net.deliveries(i).size(), 1u)
+        << "m=" << m << " pos=" << pos << " node=" << i;
+  }
+  EXPECT_EQ(net.log().count(EventKind::TxSuccess, 0), 1u);
+}
+
+std::vector<PosParam> all_positions() {
+  std::vector<PosParam> v;
+  for (int m : {3, 5, 7}) {
+    for (int pos = 0; pos < 2 * m; ++pos) v.push_back({m, pos});
+  }
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryEofPosition, SinglePhantom,
+                         ::testing::ValuesIn(all_positions()),
+                         [](const ::testing::TestParamInfo<PosParam>& info) {
+                           return "m" + std::to_string(info.param.m) + "_pos" +
+                                  std::to_string(info.param.pos);
+                         });
+
+// --- transmitter-side phantom at every EOF position ---
+
+class TxPhantom : public ::testing::TestWithParam<PosParam> {};
+
+TEST_P(TxPhantom, AlwaysConsistent) {
+  const auto [m, pos] = GetParam();
+  Network net(4, ProtocolParams::major_can(m));
+  ScriptedFaults inj;
+  inj.add(FaultTarget::eof_bit(0, pos));
+  net.set_injector(inj);
+  net.node(0).enqueue(probe_frame());
+  ASSERT_TRUE(net.run_until_quiet());
+  // Whatever the transmitter decides, receivers must agree with it and
+  // with each other; final state must be exactly-once everywhere.
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(net.deliveries(i).size(), 1u)
+        << "m=" << m << " pos=" << pos << " node=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryEofPosition, TxPhantom,
+                         ::testing::ValuesIn(all_positions()),
+                         [](const ::testing::TestParamInfo<PosParam>& info) {
+                           return "m" + std::to_string(info.param.m) + "_pos" +
+                                  std::to_string(info.param.pos);
+                         });
+
+// --- structural details ---
+
+TEST(MajorCan, ExtendedFlagReachesExactly3mPlus5) {
+  // Phantom at the first second-sub-field bit (0-based m): the receiver
+  // accepts and extends; its dominant drive must cover positions m+1
+  // through 3m+4 (0-based), i.e. paper's (3m+5)th bit inclusive.
+  const int m = 5;
+  Network net(2, ProtocolParams::major_can(m));
+  net.enable_trace();
+  ScriptedFaults inj;
+  inj.add(FaultTarget::eof_bit(1, m));
+  net.set_injector(inj);
+  net.node(0).enqueue(probe_frame());
+  ASSERT_TRUE(net.run_until_quiet());
+
+  const int eof_start = wire_length(probe_frame(), 2 * m) - 2 * m;
+  int first_dom = -1, last_dom = -1;
+  for (const BitRecord& rec : net.trace().bits()) {
+    if (rec.t < static_cast<BitTime>(eof_start)) continue;
+    if (is_dominant(rec.driven[1])) {
+      const int pos = static_cast<int>(rec.t) - eof_start;
+      if (first_dom < 0) first_dom = pos;
+      last_dom = pos;
+    }
+  }
+  EXPECT_EQ(first_dom, m + 1) << "flag starts the bit after detection";
+  EXPECT_EQ(last_dom, 3 * m + 4) << "extended flag ends at the (3m+5)th bit";
+}
+
+TEST(MajorCan, SamplerFlagIsExactlySixBits) {
+  const int m = 5;
+  Network net(2, ProtocolParams::major_can(m));
+  net.enable_trace();
+  ScriptedFaults inj;
+  inj.add(FaultTarget::eof_bit(1, 0));
+  net.set_injector(inj);
+  net.node(0).enqueue(probe_frame());
+  ASSERT_TRUE(net.run_until_quiet());
+
+  const int eof_start = wire_length(probe_frame(), 2 * m) - 2 * m;
+  int dom_bits = 0;
+  for (const BitRecord& rec : net.trace().bits()) {
+    const auto pos = static_cast<int>(rec.t) - eof_start;
+    // Count node 1's driven dominants in the first frame's end-game window.
+    if (pos >= 0 && pos <= 3 * m + 5 && is_dominant(rec.driven[1])) ++dom_bits;
+  }
+  EXPECT_EQ(dom_bits, 6) << "first-sub-field flags are not extended";
+}
+
+TEST(MajorCan, AllNodesReenterIdleOnTheSameBit) {
+  // Fixed delimiter: every end-game participant must hit Idle on exactly
+  // the same bit, for any error position in the EOF.
+  const int m = 5;
+  for (int pos = 0; pos < 2 * m; ++pos) {
+    Network net(4, ProtocolParams::major_can(m));
+    net.enable_trace();
+    ScriptedFaults inj;
+    inj.add(FaultTarget::eof_bit(1, pos));
+    net.set_injector(inj);
+    net.node(0).enqueue(probe_frame());
+    ASSERT_TRUE(net.run_until_quiet());
+    net.sim().run(2);  // record the Idle bits in the trace
+
+    // Find, per node, the first time it is Idle after the EOF started.
+    const int eof_start = wire_length(probe_frame(), 2 * m) - 2 * m;
+    std::vector<BitTime> idle_at(4, kNoTime);
+    for (const BitRecord& rec : net.trace().bits()) {
+      if (rec.t < static_cast<BitTime>(eof_start)) continue;
+      for (int i = 0; i < 4; ++i) {
+        if (idle_at[static_cast<std::size_t>(i)] == kNoTime &&
+            rec.info[static_cast<std::size_t>(i)].seg == Seg::Idle) {
+          idle_at[static_cast<std::size_t>(i)] = rec.t;
+        }
+      }
+    }
+    // Compare receivers among themselves (the transmitter may restart a
+    // rejected frame in the same bit it would have shown Idle).
+    for (int i = 2; i < 4; ++i) {
+      EXPECT_EQ(idle_at[static_cast<std::size_t>(i)], idle_at[1])
+          << "pos=" << pos << " node=" << i;
+    }
+    EXPECT_NE(idle_at[1], kNoTime) << "pos=" << pos;
+  }
+}
+
+TEST(MajorCan, VoteBoundaryExactMajorityAccepts) {
+  // Phantom at node 1 in the first sub-field; nobody extends, but inject
+  // exactly m dominant samples into node 1's window: majority => accept.
+  // The transmitter (which saw node 1's flag in the first sub-field too)
+  // votes on a clean window => rejects and retransmits; node 1 ends up
+  // with a duplicate.  This documents why vote-splitting needs more errors
+  // than the budget: here it takes m+1 (1 phantom + m sample flips).
+  const int m = 3;
+  auto p = ProtocolParams::major_can(m);
+  Network net(3, p);
+  ScriptedFaults inj;
+  inj.add(FaultTarget::eof_bit(1, 0));
+  for (int i = 0; i < m; ++i) {
+    inj.add(FaultTarget::eof_relative(1, p.sample_begin() + i));
+  }
+  net.set_injector(inj);
+  net.node(0).enqueue(probe_frame());
+  ASSERT_TRUE(net.run_until_quiet());
+  EXPECT_EQ(net.deliveries(1).size(), 2u)
+      << "accepted by forged vote + retransmission copy";
+  EXPECT_EQ(net.deliveries(2).size(), 1u)
+      << "node 2 sampled a clean window, rejected, and got only the "
+         "retransmission";
+}
+
+TEST(MajorCan, VoteBoundaryOneBelowMajorityRejects) {
+  const int m = 3;
+  auto p = ProtocolParams::major_can(m);
+  Network net(3, p);
+  ScriptedFaults inj;
+  inj.add(FaultTarget::eof_bit(1, 0));
+  for (int i = 0; i < m - 1; ++i) {
+    inj.add(FaultTarget::eof_relative(1, p.sample_begin() + i));
+  }
+  net.set_injector(inj);
+  net.node(0).enqueue(probe_frame());
+  ASSERT_TRUE(net.run_until_quiet());
+  // m-1 forged samples < majority: node 1 rejects like everyone else and
+  // the retransmission delivers exactly once.
+  EXPECT_EQ(net.deliveries(1).size(), 1u);
+  EXPECT_EQ(net.deliveries(2).size(), 1u);
+}
+
+TEST(MajorCan, CrcErrorNeverSamples) {
+  const auto p = ProtocolParams::major_can(5);
+  const int crc_bit = find_crc_error_body_bit(p, 3);
+  ASSERT_GE(crc_bit, 0);
+  Network net(3, p);
+  ScriptedFaults inj;
+  FaultTarget t;
+  t.node = 1;
+  t.seg = Seg::Body;
+  t.index = crc_bit;
+  inj.add(t);
+  net.set_injector(inj);
+  net.node(0).enqueue(probe_frame());
+  ASSERT_TRUE(net.run_until_quiet());
+  EXPECT_EQ(net.log().count(EventKind::SamplingDecision, 1), 0u)
+      << "a CRC-error node must reject without voting (Fig. 4, row 1)";
+  // Everyone rejects; the retransmission restores exactly-once.
+  EXPECT_EQ(net.deliveries(1).size(), 1u);
+  EXPECT_EQ(net.deliveries(2).size(), 1u);
+}
+
+TEST(MajorCan, HiddenFlagCleanAccepterOverloads) {
+  // §5 corner: node 2's view of the entire visible part of node 1's flag
+  // is disturbed (m flips), so it sails through its EOF cleanly and
+  // accepts; it then sees the extended flags as an overload condition.
+  // Consistency must survive: everyone accepts exactly once.
+  const int m = 5;
+  Network net(4, ProtocolParams::major_can(m));
+  ScriptedFaults inj;
+  inj.add(FaultTarget::eof_bit(1, m - 1));  // phantom at node 1, pos m-1
+  for (int d = 0; d < m; ++d) {
+    // node 2 misses flag bits at positions m..2m-1
+    inj.add(FaultTarget::eof_relative(2, m + d));
+  }
+  net.set_injector(inj);
+  net.node(0).enqueue(probe_frame());
+  ASSERT_TRUE(net.run_until_quiet());
+  EXPECT_TRUE(inj.all_fired());
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(net.deliveries(i).size(), 1u) << "node " << i;
+  }
+  EXPECT_EQ(net.log().count(EventKind::TxSuccess, 0), 1u);
+  EXPECT_GE(net.log().count(EventKind::OverloadFlagStart, 2), 1u)
+      << "the clean accepter answers the post-EOF dominants with overload";
+}
+
+TEST(MajorCan, AckErrorEndGameConsistent) {
+  // Transmitter alone sees a recessive ACK slot (view flip): ACK error,
+  // flag at the ACK delimiter; receivers get a form error at EOF position
+  // 0-adjacent.  All must reject; the retransmission delivers once.
+  Network net(3, ProtocolParams::major_can(5));
+  ScriptedFaults inj;
+  FaultTarget t;
+  t.node = 0;
+  t.seg = Seg::Tail;
+  t.index = 1;  // ACK slot
+  inj.add(t);
+  net.set_injector(inj);
+  net.node(0).enqueue(probe_frame());
+  ASSERT_TRUE(net.run_until_quiet());
+  EXPECT_EQ(net.deliveries(1).size(), 1u);
+  EXPECT_EQ(net.deliveries(2).size(), 1u);
+  EXPECT_GE(net.log().count(EventKind::TxRetransmit, 0), 1u);
+}
+
+TEST(MajorCan, BackToBackTrafficAfterEndGame) {
+  // An end-game on frame 1 must not disturb frames 2..4.
+  Network net(4, ProtocolParams::major_can(5));
+  ScriptedFaults inj;
+  inj.add(FaultTarget::eof_bit(1, 2, 0));
+  net.set_injector(inj);
+  for (int k = 0; k < 4; ++k) {
+    net.node(0).enqueue(Frame::make_blank(0x100 + static_cast<std::uint32_t>(k), 1));
+  }
+  ASSERT_TRUE(net.run_until_quiet());
+  for (int i = 1; i < 4; ++i) {
+    ASSERT_EQ(net.deliveries(i).size(), 4u) << "node " << i;
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_EQ(net.deliveries(i)[static_cast<std::size_t>(k)].frame.id,
+                0x100u + static_cast<std::uint32_t>(k));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcan

@@ -1,0 +1,198 @@
+// MinorCAN-specific tests: the Primary_error decision rule (§3), its
+// performance benefit, and its exact failure boundary.
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "fault/scripted.hpp"
+#include "frame/encoder.hpp"
+
+namespace mcan {
+namespace {
+
+Frame probe_frame() { return Frame::make_blank(0x2a5, 1); }
+
+TEST(MinorCan, TransmitterOnlyLastBitErrorAvoidsRetransmission) {
+  // §3: "in MinorCAN if the transmitter detects an error in the last bit
+  // of EOF retransmission might be avoided" — the receivers' overload
+  // flags arrive one bit after the transmitter's own flag, proving it was
+  // the primary detector.
+  Network net(4, ProtocolParams::minor_can());
+  ScriptedFaults inj;
+  inj.add(FaultTarget::eof_bit(0, 6));
+  net.set_injector(inj);
+  net.node(0).enqueue(probe_frame());
+  ASSERT_TRUE(net.run_until_quiet());
+  EXPECT_EQ(net.log().count(EventKind::SofSent, 0), 1u) << "no retransmission";
+  EXPECT_EQ(net.log().count(EventKind::TxSuccess, 0), 1u);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(net.deliveries(i).size(), 1u) << "node " << i;
+  }
+}
+
+TEST(MinorCan, StandardCanRetransmitsInTheSameCase) {
+  // Contrast: standard CAN always retransmits on a transmitter last-bit
+  // error, double-delivering to every receiver.
+  Network net(4, ProtocolParams::standard_can());
+  ScriptedFaults inj;
+  inj.add(FaultTarget::eof_bit(0, 6));
+  net.set_injector(inj);
+  net.node(0).enqueue(probe_frame());
+  ASSERT_TRUE(net.run_until_quiet());
+  EXPECT_EQ(net.log().count(EventKind::SofSent, 0), 2u);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(net.deliveries(i).size(), 2u) << "node " << i;
+  }
+}
+
+TEST(MinorCan, AllNodesLastBitErrorRetransmitsConsistently) {
+  // §3: "if all the nodes detect an error in the last bit of EOF,
+  // MinorCAN will consider all the errors not primary and the frame will
+  // be unnecessarily but consistently retransmitted/rejected."
+  Network net(4, ProtocolParams::minor_can());
+  ScriptedFaults inj;
+  for (NodeId n = 0; n < 4; ++n) inj.add(FaultTarget::eof_bit(n, 6));
+  net.set_injector(inj);
+  net.node(0).enqueue(probe_frame());
+  ASSERT_TRUE(net.run_until_quiet());
+  EXPECT_TRUE(inj.all_fired());
+  EXPECT_EQ(net.log().count(EventKind::SofSent, 0), 2u)
+      << "unnecessary but consistent retransmission";
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(net.deliveries(i).size(), 1u)
+        << "everyone rejected the first copy";
+  }
+}
+
+TEST(MinorCan, SingleReceiverLastBitPhantomAcceptsViaPrimary) {
+  // The Fig. 1a situation with only one disturbed receiver: it flags, the
+  // rest answer with overload flags one bit later, the primary check sees
+  // dominant => accept, no retransmission anywhere.
+  Network net(4, ProtocolParams::minor_can());
+  ScriptedFaults inj;
+  inj.add(FaultTarget::eof_bit(2, 6));
+  net.set_injector(inj);
+  net.node(0).enqueue(probe_frame());
+  ASSERT_TRUE(net.run_until_quiet());
+  EXPECT_EQ(net.log().count(EventKind::SofSent, 0), 1u);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(net.deliveries(i).size(), 1u) << "node " << i;
+  }
+  // The accepting node logged its primary decision.
+  bool primary_accept = false;
+  for (const Event& e : net.log().events()) {
+    if (e.node == 2 && e.kind == EventKind::FrameAccepted &&
+        e.detail.find("Primary_error") != std::string::npos) {
+      primary_accept = true;
+    }
+  }
+  EXPECT_TRUE(primary_accept);
+}
+
+TEST(MinorCan, EarlierEofErrorsKeepStandardSemantics) {
+  // Errors before the last EOF bit must behave exactly like standard CAN:
+  // reject + retransmit; every receiver ends with exactly one copy and no
+  // MinorCAN acceptance events appear.
+  for (int pos = 0; pos < 6; ++pos) {
+    Network net(4, ProtocolParams::minor_can());
+    ScriptedFaults inj;
+    inj.add(FaultTarget::eof_bit(1, pos));
+    net.set_injector(inj);
+    net.node(0).enqueue(probe_frame());
+    ASSERT_TRUE(net.run_until_quiet()) << "pos=" << pos;
+    EXPECT_EQ(net.log().count(EventKind::SofSent, 0), 2u) << "pos=" << pos;
+    for (int i = 1; i < 4; ++i) {
+      EXPECT_EQ(net.deliveries(i).size(), 1u)
+          << "pos=" << pos << " node=" << i;
+    }
+  }
+}
+
+class MinorSinglePhantom : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinorSinglePhantom, EveryEofPositionConsistentExactlyOnce) {
+  // MinorCAN's whole point: one phantom anywhere in the EOF never costs
+  // consistency or at-most-once (contrast StandardCanLastBitDuplicates).
+  const int pos = GetParam();
+  Network net(5, ProtocolParams::minor_can());
+  ScriptedFaults inj;
+  inj.add(FaultTarget::eof_bit(2, pos));
+  net.set_injector(inj);
+  net.node(0).enqueue(probe_frame());
+  ASSERT_TRUE(net.run_until_quiet());
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_EQ(net.deliveries(i).size(), 1u) << "pos=" << pos << " node=" << i;
+  }
+  EXPECT_EQ(net.log().count(EventKind::TxSuccess, 0), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Eof, MinorSinglePhantom, ::testing::Range(0, 7));
+
+class CanSinglePhantom : public ::testing::TestWithParam<int> {};
+
+TEST_P(CanSinglePhantom, StandardCanPositionalOutcomes) {
+  // Standard CAN's positional behaviour under one receiver phantom:
+  //   pos 0..4: everyone rejects, retransmission delivers exactly once;
+  //   pos 5 (last-but-one): Fig. 1b — the *other* receivers see the flag
+  //     in their last bit, accept, and then receive the retransmission
+  //     too: double reception;
+  //   pos 6 (last): the last-bit rule absorbs it, single attempt.
+  const int pos = GetParam();
+  Network net(5, ProtocolParams::standard_can());
+  ScriptedFaults inj;
+  inj.add(FaultTarget::eof_bit(2, pos));
+  net.set_injector(inj);
+  net.node(0).enqueue(probe_frame());
+  ASSERT_TRUE(net.run_until_quiet());
+
+  const auto attempts = net.log().count(EventKind::SofSent, 0);
+  const std::size_t others = pos == 5 ? 2u : 1u;
+  EXPECT_EQ(net.deliveries(2).size(), 1u) << "pos=" << pos;
+  for (int i : {1, 3, 4}) {
+    EXPECT_EQ(net.deliveries(i).size(), others)
+        << "pos=" << pos << " node=" << i;
+  }
+  EXPECT_EQ(attempts, pos < 6 ? 2u : 1u) << "pos=" << pos;
+}
+
+INSTANTIATE_TEST_SUITE_P(Eof, CanSinglePhantom, ::testing::Range(0, 7));
+
+TEST(MinorCan, NoOverheadOnCleanChannel) {
+  // MinorCAN changes only a decision rule: frame timing is identical to
+  // standard CAN.
+  const Frame f = probe_frame();
+  Network minor(2, ProtocolParams::minor_can());
+  Network standard(2, ProtocolParams::standard_can());
+  minor.node(0).enqueue(f);
+  standard.node(0).enqueue(f);
+  ASSERT_TRUE(minor.run_until_quiet());
+  ASSERT_TRUE(standard.run_until_quiet());
+  ASSERT_EQ(minor.deliveries(1).size(), 1u);
+  ASSERT_EQ(standard.deliveries(1).size(), 1u);
+  EXPECT_EQ(minor.deliveries(1)[0].t, standard.deliveries(1)[0].t);
+}
+
+TEST(MinorCan, PermanentNodeFailureAfterDetectionStaysConsistent) {
+  // §3: "MinorCAN achieves consistency in the event of a permanent failure
+  // of any of the nodes after the bit error detection."  Crash the
+  // flagging receiver right after its flag started; the survivors must
+  // still agree.
+  const Frame f = probe_frame();
+  const int eof_start = wire_length(f, kStandardEofBits) - kStandardEofBits;
+  Network net(4, ProtocolParams::minor_can());
+  ScriptedFaults inj;
+  inj.add(FaultTarget::eof_bit(1, 6));
+  net.set_injector(inj);
+  // Last EOF bit is at eof_start + 6; the flag starts one bit later; crash
+  // node 1 two bits into its flag.
+  net.sim().schedule_crash(1, static_cast<BitTime>(eof_start + 9));
+  net.node(0).enqueue(f);
+  ASSERT_TRUE(net.run_until_quiet());
+  // Survivors 2,3 agree with the transmitter's verdict, whatever it was:
+  EXPECT_EQ(net.deliveries(2).size(), net.deliveries(3).size());
+  const bool tx_ok = net.log().count(EventKind::TxSuccess, 0) == 1;
+  EXPECT_TRUE(tx_ok);
+  EXPECT_EQ(net.deliveries(2).size(), 1u);
+}
+
+}  // namespace
+}  // namespace mcan

@@ -1,0 +1,265 @@
+// Unit tests for the node substrate: the incremental receive parser, the
+// transmit engine, and the fault confinement entity.
+#include <gtest/gtest.h>
+
+#include "frame/encoder.hpp"
+#include "node/fault_confinement.hpp"
+#include "node/rx_parser.hpp"
+#include "node/tx_engine.hpp"
+#include "util/rng.hpp"
+
+namespace mcan {
+namespace {
+
+/// Push a transmitter's encoded body through a parser; returns final status.
+RxParser::Status feed_body(RxParser& p, const Frame& f) {
+  RxParser::Status st = RxParser::Status::InBody;
+  for (const TxBit& b : encode_tx(f, kStandardEofBits)) {
+    if (b.phase == TxPhase::CrcDelim) break;  // body ends before the tail
+    st = p.push(b.level);
+    if (st != RxParser::Status::InBody) return st;
+  }
+  return st;
+}
+
+TEST(RxParser, ParsesWhatEncoderProduces) {
+  Rng rng(23);
+  for (int trial = 0; trial < 200; ++trial) {
+    Frame f;
+    f.id = rng.next_below(kMaxId + 1);
+    f.remote = rng.chance(0.2);
+    f.dlc = static_cast<std::uint8_t>(rng.next_below(9));
+    if (!f.remote) {
+      for (int i = 0; i < f.dlc; ++i) {
+        f.data[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(rng.next_below(256));
+      }
+    }
+    RxParser p;
+    ASSERT_EQ(feed_body(p, f), RxParser::Status::BodyDone) << f.to_string();
+    EXPECT_EQ(p.frame(), f);
+    EXPECT_TRUE(p.crc_ok());
+  }
+}
+
+TEST(RxParser, DetectsCrcErrorOnSingleFlip) {
+  Rng rng(29);
+  for (int trial = 0; trial < 100; ++trial) {
+    Frame f = Frame::make_blank(rng.next_below(kMaxId + 1),
+                                static_cast<std::uint8_t>(rng.next_below(9)));
+    auto bits = encode_tx(f, kStandardEofBits);
+    std::vector<Level> body;
+    for (const TxBit& b : bits) {
+      if (b.phase == TxPhase::CrcDelim) break;
+      body.push_back(b.level);
+    }
+    const std::size_t at = rng.next_below(static_cast<std::uint32_t>(body.size()));
+    body[at] = flip(body[at]);
+
+    RxParser p;
+    bool stuff_or_form = false;
+    bool done = false;
+    for (Level l : body) {
+      auto st = p.push(l);
+      if (st == RxParser::Status::StuffError ||
+          st == RxParser::Status::FormError) {
+        stuff_or_form = true;
+        break;
+      }
+      if (st == RxParser::Status::BodyDone) {
+        done = true;
+        break;
+      }
+    }
+    if (done) {
+      EXPECT_FALSE(p.crc_ok()) << "undetected single-bit corruption";
+    } else {
+      // A flip may legitimately surface as a stuff error, a form error
+      // (IDE), or change the frame length so the body is still open; all of
+      // those are detected conditions, not silent corruption.
+      SUCCEED();
+      (void)stuff_or_form;
+    }
+  }
+}
+
+TEST(RxParser, SixEqualBitsIsStuffError) {
+  RxParser p;
+  p.push(Level::Dominant);  // SOF
+  RxParser::Status st = RxParser::Status::InBody;
+  for (int i = 0; i < 6; ++i) st = p.push(Level::Dominant);
+  EXPECT_EQ(st, RxParser::Status::StuffError);
+}
+
+TEST(RxParser, DominantSrrWithExtendedIdeIsFormError) {
+  // Bit 12 dominant (would-be SRR) followed by a recessive IDE violates the
+  // 2.0B fixed form.
+  Frame f = Frame::make_blank(0x2aa, 0);  // alternating: no stuff bits early
+  auto bits = encode_tx(f, kStandardEofBits);
+  RxParser p;
+  // SOF + 11 id = 12 payload bits, no stuffing for the 0x2aa pattern.
+  for (int i = 0; i < 12; ++i) p.push(bits[static_cast<std::size_t>(i)].level);
+  p.push(Level::Dominant);  // SRR position, dominant
+  EXPECT_EQ(p.push(Level::Recessive), RxParser::Status::FormError);
+}
+
+TEST(RxParser, ParsesExtendedFrames) {
+  Rng rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.next_below(9));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_below(256));
+    Frame f = Frame::make_extended(rng.next_below(kMaxExtId + 1), bytes);
+    RxParser p;
+    ASSERT_EQ(feed_body(p, f), RxParser::Status::BodyDone) << f.to_string();
+    EXPECT_EQ(p.frame(), f);
+    EXPECT_TRUE(p.crc_ok());
+  }
+}
+
+TEST(RxParser, ParsesExtendedRemoteFrames) {
+  Frame f = Frame::make_extended_remote(0x1234567, 5);
+  RxParser p;
+  ASSERT_EQ(feed_body(p, f), RxParser::Status::BodyDone);
+  EXPECT_TRUE(p.frame().extended);
+  EXPECT_TRUE(p.frame().remote);
+  EXPECT_EQ(p.frame().id, 0x1234567u);
+  EXPECT_TRUE(p.crc_ok());
+}
+
+TEST(RxParser, RemoteFrameHasNoData) {
+  Frame f = Frame::make_remote(0x155, 3);
+  RxParser p;
+  ASSERT_EQ(feed_body(p, f), RxParser::Status::BodyDone);
+  EXPECT_TRUE(p.frame().remote);
+  EXPECT_EQ(p.frame().dlc, 3);
+  EXPECT_TRUE(p.crc_ok());
+}
+
+TEST(RxParser, ResetClearsState) {
+  Frame f = Frame::make_blank(0x01, 1);
+  RxParser p;
+  ASSERT_EQ(feed_body(p, f), RxParser::Status::BodyDone);
+  p.reset();
+  EXPECT_FALSE(p.done());
+  EXPECT_EQ(p.bits_consumed(), 0);
+  ASSERT_EQ(feed_body(p, f), RxParser::Status::BodyDone);
+  EXPECT_EQ(p.frame(), f);
+}
+
+// --- TxEngine ---
+
+TEST(TxEngine, WalksWholeStream) {
+  Frame f = Frame::make_blank(0x321, 2);
+  TxEngine e;
+  e.start(f, 7);
+  int n = 0;
+  while (e.in_progress()) {
+    ++n;
+    e.advance();
+  }
+  EXPECT_EQ(n, wire_length(f, 7));
+}
+
+TEST(TxEngine, EofIndexTracksTail) {
+  Frame f = Frame::make_blank(0x321, 0);
+  TxEngine e;
+  e.start(f, 7);
+  const int len = wire_length(f, 7);
+  for (int i = 0; i < len; ++i) {
+    const int expect = i >= len - 7 ? i - (len - 7) : -1;
+    EXPECT_EQ(e.eof_index(), expect) << "at wire bit " << i;
+    e.advance();
+  }
+}
+
+TEST(TxEngine, AbortStopsStream) {
+  Frame f = Frame::make_blank(0x321, 0);
+  TxEngine e;
+  e.start(f, 7);
+  e.advance();
+  e.abort();
+  EXPECT_FALSE(e.in_progress());
+}
+
+// --- FaultConfinement ---
+
+TEST(FaultConfinement, StartsErrorActive) {
+  FaultConfinement fc{FaultConfinementConfig{}};
+  EXPECT_EQ(fc.state(), FcState::ErrorActive);
+  EXPECT_EQ(fc.tec(), 0);
+  EXPECT_EQ(fc.rec(), 0);
+}
+
+TEST(FaultConfinement, TxErrorsDriveTowardsPassiveAndBusOff) {
+  FaultConfinement fc{FaultConfinementConfig{}};
+  for (int i = 0; i < 15; ++i) fc.on_tx_error();  // 120
+  EXPECT_EQ(fc.state(), FcState::ErrorActive);
+  fc.on_tx_error();  // 128
+  EXPECT_EQ(fc.state(), FcState::ErrorPassive);
+  for (int i = 0; i < 16; ++i) fc.on_tx_error();  // 256
+  EXPECT_EQ(fc.state(), FcState::BusOff);
+  EXPECT_TRUE(fc.off());
+}
+
+TEST(FaultConfinement, RxErrorsDrivePassiveButNotBusOff) {
+  FaultConfinement fc{FaultConfinementConfig{}};
+  for (int i = 0; i < 200; ++i) fc.on_rx_error();
+  EXPECT_EQ(fc.state(), FcState::ErrorPassive);
+}
+
+TEST(FaultConfinement, SuccessDecrementsAndRecovers) {
+  FaultConfinement fc{FaultConfinementConfig{}};
+  for (int i = 0; i < 16; ++i) fc.on_tx_error();  // 128, passive
+  EXPECT_TRUE(fc.error_passive());
+  for (int i = 0; i < 2; ++i) fc.on_tx_success();
+  EXPECT_EQ(fc.tec(), 126);
+  EXPECT_EQ(fc.state(), FcState::ErrorActive);
+  for (int i = 0; i < 200; ++i) fc.on_tx_success();
+  EXPECT_EQ(fc.tec(), 0);
+}
+
+TEST(FaultConfinement, RecAbove127ResetsOnSuccess) {
+  FaultConfinement fc{FaultConfinementConfig{}};
+  fc.force_counters(0, 140);
+  EXPECT_TRUE(fc.error_passive());
+  fc.on_rx_success();
+  EXPECT_EQ(fc.rec(), 119);
+  EXPECT_EQ(fc.state(), FcState::ErrorActive);
+}
+
+TEST(FaultConfinement, PrimaryErrorAddsEight) {
+  FaultConfinement fc{FaultConfinementConfig{}};
+  fc.on_rx_primary_error();
+  EXPECT_EQ(fc.rec(), 8);
+}
+
+TEST(FaultConfinement, WarningAt96) {
+  FaultConfinement fc{FaultConfinementConfig{}};
+  for (int i = 0; i < 12; ++i) fc.on_tx_error();  // 96
+  EXPECT_TRUE(fc.warning());
+}
+
+TEST(FaultConfinement, WarningSwitchOffPolicy) {
+  FaultConfinementConfig cfg;
+  cfg.switch_off_at_warning = true;
+  FaultConfinement fc{cfg};
+  for (int i = 0; i < 12; ++i) fc.on_tx_error();
+  EXPECT_EQ(fc.state(), FcState::SwitchedOff);
+  EXPECT_TRUE(fc.off());
+  // Once off, nothing moves the counters any more.
+  fc.on_tx_success();
+  EXPECT_EQ(fc.state(), FcState::SwitchedOff);
+}
+
+TEST(FaultConfinement, DisabledNeverLeavesActive) {
+  FaultConfinementConfig cfg;
+  cfg.enabled = false;
+  FaultConfinement fc{cfg};
+  for (int i = 0; i < 100; ++i) fc.on_tx_error();
+  EXPECT_EQ(fc.state(), FcState::ErrorActive);
+  EXPECT_EQ(fc.tec(), 0);
+  EXPECT_FALSE(fc.warning());
+}
+
+}  // namespace
+}  // namespace mcan

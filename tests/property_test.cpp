@@ -1,0 +1,432 @@
+// Property-based campaigns: the paper's central claim, exercised with
+// randomly placed disturbances instead of scripted ones.
+//
+//   MajorCAN_m provides Atomic Broadcast in the presence of up to m
+//   randomly distributed (per-node view) errors per frame.  (§5, §6)
+//
+// The sweeps use parameterised gtest over (protocol, error count) and the
+// end-of-frame window where all the paper's scenarios live.  Standard CAN
+// and MinorCAN must show violations with >= 2 errors (the Fig. 3 pattern is
+// inside the sampled space); MajorCAN_m must show none up to m.
+#include <gtest/gtest.h>
+
+#include "analysis/tagged.hpp"
+#include "core/network.hpp"
+#include "fault/scripted.hpp"
+#include "frame/encoder.hpp"
+#include "scenario/campaign.hpp"
+
+namespace mcan {
+namespace {
+
+CampaignConfig base_config(ProtocolParams proto, int errors, int trials,
+                           std::uint64_t seed) {
+  CampaignConfig cfg;
+  cfg.protocol = proto;
+  cfg.n_nodes = 5;
+  cfg.trials = trials;
+  cfg.errors = errors;
+  cfg.window = FaultWindow::FrameTail;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// --- MajorCAN_m: zero violations up to m errors ---
+
+struct MajorSweepParam {
+  int m;
+  int errors;
+};
+
+class MajorCanSweep : public ::testing::TestWithParam<MajorSweepParam> {};
+
+TEST_P(MajorCanSweep, NoViolationWithinBudget) {
+  const auto [m, errors] = GetParam();
+  auto cfg = base_config(ProtocolParams::major_can(m), errors, 800,
+                         0xABC0 + static_cast<std::uint64_t>(m * 16 + errors));
+  auto res = run_eof_campaign(cfg);
+  EXPECT_EQ(res.trials, cfg.trials);
+  EXPECT_EQ(res.timeouts, 0) << res.summary();
+  EXPECT_EQ(res.imo, 0) << res.summary();
+  EXPECT_EQ(res.double_rx, 0) << res.summary();
+  EXPECT_EQ(res.total_loss, 0) << res.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    UpToMErrors, MajorCanSweep,
+    ::testing::Values(MajorSweepParam{3, 1}, MajorSweepParam{3, 2},
+                      MajorSweepParam{3, 3}, MajorSweepParam{4, 2},
+                      MajorSweepParam{4, 4}, MajorSweepParam{5, 1},
+                      MajorSweepParam{5, 2}, MajorSweepParam{5, 3},
+                      MajorSweepParam{5, 4}, MajorSweepParam{5, 5},
+                      MajorSweepParam{6, 6}),
+    [](const ::testing::TestParamInfo<MajorSweepParam>& info) {
+      return "m" + std::to_string(info.param.m) + "_e" +
+             std::to_string(info.param.errors);
+    });
+
+// --- standard CAN / MinorCAN: the flaws are reachable ---
+
+TEST(CampaignCan, SingleErrorCausesDoubleReception) {
+  auto res = run_eof_campaign(
+      base_config(ProtocolParams::standard_can(), 1, 1500, 0xC0FFEE));
+  EXPECT_EQ(res.timeouts, 0);
+  EXPECT_GT(res.double_rx, 0)
+      << "a single last-but-one-EOF-bit hit must appear: " << res.summary();
+  EXPECT_EQ(res.imo, 0) << "one error alone cannot split acceptance for "
+                           "standard CAN without a crash";
+}
+
+TEST(CampaignCan, TwoErrorsReachTheNewScenario) {
+  // The Fig. 3a pattern lives in this window; with enough trials the
+  // campaign must stumble into an IMO even though the transmitter stays up.
+  auto res = run_eof_campaign(
+      base_config(ProtocolParams::standard_can(), 2, 20000, 0xFEED));
+  EXPECT_EQ(res.timeouts, 0);
+  EXPECT_GT(res.imo, 0) << res.summary();
+}
+
+TEST(CampaignMinor, SingleErrorIsAlwaysConsistent) {
+  auto res = run_eof_campaign(
+      base_config(ProtocolParams::minor_can(), 1, 1500, 0xB0B0));
+  EXPECT_EQ(res.timeouts, 0);
+  EXPECT_EQ(res.imo, 0) << res.summary();
+  EXPECT_EQ(res.double_rx, 0)
+      << "MinorCAN eliminates double reception: " << res.summary();
+}
+
+TEST(CampaignMinor, TwoErrorsStillBreakMinorCan) {
+  auto res = run_eof_campaign(
+      base_config(ProtocolParams::minor_can(), 2, 20000, 0xD00D));
+  EXPECT_EQ(res.timeouts, 0);
+  EXPECT_GT(res.imo + res.double_rx + res.total_loss, 0) << res.summary();
+}
+
+TEST(CampaignCan, CrashCampaignShowsFig1cImo) {
+  auto cfg = base_config(ProtocolParams::standard_can(), 1, 4000, 0xCAFE);
+  cfg.crash_tx_randomly = true;
+  auto res = run_eof_campaign(cfg);
+  EXPECT_GT(res.imo, 0) << res.summary();
+}
+
+TEST(CampaignMajor, SurvivesCrashCampaignWithinBudget) {
+  // Transmitter crashes combined with up to m-1 channel errors: MajorCAN
+  // may lose the frame entirely (crash before anyone accepted — allowed:
+  // the sender is not correct) but must never split the receivers.
+  auto cfg = base_config(ProtocolParams::major_can(5), 4, 3000, 0xBEAD);
+  cfg.crash_tx_randomly = true;
+  auto res = run_eof_campaign(cfg);
+  EXPECT_EQ(res.timeouts, 0);
+  EXPECT_EQ(res.imo, 0) << res.summary();
+  EXPECT_EQ(res.double_rx, 0) << res.summary();
+}
+
+TEST(CampaignParallel, MatchesSerialExactly) {
+  auto cfg = base_config(ProtocolParams::standard_can(), 2, 1200, 0x9999);
+  const auto serial = run_eof_campaign(cfg);
+  for (unsigned threads : {2u, 5u, 16u}) {
+    const auto par = run_eof_campaign_parallel(cfg, threads);
+    EXPECT_EQ(par.trials, serial.trials) << threads;
+    EXPECT_EQ(par.imo, serial.imo) << threads;
+    EXPECT_EQ(par.double_rx, serial.double_rx) << threads;
+    EXPECT_EQ(par.total_loss, serial.total_loss) << threads;
+    EXPECT_EQ(par.retransmissions, serial.retransmissions) << threads;
+  }
+}
+
+TEST(CampaignParallel, MoreThreadsThanTrials) {
+  auto cfg = base_config(ProtocolParams::minor_can(), 1, 3, 0x77);
+  const auto par = run_eof_campaign_parallel(cfg, 16);
+  EXPECT_EQ(par.trials, 3);
+}
+
+TEST(CampaignWholeFrame, WiderFirstSubfieldAbsorbsTheDesyncWitness) {
+  // The same single-flip witness that defeats MajorCAN_5 (the desynced
+  // flag surfaces around EOF bit 6, inside m=5's accepting sub-field) is
+  // handled by MajorCAN_8: bit 6 lies in its wider rejecting sub-field, so
+  // everyone rejects and the retransmission restores consistency.
+  Network net(5, ProtocolParams::major_can(8));
+  ScriptedFaults inj;
+  FaultTarget t;
+  t.node = 1;
+  t.seg = Seg::Body;
+  t.index = 20;
+  inj.add(t);
+  net.set_injector(inj);
+  net.node(0).enqueue(make_tagged_frame(0x100, MsgKind::Data, MessageKey{0, 1}));
+  ASSERT_TRUE(net.run_until_quiet(30000));
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_EQ(net.deliveries(i).size(), 1u) << "node " << i;
+  }
+}
+
+TEST(CampaignWholeFrame, EveryBodyPositionSingleFlipIsConsistentAtM8) {
+  // Exhaustive single-flip sweep over every body wire bit of a receiver:
+  // the desync channel must be fully closed by the >= 8-bit first
+  // sub-field, whatever the flip does to the destuffer.
+  const Frame frame = make_tagged_frame(0x100, MsgKind::Data, MessageKey{0, 1});
+  const auto p = ProtocolParams::major_can(8);
+  const int body_len =
+      wire_length(frame, p.eof_bits()) - p.eof_bits() - 3;  // minus tail
+  for (int bit = 1; bit < body_len; ++bit) {
+    Network net(5, p);
+    ScriptedFaults inj;
+    FaultTarget t;
+    t.node = 1;
+    t.seg = Seg::Body;
+    t.index = bit;
+    inj.add(t);
+    net.set_injector(inj);
+    net.node(0).enqueue(frame);
+    ASSERT_TRUE(net.run_until_quiet(30000)) << "bit " << bit;
+    for (int i = 1; i < 5; ++i) {
+      ASSERT_EQ(net.deliveries(i).size(), 1u)
+          << "flip at body bit " << bit << ", node " << i;
+    }
+  }
+}
+
+TEST(CampaignWholeFrame, SingleFlipDesyncFlagsSurfaceEarlyInTheEof) {
+  // The structural bound behind the m >= 8 rule: whenever a single body
+  // flip at a receiver leads to a late (desynchronised) error flag, that
+  // flag starts no deeper than ~7 bits into the real EOF — the recessive
+  // frame tail forces a stuff error within 6 bits.
+  const Frame frame = make_tagged_frame(0x100, MsgKind::Data, MessageKey{0, 1});
+  const auto p = ProtocolParams::major_can(5);
+  const int eof_start = wire_length(frame, p.eof_bits()) - p.eof_bits();
+  const int body_len = eof_start - 3;
+  int late_flags = 0;
+  for (int bit = 1; bit < body_len; ++bit) {
+    Network net(5, p);
+    net.enable_trace();
+    ScriptedFaults inj;
+    FaultTarget t;
+    t.node = 1;
+    t.seg = Seg::Body;
+    t.index = bit;
+    inj.add(t);
+    net.set_injector(inj);
+    net.node(0).enqueue(frame);
+    ASSERT_TRUE(net.run_until_quiet(30000)) << "bit " << bit;
+    // Node 1's first driven dominant bit at/after the real EOF start (and
+    // outside the ACK slot) is its flag start.
+    for (const BitRecord& rec : net.trace().bits()) {
+      if (rec.t < static_cast<BitTime>(eof_start)) continue;
+      if (rec.t >= static_cast<BitTime>(eof_start + p.eof_bits())) break;
+      if (is_dominant(rec.driven[1])) {
+        const int pos = static_cast<int>(rec.t) - eof_start;
+        EXPECT_LE(pos, 7) << "flip at body bit " << bit;
+        if (pos >= 5) ++late_flags;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(late_flags, 0)
+      << "the sweep must contain desynchronising flips (else the finding "
+         "would be untested)";
+}
+
+TEST(CampaignTail, TransmitterNearTailErrorPlusDelimiterFlipRegression) {
+  // Regression for a forge channel found at 20k-trial scale: the
+  // transmitter hit in its LAST CRC BIT (one bit before the receivers'
+  // tail anchor) used to fall back to the re-flagging standard delimiter;
+  // a later flip on its delimiter view then made it drive a fresh flag
+  // straight into a sampler's majority window, forging acceptance at one
+  // node while everyone else rejected (a duplicate after retransmission).
+  // With near-tail transmitter errors anchored to the end-game horizon
+  // (paper §5's no-additional-flag rule), the pattern must be consistent.
+  const auto p = ProtocolParams::major_can(5);
+  const Frame frame = make_tagged_frame(0x100, MsgKind::Data, MessageKey{0, 1});
+  const int eof_start = wire_length(frame, p.eof_bits()) - p.eof_bits();
+  auto at = [&](NodeId n, int rel) {
+    return FaultTarget::at_time(n, static_cast<BitTime>(eof_start + rel));
+  };
+  Network net(5, p);
+  ScriptedFaults inj;
+  inj.add(at(0, -4));  // tx bit error in the last CRC bit
+  inj.add(at(3, -3));  // node 3 misses the flag start...
+  inj.add(at(3, -1));  // ...and another flag bit: detects at EOF bit 1
+  inj.add(at(0, 10));  // phantom on the tx's delimiter view
+  inj.add(at(1, 20));  // stray flip, part of the original counterexample
+  net.set_injector(inj);
+  net.node(0).enqueue(frame);
+  ASSERT_TRUE(net.run_until_quiet(30000));
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_EQ(net.deliveries(i).size(), 1u) << "node " << i;
+  }
+}
+
+// --- whole-frame random errors ---
+
+TEST(CampaignWholeFrame, MajorCanBodyErrorsAndTheDesyncFinding) {
+  // Reproduction finding (see DESIGN.md §"Findings beyond the paper"): a
+  // single body-bit disturbance can desynchronise a receiver's destuffer,
+  // delaying its error detection by *several* bits.  The paper's
+  // first-sub-field sizing assumes each error delays detection by at most
+  // one bit, so such a late 6-bit flag lands in everyone else's second
+  // sub-field: they extend and accept while the desynced node (whose
+  // reception is corrupted) can only reject — an IMO outside the paper's
+  // analysed error space.  We therefore assert the rest of the guarantee
+  // (no duplicates, no total loss) and that the residual IMO rate stays a
+  // small tail effect.
+  auto cfg = base_config(ProtocolParams::major_can(5), 3, 2000, 0xF00D);
+  cfg.window = FaultWindow::WholeFrame;
+  auto res = run_eof_campaign(cfg);
+  EXPECT_EQ(res.timeouts, 0);
+  EXPECT_EQ(res.double_rx, 0) << res.summary();
+  EXPECT_EQ(res.total_loss, 0) << res.summary();
+  EXPECT_LT(res.imo_rate(), 0.06) << res.summary();
+}
+
+TEST(CampaignWholeFrame, StuffingDesyncFindingIsDeterministic) {
+  // The minimal witness of the finding above: one flip of node 1's view of
+  // body wire bit 20 (inside the stuff-dense zero payload) shifts its
+  // destuffer; its stuff error then surfaces only at EOF bit 6 of the
+  // *synchronised* nodes, which read the flag as an acceptance notification.
+  Network net(5, ProtocolParams::major_can(5));
+  ScriptedFaults inj;
+  FaultTarget t;
+  t.node = 1;
+  t.seg = Seg::Body;
+  t.index = 20;
+  inj.add(t);
+  net.set_injector(inj);
+  net.node(0).enqueue(make_tagged_frame(0x100, MsgKind::Data, MessageKey{0, 1}));
+  ASSERT_TRUE(net.run_until_quiet(30000));
+  EXPECT_EQ(net.deliveries(1).size(), 0u) << "desynced node must reject";
+  EXPECT_EQ(net.deliveries(2).size(), 1u);
+  EXPECT_EQ(net.deliveries(3).size(), 1u);
+  EXPECT_EQ(net.deliveries(4).size(), 1u);
+  EXPECT_EQ(net.log().count(EventKind::TxSuccess, 0), 1u)
+      << "the transmitter accepts via the extended flag: no retransmission";
+}
+
+TEST(CampaignWholeFrame, StandardCanBodyErrorsRetransmitConsistently) {
+  // Body errors are CAN's home turf: detection + retransmission keeps
+  // everything consistent as long as the tail stays clean.  With 1 error
+  // anywhere, inconsistency requires the tail pattern; rates stay low but
+  // non-zero; duplicates dominate.
+  auto cfg = base_config(ProtocolParams::standard_can(), 1, 3000, 0x50DA);
+  cfg.window = FaultWindow::WholeFrame;
+  auto res = run_eof_campaign(cfg);
+  EXPECT_EQ(res.timeouts, 0);
+  EXPECT_EQ(res.imo, 0) << res.summary();
+}
+
+// --- soak: continuous traffic under iid noise ---
+
+TEST(Soak, MajorCanAtomicBroadcastUnderNoise) {
+  SoakConfig cfg;
+  cfg.protocol = ProtocolParams::major_can(5);
+  cfg.n_nodes = 6;
+  cfg.senders = 3;
+  cfg.frames_per_sender = 30;
+  cfg.ber_star = 2e-4;  // harsh: ~0.12 expected flips/frame/bus
+  cfg.seed = 42;
+  auto res = run_soak(cfg);
+  EXPECT_GT(res.errors_injected, 0);
+  EXPECT_EQ(res.report.agreement_violations, 0) << res.summary();
+  EXPECT_EQ(res.report.duplicate_deliveries, 0) << res.summary();
+  EXPECT_EQ(res.report.order_inversions, 0) << res.summary();
+  EXPECT_EQ(res.report.validity_violations, 0) << res.summary();
+}
+
+TEST(Soak, CleanChannelAllProtocolsAtomic) {
+  for (auto proto : {ProtocolParams::standard_can(), ProtocolParams::minor_can(),
+                     ProtocolParams::major_can(5)}) {
+    SoakConfig cfg;
+    cfg.protocol = proto;
+    cfg.n_nodes = 5;
+    cfg.senders = 3;
+    cfg.frames_per_sender = 20;
+    cfg.ber_star = 0.0;
+    auto res = run_soak(cfg);
+    EXPECT_TRUE(res.report.atomic_broadcast())
+        << proto.name() << ": " << res.summary();
+  }
+}
+
+TEST(Soak, PerSourceFifoHoldsEvenOnStandardCan) {
+  // The sender-side queue is FIFO and a later message only goes out after
+  // the earlier one's fate is sealed, so per-source ordering survives even
+  // where total order and agreement break.
+  SoakConfig cfg;
+  cfg.protocol = ProtocolParams::standard_can();
+  cfg.n_nodes = 6;
+  cfg.senders = 3;
+  cfg.frames_per_sender = 100;
+  cfg.ber_star = 1e-3;
+  cfg.seed = 21;
+  auto res = run_soak(cfg);
+  EXPECT_EQ(res.report.fifo_violations, 0) << res.summary();
+}
+
+// --- higher-level baselines, randomized (paper §4) ---
+
+TEST(HigherCampaign, EdcanCleanAtTwoErrors) {
+  HigherCampaignConfig cfg;
+  cfg.kind = HigherKind::Edcan;
+  cfg.trials = 600;
+  cfg.errors = 2;
+  cfg.seed = 0x6A;
+  auto res = run_higher_campaign(cfg);
+  EXPECT_EQ(res.agreement_violations, 0) << res.summary();
+  EXPECT_EQ(res.timeouts, 0);
+}
+
+TEST(HigherCampaign, RelcanBreaksAtTwoErrors) {
+  HigherCampaignConfig cfg;
+  cfg.kind = HigherKind::Relcan;
+  cfg.trials = 4000;
+  cfg.errors = 2;
+  cfg.seed = 0x6B;
+  auto res = run_higher_campaign(cfg);
+  EXPECT_GT(res.agreement_violations, 0)
+      << "the Fig. 3 pattern lives in this window: " << res.summary();
+}
+
+TEST(HigherCampaign, TotcanBreaksAtTwoErrors) {
+  HigherCampaignConfig cfg;
+  cfg.kind = HigherKind::Totcan;
+  cfg.trials = 4000;
+  cfg.errors = 2;
+  cfg.seed = 0x6C;
+  auto res = run_higher_campaign(cfg);
+  EXPECT_GT(res.agreement_violations, 0) << res.summary();
+}
+
+TEST(HigherCampaign, AllRecoverFromCrashesAtOneError) {
+  for (HigherKind kind :
+       {HigherKind::Edcan, HigherKind::Relcan, HigherKind::Totcan}) {
+    HigherCampaignConfig cfg;
+    cfg.kind = kind;
+    cfg.trials = 600;
+    cfg.errors = 1;
+    cfg.crash_tx_randomly = true;
+    cfg.seed = 0x6D;
+    auto res = run_higher_campaign(cfg);
+    EXPECT_EQ(res.agreement_violations, 0)
+        << higher_kind_name(kind) << ": " << res.summary();
+  }
+}
+
+TEST(Soak, StandardCanEventuallyViolatesUnderNoise) {
+  // With enough frames under tail-reaching noise, standard CAN shows
+  // duplicates and/or omissions; this is the statistical counterpart of
+  // Table 1's "it happens too often" argument.
+  SoakConfig cfg;
+  cfg.protocol = ProtocolParams::standard_can();
+  cfg.n_nodes = 6;
+  cfg.senders = 3;
+  cfg.frames_per_sender = 150;
+  cfg.ber_star = 1e-3;
+  cfg.seed = 7;
+  auto res = run_soak(cfg);
+  EXPECT_GT(res.report.duplicate_deliveries + res.report.agreement_violations +
+                res.report.order_inversions,
+            0)
+      << res.summary();
+}
+
+}  // namespace
+}  // namespace mcan

@@ -1,0 +1,151 @@
+// Response-time analysis tests: the C bound vs the real encoder, the
+// fixed-point recurrence, and — the important one — validation of the
+// analytic bound against worst observed latencies on the simulated bus.
+#include <gtest/gtest.h>
+
+#include "app/rta.hpp"
+#include "app/scheduler.hpp"
+#include "core/network.hpp"
+#include "frame/encoder.hpp"
+#include "util/rng.hpp"
+
+namespace mcan {
+namespace {
+
+TEST(RtaBound, DominatesEveryRealFrame) {
+  // The classic worst-case C must upper-bound the encoder's output for
+  // every payload (plus the 3 intermission bits it folds in).
+  Rng rng(61);
+  for (int trial = 0; trial < 300; ++trial) {
+    Frame f;
+    f.extended = rng.chance(0.3);
+    f.id = rng.next_below(f.extended ? kMaxExtId + 1 : kMaxId + 1);
+    f.dlc = static_cast<std::uint8_t>(rng.next_below(9));
+    for (int i = 0; i < f.dlc; ++i) {
+      f.data[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    for (int eof : {7, 10}) {
+      EXPECT_GE(worst_case_frame_bits(f.dlc, f.extended, eof),
+                wire_length(f, eof) + kIntermissionBits)
+          << f.to_string();
+    }
+  }
+}
+
+TEST(RtaBound, TightForStuffDenseFrames) {
+  // The bound should not be wildly loose: an all-zero frame (dense
+  // stuffing) comes within a handful of bits.
+  Frame f = Frame::make_blank(0, 8);
+  const int bound = worst_case_frame_bits(8, false, 7);
+  const int actual = wire_length(f, 7) + kIntermissionBits;
+  EXPECT_GE(bound, actual);
+  EXPECT_LE(bound - actual, 8);
+}
+
+TEST(Rta, PriorityOrderFollowsArbitration) {
+  std::vector<RtaMessage> set = {
+      {"low", 0x300, false, 2, 5000},
+      {"high", 0x050, false, 2, 5000},
+      {"ext", 0x050u << kExtIdBits, true, 2, 5000},
+  };
+  auto rows = response_time_analysis(set, 7);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].msg.name, "high") << "0x050 standard first";
+  EXPECT_EQ(rows[1].msg.name, "ext") << "same base id, extended loses";
+  EXPECT_EQ(rows[2].msg.name, "low");
+}
+
+TEST(Rta, HighestPriorityOnlyBlocksOnLongestLower) {
+  std::vector<RtaMessage> set = {
+      {"a", 0x100, false, 1, 10000},
+      {"b", 0x200, false, 8, 10000},
+  };
+  auto rows = response_time_analysis(set, 7);
+  EXPECT_EQ(rows[0].blocking, rows[1].c_bits);
+  EXPECT_EQ(rows[1].blocking, 0);
+  EXPECT_TRUE(rows[0].schedulable);
+  EXPECT_EQ(rows[0].response,
+            static_cast<BitTime>(rows[0].blocking + rows[0].c_bits));
+}
+
+TEST(Rta, OverloadedSetIsUnschedulable) {
+  // Three 8-byte messages every 150 bits cannot fit (C ~ 135 each).
+  std::vector<RtaMessage> set = {
+      {"a", 0x100, false, 8, 150},
+      {"b", 0x200, false, 8, 150},
+      {"c", 0x300, false, 8, 150},
+  };
+  auto rows = response_time_analysis(set, 7);
+  EXPECT_GT(rta_utilisation(rows), 1.0);
+  EXPECT_FALSE(rows[2].schedulable);
+}
+
+TEST(Rta, MajorCanEofRaisesResponseTimes) {
+  std::vector<RtaMessage> set = {
+      {"a", 0x100, false, 8, 2000},
+      {"b", 0x200, false, 8, 2000},
+      {"c", 0x300, false, 8, 2000},
+  };
+  auto can = response_time_analysis(set, 7);
+  auto major = response_time_analysis(set, 10);  // MajorCAN_5
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_GT(major[i].response, can[i].response);
+    // The lowest-priority message accumulates 3 bits from every frame
+    // ahead of it plus its own: <= 4 * (2m-7) = 12 here.
+    EXPECT_LE(major[i].response - can[i].response, 12u);
+  }
+}
+
+TEST(Rta, SimulatorNeverExceedsTheBound) {
+  // Critical-instant experiment: all messages released together, several
+  // hyperperiods, per-message worst observed queue->delivery latency must
+  // stay within the analytic response time.
+  std::vector<RtaMessage> set = {
+      {"m1", 0x080, false, 4, 700},
+      {"m2", 0x100, false, 8, 900},
+      {"m3", 0x180, false, 8, 1100},
+      {"m4", 0x200, false, 6, 1300},
+  };
+  for (int eof : {7, 10}) {
+    auto rows = response_time_analysis(set, eof);
+    for (const auto& r : rows) ASSERT_TRUE(r.schedulable);
+
+    const ProtocolParams proto = eof == 7 ? ProtocolParams::standard_can()
+                                          : ProtocolParams::major_can(5);
+    // Senders 0..3, receiver 4.
+    Network net(5, proto);
+    std::map<std::uint32_t, BitTime> queued_at;
+    std::map<std::uint32_t, BitTime> worst;
+    net.node(4).add_delivery_handler([&](const Frame& f, BitTime t) {
+      auto it = queued_at.find(f.id);
+      if (it == queued_at.end()) return;
+      worst[f.id] = std::max(worst[f.id], t - it->second);
+      queued_at.erase(it);
+    });
+
+    std::vector<BitTime> next(set.size(), 0);
+    for (BitTime t = 0; t < 9000; ++t) {
+      for (std::size_t i = 0; i < set.size(); ++i) {
+        if (t == next[static_cast<std::size_t>(i)]) {
+          next[i] += set[i].period;
+          queued_at[set[i].can_id] = t;
+          net.node(static_cast<int>(i))
+              .enqueue(Frame::make_blank(set[i].can_id,
+                                         static_cast<std::uint8_t>(set[i].dlc)));
+        }
+      }
+      net.sim().step();
+    }
+
+    for (const RtaRow& r : rows) {
+      ASSERT_TRUE(worst.contains(r.msg.can_id) || queued_at.empty());
+      EXPECT_LE(worst[r.msg.can_id], r.response)
+          << r.msg.name << " eof=" << eof;
+      EXPECT_GT(worst[r.msg.can_id], 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcan

@@ -1,0 +1,190 @@
+// The paper's figure scenarios, asserted outcome by outcome.  These tests
+// are the heart of the reproduction: each one checks that our simulated bus
+// reproduces exactly the behaviour the corresponding figure describes.
+#include <gtest/gtest.h>
+
+#include "scenario/figures.hpp"
+
+namespace mcan {
+namespace {
+
+// --- Fig. 1: the classic scenarios on standard CAN ---
+
+TEST(Fig1, A_LastBitErrorIsConsistent) {
+  auto r = run_fig1a(ProtocolParams::standard_can());
+  EXPECT_TRUE(r.faults_all_fired);
+  EXPECT_TRUE(r.consistent_single_delivery()) << r.summary();
+  EXPECT_EQ(r.tx_attempts, 1) << "the overload rule avoids retransmission";
+  EXPECT_EQ(r.tx_success, 1);
+}
+
+TEST(Fig1, B_DoubleReception) {
+  auto r = run_fig1b(ProtocolParams::standard_can());
+  EXPECT_TRUE(r.faults_all_fired);
+  EXPECT_TRUE(r.double_reception()) << r.summary();
+  EXPECT_FALSE(r.imo());
+  // X (nodes 1,2) got it once, Y (nodes 3,4) twice.
+  EXPECT_EQ(r.deliveries[1], 1);
+  EXPECT_EQ(r.deliveries[2], 1);
+  EXPECT_EQ(r.deliveries[3], 2);
+  EXPECT_EQ(r.deliveries[4], 2);
+  EXPECT_EQ(r.tx_attempts, 2) << "transmitter retransmitted";
+}
+
+TEST(Fig1, C_TransmitterCrashGivesImo) {
+  auto r = run_fig1c(ProtocolParams::standard_can());
+  EXPECT_TRUE(r.faults_all_fired);
+  EXPECT_TRUE(r.tx_crashed);
+  EXPECT_TRUE(r.imo()) << r.summary();
+  EXPECT_EQ(r.deliveries[1], 0) << "X never gets the frame";
+  EXPECT_EQ(r.deliveries[2], 0);
+  EXPECT_EQ(r.deliveries[3], 1) << "Y keeps its copy";
+  EXPECT_EQ(r.deliveries[4], 1);
+}
+
+// --- Fig. 2: MinorCAN fixes the Fig. 1 scenarios ---
+
+TEST(Fig2, MinorCanFixesFig1a) {
+  auto r = run_fig1a(ProtocolParams::minor_can());
+  EXPECT_TRUE(r.consistent_single_delivery()) << r.summary();
+  EXPECT_EQ(r.tx_attempts, 1) << "primary-error rule avoids retransmission";
+}
+
+TEST(Fig2, MinorCanFixesFig1b) {
+  auto r = run_fig1b(ProtocolParams::minor_can());
+  EXPECT_TRUE(r.consistent_single_delivery()) << r.summary();
+  EXPECT_FALSE(r.double_reception()) << "Y is obliged to reject";
+  EXPECT_EQ(r.tx_attempts, 2) << "transmitter retransmits for everyone";
+}
+
+TEST(Fig2, MinorCanFixesFig1c) {
+  auto r = run_fig1c(ProtocolParams::minor_can());
+  // Everyone rejected the first copy; the crash before retransmission means
+  // nobody has it: consistent (all-or-none), no IMO.
+  EXPECT_FALSE(r.imo()) << r.summary();
+  EXPECT_FALSE(r.double_reception());
+  for (int i = 1; i <= 4; ++i) EXPECT_EQ(r.deliveries[static_cast<std::size_t>(i)], 0);
+}
+
+// --- Fig. 3: the new scenarios defeat CAN and MinorCAN ---
+
+TEST(Fig3, A_StandardCanSuffersImoWithoutTxFailure) {
+  auto r = run_fig3(ProtocolParams::standard_can());
+  EXPECT_TRUE(r.faults_all_fired);
+  EXPECT_TRUE(r.imo()) << r.summary();
+  EXPECT_EQ(r.tx_attempts, 1) << "no retransmission: tx saw a clean frame";
+  EXPECT_EQ(r.tx_success, 1) << "the transmitter remained correct";
+  EXPECT_EQ(r.deliveries[1], 0);
+  EXPECT_EQ(r.deliveries[2], 0);
+  EXPECT_EQ(r.deliveries[3], 1);
+  EXPECT_EQ(r.deliveries[4], 1);
+}
+
+TEST(Fig3, B_MinorCanSuffersImoToo) {
+  auto r = run_fig3(ProtocolParams::minor_can());
+  EXPECT_TRUE(r.faults_all_fired);
+  EXPECT_TRUE(r.imo()) << r.summary();
+  EXPECT_EQ(r.tx_attempts, 1);
+  EXPECT_EQ(r.tx_success, 1);
+  // Y decides "primary" and accepts; X rejected.
+  EXPECT_EQ(r.deliveries[3], 1);
+  EXPECT_EQ(r.deliveries[4], 1);
+  EXPECT_EQ(r.deliveries[1], 0);
+  EXPECT_EQ(r.deliveries[2], 0);
+}
+
+TEST(Fig3, MajorCanSurvivesTheSamePattern) {
+  auto r = run_fig3(ProtocolParams::major_can(5));
+  EXPECT_FALSE(r.imo()) << r.summary();
+  EXPECT_FALSE(r.double_reception());
+}
+
+// --- Fig. 4: MajorCAN_5 per-position behaviour ---
+
+TEST(Fig4, BehaviourTableMatchesPaper) {
+  const int m = 5;
+  auto rows = run_fig4(m);
+  ASSERT_EQ(rows.size(), static_cast<std::size_t>(1 + 2 * m));
+
+  // Row 0: CRC error -> 6-bit flag, no sampling, rejected.
+  EXPECT_EQ(rows[0].error_at, "CRC error");
+  EXPECT_EQ(rows[0].flag, "6-bit error flag");
+  EXPECT_FALSE(rows[0].sampling);
+  EXPECT_EQ(rows[0].verdict, "frame is rejected");
+
+  // Rows 1..m: first sub-field -> 6-bit flag + sampling.
+  for (int k = 1; k <= m; ++k) {
+    SCOPED_TRACE("EOF bit " + std::to_string(k));
+    EXPECT_EQ(rows[static_cast<std::size_t>(k)].flag, "6-bit error flag");
+    EXPECT_TRUE(rows[static_cast<std::size_t>(k)].sampling);
+  }
+
+  // Rows m+1..2m: second sub-field -> extended flag, frame accepted.
+  for (int k = m + 1; k <= 2 * m; ++k) {
+    SCOPED_TRACE("EOF bit " + std::to_string(k));
+    EXPECT_EQ(rows[static_cast<std::size_t>(k)].flag, "extended error flag");
+    EXPECT_FALSE(rows[static_cast<std::size_t>(k)].sampling);
+    EXPECT_EQ(rows[static_cast<std::size_t>(k)].verdict, "frame is accepted");
+  }
+}
+
+// --- Fig. 5: MajorCAN_5 consistency under five errors ---
+
+TEST(Fig5, MajorCan5ConsistentUnderFiveErrors) {
+  auto r = run_fig5(5);
+  EXPECT_TRUE(r.faults_all_fired) << "all five scripted disturbances fired";
+  EXPECT_TRUE(r.consistent_single_delivery()) << r.summary();
+  EXPECT_EQ(r.tx_attempts, 1) << "transmitter accepted via extended flag";
+  EXPECT_EQ(r.tx_success, 1);
+}
+
+TEST(Fig5, ScalesWithM) {
+  for (int m : {4, 5, 6}) {
+    auto r = run_fig5(m);
+    EXPECT_TRUE(r.consistent_single_delivery())
+        << "m=" << m << ": " << r.summary();
+  }
+}
+
+// --- CAN5: total order ---
+
+TEST(Order, StandardCanViolatesTotalOrder) {
+  auto r = run_order_scenario(ProtocolParams::standard_can());
+  EXPECT_GT(r.order_inversions, 0) << r.summary();
+  EXPECT_GT(r.duplicate_deliveries, 0) << "Y sees A twice (A,B,A)";
+}
+
+TEST(Order, MajorCanPreservesTotalOrder) {
+  auto r = run_order_scenario(ProtocolParams::major_can(5));
+  EXPECT_EQ(r.order_inversions, 0) << r.summary();
+  EXPECT_EQ(r.duplicate_deliveries, 0);
+}
+
+TEST(Order, MinorCanPreservesTotalOrderHere) {
+  auto r = run_order_scenario(ProtocolParams::minor_can());
+  EXPECT_EQ(r.order_inversions, 0) << r.summary();
+  EXPECT_EQ(r.duplicate_deliveries, 0);
+}
+
+// --- the error-passive impairment from the introduction ---
+
+TEST(ErrorPassive, PassiveFlagIsInvisibleAndBreaksAgreement) {
+  auto r = run_error_passive_scenario(/*switch_off_at_warning=*/false);
+  EXPECT_EQ(r.tx_attempts, 1) << "transmitter never learns of the error";
+  EXPECT_EQ(r.deliveries[1], 0) << "the passive node misses the frame";
+  EXPECT_EQ(r.deliveries[2], 1);
+  EXPECT_EQ(r.deliveries[3], 1);
+  EXPECT_TRUE(r.imo()) << r.summary();
+}
+
+TEST(ErrorPassive, WarningSwitchOffKeepsConnectedNodesConsistent) {
+  auto r = run_error_passive_scenario(/*switch_off_at_warning=*/true);
+  // Node 1 disconnected itself at the warning limit: among connected nodes
+  // the broadcast is consistent.
+  EXPECT_EQ(r.deliveries[2], 1);
+  EXPECT_EQ(r.deliveries[3], 1);
+  EXPECT_EQ(r.deliveries[1], 0) << "disconnected, by design";
+}
+
+}  // namespace
+}  // namespace mcan

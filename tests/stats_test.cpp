@@ -1,0 +1,105 @@
+// Tests for the statistics module: summaries, latency tracking and the
+// bus-utilisation probe.
+#include <gtest/gtest.h>
+
+#include "analysis/stats.hpp"
+#include "core/network.hpp"
+
+namespace mcan {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  auto s = Summary::of({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0);
+}
+
+TEST(Summary, SingleValue) {
+  auto s = Summary::of({42.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 42.0);
+  EXPECT_EQ(s.max, 42.0);
+  EXPECT_EQ(s.mean, 42.0);
+  EXPECT_EQ(s.p50, 42.0);
+  EXPECT_EQ(s.p99, 42.0);
+}
+
+TEST(Summary, Percentiles) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  auto s = Summary::of(v);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.mean, 50.5, 1e-9);
+  EXPECT_NEAR(s.p50, 50.0, 1.0);
+  EXPECT_NEAR(s.p95, 95.0, 1.0);
+  EXPECT_NEAR(s.p99, 99.0, 1.0);
+}
+
+TEST(Summary, UnsortedInput) {
+  auto s = Summary::of({5, 1, 3, 2, 4});
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_EQ(s.p50, 3.0);
+}
+
+TEST(LatencyTracker, MeasuresFirstDeliveryOnly) {
+  LatencyTracker lt;
+  const MessageKey k{0, 1};
+  lt.on_broadcast(k, 100);
+  lt.on_delivery(1, k, 150);
+  lt.on_delivery(1, k, 300);  // duplicate: ignored
+  lt.on_delivery(2, k, 160);
+  EXPECT_EQ(lt.samples(), 2u);
+  auto s = lt.summary();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.min, 50.0);
+  EXPECT_EQ(s.max, 60.0);
+}
+
+TEST(LatencyTracker, UnknownMessageIgnored) {
+  LatencyTracker lt;
+  lt.on_delivery(1, MessageKey{9, 9}, 10);
+  EXPECT_EQ(lt.summary().count, 0u);
+}
+
+TEST(UtilizationProbe, IdleBusIsZero) {
+  Network net(3, ProtocolParams::standard_can());
+  UtilizationProbe probe;
+  net.sim().add_observer(probe);
+  net.sim().run(100);
+  EXPECT_EQ(probe.total_bits(), 100u);
+  EXPECT_EQ(probe.busy_bits(), 0u);
+  EXPECT_EQ(probe.utilization(), 0.0);
+}
+
+TEST(UtilizationProbe, FrameCountsAsBusy) {
+  Network net(3, ProtocolParams::standard_can());
+  UtilizationProbe probe;
+  net.sim().add_observer(probe);
+  net.node(0).enqueue(Frame::make_blank(0x10, 1));
+  net.run_until_quiet();
+  EXPECT_GT(probe.busy_bits(), 40u);
+  EXPECT_LT(probe.busy_bits(), probe.total_bits());
+  EXPECT_GT(probe.dominant_bits(), 0u);
+  EXPECT_GT(probe.utilization(), 0.0);
+}
+
+TEST(UtilizationProbe, BusyScalesWithTraffic) {
+  Network one(2, ProtocolParams::standard_can());
+  Network three(2, ProtocolParams::standard_can());
+  UtilizationProbe p1, p3;
+  one.sim().add_observer(p1);
+  three.sim().add_observer(p3);
+  one.node(0).enqueue(Frame::make_blank(0x10, 1));
+  for (int i = 0; i < 3; ++i) {
+    three.node(0).enqueue(Frame::make_blank(0x10 + static_cast<std::uint32_t>(i), 1));
+  }
+  one.run_until_quiet();
+  three.run_until_quiet();
+  EXPECT_GT(p3.busy_bits(), 2 * p1.busy_bits());
+}
+
+}  // namespace
+}  // namespace mcan

@@ -1,0 +1,100 @@
+// Tests for the m-selection analysis (paper §5's "parametrisable in m").
+#include <gtest/gtest.h>
+
+#include "analysis/tuning.hpp"
+
+namespace mcan {
+namespace {
+
+TEST(BinomialPmf, MatchesSmallCases) {
+  EXPECT_NEAR(binomial_pmf(4, 2, 0.5), 6.0 / 16.0, 1e-12);
+  EXPECT_NEAR(binomial_pmf(3, 0, 0.1), 0.729, 1e-12);
+  EXPECT_NEAR(binomial_pmf(3, 3, 0.1), 0.001, 1e-12);
+  EXPECT_EQ(binomial_pmf(3, 4, 0.1), 0.0);
+  EXPECT_EQ(binomial_pmf(3, -1, 0.1), 0.0);
+}
+
+TEST(BinomialPmf, DegenerateProbabilities) {
+  EXPECT_EQ(binomial_pmf(10, 0, 0.0), 1.0);
+  EXPECT_EQ(binomial_pmf(10, 3, 0.0), 0.0);
+  EXPECT_EQ(binomial_pmf(10, 10, 1.0), 1.0);
+  EXPECT_EQ(binomial_pmf(10, 9, 1.0), 0.0);
+}
+
+TEST(BinomialPmf, SumsToOne) {
+  double sum = 0;
+  for (int k = 0; k <= 50; ++k) sum += binomial_pmf(50, k, 0.3);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Tail, MonotoneInM) {
+  ModelParams p;
+  p.ber = 1e-4;
+  double prev = 1.0;
+  for (int m = 3; m <= 10; ++m) {
+    const double tail = p_more_than_m_errors_per_frame(p, m);
+    EXPECT_LT(tail, prev) << "m=" << m;
+    EXPECT_GE(tail, 0.0);
+    prev = tail;
+  }
+}
+
+TEST(Tail, NoCancellationFloor) {
+  // The direct tail sum must keep shrinking far below the 1-CDF
+  // cancellation floor (~1e-14).
+  ModelParams p;
+  p.ber = 1e-4;
+  EXPECT_LT(p_more_than_m_errors_per_frame(p, 8), 1e-20);
+  EXPECT_GT(p_more_than_m_errors_per_frame(p, 8), 0.0);
+}
+
+TEST(Tail, ScalesWithBer) {
+  ModelParams lo, hi;
+  lo.ber = 1e-6;
+  hi.ber = 1e-4;
+  EXPECT_GT(p_more_than_m_errors_per_frame(hi, 5),
+            1e6 * p_more_than_m_errors_per_frame(lo, 5));
+}
+
+TEST(Recommend, AggressiveBerNeedsLargerM) {
+  ModelParams p;
+  const double target = 1e-9;
+  p.ber = 1e-6;
+  const int benign = recommend_m(p, target);
+  p.ber = 1e-4;
+  const int aggressive = recommend_m(p, target);
+  p.ber = 1e-3;
+  const int harsh = recommend_m(p, target);
+  EXPECT_LE(benign, aggressive);
+  EXPECT_LT(aggressive, harsh);
+  EXPECT_GE(benign, 3);
+}
+
+TEST(Recommend, PaperReferenceBusAtPaperBer) {
+  // At the paper's mid ber = 1e-5 the proposed m = 5 comfortably meets the
+  // aerospace target on the reference bus.
+  ModelParams p;
+  p.ber = 1e-5;
+  EXPECT_LE(recommend_m(p, 1e-9), 5);
+}
+
+TEST(Recommend, UnreachableTargetReturnsSentinel) {
+  ModelParams p;
+  p.ber = 1e-4;
+  EXPECT_EQ(recommend_m(p, 0.0, 8), 9);
+}
+
+TEST(TuningTable, RowsCoverRangeAndOverheadFormulas) {
+  ModelParams p;
+  auto rows = tuning_table(p, 8);
+  ASSERT_EQ(rows.size(), 6u);  // m = 3..8
+  for (const TuningRow& r : rows) {
+    EXPECT_EQ(r.overhead_bits_best, 2 * r.m - 7);
+    EXPECT_EQ(r.overhead_bits_worst, 4 * r.m - 9);
+  }
+  EXPECT_NE(render_tuning_table(rows).find("exposure/hour"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcan

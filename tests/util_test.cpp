@@ -1,0 +1,157 @@
+// Unit tests for the util module: levels, bit vectors, RNG, text helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bit.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+#include "util/text.hpp"
+
+namespace mcan {
+namespace {
+
+TEST(Level, WiredAndDominantWins) {
+  EXPECT_EQ(Level::Dominant & Level::Dominant, Level::Dominant);
+  EXPECT_EQ(Level::Dominant & Level::Recessive, Level::Dominant);
+  EXPECT_EQ(Level::Recessive & Level::Dominant, Level::Dominant);
+  EXPECT_EQ(Level::Recessive & Level::Recessive, Level::Recessive);
+}
+
+TEST(Level, FlipInverts) {
+  EXPECT_EQ(flip(Level::Dominant), Level::Recessive);
+  EXPECT_EQ(flip(Level::Recessive), Level::Dominant);
+}
+
+TEST(Level, LogicalMapping) {
+  // CAN: dominant = logical 0, recessive = logical 1.
+  EXPECT_FALSE(logical(Level::Dominant));
+  EXPECT_TRUE(logical(Level::Recessive));
+  EXPECT_EQ(level_of(false), Level::Dominant);
+  EXPECT_EQ(level_of(true), Level::Recessive);
+}
+
+TEST(Level, CharRoundTrip) {
+  EXPECT_EQ(level_char(Level::Dominant), 'd');
+  EXPECT_EQ(level_char(Level::Recessive), 'r');
+  EXPECT_EQ(level_from_char('d'), Level::Dominant);
+  EXPECT_EQ(level_from_char('R'), Level::Recessive);
+  EXPECT_EQ(level_from_char('0'), Level::Dominant);
+  EXPECT_EQ(level_from_char('1'), Level::Recessive);
+  EXPECT_THROW(level_from_char('x'), std::invalid_argument);
+}
+
+TEST(BitVec, FromStringSkipsSpaces) {
+  BitVec v = BitVec::from_string("r r d d");
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], Level::Recessive);
+  EXPECT_EQ(v[2], Level::Dominant);
+  EXPECT_EQ(v.to_string(), "rrdd");
+}
+
+TEST(BitVec, AppendUintMsbFirst) {
+  BitVec v;
+  v.append_uint(0b1011, 4);
+  EXPECT_EQ(v.to_string(), "rdrr");  // 1=r, 0=d
+  EXPECT_EQ(v.read_uint(0, 4), 0b1011u);
+}
+
+TEST(BitVec, ReadUintOutOfRangeThrows) {
+  BitVec v;
+  v.append_uint(3, 2);
+  EXPECT_THROW(v.read_uint(1, 2), std::out_of_range);
+}
+
+TEST(BitVec, AppendRepeatedAndConcat) {
+  BitVec v;
+  v.append_repeated(Level::Recessive, 3);
+  BitVec w = BitVec::from_string("dd");
+  v.append(w);
+  EXPECT_EQ(v.to_string(), "rrrdd");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42, 7);
+  Rng b(42, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Rng, DifferentStreamsDiffer) {
+  Rng a(42, 1);
+  Rng b(42, 2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+  EXPECT_EQ(r.next_below(0), 0u);
+  EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(4);
+  EXPECT_FALSE(r.chance(0.0));
+  EXPECT_TRUE(r.chance(1.0));
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng r(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (r.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, SplitIndependence) {
+  Rng base(99, 1);
+  Rng a = base.split(1);
+  Rng b = base.split(2);
+  std::set<std::uint32_t> seen;
+  int collisions = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u32() == b.next_u32()) ++collisions;
+  }
+  EXPECT_LT(collisions, 4);
+}
+
+TEST(Text, PadRight) {
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");  // never truncates
+}
+
+TEST(Text, Sci) {
+  EXPECT_EQ(sci(8.8e-3, 3), "8.80e-03");
+  EXPECT_EQ(sci(1e-6, 1), "1e-06");
+}
+
+TEST(Text, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Text, RenderTableAligns) {
+  std::string t = render_table({{"h1", "h2"}, {"aaa", "b"}});
+  EXPECT_NE(t.find("h1"), std::string::npos);
+  EXPECT_NE(t.find("aaa"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcan
