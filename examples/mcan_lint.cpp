@@ -1,0 +1,154 @@
+// mcan-lint: replay scenario files (or parse VCD waveform dumps) through
+// the protocol invariant analyzer and report every violation with bit-time
+// and node provenance.
+//
+//     mcan-lint scenarios/*.scn          # full FSM-aware conformance pass
+//     mcan-lint trace.vcd                # record-level rules (wired-AND)
+//
+// Exit status: 0 = all files clean, 1 = violations found, 2 = usage or
+// file error.
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/invariants.hpp"
+#include "scenario/dsl.hpp"
+#include "sim/vcd.hpp"
+
+namespace {
+
+using namespace mcan;
+
+struct Options {
+  InvariantConfig cfg;
+  bool verbose = false;
+  std::vector<std::string> files;
+};
+
+void usage(std::FILE* to) {
+  std::fputs(
+      "usage: mcan-lint [options] <file.scn|file.vcd> ...\n"
+      "\n"
+      "Replays each scenario file on a simulated bus (or reconstructs a\n"
+      "recorded trace from a VCD dump) and checks the protocol invariants:\n"
+      "wired-AND consistency, stuff-rule conformance, error-flag legality,\n"
+      "end-game legality, fault-confinement counter transitions and\n"
+      "cross-node reconvergence.  VCD input carries no FSM introspection,\n"
+      "so only the record-level rules apply to it.\n"
+      "\n"
+      "options:\n"
+      "  --no-wired-and      disable the wired-AND rule\n"
+      "  --no-stuff          disable stuff-rule conformance\n"
+      "  --no-flags          disable error-flag legality\n"
+      "  --no-end-game       disable end-game legality\n"
+      "  --no-counters       disable counter-transition checking\n"
+      "  --no-reconvergence  disable frame-boundary agreement\n"
+      "  --max <n>           record at most n violations verbatim (default "
+      "64)\n"
+      "  -v, --verbose       report clean files too\n"
+      "  -h, --help          this text\n",
+      to);
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "-h" || a == "--help") {
+      usage(stdout);
+      std::exit(0);
+    } else if (a == "--no-wired-and") {
+      opt.cfg.wired_and = false;
+    } else if (a == "--no-stuff") {
+      opt.cfg.stuff_conformance = false;
+    } else if (a == "--no-flags") {
+      opt.cfg.flag_legality = false;
+    } else if (a == "--no-end-game") {
+      opt.cfg.end_game = false;
+    } else if (a == "--no-counters") {
+      opt.cfg.counter_transitions = false;
+    } else if (a == "--no-reconvergence") {
+      opt.cfg.reconvergence = false;
+    } else if (a == "--max") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "mcan-lint: --max needs a count\n");
+        return false;
+      }
+      try {
+        opt.cfg.max_recorded = static_cast<std::size_t>(std::stoul(argv[i]));
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "mcan-lint: --max: not a number: %s\n", argv[i]);
+        return false;
+      }
+    } else if (a == "-v" || a == "--verbose") {
+      opt.verbose = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "mcan-lint: unknown option %s\n", a.c_str());
+      return false;
+    } else {
+      opt.files.push_back(a);
+    }
+  }
+  if (opt.files.empty()) {
+    std::fprintf(stderr, "mcan-lint: no input files\n");
+    return false;
+  }
+  return true;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// Replay one scenario file on a fresh bus; full rule set applies.
+InvariantReport lint_scenario(const std::string& path,
+                              const InvariantConfig& cfg) {
+  const ScenarioSpec spec = load_scenario_file(path);
+  const DslRunResult run = run_scenario(spec, cfg);
+  return run.invariants;
+}
+
+/// Reconstruct a dumped trace; only record-level rules can apply.
+InvariantReport lint_vcd(const std::string& path, InvariantConfig cfg) {
+  const VcdTrace trace = read_vcd_file(path);
+  InvariantChecker checker({}, nullptr, cfg);
+  for (const BitRecord& rec : trace.bits) checker.on_bit(rec);
+  return checker.report();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    usage(stderr);
+    return 2;
+  }
+
+  bool any_violation = false;
+  bool any_error = false;
+  for (const std::string& path : opt.files) {
+    InvariantReport report;
+    try {
+      report = ends_with(path, ".vcd") ? lint_vcd(path, opt.cfg)
+                                       : lint_scenario(path, opt.cfg);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "mcan-lint: %s: %s\n", path.c_str(), e.what());
+      any_error = true;
+      continue;
+    }
+    if (report.clean()) {
+      if (opt.verbose) {
+        std::printf("%s: clean (%llu bits checked)\n", path.c_str(),
+                    static_cast<unsigned long long>(report.bits_checked));
+      }
+      continue;
+    }
+    any_violation = true;
+    std::printf("%s: %s", path.c_str(), report.summary().c_str());
+  }
+  if (any_error) return 2;
+  return any_violation ? 1 : 0;
+}

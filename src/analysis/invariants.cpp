@@ -1,0 +1,441 @@
+#include "analysis/invariants.hpp"
+
+#include <cstdio>
+
+#include "core/network.hpp"
+#include "frame/stuffing.hpp"
+
+namespace mcan {
+
+namespace {
+
+/// Ablation configurations intentionally break the end-game guarantees;
+/// only the physical-layer rules apply to nodes running them.
+bool sound_configuration(const ProtocolParams& p) {
+  return p.delimiter == DelimiterMode::FixedEndGame &&
+         p.suppress_second_errors && p.first_subfield_override == 0 &&
+         p.majority_override == 0;
+}
+
+std::vector<ProtocolParams> network_params(Network& net) {
+  std::vector<ProtocolParams> out;
+  out.reserve(static_cast<std::size_t>(net.size()));
+  for (int i = 0; i < net.size(); ++i) out.push_back(net.node(i).protocol());
+  return out;
+}
+
+}  // namespace
+
+const char* invariant_rule_name(InvariantRule r) {
+  switch (r) {
+    case InvariantRule::WiredAnd: return "wired-and";
+    case InvariantRule::StuffConformance: return "stuff-conformance";
+    case InvariantRule::FlagLegality: return "flag-legality";
+    case InvariantRule::EndGameLegality: return "end-game-legality";
+    case InvariantRule::CounterTransition: return "counter-transition";
+    case InvariantRule::Reconvergence: return "reconvergence";
+  }
+  return "?";
+}
+
+std::string InvariantViolation::to_string() const {
+  std::string out = "[" + std::string(invariant_rule_name(rule)) + "] bit " +
+                    std::to_string(t);
+  if (node >= 0) out += " node " + std::to_string(node);
+  out += ": " + message;
+  return out;
+}
+
+std::string InvariantReport::summary() const {
+  if (clean()) return {};
+  std::string out = std::to_string(total) + " protocol invariant violation" +
+                    (total == 1 ? "" : "s") + " over " +
+                    std::to_string(bits_checked) + " bits:\n";
+  for (int r = 0; r < kInvariantRuleCount; ++r) {
+    if (by_rule[static_cast<std::size_t>(r)] == 0) continue;
+    out += "  " +
+           std::string(invariant_rule_name(static_cast<InvariantRule>(r))) +
+           ": " + std::to_string(by_rule[static_cast<std::size_t>(r)]) + "\n";
+  }
+  for (const InvariantViolation& v : violations) {
+    out += "  " + v.to_string() + "\n";
+  }
+  if (total > violations.size()) {
+    out += "  (" + std::to_string(total - violations.size()) +
+           " further violations not recorded)\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// InvariantChecker
+// ---------------------------------------------------------------------------
+
+InvariantChecker::InvariantChecker(std::vector<ProtocolParams> per_node,
+                                   const EventLog* log, InvariantConfig cfg)
+    : cfg_(cfg), params_(std::move(per_node)), log_(log) {
+  sound_.reserve(params_.size());
+  for (const ProtocolParams& p : params_) {
+    sound_.push_back(sound_configuration(p));
+  }
+  // Skip any events already in the log: they belong to a run this checker
+  // did not observe.
+  if (log_ != nullptr) next_event_ = log_->events().size();
+}
+
+void InvariantChecker::violation(InvariantRule rule, BitTime t, int node,
+                                 std::string msg) {
+  ++report_.total;
+  ++report_.by_rule[static_cast<std::size_t>(rule)];
+  if (report_.violations.size() < cfg_.max_recorded) {
+    report_.violations.push_back({rule, t, node, std::move(msg)});
+  }
+}
+
+void InvariantChecker::on_bit(const BitRecord& rec) {
+  const std::size_t n = rec.driven.size();
+  if (states_.size() != n) states_.assign(n, NodeState{});
+  ++report_.bits_checked;
+
+  check_record_level(rec);
+
+  if (params_.size() == n) {
+    for (std::size_t i = 0; i < n; ++i) check_node(rec, i);
+    if (cfg_.reconvergence) check_reconvergence(rec);
+    if (log_ != nullptr) check_events(rec);
+  }
+}
+
+void InvariantChecker::check_record_level(const BitRecord& rec) {
+  if (!cfg_.wired_and) return;
+  const std::size_t n = rec.driven.size();
+
+  Level expect = Level::Recessive;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rec.active[i]) expect = expect & rec.driven[i];
+  }
+  if (expect != rec.bus) {
+    violation(InvariantRule::WiredAnd, rec.t, -1,
+              "bus resolved " + to_string(rec.bus) +
+                  " but the wired-AND of driven levels is " +
+                  to_string(expect));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!rec.active[i]) continue;
+    const Level want = rec.disturbed[i] ? flip(rec.bus) : rec.bus;
+    if (rec.view[i] != want) {
+      violation(InvariantRule::WiredAnd, rec.t, static_cast<int>(i),
+                "view " + to_string(rec.view[i]) +
+                    " inconsistent with bus level and disturbance marker");
+    }
+  }
+
+  // Stuff conformance is a wire-level rule, but the stuffed region is only
+  // known from FSM introspection: track it while any active transmitter is
+  // pumping the body (SOF..CRC) *and nobody is signalling an error*.  A
+  // receiver's flag superimposes 6 dominant bits on the body while the
+  // transmitter — which may legitimately take up to 5 more bits to notice —
+  // is still inside it; that deliberate violation is the globalisation
+  // mechanism itself, so tracking suspends the moment any flag starts.
+  if (!cfg_.stuff_conformance || params_.size() != n) return;
+  bool in_stuffed_region = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!rec.active[i]) continue;
+    switch (rec.info[i].seg) {
+      case Seg::ErrorFlag:
+      case Seg::PassiveFlag:
+      case Seg::OverloadFlag:
+      case Seg::ExtFlag:
+      case Seg::ErrorDelimWait:
+      case Seg::ErrorDelim:
+      case Seg::OverloadDelimWait:
+      case Seg::OverloadDelim:
+      case Seg::Sampling:
+        stuff_run_len_ = 0;
+        return;
+      default:
+        break;
+    }
+    if (rec.info[i].transmitter && rec.info[i].seg == Seg::Body) {
+      in_stuffed_region = true;
+    }
+  }
+  if (!in_stuffed_region) {
+    stuff_run_len_ = 0;
+    return;
+  }
+  if (stuff_run_len_ > 0 && rec.bus == stuff_run_level_) {
+    ++stuff_run_len_;
+  } else {
+    stuff_run_level_ = rec.bus;
+    stuff_run_len_ = 1;
+  }
+  if (stuff_run_len_ == kStuffRun + 1) {
+    violation(InvariantRule::StuffConformance, rec.t, -1,
+              std::to_string(kStuffRun + 1) + " identical " +
+                  to_string(rec.bus) +
+                  " bits on the wire inside the stuffed region");
+  }
+}
+
+void InvariantChecker::check_node(const BitRecord& rec, std::size_t i) {
+  NodeState& st = states_[i];
+  const NodeBitInfo& info = rec.info[i];
+
+  if (!rec.active[i] || info.seg == Seg::Off) {
+    // Crashed / bus-off / switched-off: nothing to check, and the node is
+    // permanently excluded from cross-node agreement (it may legitimately
+    // have missed frames).
+    st.tainted = true;
+    st.baseline = false;
+    st.flag_run = 0;
+    return;
+  }
+
+  const ProtocolParams& p = params_[i];
+  const int node = static_cast<int>(i);
+
+  if (cfg_.flag_legality) {
+    const bool in_flag =
+        info.seg == Seg::ErrorFlag || info.seg == Seg::OverloadFlag;
+    if (in_flag) {
+      if (!is_dominant(rec.driven[i])) {
+        violation(InvariantRule::FlagLegality, rec.t, node,
+                  "active flag bit driven recessive");
+      }
+      ++st.flag_run;
+      if (st.flag_run == ProtocolParams::flag_bits() + 1) {
+        violation(InvariantRule::FlagLegality, rec.t, node,
+                  "active flag longer than " +
+                      std::to_string(ProtocolParams::flag_bits()) + " bits");
+      }
+    } else {
+      if (st.flag_run > 0 && st.flag_run != ProtocolParams::flag_bits()) {
+        violation(InvariantRule::FlagLegality, rec.t, node,
+                  "active flag of " + std::to_string(st.flag_run) +
+                      " bits (must be exactly " +
+                      std::to_string(ProtocolParams::flag_bits()) + ")");
+      }
+      st.flag_run = 0;
+    }
+    if (info.seg == Seg::PassiveFlag && is_dominant(rec.driven[i])) {
+      violation(InvariantRule::FlagLegality, rec.t, node,
+                "error-passive node driving dominant in its flag");
+    }
+    if (info.seg == Seg::ExtFlag && !is_dominant(rec.driven[i])) {
+      violation(InvariantRule::FlagLegality, rec.t, node,
+                "extended flag bit driven recessive");
+    }
+  }
+
+  if (cfg_.end_game) {
+    if ((info.seg == Seg::Sampling || info.seg == Seg::ExtFlag) &&
+        p.variant != Variant::MajorCan) {
+      violation(InvariantRule::EndGameLegality, rec.t, node,
+                "MajorCAN end-game state under " + p.name());
+    }
+    if (info.seg == Seg::Eof &&
+        (info.index < 0 || info.index >= p.eof_bits())) {
+      violation(InvariantRule::EndGameLegality, rec.t, node,
+                "EOF position " + std::to_string(info.index) +
+                    " outside the " + std::to_string(p.eof_bits()) +
+                    "-bit field");
+    }
+    if ((info.seg == Seg::ErrorDelim || info.seg == Seg::OverloadDelim) &&
+        info.index > p.error_delim_total()) {
+      violation(InvariantRule::EndGameLegality, rec.t, node,
+                "delimiter count " + std::to_string(info.index) +
+                    " past its total of " +
+                    std::to_string(p.error_delim_total()));
+    }
+    if (sound_[i] && p.variant == Variant::MajorCan) {
+      if (info.seg == Seg::Sampling &&
+          (info.eof_rel == kNoEofRel || info.eof_rel > p.sample_end())) {
+        violation(InvariantRule::EndGameLegality, rec.t, node,
+                  "sampling at EOF-relative position " +
+                      std::to_string(info.eof_rel) +
+                      " outside the end-game (ends at 3m+4 = " +
+                      std::to_string(p.sample_end()) + ")");
+      }
+      if (info.seg == Seg::ExtFlag &&
+          (info.eof_rel == kNoEofRel || info.eof_rel > p.sample_end())) {
+        violation(InvariantRule::EndGameLegality, rec.t, node,
+                  "extended flag past position 3m+4 = " +
+                      std::to_string(p.sample_end()));
+      }
+    }
+  }
+
+  if (cfg_.counter_transitions) {
+    if (st.baseline) {
+      const int dtec = info.tec - st.tec;
+      // The implementation never bumps TEC by +1: every transmit error is
+      // +8 (ISO 11898 rules as modelled by FaultConfinement).
+      const bool tec_ok = dtec == 0 || dtec == -1 || dtec == 8 ||
+                          (info.tec == 0 && st.tec > 0);
+      if (!tec_ok) {
+        violation(InvariantRule::CounterTransition, rec.t, node,
+                  "TEC stepped " + std::to_string(st.tec) + " -> " +
+                      std::to_string(info.tec));
+      }
+      const int drec = info.rec - st.rec;
+      const bool rec_ok = drec == 0 || drec == 1 || drec == -1 || drec == 8 ||
+                          (info.rec == 0 && st.rec > 0) ||
+                          (st.rec > 127 && info.rec == 119);
+      if (!rec_ok) {
+        violation(InvariantRule::CounterTransition, rec.t, node,
+                  "REC stepped " + std::to_string(st.rec) + " -> " +
+                      std::to_string(info.rec));
+      }
+    }
+    if (info.tec >= cfg_.busoff_limit && is_dominant(rec.driven[i])) {
+      violation(InvariantRule::CounterTransition, rec.t, node,
+                "node at TEC " + std::to_string(info.tec) +
+                    " (bus-off limit " + std::to_string(cfg_.busoff_limit) +
+                    ") driving dominant");
+    }
+    st.tec = info.tec;
+    st.rec = info.rec;
+    st.baseline = true;
+  }
+}
+
+void InvariantChecker::check_reconvergence(const BitRecord& rec) {
+  // Ablation modes exist to demonstrate desynchronisation; agreement is not
+  // an invariant of those configurations.
+  for (std::size_t i = 0; i < sound_.size(); ++i) {
+    if (!sound_[i]) return;
+  }
+
+  int eligible = 0;
+  int first_fi = 0;
+  bool have_first = false;
+  bool disagree = false;
+  for (std::size_t i = 0; i < rec.info.size(); ++i) {
+    if (!rec.active[i] || states_[i].tainted) continue;
+    if (rec.info[i].seg != Seg::Idle) {
+      idle_reported_ = false;
+      return;  // not an all-idle bit; nothing to compare
+    }
+    ++eligible;
+    if (!have_first) {
+      first_fi = rec.info[i].frame_index;
+      have_first = true;
+    } else if (rec.info[i].frame_index != first_fi) {
+      disagree = true;
+    }
+  }
+  if (eligible >= 2 && disagree && !idle_reported_) {
+    std::string counts;
+    for (std::size_t i = 0; i < rec.info.size(); ++i) {
+      if (!rec.active[i] || states_[i].tainted) continue;
+      if (!counts.empty()) counts += ", ";
+      counts += std::to_string(rec.info[i].frame_index);
+    }
+    violation(InvariantRule::Reconvergence, rec.t, -1,
+              "bus idle but correct nodes disagree on the frame count (" +
+                  counts + ")");
+    idle_reported_ = true;  // one report per idle episode, not per bit
+  }
+}
+
+void InvariantChecker::check_events(const BitRecord& rec) {
+  const std::vector<Event>& evs = log_->events();
+  for (; next_event_ < evs.size(); ++next_event_) {
+    const Event& e = evs[next_event_];
+    if (e.t > rec.t) break;
+    if (e.t < rec.t) continue;  // emitted before observation began
+    const std::size_t i = e.node;  // Network convention: node id == slot
+    if (i >= rec.info.size() || i >= params_.size()) continue;
+    const ProtocolParams& p = params_[i];
+    const NodeBitInfo& info = rec.info[i];
+    const int node = static_cast<int>(i);
+
+    switch (e.kind) {
+      case EventKind::SamplingDecision:
+        if (!cfg_.end_game) break;
+        if (p.variant != Variant::MajorCan) {
+          violation(InvariantRule::EndGameLegality, e.t, node,
+                    "majority vote under " + p.name());
+        } else if (sound_[i] && info.eof_rel != p.sample_end()) {
+          violation(InvariantRule::EndGameLegality, e.t, node,
+                    "majority vote concluded at EOF-relative position " +
+                        std::to_string(info.eof_rel) + ", expected 3m+4 = " +
+                        std::to_string(p.sample_end()));
+        }
+        break;
+
+      case EventKind::ErrorFlagStart:
+        if (cfg_.flag_legality && (info.tec >= cfg_.passive_limit ||
+                                   info.rec >= cfg_.passive_limit)) {
+          violation(InvariantRule::FlagLegality, e.t, node,
+                    "active error flag from a node already at the "
+                    "error-passive limit (TEC " +
+                        std::to_string(info.tec) + ", REC " +
+                        std::to_string(info.rec) + ")");
+        }
+        break;
+
+      case EventKind::FrameAccepted:
+        if (!cfg_.end_game) break;
+        if (p.variant == Variant::StandardCan &&
+            e.detail == "last-EOF-bit rule") {
+          // The last-bit asymmetry: acceptance must come with an overload
+          // condition signalled on the same bit.
+          bool paired = false;
+          for (std::size_t j = next_event_ + 1;
+               j < evs.size() && evs[j].t == e.t; ++j) {
+            if (evs[j].node == e.node &&
+                evs[j].kind == EventKind::OverloadFlagStart) {
+              paired = true;
+              break;
+            }
+          }
+          if (!paired) {
+            violation(InvariantRule::EndGameLegality, e.t, node,
+                      "last-EOF-bit acceptance without the paired overload "
+                      "condition");
+          }
+        }
+        [[fallthrough]];
+
+      case EventKind::TxSuccess:
+        if (cfg_.end_game && p.variant == Variant::MinorCan &&
+            e.detail.find("Primary_error") != std::string::npos &&
+            info.seg != Seg::ErrorDelimWait) {
+          violation(InvariantRule::EndGameLegality, e.t, node,
+                    "Primary_error verdict outside the first bit after the "
+                    "node's own flag");
+        }
+        break;
+
+      default:
+        break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// InvariantScope
+// ---------------------------------------------------------------------------
+
+InvariantScope::InvariantScope(Network& net, InvariantConfig cfg)
+    : InvariantScope(net.sim(), network_params(net), &net.log(),
+                     std::move(cfg)) {}
+
+InvariantScope::InvariantScope(Simulator& sim,
+                               std::vector<ProtocolParams> per_node,
+                               const EventLog* log, InvariantConfig cfg)
+    : sim_(&sim), checker_(std::move(per_node), log, std::move(cfg)) {
+  handler_ = [](const InvariantReport& r) {
+    std::fputs(r.summary().c_str(), stderr);
+  };
+  sim_->add_observer(checker_);
+}
+
+InvariantScope::~InvariantScope() {
+  sim_->remove_observer(checker_);
+  if (!checker_.report().clean() && handler_) handler_(checker_.report());
+}
+
+}  // namespace mcan

@@ -1,0 +1,205 @@
+// Protocol invariant analyzer: an always-on conformance pass over the
+// bit-level trace stream.
+//
+// The credibility of every result in this repository rests on the
+// controller FSM implementing the paper's bit-level rules *exactly*.  This
+// module re-states those rules as observable invariants of the recorded
+// BitRecord stream (plus the event log) and validates every simulation
+// against them, in the spirit of the machine-checked CAN specifications of
+// van Glabbeek & Höfner (arXiv:1703.06569) and Spichkova (arXiv:1811.08128)
+// — but as a cheap streaming check instead of a proof:
+//
+//   WiredAnd          — the resolved bus level is the AND of all driven
+//                       levels, and each node's view differs from the bus
+//                       exactly where the injector marked a disturbance.
+//   StuffConformance  — the wire never shows 6 identical bits inside the
+//                       stuffed region (SOF..CRC); stuffing is the carrier
+//                       of error globalisation, so a quiet violation here
+//                       voids every error-signalling result.
+//   FlagLegality      — active error/overload flags are exactly 6 dominant
+//                       bits; error-passive flags never drive dominant;
+//                       MajorCAN extended flags drive dominant; a node whose
+//                       counters already exceed the passive limit never
+//                       starts an active flag.
+//   EndGameLegality   — variant-specific frame end-games: EOF indices stay
+//                       inside the field; the StandardCan last-bit
+//                       acceptance is always paired with an overload
+//                       condition; MinorCAN Primary_error verdicts happen on
+//                       the single bit after the node's own flag; MajorCAN
+//                       sampling/extended flags never run past EOF-relative
+//                       position 3m+4 and majority votes conclude exactly
+//                       there; delimiters stay within 2m+1 (8) bits.
+//   CounterTransition — TEC/REC move by ISO 11898 deltas only (+8, +1, -1,
+//                       the >127 -> 119 rebound, bus-off reset), and a node
+//                       at/above the bus-off limit never drives dominant.
+//   Reconvergence     — whenever the bus is idle, every correct node agrees
+//                       on how many frames have been on the wire (frame
+//                       boundary agreement after every end-game).
+//
+// Checks that need FSM introspection relax automatically for nodes running
+// ablation configurations (non-default DelimiterMode, disabled second-error
+// suppression, geometry overrides): those modes exist precisely to
+// demonstrate end-game breakage, so only the physical-layer rules apply.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "sim/event.hpp"
+#include "sim/simulator.hpp"
+
+namespace mcan {
+
+class Network;
+
+enum class InvariantRule : std::uint8_t {
+  WiredAnd,
+  StuffConformance,
+  FlagLegality,
+  EndGameLegality,
+  CounterTransition,
+  Reconvergence,
+};
+
+inline constexpr int kInvariantRuleCount = 6;
+
+[[nodiscard]] const char* invariant_rule_name(InvariantRule r);
+
+/// One observed violation, with bit-time and node provenance.
+struct InvariantViolation {
+  InvariantRule rule = InvariantRule::WiredAnd;
+  BitTime t = 0;
+  int node = -1;  ///< slot index in attach order; -1 = bus-wide
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct InvariantConfig {
+  bool wired_and = true;
+  bool stuff_conformance = true;
+  bool flag_legality = true;
+  bool end_game = true;
+  bool counter_transitions = true;
+  bool reconvergence = true;
+
+  /// Fault-confinement limits the counter/flag rules check against.  Must
+  /// match the bus's FaultConfinementConfig; disable the rules instead when
+  /// a scenario runs deliberately non-ISO limits.
+  int passive_limit = 128;
+  int busoff_limit = 256;
+
+  /// Violations stored verbatim; beyond this they are only counted.
+  std::size_t max_recorded = 64;
+};
+
+struct InvariantReport {
+  std::vector<InvariantViolation> violations;  ///< first max_recorded of them
+  std::size_t total = 0;
+  std::array<std::size_t, kInvariantRuleCount> by_rule{};
+  BitTime bits_checked = 0;
+
+  [[nodiscard]] bool clean() const { return total == 0; }
+
+  /// Count for one rule.
+  [[nodiscard]] std::size_t count(InvariantRule r) const {
+    return by_rule[static_cast<std::size_t>(r)];
+  }
+
+  /// Multi-line human-readable report (empty string when clean).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Streaming conformance checker.  Attach to a Simulator as a trace
+/// observer *before* the run; read `report()` any time.  Holds O(nodes)
+/// state — no trace is retained, so it is cheap enough to stay on for the
+/// largest campaigns.
+class InvariantChecker final : public TraceObserver {
+ public:
+  /// `per_node` — protocol parameters per attached node, in attach order.
+  /// An empty vector restricts checking to record-level rules (wired-AND),
+  /// the mode VCD replay uses.  `log` (optional, non-owning) enables the
+  /// event-anchored end-game checks; event node ids must equal slot indices
+  /// (the Network convention).
+  explicit InvariantChecker(std::vector<ProtocolParams> per_node = {},
+                            const EventLog* log = nullptr,
+                            InvariantConfig cfg = {});
+
+  void on_bit(const BitRecord& rec) override;
+
+  [[nodiscard]] const InvariantReport& report() const { return report_; }
+  [[nodiscard]] const InvariantConfig& config() const { return cfg_; }
+
+ private:
+  struct NodeState {
+    bool baseline = false;  ///< tec/rec baselines valid
+    bool tainted = false;   ///< ever crashed/off: excluded from reconvergence
+    int flag_run = 0;       ///< consecutive bits spent in an active flag
+    int tec = 0;
+    int rec = 0;
+  };
+
+  void violation(InvariantRule rule, BitTime t, int node, std::string msg);
+  void check_record_level(const BitRecord& rec);
+  void check_node(const BitRecord& rec, std::size_t i);
+  void check_reconvergence(const BitRecord& rec);
+  void check_events(const BitRecord& rec);
+
+  InvariantConfig cfg_;
+  std::vector<ProtocolParams> params_;
+  std::vector<bool> sound_;  ///< per node: not an ablation configuration
+  const EventLog* log_ = nullptr;
+  std::size_t next_event_ = 0;
+
+  InvariantReport report_;
+  std::vector<NodeState> states_;
+  Level stuff_run_level_ = Level::Recessive;
+  int stuff_run_len_ = 0;
+  bool idle_reported_ = false;  ///< one reconvergence report per idle episode
+};
+
+/// RAII harness: attaches an InvariantChecker to a simulator for the
+/// enclosing scope and, at scope exit, hands a non-clean report to the
+/// violation handler (default: stderr).  This is what turns every test and
+/// example that simulates a bus into a continuous protocol-conformance
+/// check:
+///
+///     Network net(5, ProtocolParams::major_can());
+///     InvariantScope invariants(net);
+///     ... run ...
+///     // scope exit: violations (if any) are reported
+class InvariantScope {
+ public:
+  using Handler = std::function<void(const InvariantReport&)>;
+
+  /// Convenience: checker over all nodes of `net`, wired to its event log.
+  explicit InvariantScope(Network& net, InvariantConfig cfg = {});
+
+  /// General form for hand-assembled buses.
+  InvariantScope(Simulator& sim, std::vector<ProtocolParams> per_node,
+                 const EventLog* log, InvariantConfig cfg = {});
+
+  InvariantScope(const InvariantScope&) = delete;
+  InvariantScope& operator=(const InvariantScope&) = delete;
+
+  ~InvariantScope();
+
+  [[nodiscard]] InvariantChecker& checker() { return checker_; }
+  [[nodiscard]] const InvariantReport& report() const {
+    return checker_.report();
+  }
+
+  /// Replace the scope-exit handler (e.g. with a gtest failure reporter).
+  void set_handler(Handler h) { handler_ = std::move(h); }
+
+ private:
+  Simulator* sim_;
+  InvariantChecker checker_;
+  Handler handler_;
+};
+
+}  // namespace mcan

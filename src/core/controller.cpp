@@ -3,7 +3,15 @@
 #include <cassert>
 #include <string>
 
+#include "util/contract.hpp"
+
 namespace mcan {
+
+// The kNoEofRel sentinel must stay strictly below every anchored
+// EOF-relative value, the lowest of which is the transmitter horizon
+// -(m+4); validate() rejects m above kMaxTolerance.
+static_assert(kNoEofRel < -(kMaxTolerance + 4),
+              "kNoEofRel collides with reachable EOF-relative anchors");
 
 namespace {
 std::string at_eof(int pos) {
@@ -192,6 +200,7 @@ void CanController::note_fc_state(BitTime t) {
 
 void CanController::start_transmission(BitTime t) {
   assert(!queue_.empty());
+  MCAN_ASSERT(st_ == St::Idle, "transmission may only start from bus idle");
   txe_.start(queue_.front(), cfg_.protocol.eof_bits());
   rx_.reset();  // runs in parallel so an arbitration loss can continue as rx
   st_ = St::Tx;
@@ -258,6 +267,7 @@ void CanController::after_own_flag() {
       delim_dom_run_ = 0;
       return;
     case AfterFlag::MajorSample:
+      MCAN_ASSERT(is_major(), "sampling end-game is MajorCAN-only");
       st_ = St::Sampling;
       vote_enabled_ = true;
       return;
@@ -268,7 +278,10 @@ void CanController::start_error_flag(BitTime t, AfterFlag next,
                                      const std::string& why) {
   after_flag_ = next;
   delim_is_overload_ = false;
-  if (fc_.error_passive()) {
+  // A node that just crossed into bus-off must not signal actively either:
+  // its last error is flagged passively (it stops driving the bus) until
+  // note_fc_state() detaches it on the next sampled bit.
+  if (fc_.error_passive() || fc_.off()) {
     st_ = St::PassiveFlag;
     passive_run_ = 0;
     emit(t, EventKind::PassiveFlagStart, why);
@@ -317,6 +330,8 @@ void CanController::tx_error(BitTime t, AfterFlag next, const std::string& why) 
 // ---------------------------------------------------------------------------
 
 void CanController::accept_frame(BitTime t, const char* how) {
+  MCAN_ASSERT(!tx_role_, "only receivers accept frames");
+  MCAN_ASSERT(have_rx_frame_, "acceptance requires a completely parsed body");
   fc_.on_rx_success();
   have_rx_frame_ = false;
   emit(t, EventKind::FrameAccepted, how, rx_.frame());
@@ -331,6 +346,9 @@ void CanController::reject_frame(BitTime t, const char* why) {
 }
 
 void CanController::tx_success(BitTime t, const char* how) {
+  MCAN_ASSERT(tx_role_ && tx_in_flight_,
+              "tx verdict without a transmission in flight");
+  MCAN_ASSERT(!queue_.empty(), "tx verdict with an empty queue");
   fc_.on_tx_success();
   tx_in_flight_ = false;
   Frame f = queue_.front();
@@ -358,6 +376,7 @@ void CanController::tx_rejected(BitTime t, const char* why) {
 // ---------------------------------------------------------------------------
 
 void CanController::handle_tx_bit(BitTime t, Level sent, Level view) {
+  MCAN_ASSERT(tx_role_, "Tx state entered without the transmitter role");
   // Keep the receive parser in lockstep so an arbitration loss can continue
   // seamlessly as a reception.
   if (!rx_.done()) rx_.push(view);
@@ -430,6 +449,7 @@ void CanController::handle_tx_bit(BitTime t, Level sent, Level view) {
 void CanController::handle_eof_error_tx(BitTime t, int pos) {
   const ProtocolParams& p = cfg_.protocol;
   const int last = p.eof_bits() - 1;
+  MCAN_ASSERT(pos >= 0 && pos <= last, "EOF error outside the EOF field");
 
   switch (p.variant) {
     case Variant::StandardCan:
@@ -534,6 +554,8 @@ void CanController::handle_rx_tail_bit(BitTime t, Level view) {
 
 void CanController::handle_rx_eof_bit(BitTime t, Level view) {
   const int pos = eof_rel_;
+  MCAN_ASSERT(pos >= 0 && pos < cfg_.protocol.eof_bits(),
+              "receiver EOF position out of range");
   if (is_dominant(view)) {
     handle_eof_error_rx(t, pos);
     bump_eof_rel();
@@ -593,6 +615,8 @@ void CanController::handle_eof_error_rx(BitTime t, int pos) {
 // ---------------------------------------------------------------------------
 
 void CanController::handle_flag_bit(BitTime, Level /*view*/) {
+  MCAN_ASSERT(flag_sent_ < ProtocolParams::flag_bits(),
+              "active flag longer than 6 bits");
   // While transmitting a flag the node does not evaluate new errors.
   ++flag_sent_;
   bump_eof_rel();
@@ -661,6 +685,7 @@ void CanController::handle_delim_wait_bit(BitTime t, Level view) {
 
 void CanController::handle_delim_bit(BitTime t, Level view) {
   const int total = cfg_.protocol.error_delim_total();
+  MCAN_ASSERT(delim_seen_ < total, "delimiter count past its total length");
 
   bump_eof_rel();
 
@@ -711,6 +736,8 @@ void CanController::handle_delim_bit(BitTime t, Level view) {
 }
 
 void CanController::handle_sampling_bit(BitTime t, Level view) {
+  MCAN_ASSERT(is_major(), "Sampling state is MajorCAN-only");
+  MCAN_ASSERT(eof_rel_ != kNoEofRel, "sampling requires an EOF anchor");
   const ProtocolParams& p = cfg_.protocol;
   const int pos = eof_rel_;
 
@@ -749,6 +776,8 @@ void CanController::handle_sampling_bit(BitTime t, Level view) {
 
 void CanController::conclude_sampling(BitTime t) {
   const ProtocolParams& p = cfg_.protocol;
+  MCAN_ASSERT(samples_seen_ == p.sample_count(),
+              "majority vote must cover all 2m-1 window bits");
   const bool accept = samples_dom_ >= p.majority();
   emit(t, EventKind::SamplingDecision,
        (accept ? "accept: " : "reject: ") + std::to_string(samples_dom_) +
@@ -772,6 +801,8 @@ void CanController::conclude_sampling(BitTime t) {
 }
 
 void CanController::handle_ext_flag_bit(BitTime, Level /*view*/) {
+  MCAN_ASSERT(is_major(), "extended flags are MajorCAN-only");
+  MCAN_ASSERT(eof_rel_ != kNoEofRel, "extended flag requires an EOF anchor");
   const int pos = eof_rel_;
   bump_eof_rel();
   if (pos >= cfg_.protocol.sample_end()) {
@@ -811,7 +842,9 @@ NodeBitInfo CanController::bit_info() const {
   NodeBitInfo info;
   info.frame_index = frame_index_;
   info.transmitter = tx_role_;
-  info.eof_rel = eof_rel_ == kNoEofRel ? -1 : eof_rel_;
+  info.eof_rel = eof_rel_;
+  info.tec = fc_.tec();
+  info.rec = fc_.rec();
 
   switch (st_) {
     case St::Idle:

@@ -136,9 +136,13 @@ class CanController final : public BusParticipant {
     MajorSample,    ///< MajorCAN: enter the sampling window
   };
 
-  /// Sentinel for "no EOF-relative anchor"; real values run from -3 (CRC
-  /// delimiter) through the MajorCAN end-game positions.
-  static constexpr int kNoEofRel = -1000;
+  // eof_rel_ uses the shared kNoEofRel sentinel (sim/bus.hpp).  Anchored
+  // values span [-(m+4), 3m+4 + error_delim_total()]: receivers anchor at
+  // -3 (CRC delimiter); transmitters anchor once within m+4 bits of EOF
+  // (handle_tx_bit); bump_eof_rel() then advances the anchor through the
+  // end-game and delimiter.  Every comparison against the sentinel must be
+  // an exact equality test — ordering comparisons (e.g. `eof_rel_ >= 0`)
+  // would silently treat the sentinel as a position.
 
   // --- helpers ---
   void start_transmission(BitTime t);

@@ -44,6 +44,12 @@ void ProtocolParams::validate() const {
         "MajorCAN requires m >= 3: with 2 errors the Fig. 3a scenario "
         "defeats any smaller tolerance (paper, section 5)");
   }
+  if (variant == Variant::MajorCan && m > kMaxTolerance) {
+    throw std::invalid_argument(
+        "MajorCAN tolerance m exceeds kMaxTolerance; the EOF-relative "
+        "anchor range [-(m+4), 3m+4] must stay clear of the kNoEofRel "
+        "sentinel");
+  }
 }
 
 int ProtocolParams::eof_bits() const {

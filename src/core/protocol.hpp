@@ -52,6 +52,12 @@ enum class DelimiterMode : std::uint8_t {
 
 [[nodiscard]] const char* delimiter_mode_name(DelimiterMode m);
 
+/// Upper bound on the MajorCAN tolerance parameter m, enforced by
+/// ProtocolParams::validate().  Keeps every EOF-relative anchor value
+/// (which run from -(m+4)) strictly above the kNoEofRel sentinel, and
+/// frames within any plausible hardware budget (m = 5 is the paper's pick).
+inline constexpr int kMaxTolerance = 100;
+
 struct ProtocolParams {
   Variant variant = Variant::StandardCan;
   /// MajorCAN error-tolerance parameter; the paper proposes m = 5 to match

@@ -146,7 +146,8 @@ ScenarioSpec load_scenario_file(const std::string& path) {
   return spec;
 }
 
-DslRunResult run_scenario(const ScenarioSpec& spec) {
+DslRunResult run_scenario(const ScenarioSpec& spec,
+                          const InvariantConfig& inv) {
   // Reuse the figure engine for the run + trace, then layer the crash.
   Network net(spec.n_nodes, spec.protocol);
   net.enable_trace();
@@ -154,13 +155,21 @@ DslRunResult run_scenario(const ScenarioSpec& spec) {
   net.set_injector(inj);
   if (spec.crash) net.sim().schedule_crash(spec.crash->first, spec.crash->second);
 
+  InvariantScope invariants(net, inv);
+
   const Frame frame =
       make_tagged_frame(spec.frame_id, MsgKind::Data, MessageKey{0, 1},
                         std::max<std::uint8_t>(4, spec.frame_dlc));
   net.node(0).enqueue(frame);
   net.run_until_quiet(30000);
+  // run_until_quiet stops *before* an all-idle bit is ever recorded (the
+  // predicate is checked pre-step), so the reconvergence rule would never
+  // see an idle record.  Step a short cooldown so it does.
+  for (int i = 0; i < 2 * spec.protocol.eof_bits(); ++i) net.sim().step();
 
   DslRunResult res;
+  res.invariants = invariants.report();
+  invariants.set_handler(nullptr);  // report travels in the result instead
   res.outcome.name = spec.name.empty() ? "scenario" : spec.name;
   res.outcome.protocol = spec.protocol;
   res.outcome.tx_node = 0;

@@ -17,6 +17,7 @@
 
 #include <string>
 
+#include "analysis/invariants.hpp"
 #include "scenario/figures.hpp"
 
 namespace mcan {
@@ -45,9 +46,13 @@ struct DslRunResult {
   ScenarioOutcome outcome;
   bool expectation_met = true;
   std::string expectation_text;
+  InvariantReport invariants;  ///< protocol conformance of the whole run
 };
 
-/// Run the scenario and evaluate its `expect` clause.
-[[nodiscard]] DslRunResult run_scenario(const ScenarioSpec& spec);
+/// Run the scenario and evaluate its `expect` clause.  Every run is also
+/// watched by an InvariantChecker; its report lands in the result (pass a
+/// config to tune or disable individual rules).
+[[nodiscard]] DslRunResult run_scenario(const ScenarioSpec& spec,
+                                        const InvariantConfig& inv = {});
 
 }  // namespace mcan

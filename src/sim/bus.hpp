@@ -40,14 +40,26 @@ enum class Seg : std::uint8_t {
 
 [[nodiscard]] const char* seg_name(Seg s);
 
+/// Sentinel for "no EOF-relative anchor".
+///
+/// Contract: anchored values are *negative as well as positive* — a receiver
+/// anchors at -3 (CRC delimiter), and a transmitter anchors as early as
+/// -(m+4) (the horizon within which an error flag can reach someone else's
+/// end-game).  The sentinel therefore must compare strictly below every
+/// reachable anchored value; ProtocolParams::validate() bounds the tolerance
+/// parameter m so that -(m+4) can never reach it (see kMaxTolerance).
+inline constexpr int kNoEofRel = -1000;
+
 /// Everything the simulator / injector / tracer can know about a node's
 /// position at the current bit time.
 struct NodeBitInfo {
   Seg seg = Seg::Idle;
   int index = 0;          ///< bit index within the segment, 0-based
-  int eof_rel = -1;       ///< 0-based position relative to EOF start, if anchored
+  int eof_rel = kNoEofRel;///< position relative to EOF start; kNoEofRel if unanchored
   int frame_index = -1;   ///< how many frame starts this node has seen (0-based)
   bool transmitter = false;
+  int tec = 0;            ///< transmit error counter snapshot (fault confinement)
+  int rec = 0;            ///< receive error counter snapshot (fault confinement)
 };
 
 /// A bus participant: one CAN (or variant) controller.

@@ -23,6 +23,10 @@ void Simulator::schedule_crash(NodeId node, BitTime t) {
   throw std::invalid_argument("schedule_crash: unknown node");
 }
 
+void Simulator::remove_observer(TraceObserver& obs) {
+  std::erase(observers_, &obs);
+}
+
 bool Simulator::crashed(NodeId node) const {
   for (const Slot& s : nodes_) {
     if (s.node->id() == node) return s.crashed;
@@ -51,7 +55,8 @@ void Simulator::step() {
     Slot& s = nodes_[i];
     if (s.crashed || !s.node->active()) {
       driven_[i] = Level::Recessive;
-      infos_[i] = NodeBitInfo{Seg::Off, 0, -1, -1, false};
+      infos_[i] = NodeBitInfo{};
+      infos_[i].seg = Seg::Off;
       continue;
     }
     driven_[i] = s.node->drive(now_);

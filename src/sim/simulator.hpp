@@ -35,6 +35,10 @@ class Simulator {
   /// Install a trace observer (non-owning).  Optional.
   void add_observer(TraceObserver& obs) { observers_.push_back(&obs); }
 
+  /// Detach a previously added observer (no-op if absent), so an observer
+  /// with a shorter lifetime than the simulator can unhook itself.
+  void remove_observer(TraceObserver& obs);
+
   /// Mark a node crashed (fail-silent) from bit time `t` on.
   void schedule_crash(NodeId node, BitTime t);
 

@@ -1,6 +1,9 @@
 #include "sim/vcd.hpp"
 
 #include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
 
 namespace mcan {
 
@@ -89,6 +92,135 @@ bool write_vcd_file(const std::string& path, const TraceRecorder& trace,
   if (!f) return false;
   f << trace_to_vcd(trace, labels);
   return static_cast<bool>(f);
+}
+
+namespace {
+
+/// What one VCD wire means in the trace_to_vcd layout.
+struct SignalRole {
+  enum Kind { Bus, Drive, View, Fault } kind = Bus;
+  std::size_t node = 0;
+};
+
+Level level_from_vcd(char c) {
+  // 'x'/'z' (never emitted by trace_to_vcd, but legal VCD) read as the
+  // idle level.
+  return c == '0' ? Level::Dominant : Level::Recessive;
+}
+
+}  // namespace
+
+VcdTrace parse_vcd(const std::string& text) {
+  VcdTrace out;
+  std::map<std::string, SignalRole> roles;  // VCD id -> meaning
+  std::map<std::string, std::size_t> node_of_label;
+
+  std::istringstream in(text);
+  std::string tok;
+
+  // --- header: collect $var declarations until $enddefinitions ---
+  while (in >> tok) {
+    if (tok == "$enddefinitions") break;
+    if (tok != "$var") continue;
+    std::string type, width, id, name;
+    if (!(in >> type >> width >> id >> name)) {
+      throw std::invalid_argument("vcd: truncated $var declaration");
+    }
+    SignalRole role;
+    if (name == "BUS") {
+      role.kind = SignalRole::Bus;
+    } else {
+      const auto dot = name.rfind('.');
+      if (dot == std::string::npos) {
+        throw std::invalid_argument("vcd: unrecognised signal name: " + name);
+      }
+      const std::string base = name.substr(0, dot);
+      const std::string field = name.substr(dot + 1);
+      if (field == "drive") {
+        role.kind = SignalRole::Drive;
+      } else if (field == "view") {
+        role.kind = SignalRole::View;
+      } else if (field == "fault") {
+        role.kind = SignalRole::Fault;
+      } else {
+        throw std::invalid_argument("vcd: unrecognised signal name: " + name);
+      }
+      auto [it, fresh] = node_of_label.try_emplace(base, out.labels.size());
+      if (fresh) out.labels.push_back(base);
+      role.node = it->second;
+    }
+    roles[id] = role;
+  }
+  if (roles.empty()) {
+    throw std::invalid_argument("vcd: no signal declarations found");
+  }
+
+  const std::size_t n = out.labels.size();
+  Level bus = Level::Recessive;
+  std::vector<Level> driven(n, Level::Recessive);
+  std::vector<Level> view(n, Level::Recessive);
+  std::vector<bool> disturbed(n, false);
+
+  bool have_time = false;
+  BitTime t = 0;
+
+  auto emit_until = [&](BitTime end) {
+    for (; t < end; ++t) {
+      BitRecord rec;
+      rec.t = t;
+      rec.bus = bus;
+      rec.driven = driven;
+      rec.view = view;
+      rec.disturbed = disturbed;
+      rec.info.assign(n, NodeBitInfo{});
+      rec.active.assign(n, true);
+      out.bits.push_back(std::move(rec));
+    }
+  };
+
+  // --- body: timestamps and value changes ---
+  while (in >> tok) {
+    if (tok.empty()) continue;
+    if (tok[0] == '$') {
+      // $dumpvars wraps initial value changes: process its contents
+      // normally.  Any other directive is skipped through its $end.
+      if (tok == "$dumpvars" || tok == "$end") continue;
+      std::string skip;
+      while (in >> skip && skip != "$end") {
+      }
+      continue;
+    }
+    if (tok[0] == '#') {
+      const BitTime next = std::stoull(tok.substr(1));
+      if (have_time) emit_until(next);
+      t = next;
+      have_time = true;
+      continue;
+    }
+    // Scalar value change: <value><id>.
+    const char v = tok[0];
+    const std::string id = tok.substr(1);
+    const auto it = roles.find(id);
+    if (it == roles.end()) {
+      throw std::invalid_argument("vcd: value change for undeclared id: " + id);
+    }
+    const SignalRole& role = it->second;
+    switch (role.kind) {
+      case SignalRole::Bus: bus = level_from_vcd(v); break;
+      case SignalRole::Drive: driven[role.node] = level_from_vcd(v); break;
+      case SignalRole::View: view[role.node] = level_from_vcd(v); break;
+      case SignalRole::Fault: disturbed[role.node] = v == '1'; break;
+    }
+  }
+  return out;
+}
+
+VcdTrace read_vcd_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::invalid_argument("cannot open VCD file: " + path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return parse_vcd(buf.str());
 }
 
 }  // namespace mcan

@@ -21,4 +21,20 @@ namespace mcan {
 bool write_vcd_file(const std::string& path, const TraceRecorder& trace,
                     const std::vector<std::string>& labels);
 
+/// A trace reconstructed from a VCD file in the trace_to_vcd() signal
+/// layout (BUS plus per-node drive/view/fault wires).  FSM introspection
+/// (NodeBitInfo) is not serialised in VCD, so records carry default info
+/// and only record-level invariants can be checked against them.
+struct VcdTrace {
+  std::vector<std::string> labels;  ///< node display names, signal order
+  std::vector<BitRecord> bits;
+};
+
+/// Parse VCD text; throws std::invalid_argument on malformed input or a
+/// signal layout this reader does not understand.
+[[nodiscard]] VcdTrace parse_vcd(const std::string& text);
+
+/// Load and parse a VCD file; throws std::invalid_argument on I/O failure.
+[[nodiscard]] VcdTrace read_vcd_file(const std::string& path);
+
 }  // namespace mcan

@@ -1,0 +1,16 @@
+#include "util/contract.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mcan::detail {
+
+void contract_failed(const char* condition, const char* message,
+                     const char* file, int line) {
+  std::fprintf(stderr, "MCAN contract violated: %s\n  %s:%d: %s\n", message,
+               file, line, condition);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace mcan::detail

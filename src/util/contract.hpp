@@ -1,0 +1,29 @@
+// MCAN_ASSERT: debug-build contract checks for the protocol FSMs.
+//
+// Compiled in only when MCAN_ENABLE_CONTRACTS is defined (CMake option
+// MCAN_CONTRACTS); release builds pay nothing.  Unlike the invariant
+// analyzer — which observes the bus from outside and tolerates violations
+// long enough to report them — a contract breach means the controller's own
+// internal state is inconsistent, so the process aborts at the first one
+// with file/line provenance.
+#pragma once
+
+namespace mcan::detail {
+
+/// Prints the violated contract and aborts.  Out-of-line so the macro
+/// expansion stays tiny and the header needs no <cstdio>/<cstdlib>.
+[[noreturn]] void contract_failed(const char* condition, const char* message,
+                                  const char* file, int line);
+
+}  // namespace mcan::detail
+
+#if defined(MCAN_ENABLE_CONTRACTS)
+#define MCAN_ASSERT(cond, msg)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::mcan::detail::contract_failed(#cond, msg, __FILE__, __LINE__);  \
+    }                                                                   \
+  } while (false)
+#else
+#define MCAN_ASSERT(cond, msg) ((void)0)
+#endif

@@ -2,6 +2,8 @@
 // periodic scheduler with overrun accounting.
 #include <gtest/gtest.h>
 
+#include "invariant_gtest.hpp"
+
 #include "app/scheduler.hpp"
 #include "app/signals.hpp"
 #include "core/network.hpp"
@@ -146,6 +148,7 @@ TEST(Signals, DecodeRejectsWrongFrame) {
 
 TEST(Scheduler, ReleasesOnSchedule) {
   Network net(2, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   PeriodicScheduler sched(net.node(0));
   MessageSpec spec = engine_spec();
   int samples = 0;
@@ -172,6 +175,7 @@ TEST(Scheduler, ReleasesOnSchedule) {
 
 TEST(Scheduler, PhaseStaggering) {
   Network net(2, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   PeriodicScheduler sched(net.node(0));
   MessageSpec a = engine_spec();
   MessageSpec b = engine_spec();
@@ -195,6 +199,7 @@ TEST(Scheduler, OverrunSupersedesStaleInstance) {
   // must never grow beyond one pending instance and the receiver must see
   // the *latest* sample, not a backlog.
   Network net(2, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   PeriodicScheduler sched(net.node(0));
   MessageSpec spec = engine_spec();
   int sample = 0;

@@ -2,6 +2,8 @@
 // protocols under bursty (vs randomly distributed) disturbances.
 #include <gtest/gtest.h>
 
+#include "invariant_gtest.hpp"
+
 #include "analysis/tagged.hpp"
 #include "core/network.hpp"
 #include "fault/burst_faults.hpp"
@@ -92,6 +94,7 @@ TEST(Burst, MajorCanBudgetHoldsForShortBurstsInTheTail) {
   // design budget: scripted as m consecutive flips at the worst spot.
   const int m = 5;
   Network net(4, ProtocolParams::major_can(m));
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   for (int d = 0; d < m; ++d) {
     inj.add(FaultTarget::eof_relative(1, m - 1 + d));  // burst across the split

@@ -2,6 +2,8 @@
 // switch-off rule, and ISO 11898 bus-off auto-recovery.
 #include <gtest/gtest.h>
 
+#include "invariant_gtest.hpp"
+
 #include "core/network.hpp"
 #include "fault/scripted.hpp"
 
@@ -10,6 +12,7 @@ namespace {
 
 TEST(BusOff, LoneTransmitterStaysOffByDefault) {
   Network net(1, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   net.node(0).enqueue(Frame::make_blank(0x1, 0));
   net.run_until_quiet(60000);
   EXPECT_EQ(net.node(0).fc_state(), FcState::BusOff);
@@ -20,6 +23,7 @@ TEST(BusOff, LoneTransmitterStaysOffByDefault) {
 
 TEST(BusOff, EnteredErrorPassiveEventEmitted) {
   Network net(1, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   net.node(0).enqueue(Frame::make_blank(0x1, 0));
   net.run_until_quiet(60000);
   EXPECT_EQ(net.log().count(EventKind::EnteredErrorPassive, 0), 1u)

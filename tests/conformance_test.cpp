@@ -4,6 +4,8 @@
 // outcomes.  These anchor the simulator to ISO 11898 behaviour.
 #include <gtest/gtest.h>
 
+#include "invariant_gtest.hpp"
+
 #include "analysis/tagged.hpp"
 #include "core/network.hpp"
 #include "fault/scripted.hpp"
@@ -30,8 +32,9 @@ std::vector<BitTime> dominant_times(const TraceRecorder& trace, int node,
 
 struct Rig {
   Network net{2, ProtocolParams::standard_can()};
+  ScopedInvariants invariants{net};
   explicit Rig(int n, const ProtocolParams& p = ProtocolParams::standard_can())
-      : net(n, p) {
+      : net(n, p), invariants(net) {
     net.enable_trace();
   }
 };

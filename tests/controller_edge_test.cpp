@@ -3,6 +3,8 @@
 // receivers, and recovery of the bus after a fake start of frame.
 #include <gtest/gtest.h>
 
+#include "invariant_gtest.hpp"
+
 #include "core/network.hpp"
 #include "fault/scripted.hpp"
 #include "frame/encoder.hpp"
@@ -19,6 +21,7 @@ TEST(ControllerEdge, OversizedDlcCarriesEightBytesOnTheWire) {
     f.data[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i + 1);
   }
   Network net(2, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   net.node(0).enqueue(f);
   ASSERT_TRUE(net.run_until_quiet());
   ASSERT_EQ(net.deliveries(1).size(), 1u);
@@ -35,6 +38,7 @@ TEST(ControllerEdge, RemoteFrameRequestResponse) {
   // Classic RTR usage: node 1 answers a remote request for id 0x155 with
   // the matching data frame.
   Network net(3, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   const std::uint8_t value[] = {0x42, 0x99};
   net.node(1).add_delivery_handler([&net, &value](const Frame& f, BitTime) {
     if (f.remote && f.id == 0x155) {
@@ -55,6 +59,7 @@ TEST(ControllerEdge, FakeSofInIntermissionRecovers) {
   // nonexistent frame; the resulting error frame delays the bus but every
   // later frame still arrives everywhere exactly once.
   Network net(3, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   FaultTarget t;
   t.node = 1;
@@ -72,6 +77,7 @@ TEST(ControllerEdge, FakeSofInIntermissionRecovers) {
 
 TEST(ControllerEdge, FakeSofWhileIdleRecovers) {
   Network net(3, ProtocolParams::major_can(5));
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   FaultTarget t;
   t.node = 2;
@@ -88,6 +94,7 @@ TEST(ControllerEdge, FakeSofWhileIdleRecovers) {
 
 TEST(ControllerEdge, ErrorPassiveReceiverStillAcksAndDelivers) {
   Network net(2, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   net.node(1).force_error_counters(0, 130);
   EXPECT_EQ(net.node(1).fc_state(), FcState::ErrorPassive);
   net.node(0).enqueue(Frame::make_blank(0x42, 1));
@@ -120,6 +127,7 @@ TEST(ControllerEdge, ReplacePendingSupersedesQueuedOnly) {
 TEST(ControllerEdge, MajorCanDlc0FrameEndGame) {
   // The shortest possible frame still carries the full end-game.
   Network net(4, ProtocolParams::major_can(5));
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   inj.add(FaultTarget::eof_bit(1, 7));  // second sub-field
   net.set_injector(inj);

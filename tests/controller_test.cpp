@@ -3,6 +3,8 @@
 // retransmission, and fault confinement driven through real traffic.
 #include <gtest/gtest.h>
 
+#include "invariant_gtest.hpp"
+
 #include "core/network.hpp"
 #include "fault/scripted.hpp"
 #include "frame/encoder.hpp"
@@ -20,6 +22,7 @@ Frame test_frame(std::uint32_t id = 0x123, std::uint8_t dlc = 2) {
 
 TEST(Controller, CleanBroadcastDeliversToAllOnce) {
   Network net(4, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   const Frame f = test_frame();
   net.node(0).enqueue(f);
   ASSERT_TRUE(net.run_until_quiet());
@@ -35,6 +38,7 @@ TEST(Controller, CleanBroadcastDeliversToAllOnce) {
 
 TEST(Controller, CleanBroadcastTimingMatchesWireLength) {
   Network net(2, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   const Frame f = test_frame();
   net.node(0).enqueue(f);
   ASSERT_TRUE(net.run_until_quiet());
@@ -46,6 +50,7 @@ TEST(Controller, CleanBroadcastTimingMatchesWireLength) {
 
 TEST(Controller, BackToBackFramesFromOneNode) {
   Network net(3, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   for (int k = 0; k < 5; ++k) net.node(0).enqueue(test_frame(0x100 + k, 1));
   ASSERT_TRUE(net.run_until_quiet());
   for (int i = 1; i < 3; ++i) {
@@ -59,6 +64,7 @@ TEST(Controller, BackToBackFramesFromOneNode) {
 
 TEST(Controller, ArbitrationLowestIdWins) {
   Network net(3, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   net.node(0).enqueue(test_frame(0x200));
   net.node(1).enqueue(test_frame(0x100));
   ASSERT_TRUE(net.run_until_quiet());
@@ -78,6 +84,7 @@ TEST(Controller, ArbitrationLowestIdWins) {
 TEST(Controller, ArbitrationManyContenders) {
   const int n = 8;
   Network net(n, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   for (int i = 0; i < n; ++i) {
     net.node(i).enqueue(test_frame(0x100 + static_cast<std::uint32_t>(n - i), 1));
   }
@@ -97,6 +104,7 @@ TEST(Controller, NoAckMeansAckErrorAndEventualBusOff) {
   // A transmitter alone on the bus never gets an ACK: it must signal an ACK
   // error, retransmit, and accumulate TEC +8 per attempt until bus-off.
   Network net(1, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   net.node(0).enqueue(test_frame());
   net.run_until_quiet(60000);
   EXPECT_EQ(net.node(0).fc_state(), FcState::BusOff);
@@ -138,6 +146,7 @@ TEST(Controller, MidFrameCorruptionRetransmitsConsistently) {
   // retransmission leaves every receiver with exactly one copy.
   for (int body_bit = 16; body_bit < 26; ++body_bit) {
     Network net(4, ProtocolParams::standard_can());
+    ScopedInvariants net_invariants(net);
     ScriptedFaults inj;
     FaultTarget t;
     t.node = 1;
@@ -158,6 +167,7 @@ TEST(Controller, TransmitterBitErrorRetransmits) {
   // Flip the transmitter's own view of a body bit: bit error, flag,
   // retransmission.
   Network net(3, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   FaultTarget t;
   t.node = 0;
@@ -175,6 +185,7 @@ TEST(Controller, TransmitterBitErrorRetransmits) {
 
 TEST(Controller, ReceiverErrorBumpsRec) {
   Network net(3, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   FaultTarget t;
   t.node = 1;
@@ -219,6 +230,7 @@ TEST(Controller, LastEofBitRuleAcceptsAndOverloads) {
   // the frame and signals an overload condition; the transmitter, clean,
   // does not retransmit.
   Network net(3, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   inj.add(FaultTarget::eof_bit(1, 6));
   net.set_injector(inj);
@@ -232,6 +244,7 @@ TEST(Controller, LastEofBitRuleAcceptsAndOverloads) {
 
 TEST(Controller, OverloadAtIntermissionDelaysNextFrame) {
   Network net(2, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   FaultTarget t;
   t.node = 1;
@@ -248,6 +261,7 @@ TEST(Controller, OverloadAtIntermissionDelaysNextFrame) {
 
 TEST(Controller, EnqueueWhileBusBusyWaits) {
   Network net(3, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   net.node(0).enqueue(test_frame(0x100, 8));
   net.sim().run(20);  // frame 0 is mid-flight
   net.node(1).enqueue(test_frame(0x050, 1));
@@ -262,6 +276,7 @@ TEST(Controller, IdenticalFramesMergeOnTheBus) {
   // Two nodes transmitting the same frame at the same bit: every wire bit
   // coincides, both see success.
   Network net(3, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   const Frame f = test_frame(0x0aa, 1);
   net.node(0).enqueue(f);
   net.node(1).enqueue(f);
@@ -279,6 +294,7 @@ TEST(Controller, MinorCanValidatesProtocol) {
 TEST(Controller, MajorCanCleanBroadcast) {
   for (int m : {3, 4, 5, 7}) {
     Network net(4, ProtocolParams::major_can(m));
+    ScopedInvariants net_invariants(net);
     const Frame f = test_frame();
     net.node(0).enqueue(f);
     ASSERT_TRUE(net.run_until_quiet()) << "m=" << m;
@@ -293,6 +309,7 @@ TEST(Controller, MajorCanCleanBroadcast) {
 
 TEST(Controller, MinorCanCleanBroadcast) {
   Network net(4, ProtocolParams::minor_can());
+  ScopedInvariants net_invariants(net);
   net.node(0).enqueue(test_frame());
   ASSERT_TRUE(net.run_until_quiet());
   for (int i = 1; i < 4; ++i) EXPECT_EQ(net.deliveries(i).size(), 1u);

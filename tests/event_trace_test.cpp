@@ -1,6 +1,8 @@
 // Tests for the event log and the ASCII trace renderer.
 #include <gtest/gtest.h>
 
+#include "invariant_gtest.hpp"
+
 #include "core/network.hpp"
 #include "fault/scripted.hpp"
 #include "sim/event.hpp"
@@ -56,6 +58,7 @@ TEST(SegNames, AllDistinct) {
 
 TEST(Trace, WindowedRenderContainsOnlyRequestedBits) {
   Network net(2, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   net.enable_trace();
   net.node(0).enqueue(Frame::make_blank(0x3c, 0));
   ASSERT_TRUE(net.run_until_quiet());
@@ -74,12 +77,14 @@ TEST(Trace, WindowedRenderContainsOnlyRequestedBits) {
 
 TEST(Trace, DisturbanceBandOnlyWhenDisturbed) {
   Network clean(2, ProtocolParams::standard_can());
+  ScopedInvariants clean_invariants(clean);
   clean.enable_trace();
   clean.node(0).enqueue(Frame::make_blank(0x3c, 0));
   ASSERT_TRUE(clean.run_until_quiet());
   EXPECT_EQ(clean.trace().render(clean.labels()).find('*'), std::string::npos);
 
   Network dirty(2, ProtocolParams::standard_can());
+  ScopedInvariants dirty_invariants(dirty);
   dirty.enable_trace();
   ScriptedFaults inj;
   inj.add(FaultTarget::eof_bit(1, 3));
@@ -91,6 +96,7 @@ TEST(Trace, DisturbanceBandOnlyWhenDisturbed) {
 
 TEST(Trace, CrashedNodeRendersDots) {
   Network net(3, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   net.enable_trace();
   net.sim().schedule_crash(2, 5);
   net.node(0).enqueue(Frame::make_blank(0x3c, 0));
@@ -101,6 +107,7 @@ TEST(Trace, CrashedNodeRendersDots) {
 
 TEST(Network, LabelsMatchSize) {
   Network net(4, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   EXPECT_EQ(net.labels().size(), 4u);
   EXPECT_EQ(net.labels()[2], "node 2");
 }

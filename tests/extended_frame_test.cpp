@@ -4,6 +4,8 @@
 // unchanged on extended frames.
 #include <gtest/gtest.h>
 
+#include "invariant_gtest.hpp"
+
 #include "core/network.hpp"
 #include "fault/scripted.hpp"
 #include "frame/encoder.hpp"
@@ -58,6 +60,7 @@ TEST(ExtendedFrame, ArbitrationPhaseCoversBothIdFields) {
 
 TEST(ExtendedFrame, BroadcastDeliversEverywhere) {
   Network net(4, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   const std::uint8_t bytes[] = {0xca, 0xfe};
   const Frame f = Frame::make_extended(0xabcdef, bytes);
   net.node(0).enqueue(f);
@@ -73,6 +76,7 @@ TEST(ExtendedFrame, StandardBeatsExtendedWithSameBaseId) {
   // same 11-bit base identifier — its RTR/IDE bits are dominant where the
   // extended frame sends recessive SRR/IDE.
   Network net(3, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   const Frame ext = Frame::make_extended(0x155u << kExtIdBits, {});
   const Frame std_f = Frame::make_blank(0x155, 1);
   net.node(0).enqueue(ext);
@@ -86,6 +90,7 @@ TEST(ExtendedFrame, StandardBeatsExtendedWithSameBaseId) {
 
 TEST(ExtendedFrame, LowerExtensionIdWinsAmongExtended) {
   Network net(3, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   net.node(0).enqueue(Frame::make_extended((0x100u << kExtIdBits) | 0x200, {}));
   net.node(1).enqueue(Frame::make_extended((0x100u << kExtIdBits) | 0x100, {}));
   ASSERT_TRUE(net.run_until_quiet());
@@ -103,6 +108,7 @@ TEST(ExtendedFrame, MajorCanEndGameWorksOnExtendedFrames) {
         major ? ProtocolParams::major_can(5) : ProtocolParams::standard_can();
     const int last = p.eof_bits() - 1;
     Network net(5, p);
+    ScopedInvariants net_invariants(net);
     ScriptedFaults inj;
     inj.add(FaultTarget::eof_bit(1, last - 1));
     inj.add(FaultTarget::eof_bit(2, last - 1));
@@ -123,6 +129,7 @@ TEST(ExtendedFrame, MajorCanEndGameWorksOnExtendedFrames) {
 
 TEST(ExtendedFrame, RemoteRoundTripOnBus) {
   Network net(2, ProtocolParams::minor_can());
+  ScopedInvariants net_invariants(net);
   const Frame f = Frame::make_extended_remote(0x00ff00, 2);
   net.node(0).enqueue(f);
   ASSERT_TRUE(net.run_until_quiet());

@@ -1,0 +1,45 @@
+// Test-side glue for the protocol invariant analyzer: attach a
+// ScopedInvariants to any Network (or hand-assembled Simulator) and every
+// invariant violation observed during the test body becomes a gtest
+// failure at scope exit.  This is how the existing suites double as a
+// continuous conformance harness.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "analysis/invariants.hpp"
+#include "core/network.hpp"
+
+namespace mcan {
+
+class ScopedInvariants {
+ public:
+  explicit ScopedInvariants(Network& net, InvariantConfig cfg = {})
+      : scope_(net, cfg) {
+    install_handler();
+  }
+
+  ScopedInvariants(Simulator& sim, std::vector<ProtocolParams> per_node,
+                   const EventLog* log, InvariantConfig cfg = {})
+      : scope_(sim, std::move(per_node), log, cfg) {
+    install_handler();
+  }
+
+  [[nodiscard]] const InvariantReport& report() const {
+    return scope_.report();
+  }
+
+ private:
+  void install_handler() {
+    scope_.set_handler([](const InvariantReport& r) {
+      ADD_FAILURE() << "protocol invariant violations:\n" << r.summary();
+    });
+  }
+
+  InvariantScope scope_;
+};
+
+}  // namespace mcan

@@ -1,0 +1,377 @@
+// The invariant analyzer itself under test: hand-crafted violating traces
+// prove each rule actually fires; clean simulations and every shipped
+// scenario file prove the rules hold on conforming runs (no
+// false positives).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/invariants.hpp"
+#include "core/network.hpp"
+#include "fault/scripted.hpp"
+#include "invariant_gtest.hpp"
+#include "scenario/dsl.hpp"
+#include "sim/vcd.hpp"
+
+namespace mcan {
+namespace {
+
+// --- hand-crafted record stream helpers ---
+
+/// A quiet bus bit: everyone idle, everyone recessive.
+BitRecord idle_record(BitTime t, std::size_t n) {
+  BitRecord rec;
+  rec.t = t;
+  rec.bus = Level::Recessive;
+  rec.driven.assign(n, Level::Recessive);
+  rec.view.assign(n, Level::Recessive);
+  rec.info.assign(n, NodeBitInfo{});
+  rec.disturbed.assign(n, false);
+  rec.active.assign(n, true);
+  return rec;
+}
+
+/// Set the resolved bus level and keep every (undisturbed) view consistent.
+void set_bus(BitRecord& rec, Level l) {
+  rec.bus = l;
+  for (auto& v : rec.view) v = l;
+}
+
+InvariantChecker make_checker(const ProtocolParams& p, std::size_t n,
+                              InvariantConfig cfg = {}) {
+  return InvariantChecker(std::vector<ProtocolParams>(n, p), nullptr, cfg);
+}
+
+// --- each rule fires on a violating trace ---
+
+TEST(InvariantRules, WiredAndMismatchFires) {
+  auto c = make_checker(ProtocolParams::major_can(5), 3);
+  BitRecord rec = idle_record(0, 3);
+  rec.driven[1] = Level::Dominant;  // bus stays recessive: impossible
+  c.on_bit(rec);
+  EXPECT_EQ(c.report().count(InvariantRule::WiredAnd), 1u);
+}
+
+TEST(InvariantRules, ViewInconsistentWithDisturbanceMarkerFires) {
+  auto c = make_checker(ProtocolParams::major_can(5), 3);
+  BitRecord rec = idle_record(0, 3);
+  rec.disturbed[2] = true;  // marked disturbed, yet view equals the bus
+  c.on_bit(rec);
+  EXPECT_EQ(c.report().count(InvariantRule::WiredAnd), 1u);
+}
+
+TEST(InvariantRules, SixIdenticalBitsInStuffedRegionFires) {
+  auto c = make_checker(ProtocolParams::standard_can(), 2);
+  for (BitTime t = 0; t < 7; ++t) {
+    BitRecord rec = idle_record(t, 2);
+    rec.info[0].transmitter = true;  // node 0 is pumping the body
+    rec.info[0].seg = Seg::Body;
+    rec.driven[0] = Level::Dominant;
+    set_bus(rec, Level::Dominant);
+    c.on_bit(rec);
+  }
+  // Exactly one report, at the first bit past the legal run of 5.
+  EXPECT_EQ(c.report().count(InvariantRule::StuffConformance), 1u);
+  ASSERT_FALSE(c.report().violations.empty());
+  EXPECT_EQ(c.report().violations[0].t, 5u);
+}
+
+TEST(InvariantRules, FiveIdenticalBitsIsLegal) {
+  auto c = make_checker(ProtocolParams::standard_can(), 2);
+  for (BitTime t = 0; t < 5; ++t) {
+    BitRecord rec = idle_record(t, 2);
+    rec.info[0].transmitter = true;
+    rec.info[0].seg = Seg::Body;
+    rec.driven[0] = Level::Dominant;
+    set_bus(rec, Level::Dominant);
+    c.on_bit(rec);
+  }
+  EXPECT_TRUE(c.report().clean());
+}
+
+TEST(InvariantRules, RecessiveBitInsideActiveFlagFires) {
+  auto c = make_checker(ProtocolParams::standard_can(), 2);
+  BitRecord rec = idle_record(0, 2);
+  rec.info[0].seg = Seg::ErrorFlag;  // in its flag, yet driving recessive
+  c.on_bit(rec);
+  EXPECT_EQ(c.report().count(InvariantRule::FlagLegality), 1u);
+}
+
+TEST(InvariantRules, SevenBitActiveFlagFires) {
+  auto c = make_checker(ProtocolParams::standard_can(), 2);
+  for (BitTime t = 0; t < 7; ++t) {
+    BitRecord rec = idle_record(t, 2);
+    rec.info[0].seg = Seg::ErrorFlag;
+    rec.driven[0] = Level::Dominant;
+    set_bus(rec, Level::Dominant);
+    c.on_bit(rec);
+  }
+  EXPECT_EQ(c.report().count(InvariantRule::FlagLegality), 1u);
+}
+
+TEST(InvariantRules, TruncatedActiveFlagFires) {
+  auto c = make_checker(ProtocolParams::standard_can(), 2);
+  for (BitTime t = 0; t < 4; ++t) {  // only 4 flag bits, then back to idle
+    BitRecord rec = idle_record(t, 2);
+    rec.info[0].seg = Seg::ErrorFlag;
+    rec.driven[0] = Level::Dominant;
+    set_bus(rec, Level::Dominant);
+    c.on_bit(rec);
+  }
+  c.on_bit(idle_record(4, 2));
+  EXPECT_EQ(c.report().count(InvariantRule::FlagLegality), 1u);
+}
+
+TEST(InvariantRules, ErrorPassiveFlagDrivingDominantFires) {
+  auto c = make_checker(ProtocolParams::standard_can(), 2);
+  BitRecord rec = idle_record(0, 2);
+  rec.info[1].seg = Seg::PassiveFlag;
+  rec.driven[1] = Level::Dominant;
+  set_bus(rec, Level::Dominant);
+  c.on_bit(rec);
+  EXPECT_EQ(c.report().count(InvariantRule::FlagLegality), 1u);
+}
+
+TEST(InvariantRules, MajorEndGameStateUnderStandardCanFires) {
+  auto c = make_checker(ProtocolParams::standard_can(), 2);
+  BitRecord rec = idle_record(0, 2);
+  rec.info[0].seg = Seg::Sampling;  // no such state in CAN
+  c.on_bit(rec);
+  EXPECT_GE(c.report().count(InvariantRule::EndGameLegality), 1u);
+}
+
+TEST(InvariantRules, EofIndexOutsideFieldFires) {
+  const auto p = ProtocolParams::major_can(5);
+  auto c = make_checker(p, 2);
+  BitRecord rec = idle_record(0, 2);
+  rec.info[0].seg = Seg::Eof;
+  rec.info[0].index = p.eof_bits();  // one past the field
+  c.on_bit(rec);
+  EXPECT_EQ(c.report().count(InvariantRule::EndGameLegality), 1u);
+}
+
+TEST(InvariantRules, SamplingPastVoteWindowFires) {
+  const auto p = ProtocolParams::major_can(5);
+  auto c = make_checker(p, 2);
+  BitRecord rec = idle_record(0, 2);
+  rec.info[1].seg = Seg::Sampling;
+  rec.info[1].eof_rel = p.sample_end() + 1;  // beyond 3m+4
+  c.on_bit(rec);
+  EXPECT_EQ(c.report().count(InvariantRule::EndGameLegality), 1u);
+}
+
+TEST(InvariantRules, IllegalTecStepFires) {
+  auto c = make_checker(ProtocolParams::standard_can(), 2);
+  c.on_bit(idle_record(0, 2));  // baseline: TEC 0
+  BitRecord rec = idle_record(1, 2);
+  rec.info[0].tec = 5;  // +5 is not an ISO 11898 transition
+  c.on_bit(rec);
+  EXPECT_EQ(c.report().count(InvariantRule::CounterTransition), 1u);
+}
+
+TEST(InvariantRules, IsoCounterStepsAreLegalButJumpsAreNot) {
+  auto c = make_checker(ProtocolParams::standard_can(), 1);
+  // TEC walks +8, +8, -1, -1, reset — all ISO transitions.  REC walks
+  // +1, +8, -1, then an illegal +122 jump, then the legal >127 -> 119
+  // rebound.  Exactly the jump must be reported.
+  const int tecs[] = {0, 8, 16, 15, 14, 0};
+  const int recs[] = {0, 1, 9, 8, 130, 119};
+  for (std::size_t i = 0; i < std::size(tecs); ++i) {
+    BitRecord rec = idle_record(static_cast<BitTime>(i), 1);
+    rec.info[0].tec = tecs[i];
+    rec.info[0].rec = recs[i];
+    c.on_bit(rec);
+  }
+  EXPECT_EQ(c.report().count(InvariantRule::CounterTransition), 1u);
+  ASSERT_EQ(c.report().violations.size(), 1u);
+  EXPECT_EQ(c.report().violations[0].t, 4u);
+}
+
+TEST(InvariantRules, BusOffNodeDrivingDominantFires) {
+  auto c = make_checker(ProtocolParams::standard_can(), 2);
+  BitRecord rec = idle_record(0, 2);
+  rec.info[0].tec = 256;  // at the bus-off limit...
+  rec.driven[0] = Level::Dominant;  // ...yet still driving
+  set_bus(rec, Level::Dominant);
+  c.on_bit(rec);
+  EXPECT_GE(c.report().count(InvariantRule::CounterTransition), 1u);
+}
+
+TEST(InvariantRules, IdleFrameCountDisagreementFires) {
+  auto c = make_checker(ProtocolParams::major_can(5), 3);
+  BitRecord rec = idle_record(0, 3);
+  rec.info[0].frame_index = 1;  // node 0 thinks a frame happened...
+  rec.info[1].frame_index = 0;  // ...node 1 disagrees, on an idle bus
+  rec.info[2].frame_index = 1;
+  c.on_bit(rec);
+  c.on_bit(rec);  // second idle bit: still only one report per episode
+  EXPECT_EQ(c.report().count(InvariantRule::Reconvergence), 1u);
+}
+
+TEST(InvariantRules, DisabledRuleStaysSilent) {
+  InvariantConfig cfg;
+  cfg.wired_and = false;
+  auto c = make_checker(ProtocolParams::major_can(5), 2, cfg);
+  BitRecord rec = idle_record(0, 2);
+  rec.driven[1] = Level::Dominant;
+  c.on_bit(rec);
+  EXPECT_TRUE(c.report().clean());
+}
+
+TEST(InvariantRules, AblationConfigurationRelaxesEndGame) {
+  auto p = ProtocolParams::major_can(5);
+  p.delimiter = DelimiterMode::EagerCount;  // ablation: no end-game claims
+  auto c = make_checker(p, 2);
+  BitRecord rec = idle_record(0, 2);
+  rec.info[1].seg = Seg::Sampling;
+  rec.info[1].eof_rel = p.sample_end() + 3;
+  c.on_bit(rec);
+  EXPECT_TRUE(c.report().clean());
+}
+
+TEST(InvariantRules, ReportCapsRecordedViolations) {
+  InvariantConfig cfg;
+  cfg.max_recorded = 4;
+  auto c = make_checker(ProtocolParams::standard_can(), 2, cfg);
+  for (BitTime t = 0; t < 10; ++t) {
+    BitRecord rec = idle_record(t, 2);
+    rec.driven[0] = Level::Dominant;  // wired-AND mismatch every bit
+    c.on_bit(rec);
+  }
+  EXPECT_EQ(c.report().total, 10u);
+  EXPECT_EQ(c.report().violations.size(), 4u);
+  EXPECT_FALSE(c.report().summary().empty());
+}
+
+// --- no false positives on conforming simulations ---
+
+TEST(InvariantClean, CleanMajorCanRun) {
+  Network net(5, ProtocolParams::major_can());
+  ScopedInvariants inv(net);
+  net.node(0).enqueue(Frame::make_blank(0x155, 2));
+  ASSERT_TRUE(net.run_until_quiet());
+  for (int i = 0; i < 25; ++i) net.sim().step();  // observe the idle bus
+  EXPECT_TRUE(inv.report().clean()) << inv.report().summary();
+  EXPECT_GT(inv.report().bits_checked, 0u);
+}
+
+TEST(InvariantClean, DisturbedMajorCanRunStaysConformant) {
+  // The injector disturbs node views, never the wire: every invariant must
+  // survive an m-error end-game.
+  Network net(5, ProtocolParams::major_can(5));
+  ScopedInvariants inv(net);
+  ScriptedFaults inj;
+  for (int node = 1; node <= 5 / 2 + 1; ++node) {
+    inj.add(FaultTarget::eof_bit(node % 4 + 1, 4 + node));
+  }
+  net.set_injector(inj);
+  net.node(0).enqueue(Frame::make_blank(0x155, 2));
+  ASSERT_TRUE(net.run_until_quiet());
+  for (int i = 0; i < 25; ++i) net.sim().step();
+  EXPECT_TRUE(inv.report().clean()) << inv.report().summary();
+}
+
+TEST(InvariantClean, StandardCanImoScenarioViolatesNoInvariant) {
+  // Fig 1b (IMO) breaks *agreement*, not the bit-level protocol rules:
+  // reconvergence still holds because every node ends on the same frame
+  // count (the victim simply never delivered).  The run must lint clean.
+  Network net(5, ProtocolParams::standard_can());
+  ScopedInvariants inv(net);
+  ScriptedFaults inj;
+  inj.add(FaultTarget::eof_bit(1, 5));
+  inj.add(FaultTarget::eof_bit(0, 6));
+  net.set_injector(inj);
+  net.node(0).enqueue(Frame::make_blank(0x155, 2));
+  ASSERT_TRUE(net.run_until_quiet());
+  for (int i = 0; i < 25; ++i) net.sim().step();
+  EXPECT_TRUE(inv.report().clean()) << inv.report().summary();
+}
+
+// --- every shipped scenario file lints clean ---
+
+class ScenarioLint : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ScenarioLint, RunsClean) {
+  const std::string path =
+      std::string(MCAN_SCENARIO_DIR) + "/" + GetParam();
+  const ScenarioSpec spec = load_scenario_file(path);
+  const DslRunResult run = run_scenario(spec);
+  EXPECT_TRUE(run.expectation_met) << run.expectation_text;
+  EXPECT_TRUE(run.invariants.clean()) << run.invariants.summary();
+  EXPECT_GT(run.invariants.bits_checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShipped, ScenarioLint,
+                         ::testing::Values("fig1b_double_reception.scn",
+                                           "fig3a_new_scenario.scn",
+                                           "fig3b_minorcan.scn",
+                                           "fig5_majorcan.scn",
+                                           "desync_finding.scn"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           n = n.substr(0, n.find('.'));
+                           return n;
+                         });
+
+// --- VCD replay path ---
+
+TEST(InvariantVcd, RoundTrippedTraceLintsClean) {
+  Network net(4, ProtocolParams::major_can(5));
+  net.enable_trace();
+  net.node(0).enqueue(Frame::make_blank(0x155, 2));
+  ASSERT_TRUE(net.run_until_quiet());
+
+  const VcdTrace replay =
+      parse_vcd(trace_to_vcd(net.trace(), net.labels()));
+  ASSERT_EQ(replay.labels.size(), 4u);
+  ASSERT_EQ(replay.bits.size(), net.trace().bits().size());
+  // Bit-exact reconstruction of the record-level signals.
+  for (std::size_t i = 0; i < replay.bits.size(); ++i) {
+    const BitRecord& a = net.trace().bits()[i];
+    const BitRecord& b = replay.bits[i];
+    ASSERT_EQ(a.t, b.t);
+    ASSERT_EQ(a.bus, b.bus);
+    ASSERT_EQ(a.driven, b.driven);
+    ASSERT_EQ(a.view, b.view);
+    ASSERT_EQ(a.disturbed, b.disturbed);
+  }
+
+  InvariantChecker checker({}, nullptr, {});
+  for (const BitRecord& rec : replay.bits) checker.on_bit(rec);
+  EXPECT_TRUE(checker.report().clean()) << checker.report().summary();
+}
+
+TEST(InvariantVcd, CorruptedDumpIsCaught) {
+  const char* vcd =
+      "$timescale 1us $end\n"
+      "$scope module bus $end\n"
+      "$var wire 1 ! BUS $end\n"
+      "$var wire 1 \" n0.drive $end\n"
+      "$var wire 1 # n0.view $end\n"
+      "$var wire 1 $ n0.fault $end\n"
+      "$upscope $end\n$enddefinitions $end\n"
+      "#0\n"
+      "1!\n"  // bus recessive...
+      "0\"\n"  // ...while the only node drives dominant: impossible
+      "1#\n"
+      "0$\n"
+      "#1\n";
+  const VcdTrace trace = parse_vcd(vcd);
+  ASSERT_EQ(trace.bits.size(), 1u);
+  InvariantChecker checker;
+  for (const BitRecord& rec : trace.bits) checker.on_bit(rec);
+  EXPECT_EQ(checker.report().count(InvariantRule::WiredAnd), 1u);
+}
+
+TEST(InvariantVcd, MalformedVcdThrows) {
+  EXPECT_THROW((void)parse_vcd("not a vcd at all"), std::invalid_argument);
+  EXPECT_THROW((void)parse_vcd("$var wire 1 ! WEIRD.signal $end\n"
+                               "$enddefinitions $end\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)read_vcd_file("/nonexistent/file.vcd"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcan

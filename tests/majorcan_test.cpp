@@ -3,6 +3,8 @@
 // timing (bit-exact reconvergence), and the corner cases analysed in §5.
 #include <gtest/gtest.h>
 
+#include "invariant_gtest.hpp"
+
 #include "core/network.hpp"
 #include "fault/scripted.hpp"
 #include "frame/encoder.hpp"
@@ -53,6 +55,7 @@ class SinglePhantom : public ::testing::TestWithParam<PosParam> {};
 TEST_P(SinglePhantom, AlwaysConsistentExactlyOnce) {
   const auto [m, pos] = GetParam();
   Network net(5, ProtocolParams::major_can(m));
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   inj.add(FaultTarget::eof_bit(1, pos));
   net.set_injector(inj);
@@ -88,6 +91,7 @@ class TxPhantom : public ::testing::TestWithParam<PosParam> {};
 TEST_P(TxPhantom, AlwaysConsistent) {
   const auto [m, pos] = GetParam();
   Network net(4, ProtocolParams::major_can(m));
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   inj.add(FaultTarget::eof_bit(0, pos));
   net.set_injector(inj);
@@ -116,6 +120,7 @@ TEST(MajorCan, ExtendedFlagReachesExactly3mPlus5) {
   // through 3m+4 (0-based), i.e. paper's (3m+5)th bit inclusive.
   const int m = 5;
   Network net(2, ProtocolParams::major_can(m));
+  ScopedInvariants net_invariants(net);
   net.enable_trace();
   ScriptedFaults inj;
   inj.add(FaultTarget::eof_bit(1, m));
@@ -140,6 +145,7 @@ TEST(MajorCan, ExtendedFlagReachesExactly3mPlus5) {
 TEST(MajorCan, SamplerFlagIsExactlySixBits) {
   const int m = 5;
   Network net(2, ProtocolParams::major_can(m));
+  ScopedInvariants net_invariants(net);
   net.enable_trace();
   ScriptedFaults inj;
   inj.add(FaultTarget::eof_bit(1, 0));
@@ -163,6 +169,7 @@ TEST(MajorCan, AllNodesReenterIdleOnTheSameBit) {
   const int m = 5;
   for (int pos = 0; pos < 2 * m; ++pos) {
     Network net(4, ProtocolParams::major_can(m));
+    ScopedInvariants net_invariants(net);
     net.enable_trace();
     ScriptedFaults inj;
     inj.add(FaultTarget::eof_bit(1, pos));
@@ -203,6 +210,7 @@ TEST(MajorCan, VoteBoundaryExactMajorityAccepts) {
   const int m = 3;
   auto p = ProtocolParams::major_can(m);
   Network net(3, p);
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   inj.add(FaultTarget::eof_bit(1, 0));
   for (int i = 0; i < m; ++i) {
@@ -222,6 +230,7 @@ TEST(MajorCan, VoteBoundaryOneBelowMajorityRejects) {
   const int m = 3;
   auto p = ProtocolParams::major_can(m);
   Network net(3, p);
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   inj.add(FaultTarget::eof_bit(1, 0));
   for (int i = 0; i < m - 1; ++i) {
@@ -241,6 +250,7 @@ TEST(MajorCan, CrcErrorNeverSamples) {
   const int crc_bit = find_crc_error_body_bit(p, 3);
   ASSERT_GE(crc_bit, 0);
   Network net(3, p);
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   FaultTarget t;
   t.node = 1;
@@ -264,6 +274,7 @@ TEST(MajorCan, HiddenFlagCleanAccepterOverloads) {
   // Consistency must survive: everyone accepts exactly once.
   const int m = 5;
   Network net(4, ProtocolParams::major_can(m));
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   inj.add(FaultTarget::eof_bit(1, m - 1));  // phantom at node 1, pos m-1
   for (int d = 0; d < m; ++d) {
@@ -287,6 +298,7 @@ TEST(MajorCan, AckErrorEndGameConsistent) {
   // flag at the ACK delimiter; receivers get a form error at EOF position
   // 0-adjacent.  All must reject; the retransmission delivers once.
   Network net(3, ProtocolParams::major_can(5));
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   FaultTarget t;
   t.node = 0;
@@ -304,6 +316,7 @@ TEST(MajorCan, AckErrorEndGameConsistent) {
 TEST(MajorCan, BackToBackTrafficAfterEndGame) {
   // An end-game on frame 1 must not disturb frames 2..4.
   Network net(4, ProtocolParams::major_can(5));
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   inj.add(FaultTarget::eof_bit(1, 2, 0));
   net.set_injector(inj);

@@ -2,6 +2,8 @@
 // performance benefit, and its exact failure boundary.
 #include <gtest/gtest.h>
 
+#include "invariant_gtest.hpp"
+
 #include "core/network.hpp"
 #include "fault/scripted.hpp"
 #include "frame/encoder.hpp"
@@ -17,6 +19,7 @@ TEST(MinorCan, TransmitterOnlyLastBitErrorAvoidsRetransmission) {
   // flags arrive one bit after the transmitter's own flag, proving it was
   // the primary detector.
   Network net(4, ProtocolParams::minor_can());
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   inj.add(FaultTarget::eof_bit(0, 6));
   net.set_injector(inj);
@@ -33,6 +36,7 @@ TEST(MinorCan, StandardCanRetransmitsInTheSameCase) {
   // Contrast: standard CAN always retransmits on a transmitter last-bit
   // error, double-delivering to every receiver.
   Network net(4, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   inj.add(FaultTarget::eof_bit(0, 6));
   net.set_injector(inj);
@@ -49,6 +53,7 @@ TEST(MinorCan, AllNodesLastBitErrorRetransmitsConsistently) {
   // MinorCAN will consider all the errors not primary and the frame will
   // be unnecessarily but consistently retransmitted/rejected."
   Network net(4, ProtocolParams::minor_can());
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   for (NodeId n = 0; n < 4; ++n) inj.add(FaultTarget::eof_bit(n, 6));
   net.set_injector(inj);
@@ -68,6 +73,7 @@ TEST(MinorCan, SingleReceiverLastBitPhantomAcceptsViaPrimary) {
   // rest answer with overload flags one bit later, the primary check sees
   // dominant => accept, no retransmission anywhere.
   Network net(4, ProtocolParams::minor_can());
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   inj.add(FaultTarget::eof_bit(2, 6));
   net.set_injector(inj);
@@ -94,6 +100,7 @@ TEST(MinorCan, EarlierEofErrorsKeepStandardSemantics) {
   // MinorCAN acceptance events appear.
   for (int pos = 0; pos < 6; ++pos) {
     Network net(4, ProtocolParams::minor_can());
+    ScopedInvariants net_invariants(net);
     ScriptedFaults inj;
     inj.add(FaultTarget::eof_bit(1, pos));
     net.set_injector(inj);
@@ -114,6 +121,7 @@ TEST_P(MinorSinglePhantom, EveryEofPositionConsistentExactlyOnce) {
   // consistency or at-most-once (contrast StandardCanLastBitDuplicates).
   const int pos = GetParam();
   Network net(5, ProtocolParams::minor_can());
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   inj.add(FaultTarget::eof_bit(2, pos));
   net.set_injector(inj);
@@ -138,6 +146,7 @@ TEST_P(CanSinglePhantom, StandardCanPositionalOutcomes) {
   //   pos 6 (last): the last-bit rule absorbs it, single attempt.
   const int pos = GetParam();
   Network net(5, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   inj.add(FaultTarget::eof_bit(2, pos));
   net.set_injector(inj);
@@ -161,7 +170,9 @@ TEST(MinorCan, NoOverheadOnCleanChannel) {
   // standard CAN.
   const Frame f = probe_frame();
   Network minor(2, ProtocolParams::minor_can());
+  ScopedInvariants minor_invariants(minor);
   Network standard(2, ProtocolParams::standard_can());
+  ScopedInvariants standard_invariants(standard);
   minor.node(0).enqueue(f);
   standard.node(0).enqueue(f);
   ASSERT_TRUE(minor.run_until_quiet());
@@ -179,6 +190,7 @@ TEST(MinorCan, PermanentNodeFailureAfterDetectionStaysConsistent) {
   const Frame f = probe_frame();
   const int eof_start = wire_length(f, kStandardEofBits) - kStandardEofBits;
   Network net(4, ProtocolParams::minor_can());
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   inj.add(FaultTarget::eof_bit(1, 6));
   net.set_injector(inj);

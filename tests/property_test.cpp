@@ -10,6 +10,8 @@
 // inside the sampled space); MajorCAN_m must show none up to m.
 #include <gtest/gtest.h>
 
+#include "invariant_gtest.hpp"
+
 #include "analysis/tagged.hpp"
 #include "core/network.hpp"
 #include "fault/scripted.hpp"
@@ -146,6 +148,7 @@ TEST(CampaignWholeFrame, WiderFirstSubfieldAbsorbsTheDesyncWitness) {
   // handled by MajorCAN_8: bit 6 lies in its wider rejecting sub-field, so
   // everyone rejects and the retransmission restores consistency.
   Network net(5, ProtocolParams::major_can(8));
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   FaultTarget t;
   t.node = 1;
@@ -170,6 +173,7 @@ TEST(CampaignWholeFrame, EveryBodyPositionSingleFlipIsConsistentAtM8) {
       wire_length(frame, p.eof_bits()) - p.eof_bits() - 3;  // minus tail
   for (int bit = 1; bit < body_len; ++bit) {
     Network net(5, p);
+    ScopedInvariants net_invariants(net);
     ScriptedFaults inj;
     FaultTarget t;
     t.node = 1;
@@ -198,6 +202,7 @@ TEST(CampaignWholeFrame, SingleFlipDesyncFlagsSurfaceEarlyInTheEof) {
   int late_flags = 0;
   for (int bit = 1; bit < body_len; ++bit) {
     Network net(5, p);
+    ScopedInvariants net_invariants(net);
     net.enable_trace();
     ScriptedFaults inj;
     FaultTarget t;
@@ -242,6 +247,7 @@ TEST(CampaignTail, TransmitterNearTailErrorPlusDelimiterFlipRegression) {
     return FaultTarget::at_time(n, static_cast<BitTime>(eof_start + rel));
   };
   Network net(5, p);
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   inj.add(at(0, -4));  // tx bit error in the last CRC bit
   inj.add(at(3, -3));  // node 3 misses the flag start...
@@ -284,6 +290,7 @@ TEST(CampaignWholeFrame, StuffingDesyncFindingIsDeterministic) {
   // destuffer; its stuff error then surfaces only at EOF bit 6 of the
   // *synchronised* nodes, which read the flag as an acceptance notification.
   Network net(5, ProtocolParams::major_can(5));
+  ScopedInvariants net_invariants(net);
   ScriptedFaults inj;
   FaultTarget t;
   t.node = 1;

@@ -3,6 +3,8 @@
 // analytic bound against worst observed latencies on the simulated bus.
 #include <gtest/gtest.h>
 
+#include "invariant_gtest.hpp"
+
 #include "app/rta.hpp"
 #include "app/scheduler.hpp"
 #include "core/network.hpp"
@@ -115,6 +117,7 @@ TEST(Rta, SimulatorNeverExceedsTheBound) {
                                           : ProtocolParams::major_can(5);
     // Senders 0..3, receiver 4.
     Network net(5, proto);
+    ScopedInvariants net_invariants(net);
     std::map<std::uint32_t, BitTime> queued_at;
     std::map<std::uint32_t, BitTime> worst;
     net.node(4).add_delivery_handler([&](const Frame& f, BitTime t) {

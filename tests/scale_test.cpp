@@ -2,6 +2,8 @@
 // arbitration sweeps, and long mixed-traffic runs.
 #include <gtest/gtest.h>
 
+#include "invariant_gtest.hpp"
+
 #include "analysis/properties.hpp"
 #include "analysis/tagged.hpp"
 #include "core/network.hpp"
@@ -16,6 +18,7 @@ namespace {
 TEST(Scale, ReferenceBus32NodesCleanBroadcast) {
   // The paper's reference configuration: 32 nodes.
   Network net(32, ProtocolParams::major_can(5));
+  ScopedInvariants net_invariants(net);
   net.node(0).enqueue(Frame::make_blank(0x100, 8));
   ASSERT_TRUE(net.run_until_quiet());
   for (int i = 1; i < 32; ++i) {
@@ -30,6 +33,7 @@ TEST(Scale, ReferenceBus32NodesFig3Pattern) {
         major ? ProtocolParams::major_can(5) : ProtocolParams::standard_can();
     const int last = p.eof_bits() - 1;
     Network net(32, p);
+    ScopedInvariants net_invariants(net);
     ScriptedFaults inj;
     for (NodeId x = 1; x <= 15; ++x) {
       inj.add(FaultTarget::eof_bit(x, last - 1));
@@ -66,6 +70,7 @@ TEST_P(ArbitrationSweep, LowerIdAlwaysWins) {
     if (ext_a == ext_b && id_a == id_b) ++id_b;
 
     Network net(3, ProtocolParams::standard_can());
+    ScopedInvariants net_invariants(net);
     Frame a = ext_a ? Frame::make_extended(id_a, {}) : Frame::make_blank(id_a, 0);
     Frame b = ext_b ? Frame::make_extended(id_b, {}) : Frame::make_blank(id_b, 0);
     net.node(0).enqueue(a);
@@ -117,6 +122,7 @@ TEST(Scale, MixedTrafficManySendersUnderLightNoise) {
 TEST(Scale, SaturatedBusDeliversEverythingInIdOrder) {
   const int n = 12;
   Network net(n, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   // Everyone queues 3 frames at once; arbitration must serialise 36 frames
   // with zero losses and global priority order per round.
   for (int i = 0; i < n; ++i) {

@@ -2,6 +2,8 @@
 // bus-utilisation probe.
 #include <gtest/gtest.h>
 
+#include "invariant_gtest.hpp"
+
 #include "analysis/stats.hpp"
 #include "core/network.hpp"
 
@@ -66,6 +68,7 @@ TEST(LatencyTracker, UnknownMessageIgnored) {
 
 TEST(UtilizationProbe, IdleBusIsZero) {
   Network net(3, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   UtilizationProbe probe;
   net.sim().add_observer(probe);
   net.sim().run(100);
@@ -76,6 +79,7 @@ TEST(UtilizationProbe, IdleBusIsZero) {
 
 TEST(UtilizationProbe, FrameCountsAsBusy) {
   Network net(3, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   UtilizationProbe probe;
   net.sim().add_observer(probe);
   net.node(0).enqueue(Frame::make_blank(0x10, 1));
@@ -88,7 +92,9 @@ TEST(UtilizationProbe, FrameCountsAsBusy) {
 
 TEST(UtilizationProbe, BusyScalesWithTraffic) {
   Network one(2, ProtocolParams::standard_can());
+  ScopedInvariants one_invariants(one);
   Network three(2, ProtocolParams::standard_can());
+  ScopedInvariants three_invariants(three);
   UtilizationProbe p1, p3;
   one.sim().add_observer(p1);
   three.sim().add_observer(p3);

@@ -1,6 +1,8 @@
 // Tests of the VCD waveform export.
 #include <gtest/gtest.h>
 
+#include "invariant_gtest.hpp"
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -14,6 +16,7 @@ namespace {
 
 TEST(Vcd, HeaderAndSignalsDeclared) {
   Network net(2, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   net.enable_trace();
   net.node(0).enqueue(Frame::make_blank(0x55, 0));
   ASSERT_TRUE(net.run_until_quiet());
@@ -28,6 +31,7 @@ TEST(Vcd, HeaderAndSignalsDeclared) {
 
 TEST(Vcd, EmitsChangesWithTimestamps) {
   Network net(2, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   net.enable_trace();
   net.node(0).enqueue(Frame::make_blank(0x55, 1));
   ASSERT_TRUE(net.run_until_quiet());
@@ -42,6 +46,7 @@ TEST(Vcd, EmitsChangesWithTimestamps) {
 
 TEST(Vcd, FaultMarkerTogglesOnInjection) {
   Network net(2, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   net.enable_trace();
   ScriptedFaults inj;
   inj.add(FaultTarget::eof_bit(1, 3));
@@ -65,6 +70,7 @@ TEST(Vcd, FaultMarkerTogglesOnInjection) {
 
 TEST(Vcd, WritesFile) {
   Network net(2, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
   net.enable_trace();
   net.node(0).enqueue(Frame::make_blank(0x55, 0));
   ASSERT_TRUE(net.run_until_quiet());
