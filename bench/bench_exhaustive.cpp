@@ -5,23 +5,39 @@
 // complete: a 0 row is a proof, a non-0 row comes with concrete
 // counterexamples (the Fig. 1b / Fig. 3a patterns are rediscovered
 // automatically).
+//
+// This bench deliberately runs the *reference* configuration of the
+// engine (single worker, no reductions — the exact semantics of
+// run_exhaustive); bench_model_check benchmarks the optimised modes
+// against it.
 #include <cstdio>
 
-#include "scenario/exhaustive.hpp"
+#include "scenario/model_check.hpp"
+#include "scenario/sweep_cli.hpp"
+#include "util/progress.hpp"
 #include "util/text.hpp"
 
 int main(int argc, char** argv) {
   using namespace mcan;
 
-  const int max_k = argc > 1 ? std::atoi(argv[1]) : 2;
+  SweepOptions opt;
+  std::vector<std::string> rest;
+  std::string error;
+  if (!parse_sweep_args(argc, argv, opt, rest, error)) {
+    std::fprintf(stderr, "bench_exhaustive: %s\n", error.c_str());
+    return 2;
+  }
+  for (const std::string& a : rest) {
+    std::fprintf(stderr, "bench_exhaustive: unknown option %s\n%s", a.c_str(),
+                 sweep_flags_help());
+    return 2;
+  }
+  const int max_k = opt.max_k;
 
   std::printf("=== Exhaustive verification over the frame-tail window ===\n");
-  std::printf("3-node bus; every combination of k view-flips over\n");
+  std::printf("%d-node bus; every combination of k view-flips over\n",
+              opt.n_nodes);
   std::printf("(node x EOF-relative position); entries IMO/double-rx/loss\n\n");
-
-  std::vector<ProtocolParams> protos = {
-      ProtocolParams::standard_can(), ProtocolParams::minor_can(),
-      ProtocolParams::major_can(3), ProtocolParams::major_can(5)};
 
   std::vector<std::vector<std::string>> rows;
   {
@@ -33,14 +49,33 @@ int main(int argc, char** argv) {
   }
 
   std::vector<std::string> example_lines;
-  for (const auto& proto : protos) {
+  for (const auto& proto : opt.protocol_set()) {
     std::vector<std::string> row = {proto.name()};
     for (int k = 1; k <= max_k; ++k) {
-      ExhaustiveConfig cfg;
-      cfg.protocol = proto;
-      cfg.n_nodes = 3;
-      cfg.errors = k;
-      auto res = run_exhaustive(cfg, 2);
+      // Reference engine configuration: run_exhaustive semantics, plus a
+      // progress meter for the long high-k sweeps.
+      ModelCheckConfig mc;
+      mc.base.protocol = proto;
+      mc.base.n_nodes = opt.n_nodes;
+      mc.base.errors = k;
+      if (opt.win_lo) mc.base.win_lo_rel = *opt.win_lo;
+      if (opt.win_hi) mc.base.win_hi_rel = *opt.win_hi;
+      mc.jobs = 1;
+      mc.dedup = false;
+      mc.symmetry = false;
+      mc.max_examples = 2;
+
+      ModelCheckResult res;
+      if (opt.progress) {
+        ProgressMeter meter(proto.name() + " k=" + std::to_string(k));
+        res = run_model_check(mc, [&meter](long long done, long long total) {
+          meter.set_total(total);
+          meter.update(done);
+        });
+        meter.finish();
+      } else {
+        res = run_model_check(mc);
+      }
       row.push_back(std::to_string(res.imo) + "/" +
                     std::to_string(res.double_rx) + "/" +
                     std::to_string(res.total_loss) + " (" +

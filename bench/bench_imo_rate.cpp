@@ -2,7 +2,7 @@
 // rates of Table 1 come from expression (4) evaluated analytically; here
 // the *executable bus* is run for many frames under iid ber* noise and the
 // inconsistent-omission rate is measured directly, at elevated ber so the
-// statistics converge.  bench_model_check validates the combinatorics of
+// statistics converge.  bench_prob_model validates the combinatorics of
 // expression (4) in isolation; this bench validates it through the whole
 // simulator — and honestly shows where the simulated bus finds *more*
 // inconsistencies than the model: the expression counts only the exact

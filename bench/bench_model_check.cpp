@@ -1,112 +1,157 @@
-// Monte-Carlo validation of the paper's probability model (§4).
+// Model-checking engine benchmark: the parallel/deduplicating explorer
+// (scenario/model_check.hpp) against the reference single-threaded
+// enumerator, on the identical sweep.
 //
-// Expression (4) gives the per-frame probability of the exact Fig. 3a error
-// pattern: at least one receiver (but not all) hit in the last-but-one
-// frame bit and clean elsewhere, every other receiver completely clean, and
-// the transmitter clean until a hit in the last bit.  We draw iid per-node
-// per-bit errors at rate ber* = ber/N and count pattern occurrences, then
-// compare against the closed form — at elevated ber so the Monte-Carlo
-// estimate converges in seconds (the closed form is evaluated at the same
-// ber, so the comparison is exact, not extrapolated).
+// Part 1 times the headline configuration — exhaustive k = 2 over the
+// MajorCAN_5 frame-tail window — both ways and checks that every count
+// (cases, IMO, double-rx, total-loss, timeouts) agrees exactly: the
+// reductions must change the wall-clock, never the answer.  Part 2 shows
+// the engine's work breakdown (simulated vs memoized vs symmetry-folded)
+// across the protocol set.  Part 3 demonstrates budget-bounded exploration
+// at k = 5, which is far beyond exhaustive reach on one machine.
 //
-// A second sweep validates the combinatorial receiver-split factor across
-// node counts.
-#include <cmath>
+//     bench_model_check                # defaults: k=2, all protocols
+//     bench_model_check -k 3 --protocol major:5 --jobs 4
+#include <chrono>
 #include <cstdio>
 
-#include "analysis/prob_model.hpp"
-#include "util/rng.hpp"
+#include "scenario/model_check.hpp"
+#include "scenario/sweep_cli.hpp"
+#include "util/progress.hpp"
 #include "util/text.hpp"
 
 namespace {
 
 using namespace mcan;
 
-/// Draw one frame's error pattern; return true iff it matches Fig. 3a as
-/// counted by expression (4).
-bool draw_fig3a_pattern(Rng& rng, int n_nodes, int tau, double ber_star) {
-  // Transmitter: clean for tau-1 bits, hit in the last bit.
-  for (int b = 0; b < tau - 1; ++b) {
-    if (rng.chance(ber_star)) return false;
-  }
-  if (!rng.chance(ber_star)) return false;
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
-  // Receivers: each either hit exactly in the last-but-one bit (clean in
-  // the preceding tau-2 bits) or clean in all tau-1 bits before the last;
-  // at least one of each.  The expression leaves every receiver's *last*
-  // bit unconstrained — (1-b)^(tau-2)*b and (1-b)^(tau-1) both cover only
-  // tau-1 bit positions — so the draw must too.
-  int hit = 0;
-  int clean = 0;
-  for (int r = 0; r < n_nodes - 1; ++r) {
-    bool clean_elsewhere = true;
-    bool hit_lastbutone = false;
-    for (int b = 0; b < tau - 1; ++b) {
-      const bool e = rng.chance(ber_star);
-      if (!e) continue;
-      if (b == tau - 2) {
-        hit_lastbutone = true;
-      } else {
-        clean_elsewhere = false;
-      }
-    }
-    if (!clean_elsewhere) return false;  // a receiver outside both classes
-    if (hit_lastbutone) {
-      ++hit;
-    } else {
-      ++clean;
-    }
-  }
-  return hit >= 1 && clean >= 1;
+ModelCheckConfig make_config(const SweepOptions& opt,
+                             const ProtocolParams& proto, int k) {
+  ModelCheckConfig mc;
+  mc.base.protocol = proto;
+  mc.base.n_nodes = opt.n_nodes;
+  mc.base.errors = k;
+  if (opt.win_lo) mc.base.win_lo_rel = *opt.win_lo;
+  if (opt.win_hi) mc.base.win_hi_rel = *opt.win_hi;
+  mc.jobs = opt.jobs;
+  mc.dedup = opt.dedup;
+  mc.symmetry = opt.symmetry;
+  mc.max_examples = 2;
+  return mc;
+}
+
+ModelCheckResult run_with_meter(const ModelCheckConfig& mc,
+                                const std::string& label, bool progress) {
+  if (!progress) return run_model_check(mc);
+  ProgressMeter meter(label);
+  auto res = run_model_check(mc, [&meter](long long done, long long total) {
+    meter.set_total(total);
+    meter.update(done);
+  });
+  meter.finish();
+  return res;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const long frames = argc > 1 ? std::atol(argv[1]) : 400000;
+  SweepOptions opt;
+  std::vector<std::string> rest;
+  std::string error;
+  if (!parse_sweep_args(argc, argv, opt, rest, error)) {
+    std::fprintf(stderr, "bench_model_check: %s\n", error.c_str());
+    return 2;
+  }
+  for (const std::string& a : rest) {
+    std::fprintf(stderr, "bench_model_check: unknown option %s\n%s", a.c_str(),
+                 sweep_flags_help());
+    return 2;
+  }
 
-  std::printf("=== Monte-Carlo check of expression (4) ===\n");
-  std::printf("%ld frames per cell, iid per-node per-bit errors at ber*\n\n",
-              frames);
+  // --- Part 1: engine vs reference enumerator, identical sweep -----------
+  std::printf("=== Engine vs reference enumerator (exhaustive k=2, m=5) ===\n");
+  {
+    const ProtocolParams proto = ProtocolParams::major_can(5);
+    ExhaustiveConfig base;
+    base.protocol = proto;
+    base.n_nodes = opt.n_nodes;
+    base.errors = 2;
 
-  std::vector<std::vector<std::string>> rows;
-  rows.push_back({"N", "tau", "ber*", "analytic P4", "monte-carlo",
-                  "MC/analytic", "hits"});
-  Rng rng(0xC0DE, 0x11);
-  struct Cell {
-    int n;
-    int tau;
-    double bs;
-  };
-  // Parameters chosen so each cell expects >= ~100 pattern hits: the
-  // pattern needs two position-exact errors, so P ~ C * ber*^2 and small
-  // frames with aggressive ber* give the best Monte-Carlo efficiency.
-  for (const Cell& c : {Cell{3, 20, 0.08}, Cell{3, 40, 0.04},
-                        Cell{4, 20, 0.08}, Cell{5, 20, 0.10},
-                        Cell{8, 15, 0.10}}) {
-    ModelParams p;
-    p.n_nodes = c.n;
-    p.frame_bits = c.tau;
-    p.ber = c.bs * c.n;  // so ber_star() == c.bs
-    const double analytic = p_new_scenario_per_frame(p);
+    const double t0 = now_seconds();
+    const ExhaustiveResult ref = run_exhaustive(base, 2);
+    const double ref_s = now_seconds() - t0;
 
-    long hits = 0;
-    for (long i = 0; i < frames; ++i) {
-      if (draw_fig3a_pattern(rng, c.n, c.tau, c.bs)) ++hits;
+    ModelCheckConfig mc = make_config(opt, proto, 2);
+    const ModelCheckResult eng =
+        run_with_meter(mc, "engine " + proto.name() + " k=2", opt.progress);
+
+    const bool agree = ref.cases == eng.cases && ref.imo == eng.imo &&
+                       ref.double_rx == eng.double_rx &&
+                       ref.total_loss == eng.total_loss &&
+                       ref.timeouts == eng.timeouts;
+    std::printf("reference: %s  (%.2fs)\n", ref.summary().c_str(), ref_s);
+    std::printf("engine:    %s  (%.2fs, jobs=%d)\n", eng.summary().c_str(),
+                eng.stats.seconds, eng.stats.jobs);
+    std::printf("counts agree: %s\n", agree ? "YES" : "NO  <-- BUG");
+    if (eng.stats.seconds > 0) {
+      std::printf("speedup: %.1fx  (simulated %lld of %lld cases; memo hits"
+                  " %lld, symmetry-folded %lld, distinct tails %zu)\n",
+                  ref_s / eng.stats.seconds, eng.stats.simulated, eng.cases,
+                  eng.stats.tail_memo_hits, eng.stats.symmetry_skips,
+                  eng.stats.distinct_tails);
     }
-    const double mc = static_cast<double>(hits) / static_cast<double>(frames);
-    rows.push_back({std::to_string(c.n), std::to_string(c.tau), sci(c.bs, 2),
-                    sci(analytic), sci(mc),
-                    analytic > 0 ? sci(mc / analytic) : "-",
-                    std::to_string(hits)});
+    if (!agree) return 1;
+  }
+
+  // --- Part 2: work breakdown across the protocol set --------------------
+  std::printf("\n=== Engine work breakdown (k = 1..%d) ===\n", opt.max_k);
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"protocol", "k", "cases", "violations", "simulated",
+                  "memo hits", "sym folded", "tails", "secs"});
+  for (const ProtocolParams& proto : opt.protocol_set()) {
+    for (int k = 1; k <= opt.max_k; ++k) {
+      ModelCheckConfig mc = make_config(opt, proto, k);
+      mc.max_cases = opt.budget;
+      const ModelCheckResult r = run_with_meter(
+          mc, proto.name() + " k=" + std::to_string(k), opt.progress);
+      rows.push_back({proto.name(), std::to_string(k),
+                      std::to_string(r.cases) + (r.complete ? "" : "+"),
+                      std::to_string(r.violations()),
+                      std::to_string(r.stats.simulated),
+                      std::to_string(r.stats.tail_memo_hits),
+                      std::to_string(r.stats.symmetry_skips),
+                      std::to_string(r.stats.distinct_tails),
+                      std::to_string(r.stats.seconds).substr(0, 5)});
+    }
   }
   std::printf("%s\n", render_table(rows).c_str());
 
+  // --- Part 3: budget-bounded k = 5 at m = 5 ------------------------------
+  std::printf("=== Budget-bounded exploration: MajorCAN_5 at k = 5 ===\n");
+  {
+    ModelCheckConfig mc = make_config(opt, ProtocolParams::major_can(5), 5);
+    mc.max_cases = opt.budget > 0 ? opt.budget : 200000;
+    const ModelCheckResult r =
+        run_with_meter(mc, "MajorCAN_5 k=5", opt.progress);
+    std::printf("%s\n", r.summary().c_str());
+    std::printf("covered %lld flip patterns under a %lld-pattern check"
+                " budget (symmetry orbits count at full weight;"
+                " complete=%s)\n",
+                r.cases, mc.max_cases, r.complete ? "true" : "false");
+  }
+
   std::printf(
-      "reading: the Monte-Carlo frequency matches expression (4) within\n"
-      "sampling noise across node counts and error rates, validating the\n"
-      "combinatorics behind Table 1 (which then evaluates the same closed\n"
-      "form at the realistic ber of 1e-4..1e-6 where direct simulation is\n"
-      "infeasible: ~1e-10 per frame).\n");
+      "\nreading: the engine's reductions (prefix cloning, tail\n"
+      "memoization, receiver-permutation symmetry) are exact — the top\n"
+      "section certifies identical counts against the reference\n"
+      "enumerator before quoting any speedup.  Budget-bounded runs trade\n"
+      "completeness for reach: a clean bounded k=5 run is evidence, not\n"
+      "proof, while any violation it finds would be a concrete\n"
+      "counterexample.\n");
   return 0;
 }

@@ -1,0 +1,265 @@
+#include "analysis/coverage.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace mcan {
+
+namespace {
+
+using S = FsmState;
+
+struct EdgeSpec {
+  S from;
+  S to;
+};
+
+// The expected transition relation, derived edge-by-edge from the
+// controller's drive()/sample() rules (core/controller.cpp) and the
+// paper's protocol descriptions.  Shared edges first.
+constexpr EdgeSpec kCommonEdges[] = {
+    // Frame start: an idle node either wins the bus or hears SOF.
+    {S::Idle, S::Tx},
+    {S::Idle, S::Rx},
+    // A transmitter loses arbitration back into reception, finishes the
+    // frame, or detects an error (active or passive flag by TEC state).
+    {S::Tx, S::Rx},
+    {S::Tx, S::Intermission},
+    {S::Tx, S::ErrorFlag},
+    {S::Tx, S::PassiveFlag},
+    // Receiver pipeline: body -> ACK/CRC-delimiter tail -> EOF.
+    {S::Rx, S::RxTail},
+    {S::Rx, S::ErrorFlag},
+    {S::Rx, S::PassiveFlag},
+    {S::RxTail, S::RxEof},
+    {S::RxTail, S::ErrorFlag},
+    {S::RxTail, S::PassiveFlag},
+    {S::RxEof, S::Intermission},
+    {S::RxEof, S::ErrorFlag},
+    {S::RxEof, S::PassiveFlag},
+    // Every flag is followed by the delimiter wait-for-recessive, then the
+    // delimiter proper.
+    {S::ErrorFlag, S::DelimWait},
+    {S::PassiveFlag, S::DelimWait},
+    {S::OverloadFlag, S::DelimWait},
+    {S::DelimWait, S::Delim},
+    // A delimiter ends cleanly or is itself disturbed (new flag, or an
+    // overload condition on its tail).
+    {S::Delim, S::Intermission},
+    {S::Delim, S::OverloadFlag},
+    {S::Delim, S::ErrorFlag},
+    {S::Delim, S::PassiveFlag},
+    // Intermission: overload on its first two bits, SOF cutting it short,
+    // clean return to idle, or the error-passive transmitter suspend.
+    {S::Intermission, S::OverloadFlag},
+    {S::Intermission, S::Rx},
+    {S::Intermission, S::Idle},
+    {S::Intermission, S::Suspend},
+    {S::Suspend, S::Rx},
+    {S::Suspend, S::Idle},
+    // Bus-off auto-recovery overrides the end-game states a node can be in
+    // when its TEC crosses the limit; recovery completes to Idle.
+    {S::PassiveFlag, S::BusOffWait},
+    {S::DelimWait, S::BusOffWait},
+    {S::Delim, S::BusOffWait},
+    {S::BusOffWait, S::Idle},
+};
+
+// Standard CAN only: the last-EOF-bit rule accepts the frame and raises an
+// overload condition straight from RxEof (MinorCAN turns the same sample
+// into Primary_error -> ErrorFlag, already expected above).
+constexpr EdgeSpec kCanOnlyEdges[] = {
+    {S::RxEof, S::OverloadFlag},
+};
+
+// MajorCAN only: split-EOF end-game (paper §5).
+constexpr EdgeSpec kMajorOnlyEdges[] = {
+    // Second-sub-field error: accept + notify with an extended flag.
+    {S::Tx, S::ExtFlag},
+    {S::RxEof, S::ExtFlag},
+    // First-sub-field error: regular flag, then the majority-vote sampling
+    // window instead of an immediate delimiter.
+    {S::ErrorFlag, S::Sampling},
+    {S::PassiveFlag, S::Sampling},
+    // Both end-game arms converge on the fixed 2m+1 delimiter.
+    {S::Sampling, S::Delim},
+    {S::ExtFlag, S::Delim},
+    // Second-error suppression normally keeps a sampler sampling; with the
+    // ablation knob off, a second error restarts the flag.
+    {S::Sampling, S::ErrorFlag},
+    {S::Sampling, S::PassiveFlag},
+};
+
+const char* variant_label(Variant v) { return variant_name(v); }
+
+}  // namespace
+
+std::vector<FsmEdge> expected_fsm_transitions(Variant v) {
+  std::vector<FsmEdge> out;
+  auto add = [&out](const EdgeSpec* specs, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back({specs[i].from, specs[i].to, 0});
+    }
+  };
+  add(kCommonEdges, std::size(kCommonEdges));
+  if (v == Variant::StandardCan) {
+    add(kCanOnlyEdges, std::size(kCanOnlyEdges));
+  }
+  if (v == Variant::MajorCan) {
+    add(kMajorOnlyEdges, std::size(kMajorOnlyEdges));
+  }
+  std::sort(out.begin(), out.end(), [](const FsmEdge& a, const FsmEdge& b) {
+    if (a.from != b.from) return a.from < b.from;
+    return a.to < b.to;
+  });
+  return out;
+}
+
+FsmCoverageReport collect_fsm_coverage(Variant v) {
+  FsmCoverageReport rep;
+  rep.variant = v;
+  rep.instrumented = fsm_coverage_compiled();
+
+  const std::vector<FsmEdge> expected = expected_fsm_transitions(v);
+  if (!rep.instrumented) {
+    rep.never_exercised = expected;
+    return rep;
+  }
+
+  const std::vector<FsmTransitionCount> seen = fsm_coverage::snapshot(v);
+  auto is_expected = [&expected](FsmState f, FsmState t) {
+    return std::any_of(expected.begin(), expected.end(),
+                       [&](const FsmEdge& e) {
+                         return e.from == f && e.to == t;
+                       });
+  };
+  auto seen_count = [&seen](FsmState f, FsmState t) -> std::uint64_t {
+    for (const auto& s : seen) {
+      if (s.from == f && s.to == t) return s.count;
+    }
+    return 0;
+  };
+
+  for (const auto& s : seen) {
+    rep.visited.push_back({s.from, s.to, s.count});
+    if (!is_expected(s.from, s.to)) {
+      rep.unexpected.push_back({s.from, s.to, s.count});
+    }
+  }
+  for (const auto& e : expected) {
+    if (seen_count(e.from, e.to) == 0) rep.never_exercised.push_back(e);
+  }
+
+  // States relevant to this variant (appear in the expected relation),
+  // minus those actually entered.
+  std::array<bool, kFsmStateCount> relevant{}, entered{};
+  relevant[static_cast<int>(S::Idle)] = true;  // initial state
+  for (const auto& e : expected) {
+    relevant[static_cast<int>(e.from)] = true;
+    relevant[static_cast<int>(e.to)] = true;
+  }
+  entered[static_cast<int>(S::Idle)] = true;
+  for (const auto& s : seen) {
+    entered[static_cast<int>(s.from)] = true;
+    entered[static_cast<int>(s.to)] = true;
+  }
+  for (int i = 0; i < kFsmStateCount; ++i) {
+    if (relevant[i] && !entered[i]) {
+      rep.unreached_states.push_back(static_cast<FsmState>(i));
+    }
+  }
+  return rep;
+}
+
+double FsmCoverageReport::transition_coverage() const {
+  // Expected edges with hits = visited minus the unexpected ones.
+  const std::size_t exercised = visited.size() - unexpected.size();
+  const std::size_t expected_total = exercised + never_exercised.size();
+  if (expected_total == 0) return 0.0;
+  return static_cast<double>(exercised) /
+         static_cast<double>(expected_total);
+}
+
+std::string FsmCoverageReport::summary() const {
+  std::string s = "FSM transition coverage [";
+  s += variant_label(variant);
+  s += "]";
+  if (!instrumented) {
+    s += ": NOT INSTRUMENTED (build with -DMCAN_FSM_COVERAGE=ON)\n";
+    return s;
+  }
+  const std::size_t exercised =
+      visited.size() - unexpected.size();  // expected edges with hits
+  const std::size_t expected_total = exercised + never_exercised.size();
+  s += ": " + std::to_string(exercised) + "/" +
+       std::to_string(expected_total) + " expected transitions exercised\n";
+  if (!never_exercised.empty()) {
+    s += "  never exercised:\n";
+    for (const auto& e : never_exercised) {
+      s += "    " + std::string(fsm_state_name(e.from)) + " -> " +
+           fsm_state_name(e.to) + "\n";
+    }
+  }
+  if (!unexpected.empty()) {
+    s += "  UNEXPECTED transitions (controller bug or stale model):\n";
+    for (const auto& e : unexpected) {
+      s += "    " + std::string(fsm_state_name(e.from)) + " -> " +
+           fsm_state_name(e.to) + " (x" + std::to_string(e.count) + ")\n";
+    }
+  }
+  if (!unreached_states.empty()) {
+    s += "  states never entered:";
+    for (const auto st : unreached_states) {
+      s += " " + std::string(fsm_state_name(st));
+    }
+    s += "\n";
+  }
+  return s;
+}
+
+namespace {
+
+void append_edge_array(std::string& s, const std::vector<FsmEdge>& edges,
+                       bool with_counts) {
+  s += "[";
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (i) s += ",";
+    s += "{\"from\":\"";
+    s += fsm_state_name(edges[i].from);
+    s += "\",\"to\":\"";
+    s += fsm_state_name(edges[i].to);
+    s += "\"";
+    if (with_counts) {
+      s += ",\"count\":" + std::to_string(edges[i].count);
+    }
+    s += "}";
+  }
+  s += "]";
+}
+
+}  // namespace
+
+std::string FsmCoverageReport::to_json() const {
+  std::string s = "{\"variant\":\"";
+  s += variant_label(variant);
+  s += "\",\"instrumented\":";
+  s += instrumented ? "true" : "false";
+  s += ",\"transition_coverage\":" + std::to_string(transition_coverage());
+  s += ",\"visited\":";
+  append_edge_array(s, visited, true);
+  s += ",\"never_exercised\":";
+  append_edge_array(s, never_exercised, false);
+  s += ",\"unexpected\":";
+  append_edge_array(s, unexpected, true);
+  s += ",\"unreached_states\":[";
+  for (std::size_t i = 0; i < unreached_states.size(); ++i) {
+    if (i) s += ",";
+    s += "\"";
+    s += fsm_state_name(unreached_states[i]);
+    s += "\"";
+  }
+  s += "]}";
+  return s;
+}
+
+}  // namespace mcan

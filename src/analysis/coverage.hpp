@@ -1,0 +1,63 @@
+// FSM transition-coverage reporting.
+//
+// When the build is configured with -DMCAN_FSM_COVERAGE=ON the controller
+// records every state transition it takes (core/fsm_coverage.hpp) into a
+// per-variant matrix.  This module turns that raw matrix into a report
+// against the *expected* transition relation of each protocol variant —
+// the edges the paper's rules permit — so a sweep can answer two
+// questions the raw violation counts cannot:
+//
+//   * which legal transitions were never exercised (a hole in the test
+//     input space: the sweep proved nothing about that edge), and
+//   * which recorded transitions are not in the expected relation (either
+//     a controller bug or a hole in this module's model of the FSM —
+//     both worth failing CI over).
+//
+// The expected relation is written down edge-by-edge in coverage.cpp with
+// a citation for each edge; docs/MODEL_CHECKING.md explains the
+// methodology.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fsm_coverage.hpp"
+#include "core/protocol.hpp"
+
+namespace mcan {
+
+struct FsmEdge {
+  FsmState from = FsmState::Idle;
+  FsmState to = FsmState::Idle;
+  std::uint64_t count = 0;  ///< 0 for expected-but-unexercised edges
+};
+
+struct FsmCoverageReport {
+  Variant variant = Variant::StandardCan;
+  bool instrumented = false;  ///< false when built without MCAN_FSM_COVERAGE
+
+  std::vector<FsmEdge> visited;          ///< recorded, with counts
+  std::vector<FsmEdge> never_exercised;  ///< expected but count == 0
+  std::vector<FsmEdge> unexpected;       ///< recorded but not expected
+  std::vector<FsmState> unreached_states;  ///< relevant states never entered
+
+  /// Exercised fraction of the expected transition relation, in [0, 1].
+  [[nodiscard]] double transition_coverage() const;
+
+  /// Human-readable multi-line report.
+  [[nodiscard]] std::string summary() const;
+
+  /// JSON object (stable key order) for the CI artifact.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// The expected transition relation for one variant (count fields are 0).
+[[nodiscard]] std::vector<FsmEdge> expected_fsm_transitions(Variant v);
+
+/// Snapshot the recorded matrix for `v` and diff it against the expected
+/// relation.  Meaningful after running workloads; call
+/// fsm_coverage::reset() first to scope the report to one experiment.
+[[nodiscard]] FsmCoverageReport collect_fsm_coverage(Variant v);
+
+}  // namespace mcan

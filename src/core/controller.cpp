@@ -4,6 +4,11 @@
 #include <string>
 
 #include "util/contract.hpp"
+#include "util/statekey.hpp"
+
+#ifdef MCAN_ENABLE_FSM_COVERAGE
+#include "core/fsm_coverage.hpp"
+#endif
 
 namespace mcan {
 
@@ -12,6 +17,7 @@ namespace mcan {
 // -(m+4); validate() rejects m above kMaxTolerance.
 static_assert(kNoEofRel < -(kMaxTolerance + 4),
               "kNoEofRel collides with reachable EOF-relative anchors");
+
 
 namespace {
 std::string at_eof(int pos) {
@@ -47,6 +53,48 @@ void CanController::emit(BitTime t, EventKind kind, std::string detail,
   log_->emit(Event{t, cfg_.id, kind, std::move(detail), std::move(frame)});
 }
 
+void CanController::cov_note() {
+#ifdef MCAN_ENABLE_FSM_COVERAGE
+  // FsmState (the public mirror in fsm_coverage.hpp) must track St exactly:
+  // cov_note() casts between them.
+  static_assert(static_cast<int>(St::Idle) == static_cast<int>(FsmState::Idle));
+  static_assert(static_cast<int>(St::Intermission) ==
+                static_cast<int>(FsmState::Intermission));
+  static_assert(static_cast<int>(St::BusOffWait) ==
+                static_cast<int>(FsmState::BusOffWait));
+  static_assert(static_cast<int>(St::Suspend) ==
+                static_cast<int>(FsmState::Suspend));
+  static_assert(static_cast<int>(St::Tx) == static_cast<int>(FsmState::Tx));
+  static_assert(static_cast<int>(St::Rx) == static_cast<int>(FsmState::Rx));
+  static_assert(static_cast<int>(St::RxTail) ==
+                static_cast<int>(FsmState::RxTail));
+  static_assert(static_cast<int>(St::RxEof) ==
+                static_cast<int>(FsmState::RxEof));
+  static_assert(static_cast<int>(St::ErrorFlag) ==
+                static_cast<int>(FsmState::ErrorFlag));
+  static_assert(static_cast<int>(St::PassiveFlag) ==
+                static_cast<int>(FsmState::PassiveFlag));
+  static_assert(static_cast<int>(St::OverloadFlag) ==
+                static_cast<int>(FsmState::OverloadFlag));
+  static_assert(static_cast<int>(St::DelimWait) ==
+                static_cast<int>(FsmState::DelimWait));
+  static_assert(static_cast<int>(St::Delim) ==
+                static_cast<int>(FsmState::Delim));
+  static_assert(static_cast<int>(St::Sampling) ==
+                static_cast<int>(FsmState::Sampling));
+  static_assert(static_cast<int>(St::ExtFlag) ==
+                static_cast<int>(FsmState::ExtFlag));
+  static_assert(kFsmStateCount == static_cast<int>(St::ExtFlag) + 1);
+
+  if (st_ != cov_prev_) {
+    fsm_coverage::record(cfg_.protocol.variant,
+                         static_cast<FsmState>(cov_prev_),
+                         static_cast<FsmState>(st_));
+    cov_prev_ = st_;
+  }
+#endif
+}
+
 // ---------------------------------------------------------------------------
 // drive
 // ---------------------------------------------------------------------------
@@ -56,6 +104,7 @@ Level CanController::drive(BitTime t) {
     case St::Idle:
       if (!queue_.empty()) {
         start_transmission(t);
+        cov_note();
         return txe_.current().level;  // SOF, dominant
       }
       return Level::Recessive;
@@ -165,7 +214,12 @@ void CanController::sample(BitTime t, Level view) {
       handle_ext_flag_bit(t, view);
       break;
   }
+  // Two recording points so an intermediate state set by the handler is
+  // attributed before note_fc_state() possibly overrides it (bus-off entry
+  // with auto-recovery moves the FSM once more within the same bit).
+  cov_note();
   note_fc_state(t);
+  cov_note();
 }
 
 void CanController::note_fc_state(BitTime t) {
@@ -926,6 +980,90 @@ NodeBitInfo CanController::bit_info() const {
       break;
   }
   return info;
+}
+
+// ---------------------------------------------------------------------------
+// model-checker hooks
+// ---------------------------------------------------------------------------
+
+void CanController::append_state(std::string& out) const {
+  statekey::append_tag(out, 'C');
+  fc_.append_state(out);
+  rx_.append_state(out);
+  txe_.append_state(out);
+  // Queue *content* is shared across cases in a sweep (same probe frame);
+  // the depth captures whether a retransmission is still pending.
+  statekey::append(out, queue_.size());
+
+  statekey::append(out, st_);
+  statekey::append_bool(out, tx_role_);
+  statekey::append_bool(out, tx_in_flight_);
+  statekey::append(out, tail_pos_);
+  statekey::append(out, eof_rel_);
+  statekey::append(out, flag_sent_);
+  statekey::append(out, delim_seen_);
+  statekey::append(out, interm_pos_);
+  statekey::append(out, suspend_left_);
+  statekey::append_bool(out, crc_failed_);
+  statekey::append_bool(out, ack_seen_);
+  statekey::append_bool(out, will_ack_);
+  statekey::append(out, after_flag_);
+  statekey::append_bool(out, delim_first_bit_);
+  statekey::append_bool(out, delim_is_overload_);
+  statekey::append_bool(out, delim_fixed_);
+  statekey::append_bool(out, delim_convergent_);
+  statekey::append(out, delim_dom_run_);
+  statekey::append(out, passive_run_);
+  statekey::append(out, passive_last_);
+  statekey::append(out, last_fc_state_);
+  statekey::append(out, recovery_runs_);
+  statekey::append(out, recovery_run_);
+  statekey::append(out, samples_dom_);
+  statekey::append(out, samples_seen_);
+  statekey::append_bool(out, vote_enabled_);
+  statekey::append_bool(out, have_rx_frame_);
+}
+
+void CanController::clone_runtime_state(const CanController& src) {
+  MCAN_ASSERT(cfg_.protocol.variant == src.cfg_.protocol.variant &&
+                  cfg_.protocol.m == src.cfg_.protocol.m,
+              "runtime state may only be cloned between same-protocol nodes");
+  fc_ = src.fc_;
+  rx_ = src.rx_;
+  txe_ = src.txe_;
+  queue_ = src.queue_;
+
+  st_ = src.st_;
+  tx_role_ = src.tx_role_;
+  tx_in_flight_ = src.tx_in_flight_;
+  tail_pos_ = src.tail_pos_;
+  eof_rel_ = src.eof_rel_;
+  flag_sent_ = src.flag_sent_;
+  delim_seen_ = src.delim_seen_;
+  interm_pos_ = src.interm_pos_;
+  suspend_left_ = src.suspend_left_;
+  crc_failed_ = src.crc_failed_;
+  ack_seen_ = src.ack_seen_;
+  will_ack_ = src.will_ack_;
+  after_flag_ = src.after_flag_;
+  delim_first_bit_ = src.delim_first_bit_;
+  delim_is_overload_ = src.delim_is_overload_;
+  delim_fixed_ = src.delim_fixed_;
+  delim_convergent_ = src.delim_convergent_;
+  delim_dom_run_ = src.delim_dom_run_;
+  frame_index_ = src.frame_index_;
+  passive_run_ = src.passive_run_;
+  passive_last_ = src.passive_last_;
+  last_fc_state_ = src.last_fc_state_;
+  recovery_runs_ = src.recovery_runs_;
+  recovery_run_ = src.recovery_run_;
+  samples_dom_ = src.samples_dom_;
+  samples_seen_ = src.samples_seen_;
+  vote_enabled_ = src.vote_enabled_;
+  have_rx_frame_ = src.have_rx_frame_;
+  // Coverage attribution restarts from the cloned state: the template
+  // bus already recorded the prefix transitions once.
+  cov_prev_ = src.st_;
 }
 
 }  // namespace mcan

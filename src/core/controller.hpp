@@ -97,6 +97,25 @@ class CanController final : public BusParticipant {
   /// error-passive", paper §2).
   void force_error_counters(int tec, int rec) { fc_.force_counters(tec, rec); }
 
+  // ---- model-checker hooks (scenario/model_check.cpp) ----
+
+  /// Append an exact serialization of every runtime field that can
+  /// influence this node's future behaviour.  Two controllers with equal
+  /// digests and equal configuration evolve bit-identically from here, so
+  /// the model checker can memoize simulation tails keyed on the digests
+  /// of all nodes.  Deliberately excluded: the event log, delivery
+  /// handlers and frame_index_ — bookkeeping that never feeds back into
+  /// the FSM.
+  void append_state(std::string& out) const;
+
+  /// Overwrite this controller's runtime state with a copy of `src`'s
+  /// (same protocol and queue content required for the copy to make
+  /// sense).  Used for prefix cloning: one template bus is stepped through
+  /// the clean frame prefix once, and each enumerated case starts from a
+  /// clone instead of re-simulating the prefix.  Configuration, log and
+  /// handlers are left untouched.
+  void clone_runtime_state(const CanController& src);
+
   // ---- BusParticipant ----
 
   [[nodiscard]] Level drive(BitTime t) override;
@@ -184,6 +203,10 @@ class CanController final : public BusParticipant {
   void emit(BitTime t, EventKind kind, std::string detail = {},
             std::optional<Frame> frame = std::nullopt);
 
+  /// Record an FSM transition for coverage if st_ changed since the last
+  /// call.  Compiled to nothing unless MCAN_ENABLE_FSM_COVERAGE is set.
+  void cov_note();
+
   [[nodiscard]] bool is_major() const {
     return cfg_.protocol.variant == Variant::MajorCan;
   }
@@ -239,6 +262,10 @@ class CanController final : public BusParticipant {
 
   // deferred decision bookkeeping
   bool have_rx_frame_ = false;  ///< rx_ holds a complete body for this frame
+
+  // FSM-coverage bookkeeping: last state reported to the coverage matrix.
+  // Unused (but kept, for a stable layout) when coverage is compiled out.
+  St cov_prev_ = St::Idle;
 };
 
 }  // namespace mcan

@@ -1,0 +1,82 @@
+#include "core/fsm_coverage.hpp"
+
+#include <atomic>
+
+namespace mcan {
+
+const char* fsm_state_name(FsmState s) {
+  switch (s) {
+    case FsmState::Idle: return "Idle";
+    case FsmState::Intermission: return "Intermission";
+    case FsmState::BusOffWait: return "BusOffWait";
+    case FsmState::Suspend: return "Suspend";
+    case FsmState::Tx: return "Tx";
+    case FsmState::Rx: return "Rx";
+    case FsmState::RxTail: return "RxTail";
+    case FsmState::RxEof: return "RxEof";
+    case FsmState::ErrorFlag: return "ErrorFlag";
+    case FsmState::PassiveFlag: return "PassiveFlag";
+    case FsmState::OverloadFlag: return "OverloadFlag";
+    case FsmState::DelimWait: return "DelimWait";
+    case FsmState::Delim: return "Delim";
+    case FsmState::Sampling: return "Sampling";
+    case FsmState::ExtFlag: return "ExtFlag";
+  }
+  return "?";
+}
+
+bool fsm_coverage_compiled() {
+#ifdef MCAN_ENABLE_FSM_COVERAGE
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace fsm_coverage {
+
+namespace {
+
+constexpr int kVariants = 3;  // StandardCan, MinorCan, MajorCan
+
+// One flat matrix of relaxed atomics; zero-initialised at program start.
+std::atomic<std::uint64_t>
+    g_counts[kVariants][kFsmStateCount][kFsmStateCount];
+
+int vi(Variant v) { return static_cast<int>(v); }
+int si(FsmState s) { return static_cast<int>(s); }
+
+}  // namespace
+
+void record(Variant v, FsmState from, FsmState to) noexcept {
+  g_counts[vi(v)][si(from)][si(to)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void reset() {
+  for (auto& per_variant : g_counts) {
+    for (auto& row : per_variant) {
+      for (auto& cell : row) cell.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::uint64_t count(Variant v, FsmState from, FsmState to) {
+  return g_counts[vi(v)][si(from)][si(to)].load(std::memory_order_relaxed);
+}
+
+std::vector<FsmTransitionCount> snapshot(Variant v) {
+  std::vector<FsmTransitionCount> out;
+  for (int f = 0; f < kFsmStateCount; ++f) {
+    for (int t = 0; t < kFsmStateCount; ++t) {
+      const std::uint64_t c =
+          g_counts[vi(v)][f][t].load(std::memory_order_relaxed);
+      if (c == 0) continue;
+      out.push_back({static_cast<FsmState>(f), static_cast<FsmState>(t), c});
+    }
+  }
+  return out;
+}
+
+}  // namespace fsm_coverage
+
+}  // namespace mcan

@@ -1,0 +1,80 @@
+// FSM transition-coverage instrumentation for the controller.
+//
+// When the build option MCAN_FSM_COVERAGE is ON (compile definition
+// MCAN_ENABLE_FSM_COVERAGE, mirroring the MCAN_CONTRACTS pattern), every
+// controller state change is counted in a global per-variant transition
+// matrix.  The model checker and CI use this to prove which parts of the
+// controller FSM a sweep actually exercised — and, via the expected-
+// transition table in analysis/coverage.hpp, which legal transitions were
+// *never* exercised and whether any transition outside the hand-derived
+// FSM contract fired at all.
+//
+// The counters are process-global (like a coverage profile) and atomic
+// with relaxed ordering, so the parallel exploration engine can record
+// from many worker threads without synchronisation cost.  They are *not*
+// part of simulation semantics: with the option OFF the controller
+// contains no recording code at all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace mcan {
+
+/// Mirror of CanController's private state enum, in the identical order
+/// (controller.cpp static_asserts the correspondence).  Public so reports
+/// can name states without exposing the controller's internals.
+enum class FsmState : std::uint8_t {
+  Idle,
+  Intermission,
+  BusOffWait,
+  Suspend,
+  Tx,
+  Rx,
+  RxTail,
+  RxEof,
+  ErrorFlag,
+  PassiveFlag,
+  OverloadFlag,
+  DelimWait,
+  Delim,
+  Sampling,
+  ExtFlag,
+};
+
+inline constexpr int kFsmStateCount = 15;
+
+[[nodiscard]] const char* fsm_state_name(FsmState s);
+
+/// True iff the library was compiled with MCAN_FSM_COVERAGE=ON, i.e. the
+/// controller actually records transitions.  Reports check this so a
+/// non-instrumented build yields "not instrumented" instead of a
+/// misleading all-zero matrix.
+[[nodiscard]] bool fsm_coverage_compiled();
+
+/// One observed transition with its hit count.
+struct FsmTransitionCount {
+  FsmState from = FsmState::Idle;
+  FsmState to = FsmState::Idle;
+  std::uint64_t count = 0;
+};
+
+namespace fsm_coverage {
+
+/// Record one state change (relaxed atomic increment; thread-safe).
+void record(Variant v, FsmState from, FsmState to) noexcept;
+
+/// Zero all counters for all variants.
+void reset();
+
+/// Hit count of one transition.
+[[nodiscard]] std::uint64_t count(Variant v, FsmState from, FsmState to);
+
+/// All transitions with a non-zero count for `v`, in (from, to) order.
+[[nodiscard]] std::vector<FsmTransitionCount> snapshot(Variant v);
+
+}  // namespace fsm_coverage
+
+}  // namespace mcan

@@ -54,6 +54,11 @@ class BitDestuffer {
   /// firing there still inserts one stuff bit before the CRC delimiter.
   [[nodiscard]] bool stuff_pending() const { return run_ >= kStuffRun; }
 
+  /// Run-tracking introspection (model-checker state digests): level and
+  /// length of the current equal-bit run.
+  [[nodiscard]] Level run_level() const { return last_; }
+  [[nodiscard]] int run_length() const { return run_; }
+
   void reset();
 
  private:

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/statekey.hpp"
+
 namespace mcan {
 
 const char* fc_state_name(FcState s) {
@@ -78,6 +80,13 @@ void FaultConfinement::update_state() {
   } else {
     state_ = FcState::ErrorActive;
   }
+}
+
+void FaultConfinement::append_state(std::string& out) const {
+  statekey::append_tag(out, 'F');
+  statekey::append(out, state_);
+  statekey::append(out, tec_);
+  statekey::append(out, rec_);
 }
 
 }  // namespace mcan

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace mcan {
 
@@ -74,6 +75,9 @@ class FaultConfinement {
   /// consecutive recessive bits): counters reset, back to error-active.
   /// No-op unless currently bus-off.
   void reset_after_busoff();
+
+  /// Append state and counters to a model-checker state digest.
+  void append_state(std::string& out) const;
 
  private:
   void update_state();

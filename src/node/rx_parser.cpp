@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/statekey.hpp"
+
 namespace mcan {
 
 void RxParser::reset() {
@@ -161,6 +163,22 @@ RxParser::Status RxParser::consume_payload(Level bit) {
       break;
   }
   return Status::InBody;
+}
+
+void RxParser::append_state(std::string& out) const {
+  statekey::append_tag(out, 'R');
+  statekey::append(out, destuff_.run_level());
+  statekey::append(out, destuff_.run_length());
+  statekey::append(out, crc_.value());
+  statekey::append(out, frame_);
+  statekey::append(out, field_);
+  statekey::append(out, field_bits_);
+  statekey::append(out, data_bits_);
+  statekey::append(out, acc_);
+  statekey::append(out, rtr_or_srr_);
+  statekey::append(out, crc_received_);
+  statekey::append(out, crc_computed_);
+  statekey::append(out, wire_bits_);
 }
 
 }  // namespace mcan

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "frame/crc15.hpp"
 #include "frame/frame.hpp"
@@ -44,6 +45,11 @@ class RxParser {
 
   /// True once the body is fully consumed.
   [[nodiscard]] bool done() const { return field_ == Field::Done; }
+
+  /// Append every field that determines future parse behaviour to a
+  /// model-checker state digest (includes the destuffer run and the
+  /// partially assembled frame).
+  void append_state(std::string& out) const;
 
  private:
   enum class Field : std::uint8_t {

@@ -1,5 +1,7 @@
 #include "node/tx_engine.hpp"
 
+#include "util/statekey.hpp"
+
 namespace mcan {
 
 void TxEngine::start(const Frame& f, int eof_bits) {
@@ -19,6 +21,14 @@ int TxEngine::eof_index() const {
     return static_cast<int>(idx_ - eof_start_);
   }
   return -1;
+}
+
+void TxEngine::append_state(std::string& out) const {
+  statekey::append_tag(out, 'T');
+  statekey::append(out, frame_);
+  statekey::append(out, idx_);
+  statekey::append(out, eof_start_);
+  statekey::append(out, bits_.size());
 }
 
 }  // namespace mcan

@@ -5,6 +5,7 @@
 // phase to pick error semantics (arbitration loss vs. bit error vs. ACK).
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "frame/encoder.hpp"
@@ -40,6 +41,12 @@ class TxEngine {
   [[nodiscard]] const Frame& frame() const { return frame_; }
 
   void abort() { idx_ = bits_.size(); }
+
+  /// Append every field that determines future transmit behaviour to a
+  /// model-checker state digest.  The bitstream content itself is a pure
+  /// function of the started frame, so (cursor, stream length, EOF anchor)
+  /// plus the frame identity capture it exactly.
+  void append_state(std::string& out) const;
 
  private:
   Frame frame_;

@@ -25,6 +25,20 @@ std::uint32_t parse_uint(int line, const std::string& s) {
   }
 }
 
+// Signed variant for EOF-relative positions, which are legitimately
+// negative (eofrel=-1 is the last bit before EOF); stoul would silently
+// wrap the minus sign into a huge position instead.
+int parse_int(int line, const std::string& s) {
+  try {
+    std::size_t used = 0;
+    const long v = std::stol(s, &used, 0);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return static_cast<int>(v);
+  } catch (const std::exception&) {
+    fail(line, "not an integer: '" + s + "'");
+  }
+}
+
 /// Parse "key=value" tokens into a map.
 std::map<std::string, std::string> parse_kv(
     int line, const std::vector<std::string>& tokens, std::size_t from) {
@@ -95,7 +109,7 @@ ScenarioSpec parse_scenario(const std::string& text) {
             node, static_cast<int>(parse_uint(line_no, kv["eof"])), frame));
       } else if (kv.contains("eofrel")) {
         spec.flips.push_back(FaultTarget::eof_relative(
-            node, static_cast<int>(parse_uint(line_no, kv["eofrel"])), frame));
+            node, parse_int(line_no, kv["eofrel"]), frame));
       } else if (kv.contains("body")) {
         FaultTarget t;
         t.node = node;

@@ -1,18 +1,57 @@
 #include "scenario/exhaustive.hpp"
 
-#include <functional>
+#include <stdexcept>
 
-#include "analysis/tagged.hpp"
-#include "core/network.hpp"
-#include "fault/scripted.hpp"
-#include "frame/encoder.hpp"
+#include "scenario/model_check.hpp"
 
 namespace mcan {
 
 int ExhaustiveConfig::window_hi() const {
-  if (win_hi_rel != 0) return win_hi_rel;
+  if (win_hi_rel) return *win_hi_rel;
   if (protocol.variant == Variant::MajorCan) return 3 * protocol.m + 5;
   return protocol.eof_bits() + 3;  // EOF + intermission
+}
+
+void ExhaustiveConfig::validate() const {
+  protocol.validate();
+  if (n_nodes < 2 || n_nodes > 16) {
+    throw std::invalid_argument(
+        "exhaustive: n_nodes must be in [2, 16], got " +
+        std::to_string(n_nodes));
+  }
+  if (errors < 1) {
+    throw std::invalid_argument(
+        "exhaustive: error budget k must be >= 1, got " +
+        std::to_string(errors));
+  }
+  const int hi = window_hi();
+  if (win_lo_rel > hi) {
+    throw std::invalid_argument(
+        "exhaustive: empty flip window: win_lo_rel (" +
+        std::to_string(win_lo_rel) + ") > win_hi_rel (" + std::to_string(hi) +
+        ")");
+  }
+  // The EOF-relative grid only addresses bits of the probe frame and its
+  // end-game; beyond the delimiter + intermission everything is bus-idle
+  // and a flip would hit the retransmission instead of the episode the
+  // sweep reasons about.
+  const int end_horizon =
+      (protocol.variant == Variant::MajorCan ? protocol.sample_end()
+                                             : protocol.eof_bits() - 1) +
+      protocol.error_delim_total() + 3;
+  if (hi > end_horizon) {
+    throw std::invalid_argument(
+        "exhaustive: win_hi_rel (" + std::to_string(hi) +
+        ") is past the end-game horizon (" + std::to_string(end_horizon) +
+        ") for " + protocol.name());
+  }
+  const int eof_start = model_check_eof_start(protocol);
+  if (win_lo_rel < -eof_start) {
+    throw std::invalid_argument(
+        "exhaustive: win_lo_rel (" + std::to_string(win_lo_rel) +
+        ") starts before the probe frame (EOF-relative " +
+        std::to_string(-eof_start) + " is bit time 0)");
+  }
 }
 
 std::string Counterexample::to_string() const {
@@ -38,102 +77,27 @@ std::string ExhaustiveResult::summary() const {
   return s;
 }
 
-namespace {
-
-struct CaseOutcome {
-  bool imo = false;
-  bool dup = false;
-  bool loss = false;
-  bool timeout = false;
-  std::string describe;
-};
-
-CaseOutcome run_case(const ExhaustiveConfig& cfg, const Frame& frame,
-                     int eof_start,
-                     const std::vector<std::pair<NodeId, int>>& flips) {
-  Network net(cfg.n_nodes, cfg.protocol);
-  ScriptedFaults inj;
-  for (const auto& [node, pos] : flips) {
-    inj.add(FaultTarget::at_time(node, static_cast<BitTime>(eof_start + pos)));
-  }
-  net.set_injector(inj);
-  net.node(0).enqueue(frame);
-
-  CaseOutcome out;
-  if (!net.run_until_quiet(30000)) {
-    out.timeout = true;
-    out.describe = "TIMEOUT";
-    return out;
-  }
-
-  const int tx_success =
-      static_cast<int>(net.log().count(EventKind::TxSuccess, 0));
-  bool any = false;
-  bool all = true;
-  std::string counts;
-  for (int i = 1; i < cfg.n_nodes; ++i) {
-    const auto c = static_cast<int>(net.deliveries(i).size());
-    counts += (counts.empty() ? "" : " ") + std::to_string(c);
-    if (c > 0) any = true;
-    if (c == 0) all = false;
-    if (c > 1) out.dup = true;
-  }
-  const bool sender_has = tx_success > 0;
-  out.imo = (any || sender_has) && !all;
-  out.loss = !any && sender_has;
-
-  if (out.imo) {
-    out.describe = "IMO: deliveries " + counts;
-  } else if (out.dup) {
-    out.describe = "double reception: deliveries " + counts;
-  } else if (out.loss) {
-    out.describe = "total loss (tx believed success)";
-  }
-  return out;
-}
-
-}  // namespace
-
 ExhaustiveResult run_exhaustive(const ExhaustiveConfig& cfg, int max_examples) {
+  // Reference semantics: the model-checking engine with every reduction
+  // disabled degenerates to the original single-threaded lexicographic
+  // enumerator (tests pin this equivalence).
+  ModelCheckConfig mc;
+  mc.base = cfg;
+  mc.jobs = 1;
+  mc.dedup = false;
+  mc.symmetry = false;
+  mc.max_cases = 0;
+  mc.max_examples = max_examples;
+  ModelCheckResult r = run_model_check(mc);
+
   ExhaustiveResult res;
-  res.cfg = cfg;
-  res.cfg.win_hi_rel = cfg.window_hi();
-
-  const Frame frame = make_tagged_frame(0x100, MsgKind::Data, MessageKey{0, 1});
-  const int eof_start =
-      wire_length(frame, cfg.protocol.eof_bits()) - cfg.protocol.eof_bits();
-
-  // The flip slot grid: (node, EOF-relative position).
-  std::vector<std::pair<NodeId, int>> slots;
-  for (int n = 0; n < cfg.n_nodes; ++n) {
-    for (int pos = cfg.win_lo_rel; pos <= res.cfg.win_hi_rel; ++pos) {
-      slots.emplace_back(static_cast<NodeId>(n), pos);
-    }
-  }
-
-  // Enumerate k-combinations of slots recursively.
-  std::vector<std::pair<NodeId, int>> chosen;
-  std::function<void(std::size_t)> recurse = [&](std::size_t start) {
-    if (static_cast<int>(chosen.size()) == cfg.errors) {
-      ++res.cases;
-      const CaseOutcome out = run_case(cfg, frame, eof_start, chosen);
-      if (out.imo) ++res.imo;
-      if (out.dup) ++res.double_rx;
-      if (out.loss) ++res.total_loss;
-      if (out.timeout) ++res.timeouts;
-      if ((out.imo || out.dup || out.loss || out.timeout) &&
-          static_cast<int>(res.examples.size()) < max_examples) {
-        res.examples.push_back({chosen, out.describe});
-      }
-      return;
-    }
-    for (std::size_t i = start; i < slots.size(); ++i) {
-      chosen.push_back(slots[i]);
-      recurse(i + 1);
-      chosen.pop_back();
-    }
-  };
-  recurse(0);
+  res.cfg = r.cfg;
+  res.cases = r.cases;
+  res.imo = r.imo;
+  res.double_rx = r.double_rx;
+  res.total_loss = r.total_loss;
+  res.timeouts = r.timeouts;
+  res.examples = std::move(r.examples);
   return res;
 }
 

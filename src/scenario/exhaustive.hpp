@@ -10,9 +10,15 @@
 // Standard CAN and MinorCAN produce concrete counterexample sets (the
 // Fig. 1b/3a patterns fall out automatically); MajorCAN_m must produce
 // none up to k = m.
+//
+// run_exhaustive() is the reference single-threaded enumerator with a
+// deterministic (lexicographic) visit order; the scalable engine with
+// parallelism, tail memoization and symmetry reduction lives in
+// scenario/model_check.hpp and is verified against this one.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,11 +32,20 @@ struct ExhaustiveConfig {
   int n_nodes = 3;
   int errors = 2;      ///< exact number of flips per case
   /// Window of EOF-relative positions to flip, inclusive on both ends.
-  /// Default [-4, 3m+5] covers the tail, the EOF and the whole end-game.
+  /// Default [-4, auto] covers the tail, the EOF and the whole end-game.
   int win_lo_rel = -4;
-  int win_hi_rel = 0;  ///< 0 = auto: 3m+5 (or EOF+intermission for others)
+  /// Upper window bound; disengaged = auto: 3m+5 for MajorCAN (covers the
+  /// whole end-game), EOF + intermission for the others.
+  std::optional<int> win_hi_rel;
 
+  /// The effective upper bound (resolves the auto default).
   [[nodiscard]] int window_hi() const;
+
+  /// Throws std::invalid_argument on an unusable configuration: an empty
+  /// window (win_lo_rel > window_hi()), positions outside the end-game
+  /// horizon the EOF-relative grid is meaningful for, a window starting
+  /// before the probe frame itself, or degenerate node/error counts.
+  void validate() const;
 };
 
 struct Counterexample {

@@ -1,0 +1,62 @@
+// Shared command-line vocabulary for the sweep drivers.
+//
+// bench_exhaustive, bench_model_check and the mcan-check CLI all sweep
+// the same (protocol set, k, window, engine knobs) space; this header is
+// the one place their flags are parsed so the tools cannot drift apart.
+// parse_sweep_args consumes the flags it knows and hands everything else
+// back to the caller in `rest` for tool-specific options.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace mcan {
+
+/// Parse a protocol selector token: "can", "minor", "major" (m = 3) or
+/// "major:<m>".  Throws std::invalid_argument on anything else.
+[[nodiscard]] ProtocolParams parse_protocol_arg(const std::string& token);
+
+/// The default sweep set: CAN, MinorCAN, MajorCAN_3, MajorCAN_5.
+[[nodiscard]] std::vector<ProtocolParams> default_protocol_set();
+
+struct SweepOptions {
+  std::vector<ProtocolParams> protocols;  ///< empty until defaulted/parsed
+  int max_k = 2;       ///< sweep k = 1..max_k
+  int n_nodes = 3;
+  int jobs = 0;        ///< 0 = one worker per hardware thread
+  bool dedup = true;
+  bool symmetry = true;
+  long long budget = 0;   ///< max cases per sweep (0 = exhaustive)
+  bool progress = true;   ///< live cases/sec + ETA meter on stderr
+  std::optional<int> win_lo;  ///< --window override (EOF-relative)
+  std::optional<int> win_hi;
+
+  /// Protocols to sweep: the parsed --protocol list, or the default set.
+  [[nodiscard]] std::vector<ProtocolParams> protocol_set() const;
+};
+
+/// Parse the shared flags out of argv:
+///
+///   --protocol can|minor|major|major:<m>   (repeatable)
+///   --errors N | -k N          error budget; sweeps run k = 1..N
+///   --nodes N                  bus size (default 3)
+///   --jobs N                   worker threads (0 = hardware)
+///   --budget N                 stop each sweep after N cases
+///   --no-dedup / --no-symmetry disable engine reductions
+///   --no-progress              silence the stderr meter
+///   --window LO:HI             flip window override, EOF-relative
+///   <int>                      bare positional: same as --errors
+///
+/// Unrecognized arguments are appended to `rest` in order.  Returns false
+/// (with a message in `error`) on a malformed value for a known flag.
+[[nodiscard]] bool parse_sweep_args(int argc, char** argv, SweepOptions& opt,
+                                    std::vector<std::string>& rest,
+                                    std::string& error);
+
+/// One help paragraph describing the shared flags (for --help texts).
+[[nodiscard]] const char* sweep_flags_help();
+
+}  // namespace mcan

@@ -54,6 +54,13 @@ class Simulator {
 
   [[nodiscard]] BitTime now() const { return now_; }
 
+  /// Set the clock without stepping.  Model-checker use only: after cloning
+  /// all participants' runtime state from a template bus that was stepped to
+  /// `t`, warping aligns this simulator's clock so absolute-time fault
+  /// targets and traces line up with the cloned state.  Meaningless (and
+  /// unsound) unless every attached participant's state matches time `t`.
+  void warp_to(BitTime t) { now_ = t; }
+
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
 
   /// True iff the node was administratively crashed by schedule_crash.

@@ -1,0 +1,70 @@
+#include "util/progress.hpp"
+
+#include <cstdio>
+
+namespace mcan {
+
+namespace {
+
+std::string format_eta(double seconds) {
+  if (seconds < 0) return "?";
+  const long long s = static_cast<long long>(seconds + 0.5);
+  if (s < 60) return std::to_string(s) + "s";
+  if (s < 3600) {
+    return std::to_string(s / 60) + "m" + std::to_string(s % 60) + "s";
+  }
+  return std::to_string(s / 3600) + "h" + std::to_string((s % 3600) / 60) + "m";
+}
+
+}  // namespace
+
+ProgressMeter::ProgressMeter(std::string label, long long total,
+                             double min_interval_s)
+    : label_(std::move(label)),
+      total_(total),
+      min_interval_(min_interval_s),
+      start_(std::chrono::steady_clock::now()),
+      last_print_(start_) {}
+
+ProgressMeter::~ProgressMeter() { finish(); }
+
+void ProgressMeter::update(long long done) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  const auto now = std::chrono::steady_clock::now();
+  const double since_print =
+      std::chrono::duration<double>(now - last_print_).count();
+  if (since_print < min_interval_) return;
+  last_print_ = now;
+  print_line(done, std::chrono::duration<double>(now - start_).count());
+}
+
+void ProgressMeter::set_total(long long total) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_ = total;
+}
+
+void ProgressMeter::finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  finished_ = true;
+  if (printed_) std::fprintf(stderr, "\r\033[K");
+}
+
+void ProgressMeter::print_line(long long done, double elapsed) {
+  const double rate = elapsed > 0 ? static_cast<double>(done) / elapsed : 0;
+  std::string line = label_ + ": " + std::to_string(done);
+  if (total_ > 0) line += "/" + std::to_string(total_);
+  line += " cases";
+  if (rate > 0) {
+    line += ", " + std::to_string(static_cast<long long>(rate)) + "/s";
+    if (total_ > 0 && done > 0 && done < total_) {
+      line += ", ETA " + format_eta(static_cast<double>(total_ - done) / rate);
+    }
+  }
+  std::fprintf(stderr, "\r\033[K%s", line.c_str());
+  std::fflush(stderr);
+  printed_ = true;
+}
+
+}  // namespace mcan

@@ -1,0 +1,34 @@
+// Raw-byte serialization helpers for machine-state digests.
+//
+// The model checker's tail memoization (scenario/model_check.cpp) needs an
+// *exact* key for "the complete runtime state of every controller at the
+// dedup cut": two cases may only share a memoized tail if their futures are
+// bit-identical, so the key must cover every field that can influence
+// future behaviour and must never collide.  Serializing the raw bytes of
+// each field into a std::string gives an exact (collision-free) key;
+// std::unordered_map then hashes the string internally, and a hash
+// collision only costs an equality compare, never a wrong answer.
+#pragma once
+
+#include <string>
+#include <type_traits>
+
+namespace mcan::statekey {
+
+/// Append the object representation of a trivially copyable value.
+template <typename T>
+void append(std::string& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "state keys are built from trivially copyable fields");
+  out.append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+inline void append_bool(std::string& out, bool b) {
+  out.push_back(b ? '\1' : '\0');
+}
+
+/// Field separator: guards against ambiguous concatenation of
+/// variable-length parts (e.g. two adjacent containers).
+inline void append_tag(std::string& out, char tag) { out.push_back(tag); }
+
+}  // namespace mcan::statekey

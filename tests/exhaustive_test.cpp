@@ -4,6 +4,8 @@
 // the model checking the paper planned as future work.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "scenario/exhaustive.hpp"
 
 namespace {
@@ -112,6 +114,57 @@ TEST(Exhaustive, WindowDefaultsDependOnProtocol) {
   EXPECT_EQ(cfg.window_hi(), 3 * 5 + 5);
   cfg.protocol = ProtocolParams::standard_can();
   EXPECT_EQ(cfg.window_hi(), 7 + 3);
+}
+
+TEST(Exhaustive, ExplicitWindowOverridesAuto) {
+  ExhaustiveConfig cfg;
+  cfg.protocol = ProtocolParams::standard_can();
+  cfg.win_hi_rel = 4;
+  EXPECT_EQ(cfg.window_hi(), 4);
+  cfg.win_hi_rel.reset();
+  EXPECT_EQ(cfg.window_hi(), 10);  // back to the auto default
+}
+
+TEST(ExhaustiveValidate, RejectsEmptyWindow) {
+  ExhaustiveConfig cfg;
+  cfg.protocol = ProtocolParams::standard_can();
+  cfg.win_lo_rel = 6;
+  cfg.win_hi_rel = 3;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ExhaustiveValidate, RejectsWindowPastEndGameHorizon) {
+  ExhaustiveConfig cfg;
+  cfg.protocol = ProtocolParams::standard_can();
+  cfg.win_hi_rel = 500;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ExhaustiveValidate, RejectsWindowBeforeFrameStart) {
+  ExhaustiveConfig cfg;
+  cfg.protocol = ProtocolParams::standard_can();
+  cfg.win_lo_rel = -10000;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ExhaustiveValidate, RejectsBadBusSizeAndBudget) {
+  ExhaustiveConfig cfg;
+  cfg.protocol = ProtocolParams::standard_can();
+  cfg.n_nodes = 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.n_nodes = 3;
+  cfg.errors = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ExhaustiveValidate, AcceptsDefaultsForAllProtocols) {
+  for (const auto& proto :
+       {ProtocolParams::standard_can(), ProtocolParams::minor_can(),
+        ProtocolParams::major_can(3), ProtocolParams::major_can(5)}) {
+    ExhaustiveConfig cfg;
+    cfg.protocol = proto;
+    EXPECT_NO_THROW(cfg.validate()) << proto.name();
+  }
 }
 
 }  // namespace

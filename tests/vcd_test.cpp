@@ -90,5 +90,96 @@ TEST(Vcd, EmptyTraceStillValid) {
   EXPECT_NE(vcd.find("$enddefinitions"), std::string::npos);
 }
 
+// --- reader round-trip ------------------------------------------------------
+
+TEST(VcdReader, RoundTripPreservesBitStream) {
+  // Simulate (with a disturbance, so the fault wires carry content), dump,
+  // parse back, and compare the reconstructed records bit by bit.
+  Network net(3, ProtocolParams::standard_can());
+  ScopedInvariants net_invariants(net);
+  net.enable_trace();
+  ScriptedFaults inj;
+  inj.add(FaultTarget::eof_bit(1, 5));
+  net.set_injector(inj);
+  net.node(0).enqueue(Frame::make_blank(0x2A, 2));
+  ASSERT_TRUE(net.run_until_quiet());
+
+  const std::string vcd = trace_to_vcd(net.trace(), net.labels());
+  const VcdTrace back = parse_vcd(vcd);
+
+  ASSERT_EQ(back.labels.size(), net.labels().size());
+  for (std::size_t i = 0; i < back.labels.size(); ++i) {
+    // VCD identifiers cannot contain spaces: the writer sanitises
+    // "node 2" to "node_2", so compare modulo that substitution.
+    std::string want = net.labels()[i];
+    for (char& c : want) {
+      if (c == ' ') c = '_';
+    }
+    EXPECT_EQ(back.labels[i], want);
+  }
+  const auto& orig = net.trace().bits();
+  ASSERT_EQ(back.bits.size(), orig.size());
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    const BitRecord& a = orig[i];
+    const BitRecord& b = back.bits[i];
+    ASSERT_EQ(b.t, a.t) << "record " << i;
+    ASSERT_EQ(b.bus, a.bus) << "record " << i;
+    ASSERT_EQ(b.driven.size(), a.driven.size());
+    for (std::size_t n = 0; n < a.driven.size(); ++n) {
+      ASSERT_EQ(b.driven[n], a.driven[n]) << "record " << i << " node " << n;
+      ASSERT_EQ(b.view[n], a.view[n]) << "record " << i << " node " << n;
+      ASSERT_EQ(b.disturbed[n], a.disturbed[n])
+          << "record " << i << " node " << n;
+    }
+  }
+}
+
+TEST(VcdReader, RoundTripThroughFile) {
+  Network net(2, ProtocolParams::major_can(3));
+  ScopedInvariants net_invariants(net);
+  net.enable_trace();
+  net.node(0).enqueue(Frame::make_blank(0x55, 0));
+  ASSERT_TRUE(net.run_until_quiet());
+  const std::string path = "/tmp/mcan_vcd_roundtrip_test.vcd";
+  ASSERT_TRUE(write_vcd_file(path, net.trace(), net.labels()));
+  const VcdTrace back = read_vcd_file(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(back.bits.size(), net.trace().bits().size());
+}
+
+// --- malformed input --------------------------------------------------------
+
+TEST(VcdReader, RejectsTruncatedHeader) {
+  // Cut the dump off in the middle of the $var declarations, before
+  // $enddefinitions.
+  Network net(2, ProtocolParams::standard_can());
+  net.enable_trace();
+  net.node(0).enqueue(Frame::make_blank(0x55, 0));
+  ASSERT_TRUE(net.run_until_quiet());
+  const std::string vcd = trace_to_vcd(net.trace(), net.labels());
+  const auto cut = vcd.find("node_1.view");
+  ASSERT_NE(cut, std::string::npos);
+  EXPECT_THROW((void)parse_vcd(vcd.substr(0, cut)), std::invalid_argument);
+}
+
+TEST(VcdReader, RejectsUnknownIdentifierCode) {
+  Network net(2, ProtocolParams::standard_can());
+  net.enable_trace();
+  net.node(0).enqueue(Frame::make_blank(0x55, 0));
+  ASSERT_TRUE(net.run_until_quiet());
+  std::string vcd = trace_to_vcd(net.trace(), net.labels());
+  // Append a value change for an identifier no $var declared.
+  vcd += "#9999\n0~\n";
+  EXPECT_THROW((void)parse_vcd(vcd), std::invalid_argument);
+}
+
+TEST(VcdReader, RejectsValueChangeBeforeDeclarations) {
+  EXPECT_THROW((void)parse_vcd("#0\n0!\n"), std::invalid_argument);
+}
+
+TEST(VcdReader, RejectsEmptyInput) {
+  EXPECT_THROW((void)parse_vcd(""), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace mcan
