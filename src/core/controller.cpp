@@ -6,9 +6,7 @@
 #include "util/contract.hpp"
 #include "util/statekey.hpp"
 
-#ifdef MCAN_ENABLE_FSM_COVERAGE
 #include "core/fsm_coverage.hpp"
-#endif
 
 namespace mcan {
 
@@ -54,7 +52,6 @@ void CanController::emit(BitTime t, EventKind kind, std::string detail,
 }
 
 void CanController::cov_note() {
-#ifdef MCAN_ENABLE_FSM_COVERAGE
   // FsmState (the public mirror in fsm_coverage.hpp) must track St exactly:
   // cov_note() casts between them.
   static_assert(static_cast<int>(St::Idle) == static_cast<int>(FsmState::Idle));
@@ -87,12 +84,11 @@ void CanController::cov_note() {
   static_assert(kFsmStateCount == static_cast<int>(St::ExtFlag) + 1);
 
   if (st_ != cov_prev_) {
-    fsm_coverage::record(cfg_.protocol.variant,
-                         static_cast<FsmState>(cov_prev_),
-                         static_cast<FsmState>(st_));
+    fsm_coverage::note(cfg_.protocol.variant,
+                       static_cast<FsmState>(cov_prev_),
+                       static_cast<FsmState>(st_));
     cov_prev_ = st_;
   }
-#endif
 }
 
 // ---------------------------------------------------------------------------

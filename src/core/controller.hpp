@@ -203,8 +203,9 @@ class CanController final : public BusParticipant {
   void emit(BitTime t, EventKind kind, std::string detail = {},
             std::optional<Frame> frame = std::nullopt);
 
-  /// Record an FSM transition for coverage if st_ changed since the last
-  /// call.  Compiled to nothing unless MCAN_ENABLE_FSM_COVERAGE is set.
+  /// Report an FSM transition if st_ changed since the last call: to this
+  /// thread's TransitionSink (always) and to the global coverage counters
+  /// (MCAN_ENABLE_FSM_COVERAGE builds only).
   void cov_note();
 
   [[nodiscard]] bool is_major() const {

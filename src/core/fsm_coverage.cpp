@@ -52,6 +52,23 @@ void record(Variant v, FsmState from, FsmState to) noexcept {
   g_counts[vi(v)][si(from)][si(to)].fetch_add(1, std::memory_order_relaxed);
 }
 
+namespace {
+thread_local TransitionSink* t_sink = nullptr;
+}  // namespace
+
+TransitionSink* set_thread_sink(TransitionSink* sink) noexcept {
+  TransitionSink* prev = t_sink;
+  t_sink = sink;
+  return prev;
+}
+
+void note(Variant v, FsmState from, FsmState to) noexcept {
+  if (t_sink != nullptr) t_sink->on_transition(v, from, to);
+#ifdef MCAN_ENABLE_FSM_COVERAGE
+  record(v, from, to);
+#endif
+}
+
 void reset() {
   for (auto& per_variant : g_counts) {
     for (auto& row : per_variant) {

@@ -12,8 +12,17 @@
 // The counters are process-global (like a coverage profile) and atomic
 // with relaxed ordering, so the parallel exploration engine can record
 // from many worker threads without synchronisation cost.  They are *not*
-// part of simulation semantics: with the option OFF the controller
-// contains no recording code at all.
+// part of simulation semantics: with the option OFF the controller keeps
+// no global counters.
+//
+// Independently of the build option, a *thread-local* transition sink can
+// be installed with fsm_coverage::set_thread_sink(): every transition
+// taken by simulations running on that thread is reported to the sink.
+// This is the per-execution feedback signal of the scenario fuzzer
+// (src/fuzz/), which needs to know which transitions *one* run fired
+// while sibling worker threads run other cases — something the global
+// matrix cannot answer.  With no sink installed the cost is one
+// thread-local load and branch per state change.
 #pragma once
 
 #include <cstdint>
@@ -61,10 +70,28 @@ struct FsmTransitionCount {
   std::uint64_t count = 0;
 };
 
+/// Per-thread observer of FSM transitions (see header comment).  The
+/// callback runs inline in the controller's state-change path: keep it
+/// cheap (the fuzzer sets bits in a fixed bitmap).
+class TransitionSink {
+ public:
+  virtual ~TransitionSink() = default;
+  virtual void on_transition(Variant v, FsmState from, FsmState to) = 0;
+};
+
 namespace fsm_coverage {
 
 /// Record one state change (relaxed atomic increment; thread-safe).
 void record(Variant v, FsmState from, FsmState to) noexcept;
+
+/// Install (or clear, with nullptr) this thread's transition sink.
+/// Returns the previously installed sink so scopes can nest.
+TransitionSink* set_thread_sink(TransitionSink* sink) noexcept;
+
+/// Report one state change to the thread's sink (if any) and, in
+/// MCAN_FSM_COVERAGE builds, to the global counters.  This is the single
+/// entry point the controller calls.
+void note(Variant v, FsmState from, FsmState to) noexcept;
 
 /// Zero all counters for all variants.
 void reset();

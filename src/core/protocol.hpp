@@ -144,6 +144,8 @@ struct ProtocolParams {
 
   /// "CAN", "MinorCAN", "MajorCAN_5", ...
   [[nodiscard]] std::string name() const;
+
+  [[nodiscard]] bool operator==(const ProtocolParams&) const = default;
 };
 
 }  // namespace mcan

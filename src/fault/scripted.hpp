@@ -35,6 +35,8 @@ struct FaultTarget {
 
   /// Flip `node`'s view at absolute time `t`.
   [[nodiscard]] static FaultTarget at_time(NodeId node, BitTime t);
+
+  [[nodiscard]] bool operator==(const FaultTarget&) const = default;
 };
 
 /// A bus-wide permanent medium failure: from `from` on, every node sees a

@@ -1,0 +1,122 @@
+#include "fuzz/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace mcan {
+
+namespace {
+
+/// One planned slot of a round.
+struct Slot {
+  ScenarioSpec spec;
+  FuzzVerdict verdict;  // filled by the execute phase
+};
+
+void execute_slots(std::vector<Slot>& slots, int jobs) {
+  if (jobs <= 1 || slots.size() <= 1) {
+    for (Slot& s : slots) s.verdict = run_fuzz_case(s.spec);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&slots, &next] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= slots.size()) return;
+      slots[i].verdict = run_fuzz_case(slots[i].spec);
+    }
+  };
+  const int n = std::min<int>(jobs, static_cast<int>(slots.size()));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace
+
+FuzzResult run_fuzz(const FuzzConfig& cfg, const std::vector<ScenarioSpec>& seeds) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const int jobs = cfg.jobs > 0
+                       ? cfg.jobs
+                       : std::max(1u, std::thread::hardware_concurrency());
+
+  FuzzResult res;
+  std::uint64_t exec_index = 0;
+  std::uint64_t next_minimize = cfg.minimize_every;
+
+  auto merge_slot = [&](const Slot& s) {
+    res.stats.execs += 1;
+    res.stats.classes_seen |= s.verdict.classes;
+    if (res.corpus.admit(s.spec, s.verdict.sig, exec_index)) {
+      res.stats.admitted += 1;
+    }
+    if (s.verdict.violation()) {
+      res.stats.findings += 1;
+      res.findings.push_back({s.spec, s.verdict, exec_index});
+    }
+    ++exec_index;
+  };
+
+  // Round zero: the clean seed plus every caller-provided seed, in order.
+  // Seeds always run (they prime the corpus) even if they overshoot
+  // max_execs.
+  std::vector<Slot> slots;
+  slots.push_back({seed_scenario(cfg.protocol, cfg.n_nodes), {}});
+  for (const ScenarioSpec& s : seeds) slots.push_back({s, {}});
+  for (Slot& s : slots) sanitize_scenario(s.spec, cfg.bounds);
+  execute_slots(slots, jobs);
+  for (const Slot& s : slots) merge_slot(s);
+
+  const auto out_of_time = [&] {
+    if (cfg.max_time_s <= 0) return false;
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    return dt.count() >= cfg.max_time_s;
+  };
+
+  while (exec_index < cfg.max_execs && !out_of_time()) {
+    // Plan (sequential): each slot draws from its own (seed, exec) stream.
+    const std::uint64_t n_slots = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(std::max(1, cfg.batch)),
+        cfg.max_execs - exec_index);
+    slots.clear();
+    for (std::uint64_t i = 0; i < n_slots; ++i) {
+      Rng rng(cfg.seed, exec_index + i);
+      const CorpusEntry& parent = res.corpus.select(rng);
+      slots.push_back({mutate_scenario(parent.spec, cfg.bounds, rng), {}});
+    }
+
+    // Execute (parallel): the corpus is frozen, slots are independent.
+    execute_slots(slots, jobs);
+
+    // Merge (sequential, slot order): identical for every jobs value.
+    for (const Slot& s : slots) merge_slot(s);
+
+    if (cfg.minimize_every > 0 && exec_index >= next_minimize) {
+      res.stats.evicted +=
+          static_cast<std::uint64_t>(res.corpus.minimize());
+      next_minimize += cfg.minimize_every;
+    }
+
+    res.stats.corpus_size = static_cast<int>(res.corpus.size());
+    res.stats.signature_bits = res.corpus.accumulated().popcount();
+    res.stats.fsm_transitions = res.corpus.accumulated().fsm_popcount();
+    res.stats.elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (cfg.on_round) cfg.on_round(res.stats);
+  }
+
+  res.stats.corpus_size = static_cast<int>(res.corpus.size());
+  res.stats.signature_bits = res.corpus.accumulated().popcount();
+  res.stats.fsm_transitions = res.corpus.accumulated().fsm_popcount();
+  res.stats.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return res;
+}
+
+}  // namespace mcan

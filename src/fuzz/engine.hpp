@@ -1,0 +1,79 @@
+// The fuzzing engine: coverage-guided search over scenario space.
+//
+// Determinism is the design constraint.  Every campaign is reproducible
+// from (seed, max_execs) on any machine with any --jobs value, because
+// randomness is never shared between executions: execution i draws all of
+// its decisions from its own Rng(seed, i) stream ((seed, seq) PCG32
+// streams, util/rng.hpp).  The loop is round-based:
+//
+//   1. plan   (sequential)  — for each slot of the round, select a parent
+//                             from the frozen corpus and mutate it, using
+//                             that slot's private stream;
+//   2. execute (parallel)   — run every planned input through the oracle;
+//                             workers claim slots off an atomic counter
+//                             and touch nothing shared but their slot;
+//   3. merge  (sequential)  — in slot order: update stats, admit novel
+//                             inputs, record findings.
+//
+// Because the corpus is read-only between plan and merge, thread count
+// changes only wall-clock time, never results — asserted by
+// tests/determinism_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/mutate.hpp"
+#include "fuzz/oracle.hpp"
+
+namespace mcan {
+
+struct FuzzStats {
+  std::uint64_t execs = 0;
+  std::uint64_t admitted = 0;     ///< inputs that entered the corpus
+  std::uint64_t findings = 0;     ///< executions with a non-empty class mask
+  std::uint64_t evicted = 0;      ///< entries dropped by periodic minimize()
+  std::uint32_t classes_seen = 0; ///< union of fuzz_class_bit() masks
+  int corpus_size = 0;
+  int signature_bits = 0;  ///< accumulated coverage map popcount
+  int fsm_transitions = 0; ///< FSM slice of the accumulated map
+  double elapsed_s = 0;    ///< wall clock (informational; not replayed)
+};
+
+struct FuzzFinding {
+  ScenarioSpec spec;
+  FuzzVerdict verdict;
+  std::uint64_t exec_index = 0;
+};
+
+struct FuzzConfig {
+  ProtocolParams protocol;
+  int n_nodes = 3;
+  std::uint64_t seed = 1;
+  std::uint64_t max_execs = 2000;
+  double max_time_s = 0;  ///< wall-clock budget; 0 = none.  A time-capped
+                          ///< run is reproducible only in what it DID
+                          ///< explore: execution i is identical across
+                          ///< runs, but where the run stops is not.
+  int jobs = 1;           ///< worker threads; 0 = one per hardware thread
+  int batch = 64;         ///< executions per round
+  FuzzBounds bounds;
+  std::uint64_t minimize_every = 2048;  ///< corpus minimize period, in execs
+  /// Called after each round with a stats snapshot (progress meters).
+  std::function<void(const FuzzStats&)> on_round;
+};
+
+struct FuzzResult {
+  FuzzStats stats;
+  Corpus corpus;
+  std::vector<FuzzFinding> findings;  ///< raw, un-triaged (see fuzz/triage.hpp)
+};
+
+/// Run a campaign.  `seeds` joins the implicit clean seed_scenario() as
+/// round zero; all seeds are sanitized into cfg.bounds first.
+[[nodiscard]] FuzzResult run_fuzz(const FuzzConfig& cfg,
+                                  const std::vector<ScenarioSpec>& seeds = {});
+
+}  // namespace mcan

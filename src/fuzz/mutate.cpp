@@ -1,0 +1,324 @@
+#include "fuzz/mutate.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/tagged.hpp"
+#include "frame/encoder.hpp"
+#include "scenario/exhaustive.hpp"
+
+namespace mcan {
+
+int fuzz_window_hi(const ProtocolParams& p) {
+  ExhaustiveConfig cfg;
+  cfg.protocol = p;
+  return cfg.window_hi();
+}
+
+int fuzz_body_bits(const ScenarioSpec& spec) {
+  const Frame probe =
+      make_tagged_frame(spec.frame_id, MsgKind::Data, MessageKey{0, 1},
+                        std::max<std::uint8_t>(4, spec.frame_dlc));
+  return wire_length(probe, spec.protocol.eof_bits()) -
+         spec.protocol.eof_bits();
+}
+
+ScenarioSpec seed_scenario(const ProtocolParams& p, int n_nodes) {
+  ScenarioSpec spec;
+  spec.name = "fuzz-seed";
+  spec.protocol = p;
+  spec.n_nodes = n_nodes;
+  spec.frame_id = 0x100;
+  spec.frame_dlc = 4;
+  spec.expect = Expectation::Any;
+  return spec;
+}
+
+namespace {
+
+int clampi(int v, int lo, int hi) { return std::max(lo, std::min(hi, v)); }
+
+/// Clamp one flip into a canonical, writer-representable form.
+void sanitize_flip(FaultTarget& f, const ScenarioSpec& spec,
+                   const FuzzBounds& b) {
+  f.node = f.node % static_cast<NodeId>(spec.n_nodes);
+  f.count = 1;  // the .scn writer has no count syntax; keep genomes exact
+  const int hi = fuzz_window_hi(spec.protocol);
+  bool timed = false;
+  if (f.seg == Seg::Eof && f.index) {
+    f.eof_rel.reset();
+    f.at.reset();
+    f.index = clampi(*f.index, 0, spec.protocol.eof_bits() - 1);
+  } else if (f.eof_rel) {
+    f.seg.reset();
+    f.index.reset();
+    f.at.reset();
+    f.eof_rel = clampi(*f.eof_rel, b.win_lo, hi);
+  } else if (f.seg == Seg::Body && f.index) {
+    f.at.reset();
+    if (b.allow_body) {
+      f.index = clampi(*f.index, 0, fuzz_body_bits(spec) - 1);
+      f.frame_index = 0;  // body bits address the probe frame only
+    } else {  // rewrite into the EOF-relative window
+      f.seg.reset();
+      f.index.reset();
+      f.eof_rel = hi;
+    }
+  } else if (f.at) {
+    f.seg.reset();
+    f.index.reset();
+    f.at = std::max<BitTime>(1, std::min<BitTime>(*f.at, 5000));
+    timed = true;
+  } else {
+    f = FaultTarget::eof_relative(f.node, hi);
+  }
+  if (timed) {
+    f.frame_index.reset();  // the t= form carries no frame index
+  } else {
+    // Canonical form matches the parser: frame_index engaged, 0 = probe.
+    f.frame_index = clampi(f.frame_index.value_or(0), 0,
+                           static_cast<int>(spec.traffic.size()));
+  }
+}
+
+}  // namespace
+
+void sanitize_scenario(ScenarioSpec& spec, const FuzzBounds& b) {
+  spec.expect = Expectation::Any;  // the oracle judges, not the DSL clause
+  if (spec.name.empty()) spec.name = "fuzz";
+
+  // Canonicalize through the factories: the .scn writer only records
+  // (variant, m), so any drifted ablation knob or a stale m on a
+  // non-MajorCAN variant would not survive a parse -> write -> parse
+  // round trip.
+  switch (spec.protocol.variant) {
+    case Variant::StandardCan:
+      spec.protocol = ProtocolParams::standard_can();
+      break;
+    case Variant::MinorCan:
+      spec.protocol = ProtocolParams::minor_can();
+      break;
+    case Variant::MajorCan:
+      spec.protocol = ProtocolParams::major_can(
+          clampi(spec.protocol.m, 3, std::min(b.max_m, kMaxTolerance)));
+      break;
+  }
+
+  spec.n_nodes = clampi(spec.n_nodes, b.min_nodes, b.max_nodes);
+  spec.frame_id &= kMaxId;
+  spec.frame_dlc = static_cast<std::uint8_t>(
+      clampi(spec.frame_dlc, 0, kMaxDataBytes));
+
+  if (!b.allow_traffic) spec.traffic.clear();
+  if (static_cast<int>(spec.traffic.size()) > b.max_traffic) {
+    spec.traffic.resize(static_cast<std::size_t>(b.max_traffic));
+  }
+  // Distinct CAN ids: two nodes starting the same id simultaneously is
+  // outside the protocol's model (arbitration cannot separate them).
+  std::set<std::uint32_t> ids{spec.frame_id};
+  for (TrafficFrame& t : spec.traffic) {
+    t.sender = t.sender % static_cast<NodeId>(spec.n_nodes);
+    t.dlc = static_cast<std::uint8_t>(clampi(t.dlc, 0, kMaxDataBytes));
+    t.id &= kMaxId;
+    while (!ids.insert(t.id).second) t.id = (t.id + 1) & kMaxId;
+  }
+
+  if (static_cast<int>(spec.flips.size()) > b.max_flips) {
+    spec.flips.resize(static_cast<std::size_t>(b.max_flips));
+  }
+  for (FaultTarget& f : spec.flips) sanitize_flip(f, spec, b);
+
+  if (spec.crash) {
+    if (!b.allow_crash) {
+      spec.crash.reset();
+    } else {
+      spec.crash->first =
+          spec.crash->first % static_cast<NodeId>(spec.n_nodes);
+      spec.crash->second =
+          std::max<BitTime>(1, std::min<BitTime>(spec.crash->second, 5000));
+    }
+  }
+}
+
+bool scenario_in_bounds(const ScenarioSpec& spec, const FuzzBounds& b) {
+  ScenarioSpec copy = spec;
+  sanitize_scenario(copy, b);
+  copy.expect = spec.expect;
+  copy.name = spec.name;
+  return copy == spec;
+}
+
+namespace {
+
+NodeId pick_node(const ScenarioSpec& spec, Rng& rng) {
+  return static_cast<NodeId>(
+      rng.next_below(static_cast<std::uint32_t>(spec.n_nodes)));
+}
+
+FaultTarget random_flip(const ScenarioSpec& spec, const FuzzBounds& b,
+                        Rng& rng) {
+  const NodeId node = pick_node(spec, rng);
+  const int hi = fuzz_window_hi(spec.protocol);
+  const std::uint32_t form = rng.next_below(b.allow_body ? 4 : 3);
+  switch (form) {
+    case 0: {  // EOF bit of the probe (the figures' vocabulary)
+      const int pos = static_cast<int>(rng.next_below(
+          static_cast<std::uint32_t>(spec.protocol.eof_bits())));
+      return FaultTarget::eof_bit(node, pos);
+    }
+    case 1:
+    case 2: {  // EOF-relative end-game position — the interesting region,
+               // so give it double weight
+      const int span = hi - b.win_lo + 1;
+      const int pos =
+          b.win_lo +
+          static_cast<int>(rng.next_below(static_cast<std::uint32_t>(span)));
+      const int frame = (spec.traffic.empty() || !rng.chance(0.25))
+                            ? 0
+                            : 1 + static_cast<int>(rng.next_below(
+                                      static_cast<std::uint32_t>(
+                                          spec.traffic.size())));
+      return FaultTarget::eof_relative(node, pos, frame);
+    }
+    default: {  // body wire bit (stuffing / CRC space)
+      const int bits = fuzz_body_bits(spec);
+      FaultTarget t;
+      t.node = node;
+      t.seg = Seg::Body;
+      t.index =
+          static_cast<int>(rng.next_below(static_cast<std::uint32_t>(bits)));
+      return t;
+    }
+  }
+}
+
+}  // namespace
+
+ScenarioSpec mutate_scenario(const ScenarioSpec& parent, const FuzzBounds& b,
+                             Rng& rng) {
+  ScenarioSpec child = parent;
+  const int rounds = 1 + static_cast<int>(rng.next_below(3));
+  for (int round = 0; round < rounds; ++round) {
+    switch (rng.next_below(12)) {
+      case 0:  // add a flip
+        if (static_cast<int>(child.flips.size()) < b.max_flips) {
+          child.flips.push_back(random_flip(child, b, rng));
+        }
+        break;
+      case 1:  // drop a flip
+        if (!child.flips.empty()) {
+          const auto i = rng.next_below(
+              static_cast<std::uint32_t>(child.flips.size()));
+          child.flips.erase(child.flips.begin() + i);
+        }
+        break;
+      case 2:  // nudge a flip's position
+        if (!child.flips.empty()) {
+          FaultTarget& f = child.flips[rng.next_below(
+              static_cast<std::uint32_t>(child.flips.size()))];
+          const int delta = 1 + static_cast<int>(rng.next_below(3));
+          const int sign = rng.chance(0.5) ? 1 : -1;
+          if (f.eof_rel) {
+            *f.eof_rel += sign * delta;
+          } else if (f.index) {
+            *f.index += sign * delta;
+          } else if (f.at) {
+            f.at = static_cast<BitTime>(
+                std::max<long long>(1, static_cast<long long>(*f.at) +
+                                           sign * delta));
+          }
+        }
+        break;
+      case 3:  // retarget a flip to another node
+        if (!child.flips.empty()) {
+          child.flips[rng.next_below(
+                          static_cast<std::uint32_t>(child.flips.size()))]
+              .node = pick_node(child, rng);
+        }
+        break;
+      case 4:  // mirror a flip onto a second node at the same position —
+               // the paper's IMO scenarios are exactly this shape
+        if (!child.flips.empty() &&
+            static_cast<int>(child.flips.size()) < b.max_flips) {
+          FaultTarget copy = child.flips[rng.next_below(
+              static_cast<std::uint32_t>(child.flips.size()))];
+          copy.node = pick_node(child, rng);
+          child.flips.push_back(copy);
+        }
+        break;
+      case 5:  // probe frame identity
+        if (rng.chance(0.5)) {
+          child.frame_id = rng.next_below(kMaxId + 1);
+        } else {
+          child.frame_dlc = static_cast<std::uint8_t>(
+              rng.next_below(kMaxDataBytes + 1));
+        }
+        break;
+      case 6:  // add a traffic frame
+        if (b.allow_traffic &&
+            static_cast<int>(child.traffic.size()) < b.max_traffic) {
+          child.traffic.push_back(
+              {.id = rng.next_below(kMaxId + 1),
+               .dlc = static_cast<std::uint8_t>(
+                   rng.next_below(kMaxDataBytes + 1)),
+               .sender = pick_node(child, rng)});
+        }
+        break;
+      case 7:  // drop or retarget a traffic frame
+        if (!child.traffic.empty()) {
+          const auto i = rng.next_below(
+              static_cast<std::uint32_t>(child.traffic.size()));
+          if (rng.chance(0.5)) {
+            child.traffic.erase(child.traffic.begin() + i);
+          } else {
+            child.traffic[i].sender = pick_node(child, rng);
+          }
+        }
+        break;
+      case 8:  // grow / shrink the bus
+        if (b.mutate_nodes) {
+          child.n_nodes += rng.chance(0.5) ? 1 : -1;
+        }
+        break;
+      case 9:  // schedule, move or cancel a crash
+        if (b.allow_crash) {
+          if (!child.crash) {
+            child.crash = {pick_node(child, rng),
+                           static_cast<BitTime>(1 + rng.next_below(400))};
+          } else if (rng.chance(0.3)) {
+            child.crash.reset();
+          } else {
+            child.crash->second =
+                static_cast<BitTime>(1 + rng.next_below(400));
+          }
+        }
+        break;
+      case 10:  // protocol drift
+        if (b.mutate_protocol) {
+          switch (rng.next_below(3)) {
+            case 0: child.protocol.variant = Variant::StandardCan; break;
+            case 1: child.protocol.variant = Variant::MinorCan; break;
+            default:
+              child.protocol.variant = Variant::MajorCan;
+              child.protocol.m = 3 + static_cast<int>(rng.next_below(
+                                         static_cast<std::uint32_t>(
+                                             b.max_m - 3 + 1)));
+              break;
+          }
+        }
+        break;
+      default:  // re-roll a flip wholesale
+        if (!child.flips.empty()) {
+          child.flips[rng.next_below(static_cast<std::uint32_t>(
+              child.flips.size()))] = random_flip(child, b, rng);
+        } else if (static_cast<int>(child.flips.size()) < b.max_flips) {
+          child.flips.push_back(random_flip(child, b, rng));
+        }
+        break;
+    }
+  }
+  sanitize_scenario(child, b);
+  return child;
+}
+
+}  // namespace mcan

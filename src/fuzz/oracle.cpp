@@ -1,0 +1,136 @@
+#include "fuzz/oracle.hpp"
+
+#include <sstream>
+
+namespace mcan {
+
+const char* fuzz_class_name(FuzzClass c) {
+  switch (c) {
+    case FuzzClass::Agreement: return "agreement";
+    case FuzzClass::Validity: return "validity";
+    case FuzzClass::Duplicate: return "duplicate";
+    case FuzzClass::Order: return "order";
+    case FuzzClass::NonTriviality: return "nontriviality";
+    case FuzzClass::Invariant: return "invariant";
+    case FuzzClass::Timeout: return "timeout";
+  }
+  return "?";
+}
+
+std::string fuzz_classes_to_string(std::uint32_t mask) {
+  if (mask == 0) return "none";
+  std::string s;
+  for (int i = 0; i < kFuzzClassCount; ++i) {
+    if (!(mask & (1u << i))) continue;
+    if (!s.empty()) s += '+';
+    s += fuzz_class_name(static_cast<FuzzClass>(i));
+  }
+  return s;
+}
+
+bool parse_fuzz_classes(const std::string& csv, std::uint32_t& mask,
+                        std::string& error) {
+  mask = 0;
+  std::stringstream in(csv);
+  std::string tok;
+  while (std::getline(in, tok, ',')) {
+    if (tok.empty()) continue;
+    if (tok == "none") continue;
+    if (tok == "imo") tok = "agreement";    // the paper's name for AB2
+    if (tok == "double") tok = "duplicate"; // the DSL's name for AB3
+    bool found = false;
+    for (int i = 0; i < kFuzzClassCount; ++i) {
+      if (tok == fuzz_class_name(static_cast<FuzzClass>(i))) {
+        mask |= 1u << i;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      error = "unknown violation class '" + tok +
+              "' (want none|agreement|validity|duplicate|order|"
+              "nontriviality|invariant|timeout)";
+      return false;
+    }
+  }
+  return true;
+}
+
+FuzzClass FuzzVerdict::primary() const {
+  for (int i = 0; i < kFuzzClassCount; ++i) {
+    if (classes & (1u << i)) return static_cast<FuzzClass>(i);
+  }
+  return FuzzClass::Timeout;
+}
+
+FuzzVerdict run_fuzz_case(const ScenarioSpec& spec) {
+  FuzzVerdict v;
+  DslRunResult run;
+  {
+    // Capture this thread's FSM transitions for the scope of the run.
+    ScopedSignatureSink sink(v.sig);
+    run = run_scenario(spec);
+  }
+
+  if (run.ab.agreement_violations > 0) {
+    v.classes |= fuzz_class_bit(FuzzClass::Agreement);
+  }
+  // AB1 is only meaningful with a live audience: a lone correct node has
+  // nobody to acknowledge its frames, so "its broadcast was never
+  // delivered" restates the crash scenario, not a protocol defect.
+  if (run.ab.validity_violations > 0 && run.ab.correct_nodes >= 2) {
+    v.classes |= fuzz_class_bit(FuzzClass::Validity);
+  }
+  if (run.ab.duplicate_deliveries > 0) {
+    v.classes |= fuzz_class_bit(FuzzClass::Duplicate);
+  }
+  if (run.ab.order_inversions > 0 || run.ab.fifo_violations > 0) {
+    v.classes |= fuzz_class_bit(FuzzClass::Order);
+  }
+  if (run.ab.nontriviality_violations > 0) {
+    v.classes |= fuzz_class_bit(FuzzClass::NonTriviality);
+  }
+  if (!run.invariants.clean()) {
+    v.classes |= fuzz_class_bit(FuzzClass::Invariant);
+  }
+  if (!run.quiesced) v.classes |= fuzz_class_bit(FuzzClass::Timeout);
+
+  // Property-outcome features (the non-FSM half of the novelty signal).
+  for (int i = 0; i < kFuzzClassCount; ++i) {
+    if (v.classes & (1u << i)) {
+      v.sig.set_feature(Signature::kClassBase + i);
+    }
+  }
+  for (int r = 0; r < kInvariantRuleCount; ++r) {
+    if (run.invariants.count(static_cast<InvariantRule>(r)) > 0) {
+      v.sig.set_feature(Signature::kInvariantBase + r);
+    }
+  }
+  bool any = false;
+  bool all = true;
+  for (int i = 1; i < run.outcome.n_nodes; ++i) {
+    const bool got = run.outcome.deliveries[static_cast<std::size_t>(i)] > 0;
+    any = any || got;
+    all = all && got;
+  }
+  if (all) v.sig.set_feature(Signature::kDeliveredAll);
+  if (!any) v.sig.set_feature(Signature::kDeliveredNone);
+  if (any && !all) v.sig.set_feature(Signature::kDeliveredSplit);
+  if (run.outcome.tx_attempts > 1) v.sig.set_feature(Signature::kRetransmit);
+  if (run.outcome.tx_attempts > 2) {
+    v.sig.set_feature(Signature::kMultiRetransmit);
+  }
+  if (spec.crash) v.sig.set_feature(Signature::kCrashScheduled);
+  if (!spec.traffic.empty()) v.sig.set_feature(Signature::kTrafficMix);
+  if (!run.quiesced) v.sig.set_feature(Signature::kNotQuiesced);
+
+  if (v.violation()) {
+    v.detail = fuzz_classes_to_string(v.classes) + ": " + run.ab.summary();
+    if (!run.invariants.clean()) {
+      v.detail += "\n" + run.invariants.summary();
+    }
+  }
+  return v;
+}
+
+}  // namespace mcan

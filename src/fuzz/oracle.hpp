@@ -1,0 +1,66 @@
+// The fuzzing oracle: one scenario execution, classified.
+//
+// Every input runs through scenario/dsl's run_scenario — the same engine
+// that replays committed .scn files and that mcan-lint checks — with the
+// protocol invariant analyzer attached (InvariantScope) and the atomic
+// broadcast properties AB1..AB5 evaluated over tagged delivery journals
+// (analysis/properties.hpp).  The verdict is a bitmask of violation
+// classes plus the run's coverage signature, so the engine gets its
+// bug-or-not answer and its novelty feedback from a single execution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/signature.hpp"
+#include "scenario/dsl.hpp"
+
+namespace mcan {
+
+/// Violation classes, in severity order (primary() picks the first set
+/// bit).  Agreement and Validity are the paper's headline properties: a
+/// MajorCAN_m run within the <= m disturbance envelope must never set
+/// either.
+enum class FuzzClass : std::uint8_t {
+  Agreement,      ///< AB2: inconsistent message omission
+  Validity,       ///< AB1: a correct sender's message was lost everywhere
+  Duplicate,      ///< AB3: some node delivered a message twice
+  Order,          ///< AB5: two nodes delivered two messages in opposite order
+  NonTriviality,  ///< AB4: a delivery that was never broadcast
+  Invariant,      ///< bit-level protocol conformance violation
+  Timeout,        ///< the bus never quiesced within the step budget
+};
+
+inline constexpr int kFuzzClassCount = 7;
+
+[[nodiscard]] const char* fuzz_class_name(FuzzClass c);
+
+[[nodiscard]] constexpr std::uint32_t fuzz_class_bit(FuzzClass c) {
+  return 1u << static_cast<int>(c);
+}
+
+/// "agreement+duplicate", or "none" for an empty mask.
+[[nodiscard]] std::string fuzz_classes_to_string(std::uint32_t mask);
+
+/// Parse a comma-separated class list ("agreement,validity"; "imo" and
+/// "double" are accepted as aliases; "none" = empty mask).  Returns false
+/// with a message in `error` on an unknown class name.
+[[nodiscard]] bool parse_fuzz_classes(const std::string& csv,
+                                      std::uint32_t& mask, std::string& error);
+
+struct FuzzVerdict {
+  std::uint32_t classes = 0;  ///< fuzz_class_bit() mask
+  Signature sig;
+  std::string detail;  ///< human-readable account of the violation(s)
+
+  [[nodiscard]] bool violation() const { return classes != 0; }
+
+  /// Most severe class present; meaningless when classes == 0.
+  [[nodiscard]] FuzzClass primary() const;
+};
+
+/// Execute one input and classify it.  Deterministic: the same spec always
+/// yields the same verdict, on any thread, in any build.
+[[nodiscard]] FuzzVerdict run_fuzz_case(const ScenarioSpec& spec);
+
+}  // namespace mcan

@@ -1,0 +1,71 @@
+#include "fuzz/signature.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace mcan {
+
+int Signature::merge(const Signature& other) {
+  int added = 0;
+  for (int i = 0; i < kWords; ++i) {
+    const std::uint64_t fresh = other.w_[static_cast<std::size_t>(i)] &
+                                ~w_[static_cast<std::size_t>(i)];
+    added += std::popcount(fresh);
+    w_[static_cast<std::size_t>(i)] |= other.w_[static_cast<std::size_t>(i)];
+  }
+  return added;
+}
+
+bool Signature::contains(const Signature& other) const {
+  for (int i = 0; i < kWords; ++i) {
+    if (other.w_[static_cast<std::size_t>(i)] &
+        ~w_[static_cast<std::size_t>(i)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Signature::new_bits(const Signature& other) const {
+  int added = 0;
+  for (int i = 0; i < kWords; ++i) {
+    added += std::popcount(other.w_[static_cast<std::size_t>(i)] &
+                           ~w_[static_cast<std::size_t>(i)]);
+  }
+  return added;
+}
+
+int Signature::popcount() const {
+  int n = 0;
+  for (const std::uint64_t w : w_) n += std::popcount(w);
+  return n;
+}
+
+int Signature::fsm_popcount() const {
+  int n = 0;
+  for (int i = 0; i < kFsmWords; ++i) {
+    std::uint64_t w = w_[static_cast<std::size_t>(i)];
+    if (i == kFsmWords - 1) {
+      // Mask the tail beyond bit kFsmBits (none are ever set, but keep the
+      // count definitionally about transition bits).
+      const int used = kFsmBits - 64 * (kFsmWords - 1);
+      w &= (used == 64) ? ~0ULL : ((1ULL << used) - 1);
+    }
+    n += std::popcount(w);
+  }
+  return n;
+}
+
+std::string Signature::to_hex() const {
+  std::string s;
+  char buf[24];
+  for (const std::uint64_t w : w_) {
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(w));
+    if (!s.empty()) s += '.';
+    s += buf;
+  }
+  return s;
+}
+
+}  // namespace mcan

@@ -1,0 +1,114 @@
+// Coverage signatures: the fuzzer's feedback signal.
+//
+// Each execution of a scenario is summarised as a fixed-size bitmap over
+// three feature families:
+//
+//   * FSM transition bits — which controller state transitions the run
+//     fired, captured through the thread-local TransitionSink hook in
+//     core/fsm_coverage.hpp (works in every build; the MCAN_FSM_COVERAGE
+//     option only gates the separate process-global counters);
+//   * invariant-class bits — which protocol invariant rules the run
+//     violated (analysis/invariants.hpp), one bit per rule;
+//   * property-outcome bits — the shape of the run's result: violation
+//     classes, delivery pattern, retransmissions, crash/traffic presence.
+//
+// The corpus manager admits an input iff its signature contains at least
+// one bit the accumulated corpus map has never seen — the classic
+// coverage-guided novelty criterion, over protocol-semantic features
+// instead of basic blocks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/fsm_coverage.hpp"
+
+namespace mcan {
+
+class Signature {
+ public:
+  static constexpr int kFsmBits = kFsmStateCount * kFsmStateCount;  // 225
+  static constexpr int kFsmWords = (kFsmBits + 63) / 64;            // 4
+  static constexpr int kWords = kFsmWords + 1;  // + one feature word
+
+  // Bits of the feature word (kWords - 1).
+  enum Feature : int {
+    kDeliveredAll = 0,   ///< every receiver delivered at least once
+    kDeliveredNone,      ///< no receiver delivered
+    kDeliveredSplit,     ///< some did, some did not
+    kRetransmit,         ///< more than one SOF at the transmitter
+    kMultiRetransmit,    ///< more than two
+    kCrashScheduled,     ///< the scenario crashed a node
+    kTrafficMix,         ///< extra frames beyond the probe
+    kNotQuiesced,        ///< run hit the step budget
+    kClassBase = 8,      ///< + FuzzClass index (see fuzz/oracle.hpp)
+    kInvariantBase = 16, ///< + InvariantRule index (6 rules)
+    kVariantBase = 24,   ///< + Variant index (3 variants)
+    kFeatureBits = 27,
+  };
+
+  void set_transition(FsmState from, FsmState to) {
+    const int bit =
+        static_cast<int>(from) * kFsmStateCount + static_cast<int>(to);
+    w_[static_cast<std::size_t>(bit >> 6)] |= 1ULL << (bit & 63);
+  }
+
+  void set_feature(int bit) { w_[kWords - 1] |= 1ULL << bit; }
+
+  [[nodiscard]] bool feature(int bit) const {
+    return (w_[kWords - 1] >> bit) & 1ULL;
+  }
+
+  /// OR `other` into this map; returns how many bits were newly set.
+  int merge(const Signature& other);
+
+  /// True iff every bit of `other` is already set here.
+  [[nodiscard]] bool contains(const Signature& other) const;
+
+  /// Bits `other` would add on top of this map.
+  [[nodiscard]] int new_bits(const Signature& other) const;
+
+  [[nodiscard]] int popcount() const;
+  [[nodiscard]] int fsm_popcount() const;
+
+  /// Hex dump (one group per word), for stats output and debugging.
+  [[nodiscard]] std::string to_hex() const;
+
+  [[nodiscard]] bool operator==(const Signature&) const = default;
+
+ private:
+  std::array<std::uint64_t, kWords> w_{};
+};
+
+/// TransitionSink that sets transition + variant bits in a Signature.
+/// Install with ScopedSignatureSink around one scenario execution.
+class SignatureSink final : public TransitionSink {
+ public:
+  explicit SignatureSink(Signature& sig) : sig_(&sig) {}
+
+  void on_transition(Variant v, FsmState from, FsmState to) override {
+    sig_->set_transition(from, to);
+    sig_->set_feature(Signature::kVariantBase + static_cast<int>(v));
+  }
+
+ private:
+  Signature* sig_;
+};
+
+/// RAII: route this thread's FSM transitions into `sig` for the scope.
+class ScopedSignatureSink {
+ public:
+  explicit ScopedSignatureSink(Signature& sig)
+      : sink_(sig), prev_(fsm_coverage::set_thread_sink(&sink_)) {}
+  ~ScopedSignatureSink() { fsm_coverage::set_thread_sink(prev_); }
+
+  ScopedSignatureSink(const ScopedSignatureSink&) = delete;
+  ScopedSignatureSink& operator=(const ScopedSignatureSink&) = delete;
+
+ private:
+  SignatureSink sink_;
+  TransitionSink* prev_;
+};
+
+}  // namespace mcan

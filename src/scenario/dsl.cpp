@@ -1,7 +1,10 @@
 #include "scenario/dsl.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -96,6 +99,15 @@ ScenarioSpec parse_scenario(const std::string& text) {
       if (kv.contains("dlc")) {
         spec.frame_dlc = static_cast<std::uint8_t>(parse_uint(line_no, kv["dlc"]));
       }
+    } else if (cmd == "traffic") {
+      auto kv = parse_kv(line_no, tok, 1);
+      TrafficFrame t;
+      if (kv.contains("id")) t.id = parse_uint(line_no, kv["id"]);
+      if (kv.contains("dlc")) {
+        t.dlc = static_cast<std::uint8_t>(parse_uint(line_no, kv["dlc"]));
+      }
+      if (kv.contains("node")) t.sender = parse_uint(line_no, kv["node"]);
+      spec.traffic.push_back(t);
     } else if (cmd == "flip") {
       auto kv = parse_kv(line_no, tok, 1);
       if (!kv.contains("node")) fail(line_no, "flip needs node=");
@@ -150,6 +162,85 @@ ScenarioSpec parse_scenario(const std::string& text) {
   return spec;
 }
 
+namespace {
+
+std::string hex_id(std::uint32_t id) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%x", id);
+  return buf;
+}
+
+std::string render_flip(const FaultTarget& f) {
+  std::string s = "flip node=" + std::to_string(f.node);
+  if (f.seg == Seg::Eof && f.index) {
+    s += " eof=" + std::to_string(*f.index);
+  } else if (f.eof_rel) {
+    s += " eofrel=" + std::to_string(*f.eof_rel);
+  } else if (f.seg == Seg::Body && f.index) {
+    s += " body=" + std::to_string(*f.index);
+  } else if (f.at) {
+    s += " t=" + std::to_string(*f.at);
+    return s;  // the t= form carries no frame index
+  }
+  if (f.frame_index && *f.frame_index != 0) {
+    s += " frame=" + std::to_string(*f.frame_index);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string write_scenario(const ScenarioSpec& spec,
+                           const ScenarioWriteOptions& opts) {
+  std::string s;
+  for (const std::string& line : opts.header) s += "# " + line + "\n";
+  if (!spec.name.empty()) s += "name " + spec.name + "\n";
+  switch (spec.protocol.variant) {
+    case Variant::StandardCan:
+      s += "protocol can\n";
+      break;
+    case Variant::MinorCan:
+      s += "protocol minor\n";
+      break;
+    case Variant::MajorCan:
+      s += "protocol major " + std::to_string(spec.protocol.m) + "\n";
+      break;
+  }
+  s += "nodes " + std::to_string(spec.n_nodes) + "\n";
+  s += "frame id=" + hex_id(spec.frame_id) +
+       " dlc=" + std::to_string(spec.frame_dlc) + "\n";
+  for (const TrafficFrame& t : spec.traffic) {
+    s += "traffic id=" + hex_id(t.id) + " dlc=" + std::to_string(t.dlc) +
+         " node=" + std::to_string(t.sender) + "\n";
+  }
+  for (std::size_t i = 0; i < spec.flips.size(); ++i) {
+    s += render_flip(spec.flips[i]);
+    if (i < opts.flip_comments.size() && !opts.flip_comments[i].empty()) {
+      s += "   # " + opts.flip_comments[i];
+    }
+    s += "\n";
+  }
+  if (spec.crash) {
+    s += "crash node=" + std::to_string(spec.crash->first) +
+         " t=" + std::to_string(spec.crash->second) + "\n";
+  }
+  switch (spec.expect) {
+    case Expectation::Any:
+      s += "expect any\n";
+      break;
+    case Expectation::Consistent:
+      s += "expect consistent\n";
+      break;
+    case Expectation::Imo:
+      s += "expect imo\n";
+      break;
+    case Expectation::Double:
+      s += "expect double\n";
+      break;
+  }
+  return s;
+}
+
 ScenarioSpec load_scenario_file(const std::string& path) {
   std::ifstream f(path);
   if (!f) throw std::invalid_argument("cannot open scenario file: " + path);
@@ -171,19 +262,75 @@ DslRunResult run_scenario(const ScenarioSpec& spec,
 
   InvariantScope invariants(net, inv);
 
+  // Tagged journals for the AB1..AB5 verdict: senders journal their own
+  // broadcasts at TxSuccess (the run_soak convention), receivers at
+  // delivery.  A delivered frame whose tag does not parse is journaled
+  // under a key that was never broadcast, so it surfaces as an AB4
+  // non-triviality violation instead of disappearing.
+  std::vector<BroadcastRecord> broadcasts;
+  std::map<NodeId, DeliveryJournal> journals;
+  for (int i = 0; i < spec.n_nodes; ++i) {
+    journals.emplace(static_cast<NodeId>(i), DeliveryJournal{});
+  }
+  auto journal_tx = [&journals](NodeId sender) {
+    auto& journal = journals.at(sender);
+    return [&journal](const Frame& f, BitTime t) {
+      if (auto tag = parse_tag(f)) journal.push_back({tag->key, t});
+    };
+  };
+
   const Frame frame =
       make_tagged_frame(spec.frame_id, MsgKind::Data, MessageKey{0, 1},
                         std::max<std::uint8_t>(4, spec.frame_dlc));
   net.node(0).enqueue(frame);
-  net.run_until_quiet(30000);
+  net.node(0).add_tx_done_handler(journal_tx(0));
+  broadcasts.push_back({MessageKey{0, 1}, 0});
+  std::set<NodeId> journaling{0};
+  for (std::size_t j = 0; j < spec.traffic.size(); ++j) {
+    const TrafficFrame& t = spec.traffic[j];
+    const auto sender =
+        static_cast<NodeId>(t.sender % static_cast<NodeId>(spec.n_nodes));
+    const MessageKey key{sender, static_cast<std::uint16_t>(100 + j)};
+    net.node(static_cast<int>(sender))
+        .enqueue(make_tagged_frame(t.id, MsgKind::Data, key,
+                                   std::max<std::uint8_t>(4, t.dlc)));
+    if (journaling.insert(sender).second) {
+      net.node(static_cast<int>(sender)).add_tx_done_handler(journal_tx(sender));
+    }
+    broadcasts.push_back({key, sender});
+  }
+  const bool quiesced = net.run_until_quiet(30000);
   // run_until_quiet stops *before* an all-idle bit is ever recorded (the
   // predicate is checked pre-step), so the reconvergence rule would never
   // see an idle record.  Step a short cooldown so it does.
   for (int i = 0; i < 2 * spec.protocol.eof_bits(); ++i) net.sim().step();
 
   DslRunResult res;
+  res.quiesced = quiesced;
   res.invariants = invariants.report();
   invariants.set_handler(nullptr);  // report travels in the result instead
+
+  for (int i = 0; i < spec.n_nodes; ++i) {
+    auto& journal = journals.at(static_cast<NodeId>(i));
+    for (const Delivery& d : net.deliveries(i)) {
+      if (auto tag = parse_tag(d.frame)) {
+        journal.push_back({tag->key, d.t});
+      } else {
+        journal.push_back({MessageKey{255, 0xFFFF}, d.t});  // AB4 sentinel
+      }
+    }
+    // Tx-done entries were journaled live, deliveries appended afterwards:
+    // restore one true per-node event order for the AB5 comparison.
+    std::stable_sort(journal.begin(), journal.end(),
+                     [](const DeliveryEvent& a, const DeliveryEvent& b) {
+                       return a.t < b.t;
+                     });
+  }
+  std::set<NodeId> correct;
+  for (int i = 0; i < spec.n_nodes; ++i) correct.insert(static_cast<NodeId>(i));
+  if (spec.crash) correct.erase(spec.crash->first);
+  res.ab = check_atomic_broadcast(broadcasts, journals, correct);
+
   res.outcome.name = spec.name.empty() ? "scenario" : spec.name;
   res.outcome.protocol = spec.protocol;
   res.outcome.tx_node = 0;

@@ -5,6 +5,7 @@
 //     protocol can            # can | minor | major <m>
 //     nodes 5
 //     frame id=0x100 dlc=4
+//     traffic id=0x200 dlc=4 node=1   # optional extra frames (traffic mix)
 //     flip node=1 eof=5       # 0-based EOF bit of that node's view
 //     flip node=2 eof=5
 //     flip node=0 eof=6
@@ -13,16 +14,32 @@
 //
 // Addressing forms for `flip`: eof=<pos> [frame=<k>], eofrel=<pos>
 // [frame=<k>], body=<wire-bit> [frame=<k>], t=<absolute-bit>.
+//
+// The format is round-trippable: write_scenario() renders a ScenarioSpec
+// back to text that parse_scenario() reads to an equal spec.  Everything
+// that exports .scn files (the model checker's minimizer, the fuzzer's
+// triage pipeline) goes through that one writer.
 #pragma once
 
 #include <string>
 
 #include "analysis/invariants.hpp"
+#include "analysis/properties.hpp"
 #include "scenario/figures.hpp"
 
 namespace mcan {
 
 enum class Expectation { Any, Consistent, Imo, Double };
+
+/// One extra frame in the traffic mix, enqueued at its sender before the
+/// bus starts (arbitration interleaves it with the probe frame).
+struct TrafficFrame {
+  std::uint32_t id = 0x200;
+  std::uint8_t dlc = 4;
+  NodeId sender = 1;
+
+  [[nodiscard]] bool operator==(const TrafficFrame&) const = default;
+};
 
 struct ScenarioSpec {
   std::string name;
@@ -30,9 +47,12 @@ struct ScenarioSpec {
   int n_nodes = 5;
   std::uint32_t frame_id = 0x100;
   std::uint8_t frame_dlc = 4;
+  std::vector<TrafficFrame> traffic;  ///< extra frames beyond the probe
   std::vector<FaultTarget> flips;
   std::optional<std::pair<NodeId, BitTime>> crash;
   Expectation expect = Expectation::Any;
+
+  [[nodiscard]] bool operator==(const ScenarioSpec&) const = default;
 };
 
 /// Parse the DSL; throws std::invalid_argument with a line-numbered message
@@ -42,11 +62,31 @@ struct ScenarioSpec {
 /// Load and parse a scenario file.
 [[nodiscard]] ScenarioSpec load_scenario_file(const std::string& path);
 
+/// Presentation options for write_scenario: free-text comment lines for
+/// the file header and per-flip trailing comments (both without the
+/// leading "# "; entries beyond spec.flips.size() are ignored).
+struct ScenarioWriteOptions {
+  std::vector<std::string> header;
+  std::vector<std::string> flip_comments;
+};
+
+/// Render `spec` as .scn text.  parse_scenario(write_scenario(s)) == s for
+/// every valid spec (comments are presentation only).
+[[nodiscard]] std::string write_scenario(const ScenarioSpec& spec,
+                                         const ScenarioWriteOptions& opts = {});
+
 struct DslRunResult {
   ScenarioOutcome outcome;
   bool expectation_met = true;
   std::string expectation_text;
   InvariantReport invariants;  ///< protocol conformance of the whole run
+  bool quiesced = true;        ///< false: the bus never went quiet (timeout)
+  /// AB1..AB5 over tagged journals: senders journal their broadcasts at
+  /// TxSuccess, receivers at delivery; a crashed node is excluded from the
+  /// correct set.  This is the fuzzing oracle's consistency verdict — it
+  /// stays meaningful with traffic mixes and crashes, where the legacy
+  /// delivery-count expectations (imo/double) only describe the probe.
+  AbReport ab;
 };
 
 /// Run the scenario and evaluate its `expect` clause.  Every run is also

@@ -77,51 +77,50 @@ std::string to_scenario_text(const ProtocolParams& protocol, int n_nodes,
                              const MinimizedCounterexample& ce,
                              const std::string& title) {
   const int eof_start = model_check_eof_start(protocol);
-  std::string s;
-  s += "# " + title + "\n";
-  s += "# Minimized by the model checker's delta-debugger (mcan-check";
-  s += " --minimize):\n";
-  s += "# verdict " + std::string(violation_class_name(ce.cls)) + " — " +
-       (ce.outcome.empty() ? "no violation" : ce.outcome) + "\n";
-  s += "# Flips are addressed by absolute bit time; on the clean probe\n";
-  s += "# frame, EOF-relative position p is bit time " +
-       std::to_string(eof_start) + " + p.\n";
-  s += "name " + title + "\n";
-  switch (protocol.variant) {
-    case Variant::StandardCan:
-      s += "protocol can\n";
-      break;
-    case Variant::MinorCan:
-      s += "protocol minor\n";
-      break;
-    case Variant::MajorCan:
-      s += "protocol major " + std::to_string(protocol.m) + "\n";
-      break;
-  }
-  s += "nodes " + std::to_string(n_nodes) + "\n";
-  s += "frame id=0x100 dlc=4\n";
+
+  ScenarioSpec spec;
+  spec.name = title;
+  spec.protocol = protocol;
+  spec.n_nodes = n_nodes;
+  spec.frame_id = 0x100;
+  spec.frame_dlc = 4;
+
+  ScenarioWriteOptions opts;
+  opts.header = {
+      title,
+      "Minimized by the model checker's delta-debugger (mcan-check"
+      " --minimize):",
+      "verdict " + std::string(violation_class_name(ce.cls)) + " — " +
+          (ce.outcome.empty() ? "no violation" : ce.outcome),
+      "Flips are addressed by absolute bit time; on the clean probe",
+      "frame, EOF-relative position p is bit time " +
+          std::to_string(eof_start) + " + p.",
+  };
   for (const auto& [node, pos] : ce.flips) {
-    s += "flip node=" + std::to_string(node) +
-         " t=" + std::to_string(eof_start + pos) + "   # EOF" +
-         (pos >= 0 ? "+" : "") + std::to_string(pos) +
-         (node == 0 ? " (transmitter)" : "") + "\n";
+    spec.flips.push_back(FaultTarget::at_time(
+        node, static_cast<BitTime>(eof_start + pos)));
+    opts.flip_comments.push_back(
+        "EOF" + std::string(pos >= 0 ? "+" : "") + std::to_string(pos) +
+        (node == 0 ? " (transmitter)" : ""));
   }
   switch (ce.cls) {
     case ViolationClass::Imo:
-      s += "expect imo\n";
+      spec.expect = Expectation::Imo;
       break;
     case ViolationClass::DoubleRx:
-      s += "expect double\n";
+      spec.expect = Expectation::Double;
       break;
     case ViolationClass::None:
-      s += "expect consistent\n";
+      spec.expect = Expectation::Consistent;
       break;
     case ViolationClass::TotalLoss:
     case ViolationClass::Timeout:
-      s += "expect any   # total loss / timeout: no DSL expectation\n";
+      // Total loss / timeout have no DSL expectation; `expect any` keeps
+      // the file replayable and the header records the verdict.
+      spec.expect = Expectation::Any;
       break;
   }
-  return s;
+  return write_scenario(spec, opts);
 }
 
 ReplayResult replay_scenario_text(const std::string& text) {

@@ -2,6 +2,8 @@
 // shipped corpus (scenarios/*.scn must all meet their expectations).
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "scenario/dsl.hpp"
 
 namespace mcan {
@@ -105,6 +107,53 @@ TEST(Dsl, ShippedCorpusMeetsExpectations) {
 
 TEST(Dsl, MissingFileThrows) {
   EXPECT_THROW(load_scenario_file("/nonexistent/x.scn"), std::invalid_argument);
+}
+
+TEST(Dsl, WriterRoundTripsSyntheticSpec) {
+  // One of everything: every flip addressing form, a traffic mix, a crash.
+  auto spec = parse_scenario(R"(
+name round trip
+protocol major 7
+nodes 6
+frame id=0x155 dlc=8
+traffic id=0x2a0 dlc=2 node=3
+traffic id=0x07f dlc=0 node=5
+flip node=1 eof=5
+flip node=2 eofrel=12 frame=1
+flip node=3 body=20
+flip node=4 t=99
+crash node=0 t=75
+expect imo
+)");
+  const std::string text = write_scenario(spec);
+  EXPECT_EQ(parse_scenario(text), spec) << text;
+}
+
+TEST(Dsl, WriterRoundTripsEverySpec) {
+  // expect is always emitted, even at its default.
+  const ScenarioSpec bare = parse_scenario("nodes 3\n");
+  EXPECT_EQ(parse_scenario(write_scenario(bare)), bare);
+  // Comments are presentation-only: they don't disturb the parse.
+  ScenarioWriteOptions opts;
+  opts.header = {"header line", "another"};
+  EXPECT_EQ(parse_scenario(write_scenario(bare, opts)), bare);
+}
+
+TEST(Dsl, WriterRoundTripsShippedCorpus) {
+  // Every committed scenario file must survive parse -> write -> parse
+  // exactly: the writer is the one exporter (model checker, fuzzer triage),
+  // so drift between it and the parser would corrupt reproducers.
+  int seen = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(MCAN_SCENARIO_DIR)) {
+    if (entry.path().extension() != ".scn") continue;
+    SCOPED_TRACE(entry.path().filename().string());
+    const ScenarioSpec spec = load_scenario_file(entry.path().string());
+    const std::string text = write_scenario(spec);
+    EXPECT_EQ(parse_scenario(text), spec) << text;
+    ++seen;
+  }
+  EXPECT_GE(seen, 7);  // the shipped corpus
 }
 
 }  // namespace
