@@ -14,6 +14,7 @@
 #include "analysis/tagged.hpp"
 #include "core/network.hpp"
 #include "fault/random_faults.hpp"
+#include "scenario/sweep_cli.hpp"
 #include "util/text.hpp"
 
 namespace {
@@ -56,7 +57,23 @@ Measured measure(const ProtocolParams& proto, int n_nodes, double ber_star,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const long frames = argc > 1 ? std::atol(argv[1]) : 30000;
+  SweepOptions sweep;
+  std::vector<std::string> rest;
+  std::string error;
+  if (!parse_sweep_args(argc, argv, sweep, rest, error)) {
+    std::fprintf(stderr, "bench_imo_rate: %s\n", error.c_str());
+    return 2;
+  }
+  long frames = 30000;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    if (rest[i] == "--frames" && i + 1 < rest.size()) {
+      frames = std::atol(rest[++i].c_str());
+    } else {
+      std::fprintf(stderr, "bench_imo_rate: unknown option %s\n",
+                   rest[i].c_str());
+      return 2;
+    }
+  }
   const int n = 5;
 
   std::printf("=== Measured IMO rate vs expression (4), through the bus ===\n");
@@ -67,6 +84,9 @@ int main(int argc, char** argv) {
   rows.push_back({"ber*", "analytic P4/frame", "CAN IMO/frame",
                   "CAN dup/frame", "MajorCAN_5 IMO/frame",
                   "MajorCAN_8 IMO/frame"});
+  std::string json = "{\"frames_per_cell\": " + std::to_string(frames) +
+                     ", \"n_nodes\": " + std::to_string(n) + ", \"rows\": [";
+  bool json_first = true;
   for (double bs : {2e-3, 1e-3, 5e-4}) {
     ModelParams p;
     p.n_nodes = n;
@@ -89,8 +109,26 @@ int main(int argc, char** argv) {
                     sci(rate(can.dup, can.frames)),
                     sci(rate(m5.imo, m5.frames)),
                     sci(rate(m8.imo, m8.frames))});
+    if (!json_first) json += ",";
+    json_first = false;
+    json += "\n  {\"ber_star\": " + sci(bs, 12) +
+            ", \"analytic_p4\": " + sci(analytic, 12) +
+            ", \"can_imo\": " + sci(rate(can.imo, can.frames), 12) +
+            ", \"can_dup\": " + sci(rate(can.dup, can.frames), 12) +
+            ", \"major5_imo\": " + sci(rate(m5.imo, m5.frames), 12) +
+            ", \"major8_imo\": " + sci(rate(m8.imo, m8.frames), 12) + "}";
   }
+  json += "\n]}\n";
   std::printf("%s\n", render_table(rows).c_str());
+
+  if (!sweep.json.empty()) {
+    if (!write_text_file(sweep.json, json)) {
+      std::fprintf(stderr, "bench_imo_rate: cannot write %s\n",
+                   sweep.json.c_str());
+      return 2;
+    }
+    std::printf("json written to %s\n", sweep.json.c_str());
+  }
 
   std::printf(
       "reading (the sharpest finding of this reproduction, DESIGN.md §7):\n"

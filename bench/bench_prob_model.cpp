@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "analysis/prob_model.hpp"
+#include "scenario/sweep_cli.hpp"
 #include "util/rng.hpp"
 #include "util/text.hpp"
 
@@ -63,7 +64,23 @@ bool draw_fig3a_pattern(Rng& rng, int n_nodes, int tau, double ber_star) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const long frames = argc > 1 ? std::atol(argv[1]) : 400000;
+  SweepOptions sweep;
+  std::vector<std::string> rest;
+  std::string error;
+  if (!parse_sweep_args(argc, argv, sweep, rest, error)) {
+    std::fprintf(stderr, "bench_prob_model: %s\n", error.c_str());
+    return 2;
+  }
+  long frames = 400000;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    if (rest[i] == "--frames" && i + 1 < rest.size()) {
+      frames = std::atol(rest[++i].c_str());
+    } else {
+      std::fprintf(stderr, "bench_prob_model: unknown option %s\n",
+                   rest[i].c_str());
+      return 2;
+    }
+  }
 
   std::printf("=== Monte-Carlo check of expression (4) ===\n");
   std::printf("%ld frames per cell, iid per-node per-bit errors at ber*\n\n",
@@ -72,6 +89,9 @@ int main(int argc, char** argv) {
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"N", "tau", "ber*", "analytic P4", "monte-carlo",
                   "MC/analytic", "hits"});
+  std::string json =
+      "{\"frames_per_cell\": " + std::to_string(frames) + ", \"rows\": [";
+  bool json_first = true;
   Rng rng(0xC0DE, 0x11);
   struct Cell {
     int n;
@@ -99,8 +119,26 @@ int main(int argc, char** argv) {
                     sci(analytic), sci(mc),
                     analytic > 0 ? sci(mc / analytic) : "-",
                     std::to_string(hits)});
+    if (!json_first) json += ",";
+    json_first = false;
+    json += "\n  {\"n\": " + std::to_string(c.n) +
+            ", \"tau\": " + std::to_string(c.tau) +
+            ", \"ber_star\": " + sci(c.bs, 12) +
+            ", \"analytic_p4\": " + sci(analytic, 12) +
+            ", \"monte_carlo\": " + sci(mc, 12) +
+            ", \"hits\": " + std::to_string(hits) + "}";
   }
+  json += "\n]}\n";
   std::printf("%s\n", render_table(rows).c_str());
+
+  if (!sweep.json.empty()) {
+    if (!write_text_file(sweep.json, json)) {
+      std::fprintf(stderr, "bench_prob_model: cannot write %s\n",
+                   sweep.json.c_str());
+      return 2;
+    }
+    std::printf("json written to %s\n", sweep.json.c_str());
+  }
 
   std::printf(
       "reading: the Monte-Carlo frequency matches expression (4) within\n"

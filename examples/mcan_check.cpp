@@ -28,6 +28,7 @@
 #include "scenario/model_check.hpp"
 #include "scenario/sweep_cli.hpp"
 #include "util/progress.hpp"
+#include "util/text.hpp"
 
 namespace {
 
@@ -38,7 +39,6 @@ struct Options {
   int max_examples = 5;
   bool minimize = false;
   std::string export_dir;   ///< write minimized .scn files here
-  std::string json_path;    ///< write the JSON report here
   std::string coverage_path;  ///< write the FSM coverage JSON here
   bool expect_clean = false;
   bool expect_violations = false;
@@ -65,7 +65,6 @@ void usage(std::FILE* to) {
       " flip set\n"
       "  --export-dir DIR   write minimized counterexamples as .scn files\n"
       "                     (implies --minimize; each is replay-verified)\n"
-      "  --json FILE        write a JSON report of all sweeps\n"
       "  --coverage FILE    write the FSM transition-coverage report\n"
       "                     (needs a -DMCAN_FSM_COVERAGE=ON build)\n"
       "  --expect-clean     exit 1 if any sweep finds a violation\n"
@@ -103,8 +102,6 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (a == "--export-dir") {
       if (!need_value("--export-dir", opt.export_dir)) return false;
       opt.minimize = true;
-    } else if (a == "--json") {
-      if (!need_value("--json", opt.json_path)) return false;
     } else if (a == "--coverage") {
       if (!need_value("--coverage", opt.coverage_path)) return false;
     } else if (a == "--expect-clean") {
@@ -123,21 +120,6 @@ bool parse_args(int argc, char** argv, Options& opt) {
     return false;
   }
   return true;
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (c == '\n') {
-      out += "\\n";
-    } else {
-      out += c;
-    }
-  }
-  return out;
 }
 
 std::string file_slug(const std::string& name) {
@@ -313,15 +295,15 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!opt.json_path.empty()) {
+  if (!opt.sweep.json.empty()) {
     std::string s = "{\"sweeps\":[";
     for (std::size_t i = 0; i < records.size(); ++i) {
       if (i) s += ",";
       s += sweep_to_json(records[i]);
     }
     s += "]}\n";
-    if (!write_file(opt.json_path, s)) return 2;
-    std::printf("report written to %s\n", opt.json_path.c_str());
+    if (!write_file(opt.sweep.json, s)) return 2;
+    std::printf("report written to %s\n", opt.sweep.json.c_str());
   }
 
   if (!opt.coverage_path.empty()) {

@@ -1,10 +1,40 @@
 #include "analysis/prob_model.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "util/text.hpp"
 
 namespace mcan {
+
+void ModelParams::validate() const {
+  const auto bad = [](const std::string& what) {
+    throw std::invalid_argument("prob_model: " + what);
+  };
+  if (!(ber > 0.0) || ber > 1.0) {
+    bad("ber must be in (0, 1], got " + sci(ber));
+  }
+  if (!(load > 0.0) || load > 1.0) {
+    bad("load must be in (0, 1], got " + sci(load));
+  }
+  if (n_nodes < 2) {
+    bad("n_nodes must be >= 2 (a transmitter and at least one receiver), "
+        "got " + std::to_string(n_nodes));
+  }
+  if (frame_bits <= 0) {
+    bad("frame_bits must be positive, got " + std::to_string(frame_bits));
+  }
+  if (!(bitrate > 0.0)) {
+    bad("bitrate must be positive, got " + sci(bitrate));
+  }
+  if (lambda_per_hour < 0.0 || !std::isfinite(lambda_per_hour)) {
+    bad("lambda_per_hour must be finite and >= 0, got " +
+        sci(lambda_per_hour));
+  }
+  if (delta_t_s < 0.0 || !std::isfinite(delta_t_s)) {
+    bad("delta_t_s must be finite and >= 0, got " + sci(delta_t_s));
+  }
+}
 
 double binom(int n, int k) {
   if (k < 0 || k > n) return 0.0;
@@ -39,6 +69,7 @@ double receiver_split_factor(const ModelParams& p) {
 }  // namespace
 
 double p_new_scenario_per_frame(const ModelParams& p) {
+  p.validate();
   const double b = p.ber_star();
   const int tau = p.frame_bits;
   // Transmitter clean until the last bit, then hit exactly there so it
@@ -48,6 +79,7 @@ double p_new_scenario_per_frame(const ModelParams& p) {
 }
 
 double p_old_scenario_per_frame(const ModelParams& p) {
+  p.validate();
   const double b = p.ber_star();
   const int tau = p.frame_bits;
   // Transmitter clean for the whole frame but crashing within Δt before the

@@ -31,6 +31,14 @@ struct ModelParams {
   double lambda_per_hour = 1e-3;  ///< transmitter crash rate (expr. (5))
   double delta_t_s = 5e-3;        ///< vulnerability window Δt (expr. (5))
 
+  /// Throws std::invalid_argument naming the offending field when the
+  /// parameters cannot feed the closed forms: ber outside (0, 1], load
+  /// outside (0, 1], fewer than 2 nodes, or non-positive frame length /
+  /// bitrate / crash-model values.  Every exported expression evaluator
+  /// calls this, so a bad configuration fails loudly instead of silently
+  /// producing NaN or garbage rates.
+  void validate() const;
+
   /// ber* = ber / N  (expression (3)).
   [[nodiscard]] double ber_star() const { return ber / n_nodes; }
 

@@ -1,6 +1,7 @@
 #include "analysis/stats.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <numeric>
 
@@ -49,6 +50,121 @@ void LatencyTracker::on_delivery(NodeId node, const MessageKey& key,
 }
 
 Summary LatencyTracker::summary() const { return Summary::of(latencies_); }
+
+void StreamingMoments::add(double x) {
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+}
+
+double StreamingMoments::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double StreamingMoments::std_error() const {
+  return n_ > 1 ? std::sqrt(variance() / static_cast<double>(n_)) : 0.0;
+}
+
+std::string StreamingMoments::serialize() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%lld %la %la", n_, mean_, m2_);
+  return buf;
+}
+
+bool StreamingMoments::parse(const std::string& s, StreamingMoments& out) {
+  StreamingMoments m;
+  if (std::sscanf(s.c_str(), "%lld %la %la", &m.n_, &m.mean_, &m.m2_) != 3) {
+    return false;
+  }
+  out = m;
+  return true;
+}
+
+std::pair<double, double> wilson_interval(long long hits, long long trials,
+                                          double z) {
+  if (trials <= 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(hits) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+std::string RareEstimate::to_string() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "p=%.3e ci95=[%.3e, %.3e] (rel +/-%.0f%%) hits=%lld/%lld "
+                "ess=%.1f",
+                p_hat, ci_lo, ci_hi, 100.0 * rel_halfwidth, hits, trials,
+                ess);
+  return buf;
+}
+
+void RareAccumulator::add(double x) {
+  moments_.add(x);
+  if (x != 0.0) {
+    ++hits_;
+    sum_w_ += x;
+    sum_w2_ += x * x;
+    max_w_ = std::max(max_w_, x);
+    if (x != 1.0) weighted_ = true;
+  }
+}
+
+RareEstimate RareAccumulator::estimate(double z) const {
+  RareEstimate e;
+  e.trials = moments_.count();
+  e.hits = hits_;
+  e.p_hat = moments_.mean();
+  e.std_err = moments_.std_error();
+  e.max_weight = max_w_;
+  e.ess = sum_w2_ > 0 ? sum_w_ * sum_w_ / sum_w2_ : 0.0;
+  if (!weighted_) {
+    // Unweighted 0/1 indicators: the binomial Wilson interval is exact-ish
+    // and behaves at 0 hits, where the log-normal interval degenerates.
+    const auto [lo, hi] = wilson_interval(hits_, e.trials, z);
+    e.ci_lo = lo;
+    e.ci_hi = hi;
+  } else if (e.p_hat > 0 && e.std_err > 0) {
+    // Log-normal CI (delta method on log p): multiplicative error bars that
+    // cannot cross zero, the standard for heavy-tailed importance weights.
+    const double delta = z * e.std_err / e.p_hat;
+    e.ci_lo = e.p_hat * std::exp(-delta);
+    e.ci_hi = e.p_hat * std::exp(delta);
+  }
+  if (e.p_hat > 0) {
+    e.rel_halfwidth = (e.ci_hi - e.ci_lo) / (2.0 * e.p_hat);
+  }
+  return e;
+}
+
+std::string RareAccumulator::serialize() const {
+  char buf[224];
+  std::snprintf(buf, sizeof(buf), "%s %lld %la %la %la %d",
+                moments_.serialize().c_str(), hits_, sum_w_, sum_w2_, max_w_,
+                weighted_ ? 1 : 0);
+  return buf;
+}
+
+bool RareAccumulator::parse(const std::string& s, RareAccumulator& out) {
+  RareAccumulator a;
+  int weighted = 0;
+  long long n = 0;
+  double mean = 0, m2 = 0;
+  if (std::sscanf(s.c_str(), "%lld %la %la %lld %la %la %la %d", &n, &mean,
+                  &m2, &a.hits_, &a.sum_w_, &a.sum_w2_, &a.max_w_,
+                  &weighted) != 8) {
+    return false;
+  }
+  if (!StreamingMoments::parse(s, a.moments_)) return false;
+  a.weighted_ = weighted != 0;
+  out = a;
+  return true;
+}
 
 void UtilizationProbe::on_bit(const BitRecord& rec) {
   ++total_;

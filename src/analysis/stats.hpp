@@ -1,11 +1,15 @@
-// Run statistics: delivery-latency distributions and bus utilisation,
-// computed from delivery journals and the per-bit trace.  Used by the
-// latency/bandwidth extension benches (the cost side of the paper's
-// overhead argument under realistic traffic and noise).
+// Run statistics: delivery-latency distributions, bus utilisation, and the
+// streaming estimators behind the rare-event campaigns (src/rare/) —
+// computed from delivery journals, the per-bit trace, and weighted
+// Monte-Carlo samples.  Used by the latency/bandwidth extension benches
+// (the cost side of the paper's overhead argument) and by mcan-rare /
+// bench_table1 (the probability side: Table 1 measured empirically).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/tagged.hpp"
@@ -47,6 +51,96 @@ class LatencyTracker {
   std::map<MessageKey, BitTime> sent_;
   std::map<std::pair<NodeId, MessageKey>, BitTime> first_delivery_;
   std::vector<double> latencies_;
+};
+
+/// Streaming mean/variance over a sequence of doubles (Welford's online
+/// algorithm: numerically stable at any count, O(1) state).  The result is
+/// a deterministic function of the *sequence* of add() calls — the
+/// rare-event campaigns rely on that to make estimates independent of the
+/// worker-thread count and byte-identical across checkpoint/resume, so
+/// samples must always be merged in a canonical order.
+class StreamingMoments {
+ public:
+  void add(double x);
+
+  [[nodiscard]] long long count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (n-1 denominator); 0 with fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  /// Standard error of the mean, s/sqrt(n); 0 with fewer than 2 samples.
+  [[nodiscard]] double std_error() const;
+
+  /// Exact round-trip serialization ("%la" hex floats): parse(serialize())
+  /// reproduces the accumulator bit-for-bit.  Used by the campaign journal.
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static bool parse(const std::string& s, StreamingMoments& out);
+
+  [[nodiscard]] bool operator==(const StreamingMoments&) const = default;
+
+ private:
+  long long n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+/// Wilson score interval for a binomial proportion: [lo, hi] for `hits`
+/// successes in `trials` draws at confidence z (1.96 = 95%).  Well-behaved
+/// at hits = 0 and hits = trials, unlike the normal approximation — the
+/// right interval for *unweighted* (naive Monte-Carlo) counts.
+[[nodiscard]] std::pair<double, double> wilson_interval(long long hits,
+                                                        long long trials,
+                                                        double z = 1.96);
+
+/// Point estimate + uncertainty of a rare-event probability, produced by a
+/// RareAccumulator.
+struct RareEstimate {
+  double p_hat = 0;        ///< Horvitz–Thompson estimate (mean of weights)
+  double std_err = 0;      ///< standard error of p_hat
+  double ci_lo = 0;        ///< log-normal CI (falls back to Wilson when
+  double ci_hi = 0;        ///< the samples are unweighted 0/1 indicators)
+  double rel_halfwidth = 0;///< (ci_hi - ci_lo) / (2 p_hat); 0 if p_hat == 0
+  double ess = 0;          ///< effective sample size of the nonzero weights
+  long long hits = 0;      ///< trials with a nonzero contribution
+  long long trials = 0;
+  double max_weight = 0;   ///< largest single contribution (outlier alarm)
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Streaming estimator for P{event} from weighted Monte-Carlo trials.
+///
+/// Feed one value per trial: the trial's Horvitz–Thompson contribution
+/// (its importance weight if the event occurred, 0 otherwise; for naive
+/// Monte-Carlo this degenerates to a 0/1 indicator).  The estimate is the
+/// sample mean; the confidence interval is computed on the log scale
+/// (delta method), which respects the heavy right tail of importance-
+/// sampling weights, with a Wilson fallback for unweighted indicators.
+/// ESS = (sum w)^2 / (sum w^2) over the nonzero contributions diagnoses
+/// weight degeneracy: ESS << hits means a few outlier weights dominate.
+class RareAccumulator {
+ public:
+  /// `x` = importance weight if the trial exhibited the event, else 0.
+  void add(double x);
+
+  [[nodiscard]] long long trials() const { return moments_.count(); }
+  [[nodiscard]] long long hits() const { return hits_; }
+  [[nodiscard]] const StreamingMoments& moments() const { return moments_; }
+
+  [[nodiscard]] RareEstimate estimate(double z = 1.96) const;
+
+  /// Exact round-trip serialization (see StreamingMoments::serialize).
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static bool parse(const std::string& s, RareAccumulator& out);
+
+  [[nodiscard]] bool operator==(const RareAccumulator&) const = default;
+
+ private:
+  StreamingMoments moments_;
+  long long hits_ = 0;
+  double sum_w_ = 0;   ///< over nonzero contributions
+  double sum_w2_ = 0;
+  double max_w_ = 0;
+  bool weighted_ = false;  ///< any contribution other than 0 or 1 seen
 };
 
 /// Trace observer measuring how busy the bus is: a bit is "busy" when any

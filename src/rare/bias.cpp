@@ -1,0 +1,107 @@
+#include "rare/bias.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mcan {
+
+void BiasProfile::resolve(const ProtocolParams& protocol) {
+  if (win_lo_rel > win_hi_rel) {
+    win_lo_rel = -2;
+    // Same end-game horizon the exhaustive sweeps default to: the whole
+    // extended end-game for MajorCAN, EOF + intermission otherwise.
+    win_hi_rel = protocol.variant == Variant::MajorCan
+                     ? 3 * protocol.m + 5
+                     : protocol.eof_bits() + 3;
+  }
+  const int eof = protocol.eof_bits();
+  if (tx_hot.empty()) tx_hot = {eof - 2, eof - 1};
+  if (rx_hot.empty()) rx_hot = {eof - 3, eof - 2};
+}
+
+double BiasProfile::q(bool transmitter, int eof_rel) const {
+  if (eof_rel < win_lo_rel || eof_rel > win_hi_rel) return base;
+  const std::vector<int>& hot = transmitter ? tx_hot : rx_hot;
+  if (std::find(hot.begin(), hot.end(), eof_rel) != hot.end()) {
+    return transmitter ? tx_hot_q : rx_hot_q;
+  }
+  return window_q;
+}
+
+void BiasProfile::validate() const {
+  const auto check = [](double v, const char* what) {
+    if (!(v >= 0.0) || v > 1.0) {
+      throw std::invalid_argument(std::string("bias profile: ") + what +
+                                  " must be in [0, 1]");
+    }
+  };
+  check(base, "base");
+  check(window_q, "window_q");
+  check(tx_hot_q, "tx_hot_q");
+  check(rx_hot_q, "rx_hot_q");
+  if (win_lo_rel > win_hi_rel) {
+    throw std::invalid_argument(
+        "bias profile: window unresolved (win_lo_rel > win_hi_rel); call "
+        "resolve() first");
+  }
+}
+
+BiasProfile unbiased_profile(const ProtocolParams& protocol, double ber_star) {
+  BiasProfile p;
+  p.resolve(protocol);
+  p.base = ber_star;
+  p.window_q = ber_star;
+  p.tx_hot_q = ber_star;
+  p.rx_hot_q = ber_star;
+  return p;
+}
+
+BiasedFaults::BiasedFaults(double ber_star, BiasProfile profile, int eof_start,
+                           Rng rng)
+    : p_(ber_star), profile_(profile), eof_start_(eof_start), rng_(rng) {
+  profile_.validate();
+}
+
+bool BiasedFaults::flips(NodeId node, BitTime t, const NodeBitInfo& /*info*/,
+                         Level /*bus*/) {
+  const long long rel = static_cast<long long>(t) - eof_start_;
+  const bool in_window =
+      rel >= profile_.win_lo_rel && rel <= profile_.win_hi_rel;
+  // Campaign convention: node 0 is the probe frame's transmitter.
+  const double q = in_window ? profile_.q(node == 0, static_cast<int>(rel))
+                             : profile_.base;
+  if (q <= 0.0) {
+    // Forced clean under the proposal: exp of the accumulated log(1-p)
+    // terms is exactly the nominal probability of this many clean draws.
+    ++base_clean_;
+    return false;
+  }
+  const bool flip = rng_.chance(q);
+  if (flip) {
+    llr_ += std::log(p_ / q);
+    if (in_window) {
+      ++window_flips_;
+      if (node == 0) ++tx_window_flips_;
+    }
+  } else {
+    llr_ += std::log1p(-p_) - std::log1p(-q);
+  }
+  return flip;
+}
+
+void BiasedFaults::account_clean_prefix(long long draws) {
+  if (profile_.base > 0.0) {
+    throw std::logic_error(
+        "BiasedFaults: clean-prefix accounting requires base == 0 "
+        "(tail-only mode); with a nonzero base the prefix must be "
+        "simulated");
+  }
+  base_clean_ += draws;
+}
+
+double BiasedFaults::llr() const {
+  return llr_ + static_cast<double>(base_clean_) * std::log1p(-p_);
+}
+
+}  // namespace mcan

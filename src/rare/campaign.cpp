@@ -1,0 +1,431 @@
+#include "rare/campaign.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "analysis/prob_model.hpp"
+#include "frame/encoder.hpp"
+#include "util/text.hpp"
+
+namespace mcan {
+
+namespace {
+
+std::string hexf(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%la", v);
+  return buf;
+}
+
+/// The per-trial contribution, before merging (the only state a worker
+/// writes).
+struct Slot {
+  long long index = 0;
+  double x_imo = 0;
+  double x_dup = 0;
+  long long timeouts = 0;
+};
+
+void run_slot(const RareConfig& cfg, const ProbePlan& plan,
+              const PrefixState* prefix, Slot& s) {
+  Rng rng(cfg.seed, static_cast<std::uint64_t>(s.index));
+  if (cfg.mode == RareMode::kSplitting) {
+    const SplitTrialResult r = run_split_trial(plan, *prefix, cfg.split, rng);
+    s.x_imo = r.x_imo;
+    s.x_dup = r.x_dup;
+    s.timeouts = r.timeouts;
+    return;
+  }
+  const TrialOutcome out = run_biased_trial(plan, prefix, rng);
+  if (out.timeout) {
+    s.timeouts = 1;
+    return;
+  }
+  const double w = std::exp(out.llr);
+  if (out.imo) s.x_imo = w;
+  if (out.dup) s.x_dup = w;
+}
+
+void execute_slots(const RareConfig& cfg, const ProbePlan& plan,
+                   const PrefixState* prefix, std::vector<Slot>& slots,
+                   int jobs) {
+  if (jobs <= 1 || slots.size() <= 1) {
+    for (Slot& s : slots) run_slot(cfg, plan, prefix, s);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= slots.size()) return;
+      run_slot(cfg, plan, prefix, slots[i]);
+    }
+  };
+  const int n = std::min<int>(jobs, static_cast<int>(slots.size()));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+}
+
+constexpr const char* kJournalMagic = "mcan-rare-journal v1";
+
+struct Snapshot {
+  long long trials = 0;
+  long long timeouts = 0;
+  RareAccumulator imo;
+  RareAccumulator dup;
+};
+
+std::string snapshot_line(const Snapshot& s) {
+  std::ostringstream os;
+  os << "snap " << s.trials << ' ' << s.timeouts << " | " << s.imo.serialize()
+     << " | " << s.dup.serialize();
+  return os.str();
+}
+
+bool parse_snapshot_line(const std::string& line, Snapshot& out) {
+  if (line.rfind("snap ", 0) != 0) return false;
+  const std::size_t bar1 = line.find(" | ");
+  if (bar1 == std::string::npos) return false;
+  const std::size_t bar2 = line.find(" | ", bar1 + 3);
+  if (bar2 == std::string::npos) return false;
+  if (std::sscanf(line.c_str() + 5, "%lld %lld", &out.trials, &out.timeouts) !=
+      2) {
+    return false;
+  }
+  return RareAccumulator::parse(line.substr(bar1 + 3, bar2 - bar1 - 3),
+                                out.imo) &&
+         RareAccumulator::parse(line.substr(bar2 + 3), out.dup);
+}
+
+/// Last valid snapshot of the journal, after a fingerprint check.  Returns
+/// false when the file does not exist; throws on corruption or mismatch.
+bool read_journal(const std::string& path, const std::string& fingerprint,
+                  Snapshot& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("rare: empty journal: " + path);
+  }
+  const std::string want = std::string(kJournalMagic) + " | " + fingerprint;
+  if (line != want) {
+    throw std::runtime_error(
+        "rare: journal " + path +
+        " was written by a different campaign configuration (fingerprint "
+        "mismatch); refusing to resume");
+  }
+  bool any = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Snapshot snap;
+    if (!parse_snapshot_line(line, snap)) {
+      // A torn final line (interrupted write) is expected; anything after a
+      // valid prefix is simply ignored.
+      break;
+    }
+    out = snap;
+    any = true;
+  }
+  return any;
+}
+
+void append_journal_line(const std::string& path, const std::string& line) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) throw std::runtime_error("rare: cannot write journal: " + path);
+  out << line << '\n';
+}
+
+}  // namespace
+
+const char* rare_mode_name(RareMode m) {
+  switch (m) {
+    case RareMode::kNaive: return "naive";
+    case RareMode::kImportance: return "importance";
+    case RareMode::kSplitting: return "splitting";
+  }
+  return "?";
+}
+
+void RareConfig::validate() const {
+  protocol.validate();
+  if (n_nodes < 2) {
+    throw std::invalid_argument("rare: n_nodes must be >= 2");
+  }
+  if (!(ber > 0.0) || ber > 1.0) {
+    throw std::invalid_argument("rare: ber must be in (0, 1]");
+  }
+  if (trials < 1) {
+    throw std::invalid_argument("rare: trials must be >= 1");
+  }
+  if (jobs < 0) {
+    throw std::invalid_argument("rare: jobs must be >= 0 (0 = auto)");
+  }
+  if (batch < 1) {
+    throw std::invalid_argument("rare: batch must be >= 1");
+  }
+  if (quiet_budget < 1) {
+    throw std::invalid_argument("rare: quiet_budget must be >= 1");
+  }
+  if (checkpoint_every < 1) {
+    throw std::invalid_argument("rare: checkpoint_every must be >= 1");
+  }
+  if (!(bitrate > 0.0)) {
+    throw std::invalid_argument("rare: bitrate must be positive");
+  }
+  if (!(load > 0.0) || load > 1.0) {
+    throw std::invalid_argument("rare: load must be in (0, 1]");
+  }
+  if (mode == RareMode::kSplitting) split.validate();
+}
+
+std::string RareConfig::fingerprint() const {
+  // Everything that changes any trial's outcome for a given index.  Layout
+  // knobs (jobs, batch, checkpoint cadence, journal path, trial count) are
+  // deliberately excluded: the stream they index into is the same.
+  std::ostringstream os;
+  os << protocol.name() << " n=" << n_nodes << " ber=" << hexf(ber)
+     << " mode=" << rare_mode_name(mode) << " seed=" << seed
+     << " quiet=" << quiet_budget;
+  if (mode != RareMode::kNaive) {
+    os << " win=[" << bias.win_lo_rel << ',' << bias.win_hi_rel << ']'
+       << " base=" << hexf(bias.base) << " wq=" << hexf(bias.window_q)
+       << " txq=" << hexf(bias.tx_hot_q) << " tx=[";
+    for (std::size_t i = 0; i < bias.tx_hot.size(); ++i) {
+      os << (i ? "," : "") << bias.tx_hot[i];
+    }
+    os << "] rxq=" << hexf(bias.rx_hot_q) << " rx=[";
+    for (std::size_t i = 0; i < bias.rx_hot.size(); ++i) {
+      os << (i ? "," : "") << bias.rx_hot[i];
+    }
+    os << ']';
+  }
+  if (mode == RareMode::kSplitting) {
+    os << " factor=" << split.factor << " cap=" << split.max_particles;
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Shared validate/resolve prologue of run_campaign and load_campaign.
+struct Prepared {
+  RareConfig cfg;
+  ProbePlan plan;
+};
+
+Prepared prepare(const RareConfig& cfg0) {
+  Prepared p{cfg0, {}};
+  p.cfg.validate();
+  BiasProfile bias = p.cfg.bias;
+  if (p.cfg.mode == RareMode::kNaive) {
+    bias = unbiased_profile(p.cfg.protocol,
+                            p.cfg.ber / static_cast<double>(p.cfg.n_nodes));
+  }
+  p.plan = ProbePlan::make(p.cfg.protocol, p.cfg.n_nodes, p.cfg.ber, bias,
+                           p.cfg.quiet_budget);
+  p.cfg.bias = p.plan.bias;  // resolved defaults, so fingerprint() is stable
+  if (p.cfg.mode == RareMode::kSplitting && p.plan.t_first == 0) {
+    throw std::invalid_argument(
+        "rare: splitting mode requires a tail-only bias (base == 0)");
+  }
+  return p;
+}
+
+}  // namespace
+
+RareResult run_campaign(const RareConfig& cfg0) {
+  const Prepared prep = prepare(cfg0);
+  const RareConfig& cfg = prep.cfg;
+  const ProbePlan& plan = prep.plan;
+
+  RareResult res;
+  res.cfg = cfg;
+  res.plan = plan;
+
+  const std::string fp = cfg.fingerprint();
+  if (!cfg.journal.empty()) {
+    Snapshot snap;
+    if (read_journal(cfg.journal, fp, snap)) {
+      res.imo = snap.imo;
+      res.dup = snap.dup;
+      res.timeouts = snap.timeouts;
+      res.resumed_from = snap.trials;
+    } else {
+      append_journal_line(cfg.journal,
+                          std::string(kJournalMagic) + " | " + fp);
+    }
+  }
+
+  const int jobs =
+      cfg.jobs > 0 ? cfg.jobs
+                   : static_cast<int>(
+                         std::max(1u, std::thread::hardware_concurrency()));
+  res.jobs_used = jobs;
+
+  std::optional<PrefixState> prefix;
+  if (plan.t_first > 0) prefix.emplace(plan);
+  const PrefixState* prefix_ptr = prefix ? &*prefix : nullptr;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  long long done = res.resumed_from;
+  long long last_snap = res.resumed_from;
+  std::vector<Slot> slots;
+  while (done < cfg.trials) {
+    // Plan (sequential): slot i gets the global trial index, nothing else.
+    const long long n =
+        std::min<long long>(cfg.batch, cfg.trials - done);
+    slots.assign(static_cast<std::size_t>(n), Slot{});
+    for (long long i = 0; i < n; ++i) {
+      slots[static_cast<std::size_t>(i)].index = done + i;
+    }
+    // Execute (parallel): trials are independent, each on its own stream.
+    execute_slots(cfg, plan, prefix_ptr, slots, jobs);
+    // Merge (sequential, trial order): identical for every jobs value.
+    for (const Slot& s : slots) {
+      res.imo.add(s.x_imo);
+      res.dup.add(s.x_dup);
+      res.timeouts += s.timeouts;
+    }
+    done += n;
+    if (!cfg.journal.empty() &&
+        (done - last_snap >= cfg.checkpoint_every || done >= cfg.trials)) {
+      Snapshot snap;
+      snap.trials = done;
+      snap.timeouts = res.timeouts;
+      snap.imo = res.imo;
+      snap.dup = res.dup;
+      append_journal_line(cfg.journal, snapshot_line(snap));
+      last_snap = done;
+    }
+    if (cfg.on_progress) cfg.on_progress(done, cfg.trials);
+  }
+  res.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return res;
+}
+
+RareResult load_campaign(const RareConfig& cfg0) {
+  const Prepared prep = prepare(cfg0);
+  if (prep.cfg.journal.empty()) {
+    throw std::runtime_error("rare: load_campaign needs a journal path");
+  }
+  Snapshot snap;
+  if (!read_journal(prep.cfg.journal, prep.cfg.fingerprint(), snap)) {
+    throw std::runtime_error("rare: no journal at " + prep.cfg.journal);
+  }
+  RareResult res;
+  res.cfg = prep.cfg;
+  res.plan = prep.plan;
+  res.imo = snap.imo;
+  res.dup = snap.dup;
+  res.timeouts = snap.timeouts;
+  res.resumed_from = snap.trials;
+  return res;
+}
+
+double RareResult::closed_form_p4() const {
+  ModelParams mp;
+  mp.n_nodes = cfg.n_nodes;
+  mp.ber = cfg.ber;
+  mp.frame_bits = wire_length(plan.frame, cfg.protocol.eof_bits());
+  mp.bitrate = cfg.bitrate;
+  mp.load = cfg.load;
+  return p_new_scenario_per_frame(mp);
+}
+
+double RareResult::frames_per_hour() const {
+  ModelParams mp;
+  mp.n_nodes = cfg.n_nodes;
+  mp.ber = cfg.ber;
+  mp.frame_bits = wire_length(plan.frame, cfg.protocol.eof_bits());
+  mp.bitrate = cfg.bitrate;
+  mp.load = cfg.load;
+  return mp.frames_per_hour();
+}
+
+double RareResult::variance_reduction() const {
+  const RareEstimate est = imo.estimate();
+  const double var = imo.moments().variance();
+  if (!(var > 0.0) || est.p_hat <= 0.0) return 0.0;
+  return est.p_hat * (1.0 - est.p_hat) / var;
+}
+
+double RareResult::naive_trials_equivalent() const {
+  const RareEstimate est = imo.estimate();
+  if (!(est.std_err > 0.0) || est.p_hat <= 0.0) return 0.0;
+  return est.p_hat * (1.0 - est.p_hat) / (est.std_err * est.std_err);
+}
+
+std::string RareResult::summary() const {
+  const RareEstimate est = imo.estimate();
+  const double p4 = closed_form_p4();
+  std::ostringstream os;
+  os << "mode=" << rare_mode_name(cfg.mode) << " protocol="
+     << cfg.protocol.name() << " n=" << cfg.n_nodes << " ber=" << sci(cfg.ber)
+     << " trials=" << imo.trials();
+  if (resumed_from > 0) os << " (resumed from " << resumed_from << ")";
+  os << "\n  P{IMO}/frame  = " << est.to_string();
+  os << "\n  expr(4)       = " << sci(p4)
+     << (p4 > 0 && est.p_hat > 0
+             ? "  (ratio " + sci(est.p_hat / p4, 2) + ")"
+             : "");
+  os << "\n  IMO/hour      = " << sci(est.p_hat * frames_per_hour())
+     << "  (closed form " << sci(p4 * frames_per_hour()) << ")";
+  const RareEstimate dup_est = dup.estimate();
+  os << "\n  P{dup}/frame  = " << dup_est.to_string();
+  if (cfg.mode != RareMode::kNaive) {
+    os << "\n  variance reduction vs naive = " << sci(variance_reduction(), 2)
+       << "  (naive trials for equal error: "
+       << sci(naive_trials_equivalent(), 2) << ")";
+  }
+  if (timeouts > 0) os << "\n  timeouts = " << timeouts;
+  return os.str();
+}
+
+std::string RareResult::to_json() const {
+  const RareEstimate est = imo.estimate();
+  const RareEstimate dup_est = dup.estimate();
+  const double p4 = closed_form_p4();
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\n";
+  os << "  \"protocol\": \"" << json_escape(cfg.protocol.name()) << "\",\n";
+  os << "  \"mode\": \"" << rare_mode_name(cfg.mode) << "\",\n";
+  os << "  \"n_nodes\": " << cfg.n_nodes << ",\n";
+  os << "  \"ber\": " << cfg.ber << ",\n";
+  os << "  \"seed\": " << cfg.seed << ",\n";
+  os << "  \"trials\": " << imo.trials() << ",\n";
+  os << "  \"frame_bits\": " << wire_length(plan.frame, cfg.protocol.eof_bits())
+     << ",\n";
+  os << "  \"imo\": {\"p_hat\": " << est.p_hat
+     << ", \"std_err\": " << est.std_err << ", \"ci_lo\": " << est.ci_lo
+     << ", \"ci_hi\": " << est.ci_hi
+     << ", \"rel_halfwidth\": " << est.rel_halfwidth
+     << ", \"ess\": " << est.ess << ", \"hits\": " << est.hits << "},\n";
+  os << "  \"dup\": {\"p_hat\": " << dup_est.p_hat
+     << ", \"std_err\": " << dup_est.std_err << ", \"hits\": " << dup_est.hits
+     << "},\n";
+  os << "  \"closed_form_p4\": " << p4 << ",\n";
+  os << "  \"imo_per_hour\": " << est.p_hat * frames_per_hour() << ",\n";
+  os << "  \"closed_form_per_hour\": " << p4 * frames_per_hour() << ",\n";
+  os << "  \"variance_reduction\": " << variance_reduction() << ",\n";
+  os << "  \"naive_trials_equivalent\": " << naive_trials_equivalent()
+     << ",\n";
+  os << "  \"timeouts\": " << timeouts << ",\n";
+  os << "  \"seconds\": " << seconds << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace mcan

@@ -1,0 +1,104 @@
+// The rare-event campaign runner: empirical estimates of the paper's
+// Table-1 probabilities from the executable bit-level bus.
+//
+// Determinism follows the fuzz engine's plan/execute/merge discipline:
+// trial i draws everything from its private Rng(seed, i) stream, workers
+// only execute (claiming slots off an atomic counter), and results are
+// merged in trial order — so estimates are bit-identical for any --jobs
+// value, and identical again across checkpoint/resume (the journal stores
+// the streaming accumulators as exact hex floats).
+//
+// Three estimation modes share the pipeline:
+//   naive       unweighted Monte-Carlo from bit 0 (the baseline the
+//               variance-reduction factor is measured against);
+//   importance  biased tail-window sampling + Horvitz–Thompson weights
+//               (src/rare/bias.hpp), clean-prefix cloning;
+//   splitting   multilevel splitting layered on the biased proposal
+//               (src/rare/splitting.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "analysis/stats.hpp"
+#include "rare/splitting.hpp"
+#include "rare/trial.hpp"
+
+namespace mcan {
+
+enum class RareMode : std::uint8_t { kNaive, kImportance, kSplitting };
+
+[[nodiscard]] const char* rare_mode_name(RareMode m);
+
+struct RareConfig {
+  ProtocolParams protocol = ProtocolParams::standard_can();
+  int n_nodes = 32;           ///< the reference bus of Table 1
+  double ber = 1e-5;          ///< network-wide rate; per-node is ber/N
+  RareMode mode = RareMode::kImportance;
+  BiasProfile bias;           ///< window/proposal; defaults resolved per protocol
+  SplitParams split;          ///< splitting mode only
+  std::uint64_t seed = 1;
+  long long trials = 20000;   ///< root trials (splitting counts roots)
+  int jobs = 1;               ///< worker threads; 0 = one per hardware thread
+  int batch = 256;            ///< trials per plan/execute/merge round
+  BitTime quiet_budget = 30000;
+  double bitrate = 1e6;       ///< reference bus, for the per-hour conversion
+  double load = 0.9;
+  std::string journal;            ///< checkpoint file; empty = no checkpoints
+  long long checkpoint_every = 8192;  ///< trials between journal snapshots
+  /// Progress callback (trials done, trials total); called after each round.
+  std::function<void(long long, long long)> on_progress;
+
+  /// Throws std::invalid_argument on unusable values.
+  void validate() const;
+
+  /// Everything that determines the trial stream, as text.  A journal
+  /// snapshot is only resumable into a campaign with an equal fingerprint.
+  [[nodiscard]] std::string fingerprint() const;
+};
+
+struct RareResult {
+  RareConfig cfg;        ///< as run (bias resolved)
+  ProbePlan plan;        ///< probe frame geometry actually simulated
+  RareAccumulator imo;   ///< P{inconsistent message omission} per frame
+  RareAccumulator dup;   ///< P{inconsistent duplicate} per frame
+  long long timeouts = 0;
+  long long resumed_from = 0;  ///< trials restored from the journal
+  double seconds = 0;
+  int jobs_used = 1;
+
+  [[nodiscard]] RareEstimate imo_estimate() const { return imo.estimate(); }
+  [[nodiscard]] RareEstimate dup_estimate() const { return dup.estimate(); }
+
+  /// Expression (4) evaluated at the *simulated* geometry: same N, same
+  /// ber, tau = the probe frame's wire length — the closed form this
+  /// campaign cross-validates.
+  [[nodiscard]] double closed_form_p4() const;
+
+  /// Frames/hour of the reference bus at the simulated frame length.
+  [[nodiscard]] double frames_per_hour() const;
+
+  /// Per-sample variance of a naive 0/1 estimator at our p_hat, divided by
+  /// the measured per-trial variance: how many times fewer trials this
+  /// campaign needs than naive Monte-Carlo for equal error bars.
+  [[nodiscard]] double variance_reduction() const;
+
+  /// Naive trials needed to match this campaign's standard error.
+  [[nodiscard]] double naive_trials_equivalent() const;
+
+  [[nodiscard]] std::string summary() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Run (or resume) a campaign.  If cfg.journal names an existing file, the
+/// last snapshot is restored — its fingerprint must match — and the run
+/// continues toward cfg.trials (a no-op if the journal already covers it).
+[[nodiscard]] RareResult run_campaign(const RareConfig& cfg);
+
+/// Restore a result (without running anything) from a journal file.
+/// Throws std::runtime_error on a missing/corrupt journal or a fingerprint
+/// mismatch against cfg.
+[[nodiscard]] RareResult load_campaign(const RareConfig& cfg);
+
+}  // namespace mcan

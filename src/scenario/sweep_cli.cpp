@@ -99,6 +99,8 @@ bool parse_sweep_args(int argc, char** argv, SweepOptions& opt,
     } else if (a == "--budget") {
       if (!need_int(i, a, v)) return false;
       opt.budget = v;
+    } else if (a == "--json") {
+      if (!need_value(i, a, opt.json)) return false;
     } else if (a == "--no-dedup") {
       opt.dedup = false;
     } else if (a == "--no-symmetry") {
@@ -140,6 +142,7 @@ const char* sweep_flags_help() {
          "  --budget N         stop each sweep after N cases (0 ="
          " exhaustive)\n"
          "  --window LO:HI     flip window override, EOF-relative bits\n"
+         "  --json PATH        write a machine-readable result to PATH\n"
          "  --no-dedup         disable tail memoization + prefix cloning\n"
          "  --no-symmetry      disable receiver-permutation reduction\n"
          "  --no-progress      silence the stderr progress meter\n";

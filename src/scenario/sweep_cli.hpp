@@ -33,6 +33,7 @@ struct SweepOptions {
   bool progress = true;   ///< live cases/sec + ETA meter on stderr
   std::optional<int> win_lo;  ///< --window override (EOF-relative)
   std::optional<int> win_hi;
+  std::string json;    ///< --json: machine-readable result file ("" = none)
 
   /// Protocols to sweep: the parsed --protocol list, or the default set.
   [[nodiscard]] std::vector<ProtocolParams> protocol_set() const;
@@ -48,6 +49,7 @@ struct SweepOptions {
 ///   --no-dedup / --no-symmetry disable engine reductions
 ///   --no-progress              silence the stderr meter
 ///   --window LO:HI             flip window override, EOF-relative
+///   --json PATH                write a machine-readable result to PATH
 ///   <int>                      bare positional: same as --errors
 ///
 /// Unrecognized arguments are appended to `rest` in order.  Returns false

@@ -21,4 +21,11 @@ namespace mcan {
 [[nodiscard]] std::string render_table(
     const std::vector<std::vector<std::string>>& rows);
 
+/// Escape a string for embedding in a JSON string literal.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Write `content` to `path`, replacing any existing file; false on error.
+[[nodiscard]] bool write_text_file(const std::string& path,
+                                   const std::string& content);
+
 }  // namespace mcan

@@ -2,6 +2,10 @@
 // and the Atomic Broadcast property checker.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
 #include "analysis/prob_model.hpp"
 #include "analysis/properties.hpp"
 #include "analysis/tagged.hpp"
@@ -62,6 +66,45 @@ TEST(ProbModel, NewScenarioDominatesOld) {
   EXPECT_GT(p_new_scenario_per_frame(aggressive) /
                 p_old_scenario_per_frame(aggressive),
             1e3);
+}
+
+TEST(ProbModel, ValidateAcceptsReferenceParameters) {
+  ModelParams p;  // the Table-1 defaults
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(ProbModel, ValidateRejectsBadParameters) {
+  const auto expect_reject = [](auto mutate) {
+    ModelParams p;
+    mutate(p);
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    // The evaluators must refuse the same configuration.
+    EXPECT_THROW((void)p_new_scenario_per_frame(p), std::invalid_argument);
+    EXPECT_THROW((void)p_old_scenario_per_frame(p), std::invalid_argument);
+  };
+  expect_reject([](ModelParams& p) { p.ber = 0.0; });
+  expect_reject([](ModelParams& p) { p.ber = -1e-5; });
+  expect_reject([](ModelParams& p) { p.ber = 1.5; });
+  expect_reject([](ModelParams& p) { p.ber = std::nan(""); });
+  expect_reject([](ModelParams& p) { p.load = 0.0; });
+  expect_reject([](ModelParams& p) { p.load = 1.2; });
+  expect_reject([](ModelParams& p) { p.n_nodes = 1; });
+  expect_reject([](ModelParams& p) { p.frame_bits = 0; });
+  expect_reject([](ModelParams& p) { p.frame_bits = -110; });
+  expect_reject([](ModelParams& p) { p.bitrate = 0.0; });
+  expect_reject([](ModelParams& p) { p.lambda_per_hour = -1.0; });
+  expect_reject([](ModelParams& p) { p.delta_t_s = -5e-3; });
+}
+
+TEST(ProbModel, ValidateErrorsNameTheField) {
+  ModelParams p;
+  p.ber = 0.0;
+  try {
+    p.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("ber"), std::string::npos);
+  }
 }
 
 TEST(ProbModel, AboveAerospaceReference) {

@@ -2,6 +2,9 @@
 // bus-utilisation probe.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <utility>
+
 #include "invariant_gtest.hpp"
 
 #include "analysis/stats.hpp"
@@ -64,6 +67,133 @@ TEST(LatencyTracker, UnknownMessageIgnored) {
   LatencyTracker lt;
   lt.on_delivery(1, MessageKey{9, 9}, 10);
   EXPECT_EQ(lt.summary().count, 0u);
+}
+
+TEST(StreamingMoments, MatchesClosedForm) {
+  StreamingMoments m;
+  for (int i = 1; i <= 10; ++i) m.add(i);
+  EXPECT_EQ(m.count(), 10);
+  EXPECT_NEAR(m.mean(), 5.5, 1e-12);
+  // Sample variance of 1..10 with the n-1 denominator.
+  EXPECT_NEAR(m.variance(), 55.0 / 6.0, 1e-12);
+  EXPECT_NEAR(m.std_error(), std::sqrt(55.0 / 60.0), 1e-12);
+}
+
+TEST(StreamingMoments, EmptyAndSingleAreZero) {
+  StreamingMoments m;
+  EXPECT_EQ(m.count(), 0);
+  EXPECT_EQ(m.mean(), 0.0);
+  EXPECT_EQ(m.variance(), 0.0);
+  m.add(7.25);
+  EXPECT_EQ(m.mean(), 7.25);
+  EXPECT_EQ(m.variance(), 0.0);
+  EXPECT_EQ(m.std_error(), 0.0);
+}
+
+TEST(StreamingMoments, SerializeRoundTripIsExact) {
+  StreamingMoments m;
+  m.add(1.0 / 3.0);
+  m.add(-2.718281828459045);
+  m.add(1e-300);
+  StreamingMoments back;
+  ASSERT_TRUE(StreamingMoments::parse(m.serialize(), back));
+  EXPECT_EQ(m, back);  // bit-for-bit, thanks to %la hex floats
+  // Continuing both from the restored state stays bit-identical.
+  m.add(0.1);
+  back.add(0.1);
+  EXPECT_EQ(m, back);
+}
+
+TEST(StreamingMoments, ParseRejectsGarbage) {
+  StreamingMoments m;
+  EXPECT_FALSE(StreamingMoments::parse("", m));
+  EXPECT_FALSE(StreamingMoments::parse("3 nonsense", m));
+}
+
+TEST(WilsonInterval, KnownValues) {
+  // Zero hits: lower edge pinned at 0, upper = z^2 / (n + z^2).
+  const auto [lo0, hi0] = wilson_interval(0, 100);
+  EXPECT_EQ(lo0, 0.0);
+  const double z2 = 1.96 * 1.96;
+  EXPECT_NEAR(hi0, z2 / (100.0 + z2), 1e-12);
+  // All hits mirrors it at 1.
+  const auto [lo1, hi1] = wilson_interval(100, 100);
+  EXPECT_NEAR(hi1, 1.0, 1e-12);
+  EXPECT_NEAR(lo1, 1.0 - z2 / (100.0 + z2), 1e-12);
+  // A half split brackets 0.5 symmetrically.
+  const auto [lo, hi] = wilson_interval(50, 100);
+  EXPECT_LT(lo, 0.5);
+  EXPECT_GT(hi, 0.5);
+  EXPECT_NEAR((lo + hi) / 2.0, 0.5, 1e-12);
+  // No trials: the vacuous interval.
+  EXPECT_EQ(wilson_interval(0, 0), (std::pair<double, double>{0.0, 1.0}));
+}
+
+TEST(RareAccumulator, UnweightedUsesWilson) {
+  RareAccumulator acc;
+  for (int i = 0; i < 3; ++i) acc.add(1.0);
+  for (int i = 0; i < 7; ++i) acc.add(0.0);
+  const RareEstimate e = acc.estimate();
+  EXPECT_EQ(e.trials, 10);
+  EXPECT_EQ(e.hits, 3);
+  EXPECT_NEAR(e.p_hat, 0.3, 1e-12);
+  const auto [lo, hi] = wilson_interval(3, 10);
+  EXPECT_NEAR(e.ci_lo, lo, 1e-12);
+  EXPECT_NEAR(e.ci_hi, hi, 1e-12);
+}
+
+TEST(RareAccumulator, ZeroHitsStillBoundsFromAbove) {
+  RareAccumulator acc;
+  for (int i = 0; i < 1000; ++i) acc.add(0.0);
+  const RareEstimate e = acc.estimate();
+  EXPECT_EQ(e.p_hat, 0.0);
+  EXPECT_EQ(e.ci_lo, 0.0);
+  EXPECT_GT(e.ci_hi, 0.0);  // Wilson upper bound, not a useless [0, 0]
+  EXPECT_LT(e.ci_hi, 0.01);
+}
+
+TEST(RareAccumulator, WeightedUsesLogNormalCI) {
+  RareAccumulator acc;
+  acc.add(2e-6);
+  acc.add(0.0);
+  acc.add(4e-6);
+  acc.add(0.0);
+  const RareEstimate e = acc.estimate();
+  EXPECT_NEAR(e.p_hat, 1.5e-6, 1e-18);
+  ASSERT_GT(e.std_err, 0.0);
+  const double delta = 1.96 * e.std_err / e.p_hat;
+  EXPECT_NEAR(e.ci_lo, e.p_hat * std::exp(-delta), 1e-18);
+  EXPECT_NEAR(e.ci_hi, e.p_hat * std::exp(delta), 1e-18);
+  EXPECT_GT(e.ci_lo, 0.0);  // multiplicative bars never cross zero
+}
+
+TEST(RareAccumulator, EssDiagnosesWeightDegeneracy) {
+  RareAccumulator even;
+  even.add(0.5);
+  even.add(0.5);
+  even.add(0.0);
+  EXPECT_NEAR(even.estimate().ess, 2.0, 1e-12);
+
+  RareAccumulator skewed;
+  skewed.add(0.001);
+  skewed.add(100.0);  // one outlier dominates
+  const RareEstimate e = skewed.estimate();
+  EXPECT_NEAR(e.ess, 1.0, 0.01);
+  EXPECT_EQ(e.max_weight, 100.0);
+}
+
+TEST(RareAccumulator, SerializeRoundTripIsExact) {
+  RareAccumulator acc;
+  acc.add(1.0 / 7.0);
+  acc.add(0.0);
+  acc.add(3.14159e-9);
+  RareAccumulator back;
+  ASSERT_TRUE(RareAccumulator::parse(acc.serialize(), back));
+  EXPECT_EQ(acc, back);
+  acc.add(2.5e-4);
+  back.add(2.5e-4);
+  EXPECT_EQ(acc, back);
+  EXPECT_FALSE(RareAccumulator::parse("1 2 3", back));
 }
 
 TEST(UtilizationProbe, IdleBusIsZero) {
