@@ -1,93 +1,154 @@
-// Simulator performance microbenchmarks (google-benchmark): how many bus
-// bits per second the bit-synchronous kernel simulates, plus the frame
-// encode/CRC primitives.  Useful for sizing fault-injection campaigns.
-#include <benchmark/benchmark.h>
+// Simulator performance baseline: how many bus bits (one sim step = one
+// bit time) and whole frames per second the bit-synchronous kernel
+// simulates, across the workloads the campaign engines actually run.
+// Useful for sizing fault-injection campaigns — and committed as
+// BENCH_simperf.json so the repo's bench trajectory has a datapoint.
+//
+//     bench_simperf                      # table on stdout
+//     bench_simperf --json BENCH_simperf.json
+//     bench_simperf --steps 2000000      # longer measurement window
+//
+// Workloads: an idle bus (pure kernel overhead), a saturated bus (node 0
+// always has a frame in flight) for CAN and MajorCAN_5, and a saturated
+// MajorCAN_5 bus under iid channel noise — the rare-event campaign's
+// regime.  Throughput varies with the host; the workloads themselves are
+// deterministic.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "core/network.hpp"
 #include "fault/random_faults.hpp"
-#include "frame/crc15.hpp"
-#include "frame/encoder.hpp"
+#include "scenario/sweep_cli.hpp"
+#include "util/text.hpp"
 
 namespace {
 
 using namespace mcan;
 
-void BM_IdleBus(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Network net(n, ProtocolParams::standard_can());
-  for (auto _ : state) {
-    net.sim().step();
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_IdleBus)->Arg(4)->Arg(16)->Arg(32);
+struct Measurement {
+  std::string name;
+  int nodes = 0;
+  long long steps = 0;   ///< simulated bit times
+  long long frames = 0;  ///< frames delivered at node 1 (0 for idle)
+  double seconds = 0;
+};
 
-void BM_SaturatedBus(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Network net(n, ProtocolParams::standard_can());
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Step `net` for `steps` bit times, keeping node 0 loaded when
+/// `saturate` so a frame is always in flight.
+Measurement run_bus(const std::string& name, const ProtocolParams& proto,
+                    int nodes, long long steps, bool saturate, double ber) {
+  Network net(nodes, proto);
+  RandomFaults inj(ber, Rng(1));
+  if (ber > 0) net.set_injector(inj);
+  Measurement m;
+  m.name = name;
+  m.nodes = nodes;
+  m.steps = steps;
   int next = 0;
-  for (auto _ : state) {
-    // Keep node 0 permanently loaded so a frame is always in flight.
-    if (net.node(0).pending_tx() < 2) {
+  const double t0 = now_s();
+  for (long long i = 0; i < steps; ++i) {
+    if (saturate && net.node(0).pending_tx() < 2) {
       net.node(0).enqueue(Frame::make_blank(
           0x100 + static_cast<std::uint32_t>(next++ % 8), 8));
     }
     net.sim().step();
   }
-  state.SetItemsProcessed(state.iterations());
+  m.seconds = now_s() - t0;
+  m.frames = static_cast<long long>(net.deliveries(1).size());
+  return m;
 }
-BENCHMARK(BM_SaturatedBus)->Arg(4)->Arg(16)->Arg(32);
 
-void BM_SaturatedMajorCan(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Network net(n, ProtocolParams::major_can(5));
-  int next = 0;
-  for (auto _ : state) {
-    if (net.node(0).pending_tx() < 2) {
-      net.node(0).enqueue(Frame::make_blank(
-          0x100 + static_cast<std::uint32_t>(next++ % 8), 8));
-    }
-    net.sim().step();
-  }
-  state.SetItemsProcessed(state.iterations());
+double bits_per_s(const Measurement& m) {
+  return m.seconds > 0 ? static_cast<double>(m.steps) / m.seconds : 0;
 }
-BENCHMARK(BM_SaturatedMajorCan)->Arg(4)->Arg(32);
 
-void BM_NoisyBus(benchmark::State& state) {
-  Network net(8, ProtocolParams::major_can(5));
-  RandomFaults inj(1e-4, Rng(1));
-  net.set_injector(inj);
-  int next = 0;
-  for (auto _ : state) {
-    if (net.node(0).pending_tx() < 2) {
-      net.node(0).enqueue(Frame::make_blank(
-          0x100 + static_cast<std::uint32_t>(next++ % 8), 8));
-    }
-    net.sim().step();
-  }
-  state.SetItemsProcessed(state.iterations());
+double frames_per_s(const Measurement& m) {
+  return m.seconds > 0 ? static_cast<double>(m.frames) / m.seconds : 0;
 }
-BENCHMARK(BM_NoisyBus);
-
-void BM_EncodeFrame(benchmark::State& state) {
-  Frame f = Frame::make_blank(0x2aa, 8);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(encode_tx(f, 7));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_EncodeFrame);
-
-void BM_Crc15(benchmark::State& state) {
-  BitVec v;
-  for (int i = 0; i < 90; ++i) v.push_back(level_of((i * 7 % 3) != 0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(crc15(v));
-  }
-  state.SetItemsProcessed(state.iterations() * 90);
-}
-BENCHMARK(BM_Crc15);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  SweepOptions sweep;
+  std::vector<std::string> rest;
+  std::string error;
+  if (!parse_sweep_args(argc, argv, sweep, rest, error)) {
+    std::fprintf(stderr, "bench_simperf: %s\n", error.c_str());
+    return 2;
+  }
+  long long steps = 500000;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    if (rest[i] == "--steps" && i + 1 < rest.size()) {
+      steps = std::atoll(rest[++i].c_str());
+      if (steps < 1) {
+        std::fprintf(stderr, "bench_simperf: bad --steps value\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "bench_simperf: unknown option %s\n"
+                   "usage: bench_simperf [--steps N] [--json FILE]\n",
+                   rest[i].c_str());
+      return 2;
+    }
+  }
+
+  std::printf("=== Simulator throughput (%lld bit times per workload) ===\n\n",
+              steps);
+
+  std::vector<Measurement> all;
+  all.push_back(run_bus("idle_can", ProtocolParams::standard_can(), 4, steps,
+                        false, 0));
+  all.push_back(run_bus("idle_can", ProtocolParams::standard_can(), 32, steps,
+                        false, 0));
+  all.push_back(run_bus("saturated_can", ProtocolParams::standard_can(), 4,
+                        steps, true, 0));
+  all.push_back(run_bus("saturated_can", ProtocolParams::standard_can(), 32,
+                        steps, true, 0));
+  all.push_back(run_bus("saturated_major5", ProtocolParams::major_can(5), 4,
+                        steps, true, 0));
+  all.push_back(run_bus("saturated_major5", ProtocolParams::major_can(5), 32,
+                        steps, true, 0));
+  all.push_back(run_bus("noisy_major5", ProtocolParams::major_can(5), 8,
+                        steps, true, 1e-4));
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"workload", "nodes", "bits/s", "frames", "frames/s"});
+  std::string json = "{\"steps_per_workload\": " + std::to_string(steps) +
+                     ", \"workloads\": [";
+  bool first = true;
+  for (const Measurement& m : all) {
+    rows.push_back({m.name, std::to_string(m.nodes), sci(bits_per_s(m), 3),
+                    std::to_string(m.frames), sci(frames_per_s(m), 3)});
+    if (!first) json += ",";
+    first = false;
+    json += "\n  {\"workload\": \"" + m.name +
+            "\", \"nodes\": " + std::to_string(m.nodes) +
+            ", \"steps\": " + std::to_string(m.steps) +
+            ", \"seconds\": " + json_number(m.seconds) +
+            ", \"bits_per_s\": " + json_number(bits_per_s(m)) +
+            ", \"frames\": " + std::to_string(m.frames) +
+            ", \"frames_per_s\": " + json_number(frames_per_s(m)) + "}";
+  }
+  json += "\n]}\n";
+  std::printf("%s", render_table(rows).c_str());
+
+  if (!sweep.json.empty()) {
+    if (!write_text_file(sweep.json, json)) {
+      std::fprintf(stderr, "bench_simperf: cannot write %s\n",
+                   sweep.json.c_str());
+      return 2;
+    }
+    std::printf("json written to %s\n", sweep.json.c_str());
+  }
+  return 0;
+}

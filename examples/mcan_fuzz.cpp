@@ -16,7 +16,10 @@
 //     mcan-fuzz stats --corpus fuzz-corpus
 //
 // Exit status: 0 = ran and every --expect-classes gate held, 1 = a gate
-// failed (or an exported reproducer failed replay), 2 = usage error.
+// failed (or an exported reproducer failed replay), 2 = usage error,
+// 130 = interrupted (SIGINT/SIGTERM; corpus and findings still flushed).
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -33,6 +36,13 @@
 namespace {
 
 using namespace mcan;
+
+// SIGINT/SIGTERM raise the engine's cooperative stop flag: the campaign
+// finishes the round in flight, then cmd_run flushes the corpus and the
+// findings exactly as on a normal exit.
+std::atomic<bool> g_interrupted{false};
+
+void on_signal(int) { g_interrupted.store(true); }
 
 struct Options {
   SweepOptions sweep;
@@ -266,25 +276,6 @@ bool write_file(const std::string& path, const std::string& content) {
   return static_cast<bool>(f);
 }
 
-std::string stats_to_json(const FuzzStats& st, const Options& opt,
-                          const ProtocolParams& proto) {
-  std::string s = "{";
-  s += "\"protocol\":\"" + proto.name() + "\"";
-  s += ",\"nodes\":" + std::to_string(opt.sweep.n_nodes);
-  s += ",\"seed\":" + std::to_string(opt.seed);
-  s += ",\"execs\":" + std::to_string(st.execs);
-  s += ",\"admitted\":" + std::to_string(st.admitted);
-  s += ",\"findings\":" + std::to_string(st.findings);
-  s += ",\"evicted\":" + std::to_string(st.evicted);
-  s += ",\"corpus\":" + std::to_string(st.corpus_size);
-  s += ",\"signature_bits\":" + std::to_string(st.signature_bits);
-  s += ",\"fsm_transitions\":" + std::to_string(st.fsm_transitions);
-  s += ",\"classes\":\"" + classes_found_string(st.classes_seen) + "\"";
-  s += ",\"seconds\":" + std::to_string(st.elapsed_s);
-  s += "}\n";
-  return s;
-}
-
 /// Expand positional args: directories contribute their *.scn files.
 std::vector<std::string> expand_inputs(const std::vector<std::string>& in) {
   std::vector<std::string> files;
@@ -306,6 +297,7 @@ std::vector<std::string> expand_inputs(const std::vector<std::string>& in) {
 int cmd_run(const Options& opt) {
   const ProtocolParams proto = target_protocol(opt);
   FuzzConfig cfg = make_config(opt, proto);
+  cfg.stop = &g_interrupted;
   if (opt.sweep.progress) {
     cfg.on_round = [](const FuzzStats& st) {
       std::fprintf(stderr,
@@ -369,8 +361,15 @@ int cmd_run(const Options& opt) {
                 opt.corpus_dir.c_str());
   }
   if (!opt.stats_json.empty() &&
-      !write_file(opt.stats_json, stats_to_json(res.stats, opt, proto))) {
+      !write_file(opt.stats_json, fuzz_stats_json(res.stats, proto,
+                                                  cfg.n_nodes, cfg.seed))) {
     return 2;
+  }
+  if (g_interrupted.load()) {
+    std::fprintf(stderr, "mcan-fuzz: interrupted after %llu execs; corpus "
+                         "and findings flushed\n",
+                 static_cast<unsigned long long>(res.stats.execs));
+    return 130;
   }
   if (replay_failed) return 1;
   return check_expect_gate(opt, res.stats.classes_seen);
@@ -455,9 +454,9 @@ int cmd_stats(const Options& opt) {
     st.corpus_size = static_cast<int>(corpus.size());
     st.signature_bits = corpus.accumulated().popcount();
     st.fsm_transitions = corpus.accumulated().fsm_popcount();
-    Options o = opt;
     if (!write_file(opt.stats_json,
-                    stats_to_json(st, o, target_protocol(opt)))) {
+                    fuzz_stats_json(st, target_protocol(opt),
+                                    opt.sweep.n_nodes, opt.seed))) {
       return 2;
     }
   }
@@ -472,6 +471,8 @@ int main(int argc, char** argv) {
     usage(stderr);
     return 2;
   }
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
   try {
     if (opt.command == "run") return cmd_run(opt);
     if (opt.command == "triage") return cmd_triage(opt);

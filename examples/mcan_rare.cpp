@@ -14,7 +14,11 @@
 //     mcan-rare json     --journal t1.jnl               # reprint as JSON
 //
 // Exit status: 0 = ran and every --expect-* gate held, 1 = a gate failed,
-// 2 = usage error or unusable configuration.
+// 2 = usage error or unusable configuration, 130 = interrupted
+// (SIGINT/SIGTERM; the --journal checkpoint is still flushed, so a rerun
+// with the same journal resumes).
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +33,13 @@
 namespace {
 
 using namespace mcan;
+
+// SIGINT/SIGTERM raise the campaign's cooperative stop flag: the round in
+// flight finishes, the journal gets a final snapshot, and the partial
+// estimate is printed before exiting 130.
+std::atomic<bool> g_interrupted{false};
+
+void on_signal(int) { g_interrupted.store(true); }
 
 struct Options {
   SweepOptions sweep;
@@ -254,10 +265,17 @@ int cmd_estimate(Options& opt, bool require_journal) {
     return 2;
   }
   attach_progress(opt);
+  opt.cfg.stop = &g_interrupted;
   const RareResult res = run_campaign(opt.cfg);
   std::printf("%s\n", res.summary().c_str());
   const int rc = write_json(opt, res);
   if (rc) return rc;
+  if (g_interrupted.load()) {
+    std::fprintf(stderr, "mcan-rare: interrupted after %lld trials%s\n",
+                 res.imo.trials(),
+                 opt.cfg.journal.empty() ? "" : "; journal flushed");
+    return 130;
+  }
   return check_gates(opt, res);
 }
 
@@ -317,6 +335,8 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, opt)) {
     return 2;
   }
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
   try {
     if (opt.command == "estimate") return cmd_estimate(opt, false);
     if (opt.command == "resume") return cmd_estimate(opt, true);

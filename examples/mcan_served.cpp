@@ -1,0 +1,159 @@
+// mcan-served — the campaign orchestration daemon.
+//
+// Listens on a Unix-domain socket for job submissions (fuzz campaigns,
+// rare-event campaigns, model-check sweeps), shards each campaign's
+// rounds across a worker fleet, and journals merged state so a killed
+// daemon resumes every in-flight job byte-identically.  mcan-client is
+// the submit/status/result side; docs/SERVING.md specifies the protocol
+// and the determinism and crash-recovery guarantees.
+//
+//     mcan-served --socket /tmp/mcan.sock --journal-dir serve-journal \
+//                 --workers 4
+//
+// SIGINT/SIGTERM shut down gracefully: in-flight shards finish, every
+// live job gets a final journal snapshot, the socket is removed.
+// Exit status: 0 = clean shutdown, 1 = startup failure, 2 = usage error.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace mcan;
+
+CampaignServer* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+void usage(std::FILE* to) {
+  std::fputs(
+      "usage: mcan-served [options]\n"
+      "\n"
+      "Campaign orchestration daemon: accepts fuzz / rare / check jobs\n"
+      "over a Unix-domain socket, shards their rounds across a worker\n"
+      "fleet, and journals progress for crash recovery.  Results are\n"
+      "bit-identical to local single-process runs of the same specs.\n"
+      "\n"
+      "options:\n"
+      "  --socket PATH        listening socket (default mcan-serve.sock)\n"
+      "  --journal-dir DIR    job journals for crash recovery (default\n"
+      "                       none: no persistence)\n"
+      "  --workers N          worker threads (default 1; 0 = hardware)\n"
+      "  --capacity N         max live jobs before submits are rejected\n"
+      "                       (default 64)\n"
+      "  --shard-size N       slots per shard (default 16)\n"
+      "  --max-retries N      shard requeues before a job fails "
+      "(default 3)\n"
+      "  --checkpoint-every N units between journal snapshots "
+      "(default 4096)\n"
+      "  --heartbeat-timeout S  declare a silent worker dead after S\n"
+      "                       seconds (default 60)\n"
+      "  -h, --help           this text\n",
+      to);
+}
+
+bool need_value(int argc, char** argv, int& i, std::string& out) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "mcan-served: %s needs a value\n", argv[i]);
+    return false;
+  }
+  out = argv[++i];
+  return true;
+}
+
+bool parse_ll(const std::string& s, long long& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stoll(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerConfig cfg;
+  cfg.pool.workers = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    std::string v;
+    long long n = 0;
+    if (a == "-h" || a == "--help") {
+      usage(stdout);
+      return 0;
+    } else if (a == "--socket") {
+      if (!need_value(argc, argv, i, cfg.socket_path)) return 2;
+    } else if (a == "--journal-dir") {
+      if (!need_value(argc, argv, i, cfg.serve.journal_dir)) return 2;
+    } else if (a == "--workers") {
+      if (!need_value(argc, argv, i, v) || !parse_ll(v, n) || n < 0) {
+        std::fprintf(stderr, "mcan-served: bad --workers value\n");
+        return 2;
+      }
+      cfg.pool.workers = static_cast<int>(n);
+    } else if (a == "--capacity") {
+      if (!need_value(argc, argv, i, v) || !parse_ll(v, n) || n < 1) {
+        std::fprintf(stderr, "mcan-served: bad --capacity value\n");
+        return 2;
+      }
+      cfg.serve.capacity = static_cast<std::size_t>(n);
+    } else if (a == "--shard-size") {
+      if (!need_value(argc, argv, i, v) || !parse_ll(v, n) || n < 1) {
+        std::fprintf(stderr, "mcan-served: bad --shard-size value\n");
+        return 2;
+      }
+      cfg.serve.shard_size = static_cast<std::size_t>(n);
+    } else if (a == "--max-retries") {
+      if (!need_value(argc, argv, i, v) || !parse_ll(v, n) || n < 0) {
+        std::fprintf(stderr, "mcan-served: bad --max-retries value\n");
+        return 2;
+      }
+      cfg.serve.max_retries = static_cast<int>(n);
+    } else if (a == "--checkpoint-every") {
+      if (!need_value(argc, argv, i, v) || !parse_ll(v, n) || n < 1) {
+        std::fprintf(stderr, "mcan-served: bad --checkpoint-every value\n");
+        return 2;
+      }
+      cfg.serve.checkpoint_every = static_cast<std::uint64_t>(n);
+    } else if (a == "--heartbeat-timeout") {
+      if (!need_value(argc, argv, i, v) || !parse_ll(v, n) || n < 1) {
+        std::fprintf(stderr, "mcan-served: bad --heartbeat-timeout value\n");
+        return 2;
+      }
+      cfg.pool.heartbeat_timeout_s = static_cast<double>(n);
+    } else {
+      std::fprintf(stderr, "mcan-served: unknown option %s\n", a.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  CampaignServer server(cfg);
+  g_server = &server;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::vector<std::string> notes;
+  std::string error;
+  if (!server.start(notes, error)) {
+    std::fprintf(stderr, "mcan-served: %s\n", error.c_str());
+    return 1;
+  }
+  for (const std::string& note : notes) {
+    std::fprintf(stderr, "mcan-served: %s\n", note.c_str());
+  }
+  std::fprintf(stderr, "mcan-served: listening on %s (%d workers)\n",
+               server.socket_path().c_str(), cfg.pool.workers);
+  server.run();
+  std::fprintf(stderr, "mcan-served: stopped\n");
+  g_server = nullptr;
+  return 0;
+}

@@ -55,6 +55,14 @@ int Corpus::minimize() {
   return evicted;
 }
 
+void Corpus::restore(std::vector<CorpusEntry> entries,
+                     const Signature& accumulated) {
+  entries_ = std::move(entries);
+  accumulated_ = accumulated;
+  total_energy_ = 0;
+  for (const CorpusEntry& e : entries_) total_energy_ += e.energy;
+}
+
 int save_corpus(const Corpus& corpus, const std::string& dir) {
   std::filesystem::create_directories(dir);
   int n = 0;

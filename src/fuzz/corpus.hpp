@@ -55,6 +55,12 @@ class Corpus {
   /// Union of every signature ever admitted (survives minimize()).
   [[nodiscard]] const Signature& accumulated() const { return accumulated_; }
 
+  /// Replace the whole corpus state with a checkpointed snapshot: the
+  /// entries exactly as they were (energies included) plus the accumulated
+  /// map, which may cover bits no surviving entry carries.  Used by the
+  /// campaign service's journal resume (serve/backend.cpp).
+  void restore(std::vector<CorpusEntry> entries, const Signature& accumulated);
+
  private:
   std::vector<CorpusEntry> entries_;
   Signature accumulated_;

@@ -20,8 +20,11 @@
 // tests/determinism_test.cpp.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "fuzz/corpus.hpp"
@@ -63,6 +66,10 @@ struct FuzzConfig {
   std::uint64_t minimize_every = 2048;  ///< corpus minimize period, in execs
   /// Called after each round with a stats snapshot (progress meters).
   std::function<void(const FuzzStats&)> on_round;
+  /// Cooperative stop: when set, the campaign finishes the round in flight
+  /// and returns the partial (still fully deterministic) result.  Safe to
+  /// flip from a signal handler.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 struct FuzzResult {
@@ -75,5 +82,86 @@ struct FuzzResult {
 /// round zero; all seeds are sanitized into cfg.bounds first.
 [[nodiscard]] FuzzResult run_fuzz(const FuzzConfig& cfg,
                                   const std::vector<ScenarioSpec>& seeds = {});
+
+// ---------------------------------------------------------------------------
+// Round-stepped campaign: the plan/execute/merge loop as an object.
+//
+// run_fuzz() is a thin driver over this class; the campaign orchestration
+// service (src/serve/) drives the same object with its worker fleet.  The
+// contract that makes both produce bit-identical results:
+//
+//   * plan_round() is sequential and plans the next batch of slots;
+//   * execute_slot(i) is pure per slot — it reads the frozen corpus and
+//     writes only slot i, so any set of threads may run any subset of
+//     slots, in any order, even more than once (idempotent re-execution is
+//     what lets a dead worker's shard be requeued without a determinism
+//     penalty);
+//   * merge_round() is sequential and folds the slots in slot order.
+// ---------------------------------------------------------------------------
+class FuzzCampaign {
+ public:
+  explicit FuzzCampaign(const FuzzConfig& cfg,
+                        const std::vector<ScenarioSpec>& seeds = {});
+
+  /// Plan the next round; returns the number of slots (0 = campaign over:
+  /// budget exhausted, out of time, or cfg.stop raised).  Round zero is
+  /// the clean seed scenario plus every constructor-provided seed.
+  [[nodiscard]] std::size_t plan_round();
+
+  /// Execute planned slot `i` (thread-safe across distinct — or even
+  /// repeated — slot indices; the corpus is frozen during a round).
+  void execute_slot(std::size_t i);
+
+  /// Fold the executed round into the campaign state, in slot order.
+  void merge_round();
+
+  [[nodiscard]] bool finished() const;
+  [[nodiscard]] const FuzzConfig& config() const { return cfg_; }
+  [[nodiscard]] const FuzzStats& stats() const { return res_.stats; }
+  [[nodiscard]] std::uint64_t exec_index() const { return exec_index_; }
+  [[nodiscard]] std::uint64_t next_minimize() const { return next_minimize_; }
+  [[nodiscard]] const Corpus& corpus() const { return res_.corpus; }
+  [[nodiscard]] const std::vector<FuzzFinding>& findings() const {
+    return res_.findings;
+  }
+
+  /// Restore a checkpointed campaign (see serve/backend.cpp for the
+  /// serialization): the engine continues exactly as if it had just merged
+  /// the round that produced the snapshot.
+  void restore_state(std::uint64_t exec_index, std::uint64_t next_minimize,
+                     const FuzzStats& stats, std::vector<CorpusEntry> corpus,
+                     const Signature& accumulated,
+                     std::vector<FuzzFinding> findings);
+
+  /// Final stats refresh + move the result out (ends the campaign).
+  [[nodiscard]] FuzzResult take_result();
+
+ private:
+  struct Slot {
+    ScenarioSpec spec;
+    FuzzVerdict verdict;  // filled by the execute phase
+  };
+
+  void merge_slot(const Slot& s);
+  void refresh_stats();
+  [[nodiscard]] bool out_of_time() const;
+
+  FuzzConfig cfg_;
+  std::vector<ScenarioSpec> seeds_;
+  FuzzResult res_;
+  std::vector<Slot> slots_;
+  std::uint64_t exec_index_ = 0;
+  std::uint64_t next_minimize_ = 0;
+  std::uint64_t rounds_merged_ = 0;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// The campaign stats as a one-line JSON object — the exact shape the
+/// mcan-fuzz CLI writes for --stats-json and the serve fuzz backend
+/// returns as a job result, so the two can be compared byte-for-byte
+/// (modulo the wall-clock "seconds" field).
+[[nodiscard]] std::string fuzz_stats_json(const FuzzStats& st,
+                                          const ProtocolParams& protocol,
+                                          int n_nodes, std::uint64_t seed);
 
 }  // namespace mcan

@@ -68,4 +68,33 @@ std::string Signature::to_hex() const {
   return s;
 }
 
+bool Signature::from_hex(const std::string& s, Signature& out) {
+  Signature parsed;
+  std::size_t pos = 0;
+  for (int w = 0; w < kWords; ++w) {
+    if (w > 0) {
+      if (pos >= s.size() || s[pos] != '.') return false;
+      ++pos;
+    }
+    if (pos + 16 > s.size()) return false;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 16; ++i) {
+      const char c = s[pos++];
+      int digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        digit = c - 'a' + 10;
+      } else {
+        return false;
+      }
+      v = (v << 4) | static_cast<std::uint64_t>(digit);
+    }
+    parsed.w_[static_cast<std::size_t>(w)] = v;
+  }
+  if (pos != s.size()) return false;
+  out = parsed;
+  return true;
+}
+
 }  // namespace mcan

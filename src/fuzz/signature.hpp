@@ -75,6 +75,9 @@ class Signature {
   /// Hex dump (one group per word), for stats output and debugging.
   [[nodiscard]] std::string to_hex() const;
 
+  /// Inverse of to_hex(): exact round trip, false on a malformed dump.
+  [[nodiscard]] static bool from_hex(const std::string& s, Signature& out);
+
   [[nodiscard]] bool operator==(const Signature&) const = default;
 
  private:

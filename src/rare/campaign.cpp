@@ -25,57 +25,6 @@ std::string hexf(double v) {
   return buf;
 }
 
-/// The per-trial contribution, before merging (the only state a worker
-/// writes).
-struct Slot {
-  long long index = 0;
-  double x_imo = 0;
-  double x_dup = 0;
-  long long timeouts = 0;
-};
-
-void run_slot(const RareConfig& cfg, const ProbePlan& plan,
-              const PrefixState* prefix, Slot& s) {
-  Rng rng(cfg.seed, static_cast<std::uint64_t>(s.index));
-  if (cfg.mode == RareMode::kSplitting) {
-    const SplitTrialResult r = run_split_trial(plan, *prefix, cfg.split, rng);
-    s.x_imo = r.x_imo;
-    s.x_dup = r.x_dup;
-    s.timeouts = r.timeouts;
-    return;
-  }
-  const TrialOutcome out = run_biased_trial(plan, prefix, rng);
-  if (out.timeout) {
-    s.timeouts = 1;
-    return;
-  }
-  const double w = std::exp(out.llr);
-  if (out.imo) s.x_imo = w;
-  if (out.dup) s.x_dup = w;
-}
-
-void execute_slots(const RareConfig& cfg, const ProbePlan& plan,
-                   const PrefixState* prefix, std::vector<Slot>& slots,
-                   int jobs) {
-  if (jobs <= 1 || slots.size() <= 1) {
-    for (Slot& s : slots) run_slot(cfg, plan, prefix, s);
-    return;
-  }
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= slots.size()) return;
-      run_slot(cfg, plan, prefix, slots[i]);
-    }
-  };
-  const int n = std::min<int>(jobs, static_cast<int>(slots.size()));
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-}
-
 constexpr const char* kJournalMagic = "mcan-rare-journal v1";
 
 struct Snapshot {
@@ -107,10 +56,11 @@ bool parse_snapshot_line(const std::string& line, Snapshot& out) {
          RareAccumulator::parse(line.substr(bar2 + 3), out.dup);
 }
 
-/// Last valid snapshot of the journal, after a fingerprint check.  Returns
-/// false when the file does not exist; throws on corruption or mismatch.
+/// Last valid snapshot line of the journal, after a fingerprint check.
+/// Returns false when the file does not exist or holds no snapshot yet;
+/// throws on corruption or mismatch.
 bool read_journal(const std::string& path, const std::string& fingerprint,
-                  Snapshot& out) {
+                  std::string& out_line) {
   std::ifstream in(path);
   if (!in) return false;
   std::string line;
@@ -133,7 +83,7 @@ bool read_journal(const std::string& path, const std::string& fingerprint,
       // valid prefix is simply ignored.
       break;
     }
-    out = snap;
+    out_line = line;
     any = true;
   }
   return any;
@@ -215,51 +165,143 @@ std::string RareConfig::fingerprint() const {
   return os.str();
 }
 
-namespace {
-
-/// Shared validate/resolve prologue of run_campaign and load_campaign.
-struct Prepared {
-  RareConfig cfg;
-  ProbePlan plan;
-};
-
-Prepared prepare(const RareConfig& cfg0) {
-  Prepared p{cfg0, {}};
-  p.cfg.validate();
-  BiasProfile bias = p.cfg.bias;
-  if (p.cfg.mode == RareMode::kNaive) {
-    bias = unbiased_profile(p.cfg.protocol,
-                            p.cfg.ber / static_cast<double>(p.cfg.n_nodes));
+RareCampaign::RareCampaign(const RareConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  BiasProfile bias = cfg_.bias;
+  if (cfg_.mode == RareMode::kNaive) {
+    bias = unbiased_profile(cfg_.protocol,
+                            cfg_.ber / static_cast<double>(cfg_.n_nodes));
   }
-  p.plan = ProbePlan::make(p.cfg.protocol, p.cfg.n_nodes, p.cfg.ber, bias,
-                           p.cfg.quiet_budget);
-  p.cfg.bias = p.plan.bias;  // resolved defaults, so fingerprint() is stable
-  if (p.cfg.mode == RareMode::kSplitting && p.plan.t_first == 0) {
+  plan_ = ProbePlan::make(cfg_.protocol, cfg_.n_nodes, cfg_.ber, bias,
+                          cfg_.quiet_budget);
+  cfg_.bias = plan_.bias;  // resolved defaults, so fingerprint() is stable
+  if (cfg_.mode == RareMode::kSplitting && plan_.t_first == 0) {
     throw std::invalid_argument(
         "rare: splitting mode requires a tail-only bias (base == 0)");
   }
-  return p;
+  if (plan_.t_first > 0) prefix_.emplace(plan_);
+}
+
+bool RareCampaign::finished() const {
+  if (cfg_.stop && cfg_.stop->load(std::memory_order_relaxed)) return true;
+  return done_ >= cfg_.trials;
+}
+
+std::size_t RareCampaign::plan_round() {
+  slots_.clear();
+  if (finished()) return 0;
+  // Plan (sequential): slot i gets the global trial index, nothing else.
+  const long long n = std::min<long long>(cfg_.batch, cfg_.trials - done_);
+  slots_.assign(static_cast<std::size_t>(n), Slot{});
+  for (long long i = 0; i < n; ++i) {
+    slots_[static_cast<std::size_t>(i)].index = done_ + i;
+  }
+  return slots_.size();
+}
+
+void RareCampaign::execute_slot(std::size_t i) {
+  Slot& s = slots_[i];
+  s.x_imo = 0;
+  s.x_dup = 0;
+  s.timeouts = 0;
+  Rng rng(cfg_.seed, static_cast<std::uint64_t>(s.index));
+  if (cfg_.mode == RareMode::kSplitting) {
+    const SplitTrialResult r = run_split_trial(plan_, *prefix_, cfg_.split, rng);
+    s.x_imo = r.x_imo;
+    s.x_dup = r.x_dup;
+    s.timeouts = r.timeouts;
+    return;
+  }
+  const PrefixState* prefix = prefix_ ? &*prefix_ : nullptr;
+  const TrialOutcome out = run_biased_trial(plan_, prefix, rng);
+  if (out.timeout) {
+    s.timeouts = 1;
+    return;
+  }
+  const double w = std::exp(out.llr);
+  if (out.imo) s.x_imo = w;
+  if (out.dup) s.x_dup = w;
+}
+
+void RareCampaign::merge_round() {
+  // Merge (sequential, trial order): identical for every worker count.
+  for (const Slot& s : slots_) {
+    imo_.add(s.x_imo);
+    dup_.add(s.x_dup);
+    timeouts_ += s.timeouts;
+  }
+  done_ += static_cast<long long>(slots_.size());
+  slots_.clear();
+}
+
+std::string RareCampaign::checkpoint_line() const {
+  Snapshot snap;
+  snap.trials = done_;
+  snap.timeouts = timeouts_;
+  snap.imo = imo_;
+  snap.dup = dup_;
+  return snapshot_line(snap);
+}
+
+bool RareCampaign::restore_checkpoint_line(const std::string& line) {
+  Snapshot snap;
+  if (!parse_snapshot_line(line, snap)) return false;
+  done_ = snap.trials;
+  resumed_from_ = snap.trials;
+  timeouts_ = snap.timeouts;
+  imo_ = snap.imo;
+  dup_ = snap.dup;
+  slots_.clear();
+  return true;
+}
+
+RareResult RareCampaign::result() const {
+  RareResult res;
+  res.cfg = cfg_;
+  res.plan = plan_;
+  res.imo = imo_;
+  res.dup = dup_;
+  res.timeouts = timeouts_;
+  res.resumed_from = resumed_from_;
+  return res;
+}
+
+namespace {
+
+void execute_round(RareCampaign& campaign, std::size_t n_slots, int jobs) {
+  if (jobs <= 1 || n_slots <= 1) {
+    for (std::size_t i = 0; i < n_slots; ++i) campaign.execute_slot(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&campaign, &next, n_slots] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n_slots) return;
+      campaign.execute_slot(i);
+    }
+  };
+  const int n = std::min<int>(jobs, static_cast<int>(n_slots));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
 }
 
 }  // namespace
 
 RareResult run_campaign(const RareConfig& cfg0) {
-  const Prepared prep = prepare(cfg0);
-  const RareConfig& cfg = prep.cfg;
-  const ProbePlan& plan = prep.plan;
-
-  RareResult res;
-  res.cfg = cfg;
-  res.plan = plan;
+  RareCampaign campaign(cfg0);
+  const RareConfig& cfg = campaign.config();
 
   const std::string fp = cfg.fingerprint();
   if (!cfg.journal.empty()) {
-    Snapshot snap;
-    if (read_journal(cfg.journal, fp, snap)) {
-      res.imo = snap.imo;
-      res.dup = snap.dup;
-      res.timeouts = snap.timeouts;
-      res.resumed_from = snap.trials;
+    std::string snap_line;
+    if (read_journal(cfg.journal, fp, snap_line)) {
+      if (!campaign.restore_checkpoint_line(snap_line)) {
+        throw std::runtime_error("rare: corrupt journal snapshot in " +
+                                 cfg.journal);
+      }
     } else {
       append_journal_line(cfg.journal,
                           std::string(kJournalMagic) + " | " + fp);
@@ -270,45 +312,31 @@ RareResult run_campaign(const RareConfig& cfg0) {
       cfg.jobs > 0 ? cfg.jobs
                    : static_cast<int>(
                          std::max(1u, std::thread::hardware_concurrency()));
-  res.jobs_used = jobs;
-
-  std::optional<PrefixState> prefix;
-  if (plan.t_first > 0) prefix.emplace(plan);
-  const PrefixState* prefix_ptr = prefix ? &*prefix : nullptr;
 
   const auto t0 = std::chrono::steady_clock::now();
-  long long done = res.resumed_from;
-  long long last_snap = res.resumed_from;
-  std::vector<Slot> slots;
-  while (done < cfg.trials) {
-    // Plan (sequential): slot i gets the global trial index, nothing else.
-    const long long n =
-        std::min<long long>(cfg.batch, cfg.trials - done);
-    slots.assign(static_cast<std::size_t>(n), Slot{});
-    for (long long i = 0; i < n; ++i) {
-      slots[static_cast<std::size_t>(i)].index = done + i;
-    }
+  long long last_snap = campaign.trials_done();
+  for (;;) {
+    const std::size_t n = campaign.plan_round();
+    if (n == 0) break;
     // Execute (parallel): trials are independent, each on its own stream.
-    execute_slots(cfg, plan, prefix_ptr, slots, jobs);
-    // Merge (sequential, trial order): identical for every jobs value.
-    for (const Slot& s : slots) {
-      res.imo.add(s.x_imo);
-      res.dup.add(s.x_dup);
-      res.timeouts += s.timeouts;
-    }
-    done += n;
+    execute_round(campaign, n, jobs);
+    campaign.merge_round();
+    const long long done = campaign.trials_done();
     if (!cfg.journal.empty() &&
         (done - last_snap >= cfg.checkpoint_every || done >= cfg.trials)) {
-      Snapshot snap;
-      snap.trials = done;
-      snap.timeouts = res.timeouts;
-      snap.imo = res.imo;
-      snap.dup = res.dup;
-      append_journal_line(cfg.journal, snapshot_line(snap));
+      append_journal_line(cfg.journal, campaign.checkpoint_line());
       last_snap = done;
     }
     if (cfg.on_progress) cfg.on_progress(done, cfg.trials);
   }
+  // A cooperative stop flushes whatever the periodic cadence had not yet
+  // written, so an interrupted campaign resumes from its last full round.
+  if (!cfg.journal.empty() && campaign.trials_done() > last_snap) {
+    append_journal_line(cfg.journal, campaign.checkpoint_line());
+  }
+
+  RareResult res = campaign.result();
+  res.jobs_used = jobs;
   res.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -316,22 +344,21 @@ RareResult run_campaign(const RareConfig& cfg0) {
 }
 
 RareResult load_campaign(const RareConfig& cfg0) {
-  const Prepared prep = prepare(cfg0);
-  if (prep.cfg.journal.empty()) {
+  RareCampaign campaign(cfg0);
+  if (campaign.config().journal.empty()) {
     throw std::runtime_error("rare: load_campaign needs a journal path");
   }
-  Snapshot snap;
-  if (!read_journal(prep.cfg.journal, prep.cfg.fingerprint(), snap)) {
-    throw std::runtime_error("rare: no journal at " + prep.cfg.journal);
+  std::string snap_line;
+  if (!read_journal(campaign.config().journal,
+                    campaign.config().fingerprint(), snap_line)) {
+    throw std::runtime_error("rare: no journal at " +
+                             campaign.config().journal);
   }
-  RareResult res;
-  res.cfg = prep.cfg;
-  res.plan = prep.plan;
-  res.imo = snap.imo;
-  res.dup = snap.dup;
-  res.timeouts = snap.timeouts;
-  res.resumed_from = snap.trials;
-  return res;
+  if (!campaign.restore_checkpoint_line(snap_line)) {
+    throw std::runtime_error("rare: corrupt journal snapshot in " +
+                             campaign.config().journal);
+  }
+  return campaign.result();
 }
 
 double RareResult::closed_form_p4() const {
@@ -398,32 +425,36 @@ std::string RareResult::to_json() const {
   const RareEstimate dup_est = dup.estimate();
   const double p4 = closed_form_p4();
   std::ostringstream os;
-  os.precision(17);
   os << "{\n";
   os << "  \"protocol\": \"" << json_escape(cfg.protocol.name()) << "\",\n";
   os << "  \"mode\": \"" << rare_mode_name(cfg.mode) << "\",\n";
   os << "  \"n_nodes\": " << cfg.n_nodes << ",\n";
-  os << "  \"ber\": " << cfg.ber << ",\n";
+  os << "  \"ber\": " << json_number(cfg.ber) << ",\n";
   os << "  \"seed\": " << cfg.seed << ",\n";
   os << "  \"trials\": " << imo.trials() << ",\n";
   os << "  \"frame_bits\": " << wire_length(plan.frame, cfg.protocol.eof_bits())
      << ",\n";
-  os << "  \"imo\": {\"p_hat\": " << est.p_hat
-     << ", \"std_err\": " << est.std_err << ", \"ci_lo\": " << est.ci_lo
-     << ", \"ci_hi\": " << est.ci_hi
-     << ", \"rel_halfwidth\": " << est.rel_halfwidth
-     << ", \"ess\": " << est.ess << ", \"hits\": " << est.hits << "},\n";
-  os << "  \"dup\": {\"p_hat\": " << dup_est.p_hat
-     << ", \"std_err\": " << dup_est.std_err << ", \"hits\": " << dup_est.hits
+  os << "  \"imo\": {\"p_hat\": " << json_number(est.p_hat)
+     << ", \"std_err\": " << json_number(est.std_err)
+     << ", \"ci_lo\": " << json_number(est.ci_lo)
+     << ", \"ci_hi\": " << json_number(est.ci_hi)
+     << ", \"rel_halfwidth\": " << json_number(est.rel_halfwidth)
+     << ", \"ess\": " << json_number(est.ess) << ", \"hits\": " << est.hits
      << "},\n";
-  os << "  \"closed_form_p4\": " << p4 << ",\n";
-  os << "  \"imo_per_hour\": " << est.p_hat * frames_per_hour() << ",\n";
-  os << "  \"closed_form_per_hour\": " << p4 * frames_per_hour() << ",\n";
-  os << "  \"variance_reduction\": " << variance_reduction() << ",\n";
-  os << "  \"naive_trials_equivalent\": " << naive_trials_equivalent()
+  os << "  \"dup\": {\"p_hat\": " << json_number(dup_est.p_hat)
+     << ", \"std_err\": " << json_number(dup_est.std_err)
+     << ", \"hits\": " << dup_est.hits << "},\n";
+  os << "  \"closed_form_p4\": " << json_number(p4) << ",\n";
+  os << "  \"imo_per_hour\": " << json_number(est.p_hat * frames_per_hour())
      << ",\n";
+  os << "  \"closed_form_per_hour\": " << json_number(p4 * frames_per_hour())
+     << ",\n";
+  os << "  \"variance_reduction\": " << json_number(variance_reduction())
+     << ",\n";
+  os << "  \"naive_trials_equivalent\": "
+     << json_number(naive_trials_equivalent()) << ",\n";
   os << "  \"timeouts\": " << timeouts << ",\n";
-  os << "  \"seconds\": " << seconds << "\n";
+  os << "  \"seconds\": " << json_number(seconds) << "\n";
   os << "}\n";
   return os.str();
 }

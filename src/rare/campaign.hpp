@@ -17,9 +17,12 @@
 //               (src/rare/splitting.hpp).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "analysis/stats.hpp"
 #include "rare/splitting.hpp"
@@ -49,6 +52,10 @@ struct RareConfig {
   long long checkpoint_every = 8192;  ///< trials between journal snapshots
   /// Progress callback (trials done, trials total); called after each round.
   std::function<void(long long, long long)> on_progress;
+  /// Cooperative stop: when set, the campaign finishes the round in
+  /// flight, flushes a final journal snapshot, and returns the partial
+  /// result.  Safe to flip from a signal handler.
+  const std::atomic<bool>* stop = nullptr;
 
   /// Throws std::invalid_argument on unusable values.
   void validate() const;
@@ -89,6 +96,71 @@ struct RareResult {
 
   [[nodiscard]] std::string summary() const;
   [[nodiscard]] std::string to_json() const;
+};
+
+// ---------------------------------------------------------------------------
+// Round-stepped campaign: the plan/execute/merge loop as an object.
+//
+// run_campaign() is a thin driver over this class; the campaign
+// orchestration service (src/serve/) drives the same object with its
+// worker fleet.  execute_slot(i) is pure per slot (trial i draws only from
+// its private Rng(seed, i) stream), so any set of threads may run any
+// subset of slots, in any order, even more than once — which is what lets
+// a dead worker's shard be requeued without perturbing the estimate.
+// ---------------------------------------------------------------------------
+class RareCampaign {
+ public:
+  /// Validates the config and resolves the bias profile (throws
+  /// std::invalid_argument like run_campaign does).
+  explicit RareCampaign(const RareConfig& cfg);
+
+  /// Config as resolved (bias defaults filled in, fingerprint stable).
+  [[nodiscard]] const RareConfig& config() const { return cfg_; }
+  [[nodiscard]] const ProbePlan& probe_plan() const { return plan_; }
+
+  /// Plan the next round of trials; returns the slot count (0 = target
+  /// trial count reached, or cfg.stop raised).
+  [[nodiscard]] std::size_t plan_round();
+
+  /// Execute planned slot `i` (thread-safe across distinct — or even
+  /// repeated — slot indices).
+  void execute_slot(std::size_t i);
+
+  /// Fold the executed round into the accumulators, in trial order.
+  void merge_round();
+
+  [[nodiscard]] bool finished() const;
+  [[nodiscard]] long long trials_done() const { return done_; }
+  [[nodiscard]] long long resumed_from() const { return resumed_from_; }
+
+  /// One journal snapshot line ("snap ..."), exact to the bit (hex-float
+  /// accumulators) — the checkpoint discipline the serve job journal
+  /// reuses.  restore_checkpoint_line() is the inverse; false on a
+  /// malformed line.
+  [[nodiscard]] std::string checkpoint_line() const;
+  [[nodiscard]] bool restore_checkpoint_line(const std::string& line);
+
+  /// The result so far (cfg/plan/accumulators; the run_campaign driver
+  /// adds wall-clock seconds and the worker count).
+  [[nodiscard]] RareResult result() const;
+
+ private:
+  struct Slot {
+    long long index = 0;
+    double x_imo = 0;
+    double x_dup = 0;
+    long long timeouts = 0;
+  };
+
+  RareConfig cfg_;
+  ProbePlan plan_;
+  std::optional<PrefixState> prefix_;
+  std::vector<Slot> slots_;
+  long long done_ = 0;
+  long long resumed_from_ = 0;
+  RareAccumulator imo_;
+  RareAccumulator dup_;
+  long long timeouts_ = 0;
 };
 
 /// Run (or resume) a campaign.  If cfg.journal names an existing file, the

@@ -1,0 +1,471 @@
+#include "serve/backend.hpp"
+
+#include <exception>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "fuzz/engine.hpp"
+#include "rare/campaign.hpp"
+#include "scenario/model_check.hpp"
+#include "scenario/sweep_cli.hpp"
+
+namespace mcan {
+
+namespace {
+
+// --- spec field accessors (every field optional, engine defaults) --------
+
+long long spec_int(const Json& spec, const char* key, long long dflt) {
+  const Json* v = spec.find(key);
+  return v && v->is_number() ? v->as_int(dflt) : dflt;
+}
+
+double spec_double(const Json& spec, const char* key, double dflt) {
+  const Json* v = spec.find(key);
+  return v ? v->as_double(dflt) : dflt;
+}
+
+bool spec_bool(const Json& spec, const char* key, bool dflt) {
+  const Json* v = spec.find(key);
+  return v && v->type() == Json::Type::Bool ? v->as_bool(dflt) : dflt;
+}
+
+std::string spec_string(const Json& spec, const char* key,
+                        const std::string& dflt) {
+  const Json* v = spec.find(key);
+  return v && v->is_string() ? v->as_string() : dflt;
+}
+
+/// The spec token for a protocol — the inverse of parse_protocol_arg,
+/// used to render canonical specs.
+std::string protocol_token(const ProtocolParams& p) {
+  switch (p.variant) {
+    case Variant::StandardCan: return "can";
+    case Variant::MinorCan: return "minor";
+    case Variant::MajorCan: return "major:" + std::to_string(p.m);
+  }
+  return "can";
+}
+
+// --- fuzz -----------------------------------------------------------------
+
+class FuzzServeBackend final : public CampaignBackend {
+ public:
+  explicit FuzzServeBackend(const Json& spec) {
+    cfg_.protocol = parse_protocol_arg(spec_string(spec, "protocol", "can"));
+    cfg_.n_nodes = static_cast<int>(spec_int(spec, "nodes", cfg_.n_nodes));
+    cfg_.seed = static_cast<std::uint64_t>(spec_int(
+        spec, "seed", static_cast<long long>(cfg_.seed)));
+    cfg_.max_execs = static_cast<std::uint64_t>(spec_int(
+        spec, "max_execs", static_cast<long long>(cfg_.max_execs)));
+    cfg_.batch = static_cast<int>(spec_int(spec, "batch", cfg_.batch));
+    cfg_.minimize_every = static_cast<std::uint64_t>(spec_int(
+        spec, "minimize_every", static_cast<long long>(cfg_.minimize_every)));
+    const int max_flips = static_cast<int>(spec_int(spec, "max_flips", 0));
+    if (max_flips > 0) cfg_.bounds.max_flips = max_flips;
+    cfg_.bounds.mutate_protocol =
+        spec_bool(spec, "mutate_protocol", cfg_.bounds.mutate_protocol);
+    envelope_ = spec_bool(spec, "envelope", false);
+    if (envelope_) {
+      // Mirror mcan-fuzz --envelope: the paper's <= m disturbance claim.
+      cfg_.bounds.max_flips = cfg_.protocol.variant == Variant::MajorCan
+                                  ? cfg_.protocol.m
+                                  : 2;
+      cfg_.bounds.allow_body = false;
+      cfg_.bounds.allow_crash = false;
+      cfg_.bounds.mutate_protocol = false;
+    }
+    cfg_.protocol.validate();
+    if (cfg_.n_nodes < 2 || cfg_.max_execs == 0 || cfg_.batch < 1) {
+      throw std::invalid_argument("fuzz spec: nodes/max_execs/batch invalid");
+    }
+    campaign_.emplace(cfg_);
+  }
+
+  [[nodiscard]] const char* kind() const override { return "fuzz"; }
+
+  [[nodiscard]] std::string fingerprint() const override {
+    Json c = Json::object();
+    c.set("backend", Json("fuzz"));
+    c.set("protocol", Json(protocol_token(cfg_.protocol)));
+    c.set("nodes", Json(static_cast<long long>(cfg_.n_nodes)));
+    c.set("seed", Json(static_cast<long long>(cfg_.seed)));
+    c.set("max_execs", Json(static_cast<long long>(cfg_.max_execs)));
+    c.set("batch", Json(static_cast<long long>(cfg_.batch)));
+    c.set("minimize_every",
+          Json(static_cast<long long>(cfg_.minimize_every)));
+    c.set("max_flips", Json(static_cast<long long>(cfg_.bounds.max_flips)));
+    c.set("mutate_protocol", Json(cfg_.bounds.mutate_protocol));
+    c.set("envelope", Json(envelope_));
+    return c.dump();
+  }
+
+  [[nodiscard]] std::size_t plan_round() override {
+    return campaign_->plan_round();
+  }
+  void execute_slot(std::size_t i) override { campaign_->execute_slot(i); }
+  void merge_round() override { campaign_->merge_round(); }
+  [[nodiscard]] bool finished() const override {
+    return campaign_->finished();
+  }
+
+  [[nodiscard]] std::uint64_t units_done() const override {
+    return campaign_->exec_index();
+  }
+  [[nodiscard]] std::uint64_t units_total() const override {
+    return cfg_.max_execs;
+  }
+
+  [[nodiscard]] std::string checkpoint() const override {
+    Json j = Json::object();
+    j.set("exec_index",
+          Json(static_cast<long long>(campaign_->exec_index())));
+    j.set("next_minimize",
+          Json(static_cast<long long>(campaign_->next_minimize())));
+    const FuzzStats& st = campaign_->stats();
+    Json stats = Json::object();
+    stats.set("execs", Json(static_cast<long long>(st.execs)));
+    stats.set("admitted", Json(static_cast<long long>(st.admitted)));
+    stats.set("findings", Json(static_cast<long long>(st.findings)));
+    stats.set("evicted", Json(static_cast<long long>(st.evicted)));
+    stats.set("classes", Json(static_cast<long long>(st.classes_seen)));
+    j.set("stats", std::move(stats));
+    Json corpus = Json::array();
+    for (const CorpusEntry& e : campaign_->corpus().entries()) {
+      Json entry = Json::object();
+      entry.set("scn", Json(write_scenario(e.spec)));
+      entry.set("sig", Json(e.sig.to_hex()));
+      entry.set("exec", Json(static_cast<long long>(e.exec_index)));
+      entry.set("energy", Json(static_cast<long long>(e.energy)));
+      corpus.push(std::move(entry));
+    }
+    j.set("corpus", std::move(corpus));
+    j.set("accumulated", Json(campaign_->corpus().accumulated().to_hex()));
+    Json findings = Json::array();
+    for (const FuzzFinding& f : campaign_->findings()) {
+      Json finding = Json::object();
+      finding.set("scn", Json(write_scenario(f.spec)));
+      finding.set("classes",
+                  Json(static_cast<long long>(f.verdict.classes)));
+      finding.set("sig", Json(f.verdict.sig.to_hex()));
+      finding.set("detail", Json(f.verdict.detail));
+      finding.set("exec", Json(static_cast<long long>(f.exec_index)));
+      findings.push(std::move(finding));
+    }
+    j.set("findings", std::move(findings));
+    return j.dump();
+  }
+
+  [[nodiscard]] bool restore(const std::string& payload) override {
+    Json j;
+    std::string err;
+    if (!Json::parse(payload, j, err) || !j.is_object()) return false;
+    const Json* stats = j.find("stats");
+    const Json* corpus = j.find("corpus");
+    const Json* acc = j.find("accumulated");
+    const Json* findings = j.find("findings");
+    if (!stats || !stats->is_object() || !corpus || !corpus->is_array() ||
+        !acc || !acc->is_string() || !findings || !findings->is_array()) {
+      return false;
+    }
+    FuzzStats st;
+    st.execs = static_cast<std::uint64_t>(spec_int(*stats, "execs", 0));
+    st.admitted = static_cast<std::uint64_t>(spec_int(*stats, "admitted", 0));
+    st.findings = static_cast<std::uint64_t>(spec_int(*stats, "findings", 0));
+    st.evicted = static_cast<std::uint64_t>(spec_int(*stats, "evicted", 0));
+    st.classes_seen =
+        static_cast<std::uint32_t>(spec_int(*stats, "classes", 0));
+    Signature accumulated;
+    if (!Signature::from_hex(acc->as_string(), accumulated)) return false;
+    try {
+      std::vector<CorpusEntry> entries;
+      for (const Json& e : corpus->items()) {
+        const Json* scn = e.find("scn");
+        const Json* sig = e.find("sig");
+        if (!scn || !scn->is_string() || !sig || !sig->is_string()) {
+          return false;
+        }
+        CorpusEntry entry;
+        entry.spec = parse_scenario(scn->as_string());
+        if (!Signature::from_hex(sig->as_string(), entry.sig)) return false;
+        entry.exec_index = static_cast<std::uint64_t>(spec_int(e, "exec", 0));
+        entry.energy = static_cast<int>(spec_int(e, "energy", 1));
+        entries.push_back(std::move(entry));
+      }
+      std::vector<FuzzFinding> found;
+      for (const Json& f : findings->items()) {
+        const Json* scn = f.find("scn");
+        const Json* sig = f.find("sig");
+        if (!scn || !scn->is_string() || !sig || !sig->is_string()) {
+          return false;
+        }
+        FuzzFinding finding;
+        finding.spec = parse_scenario(scn->as_string());
+        finding.verdict.classes =
+            static_cast<std::uint32_t>(spec_int(f, "classes", 0));
+        if (!Signature::from_hex(sig->as_string(), finding.verdict.sig)) {
+          return false;
+        }
+        finding.verdict.detail = spec_string(f, "detail", "");
+        finding.exec_index = static_cast<std::uint64_t>(spec_int(f, "exec", 0));
+        found.push_back(std::move(finding));
+      }
+      campaign_->restore_state(
+          static_cast<std::uint64_t>(spec_int(j, "exec_index", 0)),
+          static_cast<std::uint64_t>(spec_int(j, "next_minimize", 0)), st,
+          std::move(entries), accumulated, std::move(found));
+    } catch (const std::exception&) {
+      return false;  // malformed .scn text inside the snapshot
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::string result_json() override {
+    FuzzResult res = campaign_->take_result();
+    res.stats.elapsed_s = 0;  // deterministic result bytes; see backend.hpp
+    return fuzz_stats_json(res.stats, cfg_.protocol, cfg_.n_nodes, cfg_.seed);
+  }
+
+ private:
+  FuzzConfig cfg_;
+  bool envelope_ = false;
+  std::optional<FuzzCampaign> campaign_;
+};
+
+// --- rare -----------------------------------------------------------------
+
+RareMode parse_rare_mode(const std::string& s) {
+  if (s == "naive") return RareMode::kNaive;
+  if (s == "importance") return RareMode::kImportance;
+  if (s == "splitting") return RareMode::kSplitting;
+  throw std::invalid_argument("rare spec: unknown mode \"" + s + "\"");
+}
+
+class RareServeBackend final : public CampaignBackend {
+ public:
+  explicit RareServeBackend(const Json& spec) {
+    RareConfig cfg;
+    cfg.protocol = parse_protocol_arg(spec_string(spec, "protocol", "can"));
+    cfg.n_nodes = static_cast<int>(spec_int(spec, "nodes", cfg.n_nodes));
+    cfg.ber = spec_double(spec, "ber", cfg.ber);
+    cfg.mode = parse_rare_mode(spec_string(spec, "mode", "importance"));
+    cfg.seed = static_cast<std::uint64_t>(
+        spec_int(spec, "seed", static_cast<long long>(cfg.seed)));
+    cfg.trials = spec_int(spec, "trials", cfg.trials);
+    cfg.batch = static_cast<int>(spec_int(spec, "batch", cfg.batch));
+    // The serve journal owns checkpointing; the engine's own journal off.
+    cfg.journal.clear();
+    campaign_.emplace(cfg);  // validates, resolves bias
+  }
+
+  [[nodiscard]] const char* kind() const override { return "rare"; }
+
+  [[nodiscard]] std::string fingerprint() const override {
+    const RareConfig& cfg = campaign_->config();
+    Json c = Json::object();
+    c.set("backend", Json("rare"));
+    // The engine's own fingerprint covers everything that determines the
+    // trial stream (bias profile included).
+    c.set("engine", Json(cfg.fingerprint()));
+    c.set("batch", Json(static_cast<long long>(cfg.batch)));
+    return c.dump();
+  }
+
+  [[nodiscard]] std::size_t plan_round() override {
+    return campaign_->plan_round();
+  }
+  void execute_slot(std::size_t i) override { campaign_->execute_slot(i); }
+  void merge_round() override { campaign_->merge_round(); }
+  [[nodiscard]] bool finished() const override {
+    return campaign_->finished();
+  }
+
+  [[nodiscard]] std::uint64_t units_done() const override {
+    return static_cast<std::uint64_t>(campaign_->trials_done());
+  }
+  [[nodiscard]] std::uint64_t units_total() const override {
+    return static_cast<std::uint64_t>(campaign_->config().trials);
+  }
+
+  [[nodiscard]] std::string checkpoint() const override {
+    return campaign_->checkpoint_line();
+  }
+  [[nodiscard]] bool restore(const std::string& payload) override {
+    return campaign_->restore_checkpoint_line(payload);
+  }
+
+  [[nodiscard]] std::string result_json() override {
+    RareResult res = campaign_->result();
+    res.seconds = 0;  // deterministic result bytes; see backend.hpp
+    return res.to_json();
+  }
+
+ private:
+  std::optional<RareCampaign> campaign_;
+};
+
+// --- check ----------------------------------------------------------------
+
+class CheckServeBackend final : public CampaignBackend {
+ public:
+  explicit CheckServeBackend(const Json& spec) {
+    std::vector<ProtocolParams> protocols;
+    if (const Json* list = spec.find("protocols");
+        list && list->is_array() && !list->items().empty()) {
+      for (const Json& tok : list->items()) {
+        if (!tok.is_string()) {
+          throw std::invalid_argument("check spec: protocols must be strings");
+        }
+        protocols.push_back(parse_protocol_arg(tok.as_string()));
+      }
+    } else {
+      protocols = default_protocol_set();
+    }
+    max_k_ = static_cast<int>(spec_int(spec, "max_k", 2));
+    nodes_ = static_cast<int>(spec_int(spec, "nodes", 3));
+    budget_ = spec_int(spec, "budget", 0);
+    dedup_ = spec_bool(spec, "dedup", true);
+    symmetry_ = spec_bool(spec, "symmetry", true);
+    if (max_k_ < 1) throw std::invalid_argument("check spec: max_k < 1");
+    for (const ProtocolParams& p : protocols) {
+      for (int k = 1; k <= max_k_; ++k) {
+        unit_config(p, k).validate();  // throw before any work
+        units_.push_back({p, k});
+      }
+    }
+    slots_.resize(units_.size());
+  }
+
+  [[nodiscard]] const char* kind() const override { return "check"; }
+
+  [[nodiscard]] std::string fingerprint() const override {
+    Json c = Json::object();
+    c.set("backend", Json("check"));
+    Json protos = Json::array();
+    for (const Unit& u : units_) {
+      if (u.k == 1) protos.push(Json(protocol_token(u.protocol)));
+    }
+    c.set("protocols", std::move(protos));
+    c.set("max_k", Json(static_cast<long long>(max_k_)));
+    c.set("nodes", Json(static_cast<long long>(nodes_)));
+    c.set("budget", Json(budget_));
+    c.set("dedup", Json(dedup_));
+    c.set("symmetry", Json(symmetry_));
+    return c.dump();
+  }
+
+  [[nodiscard]] std::size_t plan_round() override {
+    if (planned_ || finished()) return 0;
+    planned_ = true;
+    return units_.size();
+  }
+
+  void execute_slot(std::size_t i) override {
+    const ModelCheckResult r =
+        run_model_check(unit_config(units_[i].protocol, units_[i].k));
+    slots_[i] = {r.cases, r.imo, r.double_rx, r.total_loss, r.timeouts,
+                 r.complete};
+  }
+
+  void merge_round() override { done_ = units_.size(); }
+
+  [[nodiscard]] bool finished() const override {
+    return done_ == units_.size();
+  }
+
+  [[nodiscard]] std::uint64_t units_done() const override { return done_; }
+  [[nodiscard]] std::uint64_t units_total() const override {
+    return units_.size();
+  }
+  [[nodiscard]] std::size_t shard_size_hint() const override { return 1; }
+
+  // Sweep units are coarse and merge exactly once, so there is no
+  // mid-campaign snapshot: a killed check job restarts from scratch (and
+  // still produces identical bytes — the sweep itself is deterministic).
+  [[nodiscard]] std::string checkpoint() const override { return {}; }
+  [[nodiscard]] bool restore(const std::string& payload) override {
+    return payload.empty();
+  }
+
+  [[nodiscard]] std::string result_json() override {
+    Json j = Json::object();
+    j.set("backend", Json("check"));
+    Json out = Json::array();
+    for (std::size_t i = 0; i < units_.size(); ++i) {
+      Json u = Json::object();
+      u.set("protocol", Json(units_[i].protocol.name()));
+      u.set("k", Json(static_cast<long long>(units_[i].k)));
+      u.set("cases", Json(slots_[i].cases));
+      u.set("imo", Json(slots_[i].imo));
+      u.set("double", Json(slots_[i].double_rx));
+      u.set("loss", Json(slots_[i].loss));
+      u.set("timeouts", Json(slots_[i].timeouts));
+      u.set("complete", Json(slots_[i].complete));
+      out.push(std::move(u));
+    }
+    j.set("units", std::move(out));
+    return j.dump() + "\n";
+  }
+
+ private:
+  struct Unit {
+    ProtocolParams protocol;
+    int k = 1;
+  };
+  struct Outcome {
+    long long cases = 0;
+    long long imo = 0;
+    long long double_rx = 0;
+    long long loss = 0;
+    long long timeouts = 0;
+    bool complete = true;
+  };
+
+  [[nodiscard]] ModelCheckConfig unit_config(const ProtocolParams& p,
+                                             int k) const {
+    ModelCheckConfig cfg;
+    cfg.base.protocol = p;
+    cfg.base.n_nodes = nodes_;
+    cfg.base.errors = k;
+    cfg.jobs = 1;  // the serve worker fleet is the parallelism
+    cfg.dedup = dedup_;
+    cfg.symmetry = symmetry_;
+    cfg.max_cases = budget_;
+    return cfg;
+  }
+
+  std::vector<Unit> units_;
+  std::vector<Outcome> slots_;
+  std::size_t done_ = 0;
+  bool planned_ = false;
+  long long budget_ = 0;
+  bool dedup_ = true;
+  bool symmetry_ = true;
+  int nodes_ = 3;
+  int max_k_ = 2;
+};
+
+}  // namespace
+
+std::unique_ptr<CampaignBackend> make_backend(const Json& spec,
+                                              std::string& error) {
+  if (!spec.is_object()) {
+    error = "job spec must be a JSON object";
+    return nullptr;
+  }
+  const std::string kind = spec_string(spec, "backend", "");
+  try {
+    if (kind == "fuzz") return std::make_unique<FuzzServeBackend>(spec);
+    if (kind == "rare") return std::make_unique<RareServeBackend>(spec);
+    if (kind == "check") return std::make_unique<CheckServeBackend>(spec);
+  } catch (const std::exception& e) {
+    error = e.what();
+    return nullptr;
+  }
+  error = kind.empty() ? "job spec: missing \"backend\" field"
+                       : "job spec: unknown backend \"" + kind + "\"";
+  return nullptr;
+}
+
+}  // namespace mcan

@@ -1,0 +1,202 @@
+#include "serve/journal.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "serve/proto.hpp"
+#include "util/text.hpp"
+
+namespace mcan {
+
+namespace {
+
+constexpr const char* kMagic = "mcan-serve-journal v1";
+
+/// Split complete lines only: a trailing segment without '\n' is the torn
+/// write of an interrupted append and is dropped.
+std::vector<std::string> complete_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) break;  // tail without newline: torn
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+bool read_all(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+/// "key value" → value, or false when the line has a different key.
+bool keyed(const std::string& line, const std::string& key,
+           std::string& value) {
+  if (line.rfind(key + ' ', 0) != 0) return false;
+  value = line.substr(key.size() + 1);
+  return true;
+}
+
+/// Parse the payload of a done/failed line: one JSON string literal.
+bool unquote(const std::string& payload, std::string& out) {
+  Json j;
+  std::string err;
+  if (!Json::parse(payload, j, err) || !j.is_string()) return false;
+  out = j.as_string();
+  return true;
+}
+
+}  // namespace
+
+JobJournal::JobJournal(std::string dir) : dir_(std::move(dir)) {
+  if (!dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+  }
+}
+
+std::string JobJournal::path_for(std::uint64_t id) const {
+  return dir_ + "/job-" + std::to_string(id) + ".jnl";
+}
+
+bool JobJournal::open(std::uint64_t id, int priority,
+                      const std::string& spec_text,
+                      const std::string& fingerprint) {
+  if (!enabled()) return true;
+  std::ofstream out(path_for(id), std::ios::trunc);
+  if (!out) return false;
+  out << kMagic << '\n';
+  out << "id " << id << '\n';
+  out << "priority " << priority << '\n';
+  out << "spec " << spec_text << '\n';
+  out << "fingerprint " << fingerprint << '\n';
+  return static_cast<bool>(out);
+}
+
+bool JobJournal::append_line(std::uint64_t id, const std::string& line) {
+  if (!enabled()) return true;
+  std::ofstream out(path_for(id), std::ios::app);
+  if (!out) return false;
+  out << line << '\n';
+  return static_cast<bool>(out);
+}
+
+bool JobJournal::append_snapshot(std::uint64_t id, std::uint64_t units,
+                                 const std::string& payload) {
+  return append_line(id,
+                     "snap " + std::to_string(units) + ' ' + payload);
+}
+
+bool JobJournal::append_done(std::uint64_t id, const std::string& result) {
+  return append_line(id, "done \"" + json_escape(result) + '"');
+}
+
+bool JobJournal::append_failed(std::uint64_t id, const std::string& message) {
+  return append_line(id, "failed \"" + json_escape(message) + '"');
+}
+
+bool JobJournal::append_cancelled(std::uint64_t id) {
+  return append_line(id, "cancelled");
+}
+
+bool JobJournal::load_file(const std::string& path, JournalRecord& out,
+                           std::string& error) {
+  std::string text;
+  if (!read_all(path, text)) {
+    error = "cannot read " + path;
+    return false;
+  }
+  const std::vector<std::string> lines = complete_lines(text);
+  if (lines.size() < 5 || lines[0] != kMagic) {
+    error = path + ": not a serve journal";
+    return false;
+  }
+  std::string value;
+  if (!keyed(lines[1], "id", value) ||
+      std::sscanf(value.c_str(), "%llu",
+                  reinterpret_cast<unsigned long long*>(&out.id)) != 1) {
+    error = path + ": bad id line";
+    return false;
+  }
+  if (!keyed(lines[2], "priority", value) ||
+      std::sscanf(value.c_str(), "%d", &out.priority) != 1) {
+    error = path + ": bad priority line";
+    return false;
+  }
+  if (!keyed(lines[3], "spec", out.spec_text) || out.spec_text.empty()) {
+    error = path + ": bad spec line";
+    return false;
+  }
+  if (!keyed(lines[4], "fingerprint", out.fingerprint) ||
+      out.fingerprint.empty()) {
+    error = path + ": bad fingerprint line";
+    return false;
+  }
+  for (std::size_t i = 5; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.empty()) continue;
+    if (keyed(line, "snap", value)) {
+      const std::size_t sp = value.find(' ');
+      std::uint64_t units = 0;
+      if (sp == std::string::npos ||
+          std::sscanf(value.substr(0, sp).c_str(), "%llu",
+                      reinterpret_cast<unsigned long long*>(&units)) != 1) {
+        break;  // corrupt snapshot: keep the last good one
+      }
+      out.has_snapshot = true;
+      out.snap_units = units;
+      out.snapshot = value.substr(sp + 1);
+      continue;
+    }
+    if (keyed(line, "done", value)) {
+      if (!unquote(value, out.result)) break;
+      out.terminal = JournalTerminal::kDone;
+      break;
+    }
+    if (keyed(line, "failed", value)) {
+      if (!unquote(value, out.result)) break;
+      out.terminal = JournalTerminal::kFailed;
+      break;
+    }
+    if (line == "cancelled") {
+      out.terminal = JournalTerminal::kCancelled;
+      break;
+    }
+    break;  // unknown record: ignore it and everything after
+  }
+  return true;
+}
+
+std::vector<JournalRecord> JobJournal::load_dir(
+    std::vector<std::string>& notes) const {
+  std::vector<JournalRecord> records;
+  if (!enabled()) return records;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("job-", 0) != 0 || entry.path().extension() != ".jnl") {
+      continue;
+    }
+    JournalRecord rec;
+    std::string error;
+    if (JobJournal::load_file(entry.path().string(), rec, error)) {
+      records.push_back(std::move(rec));
+    } else {
+      notes.push_back(error);
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const JournalRecord& a, const JournalRecord& b) {
+              return a.id < b.id;
+            });
+  return records;
+}
+
+}  // namespace mcan

@@ -1,0 +1,86 @@
+// The job journal: crash recovery for the campaign service.
+//
+// One append-only file per job (`<dir>/job-<id>.jnl`), following the rare
+// campaign journal's checkpoint discipline (src/rare/campaign.cpp): a
+// header that pins the job's identity, periodic single-line snapshots of
+// all merged state, and tolerance for exactly one torn trailing line (the
+// write that a kill -9 interrupted).  Restoring replays nothing and
+// guesses nothing — a snapshot is only accepted under an equal
+// fingerprint, and because campaign execution is deterministic, a job
+// resumed from any snapshot produces a result byte-identical to an
+// uninterrupted run.
+//
+//     mcan-serve-journal v1
+//     id 7
+//     priority 2
+//     spec {"backend":"fuzz",...}          <- as submitted
+//     fingerprint {"backend":"fuzz",...}   <- canonical (defaults resolved)
+//     snap <units_done> <backend payload>  <- repeated, newest last
+//     done "<result bytes, JSON-escaped>"  <- exactly one terminal line:
+//     failed "<message>"                      done | failed | cancelled
+//     cancelled
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcan {
+
+enum class JournalTerminal { kNone, kDone, kFailed, kCancelled };
+
+/// Everything a journal file says about one job.
+struct JournalRecord {
+  std::uint64_t id = 0;
+  int priority = 0;
+  std::string spec_text;     ///< submitted spec, one line of JSON
+  std::string fingerprint;   ///< canonical spec the snapshots belong to
+  bool has_snapshot = false;
+  std::uint64_t snap_units = 0;  ///< units_done at the newest snapshot
+  std::string snapshot;          ///< newest backend checkpoint payload
+  JournalTerminal terminal = JournalTerminal::kNone;
+  std::string result;  ///< done: result bytes; failed: the error message
+};
+
+class JobJournal {
+ public:
+  /// `dir` is created if missing; empty = journaling disabled (every
+  /// append becomes a no-op and load_dir finds nothing).
+  explicit JobJournal(std::string dir);
+
+  [[nodiscard]] bool enabled() const { return !dir_.empty(); }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] std::string path_for(std::uint64_t id) const;
+
+  /// Start a job's journal (header through fingerprint).  Truncates any
+  /// stale file with the same id.
+  [[nodiscard]] bool open(std::uint64_t id, int priority,
+                          const std::string& spec_text,
+                          const std::string& fingerprint);
+
+  [[nodiscard]] bool append_snapshot(std::uint64_t id, std::uint64_t units,
+                                     const std::string& payload);
+  [[nodiscard]] bool append_done(std::uint64_t id, const std::string& result);
+  [[nodiscard]] bool append_failed(std::uint64_t id,
+                                   const std::string& message);
+  [[nodiscard]] bool append_cancelled(std::uint64_t id);
+
+  /// Parse one journal file.  False (with a message) on a missing file or
+  /// a corrupt header; a torn final line is dropped silently, and
+  /// anything after the first unparsable body line is ignored.
+  [[nodiscard]] static bool load_file(const std::string& path,
+                                      JournalRecord& out, std::string& error);
+
+  /// Load every job-*.jnl under dir(), sorted by job id.  Files that fail
+  /// to parse are reported in `notes` and skipped, not fatal: one corrupt
+  /// journal must not take down recovery of the rest.
+  [[nodiscard]] std::vector<JournalRecord> load_dir(
+      std::vector<std::string>& notes) const;
+
+ private:
+  [[nodiscard]] bool append_line(std::uint64_t id, const std::string& line);
+
+  std::string dir_;
+};
+
+}  // namespace mcan

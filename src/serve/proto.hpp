@@ -1,0 +1,149 @@
+// The campaign service wire protocol: length-prefixed JSON frames over a
+// Unix-domain socket.
+//
+// Framing is a 4-byte big-endian payload length followed by that many
+// bytes of UTF-8 JSON.  Every request is a JSON object carrying
+//
+//     {"proto": 1, "type": "submit" | "status" | "result" | "cancel" |
+//                          "stats" | "shutdown", ...}
+//
+// and every response is an object with an "ok" boolean ("error" text when
+// false).  The protocol is versioned by the "proto" field: a daemon
+// rejects any other version with an error response instead of guessing.
+// Malformed input — truncated length prefix, oversized frame, bytes that
+// do not parse as JSON, a non-object payload, an unknown request type —
+// is rejected explicitly; the connection survives everything except a
+// frame too large to skip.
+//
+// The Json value type below is deliberately small (no external parser is
+// available in this tree): objects preserve insertion order so dumps are
+// deterministic, integers are kept exact alongside doubles, and the
+// NaN/Infinity sentinels written by util/text's json_number() round-trip
+// back into doubles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mcan {
+
+inline constexpr int kProtoVersion = 1;
+
+/// Frames larger than this are rejected (and the connection dropped,
+/// since skipping an arbitrarily large payload is itself a resource
+/// hazard).  Large enough for any checkpointed corpus we ship.
+inline constexpr std::size_t kMaxFrameBytes = std::size_t{8} << 20;
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+  Json() = default;
+  explicit Json(bool b) : type_(Type::Bool), b_(b) {}
+  explicit Json(long long i) : type_(Type::Int), i_(i) {}
+  explicit Json(double d) : type_(Type::Double), d_(d) {}
+  explicit Json(std::string s) : type_(Type::String), s_(std::move(s)) {}
+  explicit Json(const char* s) : type_(Type::String), s_(s) {}
+
+  [[nodiscard]] static Json array() { return with_type(Type::Array); }
+  [[nodiscard]] static Json object() { return with_type(Type::Object); }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::Null; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::Object; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::Array; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::String; }
+  [[nodiscard]] bool is_number() const {
+    return type_ == Type::Int || type_ == Type::Double;
+  }
+
+  [[nodiscard]] bool as_bool(bool dflt = false) const {
+    return type_ == Type::Bool ? b_ : dflt;
+  }
+  [[nodiscard]] long long as_int(long long dflt = 0) const;
+  /// Doubles, exact ints, and the json_number() sentinels ("NaN",
+  /// "Infinity", "-Infinity") all convert.
+  [[nodiscard]] double as_double(double dflt = 0) const;
+  [[nodiscard]] const std::string& as_string() const { return s_; }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  /// Insert-or-replace an object member (keeps first-insertion order).
+  Json& set(const std::string& key, Json v);
+  /// Append an array element.
+  Json& push(Json v);
+
+  [[nodiscard]] const std::vector<Json>& items() const { return arr_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const {
+    return obj_;
+  }
+
+  /// Compact deterministic serialization (insertion order, no spaces).
+  [[nodiscard]] std::string dump() const;
+
+  /// Parse `text` (one complete JSON value, trailing whitespace allowed).
+  /// Returns false with a position-tagged message in `error`.
+  [[nodiscard]] static bool parse(const std::string& text, Json& out,
+                                  std::string& error);
+
+ private:
+  [[nodiscard]] static Json with_type(Type t) {
+    Json j;
+    j.type_ = t;
+    return j;
+  }
+
+  Type type_ = Type::Null;
+  bool b_ = false;
+  long long i_ = 0;
+  double d_ = 0;
+  std::string s_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+// ---------------------------------------------------------------------------
+// Frame I/O over a connected socket (or any fd).
+// ---------------------------------------------------------------------------
+
+enum class FrameRead {
+  kOk,         ///< one complete frame in `payload`
+  kEof,        ///< peer closed cleanly before any byte of a frame
+  kTruncated,  ///< peer closed mid-prefix or mid-payload
+  kTooLarge,   ///< declared length exceeds `max_bytes`
+  kError,      ///< read(2) failed
+};
+
+/// Read one length-prefixed frame, looping over partial reads (fragmented
+/// delivery is normal on a stream socket).
+[[nodiscard]] FrameRead read_frame(int fd, std::string& payload,
+                                   std::size_t max_bytes = kMaxFrameBytes);
+
+/// Write one frame, looping over partial writes; false on error.
+[[nodiscard]] bool write_frame(int fd, const std::string& payload);
+
+// ---------------------------------------------------------------------------
+// Request/response vocabulary.
+// ---------------------------------------------------------------------------
+
+/// A request skeleton: {"proto": kProtoVersion, "type": type}.
+[[nodiscard]] Json make_request(const std::string& type);
+
+/// {"ok": true}.
+[[nodiscard]] Json ok_response();
+
+/// {"ok": false, "error": message[, "rejected": true]}.  `rejected`
+/// marks backpressure (queue full), which clients may retry later —
+/// unlike a malformed request, which they must not.
+[[nodiscard]] Json error_response(const std::string& message,
+                                  bool rejected = false);
+
+/// Validate the envelope of a parsed request: must be an object, carry
+/// proto == kProtoVersion and a string "type".  Returns "" when valid,
+/// else the rejection message.
+[[nodiscard]] std::string validate_request(const Json& req);
+
+}  // namespace mcan

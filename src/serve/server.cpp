@@ -1,0 +1,224 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "serve/backend.hpp"
+
+namespace mcan {
+
+CampaignServer::CampaignServer(ServerConfig cfg)
+    : cfg_(std::move(cfg)), manager_(cfg_.serve), pool_(manager_, cfg_.pool) {}
+
+CampaignServer::~CampaignServer() { stop(); }
+
+bool CampaignServer::start(std::vector<std::string>& notes,
+                           std::string& error) {
+  if (cfg_.socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    error = "socket path too long: " + cfg_.socket_path;
+    return false;
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  // A previous daemon instance (cleanly stopped or killed) leaves the
+  // socket file behind; rebinding over it is the restart path.
+  ::unlink(cfg_.socket_path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, cfg_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 64) < 0) {
+    error = cfg_.socket_path + ": " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  notes = manager_.recover();
+  pool_.start();
+  accept_thread_ = std::thread([this] { accept_main(); });
+  return true;
+}
+
+void CampaignServer::accept_main() {
+  while (!stop_requested_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0 || !(pfd.revents & POLLIN)) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stop_requested_.load()) {
+      ::close(fd);
+      break;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void CampaignServer::handle_connection(int fd) {
+  std::string payload;
+  for (;;) {
+    const FrameRead rc = read_frame(fd, payload);
+    if (rc == FrameRead::kTooLarge) {
+      // The oversized body is still in the pipe; reject and drop the
+      // connection rather than trying to skip an arbitrary amount.
+      (void)write_frame(fd, error_response("frame exceeds " +
+                                           std::to_string(kMaxFrameBytes) +
+                                           " bytes")
+                                .dump());
+      break;
+    }
+    if (rc != FrameRead::kOk) break;  // EOF / truncated / io error
+    Json req;
+    std::string err;
+    Json res = Json::object();
+    if (!Json::parse(payload, req, err)) {
+      res = error_response("request does not parse as JSON: " + err);
+    } else if (std::string invalid = validate_request(req);
+               !invalid.empty()) {
+      res = error_response(invalid);
+    } else {
+      res = dispatch(req);
+    }
+    if (!write_frame(fd, res.dump())) break;
+  }
+  {
+    // Deregister before closing so stop() never shutdown()s a recycled
+    // descriptor number.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                    conn_fds_.end());
+  }
+  ::close(fd);
+}
+
+namespace {
+
+std::uint64_t req_id(const Json& req) {
+  const Json* id = req.find("id");
+  return id && id->is_number() && id->as_int() > 0
+             ? static_cast<std::uint64_t>(id->as_int())
+             : 0;
+}
+
+Json progress_json(const JobProgress& p) {
+  Json j = Json::object();
+  j.set("id", Json(static_cast<long long>(p.id)));
+  j.set("backend", Json(p.kind));
+  j.set("state", Json(job_state_name(p.state)));
+  j.set("priority", Json(static_cast<long long>(p.priority)));
+  j.set("units_done", Json(static_cast<long long>(p.units_done)));
+  j.set("units_total", Json(static_cast<long long>(p.units_total)));
+  j.set("rounds", Json(static_cast<long long>(p.rounds)));
+  j.set("shards_done", Json(static_cast<long long>(p.shards_done)));
+  j.set("retries", Json(static_cast<long long>(p.retries)));
+  if (p.resumed_units > 0) {
+    j.set("resumed_units", Json(static_cast<long long>(p.resumed_units)));
+  }
+  if (!p.error.empty()) j.set("error", Json(p.error));
+  return j;
+}
+
+}  // namespace
+
+Json CampaignServer::dispatch(const Json& req) {
+  const std::string& type = req.find("type")->as_string();
+  if (type == "ping") return ok_response();
+  if (type == "submit") {
+    const Json* spec = req.find("spec");
+    if (!spec || !spec->is_object()) {
+      return error_response("submit: missing object field \"spec\"");
+    }
+    const Json* prio = req.find("priority");
+    std::string error;
+    bool rejected = false;
+    const std::uint64_t id = manager_.submit(
+        *spec, prio ? static_cast<int>(prio->as_int()) : 0, error, rejected);
+    if (id == 0) return error_response(error, rejected);
+    Json res = ok_response();
+    res.set("id", Json(static_cast<long long>(id)));
+    return res;
+  }
+  if (type == "status") {
+    JobProgress p;
+    if (!manager_.status(req_id(req), p)) {
+      return error_response("unknown job");
+    }
+    Json res = ok_response();
+    res.set("job", progress_json(p));
+    return res;
+  }
+  if (type == "result") {
+    JobState state = JobState::kQueued;
+    std::string result, error;
+    const bool ok = manager_.result(req_id(req), state, result, error);
+    Json res = ok ? ok_response() : error_response(error);
+    res.set("state", Json(job_state_name(state)));
+    if (ok) res.set("result", Json(result));
+    return res;
+  }
+  if (type == "cancel") {
+    std::string error;
+    if (!manager_.cancel(req_id(req), error)) return error_response(error);
+    return ok_response();
+  }
+  if (type == "stats") {
+    Json res = ok_response();
+    res.set("stats", manager_.stats(pool_.size()));
+    return res;
+  }
+  if (type == "shutdown") {
+    request_stop();
+    return ok_response();
+  }
+  return error_response("unknown request type \"" + type + "\"");
+}
+
+void CampaignServer::run() {
+  while (!stop_requested_.load()) {
+    pollfd none{-1, 0, 0};
+    ::poll(&none, 0, 200);  // portable 200 ms sleep, EINTR-tolerant
+  }
+  stop();
+}
+
+void CampaignServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  stop_requested_.store(true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(cfg_.socket_path.c_str());
+  }
+  // Drain the fleet (in-flight shards finish and merge), then write the
+  // final snapshots — the SIGTERM flush guarantee.
+  pool_.stop_join();
+  manager_.flush_journals();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace mcan

@@ -1,0 +1,89 @@
+// The campaign job server: a Unix-domain socket front end over the
+// JobManager + WorkerPool.
+//
+// One thread accepts connections (polling, so a requested stop is seen
+// promptly); each connection gets a handler thread that loops over
+// length-prefixed JSON frames (serve/proto.hpp) and dispatches:
+//
+//   submit   {"spec": {...}, "priority": N}  -> {"ok", "id"} | rejected
+//   status   {"id": N}                       -> {"ok", "state", progress}
+//   result   {"id": N}                       -> {"ok", "state", "result"}
+//   cancel   {"id": N}                       -> {"ok"}
+//   stats    {}                              -> {"ok", queue/shard/throughput}
+//   ping     {}                              -> {"ok"}
+//   shutdown {}                              -> {"ok"} then graceful stop
+//
+// Graceful stop (shutdown request or SIGINT/SIGTERM via request_stop):
+// stop accepting, drain workers (in-flight shards finish), flush a final
+// journal snapshot for every live job, close connections.  A kill -9
+// skips all of that by definition — which is exactly what the journal's
+// snapshot discipline is for (docs/SERVING.md walks the recovery).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/queue.hpp"
+#include "serve/worker.hpp"
+
+namespace mcan {
+
+struct ServerConfig {
+  std::string socket_path = "mcan-serve.sock";
+  ServeConfig serve;
+  WorkerPoolConfig pool;
+};
+
+class CampaignServer {
+ public:
+  explicit CampaignServer(ServerConfig cfg);
+  ~CampaignServer();
+
+  CampaignServer(const CampaignServer&) = delete;
+  CampaignServer& operator=(const CampaignServer&) = delete;
+
+  /// Bind the socket, recover journalled jobs, start workers and the
+  /// accept thread.  False with a message on failure (e.g. socket path in
+  /// use).  `notes` receives the recovery report.
+  [[nodiscard]] bool start(std::vector<std::string>& notes,
+                           std::string& error);
+
+  /// Block until a stop is requested (shutdown request / request_stop),
+  /// then shut down gracefully.
+  void run();
+
+  /// Async-signal-safe stop request: just an atomic store; run() notices
+  /// within its poll interval.
+  void request_stop() { stop_requested_.store(true); }
+
+  /// Graceful shutdown (idempotent; run() calls it on exit).
+  void stop();
+
+  [[nodiscard]] JobManager& manager() { return manager_; }
+  [[nodiscard]] const std::string& socket_path() const {
+    return cfg_.socket_path;
+  }
+
+ private:
+  void accept_main();
+  void handle_connection(int fd);
+  [[nodiscard]] Json dispatch(const Json& req);
+
+  ServerConfig cfg_;
+  JobManager manager_;
+  WorkerPool pool_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  bool stopped_ = false;
+};
+
+}  // namespace mcan

@@ -1,6 +1,7 @@
 #include "util/text.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace mcan {
@@ -57,13 +58,16 @@ std::string json_escape(const std::string& s) {
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
+      case '\b': out += "\\b"; break;
       case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\f': out += "\\f"; break;
       case '\r': out += "\\r"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           out += buf;
         } else {
           out += c;
@@ -71,6 +75,14 @@ std::string json_escape(const std::string& s) {
     }
   }
   return out;
+}
+
+std::string json_number(double v) {
+  if (std::isnan(v)) return "\"NaN\"";
+  if (std::isinf(v)) return v > 0 ? "\"Infinity\"" : "\"-Infinity\"";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
 }
 
 bool write_text_file(const std::string& path, const std::string& content) {

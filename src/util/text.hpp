@@ -21,8 +21,17 @@ namespace mcan {
 [[nodiscard]] std::string render_table(
     const std::vector<std::vector<std::string>>& rows);
 
-/// Escape a string for embedding in a JSON string literal.
+/// Escape a string for embedding in a JSON string literal.  Every control
+/// character below 0x20 is escaped (short forms \b \t \n \f \r, \u00XX for
+/// the rest), plus the quote and backslash.
 [[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Render a double as a JSON value that any parser accepts: finite values
+/// round-trip exactly (%.17g), while NaN and the infinities — which bare
+/// JSON numbers cannot express — become the quoted sentinels "NaN",
+/// "Infinity" and "-Infinity".  All stats/journal writers emit doubles
+/// through this helper.
+[[nodiscard]] std::string json_number(double v);
 
 /// Write `content` to `path`, replacing any existing file; false on error.
 [[nodiscard]] bool write_text_file(const std::string& path,

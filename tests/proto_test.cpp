@@ -1,0 +1,232 @@
+// Wire-protocol tests for the campaign service (src/serve/proto.*): the
+// Json value type, length-prefixed framing over real socketpairs —
+// fragmented delivery, truncated prefixes, oversized frames — and the
+// request envelope validation that keeps malformed input out of the
+// daemon.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "serve/proto.hpp"
+
+namespace mcan {
+namespace {
+
+// --- Json value type -------------------------------------------------------
+
+TEST(Json, DumpIsDeterministicInsertionOrder) {
+  Json j = Json::object();
+  j.set("zeta", Json(1LL));
+  j.set("alpha", Json(true));
+  j.set("mid", Json("x"));
+  EXPECT_EQ(j.dump(), "{\"zeta\":1,\"alpha\":true,\"mid\":\"x\"}");
+  j.set("zeta", Json(2LL));  // replace keeps first-insertion order
+  EXPECT_EQ(j.dump(), "{\"zeta\":2,\"alpha\":true,\"mid\":\"x\"}");
+}
+
+TEST(Json, RoundTripsExactIntegers) {
+  const long long big = 9007199254740993LL;  // not representable in double
+  Json j = Json::object();
+  j.set("v", Json(big));
+  Json back;
+  std::string error;
+  ASSERT_TRUE(Json::parse(j.dump(), back, error)) << error;
+  EXPECT_EQ(back.find("v")->as_int(), big);
+}
+
+TEST(Json, RoundTripsStringsWithControlCharacters) {
+  std::string all;
+  for (int c = 1; c < 0x20; ++c) all.push_back(static_cast<char>(c));
+  all += "\"\\plain";
+  Json j = Json::object();
+  j.set("s", Json(all));
+  Json back;
+  std::string error;
+  ASSERT_TRUE(Json::parse(j.dump(), back, error)) << error;
+  EXPECT_EQ(back.find("s")->as_string(), all);
+}
+
+TEST(Json, ParsesUnicodeEscapesIncludingSurrogatePairs) {
+  Json v;
+  std::string error;
+  ASSERT_TRUE(Json::parse("\"\\u0041\\u00e9\\ud83d\\ude00\"", v, error))
+      << error;
+  EXPECT_EQ(v.as_string(), "A\xc3\xa9\xf0\x9f\x98\x80");
+}
+
+TEST(Json, NanAndInfinitySentinelsConvertBack) {
+  // util/text json_number() writes these sentinels; as_double restores.
+  Json v;
+  std::string error;
+  ASSERT_TRUE(Json::parse(
+      "{\"a\":\"NaN\",\"b\":\"Infinity\",\"c\":\"-Infinity\"}", v, error))
+      << error;
+  EXPECT_TRUE(std::isnan(v.find("a")->as_double()));
+  EXPECT_TRUE(std::isinf(v.find("b")->as_double()));
+  EXPECT_GT(v.find("b")->as_double(), 0);
+  EXPECT_LT(v.find("c")->as_double(), 0);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  Json v;
+  std::string error;
+  EXPECT_FALSE(Json::parse("", v, error));
+  EXPECT_FALSE(Json::parse("{", v, error));
+  EXPECT_FALSE(Json::parse("{\"a\":}", v, error));
+  EXPECT_FALSE(Json::parse("[1,]", v, error));
+  EXPECT_FALSE(Json::parse("\"unterminated", v, error));
+  EXPECT_FALSE(Json::parse("1 trailing", v, error));
+  EXPECT_FALSE(Json::parse("nul", v, error));
+}
+
+TEST(Json, RejectsPathologicalNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  Json v;
+  std::string error;
+  EXPECT_FALSE(Json::parse(deep, v, error));
+  EXPECT_NE(error.find("deep"), std::string::npos) << error;
+}
+
+// --- framing over a real socketpair ---------------------------------------
+
+struct Pair {
+  int a = -1, b = -1;
+  Pair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~Pair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+};
+
+TEST(Framing, RoundTripsPayloads) {
+  Pair p;
+  const std::string payload = "{\"proto\":1,\"type\":\"ping\"}";
+  ASSERT_TRUE(write_frame(p.a, payload));
+  std::string got;
+  ASSERT_EQ(read_frame(p.b, got), FrameRead::kOk);
+  EXPECT_EQ(got, payload);
+}
+
+TEST(Framing, ReassemblesFragmentedDelivery) {
+  // Stream sockets may deliver a frame one byte at a time; the reader
+  // must loop.  Dribble prefix and payload from a second thread.
+  Pair p;
+  const std::string payload(3000, 'x');
+  std::thread writer([&] {
+    const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+    const unsigned char prefix[4] = {
+        static_cast<unsigned char>(n >> 24),
+        static_cast<unsigned char>(n >> 16),
+        static_cast<unsigned char>(n >> 8), static_cast<unsigned char>(n)};
+    for (unsigned char c : prefix) {
+      ASSERT_EQ(::write(p.a, &c, 1), 1);
+      std::this_thread::yield();
+    }
+    std::size_t off = 0;
+    while (off < payload.size()) {
+      const std::size_t chunk = std::min<std::size_t>(7, payload.size() - off);
+      ASSERT_EQ(::write(p.a, payload.data() + off,
+                        chunk),
+                static_cast<ssize_t>(chunk));
+      off += chunk;
+    }
+  });
+  std::string got;
+  EXPECT_EQ(read_frame(p.b, got), FrameRead::kOk);
+  EXPECT_EQ(got, payload);
+  writer.join();
+}
+
+TEST(Framing, CleanCloseIsEofNotError) {
+  Pair p;
+  ::close(p.a);
+  p.a = -1;
+  std::string got;
+  EXPECT_EQ(read_frame(p.b, got), FrameRead::kEof);
+}
+
+TEST(Framing, TruncatedPrefixIsDetected) {
+  Pair p;
+  const char two[2] = {0, 0};
+  ASSERT_EQ(::write(p.a, two, 2), 2);
+  ::close(p.a);
+  p.a = -1;
+  std::string got;
+  EXPECT_EQ(read_frame(p.b, got), FrameRead::kTruncated);
+}
+
+TEST(Framing, TruncatedPayloadIsDetected) {
+  Pair p;
+  const unsigned char prefix[4] = {0, 0, 0, 10};  // declares 10 bytes
+  ASSERT_EQ(::write(p.a, prefix, 4), 4);
+  ASSERT_EQ(::write(p.a, "abc", 3), 3);  // ... delivers 3
+  ::close(p.a);
+  p.a = -1;
+  std::string got;
+  EXPECT_EQ(read_frame(p.b, got), FrameRead::kTruncated);
+}
+
+TEST(Framing, OversizedFrameIsRejectedWithoutReadingIt) {
+  Pair p;
+  const unsigned char prefix[4] = {0x7f, 0xff, 0xff, 0xff};  // ~2 GiB
+  ASSERT_EQ(::write(p.a, prefix, 4), 4);
+  std::string got;
+  EXPECT_EQ(read_frame(p.b, got), FrameRead::kTooLarge);
+}
+
+TEST(Framing, HonorsCustomFrameCap) {
+  Pair p;
+  ASSERT_TRUE(write_frame(p.a, std::string(100, 'y')));
+  std::string got;
+  EXPECT_EQ(read_frame(p.b, got, 64), FrameRead::kTooLarge);
+}
+
+// --- request envelope ------------------------------------------------------
+
+TEST(Envelope, AcceptsAWellFormedRequest) {
+  EXPECT_EQ(validate_request(make_request("status")), "");
+}
+
+TEST(Envelope, RejectsNonObjects) {
+  Json v;
+  std::string error;
+  ASSERT_TRUE(Json::parse("[1,2]", v, error));
+  EXPECT_NE(validate_request(v), "");
+}
+
+TEST(Envelope, RejectsVersionMismatch) {
+  Json req = make_request("ping");
+  req.set("proto", Json(static_cast<long long>(kProtoVersion + 1)));
+  const std::string why = validate_request(req);
+  EXPECT_NE(why, "");
+  EXPECT_NE(why.find("version"), std::string::npos) << why;
+}
+
+TEST(Envelope, RejectsMissingType) {
+  Json req = Json::object();
+  req.set("proto", Json(static_cast<long long>(kProtoVersion)));
+  EXPECT_NE(validate_request(req), "");
+}
+
+TEST(Envelope, ErrorResponsesCarryTheRejectedFlag) {
+  const Json plain = error_response("bad spec");
+  EXPECT_FALSE(plain.find("ok")->as_bool());
+  EXPECT_EQ(plain.find("rejected"), nullptr);
+  const Json busy = error_response("queue full", /*rejected=*/true);
+  EXPECT_TRUE(busy.find("rejected")->as_bool());
+}
+
+}  // namespace
+}  // namespace mcan

@@ -1,6 +1,8 @@
 // Unit tests for the util module: levels, bit vectors, RNG, text helpers.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include <set>
 
 #include "util/bit.hpp"
@@ -151,6 +153,37 @@ TEST(Text, RenderTableAligns) {
   std::string t = render_table({{"h1", "h2"}, {"aaa", "b"}});
   EXPECT_NE(t.find("h1"), std::string::npos);
   EXPECT_NE(t.find("aaa"), std::string::npos);
+}
+
+TEST(Text, JsonEscapeNamedEscapes) {
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("\b\t\n\f\r"), "\\b\\t\\n\\f\\r");
+}
+
+TEST(Text, JsonEscapeEveryControlCharacter) {
+  // All of 0x01..0x1f must come out escaped — raw control bytes inside a
+  // string literal are invalid JSON.
+  for (int c = 1; c < 0x20; ++c) {
+    const std::string escaped = json_escape(std::string(1, static_cast<char>(c)));
+    EXPECT_EQ(escaped[0], '\\') << "control char " << c << " left raw";
+    EXPECT_GE(escaped.size(), 2u);
+  }
+  // ... and 0x7f and beyond pass through untouched (UTF-8 stays UTF-8).
+  EXPECT_EQ(json_escape("\x7f\xc3\xa9"), "\x7f\xc3\xa9");
+}
+
+TEST(Text, JsonNumberFiniteValuesRoundTrip) {
+  EXPECT_EQ(json_number(0), "0");
+  EXPECT_EQ(std::stod(json_number(0.1)), 0.1);  // %.17g is exact for doubles
+  EXPECT_EQ(std::stod(json_number(-2.5e-300)), -2.5e-300);
+}
+
+TEST(Text, JsonNumberNonFiniteSentinels) {
+  // NaN/Infinity are not valid JSON numbers; json_number writes quoted
+  // sentinels that serve/proto's Json::as_double converts back.
+  EXPECT_EQ(json_number(std::nan("")), "\"NaN\"");
+  EXPECT_EQ(json_number(HUGE_VAL), "\"Infinity\"");
+  EXPECT_EQ(json_number(-HUGE_VAL), "\"-Infinity\"");
 }
 
 }  // namespace
