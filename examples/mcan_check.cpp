@@ -92,7 +92,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
     };
     if (a == "-h" || a == "--help") {
       usage(stdout);
-      std::exit(0);
+      // exit in the --help path: before any thread exists.
+      std::exit(0);  // NOLINT(concurrency-mt-unsafe)
     } else if (a == "--max-examples") {
       std::string v;
       if (!need_value("--max-examples", v)) return false;

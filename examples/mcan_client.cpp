@@ -200,7 +200,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
     double d = 0;
     if (a == "-h" || a == "--help") {
       usage(stdout);
-      std::exit(0);
+      // exit in the --help path: before any thread exists.
+      std::exit(0);  // NOLINT(concurrency-mt-unsafe)
     } else if (a == "--socket") {
       if (!need(opt.socket)) return false;
     } else if (a == "--priority") {

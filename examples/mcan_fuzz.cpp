@@ -40,7 +40,12 @@ using namespace mcan;
 // SIGINT/SIGTERM raise the engine's cooperative stop flag: the campaign
 // finishes the round in flight, then cmd_run flushes the corpus and the
 // findings exactly as on a normal exit.
+// A lock-free atomic is the one flag type that is both async-signal-safe
+// to store ([support.signal]) and safe for the engine's worker threads to
+// poll (volatile sig_atomic_t would be a cross-thread data race).
 std::atomic<bool> g_interrupted{false};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "signal handler requires a lock-free stop flag");
 
 void on_signal(int) { g_interrupted.store(true); }
 
@@ -151,7 +156,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
     std::string v;
     if (a == "-h" || a == "--help") {
       usage(stdout);
-      std::exit(0);
+      // exit in the --help path: before any thread exists.
+      std::exit(0);  // NOLINT(concurrency-mt-unsafe)
     } else if (a == "--seed") {
       if (!need_u64("--seed", opt.seed)) return false;
     } else if (a == "--max-execs") {

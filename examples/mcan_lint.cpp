@@ -57,7 +57,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
     const std::string a = argv[i];
     if (a == "-h" || a == "--help") {
       usage(stdout);
-      std::exit(0);
+      // exit in the --help path: before any thread exists.
+      std::exit(0);  // NOLINT(concurrency-mt-unsafe)
     } else if (a == "--no-wired-and") {
       opt.cfg.wired_and = false;
     } else if (a == "--no-stuff") {

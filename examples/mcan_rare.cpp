@@ -37,7 +37,12 @@ using namespace mcan;
 // SIGINT/SIGTERM raise the campaign's cooperative stop flag: the round in
 // flight finishes, the journal gets a final snapshot, and the partial
 // estimate is printed before exiting 130.
+// A lock-free atomic is the one flag type that is both async-signal-safe
+// to store ([support.signal]) and safe for the campaign's worker threads
+// to poll (volatile sig_atomic_t would be a cross-thread data race).
 std::atomic<bool> g_interrupted{false};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "signal handler requires a lock-free stop flag");
 
 void on_signal(int) { g_interrupted.store(true); }
 
@@ -136,7 +141,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
     long long v = 0;
     if (a == "-h" || a == "--help") {
       usage(stdout);
-      std::exit(0);
+      // exit in the --help path: before any thread exists.
+      std::exit(0);  // NOLINT(concurrency-mt-unsafe)
     } else if (opt.command.empty() && !a.empty() && a[0] != '-') {
       opt.command = a;
     } else if (a == "--ber") {

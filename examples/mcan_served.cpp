@@ -7,12 +7,13 @@
 // the submit/status/result side; docs/SERVING.md specifies the protocol
 // and the determinism and crash-recovery guarantees.
 //
-//     mcan-served --socket /tmp/mcan.sock --journal-dir serve-journal \
+//     mcan-served --socket /tmp/mcan.sock --journal-dir serve-journal
 //                 --workers 4
 //
 // SIGINT/SIGTERM shut down gracefully: in-flight shards finish, every
 // live job gets a final journal snapshot, the socket is removed.
 // Exit status: 0 = clean shutdown, 1 = startup failure, 2 = usage error.
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -25,11 +26,14 @@ namespace {
 
 using namespace mcan;
 
-CampaignServer* g_server = nullptr;
+// The handler only stores to a lock-free atomic — the async-signal-safe
+// subset ([support.signal]) that is also safe for the main thread to
+// read concurrently.  run() polls this flag.
+std::atomic<bool> g_interrupted{false};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "signal handler requires a lock-free stop flag");
 
-void on_signal(int) {
-  if (g_server != nullptr) g_server->request_stop();
-}
+void on_signal(int) { g_interrupted.store(true); }
 
 void usage(std::FILE* to) {
   std::fputs(
@@ -137,7 +141,6 @@ int main(int argc, char** argv) {
   }
 
   CampaignServer server(cfg);
-  g_server = &server;
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
 
@@ -152,8 +155,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "mcan-served: listening on %s (%d workers)\n",
                server.socket_path().c_str(), cfg.pool.workers);
-  server.run();
+  server.run(&g_interrupted);
   std::fprintf(stderr, "mcan-served: stopped\n");
-  g_server = nullptr;
   return 0;
 }

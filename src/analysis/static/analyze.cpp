@@ -1,0 +1,254 @@
+#include "analysis/static/analyze.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/text.hpp"
+
+namespace mcan::sa {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> AnalyzeConfig::default_wallclock_allow() {
+  // The audited whitelist.  Every entry is a benchmark or a
+  // latency/liveness mechanism whose clock reads never reach result
+  // bytes (serve zeroes the "seconds" stats field before comparing
+  // served to local output; docs/STATIC_ANALYSIS.md has the audit).
+  return {
+      "bench/",                    // benchmarks measure time by definition
+      "tests/",                    // test timeouts / throughput assertions
+      "src/util/progress",         // ETA display on stderr
+      "src/serve/queue",           // uptime + units/s stats endpoint
+      "src/serve/worker",          // heartbeat liveness timestamps
+      "src/fuzz/engine",           // execs/s stats + --max-time budget
+      "src/scenario/model_check",  // sweep elapsed-seconds reporting
+      "src/rare/campaign",         // campaign elapsed-seconds reporting
+  };
+}
+
+namespace {
+
+bool has_prefix(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool matches_any(const std::string& rel,
+                 const std::vector<std::string>& prefixes) {
+  return std::any_of(prefixes.begin(), prefixes.end(),
+                     [&](const std::string& p) { return has_prefix(rel, p); });
+}
+
+bool finding_order(const StaticFinding& a, const StaticFinding& b) {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.line != b.line) return a.line < b.line;
+  if (a.rule != b.rule) return a.rule < b.rule;
+  return a.message < b.message;
+}
+
+}  // namespace
+
+std::string relativize(const std::string& root, const std::string& path) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(path, root, ec);
+  if (ec || rel.empty()) return path;
+  const std::string s = rel.generic_string();
+  if (has_prefix(s, "..")) return path;
+  return s;
+}
+
+std::vector<StaticFinding> analyze_source(
+    const std::string& file, const std::string& content,
+    const AnalyzeConfig& cfg, std::vector<StaticFinding>* suppressed_out) {
+  RuleContext ctx;
+  ctx.file = file;
+  ctx.wallclock_allowed = matches_any(file, cfg.wallclock_allow);
+  ctx.only_rules = cfg.only_rules;
+
+  const LexOutput lexed = lex(content);
+  std::vector<StaticFinding> raw;
+  run_rules(lexed, ctx, raw);
+
+  std::vector<StaticFinding> out;
+  // Malformed directives are findings: a typo must not silently allow
+  // nothing (or everything).
+  for (const auto& [line, why] : lexed.bad_directives) {
+    out.push_back({"bad-directive", file, line, why});
+  }
+
+  std::vector<bool> used(lexed.suppressions.size(), false);
+  for (StaticFinding& f : raw) {
+    bool silenced = false;
+    for (std::size_t i = 0; i < lexed.suppressions.size(); ++i) {
+      const Suppression& s = lexed.suppressions[i];
+      const bool covers =
+          f.line == s.line || (s.own_line && f.line == s.line + 1);
+      if (!covers) continue;
+      if (std::find(s.rules.begin(), s.rules.end(), f.rule) ==
+          s.rules.end()) {
+        continue;
+      }
+      used[i] = true;
+      if (s.reason.empty()) {
+        out.push_back({"suppression-missing-reason", file, s.line,
+                       "allow(" + f.rule +
+                           ") has no reason; every suppression must say why "
+                           "the pattern is sound here"});
+      }
+      silenced = true;
+      break;
+    }
+    if (silenced) {
+      if (suppressed_out != nullptr) suppressed_out->push_back(std::move(f));
+    } else {
+      out.push_back(std::move(f));
+    }
+  }
+  for (std::size_t i = 0; i < lexed.suppressions.size(); ++i) {
+    if (used[i]) continue;
+    std::string rules;
+    for (const std::string& r : lexed.suppressions[i].rules) {
+      rules += (rules.empty() ? "" : ",") + r;
+    }
+    out.push_back({"unused-suppression", file, lexed.suppressions[i].line,
+                   "allow(" + rules +
+                       ") suppresses nothing; delete it (stale whitelist "
+                       "entries hide future violations)"});
+  }
+  return out;
+}
+
+AnalyzeReport analyze_paths(const std::string& root,
+                            const std::vector<std::string>& paths,
+                            const AnalyzeConfig& cfg) {
+  AnalyzeReport report;
+  for (const std::string& path : paths) {
+    const std::string rel = relativize(root, path);
+    if (matches_any(rel, cfg.exclude)) continue;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      report.findings.push_back(
+          {"io-error", rel, 0, "cannot read file"});
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    ++report.files_scanned;
+    std::vector<StaticFinding> suppressed;
+    std::vector<StaticFinding> found =
+        analyze_source(rel, buf.str(), cfg, &suppressed);
+    report.findings.insert(report.findings.end(),
+                           std::make_move_iterator(found.begin()),
+                           std::make_move_iterator(found.end()));
+    report.suppressed.insert(report.suppressed.end(),
+                             std::make_move_iterator(suppressed.begin()),
+                             std::make_move_iterator(suppressed.end()));
+  }
+  std::sort(report.findings.begin(), report.findings.end(), finding_order);
+  std::sort(report.suppressed.begin(), report.suppressed.end(),
+            finding_order);
+  return report;
+}
+
+bool collect_files(const std::string& compdb_path, const std::string& root,
+                   const AnalyzeConfig& cfg, std::vector<std::string>& out,
+                   std::string& error) {
+  (void)cfg;  // excludes are applied at analysis time (analyze_paths)
+  std::ifstream in(compdb_path, std::ios::binary);
+  if (!in) {
+    error = compdb_path +
+            ": cannot open compilation database (configure the build "
+            "first: cmake --preset relwithdebinfo)";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string db = buf.str();
+
+  std::set<std::string> files;
+  // Minimal extraction of "file": "<path>" entries — the database format
+  // is fixed (CMake writes it) and the analyzer must not depend on the
+  // serving layer's JSON parser.
+  const std::string key = "\"file\"";
+  for (std::size_t pos = db.find(key); pos != std::string::npos;
+       pos = db.find(key, pos + key.size())) {
+    std::size_t i = pos + key.size();
+    while (i < db.size() &&
+           (db[i] == ' ' || db[i] == ':' || db[i] == '\t')) {
+      ++i;
+    }
+    if (i >= db.size() || db[i] != '"') continue;
+    std::string path;
+    for (++i; i < db.size() && db[i] != '"'; ++i) {
+      if (db[i] == '\\' && i + 1 < db.size()) ++i;
+      path.push_back(db[i]);
+    }
+    if (!relativize(root, path).empty() && path != relativize(root, path)) {
+      files.insert(path);
+    }
+  }
+  if (files.empty()) {
+    error = compdb_path + ": no source files under " + root;
+    return false;
+  }
+  // Headers: not in the database, but full of rule-relevant code.
+  for (const char* dir : {"src", "examples", "bench", "tests"}) {
+    const fs::path base = fs::path(root) / dir;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec)) continue;
+    for (fs::recursive_directory_iterator it(base, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      if (!it->is_regular_file(ec)) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext == ".hpp" || ext == ".h") {
+        files.insert(it->path().string());
+      }
+    }
+  }
+  out.assign(files.begin(), files.end());
+  std::sort(out.begin(), out.end());
+  return true;
+}
+
+std::string format_text(const AnalyzeReport& report) {
+  std::string s;
+  for (const StaticFinding& f : report.findings) {
+    s += f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+         f.message + "\n";
+  }
+  s += std::to_string(report.files_scanned) + " files scanned, " +
+       std::to_string(report.findings.size()) + " finding" +
+       (report.findings.size() == 1 ? "" : "s") + ", " +
+       std::to_string(report.suppressed.size()) + " suppressed\n";
+  return s;
+}
+
+std::string format_json(const AnalyzeReport& report) {
+  auto finding_json = [](const StaticFinding& f) {
+    return std::string("{\"file\":\"") + json_escape(f.file) +
+           "\",\"line\":" + std::to_string(f.line) + ",\"rule\":\"" +
+           json_escape(f.rule) + "\",\"message\":\"" + json_escape(f.message) +
+           "\"}";
+  };
+  std::string s = "{\n  \"files_scanned\": " +
+                  std::to_string(report.files_scanned) +
+                  ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    s += (i == 0 ? "\n    " : ",\n    ") + finding_json(report.findings[i]);
+  }
+  s += report.findings.empty() ? "]" : "\n  ]";
+  s += ",\n  \"suppressed\": [";
+  for (std::size_t i = 0; i < report.suppressed.size(); ++i) {
+    s += (i == 0 ? "\n    " : ",\n    ") + finding_json(report.suppressed[i]);
+  }
+  s += report.suppressed.empty() ? "]" : "\n  ]";
+  s += ",\n  \"clean\": ";
+  s += report.clean() ? "true" : "false";
+  s += "\n}\n";
+  return s;
+}
+
+}  // namespace mcan::sa

@@ -1,0 +1,78 @@
+// mcan-analyze driver: file collection, suppression matching, reports.
+//
+// The analyzer's file list comes from the build's own
+// compile_commands.json (every compiled .cpp, no path guessing) plus a
+// walk for headers under src/, examples/, bench/ and tests/ — headers
+// never appear in the compilation database but carry rule-relevant code
+// (statekey.hpp, engine headers).  docs/STATIC_ANALYSIS.md is the
+// operator manual: rule catalog, suppression syntax, whitelist policy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/static/rules.hpp"
+
+namespace mcan::sa {
+
+struct AnalyzeConfig {
+  /// Files (repo-relative path prefixes) where wall-clock reads are
+  /// legitimate: benchmarks, progress/ETA display, heartbeat liveness,
+  /// throughput stats.  The default list is the audited one; see
+  /// docs/STATIC_ANALYSIS.md before extending it.
+  std::vector<std::string> wallclock_allow = default_wallclock_allow();
+
+  /// Repo-relative path prefixes never scanned (committed rule-violation
+  /// fixtures for the analyzer's own tests).
+  std::vector<std::string> exclude = {"tests/fixtures/"};
+
+  /// Empty = all rules; otherwise only these rule ids.
+  std::vector<std::string> only_rules;
+
+  [[nodiscard]] static std::vector<std::string> default_wallclock_allow();
+};
+
+struct AnalyzeReport {
+  /// Unsuppressed findings (includes meta findings: bad-directive,
+  /// suppression-missing-reason, unused-suppression), sorted by
+  /// file/line/rule.
+  std::vector<StaticFinding> findings;
+  /// Findings silenced by a well-formed allow(...) with a reason.
+  std::vector<StaticFinding> suppressed;
+  int files_scanned = 0;
+
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+};
+
+/// Analyze one in-memory source; `file` is the path used in findings and
+/// matched against the config's path-prefix lists.
+[[nodiscard]] std::vector<StaticFinding> analyze_source(
+    const std::string& file, const std::string& content,
+    const AnalyzeConfig& cfg, std::vector<StaticFinding>* suppressed = nullptr);
+
+/// Analyze files on disk.  `paths` are absolute or cwd-relative;
+/// `root` is the repo root they are reported (and matched) relative to.
+[[nodiscard]] AnalyzeReport analyze_paths(const std::string& root,
+                                          const std::vector<std::string>& paths,
+                                          const AnalyzeConfig& cfg);
+
+/// Build the file list: every repo file named in compile_commands.json
+/// plus headers under src/, examples/, bench/, tests/.  False with a
+/// message when the database is missing or unreadable.
+[[nodiscard]] bool collect_files(const std::string& compdb_path,
+                                 const std::string& root,
+                                 const AnalyzeConfig& cfg,
+                                 std::vector<std::string>& out,
+                                 std::string& error);
+
+/// `file:line: [rule] message` lines, one per finding.
+[[nodiscard]] std::string format_text(const AnalyzeReport& report);
+
+/// Deterministic JSON report (findings, suppressed, counters).
+[[nodiscard]] std::string format_json(const AnalyzeReport& report);
+
+/// Repo-relative form of `path` under `root` ("" when outside).
+[[nodiscard]] std::string relativize(const std::string& root,
+                                     const std::string& path);
+
+}  // namespace mcan::sa

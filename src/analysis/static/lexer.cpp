@@ -1,0 +1,232 @@
+#include "analysis/static/lexer.hpp"
+
+#include <cctype>
+
+namespace mcan::sa {
+
+namespace {
+
+constexpr const char kDirectiveKey[] = "mcan-analyze:";
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parse a suppression directive — kDirectiveKey followed by
+/// `allow(rule[,rule...]) reason` — out of a comment's text.  Returns
+/// true when the comment contains the directive key at all (out/err
+/// filled accordingly).
+bool parse_directive(const std::string& comment, int line, bool own_line,
+                     Suppression& out, std::string& err) {
+  const std::size_t key = comment.find(kDirectiveKey);
+  if (key == std::string::npos) return false;
+  std::size_t i = key + sizeof(kDirectiveKey) - 1;
+  auto skip_ws = [&] {
+    while (i < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[i]))) {
+      ++i;
+    }
+  };
+  skip_ws();
+  const std::string verb = "allow";
+  if (comment.compare(i, verb.size(), verb) != 0) {
+    err = "unknown mcan-analyze directive (only allow(<rule>) exists)";
+    return true;
+  }
+  i += verb.size();
+  skip_ws();
+  if (i >= comment.size() || comment[i] != '(') {
+    err = "allow needs a parenthesized rule list: allow(<rule>)";
+    return true;
+  }
+  ++i;
+  const std::size_t close = comment.find(')', i);
+  if (close == std::string::npos) {
+    err = "allow(...) is missing its closing parenthesis";
+    return true;
+  }
+  Suppression s;
+  s.line = line;
+  s.own_line = own_line;
+  std::string id;
+  for (std::size_t j = i; j <= close; ++j) {
+    const char c = j < close ? comment[j] : ',';
+    if (c == ',') {
+      while (!id.empty() && std::isspace(static_cast<unsigned char>(
+                                id.back()))) {
+        id.pop_back();
+      }
+      if (!id.empty()) s.rules.push_back(id);
+      id.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c)) || !id.empty()) {
+      id.push_back(c);
+    }
+  }
+  if (s.rules.empty()) {
+    err = "allow() names no rule";
+    return true;
+  }
+  std::size_t r = close + 1;
+  while (r < comment.size() &&
+         std::isspace(static_cast<unsigned char>(comment[r]))) {
+    ++r;
+  }
+  s.reason = comment.substr(r);
+  while (!s.reason.empty() && (s.reason.back() == '\n' ||
+                               s.reason.back() == '\r' ||
+                               std::isspace(static_cast<unsigned char>(
+                                   s.reason.back())))) {
+    s.reason.pop_back();
+  }
+  out = std::move(s);
+  return true;
+}
+
+}  // namespace
+
+LexOutput lex(const std::string& src) {
+  LexOutput out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+  bool line_has_code = false;  // any token seen on the current line?
+
+  auto push = [&](TokKind kind, std::string text) {
+    out.tokens.push_back(Token{kind, std::move(text), line});
+    line_has_code = true;
+  };
+  auto newline = [&] {
+    ++line;
+    line_has_code = false;
+  };
+  auto handle_comment = [&](const std::string& text, int at_line,
+                            bool own_line) {
+    Suppression s;
+    std::string err;
+    if (parse_directive(text, at_line, own_line, s, err)) {
+      if (err.empty()) {
+        out.suppressions.push_back(std::move(s));
+      } else {
+        out.bad_directives.emplace_back(at_line, err);
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      newline();
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const bool own_line = !line_has_code;
+      const int at_line = line;
+      std::size_t j = i + 2;
+      while (j < n && src[j] != '\n') ++j;
+      handle_comment(src.substr(i + 2, j - (i + 2)), at_line, own_line);
+      i = j;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const bool own_line = !line_has_code;
+      const int at_line = line;
+      std::size_t j = i + 2;
+      std::string text;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') newline();
+        text.push_back(src[j]);
+        ++j;
+      }
+      handle_comment(text, at_line, own_line);
+      i = j + 1 < n ? j + 2 : n;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(' && src[j] != '\n' && delim.size() < 16) {
+        delim.push_back(src[j]);
+        ++j;
+      }
+      const std::string close = ")" + delim + "\"";
+      const std::size_t end = src.find(close, j);
+      const std::size_t stop = end == std::string::npos ? n : end + close.size();
+      const int at_line = line;
+      for (std::size_t k = i; k < stop; ++k) {
+        if (src[k] == '\n') newline();
+      }
+      out.tokens.push_back(Token{TokKind::kString, "<raw-string>", at_line});
+      line_has_code = true;
+      i = stop;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') break;  // unterminated; stop at line end
+        ++j;
+      }
+      push(quote == '"' ? TokKind::kString : TokKind::kChar,
+           src.substr(i, j - i + 1));
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(src[j])) ++j;
+      push(TokKind::kIdent, src.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    // Number (digits, hex, floats — exact shape is irrelevant to rules).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      while (j < n && (ident_char(src[j]) || src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') && j > 0 &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                         src[j - 1] == 'p' || src[j - 1] == 'P')))) {
+        ++j;
+      }
+      push(TokKind::kNumber, src.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    // Multi-char punctuation the rules care about.
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      push(TokKind::kPunct, "::");
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      push(TokKind::kPunct, "->");
+      i += 2;
+      continue;
+    }
+    if ((c == '<' || c == '>') && i + 1 < n && src[i + 1] == c) {
+      push(TokKind::kPunct, std::string(2, c));
+      i += 2;
+      continue;
+    }
+    push(TokKind::kPunct, std::string(1, c));
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace mcan::sa

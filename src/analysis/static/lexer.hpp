@@ -1,0 +1,62 @@
+// Token-level C++ scanner for mcan-analyze (src/analysis/static/).
+//
+// The determinism rules (rules.hpp) work on token streams, not ASTs: no
+// libclang dependency, no build-flag replication — just the source
+// bytes.  The scanner understands exactly as much C++ lexing as the
+// rules need to be reliable:
+//
+//   - comments are skipped as code but parsed for suppression
+//     directives — the `allow(<rule>[,<rule>...]) <reason>` form after
+//     the tool's comment key (docs/STATIC_ANALYSIS.md has the syntax);
+//   - string / char literals (including raw strings) become single
+//     String/Char tokens, so `printf("rand()")` never trips a rule;
+//   - multi-char operators that matter for scanning (`::`, `->`, `<<`,
+//     `>>`) are single tokens, so `a::b` is never mistaken for a
+//     template bracket and `std::unordered_map` is three tokens;
+//   - every token carries its 1-based source line.
+//
+// Anything subtler (preprocessor conditionals, template disambiguation)
+// is intentionally out of scope; the rules are written to tolerate it
+// and docs/STATIC_ANALYSIS.md documents the lexical limits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcan::sa {
+
+enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 1;
+};
+
+/// One `allow(...)` suppression directive found in a comment (after the
+/// tool's comment key; see kDirectiveKey in lexer.cpp).
+struct Suppression {
+  std::vector<std::string> rules;  ///< rule ids the directive names
+  std::string reason;              ///< free text after the ')'
+  int line = 1;                    ///< line the directive appears on
+  /// True when the comment is the first thing on its line: the
+  /// suppression then also covers the next source line (the common
+  /// "comment above the offending statement" style).  A trailing
+  /// comment covers only its own line.
+  bool own_line = false;
+};
+
+struct LexOutput {
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+  /// Directives that failed to parse (e.g. `allow` without a rule
+  /// list); reported as findings so typos cannot silently disable
+  /// nothing.
+  std::vector<std::pair<int, std::string>> bad_directives;
+};
+
+/// Scan a whole source text.  Never fails: unterminated literals are
+/// closed at end of file.
+[[nodiscard]] LexOutput lex(const std::string& source);
+
+}  // namespace mcan::sa

@@ -1,0 +1,540 @@
+#include "analysis/static/rules.hpp"
+
+#include <algorithm>
+#include <initializer_list>
+#include <map>
+#include <set>
+#include <string>
+
+namespace mcan::sa {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool is_ident(const Token& t, const char* s) {
+  return t.kind == TokKind::kIdent && t.text == s;
+}
+
+/// Keywords that look like calls (`if (...)`) to a token matcher.
+bool is_cpp_keyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if",       "while",    "for",        "switch",  "return",
+      "sizeof",   "alignof",  "decltype",   "catch",   "throw",
+      "new",      "delete",   "co_await",   "co_return", "co_yield",
+      "noexcept", "typeid",   "static_cast", "const_cast",
+      "dynamic_cast", "reinterpret_cast", "static_assert", "assert"};
+  return kKeywords.count(s) != 0;
+}
+
+bool any_of_ident(const Token& t, std::initializer_list<const char*> names) {
+  if (t.kind != TokKind::kIdent) return false;
+  return std::any_of(names.begin(), names.end(),
+                     [&](const char* n) { return t.text == n; });
+}
+
+/// Token at i-1 / i-2 (default-constructed punct when out of range).
+const Token& prev(const Tokens& ts, std::size_t i, std::size_t back = 1) {
+  static const Token none{};
+  return i >= back ? ts[i - back] : none;
+}
+
+/// True when the identifier at `i` is a member access (`x.rand()`),
+/// or qualified by a namespace other than std (`mylib::rand()`).
+bool is_member_or_foreign(const Tokens& ts, std::size_t i) {
+  const Token& p = prev(ts, i);
+  if (p.text == "." || p.text == "->") return true;
+  if (p.text == "::") {
+    const Token& q = prev(ts, i, 2);
+    if (q.kind == TokKind::kIdent && q.text != "std") return true;
+  }
+  return false;
+}
+
+/// With ts[i] == "<", return the index one past the matching ">".
+/// Treats ">>" as two closes.  Returns i when this cannot be a template
+/// argument list (unbalanced before ';' / '{' or too long).
+std::size_t skip_template(const Tokens& ts, std::size_t i) {
+  if (i >= ts.size() || ts[i].text != "<") return i;
+  int depth = 0;
+  for (std::size_t j = i; j < ts.size() && j < i + 256; ++j) {
+    const std::string& t = ts[j].text;
+    if (t == "<") ++depth;
+    else if (t == "<<") depth += 2;
+    else if (t == ">") --depth;
+    else if (t == ">>") depth -= 2;
+    else if (t == ";" || t == "{") return i;
+    if (depth <= 0) return j + 1;
+  }
+  return i;
+}
+
+/// First template argument of the list opened at ts[i] == "<", as tokens.
+std::vector<const Token*> first_template_arg(const Tokens& ts, std::size_t i) {
+  std::vector<const Token*> arg;
+  if (i >= ts.size() || ts[i].text != "<") return arg;
+  int depth = 0;
+  for (std::size_t j = i; j < ts.size() && j < i + 256; ++j) {
+    const std::string& t = ts[j].text;
+    if (t == "<") ++depth;
+    else if (t == "<<") depth += 2;
+    else if (t == ">") --depth;
+    else if (t == ">>") depth -= 2;
+    if (depth <= 0) break;
+    if (depth == 1 && t == ",") break;
+    if (j > i) arg.push_back(&ts[j]);
+  }
+  return arg;
+}
+
+void add(std::vector<StaticFinding>& out, const RuleContext& ctx,
+         const char* rule, int line, std::string message) {
+  if (!ctx.only_rules.empty() &&
+      std::find(ctx.only_rules.begin(), ctx.only_rules.end(), rule) ==
+          ctx.only_rules.end()) {
+    return;
+  }
+  out.push_back(StaticFinding{rule, ctx.file, line, std::move(message)});
+}
+
+// --- nondet-random ----------------------------------------------------------
+
+void rule_random(const Tokens& ts, const RuleContext& ctx,
+                 std::vector<StaticFinding>& out) {
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const Token& t = ts[i];
+    if (t.kind != TokKind::kIdent) continue;
+    if (is_member_or_foreign(ts, i)) continue;
+    if (t.text == "random_device") {
+      add(out, ctx, "nondet-random", t.line,
+          "std::random_device draws per-process entropy; results built on "
+          "it can never be reproduced from a seed");
+      continue;
+    }
+    const bool call = i + 1 < ts.size() && ts[i + 1].text == "(";
+    if (!call) continue;
+    if (any_of_ident(t, {"rand", "srand", "rand_r", "drand48", "lrand48",
+                         "mrand48", "random", "srandom"})) {
+      add(out, ctx, "nondet-random", t.line,
+          "'" + t.text +
+              "()' uses hidden global RNG state; use util/rng.hpp Rng "
+              "streams keyed by (seed, index) instead");
+    }
+  }
+}
+
+// --- nondet-hash ------------------------------------------------------------
+
+void rule_hash(const Tokens& ts, const RuleContext& ctx,
+               std::vector<StaticFinding>& out) {
+  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+    if (!is_ident(ts[i], "hash")) continue;
+    if (prev(ts, i).text != "::" || !is_ident(prev(ts, i, 2), "std")) continue;
+    if (ts[i + 1].text != "<") continue;
+    const auto arg = first_template_arg(ts, i + 1);
+    const bool pointer =
+        std::any_of(arg.begin(), arg.end(),
+                    [](const Token* t) { return t->text == "*"; });
+    add(out, ctx, "nondet-hash", ts[i].line,
+        pointer ? std::string(
+                      "std::hash over a pointer type: the value is the "
+                      "address, different every run")
+                : std::string(
+                      "std::hash value is implementation-defined; it must "
+                      "not order, select, or key anything that reaches "
+                      "serialized output"));
+  }
+}
+
+// --- nondet-pointer-key -----------------------------------------------------
+
+void rule_pointer_key(const Tokens& ts, const RuleContext& ctx,
+                      std::vector<StaticFinding>& out) {
+  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+    const Token& t = ts[i];
+    if (!any_of_ident(t, {"map", "set", "multimap", "multiset"})) continue;
+    if (prev(ts, i).text != "::" || !is_ident(prev(ts, i, 2), "std")) continue;
+    if (ts[i + 1].text != "<") continue;
+    const auto arg = first_template_arg(ts, i + 1);
+    if (std::any_of(arg.begin(), arg.end(),
+                    [](const Token* a) { return a->text == "*"; })) {
+      add(out, ctx, "nondet-pointer-key", t.line,
+          "std::" + t.text +
+              " keyed by a pointer: iteration order is allocation order, "
+              "different every run; key by a stable id instead");
+    }
+  }
+}
+
+// --- nondet-unordered-iter --------------------------------------------------
+
+void rule_unordered_iter(const Tokens& ts, const RuleContext& ctx,
+                         std::vector<StaticFinding>& out) {
+  // Pass 1: names declared (in this file) with an unordered type.
+  std::set<std::string> unordered;
+  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+    if (!any_of_ident(ts[i], {"unordered_map", "unordered_set",
+                              "unordered_multimap", "unordered_multiset"})) {
+      continue;
+    }
+    std::size_t j = skip_template(ts, i + 1);
+    if (j == i + 1) continue;  // no template args: a using-decl or mention
+    while (j < ts.size() &&
+           (ts[j].text == "&" || ts[j].text == "*" ||
+            is_ident(ts[j], "const"))) {
+      ++j;
+    }
+    if (j < ts.size() && ts[j].kind == TokKind::kIdent) {
+      unordered.insert(ts[j].text);
+    }
+  }
+  if (unordered.empty()) return;
+
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    // Range-for over a tracked container.
+    if (is_ident(ts[i], "for") && i + 1 < ts.size() &&
+        ts[i + 1].text == "(") {
+      int depth = 0;
+      std::size_t colon = 0;
+      std::size_t close = 0;
+      for (std::size_t j = i + 1; j < ts.size() && j < i + 128; ++j) {
+        if (ts[j].text == "(") ++depth;
+        else if (ts[j].text == ")") {
+          if (--depth == 0) { close = j; break; }
+        } else if (ts[j].text == ":" && depth == 1 && colon == 0) {
+          colon = j;
+        }
+      }
+      if (colon != 0 && close != 0) {
+        for (std::size_t j = colon + 1; j < close; ++j) {
+          if (ts[j].kind == TokKind::kIdent &&
+              unordered.count(ts[j].text) != 0 &&
+              prev(ts, j).text != "." && prev(ts, j).text != "->") {
+            add(out, ctx, "nondet-unordered-iter", ts[j].line,
+                "range-for over unordered container '" + ts[j].text +
+                    "': bucket order is unspecified; copy to a sorted "
+                    "container before iterating into results");
+            break;
+          }
+        }
+      }
+      continue;
+    }
+    // Explicit iterator loops: tracked.begin() / .cbegin() / .rbegin().
+    if (ts[i].kind == TokKind::kIdent && unordered.count(ts[i].text) != 0 &&
+        i + 3 < ts.size() &&
+        (ts[i + 1].text == "." || ts[i + 1].text == "->") &&
+        any_of_ident(ts[i + 2], {"begin", "cbegin", "rbegin", "crbegin"}) &&
+        ts[i + 3].text == "(") {
+      add(out, ctx, "nondet-unordered-iter", ts[i].line,
+          "iterator walk over unordered container '" + ts[i].text +
+              "': bucket order is unspecified; sort before emitting");
+    }
+  }
+}
+
+// --- wallclock --------------------------------------------------------------
+
+void rule_wallclock(const Tokens& ts, const RuleContext& ctx,
+                    std::vector<StaticFinding>& out) {
+  if (ctx.wallclock_allowed) return;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const Token& t = ts[i];
+    if (t.kind != TokKind::kIdent) continue;
+    if (any_of_ident(t, {"steady_clock", "system_clock",
+                         "high_resolution_clock"})) {
+      if (prev(ts, i).text == "." || prev(ts, i).text == "->") continue;
+      add(out, ctx, "wallclock", t.line,
+          "'" + t.text +
+              "' read outside the benchmark/latency whitelist: wall-clock "
+              "values must never influence campaign results (zero them in "
+              "serialized output, or whitelist the file)");
+      continue;
+    }
+    const bool call = i + 1 < ts.size() && ts[i + 1].text == "(";
+    if (!call) continue;
+    if (any_of_ident(t, {"gettimeofday", "clock_gettime", "timespec_get"}) &&
+        !is_member_or_foreign(ts, i)) {
+      add(out, ctx, "wallclock", t.line,
+          "'" + t.text + "()' outside the benchmark/latency whitelist");
+      continue;
+    }
+    // Bare `time(` / `clock(` are too ambiguous; require qualification.
+    if (any_of_ident(t, {"time", "clock"}) && prev(ts, i).text == "::") {
+      const Token& q = prev(ts, i, 2);
+      if (q.kind != TokKind::kIdent || q.text == "std") {
+        add(out, ctx, "wallclock", t.line,
+            "'" + t.text + "()' outside the benchmark/latency whitelist");
+      }
+    }
+  }
+}
+
+// --- signal-safety ----------------------------------------------------------
+
+struct GlobalVar {
+  enum class Kind { kSigAtomic, kAtomic, kOther };
+  Kind kind = Kind::kOther;
+  bool is_volatile = false;
+};
+
+/// Globals declared at (effective) file scope.  Namespace braces are
+/// transparent; class/function braces are not.
+void collect_globals(const Tokens& ts,
+                     std::map<std::string, GlobalVar>& globals) {
+  std::vector<bool> brace_is_ns;  // stack: true = namespace/extern block
+  std::size_t stmt_begin = 0;     // token index after the last ; or } or {
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const std::string& txt = ts[i].text;
+    if (txt == "{") {
+      // Brace initializer (`std::atomic<bool> g{false};` or `= {...}`),
+      // not a scope: skip its tokens but keep the statement alive so the
+      // declaration still classifies when its ';' arrives.
+      const Token& p = prev(ts, i);
+      bool init = p.kind == TokKind::kIdent || p.text == "=";
+      for (std::size_t j = stmt_begin; j < i && init; ++j) {
+        if (ts[j].text == "(" ||
+            any_of_ident(ts[j], {"namespace", "extern", "struct", "class",
+                                 "enum", "union"})) {
+          init = false;
+        }
+      }
+      if (init) {
+        int depth = 1;
+        std::size_t j = i + 1;
+        for (; j < ts.size() && depth > 0; ++j) {
+          if (ts[j].text == "{") ++depth;
+          else if (ts[j].text == "}") --depth;
+        }
+        i = j - 1;
+        continue;
+      }
+      bool ns = false;
+      for (std::size_t j = stmt_begin; j < i; ++j) {
+        if (is_ident(ts[j], "namespace") || is_ident(ts[j], "extern")) {
+          ns = true;
+          break;
+        }
+      }
+      brace_is_ns.push_back(ns);
+      // Inside a non-namespace brace: fast-forward to its close so class
+      // members and function locals never register as globals.
+      if (!ns) {
+        int depth = 1;
+        std::size_t j = i + 1;
+        for (; j < ts.size() && depth > 0; ++j) {
+          if (ts[j].text == "{") ++depth;
+          else if (ts[j].text == "}") --depth;
+        }
+        i = j - 1;
+        brace_is_ns.pop_back();
+      }
+      stmt_begin = i + 1;
+      continue;
+    }
+    if (txt == "}") {
+      if (!brace_is_ns.empty()) brace_is_ns.pop_back();
+      stmt_begin = i + 1;
+      continue;
+    }
+    if (txt != ";") continue;
+    // Statement [stmt_begin, i): classify simple declarations.
+    const std::size_t b = stmt_begin;
+    stmt_begin = i + 1;
+    bool vol = false, sig = false, atomic = false;
+    std::string name;
+    for (std::size_t j = b; j < i; ++j) {
+      if (is_ident(ts[j], "volatile")) vol = true;
+      if (is_ident(ts[j], "sig_atomic_t")) sig = true;
+      if (is_ident(ts[j], "atomic")) atomic = true;
+      if (is_ident(ts[j], "using") || is_ident(ts[j], "typedef") ||
+          is_ident(ts[j], "return") || is_ident(ts[j], "static_assert")) {
+        sig = atomic = false;
+        name.clear();
+        break;
+      }
+      if (ts[j].text == "=" || ts[j].text == "{" || ts[j].text == "(") break;
+      if (ts[j].kind == TokKind::kIdent) name = ts[j].text;
+    }
+    if (name.empty()) continue;
+    GlobalVar g;
+    g.is_volatile = vol;
+    if (sig) g.kind = GlobalVar::Kind::kSigAtomic;
+    else if (atomic) g.kind = GlobalVar::Kind::kAtomic;
+    globals[name] = g;
+  }
+}
+
+void rule_signal_safety(const Tokens& ts, const RuleContext& ctx,
+                        std::vector<StaticFinding>& out) {
+  // Handler registrations: signal(SIGX, handler).
+  std::set<std::string> handlers;
+  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+    if (!is_ident(ts[i], "signal") || ts[i + 1].text != "(") continue;
+    if (prev(ts, i).text == "." || prev(ts, i).text == "->") continue;
+    // Second argument = tokens between the first depth-1 comma and ')'.
+    int depth = 0;
+    std::size_t comma = 0, close = 0;
+    for (std::size_t j = i + 1; j < ts.size() && j < i + 64; ++j) {
+      if (ts[j].text == "(") ++depth;
+      else if (ts[j].text == ")") {
+        if (--depth == 0) { close = j; break; }
+      } else if (ts[j].text == "," && depth == 1 && comma == 0) {
+        comma = j;
+      }
+    }
+    if (comma == 0 || close == 0) continue;
+    if (close == comma + 2 && ts[comma + 1].kind == TokKind::kIdent) {
+      const std::string& h = ts[comma + 1].text;
+      if (h != "SIG_IGN" && h != "SIG_DFL") handlers.insert(h);
+    } else {
+      for (std::size_t j = comma + 1; j < close; ++j) {
+        if (ts[j].text == "[") {
+          add(out, ctx, "signal-safety", ts[i].line,
+              "signal handler must be a named function so its body can be "
+              "checked for async-signal-safety");
+          break;
+        }
+      }
+    }
+  }
+  if (handlers.empty()) return;
+
+  std::map<std::string, GlobalVar> globals;
+  collect_globals(ts, globals);
+  const bool lockfree_asserted =
+      std::any_of(ts.begin(), ts.end(), [](const Token& t) {
+        return is_ident(t, "is_always_lock_free");
+      });
+  auto safe_var = [&](const std::string& name, std::string& why) {
+    const auto it = globals.find(name);
+    if (it == globals.end()) return true;  // unknown: assume local/benign
+    switch (it->second.kind) {
+      case GlobalVar::Kind::kSigAtomic:
+        if (it->second.is_volatile) return true;
+        why = "'" + name +
+              "' is sig_atomic_t but not volatile: the handler's store may "
+              "be invisible to the interrupted code";
+        return false;
+      case GlobalVar::Kind::kAtomic:
+        if (lockfree_asserted) return true;
+        why = "std::atomic global '" + name +
+              "' has no static_assert(is_always_lock_free) in this file: a "
+              "locking atomic deadlocks inside a handler";
+        return false;
+      case GlobalVar::Kind::kOther:
+        why = "'" + name +
+              "' is a plain global: handlers may only touch volatile "
+              "std::sig_atomic_t or lock-free std::atomic globals";
+        return false;
+    }
+    return true;
+  };
+
+  // Check each handler's body.
+  for (const std::string& h : handlers) {
+    std::size_t body = 0, body_end = 0;
+    for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+      if (ts[i].kind != TokKind::kIdent || ts[i].text != h ||
+          ts[i + 1].text != "(") {
+        continue;
+      }
+      int depth = 0;
+      std::size_t j = i + 1;
+      for (; j < ts.size(); ++j) {
+        if (ts[j].text == "(") ++depth;
+        else if (ts[j].text == ")" && --depth == 0) break;
+      }
+      if (j + 1 >= ts.size() || ts[j + 1].text != "{") continue;
+      body = j + 2;
+      depth = 1;
+      for (j = body; j < ts.size() && depth > 0; ++j) {
+        if (ts[j].text == "{") ++depth;
+        else if (ts[j].text == "}") --depth;
+      }
+      body_end = j > 0 ? j - 1 : body;
+      break;
+    }
+    if (body == 0) continue;  // defined elsewhere; out of lexical reach
+
+    for (std::size_t i = body; i < body_end; ++i) {
+      const Token& t = ts[i];
+      if (t.kind != TokKind::kIdent) continue;
+      const bool call = i + 1 < body_end + 1 && ts[i + 1].text == "(";
+      // Member call: check the base object, allow atomic/flag operations.
+      if (call && (prev(ts, i).text == "." || prev(ts, i).text == "->")) {
+        const Token& base = prev(ts, i, 2);
+        std::string why;
+        if (base.kind == TokKind::kIdent && !safe_var(base.text, why)) {
+          add(out, ctx, "signal-safety", t.line,
+              "signal handler '" + h + "' calls through " + why);
+        } else if (!any_of_ident(
+                       t, {"store", "load", "exchange", "test_and_set",
+                           "clear", "fetch_add", "fetch_sub", "fetch_or",
+                           "fetch_and", "count_down"})) {
+          add(out, ctx, "signal-safety", t.line,
+              "signal handler '" + h + "' calls member '" + t.text +
+                  "': not on the async-signal-safe allowlist");
+        }
+        continue;
+      }
+      if (call) {
+        if (is_cpp_keyword(t.text) ||
+            any_of_ident(t, {"_exit", "_Exit", "abort", "signal", "raise",
+                             "kill", "write", "sigaction"})) {
+          continue;
+        }
+        add(out, ctx, "signal-safety", t.line,
+            "signal handler '" + h + "' calls '" + t.text +
+                "': not on the async-signal-safe allowlist (volatile "
+                "sig_atomic_t stores, lock-free atomics, _exit, write, "
+                "signal, abort, raise, kill)");
+        continue;
+      }
+      // Assignment to a known-unsafe global.
+      if (i + 1 < body_end && ts[i + 1].text == "=" &&
+          (i + 2 >= body_end || ts[i + 2].text != "=") &&
+          prev(ts, i).text != "=" && prev(ts, i).text != "!" &&
+          prev(ts, i).text != "<" && prev(ts, i).text != ">" &&
+          prev(ts, i).text != "." && prev(ts, i).text != "->") {
+        std::string why;
+        if (!safe_var(t.text, why)) {
+          add(out, ctx, "signal-safety", t.line,
+              "signal handler '" + h + "' writes " + why);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kRules = {
+      {"nondet-random",
+       "rand()/srand()/std::random_device: unseeded process entropy"},
+      {"nondet-hash",
+       "std::hash<...>: implementation-defined values must not reach output"},
+      {"nondet-pointer-key",
+       "std::map/std::set keyed by pointer: allocation-order iteration"},
+      {"nondet-unordered-iter",
+       "iteration over std::unordered_* containers: unspecified order"},
+      {"wallclock",
+       "clock reads outside the benchmark/latency file whitelist"},
+      {"signal-safety",
+       "signal handlers restricted to async-signal-safe operations"},
+  };
+  return kRules;
+}
+
+void run_rules(const LexOutput& lexed, const RuleContext& ctx,
+               std::vector<StaticFinding>& out) {
+  rule_random(lexed.tokens, ctx, out);
+  rule_hash(lexed.tokens, ctx, out);
+  rule_pointer_key(lexed.tokens, ctx, out);
+  rule_unordered_iter(lexed.tokens, ctx, out);
+  rule_wallclock(lexed.tokens, ctx, out);
+  rule_signal_safety(lexed.tokens, ctx, out);
+}
+
+}  // namespace mcan::sa

@@ -1,0 +1,75 @@
+// Determinism & async-signal-safety rules for mcan-analyze.
+//
+// Every guarantee the campaign engines sell — served results
+// byte-identical to local runs, jobs-count-independent estimates,
+// kill -9 resume byte-identity — holds only while result-producing code
+// is deterministic.  These rules turn that discipline from convention
+// into a gate (the MajorCAN stance: consistency by mechanism, not by
+// care):
+//
+//   nondet-random         rand()/srand()/random_device &c: unseeded or
+//                         process-varying entropy in result code.
+//   nondet-hash           std::hash<...> instantiations: hash values are
+//                         implementation-defined and (for pointers)
+//                         run-varying; they must never order or key
+//                         anything that reaches output.
+//   nondet-pointer-key    std::map/std::set keyed by a pointer type:
+//                         iteration order = allocation order = run-varying.
+//   nondet-unordered-iter iteration (range-for / .begin()) over a
+//                         std::unordered_{map,set,...} declared in the
+//                         same file: bucket order is unspecified and
+//                         changes across libraries; sort before emitting.
+//   wallclock             steady_clock/system_clock & friends outside the
+//                         benchmark/latency file whitelist: wall-clock
+//                         values in result paths break byte-identity.
+//   signal-safety         signal handlers may only touch
+//                         volatile std::sig_atomic_t globals, lock-free
+//                         std::atomic globals (static_assert'ed
+//                         is_always_lock_free in the same file), and the
+//                         async-signal-safe call allowlist (_exit, write,
+//                         signal, abort, raise, kill).
+//
+// Findings are suppressed inline with an `allow(<rule>) <reason>`
+// comment directive (docs/STATIC_ANALYSIS.md has the exact syntax)
+// on the offending line or alone on the line above; the reason is
+// mandatory and unused suppressions are themselves findings, so the
+// whitelist can never rot silently.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/static/lexer.hpp"
+
+namespace mcan::sa {
+
+struct StaticFinding {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string message;
+
+  friend bool operator==(const StaticFinding&, const StaticFinding&) = default;
+};
+
+struct RuleContext {
+  std::string file;              ///< path as reported in findings
+  bool wallclock_allowed = false;  ///< file is on the wallclock whitelist
+  /// Empty = run every rule; otherwise only the named ones.
+  std::vector<std::string> only_rules;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// The rule catalog, in report order.
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalog();
+
+/// Run every (enabled) rule over one file's tokens.  Appends raw
+/// findings; suppression matching happens in analyze.cpp.
+void run_rules(const LexOutput& lexed, const RuleContext& ctx,
+               std::vector<StaticFinding>& out);
+
+}  // namespace mcan::sa

@@ -42,6 +42,10 @@ struct JournalRecord {
   std::string result;  ///< done: result bytes; failed: the error message
 };
 
+/// Not internally synchronized: JobJournal has no lock of its own.  Its
+/// single owner is JobManager, which declares its instance
+/// MCAN_GUARDED_BY(mu_) and performs every append/load under that lock —
+/// concurrent appends to one job file would interleave lines.
 class JobJournal {
  public:
   /// `dir` is created if missing; empty = journaling disabled (every

@@ -93,7 +93,7 @@ std::size_t JobManager::live_locked() const {
 
 std::vector<std::string> JobManager::recover() {
   std::vector<std::string> notes;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (JournalRecord& rec : journal_.load_dir(notes)) {
     auto job = std::make_shared<Job>();
     job->id = rec.id;
@@ -172,7 +172,7 @@ std::vector<std::string> JobManager::recover() {
 std::uint64_t JobManager::submit(const Json& spec, int priority,
                                  std::string& error, bool& rejected) {
   rejected = false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (stopped_) {
     error = "server is shutting down";
     return 0;
@@ -204,7 +204,7 @@ std::uint64_t JobManager::submit(const Json& spec, int priority,
 }
 
 bool JobManager::cancel(std::uint64_t id, std::string& error) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Job* job = find_locked(id);
   if (!job) {
     error = "unknown job " + std::to_string(id);
@@ -224,7 +224,7 @@ bool JobManager::cancel(std::uint64_t id, std::string& error) {
 }
 
 bool JobManager::status(std::uint64_t id, JobProgress& out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const Job* job = find_locked(id);
   if (!job) return false;
   out = progress_locked(*job);
@@ -233,7 +233,7 @@ bool JobManager::status(std::uint64_t id, JobProgress& out) const {
 
 bool JobManager::result(std::uint64_t id, JobState& out_state,
                         std::string& out, std::string& error) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const Job* job = find_locked(id);
   if (!job) {
     error = "unknown job " + std::to_string(id);
@@ -258,7 +258,7 @@ bool JobManager::result(std::uint64_t id, JobState& out_state,
 }
 
 std::vector<JobProgress> JobManager::jobs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<JobProgress> out;
   out.reserve(jobs_.size());
   for (const auto& job : jobs_) out.push_back(progress_locked(*job));
@@ -282,7 +282,7 @@ JobProgress JobManager::progress_locked(const Job& job) const {
 }
 
 Json JobManager::stats(std::size_t workers) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Json j = Json::object();
   j.set("workers", Json(static_cast<long long>(workers)));
   j.set("capacity", Json(static_cast<long long>(cfg_.capacity)));
@@ -390,7 +390,7 @@ void JobManager::fail_locked(Job& job, const std::string& why) {
 }
 
 bool JobManager::claim_wait(Claim& out) {
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueMutexLock lock(mu_);
   for (;;) {
     if (stopped_) return false;
     // Highest priority first, then submission order: stable ordering so
@@ -426,7 +426,9 @@ bool JobManager::claim_wait(Claim& out) {
         return true;
       }
     }
-    work_cv_.wait(lock);
+    // The wait releases and reacquires mu_; it is held again when the
+    // call returns, so the scoped capability stays accurate.
+    work_cv_.wait(lock.native());
   }
 }
 
@@ -438,7 +440,7 @@ bool JobManager::stale_locked(const Job* job, const ShardRef& ref) const {
 }
 
 void JobManager::complete(const ShardRef& ref) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Job* job = find_locked(ref.job_id);
   if (stale_locked(job, ref)) {
     ++stale_completions_;
@@ -480,7 +482,7 @@ void JobManager::snapshot_locked(Job& job, bool force) {
 }
 
 void JobManager::abandon(const ShardRef& ref) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Job* job = find_locked(ref.job_id);
   if (stale_locked(job, ref)) {
     ++stale_completions_;
@@ -503,18 +505,18 @@ void JobManager::abandon(const ShardRef& ref) {
 }
 
 void JobManager::stop() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stopped_ = true;
   work_cv_.notify_all();
 }
 
 bool JobManager::stopped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stopped_;
 }
 
 void JobManager::flush_journals() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& job : jobs_) {
     if (!job_state_terminal(job->state)) {
       snapshot_locked(*job, /*force=*/true);

@@ -35,6 +35,7 @@
 #include "serve/backend.hpp"
 #include "serve/journal.hpp"
 #include "serve/proto.hpp"
+#include "util/mutex.hpp"
 
 namespace mcan {
 
@@ -142,33 +143,38 @@ class JobManager {
   struct Shard;
   struct Job;
 
-  Job* find_locked(std::uint64_t id);
-  const Job* find_locked(std::uint64_t id) const;
-  [[nodiscard]] bool stale_locked(const Job* job, const ShardRef& ref) const;
+  Job* find_locked(std::uint64_t id) MCAN_REQUIRES(mu_);
+  const Job* find_locked(std::uint64_t id) const MCAN_REQUIRES(mu_);
+  [[nodiscard]] bool stale_locked(const Job* job, const ShardRef& ref) const
+      MCAN_REQUIRES(mu_);
   /// plan_round + shard carving; finalizes the job when the campaign is
   /// over.  Returns true if the job now has claimable shards.
-  bool plan_locked(Job& job);
-  void merge_locked(Job& job);
-  void finalize_locked(Job& job);
-  void fail_locked(Job& job, const std::string& why);
-  void snapshot_locked(Job& job, bool force);
-  [[nodiscard]] JobProgress progress_locked(const Job& job) const;
-  [[nodiscard]] std::size_t live_locked() const;
+  bool plan_locked(Job& job) MCAN_REQUIRES(mu_);
+  void merge_locked(Job& job) MCAN_REQUIRES(mu_);
+  void finalize_locked(Job& job) MCAN_REQUIRES(mu_);
+  void fail_locked(Job& job, const std::string& why) MCAN_REQUIRES(mu_);
+  void snapshot_locked(Job& job, bool force) MCAN_REQUIRES(mu_);
+  [[nodiscard]] JobProgress progress_locked(const Job& job) const
+      MCAN_REQUIRES(mu_);
+  [[nodiscard]] std::size_t live_locked() const MCAN_REQUIRES(mu_);
 
   ServeConfig cfg_;
-  JobJournal journal_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
+  /// The journal has no lock of its own; every append/load goes through
+  /// this manager under mu_ (journal.hpp states the contract).
+  JobJournal journal_ MCAN_GUARDED_BY(mu_);
   std::condition_variable work_cv_;
-  std::vector<std::shared_ptr<Job>> jobs_;
-  std::uint64_t next_id_ = 1;
-  bool stopped_ = false;
+  std::vector<std::shared_ptr<Job>> jobs_ MCAN_GUARDED_BY(mu_);
+  std::uint64_t next_id_ MCAN_GUARDED_BY(mu_) = 1;
+  bool stopped_ MCAN_GUARDED_BY(mu_) = false;
 
   // Service counters (stats endpoint).
-  std::uint64_t shards_completed_ = 0;
-  std::uint64_t shards_requeued_ = 0;
-  std::uint64_t stale_completions_ = 0;
-  std::uint64_t units_merged_ = 0;  ///< units progressed in this process
-  std::chrono::steady_clock::time_point t0_;
+  std::uint64_t shards_completed_ MCAN_GUARDED_BY(mu_) = 0;
+  std::uint64_t shards_requeued_ MCAN_GUARDED_BY(mu_) = 0;
+  std::uint64_t stale_completions_ MCAN_GUARDED_BY(mu_) = 0;
+  /// Units progressed in this process.
+  std::uint64_t units_merged_ MCAN_GUARDED_BY(mu_) = 0;
+  std::chrono::steady_clock::time_point t0_;  ///< const after construction
 };
 
 }  // namespace mcan

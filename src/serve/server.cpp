@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <system_error>
 
 #include "serve/backend.hpp"
 
@@ -26,7 +27,9 @@ bool CampaignServer::start(std::vector<std::string>& notes,
   }
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
-    error = std::string("socket: ") + std::strerror(errno);
+    // system_category().message over strerror: no shared static buffer
+    // (concurrency-mt-unsafe).
+    error = "socket: " + std::system_category().message(errno);
     return false;
   }
   // A previous daemon instance (cleanly stopped or killed) leaves the
@@ -39,7 +42,7 @@ bool CampaignServer::start(std::vector<std::string>& notes,
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
           0 ||
       ::listen(listen_fd_, 64) < 0) {
-    error = cfg_.socket_path + ": " + std::strerror(errno);
+    error = cfg_.socket_path + ": " + std::system_category().message(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
     return false;
@@ -58,7 +61,7 @@ void CampaignServer::accept_main() {
     if (rc <= 0 || !(pfd.revents & POLLIN)) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     if (stop_requested_.load()) {
       ::close(fd);
       break;
@@ -98,7 +101,7 @@ void CampaignServer::handle_connection(int fd) {
   {
     // Deregister before closing so stop() never shutdown()s a recycled
     // descriptor number.
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
                     conn_fds_.end());
   }
@@ -187,8 +190,9 @@ Json CampaignServer::dispatch(const Json& req) {
   return error_response("unknown request type \"" + type + "\"");
 }
 
-void CampaignServer::run() {
-  while (!stop_requested_.load()) {
+void CampaignServer::run(const std::atomic<bool>* external_stop) {
+  while (!stop_requested_.load() &&
+         !(external_stop != nullptr && external_stop->load())) {
     pollfd none{-1, 0, 0};
     ::poll(&none, 0, 200);  // portable 200 ms sleep, EINTR-tolerant
   }
@@ -197,7 +201,7 @@ void CampaignServer::run() {
 
 void CampaignServer::stop() {
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     if (stopped_) return;
     stopped_ = true;
   }
@@ -212,11 +216,16 @@ void CampaignServer::stop() {
   // final snapshots — the SIGTERM flush guarantee.
   pool_.stop_join();
   manager_.flush_journals();
+  // The accept thread is joined, so no new handlers can appear: swap the
+  // thread list out under the lock and join outside it (handlers take
+  // conn_mu_ to deregister, so joining under it would deadlock).
+  std::vector<std::thread> to_join;
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    to_join.swap(conn_threads_);
   }
-  for (std::thread& t : conn_threads_) {
+  for (std::thread& t : to_join) {
     if (t.joinable()) t.join();
   }
 }

@@ -30,6 +30,7 @@
 
 #include "serve/queue.hpp"
 #include "serve/worker.hpp"
+#include "util/mutex.hpp"
 
 namespace mcan {
 
@@ -53,16 +54,19 @@ class CampaignServer {
   [[nodiscard]] bool start(std::vector<std::string>& notes,
                            std::string& error);
 
-  /// Block until a stop is requested (shutdown request / request_stop),
-  /// then shut down gracefully.
-  void run();
+  /// Block until a stop is requested (shutdown request, request_stop, or
+  /// `external_stop` — typically a lock-free atomic a signal handler
+  /// stores to), then shut down gracefully.
+  void run(const std::atomic<bool>* external_stop = nullptr);
 
-  /// Async-signal-safe stop request: just an atomic store; run() notices
-  /// within its poll interval.
+  /// Stop request from another thread: just an atomic store; run()
+  /// notices within its poll interval.  Not for signal handlers — a
+  /// member call through a global pointer is not async-signal-safe; give
+  /// run() an external_stop flag instead.
   void request_stop() { stop_requested_.store(true); }
 
   /// Graceful shutdown (idempotent; run() calls it on exit).
-  void stop();
+  void stop() MCAN_EXCLUDES(conn_mu_);
 
   [[nodiscard]] JobManager& manager() { return manager_; }
   [[nodiscard]] const std::string& socket_path() const {
@@ -80,10 +84,10 @@ class CampaignServer {
   int listen_fd_ = -1;
   std::thread accept_thread_;
   std::atomic<bool> stop_requested_{false};
-  std::mutex conn_mu_;
-  std::vector<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
-  bool stopped_ = false;
+  Mutex conn_mu_;
+  std::vector<int> conn_fds_ MCAN_GUARDED_BY(conn_mu_);
+  std::vector<std::thread> conn_threads_ MCAN_GUARDED_BY(conn_mu_);
+  bool stopped_ MCAN_GUARDED_BY(conn_mu_) = false;
 };
 
 }  // namespace mcan

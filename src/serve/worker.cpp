@@ -43,13 +43,13 @@ std::size_t WorkerPool::alive() const {
 }
 
 void WorkerPool::set_current(WorkerState& st, const ShardRef& ref) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(st.mu);
   st.current = ref;
   st.holds_shard = true;
 }
 
 void WorkerPool::clear_current(WorkerState& st) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(st.mu);
   st.holds_shard = false;
 }
 
@@ -90,32 +90,46 @@ void WorkerPool::monitor_main() {
       cfg_.monitor_period_s > 0 ? cfg_.monitor_period_s : 0.25);
   const std::int64_t timeout_ms =
       static_cast<std::int64_t>(cfg_.heartbeat_timeout_s * 1000.0);
-  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    if (stop_cv_.wait_for(lock, period, [this] { return stopping_; })) {
-      return;
+    {
+      // Plain wait_for (no predicate): a spurious wakeup only causes an
+      // early scan, which is harmless and keeps the lock discipline
+      // visible to the thread-safety analysis.
+      UniqueMutexLock lock(mu_);
+      if (stopping_) return;
+      // stop_join() flips stopping_ under mu_, which we hold until the
+      // wait releases it — the notify cannot be missed.
+      stop_cv_.wait_for(lock.native(), period);
+      if (stopping_) return;
     }
     const std::int64_t now = now_ms();
     for (auto& st : workers_) {
-      if (!st->holds_shard) continue;
-      const bool dead = st->dead.load(std::memory_order_relaxed);
-      const bool silent =
-          timeout_ms > 0 &&
-          now - st->beat_ms.load(std::memory_order_relaxed) > timeout_ms;
-      if (!dead && !silent) continue;
-      const ShardRef ref = st->current;
-      st->holds_shard = false;
-      // Requeue outside our lock (abandon takes the manager lock).
-      lock.unlock();
-      manager_.abandon(ref);
-      lock.lock();
+      bool requeue = false;
+      ShardRef ref;
+      {
+        MutexLock lock(st->mu);
+        if (st->holds_shard) {
+          const bool dead = st->dead.load(std::memory_order_relaxed);
+          const bool silent =
+              timeout_ms > 0 &&
+              now - st->beat_ms.load(std::memory_order_relaxed) > timeout_ms;
+          if (dead || silent) {
+            ref = st->current;
+            st->holds_shard = false;
+            requeue = true;
+          }
+        }
+      }
+      // Requeue outside the worker's lock (abandon takes the manager
+      // lock; never hold both).
+      if (requeue) manager_.abandon(ref);
     }
   }
 }
 
 void WorkerPool::stop_join() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (joined_) return;
     joined_ = true;
     stopping_ = true;

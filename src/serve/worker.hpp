@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "serve/queue.hpp"
+#include "util/mutex.hpp"
 
 namespace mcan {
 
@@ -67,25 +68,30 @@ class WorkerPool {
     std::thread thread;
     std::atomic<std::int64_t> beat_ms{0};
     std::atomic<bool> dead{false};
-    // Guarded by pool mu_: the shard this worker currently holds.
-    bool holds_shard = false;
-    ShardRef current;
+    /// Guards the shard-holding state below.  Per-worker (not the pool
+    /// lock): the worker takes it between slots and the monitor takes it
+    /// per scan, so the two never contend across workers.
+    Mutex mu;
+    bool holds_shard MCAN_GUARDED_BY(mu) = false;
+    ShardRef current MCAN_GUARDED_BY(mu);
   };
 
   void worker_main(WorkerState& st);
-  void monitor_main();
+  void monitor_main() MCAN_EXCLUDES(mu_);
   void set_current(WorkerState& st, const ShardRef& ref);
   void clear_current(WorkerState& st);
   [[nodiscard]] static std::int64_t now_ms();
 
   JobManager& manager_;
   WorkerPoolConfig cfg_;
+  /// Filled by start() before any thread exists, then never resized:
+  /// worker/monitor threads only index into it, so it needs no guard.
   std::vector<std::unique_ptr<WorkerState>> workers_;
   std::thread monitor_;
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable stop_cv_;
-  bool stopping_ = false;
-  bool joined_ = false;
+  bool stopping_ MCAN_GUARDED_BY(mu_) = false;
+  bool joined_ MCAN_GUARDED_BY(mu_) = false;
   std::atomic<std::uint64_t> deaths_{0};
 };
 

@@ -1,0 +1,76 @@
+// Annotated mutex and lock types for Clang thread-safety analysis.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no capability
+// attributes, so code guarded by them is invisible to -Wthread-safety.
+// These thin wrappers add the attributes (util/thread_annotations.hpp)
+// and nothing else: mcan::Mutex is a std::mutex, mcan::MutexLock is a
+// lock_guard, and mcan::UniqueMutexLock is a unique_lock that exposes
+// its native handle for std::condition_variable::wait.
+//
+// Usage discipline (enforced at compile time under MCAN_THREAD_SAFETY):
+//
+//   mutable Mutex mu_;
+//   std::vector<Job> jobs_ MCAN_GUARDED_BY(mu_);
+//   void merge_locked(Job& job) MCAN_REQUIRES(mu_);
+#pragma once
+
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace mcan {
+
+class MCAN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MCAN_ACQUIRE() { mu_.lock(); }
+  void unlock() MCAN_RELEASE() { mu_.unlock(); }
+  bool try_lock() MCAN_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped mutex, for condition-variable waits.  The analysis does
+  /// not model the wait's release/reacquire — which is sound: the lock is
+  /// held again by the time wait returns.
+  [[nodiscard]] std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::lock_guard with capability annotations.
+class MCAN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MCAN_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() MCAN_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock with capability annotations: relockable, and usable
+/// with std::condition_variable via native().
+class MCAN_SCOPED_CAPABILITY UniqueMutexLock {
+ public:
+  explicit UniqueMutexLock(Mutex& mu) MCAN_ACQUIRE(mu)
+      : lock_(mu.native()) {}
+  ~UniqueMutexLock() MCAN_RELEASE() {}
+
+  UniqueMutexLock(const UniqueMutexLock&) = delete;
+  UniqueMutexLock& operator=(const UniqueMutexLock&) = delete;
+
+  void lock() MCAN_ACQUIRE() { lock_.lock(); }
+  void unlock() MCAN_RELEASE() { lock_.unlock(); }
+
+  /// For std::condition_variable::wait / wait_for.
+  [[nodiscard]] std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace mcan

@@ -21,15 +21,15 @@ std::string format_eta(double seconds) {
 ProgressMeter::ProgressMeter(std::string label, long long total,
                              double min_interval_s)
     : label_(std::move(label)),
-      total_(total),
       min_interval_(min_interval_s),
       start_(std::chrono::steady_clock::now()),
+      total_(total),
       last_print_(start_) {}
 
 ProgressMeter::~ProgressMeter() { finish(); }
 
 void ProgressMeter::update(long long done) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (finished_) return;
   const auto now = std::chrono::steady_clock::now();
   const double since_print =
@@ -40,12 +40,12 @@ void ProgressMeter::update(long long done) {
 }
 
 void ProgressMeter::set_total(long long total) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   total_ = total;
 }
 
 void ProgressMeter::finish() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (finished_) return;
   finished_ = true;
   if (printed_) std::fprintf(stderr, "\r\033[K");

@@ -8,8 +8,9 @@
 #pragma once
 
 #include <chrono>
-#include <mutex>
 #include <string>
+
+#include "util/mutex.hpp"
 
 namespace mcan {
 
@@ -38,16 +39,16 @@ class ProgressMeter {
   void finish();
 
  private:
-  void print_line(long long done, double elapsed);
+  void print_line(long long done, double elapsed) MCAN_REQUIRES(mu_);
 
-  std::string label_;
-  long long total_;
-  double min_interval_;
-  std::chrono::steady_clock::time_point start_;
-  std::chrono::steady_clock::time_point last_print_;
-  std::mutex mu_;
-  bool printed_ = false;
-  bool finished_ = false;
+  std::string label_;       ///< const after construction
+  double min_interval_;     ///< const after construction
+  std::chrono::steady_clock::time_point start_;  ///< const after construction
+  Mutex mu_;
+  long long total_ MCAN_GUARDED_BY(mu_);
+  std::chrono::steady_clock::time_point last_print_ MCAN_GUARDED_BY(mu_);
+  bool printed_ MCAN_GUARDED_BY(mu_) = false;
+  bool finished_ MCAN_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace mcan

@@ -1,0 +1,66 @@
+// Clang thread-safety-analysis attribute shim.
+//
+// The lock discipline of the concurrent layers (src/serve/, the
+// model-check tail memo, ProgressMeter) is machine-checked by Clang's
+// -Wthread-safety analysis: mutex-guarded state is declared GUARDED_BY
+// its mutex, functions that expect the lock held are declared REQUIRES,
+// and a build with MCAN_THREAD_SAFETY=ON (see the top-level
+// CMakeLists.txt; Clang only) turns any violation into a compile error.
+// Under GCC — which has no such analysis — every macro expands to
+// nothing, so the annotations are free documentation.
+//
+// The macro set follows the capability vocabulary of the Clang docs
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed
+// MCAN_ to stay out of other headers' namespaces.  util/mutex.hpp
+// provides the annotated Mutex / lock types these macros attach to;
+// std::mutex itself is not annotated by libstdc++, so guarding state
+// with a bare std::mutex would make the analysis vacuous.
+#pragma once
+
+#if defined(__clang__)
+#define MCAN_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MCAN_THREAD_ANNOTATION_(x)
+#endif
+
+/// A type that represents a lock: holding it is a "capability".
+#define MCAN_CAPABILITY(x) MCAN_THREAD_ANNOTATION_(capability(x))
+
+/// RAII types whose lifetime equals a critical section.
+#define MCAN_SCOPED_CAPABILITY MCAN_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data that may only be touched while holding the given mutex.
+#define MCAN_GUARDED_BY(x) MCAN_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer whose pointee may only be touched while holding the mutex.
+#define MCAN_PT_GUARDED_BY(x) MCAN_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function that must be called with the given mutex(es) held.
+#define MCAN_REQUIRES(...) \
+  MCAN_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function that must be called with the mutex(es) NOT held.
+#define MCAN_EXCLUDES(...) MCAN_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires the capability (blocks until it does).
+#define MCAN_ACQUIRE(...) \
+  MCAN_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the capability.
+#define MCAN_RELEASE(...) \
+  MCAN_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `ret`.
+#define MCAN_TRY_ACQUIRE(ret, ...) \
+  MCAN_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Runtime assertion that the capability is held (no-op body).
+#define MCAN_ASSERT_CAPABILITY(x) \
+  MCAN_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returning a reference to the capability guarding it.
+#define MCAN_RETURN_CAPABILITY(x) MCAN_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: exclude a function from the analysis entirely.
+#define MCAN_NO_THREAD_SAFETY_ANALYSIS \
+  MCAN_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -1,0 +1,3 @@
+// bad-directive fixture (line 2 asserted by the test).
+// mcan-analyze: disallow(nondet-random) not a real verb
+int x = 0;

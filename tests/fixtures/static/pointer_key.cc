@@ -1,0 +1,5 @@
+// nondet-pointer-key / nondet-hash fixture (lines asserted by the test).
+std::map<const Node*, int> by_ptr;
+std::set<int> fine;
+std::size_t h = std::hash<std::string>{}("k");
+std::size_t p = std::hash<void*>{}(q);

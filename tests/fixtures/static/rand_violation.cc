@@ -1,0 +1,8 @@
+// nondet-random fixture: line numbers below are asserted by
+// static_analyze_test.cpp -- keep edits line-stable.
+int noisy() {
+  std::random_device rd;
+  int x = rand();
+  srand(42);
+  return x + mylib::rand();
+}

@@ -1,0 +1,12 @@
+// signal-safety fixture: violations (lines asserted by the test).
+int g_count = 0;
+std::atomic<int> g_atomic{0};
+void on_bad(int) {
+  printf("caught\n");
+  g_count = 1;
+  g_atomic.store(1);
+}
+void install() {
+  std::signal(SIGTERM, on_bad);
+  std::signal(SIGHUP, [](int) {});
+}

@@ -1,0 +1,11 @@
+// signal-safety fixture: handlers the rule must accept.
+volatile std::sig_atomic_t g_flag = 0;
+std::atomic<bool> g_stop{false};
+static_assert(std::atomic<bool>::is_always_lock_free, "lock-free");
+void on_sig(int) {
+  g_flag = 1;
+  g_stop.store(true);
+}
+int main() {
+  std::signal(SIGINT, on_sig);
+}

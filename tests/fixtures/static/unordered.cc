@@ -1,0 +1,18 @@
+// nondet-unordered-iter fixture (line numbers asserted by the test).
+std::unordered_map<int, int> table;
+void emit() {
+  for (const auto& kv : table) {
+    print(kv);
+  }
+  auto it = table.begin();
+  // mcan-analyze: allow(nondet-unordered-iter) order folded through a sort
+  for (const auto& kv : table) {
+    print(kv);
+  }
+  // mcan-analyze: allow(nondet-unordered-iter)
+  for (const auto& kv : table) {
+    print(kv);
+  }
+  // mcan-analyze: allow(nondet-random) stale entry, suppresses nothing
+  int x = 0;
+}

@@ -1,0 +1,7 @@
+// wallclock fixture (lines asserted by the test).
+double now_s() {
+  auto t0 = std::chrono::steady_clock::now();
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);
+  return std::time(nullptr);
+}

@@ -1,0 +1,211 @@
+// mcan-analyze rule tests over committed fixture snippets.
+//
+// Each fixture in tests/fixtures/static/ encodes one rule's positive and
+// negative cases with line-stable layout; the assertions here pin exact
+// (rule, line) pairs, so a rule that drifts (new false positive, lost
+// detection, off-by-one line) fails loudly.  The fixtures are lexed, not
+// compiled — they are deliberately not valid translation units.
+#include "analysis/static/analyze.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mcan::sa {
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string(MCAN_STATIC_FIXTURE_DIR) + "/" + name;
+}
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(fixture_path(name), std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << name;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+using RuleLine = std::pair<std::string, int>;
+
+std::multiset<RuleLine> rule_lines(const std::vector<StaticFinding>& fs) {
+  std::multiset<RuleLine> out;
+  for (const StaticFinding& f : fs) out.emplace(f.rule, f.line);
+  return out;
+}
+
+/// Analyze one fixture under the given config; findings + suppressed out.
+std::vector<StaticFinding> analyze_fixture(
+    const std::string& name, const AnalyzeConfig& cfg,
+    std::vector<StaticFinding>* suppressed = nullptr) {
+  return analyze_source(name, read_fixture(name), cfg, suppressed);
+}
+
+TEST(StaticAnalyze, RandRuleFlagsEveryEntropySource) {
+  const auto found = analyze_fixture("rand_violation.cc", AnalyzeConfig{});
+  EXPECT_EQ(rule_lines(found), (std::multiset<RuleLine>{
+                                   {"nondet-random", 4},   // random_device
+                                   {"nondet-random", 5},   // rand()
+                                   {"nondet-random", 6},   // srand()
+                               }));
+  // mylib::rand() on line 7 is foreign-qualified: not ours to police.
+}
+
+TEST(StaticAnalyze, UnorderedIterationAndSuppressionLifecycle) {
+  std::vector<StaticFinding> suppressed;
+  const auto found =
+      analyze_fixture("unordered.cc", AnalyzeConfig{}, &suppressed);
+  EXPECT_EQ(rule_lines(found),
+            (std::multiset<RuleLine>{
+                {"nondet-unordered-iter", 4},       // bare range-for
+                {"nondet-unordered-iter", 7},       // .begin() walk
+                {"suppression-missing-reason", 12},  // allow() without why
+                {"unused-suppression", 16},          // stale allow()
+            }));
+  // The two directives that do match silence their findings.
+  EXPECT_EQ(rule_lines(suppressed), (std::multiset<RuleLine>{
+                                        {"nondet-unordered-iter", 9},
+                                        {"nondet-unordered-iter", 13},
+                                    }));
+}
+
+TEST(StaticAnalyze, PointerKeysAndHashInstantiations) {
+  const auto found = analyze_fixture("pointer_key.cc", AnalyzeConfig{});
+  EXPECT_EQ(rule_lines(found), (std::multiset<RuleLine>{
+                                   {"nondet-pointer-key", 2},
+                                   {"nondet-hash", 4},
+                                   {"nondet-hash", 5},
+                               }));
+  // The pointer instantiation gets the stronger diagnosis.
+  for (const StaticFinding& f : found) {
+    if (f.rule == "nondet-hash" && f.line == 5) {
+      EXPECT_NE(f.message.find("address"), std::string::npos) << f.message;
+    }
+  }
+}
+
+TEST(StaticAnalyze, WallclockOutsideWhitelist) {
+  const auto found = analyze_fixture("wallclock.cc", AnalyzeConfig{});
+  EXPECT_EQ(rule_lines(found), (std::multiset<RuleLine>{
+                                   {"wallclock", 3},  // steady_clock
+                                   {"wallclock", 5},  // gettimeofday
+                                   {"wallclock", 6},  // std::time
+                               }));
+}
+
+TEST(StaticAnalyze, WallclockWhitelistSilencesWholeFile) {
+  AnalyzeConfig cfg;
+  cfg.wallclock_allow.push_back("bench/");
+  const auto found = analyze_source("bench/wallclock.cc",
+                                    read_fixture("wallclock.cc"), cfg, nullptr);
+  EXPECT_TRUE(found.empty()) << found.size() << " findings";
+}
+
+TEST(StaticAnalyze, SignalHandlerSafePatternsAccepted) {
+  // volatile sig_atomic_t store + lock-free-asserted atomic store: clean.
+  const auto found = analyze_fixture("sighandler_good.cc", AnalyzeConfig{});
+  EXPECT_TRUE(found.empty()) << found.front().rule << " at line "
+                             << found.front().line;
+}
+
+TEST(StaticAnalyze, SignalHandlerViolationsEachDiagnosed) {
+  const auto found = analyze_fixture("sighandler_bad.cc", AnalyzeConfig{});
+  EXPECT_EQ(rule_lines(found), (std::multiset<RuleLine>{
+                                   {"signal-safety", 5},   // printf call
+                                   {"signal-safety", 6},   // plain global
+                                   {"signal-safety", 7},   // locking atomic
+                                   {"signal-safety", 11},  // lambda handler
+                               }));
+}
+
+TEST(StaticAnalyze, MalformedDirectiveIsItselfAFinding) {
+  const auto found = analyze_fixture("directive.cc", AnalyzeConfig{});
+  EXPECT_EQ(rule_lines(found),
+            (std::multiset<RuleLine>{{"bad-directive", 2}}));
+}
+
+TEST(StaticAnalyze, StringLiteralsNeverTripRules) {
+  const auto found = analyze_source(
+      "inline.cc", "int x = f(\"rand()\");\nauto s = R\"(srand(1))\";\n",
+      AnalyzeConfig{}, nullptr);
+  EXPECT_TRUE(found.empty());
+}
+
+TEST(StaticAnalyze, OnlyRulesFilterRestrictsOutput) {
+  AnalyzeConfig cfg;
+  cfg.only_rules.push_back("nondet-hash");
+  EXPECT_TRUE(analyze_fixture("rand_violation.cc", cfg).empty());
+  EXPECT_EQ(analyze_fixture("pointer_key.cc", cfg).size(), 2u);
+}
+
+TEST(StaticAnalyze, RuleCatalogMatchesImplementedRules) {
+  std::set<std::string> ids;
+  for (const RuleInfo& r : rule_catalog()) ids.insert(r.id);
+  EXPECT_EQ(ids, (std::set<std::string>{
+                     "nondet-random", "nondet-hash", "nondet-pointer-key",
+                     "nondet-unordered-iter", "wallclock", "signal-safety"}));
+}
+
+TEST(StaticAnalyze, AnalyzePathsSortsExcludesAndCountsFiles) {
+  AnalyzeConfig cfg;
+  const std::string root = MCAN_STATIC_FIXTURE_DIR;
+  AnalyzeReport report = analyze_paths(
+      root,
+      {fixture_path("wallclock.cc"), fixture_path("rand_violation.cc")}, cfg);
+  EXPECT_EQ(report.files_scanned, 2);
+  EXPECT_FALSE(report.clean());
+  // Findings come back sorted by (file, line, rule) regardless of the
+  // scan order: rand_violation.cc sorts before wallclock.cc.
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_TRUE(std::is_sorted(
+      report.findings.begin(), report.findings.end(),
+      [](const StaticFinding& a, const StaticFinding& b) {
+        return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+      }));
+  EXPECT_EQ(report.findings.front().file, "rand_violation.cc");
+
+  cfg.exclude.push_back("rand_");
+  cfg.exclude.push_back("wallclock");
+  report = analyze_paths(
+      root,
+      {fixture_path("wallclock.cc"), fixture_path("rand_violation.cc")}, cfg);
+  EXPECT_EQ(report.files_scanned, 0);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(StaticAnalyze, MissingFileIsAnIoErrorFinding) {
+  const AnalyzeReport report = analyze_paths(
+      MCAN_STATIC_FIXTURE_DIR, {fixture_path("no_such_fixture.cc")},
+      AnalyzeConfig{});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "io-error");
+}
+
+TEST(StaticAnalyze, CollectFilesFailsWithoutCompilationDatabase) {
+  std::vector<std::string> files;
+  std::string error;
+  EXPECT_FALSE(collect_files("/no/such/compile_commands.json", ".",
+                             AnalyzeConfig{}, files, error));
+  EXPECT_NE(error.find("compilation database"), std::string::npos) << error;
+}
+
+TEST(StaticAnalyze, JsonReportCarriesCleanFlag) {
+  AnalyzeReport dirty;
+  dirty.files_scanned = 1;
+  dirty.findings.push_back({"wallclock", "a.cc", 3, "msg"});
+  EXPECT_NE(format_json(dirty).find("\"clean\": false"), std::string::npos);
+  AnalyzeReport clean;
+  clean.files_scanned = 1;
+  EXPECT_NE(format_json(clean).find("\"clean\": true"), std::string::npos);
+  EXPECT_NE(format_text(dirty).find("a.cc:3: [wallclock] msg"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcan::sa
