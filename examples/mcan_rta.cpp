@@ -1,0 +1,305 @@
+// mcan-rta: probabilistic worst-case response-time analysis as a
+// command-line tool.
+//
+// Runs the convolution-based WCRT engine (src/analysis/rta/) over a
+// periodic message set: classic Tindell/Davis deterministic bounds plus
+// full response-time distributions and deadline-miss probabilities under
+// the variant error model, with the per-bit error rate sourced from what
+// the rare-event engine measured (BENCH_table1.json) rather than an
+// assumed constant.
+//
+//     mcan-rta analyze --protocol major:5 --rates BENCH_table1.json
+//     mcan-rta compare --ber 1e-4 --json rta.json     # whole protocol set
+//     mcan-rta validate --protocol can --horizon 400000 --seed 1
+//     mcan-rta analyze --expect-schedulable --expect-miss-below 1e-6
+//
+// Exit status: 0 = analysis ran and every --expect-* gate held,
+// 1 = a gate failed, 2 = usage error or unusable configuration.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/rta/prob_rta.hpp"
+#include "analysis/rta/rates.hpp"
+#include "analysis/rta/rta.hpp"
+#include "analysis/rta/validate.hpp"
+#include "scenario/sweep_cli.hpp"
+#include "util/text.hpp"
+
+namespace {
+
+using namespace mcan;
+
+struct Options {
+  SweepOptions sweep;
+  std::string command = "analyze";
+  std::string rates_path;
+  double ber = 1e-5;
+  bool ber_given = false;
+  double period_scale = 1.0;
+  int max_retx = 8;
+  BitTime horizon = 400000;
+  std::uint64_t seed = 1;
+  BitTime slack = 0;
+  bool expect_schedulable = false;
+  double expect_miss_below = -1;  ///< < 0 = no gate
+  bool expect_bounded = false;
+};
+
+void usage(std::FILE* to) {
+  std::fputs(
+      "usage: mcan-rta [analyze|compare|validate] [options]\n"
+      "\n"
+      "Probabilistic schedulability analysis of a periodic CAN message\n"
+      "set: deterministic Tindell/Davis response-time bounds, plus\n"
+      "response-time distributions and deadline-miss probabilities under\n"
+      "the per-variant error model (docs/RTA.md).\n"
+      "\n"
+      "commands:\n"
+      "  analyze    one protocol (the first --protocol; default: can)\n"
+      "  compare    every protocol of the sweep set side by side\n"
+      "  validate   analysis vs. bit-level simulation with injected faults\n"
+      "\n"
+      "sweep options (shared vocabulary; --nodes/-k are ignored here):\n",
+      to);
+  std::fputs(sweep_flags_help(), to);
+  std::fputs(
+      "\n"
+      "tool options:\n"
+      "  --rates FILE       load measured error rates from a rare-engine\n"
+      "                     result (BENCH_table1.json); the row nearest\n"
+      "                     --ber calibrates the model\n"
+      "  --ber X            per-bit error rate (default 1e-5)\n"
+      "  --period-scale F   multiply every period by F (F < 1 saturates)\n"
+      "  --max-retx N       retransmission depth modelled exactly"
+      " (default 8)\n"
+      "  --horizon N        validate: simulated bit times (default 400000)\n"
+      "  --seed S           validate: fault-injection seed (default 1)\n"
+      "  --slack B          validate: one-sided quantile slack in bits\n"
+      "  --expect-schedulable   exit 1 unless deterministically schedulable\n"
+      "  --expect-miss-below P  exit 1 unless every stream's deadline-miss\n"
+      "                         probability is below P\n"
+      "  --expect-bounded       validate: exit 1 if any simulated quantile\n"
+      "                         exceeds its analytic bound\n"
+      "  -h, --help         this text\n",
+      to);
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  std::vector<std::string> rest;
+  std::string error;
+  if (!parse_sweep_args(argc, argv, opt.sweep, rest, error)) {
+    std::fprintf(stderr, "mcan-rta: %s\n", error.c_str());
+    return false;
+  }
+  bool command_set = false;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    const std::string& a = rest[i];
+    auto value = [&](const char* flag) -> const std::string* {
+      if (i + 1 >= rest.size()) {
+        std::fprintf(stderr, "mcan-rta: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return &rest[++i];
+    };
+    if (a == "analyze" || a == "compare" || a == "validate") {
+      if (command_set) {
+        std::fprintf(stderr, "mcan-rta: more than one command\n");
+        return false;
+      }
+      opt.command = a;
+      command_set = true;
+    } else if (a == "--rates") {
+      const std::string* v = value("--rates");
+      if (v == nullptr) return false;
+      opt.rates_path = *v;
+    } else if (a == "--ber") {
+      const std::string* v = value("--ber");
+      if (v == nullptr) return false;
+      opt.ber = std::atof(v->c_str());
+      opt.ber_given = true;
+    } else if (a == "--period-scale") {
+      const std::string* v = value("--period-scale");
+      if (v == nullptr) return false;
+      opt.period_scale = std::atof(v->c_str());
+    } else if (a == "--max-retx") {
+      const std::string* v = value("--max-retx");
+      if (v == nullptr) return false;
+      opt.max_retx = std::atoi(v->c_str());
+    } else if (a == "--horizon") {
+      const std::string* v = value("--horizon");
+      if (v == nullptr) return false;
+      opt.horizon = static_cast<BitTime>(std::atoll(v->c_str()));
+    } else if (a == "--seed") {
+      const std::string* v = value("--seed");
+      if (v == nullptr) return false;
+      opt.seed = static_cast<std::uint64_t>(std::atoll(v->c_str()));
+    } else if (a == "--slack") {
+      const std::string* v = value("--slack");
+      if (v == nullptr) return false;
+      opt.slack = static_cast<BitTime>(std::atoll(v->c_str()));
+    } else if (a == "--expect-schedulable") {
+      opt.expect_schedulable = true;
+    } else if (a == "--expect-miss-below") {
+      const std::string* v = value("--expect-miss-below");
+      if (v == nullptr) return false;
+      opt.expect_miss_below = std::atof(v->c_str());
+    } else if (a == "--expect-bounded") {
+      opt.expect_bounded = true;
+    } else if (a == "-h" || a == "--help") {
+      usage(stdout);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "mcan-rta: unknown option %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+MeasuredRates resolve_rates(const Options& opt) {
+  MeasuredRates rates;
+  rates.ber = opt.ber;
+  if (opt.rates_path.empty()) return rates;
+  RateTable table;
+  std::string error;
+  if (!RateTable::load(opt.rates_path, table, error)) {
+    throw std::runtime_error("mcan-rta: " + error);
+  }
+  rates = table.rates_for(opt.ber);
+  if (opt.ber_given && rates.ber != opt.ber) {
+    std::fprintf(stderr,
+                 "mcan-rta: using measured row ber=%s (nearest to "
+                 "requested %s)\n",
+                 sci(rates.ber, 2).c_str(), sci(opt.ber, 2).c_str());
+  }
+  return rates;
+}
+
+void print_analysis(const ProbRtaResult& res) {
+  std::printf("-- %s  (ber %s, calibration %.3f, rates: %s) --\n",
+              res.proto.name().c_str(), sci(res.rates.ber, 2).c_str(),
+              res.rates.calibration, res.rates.source.c_str());
+  std::vector<std::vector<std::string>> cells;
+  cells.push_back({"stream", "T", "C", "B", "R det", "p50", "p99", "p99.99",
+                   "P{miss}", "sched"});
+  for (const ProbRtaRow& r : res.rows) {
+    auto qcell = [&](double q) {
+      const BitTime v = r.quantile(q);
+      return v == kNoTime ? std::string("-") : std::to_string(v);
+    };
+    cells.push_back({r.det.msg.name, std::to_string(r.det.msg.period),
+                     std::to_string(r.det.c_bits),
+                     std::to_string(r.det.blocking),
+                     std::to_string(r.det.response), qcell(0.5), qcell(0.99),
+                     qcell(0.9999), sci(r.miss_prob, 2),
+                     r.det.schedulable ? "yes" : "NO"});
+  }
+  std::printf("%s", render_table(cells).c_str());
+  std::printf("utilisation %.1f%%, worst stream P{miss} = %s\n\n",
+              100 * res.utilisation, sci(res.max_miss_prob, 3).c_str());
+}
+
+/// Apply the --expect-* gates; returns the process exit code.
+int apply_gates(const Options& opt, const std::vector<ProbRtaResult>& results,
+                bool bounded_ok) {
+  int rc = 0;
+  for (const ProbRtaResult& res : results) {
+    if (opt.expect_schedulable && !res.deterministic_schedulable) {
+      std::fprintf(stderr,
+                   "mcan-rta: GATE FAILED: %s is not deterministically "
+                   "schedulable\n",
+                   res.proto.name().c_str());
+      rc = 1;
+    }
+    if (opt.expect_miss_below >= 0 &&
+        !(res.max_miss_prob < opt.expect_miss_below)) {
+      std::fprintf(stderr,
+                   "mcan-rta: GATE FAILED: %s worst P{miss} %s is not "
+                   "below %s\n",
+                   res.proto.name().c_str(), sci(res.max_miss_prob).c_str(),
+                   sci(opt.expect_miss_below).c_str());
+      rc = 1;
+    }
+  }
+  if (opt.expect_bounded && !bounded_ok) {
+    std::fprintf(stderr,
+                 "mcan-rta: GATE FAILED: a simulated quantile exceeded its "
+                 "analytic bound\n");
+    rc = 1;
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    usage(stderr);
+    return 2;
+  }
+  try {
+    const MeasuredRates rates = resolve_rates(opt);
+    const std::vector<RtaMessage> set =
+        scale_periods(sae_benchmark_set(), opt.period_scale);
+    ProbRtaOptions popt;
+    popt.max_retx = opt.max_retx;
+
+    std::vector<ProtocolParams> protocols;
+    if (opt.command == "analyze") {
+      protocols = {opt.sweep.protocols.empty() ? ProtocolParams::standard_can()
+                                               : opt.sweep.protocols.front()};
+    } else {
+      protocols = opt.sweep.protocol_set();
+    }
+
+    std::vector<ProbRtaResult> results;
+    bool bounded_ok = true;
+    std::string json = "{\"results\": [";
+    for (std::size_t pi = 0; pi < protocols.size(); ++pi) {
+      const ProtocolParams& proto = protocols[pi];
+      ProbRtaResult res = probabilistic_rta(set, proto, rates, popt);
+      print_analysis(res);
+      if (pi) json += ",";
+      json += "\n" + res.to_json();
+      if (opt.command == "validate") {
+        const SimValidation sim = simulate_response_times(
+            set, proto, rates.effective_ber(), opt.horizon, opt.seed);
+        const auto verdicts = compare_quantiles(res, sim, opt.slack);
+        std::vector<std::vector<std::string>> cells;
+        cells.push_back({"stream", "q", "analytic", "simulated", "ok"});
+        for (const ValidationVerdict& v : verdicts) {
+          char qbuf[32];
+          std::snprintf(qbuf, sizeof(qbuf), "%g", v.q);
+          cells.push_back({v.stream, qbuf, std::to_string(v.analytic),
+                           std::to_string(v.simulated),
+                           v.ok ? "yes" : "NO"});
+          bounded_ok &= v.ok;
+        }
+        std::printf("validation (horizon %llu bits, seed %llu):\n%s\n",
+                    static_cast<unsigned long long>(opt.horizon),
+                    static_cast<unsigned long long>(opt.seed),
+                    render_table(cells).c_str());
+      }
+      results.push_back(std::move(res));
+    }
+    json += "\n]}\n";
+
+    if (!opt.sweep.json.empty()) {
+      if (!write_text_file(opt.sweep.json, json)) {
+        std::fprintf(stderr, "mcan-rta: cannot write %s\n",
+                     opt.sweep.json.c_str());
+        return 2;
+      }
+      std::printf("json written to %s\n", opt.sweep.json.c_str());
+    }
+    return apply_gates(opt, results, bounded_ok);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mcan-rta: %s\n", e.what());
+    return 2;
+  }
+}

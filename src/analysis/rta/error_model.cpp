@@ -1,0 +1,104 @@
+#include "analysis/rta/error_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "frame/layout.hpp"
+
+namespace mcan {
+
+VariantErrorModel::VariantErrorModel(ProtocolParams proto, MeasuredRates rates)
+    : proto_(proto), rates_(rates) {
+  proto_.validate();
+  if (rates_.ber < 0 || rates_.ber > 1 || !std::isfinite(rates_.ber)) {
+    throw std::invalid_argument("VariantErrorModel: ber outside [0, 1]");
+  }
+  if (rates_.calibration < 0 || !std::isfinite(rates_.calibration)) {
+    throw std::invalid_argument("VariantErrorModel: bad calibration factor");
+  }
+}
+
+int VariantErrorModel::error_frame_bits() const {
+  // First flag 6 bits; late detectors may stretch the superposition by up
+  // to 5 more; then the variant's delimiter and the intermission.
+  return 2 * ProtocolParams::flag_bits() - 1 + proto_.error_delim_total() +
+         kIntermissionBits;
+}
+
+int VariantErrorModel::endgame_extra_bits() const {
+  if (proto_.variant != Variant::MajorCan) return 0;
+  return proto_.worst_case_overhead_bits() - proto_.best_case_overhead_bits();
+}
+
+int VariantErrorModel::retransmit_exposure(int c_bits) const {
+  if (proto_.variant != Variant::MajorCan) {
+    // Any corruption of the frame proper destroys the attempt.  The
+    // intermission is not part of the vulnerable window.
+    return c_bits - kIntermissionBits;
+  }
+  // MajorCAN: the accept-side EOF sub-field (and everything after it) no
+  // longer forces a retransmission — detection there runs the end-game.
+  return c_bits - kIntermissionBits - proto_.eof_bits() +
+         proto_.first_subfield_bits();
+}
+
+int VariantErrorModel::endgame_exposure() const {
+  if (proto_.variant != Variant::MajorCan) return 0;
+  return proto_.eof_bits() - proto_.first_subfield_bits();
+}
+
+double VariantErrorModel::retransmit_prob(int c_bits) const {
+  const int exposed = retransmit_exposure(c_bits);
+  if (exposed <= 0) return 0;
+  return 1.0 - std::pow(1.0 - bit_error_rate(), exposed);
+}
+
+double VariantErrorModel::endgame_prob(int c_bits) const {
+  const int exposed = endgame_exposure();
+  if (exposed <= 0) return 0;
+  // Reaching the accept-side sub-field requires a clean run up to it.
+  return (1.0 - retransmit_prob(c_bits)) *
+         (1.0 - std::pow(1.0 - bit_error_rate(), exposed));
+}
+
+Pmf VariantErrorModel::attempt_pmf(int c_bits, int max_retx,
+                                   BitTime cap) const {
+  if (c_bits <= 0 || max_retx < 0) {
+    throw std::invalid_argument("attempt_pmf: bad c_bits/max_retx");
+  }
+  const double p_retx = retransmit_prob(c_bits);
+  const double p_end = endgame_prob(c_bits);
+  const double p_clean = 1.0 - p_retx - p_end;
+  // One failed attempt occupies the bus for at most the frame's own
+  // worst-case length (error at the last vulnerable bit) plus the error
+  // frame — the conservative per-error charge.
+  const BitTime retry_cost =
+      static_cast<BitTime>(c_bits) + static_cast<BitTime>(error_frame_bits());
+
+  Pmf out;
+  double remaining = 1.0;  // mass not yet placed: P{>= r retransmissions}
+  for (int r = 0; r <= max_retx; ++r) {
+    const BitTime base = static_cast<BitTime>(c_bits) +
+                         static_cast<BitTime>(r) * retry_cost;
+    if (cap != kNoCap && base > cap) break;  // all deeper outcomes: tail
+    const BitTime end_v = base + static_cast<BitTime>(endgame_extra_bits());
+    const double p_here = std::pow(p_retx, r);
+    // Success (clean or via the tolerated end-game) on attempt r+1.
+    const double clean_mass = p_here * p_clean;
+    const double end_mass = p_here * p_end;
+    out.add_mass(base, clean_mass);
+    if (end_mass > 0) {
+      if (cap == kNoCap || end_v <= cap) {
+        out.add_mass(end_v, end_mass);
+      } else {
+        out.add_tail(end_mass);
+      }
+    }
+    remaining -= clean_mass + end_mass;
+  }
+  // Chains deeper than max_retx — or capped out: tail (reads as a miss).
+  if (remaining > 0) out.add_tail(remaining);
+  return out;
+}
+
+}  // namespace mcan

@@ -1,0 +1,78 @@
+// Per-variant error models for the probabilistic WCRT analysis: what a
+// channel error costs on the wire, per protocol.
+//
+//   * CAN / MinorCAN: any corrupting error up to the ACK delimiter (and,
+//     for the transmitter, through the EOF) destroys the frame — error
+//     flag, delimiter, intermission, then a full retransmission.
+//   * MajorCAN_m (paper §5): the split EOF changes the economics.  An
+//     error in the body or the first (reject-side) EOF sub-field still
+//     forces a retransmission, but with the longer 2m+1 delimiter.  An
+//     error first seen in the second (accept-side) sub-field runs the
+//     end-game instead: the frame is *accepted* at the cost of the
+//     extended-flag stretch (worst case 2m−2 extra bits) and no
+//     retransmission happens.  That tolerance — disturbances near the
+//     frame end cost bits, not a whole extra frame — is exactly what the
+//     response-time distributions quantify.
+//
+// Error positions inside an attempt are bounded conservatively: a failed
+// attempt is charged its full worst-case length (error at the last
+// possible bit) plus the worst error frame.  The analytic distributions
+// are therefore upper bounds, which the simulation harness
+// (validate.hpp) confirms from below.
+#pragma once
+
+#include "analysis/rta/rates.hpp"
+#include "analysis/stats/dist.hpp"
+#include "core/protocol.hpp"
+
+namespace mcan {
+
+class VariantErrorModel {
+ public:
+  VariantErrorModel(ProtocolParams proto, MeasuredRates rates);
+
+  [[nodiscard]] const ProtocolParams& protocol() const { return proto_; }
+  [[nodiscard]] const MeasuredRates& rates() const { return rates_; }
+
+  /// Calibrated network-wide per-bit corruption rate (any node's view).
+  [[nodiscard]] double bit_error_rate() const {
+    return rates_.effective_ber();
+  }
+
+  /// Worst-case error-frame overhead after a corrupted attempt: flag
+  /// superposition (2·6−1) + error delimiter + intermission.
+  [[nodiscard]] int error_frame_bits() const;
+
+  /// MajorCAN: worst extra bits when the accept-side end-game runs
+  /// (extended flags through position 3m+4 instead of a clean EOF tail),
+  /// i.e. worst_case − best_case overhead = 2m−2.  0 for CAN/MinorCAN.
+  [[nodiscard]] int endgame_extra_bits() const;
+
+  /// P{a given transmission attempt of a c_bits frame is destroyed and
+  /// must be retransmitted}.
+  [[nodiscard]] double retransmit_prob(int c_bits) const;
+
+  /// P{the attempt survives but runs the MajorCAN end-game} (accept-side
+  /// detection; 0 for CAN/MinorCAN).
+  [[nodiscard]] double endgame_prob(int c_bits) const;
+
+  /// Distribution of the bus time one message transmission occupies,
+  /// retransmissions included: an atom at c_bits (clean), the end-game
+  /// atom (MajorCAN), and geometric retransmission atoms up to
+  /// `max_retx`; deeper retransmission chains land in the tail.  Values
+  /// beyond `cap` are truncated into the tail (conservative: reads as a
+  /// deadline miss downstream).
+  [[nodiscard]] Pmf attempt_pmf(int c_bits, int max_retx,
+                                BitTime cap = kNoCap) const;
+
+ private:
+  /// Bits of an attempt where an error forces a retransmission.
+  [[nodiscard]] int retransmit_exposure(int c_bits) const;
+  /// Bits of an attempt where an error triggers the accept-side end-game.
+  [[nodiscard]] int endgame_exposure() const;
+
+  ProtocolParams proto_;
+  MeasuredRates rates_;
+};
+
+}  // namespace mcan

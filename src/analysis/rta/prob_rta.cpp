@@ -1,0 +1,162 @@
+#include "analysis/rta/prob_rta.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/text.hpp"
+
+namespace mcan {
+
+BitTime ProbRtaRow::quantile(double q) const {
+  for (const auto& [qq, v] : quantiles) {
+    if (qq == q) return v;
+  }
+  return kNoTime;
+}
+
+namespace {
+
+/// Queueing-delay fixed point for one stream: blocking plus
+/// higher-priority interference, iterated over distributions via
+/// *conditional convolution*.  Releases of higher-priority streams are
+/// walked in ascending release time; the instance released at time t
+/// interferes only with the part of the delay distribution still >= t
+/// (the deterministic recurrence counts releases with t <= w, and at
+/// ber = 0 this walk reproduces it exactly).  Convolving the whole
+/// distribution per release — the naive reading of the recurrence —
+/// would charge the clean path for interference only the rare
+/// retransmission paths can experience, saturating the miss probability
+/// at any load.  `cap` is the largest queueing delay that can still meet
+/// the deadline; anything beyond it is truncated into the tail
+/// (absorbing), which bounds the finite support and with it the number
+/// of release events, so the walk terminates.
+Pmf queueing_distribution(const std::vector<RtaRow>& rows, std::size_t i,
+                          const std::vector<Pmf>& attempt, const Pmf& blocking,
+                          BitTime cap) {
+  Pmf w = blocking;
+  std::vector<BitTime> next(i, 0);  // next release instant per hp stream
+  for (;;) {
+    if (!w.has_finite_mass()) return w;  // everything already truncated
+    // Earliest pending release (ties resolve to the higher priority —
+    // the bus order — keeping the walk deterministic).
+    std::size_t jmin = i;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (jmin == i || next[j] < next[jmin]) jmin = j;
+    }
+    if (jmin == i || next[jmin] > w.max_value()) {
+      return w;  // every remaining release lands after the bus is free
+    }
+    auto [settled, busy] = w.split(next[jmin]);
+    Pmf grown = Pmf::convolve(busy, attempt[jmin], cap);
+    grown.accumulate(settled);
+    w = std::move(grown);
+    next[jmin] += rows[jmin].msg.period;
+  }
+}
+
+}  // namespace
+
+ProbRtaResult probabilistic_rta(std::vector<RtaMessage> messages,
+                                const ProtocolParams& proto,
+                                const MeasuredRates& rates,
+                                const ProbRtaOptions& options) {
+  if (options.max_retx < 0) {
+    throw std::invalid_argument("probabilistic_rta: max_retx < 0");
+  }
+  ProbRtaResult res;
+  res.proto = proto;
+  res.rates = rates;
+  res.options = options;
+
+  // The deterministic fault-free baseline fixes priorities, C_i and B_i.
+  const std::vector<RtaRow> det =
+      response_time_analysis(std::move(messages), proto.eof_bits());
+  res.utilisation = rta_utilisation(det);
+  res.deterministic_schedulable = true;
+  for (const RtaRow& r : det) {
+    res.deterministic_schedulable &= r.schedulable;
+  }
+
+  const VariantErrorModel model(proto, rates);
+
+  // Per-stream transmission-time distributions (shared across busy
+  // periods; the cap is applied per-convolution, so build them uncapped
+  // here — supports are tiny: 2 + max_retx atoms).
+  std::vector<Pmf> attempt;
+  attempt.reserve(det.size());
+  for (const RtaRow& r : det) {
+    attempt.push_back(model.attempt_pmf(r.c_bits, options.max_retx));
+  }
+
+  for (std::size_t i = 0; i < det.size(); ++i) {
+    ProbRtaRow row;
+    row.det = det[i];
+    const BitTime deadline = det[i].msg.period;
+
+    // Blocking: one lower-priority frame already on the wire.  Under
+    // faults it may additionally drag an error frame across our release.
+    Pmf blocking;
+    if (det[i].blocking > 0) {
+      const double p = model.retransmit_prob(det[i].blocking);
+      blocking.add_mass(static_cast<BitTime>(det[i].blocking), 1.0 - p);
+      blocking.add_mass(static_cast<BitTime>(det[i].blocking) +
+                            static_cast<BitTime>(model.error_frame_bits()),
+                        p);
+    } else {
+      blocking = Pmf::point(0);
+    }
+
+    const Pmf w = queueing_distribution(det, i, attempt, blocking, deadline);
+    row.response = Pmf::convolve(w, attempt[i], deadline);
+    // exceed() sums thousands of convolution products; clamp the rounding
+    // drift so a probability is reported.
+    row.miss_prob = std::min(1.0, std::max(0.0, row.response.exceed(deadline)));
+    for (double q : options.quantiles) {
+      const auto v = row.response.quantile(q);
+      row.quantiles.emplace_back(q, v ? *v : kNoTime);
+    }
+    res.max_miss_prob = std::max(res.max_miss_prob, row.miss_prob);
+    res.rows.push_back(std::move(row));
+  }
+  return res;
+}
+
+std::string ProbRtaResult::to_json() const {
+  std::string s = "{\"protocol\": \"" + json_escape(proto.name()) + "\"";
+  s += ", \"ber\": " + json_number(rates.ber);
+  s += ", \"calibration\": " + json_number(rates.calibration);
+  s += ", \"rates_source\": \"" + json_escape(rates.source) + "\"";
+  s += ", \"utilisation\": " + json_number(utilisation);
+  s += ", \"deterministic_schedulable\": " +
+       std::string(deterministic_schedulable ? "true" : "false");
+  s += ", \"max_miss_prob\": " + json_number(max_miss_prob);
+  s += ", \"streams\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ProbRtaRow& r = rows[i];
+    if (i) s += ",";
+    s += "\n  {\"name\": \"" + json_escape(r.det.msg.name) + "\"";
+    s += ", \"period\": " + std::to_string(r.det.msg.period);
+    s += ", \"c_bits\": " + std::to_string(r.det.c_bits);
+    s += ", \"blocking\": " + std::to_string(r.det.blocking);
+    s += ", \"response_det\": " + std::to_string(r.det.response);
+    s += ", \"schedulable_det\": " +
+         std::string(r.det.schedulable ? "true" : "false");
+    s += ", \"miss_prob\": " + json_number(r.miss_prob);
+    s += ", \"quantiles\": {";
+    for (std::size_t k = 0; k < r.quantiles.size(); ++k) {
+      if (k) s += ", ";
+      char qkey[32];
+      std::snprintf(qkey, sizeof(qkey), "%g", r.quantiles[k].first);
+      s += std::string("\"") + qkey + "\": ";
+      s += r.quantiles[k].second == kNoTime
+               ? "null"
+               : std::to_string(r.quantiles[k].second);
+    }
+    s += "}}";
+  }
+  s += "\n]}";
+  return s;
+}
+
+}  // namespace mcan

@@ -1,0 +1,199 @@
+#include "analysis/rta/rates.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace mcan {
+
+namespace {
+
+// Minimal scanner for the rare-engine result shape: locate the "rows"
+// array, then for each top-level object in it collect every
+// `"key": <number>` pair at any nesting depth (the empirical sub-object
+// flattens into the row).  This is deliberately not a general JSON
+// parser — the files are written by this repository's own tools
+// (bench_table1 --json) — but it fails loudly instead of guessing when
+// the shape is off.
+
+struct Scanner {
+  const std::string& s;
+  std::size_t i = 0;
+
+  [[nodiscard]] bool done() const { return i >= s.size(); }
+  [[nodiscard]] char peek() const { return s[i]; }
+
+  void skip_ws() {
+    while (!done() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+
+  /// Consume a JSON string literal; false if not at one.
+  bool take_string(std::string& out) {
+    skip_ws();
+    if (done() || s[i] != '"') return false;
+    out.clear();
+    for (++i; !done(); ++i) {
+      if (s[i] == '\\' && i + 1 < s.size()) {
+        out += s[++i];  // good enough: keys here never need real unescaping
+      } else if (s[i] == '"') {
+        ++i;
+        return true;
+      } else {
+        out += s[i];
+      }
+    }
+    return false;
+  }
+
+  /// Consume a number; false if not at one.
+  bool take_number(double& out) {
+    skip_ws();
+    const char* begin = s.c_str() + i;
+    char* end = nullptr;
+    out = std::strtod(begin, &end);
+    if (end == begin) return false;
+    i += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+};
+
+void assign_field(RateRow& row, const std::string& key, double v) {
+  if (key == "ber") row.ber = v;
+  else if (key == "p_hat") row.p_hat = v;
+  else if (key == "closed_form_p4") row.closed_form_p4 = v;
+  else if (key == "frame_bits") row.frame_bits = v;
+  else if (key == "trials") row.trials = v;
+}
+
+/// Parse one row object starting at '{': recurse into nested objects,
+/// flattening their numeric fields into `row`.
+bool parse_row_object(Scanner& sc, RateRow& row) {
+  sc.skip_ws();
+  if (sc.done() || sc.peek() != '{') return false;
+  ++sc.i;
+  for (;;) {
+    sc.skip_ws();
+    if (sc.done()) return false;
+    if (sc.peek() == '}') {
+      ++sc.i;
+      return true;
+    }
+    if (sc.peek() == ',') {
+      ++sc.i;
+      continue;
+    }
+    std::string key;
+    if (!sc.take_string(key)) return false;
+    sc.skip_ws();
+    if (sc.done() || sc.peek() != ':') return false;
+    ++sc.i;
+    sc.skip_ws();
+    if (sc.done()) return false;
+    if (sc.peek() == '{') {
+      if (!parse_row_object(sc, row)) return false;  // flatten nested object
+    } else if (sc.peek() == '"') {
+      std::string ignored;
+      if (!sc.take_string(ignored)) return false;
+    } else {
+      double v = 0;
+      if (!sc.take_number(v)) return false;
+      assign_field(row, key, v);
+    }
+  }
+}
+
+}  // namespace
+
+bool RateTable::parse(const std::string& text, RateTable& out,
+                      std::string& error) {
+  const std::size_t rows_at = text.find("\"rows\"");
+  if (rows_at == std::string::npos) {
+    error = "no \"rows\" array in rate table";
+    return false;
+  }
+  Scanner sc{text, text.find('[', rows_at)};
+  if (sc.i == std::string::npos) {
+    error = "\"rows\" is not an array";
+    return false;
+  }
+  ++sc.i;
+  RateTable table;
+  for (;;) {
+    sc.skip_ws();
+    if (sc.done()) {
+      error = "unterminated \"rows\" array";
+      return false;
+    }
+    if (sc.peek() == ']') break;
+    if (sc.peek() == ',') {
+      ++sc.i;
+      continue;
+    }
+    RateRow row;
+    if (!parse_row_object(sc, row)) {
+      error = "malformed row object in \"rows\"";
+      return false;
+    }
+    if (row.ber <= 0 || row.ber > 1) {
+      error = "row without a usable \"ber\" in (0, 1]";
+      return false;
+    }
+    table.rows.push_back(row);
+  }
+  if (table.rows.empty()) {
+    error = "rate table has no rows";
+    return false;
+  }
+  out = std::move(table);
+  return true;
+}
+
+bool RateTable::load(const std::string& path, RateTable& out,
+                     std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!parse(buf.str(), out, error)) {
+    error = path + ": " + error;
+    return false;
+  }
+  out.source = path;
+  return true;
+}
+
+const RateRow& RateTable::nearest(double ber) const {
+  std::size_t best = 0;
+  double best_d = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double d = std::fabs(std::log(rows[i].ber) - std::log(ber));
+    if (i == 0 || d < best_d) {
+      best = i;
+      best_d = d;
+    }
+  }
+  return rows[best];
+}
+
+MeasuredRates RateTable::rates_for(double ber) const {
+  const RateRow& row = nearest(ber);
+  MeasuredRates r;
+  r.ber = row.ber;
+  if (row.p_hat > 0 && row.closed_form_p4 > 0) {
+    r.calibration = row.p_hat / row.closed_form_p4;
+    r.imo_per_frame = row.p_hat;
+    r.measured_frame_bits = static_cast<int>(row.frame_bits);
+  }
+  char row_tag[48];
+  std::snprintf(row_tag, sizeof(row_tag), " row ber=%g", row.ber);
+  r.source = (source.empty() ? "parsed" : source) + row_tag;
+  return r;
+}
+
+}  // namespace mcan

@@ -1,0 +1,68 @@
+// Error-rate provenance for the probabilistic WCRT analysis.
+//
+// The analysis is parameterised by a per-bit corruption rate.  Rather
+// than hardcoding an assumed constant, the rate is loaded from what the
+// rare-event engine (src/rare/, mcan-rare, bench_table1) actually
+// *measured* on the executable bus: BENCH_table1.json carries, per bit
+// error rate, the closed-form expression-(4) probability and the
+// importance-sampled empirical estimate.  Their ratio calibrates the
+// analytic rate — the "fed by measured fault rates" leg of the ROADMAP
+// item — and the file/row provenance travels with every result so a
+// report can always answer "where did this ber come from?".
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcan {
+
+/// The error-rate parameters one analysis run uses, with provenance.
+struct MeasuredRates {
+  double ber = 1e-5;        ///< network-wide per-bit corruption rate
+  /// Empirical-over-closed-form ratio from the rare-event campaign
+  /// (p_hat / expression (4)); multiplies ber in the error model.  1.0
+  /// when no measurement backs this rate.
+  double calibration = 1.0;
+  double imo_per_frame = 0;   ///< measured inconsistency probability (info)
+  int measured_frame_bits = 0;  ///< probe frame length of the measurement
+  std::string source = "assumed";  ///< file/row or "assumed"
+
+  /// The rate the error model should use: ber scaled by the measured
+  /// machine-vs-model calibration.
+  [[nodiscard]] double effective_ber() const { return ber * calibration; }
+};
+
+/// One row of a rare-engine result file.
+struct RateRow {
+  double ber = 0;
+  double p_hat = 0;            ///< measured P{IMO}/frame (0 = not measured)
+  double closed_form_p4 = 0;   ///< expression (4) at the probe geometry
+  double frame_bits = 0;
+  double trials = 0;
+};
+
+/// The parsed rate table.
+struct RateTable {
+  std::vector<RateRow> rows;
+  std::string source;  ///< path the table was loaded from
+
+  /// Parse the BENCH_table1.json shape from `text` (rows[] of objects;
+  /// nested objects are flattened, so "empirical.p_hat" is found).
+  /// False with a message in `error` when no usable row exists.
+  [[nodiscard]] static bool parse(const std::string& text, RateTable& out,
+                                  std::string& error);
+
+  /// Read and parse `path`; false with a message in `error`.
+  [[nodiscard]] static bool load(const std::string& path, RateTable& out,
+                                 std::string& error);
+
+  /// The row whose ber is nearest to `ber` (log-scale); rows is non-empty
+  /// for any table parse() accepted.
+  [[nodiscard]] const RateRow& nearest(double ber) const;
+
+  /// MeasuredRates for the row nearest `ber`: calibration = p_hat/p4 when
+  /// the row carries a measurement, else 1.0.
+  [[nodiscard]] MeasuredRates rates_for(double ber) const;
+};
+
+}  // namespace mcan

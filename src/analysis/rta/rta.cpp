@@ -1,6 +1,7 @@
-#include "app/rta.hpp"
+#include "analysis/rta/rta.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "frame/layout.hpp"
 
@@ -8,12 +9,21 @@ namespace mcan {
 
 int worst_case_frame_bits(int dlc, bool extended, int eof_bits) {
   // Stuffable bits (SOF..CRC sequence); at most one stuff bit per 4
-  // stuffable bits after the first (the classic ceil((g-1)/4) bound).
+  // stuffable bits after the first — the Davis et al. ⌊(g+8s−1)/4⌋
+  // correction of Tindell's refuted ⌊(g+8s)/5⌋ (see the header).
   const int stuffable =
       body_bits_for(8 * dlc) + (extended ? kExtendedExtraBits : 0);
   const int max_stuff = (stuffable - 1) / 4;
   const int tail = tail_bits_for(eof_bits);
   return stuffable + max_stuff + tail + kIntermissionBits;
+}
+
+int tindell_refuted_frame_bits(int dlc, bool extended, int eof_bits) {
+  const int stuffable =
+      body_bits_for(8 * dlc) + (extended ? kExtendedExtraBits : 0);
+  const int understuff = stuffable / 5;  // the flaw: one per 5, not per 4
+  const int tail = tail_bits_for(eof_bits);
+  return stuffable + understuff + tail + kIntermissionBits;
 }
 
 bool arbitration_before(const RtaMessage& a, const RtaMessage& b) {
@@ -69,6 +79,33 @@ std::vector<RtaRow> response_time_analysis(std::vector<RtaMessage> messages,
     }
   }
   return rows;
+}
+
+std::vector<RtaMessage> sae_benchmark_set() {
+  return {
+      {"brake_cmd", 0x050, false, 2, 500},
+      {"steer_angle", 0x080, false, 4, 700},
+      {"wheel_speed", 0x100, false, 8, 900},
+      {"engine_status", 0x180, false, 8, 1200},
+      {"transmission", 0x200, false, 6, 1500},
+      {"body_control", 0x280, false, 8, 2500},
+      {"diagnostics", 0x600, false, 8, 5000},
+  };
+}
+
+std::vector<RtaMessage> scale_periods(std::vector<RtaMessage> messages,
+                                      double f) {
+  if (f < 0.1 || !(f == f)) {
+    throw std::invalid_argument("scale_periods: factor must be >= 0.1");
+  }
+  for (RtaMessage& m : messages) {
+    const double t = static_cast<double>(m.period) * f;
+    const BitTime floor_bits = 64;  // never below one short frame
+    m.period = t < static_cast<double>(floor_bits)
+                   ? floor_bits
+                   : static_cast<BitTime>(t);
+  }
+  return messages;
 }
 
 double rta_utilisation(const std::vector<RtaRow>& rows) {

@@ -2,7 +2,8 @@
 // fixed-priority non-preemptive analysis (Tindell & Burns, refined by
 // Davis et al.) — parameterised by the protocol's EOF length so the cost
 // of MajorCAN's longer frames shows up directly in the schedulability
-// numbers.
+// numbers.  The probabilistic layer (prob_rta.hpp) builds on these
+// deterministic bounds.
 //
 // Model: messages are queued periodically (period T_i, implicit deadline
 // D_i = T_i), priorities follow CAN arbitration (lower identifier wins,
@@ -26,7 +27,25 @@ namespace mcan {
 
 /// Worst-case wire bits of a frame with `dlc` data bytes: fixed fields +
 /// data + maximal stuffing + the EOF of the protocol in use + intermission.
+///
+/// The stuffing term is the *corrected* bound of Davis, Burns, Bril &
+/// Lukkien (RTS 2007), ⌊(g + 8s − 1) / 4⌋ extra bits for g fixed
+/// stuffable bits and s data bytes: the worst pattern stuffs every 4th
+/// bit after the first stuff, because a stuff bit participates in the
+/// next run.  Tindell's original analysis used ⌊(g + 8s) / 5⌋ — one
+/// stuff per 5 bits — which *undercounts* the worst case and made the
+/// published C_i values optimistic.  With the correction, a standard
+/// frame at EOF = 7 costs exactly 55 + 10s bits and an extended frame
+/// 80 + 10s bits (including the 3-bit intermission), the values Davis
+/// et al. publish; tests/rta_test.cpp pins both and the fact that the
+/// refuted bound is strictly smaller.
 [[nodiscard]] int worst_case_frame_bits(int dlc, bool extended, int eof_bits);
+
+/// Tindell's original (refuted) frame bound, kept only so tests and docs
+/// can demonstrate the flaw: same layout, but stuffing counted as
+/// ⌊stuffable / 5⌋.  Never use this in analysis — it undercounts.
+[[nodiscard]] int tindell_refuted_frame_bits(int dlc, bool extended,
+                                             int eof_bits);
 
 struct RtaMessage {
   std::string name;
@@ -47,6 +66,16 @@ struct RtaRow {
 /// Analyse the whole set; rows come back sorted by priority (bus order).
 [[nodiscard]] std::vector<RtaRow> response_time_analysis(
     std::vector<RtaMessage> messages, int eof_bits);
+
+/// The SAE-flavoured benchmark set shared by bench_rta, mcan-rta and the
+/// tests: fast safety-critical messages down to slow housekeeping, ~62%
+/// utilisation at standard CAN.
+[[nodiscard]] std::vector<RtaMessage> sae_benchmark_set();
+
+/// Scale every period by `f` (>= 0.1), rounding down but never below the
+/// frame itself — the saturation knob for validation workloads.
+[[nodiscard]] std::vector<RtaMessage> scale_periods(
+    std::vector<RtaMessage> messages, double f);
 
 /// Total bus utilisation of the set (sum C_i / T_i).
 [[nodiscard]] double rta_utilisation(const std::vector<RtaRow>& rows);

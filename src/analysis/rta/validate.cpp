@@ -1,0 +1,146 @@
+#include "analysis/rta/validate.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/network.hpp"
+#include "fault/random_faults.hpp"
+#include "util/rng.hpp"
+
+namespace mcan {
+
+BitTime SimStreamObservation::quantile(double q) const {
+  if (latencies.empty()) return 0;
+  const double rank = q * static_cast<double>(latencies.size());
+  std::size_t idx = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank - 0.5);
+  if (idx >= latencies.size()) idx = latencies.size() - 1;
+  return latencies[idx];
+}
+
+namespace {
+
+/// Stamp the release time into the payload so each delivery matches its
+/// release exactly (modulo 2^(8·dlc), which far exceeds any latency that
+/// is not already a deep miss for dlc >= 2).
+void stamp_release(Frame& f, BitTime t) {
+  for (int b = 0; b < f.dlc && b < 8; ++b) {
+    f.data[static_cast<std::size_t>(b)] =
+        static_cast<std::uint8_t>((t >> (8 * b)) & 0xff);
+  }
+}
+
+BitTime decode_latency(const Frame& f, BitTime now) {
+  const int bytes = std::min<int>(f.dlc, 8);
+  BitTime enc = 0;
+  for (int b = 0; b < bytes; ++b) {
+    enc |= static_cast<BitTime>(f.data[static_cast<std::size_t>(b)])
+           << (8 * b);
+  }
+  if (bytes >= 8) return now - enc;
+  const BitTime mask = (BitTime{1} << (8 * bytes)) - 1;
+  return (now - enc) & mask;
+}
+
+}  // namespace
+
+SimValidation simulate_response_times(std::vector<RtaMessage> messages,
+                                      const ProtocolParams& proto, double ber,
+                                      BitTime horizon, std::uint64_t seed) {
+  if (messages.empty() || horizon == 0) {
+    throw std::invalid_argument("simulate_response_times: empty workload");
+  }
+  for (const RtaMessage& m : messages) {
+    if (m.dlc < 1 || m.dlc > 8) {
+      throw std::invalid_argument(
+          "simulate_response_times: dlc must be 1..8 (the payload carries "
+          "the release stamp)");
+    }
+  }
+  std::sort(messages.begin(), messages.end(), arbitration_before);
+
+  SimValidation out;
+  out.proto = proto;
+  out.ber = ber;
+  out.horizon = horizon;
+  out.seed = seed;
+
+  const int senders = static_cast<int>(messages.size());
+  const int n_nodes = senders + 1;
+  Network net(n_nodes, proto);
+  RandomFaults faults(ber / n_nodes, Rng(seed, 0x7c7));
+  if (ber > 0) net.set_injector(faults);
+
+  out.streams.resize(messages.size());
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    out.streams[i].msg = messages[i];
+  }
+
+  // Deliveries are matched by identifier; the payload stamp recovers the
+  // release instance.
+  net.node(senders).add_delivery_handler([&](const Frame& f, BitTime t) {
+    for (SimStreamObservation& s : out.streams) {
+      if (s.msg.can_id != f.id || s.msg.extended != f.extended) continue;
+      const BitTime lat = decode_latency(f, t);
+      ++s.delivered;
+      s.worst = std::max(s.worst, lat);
+      if (lat > s.msg.period) ++s.missed;
+      s.latencies.push_back(lat);
+      return;
+    }
+  });
+
+  std::vector<BitTime> next(messages.size(), 0);
+  for (BitTime t = 0; t < horizon; ++t) {
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+      if (t == next[i]) {
+        next[i] += messages[i].period;
+        Frame f = Frame::make_blank(
+            messages[i].can_id, static_cast<std::uint8_t>(messages[i].dlc));
+        f.extended = messages[i].extended;
+        stamp_release(f, t);
+        net.node(static_cast<int>(i)).enqueue(f);
+        ++out.streams[i].released;
+      }
+    }
+    net.sim().step();
+  }
+
+  for (SimStreamObservation& s : out.streams) {
+    std::sort(s.latencies.begin(), s.latencies.end());
+  }
+  return out;
+}
+
+std::vector<ValidationVerdict> compare_quantiles(const ProbRtaResult& analysis,
+                                                 const SimValidation& sim,
+                                                 BitTime slack_bits) {
+  std::vector<ValidationVerdict> out;
+  for (const ProbRtaRow& row : analysis.rows) {
+    const SimStreamObservation* obs = nullptr;
+    for (const SimStreamObservation& s : sim.streams) {
+      if (s.msg.can_id == row.det.msg.can_id &&
+          s.msg.extended == row.det.msg.extended) {
+        obs = &s;
+        break;
+      }
+    }
+    if (obs == nullptr || obs->latencies.empty()) continue;
+    for (const auto& [q, analytic] : row.quantiles) {
+      if (analytic == kNoTime) continue;  // unbounded inside the deadline
+      // Need enough samples above the quantile to resolve it at all.
+      const double resolve =
+          static_cast<double>(obs->latencies.size()) * (1.0 - q);
+      if (resolve < 10.0) continue;
+      ValidationVerdict v;
+      v.stream = row.det.msg.name;
+      v.q = q;
+      v.analytic = analytic;
+      v.simulated = obs->quantile(q);
+      v.ok = v.simulated <= v.analytic + slack_bits;
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+}  // namespace mcan

@@ -1,0 +1,78 @@
+// Validation harness for the probabilistic WCRT analysis: drive a
+// saturated periodic multi-stream workload on the real bit-level bus
+// with iid view-flip faults (the paper's ber* model), measure per-stream
+// queue-to-delivery response times per *instance*, and compare the
+// empirical quantiles against the analytic distribution.
+//
+// Instance accounting is exact: each release stamps its release time
+// into the frame payload, so a delivery can always be matched to its
+// release even across retransmissions, duplicates, omissions and queue
+// backlog — no per-id bookkeeping that a back-to-back queueing could
+// confuse.  The analysis is a conservative bound, so the acceptance
+// criterion is one-sided: empirical quantile <= analytic quantile, and
+// empirical miss rate <= analytic miss probability (within binomial
+// noise at the configured sample counts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/rta/prob_rta.hpp"
+#include "analysis/rta/rta.hpp"
+
+namespace mcan {
+
+struct SimStreamObservation {
+  RtaMessage msg;
+  long long released = 0;
+  long long delivered = 0;   ///< samples (duplicates count: they happened)
+  long long missed = 0;      ///< deliveries later than the deadline
+  BitTime worst = 0;         ///< largest observed response time
+  std::vector<BitTime> latencies;  ///< sorted ascending
+
+  /// Empirical quantile (nearest-rank); 0 with no samples.
+  [[nodiscard]] BitTime quantile(double q) const;
+  /// Observed deadline-miss fraction.
+  [[nodiscard]] double miss_rate() const {
+    return delivered ? static_cast<double>(missed) /
+                           static_cast<double>(delivered)
+                     : 0.0;
+  }
+};
+
+struct SimValidation {
+  ProtocolParams proto;
+  double ber = 0;          ///< network-wide rate; per-node view = ber/N
+  BitTime horizon = 0;
+  std::uint64_t seed = 1;
+  std::vector<SimStreamObservation> streams;  ///< priority (bus) order
+};
+
+/// Simulate `messages` for `horizon` bit times on an (N senders + 1
+/// receiver) bus under RandomFaults(ber/N) and collect per-instance
+/// response-time samples at the receiver.  Deterministic in (set, proto,
+/// ber, horizon, seed).
+[[nodiscard]] SimValidation simulate_response_times(
+    std::vector<RtaMessage> messages, const ProtocolParams& proto, double ber,
+    BitTime horizon, std::uint64_t seed);
+
+/// One stream's analysis-vs-simulation comparison verdict.
+struct ValidationVerdict {
+  std::string stream;
+  double q = 0;               ///< quantile compared
+  BitTime analytic = 0;
+  BitTime simulated = 0;
+  bool ok = false;            ///< simulated <= analytic (+ slack)
+};
+
+/// Check every configured analytic quantile against the empirical one,
+/// stream by stream.  A quantile is only compared when the stream has
+/// enough samples to resolve it (count * (1-q) >= 10) and the analysis
+/// bounds it inside the deadline.  `slack_bits` loosens the one-sided
+/// comparison (0 = the pure bound).
+[[nodiscard]] std::vector<ValidationVerdict> compare_quantiles(
+    const ProbRtaResult& analysis, const SimValidation& sim,
+    BitTime slack_bits = 0);
+
+}  // namespace mcan

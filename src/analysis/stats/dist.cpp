@@ -1,0 +1,193 @@
+#include "analysis/stats/dist.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mcan {
+
+Pmf Pmf::point(BitTime v) {
+  Pmf d;
+  d.add_mass(v, 1.0);
+  return d;
+}
+
+void Pmf::add_mass(BitTime v, double p) {
+  if (p < 0 || !std::isfinite(p)) {
+    throw std::invalid_argument("Pmf::add_mass: mass must be finite and >= 0");
+  }
+  if (v == kNoCap) {
+    throw std::invalid_argument("Pmf::add_mass: value collides with kNoCap");
+  }
+  if (p == 0) return;
+  if (p_.empty()) {
+    offset_ = v;
+    p_.push_back(p);
+    return;
+  }
+  if (v < offset_) {
+    p_.insert(p_.begin(), offset_ - v, 0.0);
+    offset_ = v;
+  } else if (v >= offset_ + p_.size()) {
+    p_.resize(static_cast<std::size_t>(v - offset_) + 1, 0.0);
+  }
+  p_[static_cast<std::size_t>(v - offset_)] += p;
+}
+
+BitTime Pmf::max_value() const {
+  if (p_.empty()) {
+    throw std::logic_error("Pmf::max_value: no finite support");
+  }
+  return offset_ + p_.size() - 1;
+}
+
+double Pmf::mass_at(BitTime v) const {
+  if (p_.empty() || v < offset_ || v >= offset_ + p_.size()) return 0.0;
+  return p_[static_cast<std::size_t>(v - offset_)];
+}
+
+double Pmf::total_mass() const {
+  double s = tail_;
+  for (double p : p_) s += p;
+  return s;
+}
+
+double Pmf::cdf(BitTime v) const {
+  double s = 0;
+  for (std::size_t i = 0; i < p_.size() && offset_ + i <= v; ++i) s += p_[i];
+  return s;
+}
+
+double Pmf::exceed(BitTime v) const {
+  double s = tail_;
+  for (std::size_t i = 0; i < p_.size(); ++i) {
+    if (offset_ + i > v) s += p_[i];
+  }
+  return s;
+}
+
+double Pmf::partial_mean() const {
+  double s = 0;
+  for (std::size_t i = 0; i < p_.size(); ++i) {
+    s += static_cast<double>(offset_ + i) * p_[i];
+  }
+  return s;
+}
+
+std::optional<BitTime> Pmf::quantile(double q) const {
+  const double target = q * total_mass();
+  double s = 0;
+  for (std::size_t i = 0; i < p_.size(); ++i) {
+    s += p_[i];
+    if (s >= target) return offset_ + i;
+  }
+  return std::nullopt;  // the quantile sits in the truncated tail
+}
+
+void Pmf::shift(BitTime d) {
+  if (!p_.empty()) offset_ += d;
+}
+
+void Pmf::scale(double f) {
+  if (f < 0 || !std::isfinite(f)) {
+    throw std::invalid_argument("Pmf::scale: factor must be finite and >= 0");
+  }
+  for (double& p : p_) p *= f;
+  tail_ *= f;
+}
+
+void Pmf::accumulate(const Pmf& other) {
+  for (std::size_t i = 0; i < other.p_.size(); ++i) {
+    if (other.p_[i] != 0) add_mass(other.offset_ + i, other.p_[i]);
+  }
+  tail_ += other.tail_;
+}
+
+std::pair<Pmf, Pmf> Pmf::split(BitTime t) const {
+  Pmf below;
+  Pmf above;
+  above.tail_ = tail_;
+  for (std::size_t i = 0; i < p_.size(); ++i) {
+    if (p_[i] == 0) continue;
+    const BitTime v = offset_ + i;
+    (v < t ? below : above).add_mass(v, p_[i]);
+  }
+  return {std::move(below), std::move(above)};
+}
+
+Pmf Pmf::convolve(const Pmf& a, const Pmf& b, BitTime cap) {
+  Pmf out;
+  const double ta = a.total_mass(), tb = b.total_mass();
+  if (a.p_.empty() || b.p_.empty()) {
+    // No finite part on one side: everything lands in the tail (a tail
+    // plus anything stays a tail), except the product of two empties.
+    out.tail_ = ta * tb;
+    return out;
+  }
+  const BitTime lo = a.offset_ + b.offset_;
+  if (cap != kNoCap && lo > cap) {
+    out.tail_ = ta * tb;
+    return out;
+  }
+  const BitTime hi_unc = a.offset_ + a.p_.size() - 1 + b.offset_ +
+                         b.p_.size() - 1;
+  const BitTime hi = cap == kNoCap ? hi_unc : std::min(hi_unc, cap);
+  out.offset_ = lo;
+  out.p_.assign(static_cast<std::size_t>(hi - lo) + 1, 0.0);
+  double kept = 0;
+  for (std::size_t i = 0; i < a.p_.size(); ++i) {
+    if (a.p_[i] == 0) continue;
+    for (std::size_t j = 0; j < b.p_.size(); ++j) {
+      if (b.p_[j] == 0) continue;
+      const BitTime v = a.offset_ + i + b.offset_ + j;
+      if (v > hi) break;  // b support is ordered: the rest only grows
+      const double m = a.p_[i] * b.p_[j];
+      out.p_[static_cast<std::size_t>(v - lo)] += m;
+      kept += m;
+    }
+  }
+  // Mass conservation: everything the finite grid did not keep — capped
+  // outcomes and any pairing involving a tail — is tail mass.
+  out.tail_ = ta * tb - kept;
+  if (out.tail_ < 0) out.tail_ = 0;  // guard against rounding underflow
+  return out;
+}
+
+std::string Pmf::serialize() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "pmf %llu %zu %la",
+                static_cast<unsigned long long>(offset_), p_.size(), tail_);
+  std::string s = buf;
+  for (double p : p_) {
+    std::snprintf(buf, sizeof(buf), " %la", p);
+    s += buf;
+  }
+  return s;
+}
+
+bool Pmf::parse(const std::string& s, Pmf& out) {
+  const char* c = s.c_str();
+  unsigned long long offset = 0;
+  std::size_t n = 0;
+  double tail = 0;
+  int consumed = 0;
+  if (std::sscanf(c, "pmf %llu %zu %la%n", &offset, &n, &tail, &consumed) != 3) {
+    return false;
+  }
+  Pmf d;
+  d.offset_ = offset;
+  d.tail_ = tail;
+  d.p_.resize(n);
+  c += consumed;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::sscanf(c, " %la%n", &d.p_[i], &consumed) != 1) return false;
+    c += consumed;
+  }
+  while (*c == ' ') ++c;
+  if (*c != '\0') return false;
+  out = std::move(d);
+  return true;
+}
+
+}  // namespace mcan

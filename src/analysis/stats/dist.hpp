@@ -1,0 +1,108 @@
+// Discrete delay distributions for the probabilistic response-time
+// analysis (src/analysis/rta/): a probability mass function over integer
+// bit-time values, with the operations the convolution-based WCRT method
+// needs — convolution under a truncation cap, quantiles, tail bounds —
+// and the exact hex-float serialization discipline the rare-event
+// accumulators use (parse(serialize()) reproduces the object bit for bit).
+//
+// Truncation is *absorbing and conservative*: convolving under a cap
+// lumps every outcome beyond the cap into an explicit `tail_mass`, which
+// the schedulability analysis reads as "deadline missed".  Mass is never
+// silently dropped — total_mass() stays at the product/sum the algebra
+// implies (1.0 for properly normalised inputs, up to rounding).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/bit.hpp"
+
+namespace mcan {
+
+/// Convolution cap meaning "no truncation".
+inline constexpr BitTime kNoCap = ~BitTime{0};
+
+class Pmf {
+ public:
+  /// The empty distribution (no mass anywhere).
+  Pmf() = default;
+
+  /// Degenerate distribution: all mass at `v`.
+  [[nodiscard]] static Pmf point(BitTime v);
+
+  /// Add `p` of probability mass at value `v` (extends the support as
+  /// needed).  Negative mass and values at kNoCap are rejected.
+  void add_mass(BitTime v, double p);
+
+  /// Move `p` of probability mass into the truncated tail ("beyond any
+  /// modelled value"; reads as a deadline miss downstream).
+  void add_tail(double p) { tail_ += p; }
+
+  [[nodiscard]] bool empty() const { return p_.empty() && tail_ == 0.0; }
+  [[nodiscard]] BitTime min_value() const { return offset_; }
+  /// Largest finite support value; requires a non-empty finite part.
+  [[nodiscard]] BitTime max_value() const;
+  [[nodiscard]] bool has_finite_mass() const { return !p_.empty(); }
+
+  /// P{X = v} over the finite support (0 outside it).
+  [[nodiscard]] double mass_at(BitTime v) const;
+  /// Mass truncated beyond the finite support by a capped convolution.
+  [[nodiscard]] double tail_mass() const { return tail_; }
+  /// Finite mass + tail mass (≈ 1 for a normalised distribution).
+  [[nodiscard]] double total_mass() const;
+
+  /// P{X <= v}, counting finite mass only (the tail sits above every v).
+  [[nodiscard]] double cdf(BitTime v) const;
+  /// P{X > v}: finite mass above `v` plus the whole truncated tail.
+  [[nodiscard]] double exceed(BitTime v) const;
+
+  /// Mean over the finite support (conditional on not-tail, unnormalised:
+  /// callers wanting E[X | finite] divide by (total_mass - tail_mass)).
+  [[nodiscard]] double partial_mean() const;
+
+  /// Smallest v with cdf(v) >= q * total_mass(); nullopt when the
+  /// quantile falls inside the truncated tail (i.e. beyond the cap).
+  [[nodiscard]] std::optional<BitTime> quantile(double q) const;
+
+  /// Shift the whole finite support by `d` bit times.
+  void shift(BitTime d);
+
+  /// Multiply every mass (finite and tail) by `f` — for building mixtures.
+  void scale(double f);
+
+  /// Accumulate another distribution's mass into this one (mixture sum;
+  /// combine with scale() for weighted mixtures).
+  void accumulate(const Pmf& other);
+
+  /// Split at `t`: first carries the finite mass at values < t, second
+  /// the finite mass at values >= t plus the whole tail (the tail sits
+  /// above every finite value).  first.total + second.total == total.
+  /// The conditional-convolution step of the busy-period iteration is
+  /// built on this: only the part of the delay distribution still "busy"
+  /// at a release instant receives that instance's transmission time.
+  [[nodiscard]] std::pair<Pmf, Pmf> split(BitTime t) const;
+
+  /// Distribution of X + Y for independent X ~ a, Y ~ b.  Outcomes above
+  /// `cap` — and every pairing involving either tail — land in the result
+  /// tail, so total_mass() is preserved at a.total * b.total exactly
+  /// (up to rounding).
+  [[nodiscard]] static Pmf convolve(const Pmf& a, const Pmf& b,
+                                    BitTime cap = kNoCap);
+
+  /// Exact round-trip serialization ("%la" hex floats, like
+  /// StreamingMoments): parse(serialize()) == *this bit for bit.
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static bool parse(const std::string& s, Pmf& out);
+
+  [[nodiscard]] bool operator==(const Pmf&) const = default;
+
+ private:
+  BitTime offset_ = 0;      ///< value of p_[0]
+  std::vector<double> p_;   ///< finite support, contiguous from offset_
+  double tail_ = 0;         ///< mass truncated beyond the cap
+};
+
+}  // namespace mcan

@@ -1,0 +1,284 @@
+// Distribution primitives behind the probabilistic RTA: Pmf algebra
+// (convolution identities, truncation/tail accounting, split, quantiles)
+// and the measured-rate loader that feeds the error model from the
+// rare-engine's BENCH_table1.json output.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "invariant_gtest.hpp"
+
+#include "analysis/rta/rates.hpp"
+#include "analysis/stats/dist.hpp"
+#include "util/rng.hpp"
+
+namespace mcan {
+namespace {
+
+Pmf random_pmf(Rng& rng, int atoms, BitTime span) {
+  Pmf d;
+  double left = 1.0;
+  for (int i = 0; i < atoms; ++i) {
+    const double p = (i + 1 == atoms) ? left : left * 0.5;
+    d.add_mass(rng.next_below(static_cast<std::uint32_t>(span)), p);
+    left -= p;
+  }
+  return d;
+}
+
+TEST(Dist, PointMassBasics) {
+  const Pmf d = Pmf::point(42);
+  EXPECT_EQ(d.min_value(), 42u);
+  EXPECT_EQ(d.max_value(), 42u);
+  EXPECT_EQ(d.mass_at(42), 1.0);
+  EXPECT_EQ(d.mass_at(41), 0.0);
+  EXPECT_EQ(d.total_mass(), 1.0);
+  EXPECT_EQ(d.cdf(41), 0.0);
+  EXPECT_EQ(d.cdf(42), 1.0);
+  EXPECT_EQ(d.exceed(42), 0.0);
+  EXPECT_EQ(d.exceed(41), 1.0);
+  ASSERT_TRUE(d.quantile(0.5));
+  EXPECT_EQ(*d.quantile(0.5), 42u);
+}
+
+TEST(Dist, AddMassRejectsBadInput) {
+  Pmf d;
+  EXPECT_THROW(d.add_mass(1, -0.1), std::invalid_argument);
+  EXPECT_THROW(d.add_mass(1, std::nan("")), std::invalid_argument);
+  EXPECT_THROW(d.add_mass(kNoCap, 0.5), std::invalid_argument);
+  d.add_mass(7, 0.0);  // zero mass is a no-op, not an atom
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(Dist, ConvolutionIdentityElement) {
+  // point(0) is the identity of the convolution monoid.
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Pmf a = random_pmf(rng, 4, 200);
+    EXPECT_EQ(Pmf::convolve(a, Pmf::point(0)), a);
+    EXPECT_EQ(Pmf::convolve(Pmf::point(0), a), a);
+  }
+}
+
+TEST(Dist, ConvolutionCommutes) {
+  Rng rng(12);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Pmf a = random_pmf(rng, 3, 150);
+    const Pmf b = random_pmf(rng, 5, 90);
+    EXPECT_EQ(Pmf::convolve(a, b), Pmf::convolve(b, a));
+  }
+}
+
+TEST(Dist, ConvolutionShiftsPoints) {
+  // Convolving with a delta translates the support.
+  const Pmf a = Pmf::convolve(Pmf::point(10), Pmf::point(32));
+  EXPECT_EQ(a.min_value(), 42u);
+  EXPECT_EQ(a.mass_at(42), 1.0);
+}
+
+TEST(Dist, ConvolutionAddsMeans) {
+  // E[X + Y] = E[X] + E[Y] while nothing is truncated.
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Pmf a = random_pmf(rng, 4, 100);
+    const Pmf b = random_pmf(rng, 4, 100);
+    const Pmf c = Pmf::convolve(a, b);
+    EXPECT_EQ(c.tail_mass(), 0.0);
+    EXPECT_NEAR(c.partial_mean(), a.partial_mean() + b.partial_mean(), 1e-9);
+    EXPECT_NEAR(c.total_mass(), 1.0, 1e-12);
+  }
+}
+
+TEST(Dist, CappedConvolutionConservesMass) {
+  // Every outcome above the cap lands in the tail; nothing disappears.
+  Pmf a;
+  a.add_mass(50, 0.7);
+  a.add_mass(120, 0.3);
+  Pmf b;
+  b.add_mass(0, 0.9);
+  b.add_mass(100, 0.1);
+  const Pmf c = Pmf::convolve(a, b, 130);
+  // Kept: 50 (0.63), 120 (0.27); capped: 150 (0.07), 220 (0.03).
+  EXPECT_NEAR(c.mass_at(50), 0.63, 1e-12);
+  EXPECT_NEAR(c.mass_at(120), 0.27, 1e-12);
+  EXPECT_NEAR(c.tail_mass(), 0.10, 1e-12);
+  EXPECT_NEAR(c.total_mass(), 1.0, 1e-12);
+  // A cap below the whole support truncates everything.
+  const Pmf all_tail = Pmf::convolve(a, b, 10);
+  EXPECT_FALSE(all_tail.has_finite_mass());
+  EXPECT_NEAR(all_tail.tail_mass(), 1.0, 1e-12);
+}
+
+TEST(Dist, TailIsAbsorbing) {
+  // Once mass is in the tail it stays there through further convolution.
+  Pmf a = Pmf::point(10);
+  a.scale(0.6);
+  a.add_tail(0.4);
+  const Pmf c = Pmf::convolve(a, Pmf::point(5));
+  EXPECT_NEAR(c.mass_at(15), 0.6, 1e-12);
+  EXPECT_NEAR(c.tail_mass(), 0.4, 1e-12);
+  // exceed() counts the tail above every finite v.
+  EXPECT_NEAR(c.exceed(1000000), 0.4, 1e-12);
+}
+
+TEST(Dist, SplitPartitionsMass) {
+  Rng rng(14);
+  for (int trial = 0; trial < 20; ++trial) {
+    Pmf d = random_pmf(rng, 6, 300);
+    d.scale(0.9);
+    d.add_tail(0.1);
+    const BitTime t = rng.next_below(350);
+    const auto [below, above] = d.split(t);
+    EXPECT_NEAR(below.total_mass() + above.total_mass(), d.total_mass(),
+                1e-12);
+    // The tail sits above any threshold.
+    EXPECT_EQ(below.tail_mass(), 0.0);
+    EXPECT_NEAR(above.tail_mass(), 0.1, 1e-12);
+    if (below.has_finite_mass()) EXPECT_LT(below.max_value(), t);
+    if (above.has_finite_mass()) EXPECT_GE(above.min_value(), t);
+    // Recombining reproduces the original.
+    Pmf sum = below;
+    sum.accumulate(above);
+    EXPECT_EQ(sum, d);
+  }
+}
+
+TEST(Dist, QuantilesAreMonotone) {
+  Rng rng(15);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Pmf d = random_pmf(rng, 8, 500);
+    BitTime prev = 0;
+    for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+      const auto v = d.quantile(q);
+      ASSERT_TRUE(v) << "q=" << q << " with no tail must stay finite";
+      EXPECT_GE(*v, prev) << "q=" << q;
+      prev = *v;
+    }
+    EXPECT_EQ(prev, d.max_value());
+  }
+}
+
+TEST(Dist, QuantileFallsIntoTruncatedTail) {
+  Pmf d = Pmf::point(100);
+  d.scale(0.5);
+  d.add_tail(0.5);
+  ASSERT_TRUE(d.quantile(0.5));
+  EXPECT_EQ(*d.quantile(0.5), 100u);
+  EXPECT_FALSE(d.quantile(0.9)) << "beyond the cap: no finite quantile";
+}
+
+TEST(Dist, SerializeParseRoundTripIsExact) {
+  // Same discipline as RareAccumulator: "%la" hex floats, so the
+  // round-trip is bit-exact, including awkward values.
+  Rng rng(16);
+  for (int trial = 0; trial < 30; ++trial) {
+    Pmf d = random_pmf(rng, 7, 1000);
+    d.scale(1.0 / 3.0);       // non-terminating binary fractions
+    d.add_tail(1e-301);       // subnormal-adjacent tail
+    Pmf back;
+    ASSERT_TRUE(Pmf::parse(d.serialize(), back));
+    EXPECT_EQ(back, d);
+    EXPECT_EQ(back.serialize(), d.serialize());
+  }
+  // The empty distribution round-trips too.
+  Pmf empty;
+  Pmf back;
+  ASSERT_TRUE(Pmf::parse(empty.serialize(), back));
+  EXPECT_EQ(back, empty);
+}
+
+TEST(Dist, ParseRejectsMalformed) {
+  Pmf out;
+  EXPECT_FALSE(Pmf::parse("", out));
+  EXPECT_FALSE(Pmf::parse("pmf", out));
+  EXPECT_FALSE(Pmf::parse("pmf 0 2 0x0p+0 0x1p-1", out)) << "missing atom";
+  EXPECT_FALSE(Pmf::parse("pmf 0 1 0x0p+0 0x1p-1 junk", out));
+  EXPECT_FALSE(Pmf::parse("moments 0 1 0x0p+0", out)) << "wrong magic";
+}
+
+// ---------------------------------------------------------------------------
+// Measured-rate provenance (BENCH_table1.json loader).
+
+constexpr char kTableShape[] = R"({
+  "rows": [
+    {"ber": 1.0e-04,
+     "empirical": {"p_hat": 2.9e-10, "closed_form_p4": 3.0e-10,
+                   "frame_bits": 85, "trials": 20000}},
+    {"ber": 1.0e-05,
+     "empirical": {"p_hat": 3.3e-12, "closed_form_p4": 3.0e-12,
+                   "frame_bits": 85, "trials": 20000}}
+  ]
+})";
+
+TEST(Rates, ParsesTableShape) {
+  RateTable table;
+  std::string error;
+  ASSERT_TRUE(RateTable::parse(kTableShape, table, error)) << error;
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0].ber, 1e-4);
+  EXPECT_EQ(table.rows[0].p_hat, 2.9e-10);
+  EXPECT_EQ(table.rows[0].closed_form_p4, 3.0e-10);
+  EXPECT_EQ(table.rows[0].frame_bits, 85.0);
+}
+
+TEST(Rates, NearestUsesLogScale) {
+  RateTable table;
+  std::string error;
+  ASSERT_TRUE(RateTable::parse(kTableShape, table, error)) << error;
+  EXPECT_EQ(table.nearest(1e-4).ber, 1e-4);
+  EXPECT_EQ(table.nearest(5e-5).ber, 1e-4) << "log-midpoint rounds up";
+  EXPECT_EQ(table.nearest(2e-5).ber, 1e-5);
+  EXPECT_EQ(table.nearest(1e-9).ber, 1e-5) << "clamps to the nearest row";
+}
+
+TEST(Rates, RatesForCarriesCalibrationAndProvenance) {
+  RateTable table;
+  std::string error;
+  ASSERT_TRUE(RateTable::parse(kTableShape, table, error)) << error;
+  table.source = "BENCH_table1.json";
+  const MeasuredRates r = table.rates_for(1e-5);
+  EXPECT_EQ(r.ber, 1e-5);
+  EXPECT_NEAR(r.calibration, 3.3 / 3.0, 1e-12);
+  EXPECT_NEAR(r.effective_ber(), 1e-5 * 3.3 / 3.0, 1e-18);
+  EXPECT_NE(r.source.find("BENCH_table1.json"), std::string::npos);
+  EXPECT_NE(r.source.find("1e-05"), std::string::npos) << r.source;
+}
+
+TEST(Rates, RejectsUselessInput) {
+  RateTable table;
+  std::string error;
+  EXPECT_FALSE(RateTable::parse("", table, error));
+  EXPECT_FALSE(RateTable::parse("{\"rows\": []}", table, error));
+  EXPECT_FALSE(RateTable::parse("{\"rows\": [{\"p_hat\": 1e-10}]}", table,
+                                error))
+      << "a row without a ber is not a rate";
+  EXPECT_FALSE(RateTable::parse("{\"rows\": [{\"ber\": -1.0}]}", table, error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Rates, LoadsTheCommittedMeasurementFile) {
+  // The real provenance chain: the committed rare-engine output must be
+  // loadable and carry usable calibrations near 1 (the engine validated
+  // expression (4) to ~2%).
+  RateTable table;
+  std::string error;
+  ASSERT_TRUE(RateTable::load(MCAN_REPO_DIR "/BENCH_table1.json", table, error))
+      << error;
+  ASSERT_GE(table.rows.size(), 3u);
+  const MeasuredRates r = table.rates_for(1e-5);
+  EXPECT_EQ(r.ber, 1e-5);
+  EXPECT_GT(r.calibration, 0.5);
+  EXPECT_LT(r.calibration, 2.0);
+  EXPECT_NE(r.source.find("BENCH_table1.json"), std::string::npos);
+}
+
+TEST(Rates, LoadFailsCleanlyOnMissingFile) {
+  RateTable table;
+  std::string error;
+  EXPECT_FALSE(RateTable::load("/nonexistent/rates.json", table, error));
+  EXPECT_NE(error.find("nonexistent"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcan

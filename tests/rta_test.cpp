@@ -1,11 +1,17 @@
-// Response-time analysis tests: the C bound vs the real encoder, the
-// fixed-point recurrence, and — the important one — validation of the
-// analytic bound against worst observed latencies on the simulated bus.
+// Response-time analysis tests: the C bound vs the real encoder (with the
+// Davis et al. stuffing values pinned exactly), the fixed-point
+// recurrence, the per-variant error model, the probabilistic layer's
+// degeneracy/monotonicity properties, and — the important one —
+// validation of the analytic distributions against observed per-instance
+// latencies on the simulated bus with injected faults.
 #include <gtest/gtest.h>
 
 #include "invariant_gtest.hpp"
 
-#include "app/rta.hpp"
+#include "analysis/rta/error_model.hpp"
+#include "analysis/rta/prob_rta.hpp"
+#include "analysis/rta/rta.hpp"
+#include "analysis/rta/validate.hpp"
 #include "app/scheduler.hpp"
 #include "core/network.hpp"
 #include "frame/encoder.hpp"
@@ -43,6 +49,34 @@ TEST(RtaBound, TightForStuffDenseFrames) {
   const int actual = wire_length(f, 7) + kIntermissionBits;
   EXPECT_GE(bound, actual);
   EXPECT_LE(bound - actual, 8);
+}
+
+TEST(RtaBound, PinsDavisPublishedValues) {
+  // Davis, Burns, Bril & Lukkien (RTS 2007): with the corrected stuffing
+  // bound ⌊(g + 8s − 1)/4⌋, a standard frame at EOF = 7 costs exactly
+  // 55 + 10s bits and an extended frame 80 + 10s bits, both including
+  // the 3-bit intermission.  These are the published C_i values.
+  for (int s = 0; s <= 8; ++s) {
+    EXPECT_EQ(worst_case_frame_bits(s, false, 7), 55 + 10 * s) << "s=" << s;
+    EXPECT_EQ(worst_case_frame_bits(s, true, 7), 80 + 10 * s) << "s=" << s;
+  }
+}
+
+TEST(RtaBound, TindellRefutedBoundUndercounts) {
+  // Tindell's original ⌊(g + 8s)/5⌋ stuffing term is strictly smaller for
+  // every payload length — the flaw Davis et al. correct.  An analysis
+  // built on it would certify message sets that can miss deadlines.
+  for (bool extended : {false, true}) {
+    for (int s = 0; s <= 8; ++s) {
+      EXPECT_LT(tindell_refuted_frame_bits(s, extended, 7),
+                worst_case_frame_bits(s, extended, 7))
+          << "s=" << s << " ext=" << extended;
+    }
+  }
+  // Magnitude of the undercount at s = 8 standard: 10 − 8 stuff bits.
+  EXPECT_EQ(worst_case_frame_bits(8, false, 7) -
+                tindell_refuted_frame_bits(8, false, 7),
+            5);
 }
 
 TEST(Rta, PriorityOrderFollowsArbitration) {
@@ -99,10 +133,179 @@ TEST(Rta, MajorCanEofRaisesResponseTimes) {
   }
 }
 
+TEST(Rta, SaeBenchmarkSetIsSchedulableOnEveryVariant) {
+  for (int m : {0, 5, 8}) {
+    const ProtocolParams proto =
+        m == 0 ? ProtocolParams::standard_can() : ProtocolParams::major_can(m);
+    auto rows = response_time_analysis(sae_benchmark_set(), proto.eof_bits());
+    for (const RtaRow& r : rows) {
+      EXPECT_TRUE(r.schedulable) << r.msg.name << " m=" << m;
+    }
+    EXPECT_LT(rta_utilisation(rows), 1.0);
+  }
+}
+
+TEST(Rta, ScalePeriodsSaturatesAndFloors) {
+  const auto base = sae_benchmark_set();
+  const auto tight = scale_periods(base, 0.5);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(tight[i].period, base[i].period / 2);
+  }
+  const auto floored = scale_periods(base, 0.1);
+  for (const RtaMessage& m : floored) EXPECT_GE(m.period, 64u);
+  EXPECT_THROW((void)scale_periods(base, 0.01), std::invalid_argument);
+}
+
+TEST(ErrorModel, CanChargesFullRetransmitExposure) {
+  MeasuredRates rates;
+  rates.ber = 1e-4;
+  const VariantErrorModel can(ProtocolParams::standard_can(), rates);
+  // CAN has no end-game: no accept-side tolerance anywhere in the frame.
+  EXPECT_EQ(can.endgame_extra_bits(), 0);
+  EXPECT_EQ(can.endgame_prob(135), 0.0);
+  // Error frame: 11-bit flag superposition + 8-bit delimiter + 3 inter.
+  EXPECT_EQ(can.error_frame_bits(), 11 + 8 + 3);
+  // More exposed bits, more retransmissions.
+  EXPECT_GT(can.retransmit_prob(135), can.retransmit_prob(65));
+  EXPECT_GT(can.retransmit_prob(135), 0.0);
+  EXPECT_LT(can.retransmit_prob(135), 1.0);
+}
+
+TEST(ErrorModel, MajorCanEndGameTradesRetransmissionForBits) {
+  MeasuredRates rates;
+  rates.ber = 1e-4;
+  const int m = 5;
+  const VariantErrorModel major(ProtocolParams::major_can(m), rates);
+  const VariantErrorModel can(ProtocolParams::standard_can(), rates);
+  // Worst end-game stretch: extended flags through 3m+4 vs a clean EOF,
+  // 2m−2 extra bits; and the error delimiter grows to 2m+1.
+  EXPECT_EQ(major.endgame_extra_bits(), 2 * m - 2);
+  EXPECT_EQ(major.error_frame_bits(), 11 + (2 * m + 1) + 3);
+  // Errors landing in the accept-side EOF sub-field do NOT retransmit:
+  // at equal frame length MajorCAN's retransmit probability is lower,
+  // compensated by a nonzero end-game probability.
+  const int c = 140;
+  EXPECT_LT(major.retransmit_prob(c), can.retransmit_prob(c));
+  EXPECT_GT(major.endgame_prob(c), 0.0);
+}
+
+TEST(ErrorModel, AttemptPmfConservesMass) {
+  MeasuredRates rates;
+  rates.ber = 1e-3;  // high enough that retransmission atoms matter
+  for (int m : {0, 5}) {
+    const ProtocolParams proto =
+        m == 0 ? ProtocolParams::standard_can() : ProtocolParams::major_can(m);
+    const VariantErrorModel model(proto, rates);
+    const Pmf pmf = model.attempt_pmf(135, 6);
+    EXPECT_NEAR(pmf.total_mass(), 1.0, 1e-12) << "m=" << m;
+    EXPECT_EQ(pmf.min_value(), 135u);
+    // Clean transmission dominates at these rates.
+    EXPECT_GT(pmf.mass_at(135), 0.8);
+    // Capping at the clean length pushes everything else to the tail.
+    const Pmf capped = model.attempt_pmf(135, 6, 135 + m);
+    EXPECT_NEAR(capped.total_mass(), 1.0, 1e-12);
+    EXPECT_GT(capped.tail_mass(), 0.0);
+  }
+}
+
+TEST(ProbRta, ZeroBerDegeneratesToDeterministicAnalysis) {
+  // With ber = 0 every attempt distribution is a point mass at C_i and
+  // the distributional fixed point must reproduce the classic recurrence
+  // exactly: response PMF = delta at R_i, zero miss probability.
+  MeasuredRates rates;
+  rates.ber = 0;
+  for (int m : {0, 5}) {
+    const ProtocolParams proto =
+        m == 0 ? ProtocolParams::standard_can() : ProtocolParams::major_can(m);
+    const ProbRtaResult res = probabilistic_rta(sae_benchmark_set(), proto,
+                                                rates);
+    EXPECT_TRUE(res.deterministic_schedulable);
+    EXPECT_EQ(res.max_miss_prob, 0.0);
+    for (const ProbRtaRow& r : res.rows) {
+      ASSERT_TRUE(r.response.has_finite_mass()) << r.det.msg.name;
+      EXPECT_EQ(r.response.min_value(), r.det.response) << r.det.msg.name;
+      EXPECT_EQ(r.response.max_value(), r.det.response) << r.det.msg.name;
+      EXPECT_NEAR(r.response.mass_at(r.det.response), 1.0, 1e-12);
+      EXPECT_EQ(r.miss_prob, 0.0);
+      EXPECT_EQ(r.quantile(0.5), r.det.response);
+      EXPECT_EQ(r.quantile(0.9999), r.det.response);
+    }
+  }
+}
+
+TEST(ProbRta, MissProbabilityIsMonotoneInBer) {
+  // Scale 0.8 keeps the set deterministically schedulable (util ~0.88)
+  // but leaves so little slack that every extra retransmission shows up
+  // as miss mass — the regime the probabilistic layer exists for.
+  const ProtocolParams proto = ProtocolParams::standard_can();
+  const auto set = scale_periods(sae_benchmark_set(), 0.8);
+  double prev = -1;
+  for (double ber : {0.0, 1e-6, 1e-5, 1e-4, 1e-3}) {
+    MeasuredRates rates;
+    rates.ber = ber;
+    const ProbRtaResult res = probabilistic_rta(set, proto, rates);
+    ASSERT_TRUE(res.deterministic_schedulable) << "ber=" << ber;
+    EXPECT_GT(res.max_miss_prob, prev) << "ber=" << ber;
+    EXPECT_LE(res.max_miss_prob, 1.0) << "ber=" << ber;
+    prev = res.max_miss_prob;
+  }
+  EXPECT_GT(prev, 0.1) << "near-saturated set at 1e-3 must show miss mass";
+}
+
+TEST(ProbRta, CalibrationScalesTheEffectiveRate) {
+  const ProtocolParams proto = ProtocolParams::standard_can();
+  const auto set = scale_periods(sae_benchmark_set(), 0.8);
+  MeasuredRates plain;
+  plain.ber = 1e-4;
+  MeasuredRates calibrated = plain;
+  calibrated.calibration = 3.0;
+  const auto a = probabilistic_rta(set, proto, plain);
+  const auto b = probabilistic_rta(set, proto, calibrated);
+  EXPECT_GT(b.max_miss_prob, a.max_miss_prob)
+      << "a >1 measured calibration must worsen the analytic verdict";
+}
+
+TEST(ProbRta, MajorCanTailIsSmallerAtEqualBer) {
+  // MajorCAN pays a deterministic 2m−7 bits per frame but converts
+  // accept-side EOF errors into short end-game stretches instead of
+  // retransmissions, so at equal ber its fault-induced tail is no worse.
+  const auto set = scale_periods(sae_benchmark_set(), 0.85);
+  MeasuredRates rates;
+  rates.ber = 1e-3;
+  const auto can =
+      probabilistic_rta(set, ProtocolParams::standard_can(), rates);
+  const auto major =
+      probabilistic_rta(set, ProtocolParams::major_can(5), rates);
+  // Deterministic part: MajorCAN strictly slower (longer frames).
+  EXPECT_GT(major.rows.back().det.response, can.rows.back().det.response);
+  // Probabilistic part: the lowest-priority stream's miss probability
+  // must not blow up relative to CAN's by more than the frame-length
+  // ratio (it is typically smaller; allow equality plus slack for the
+  // longer exposed frame body).
+  EXPECT_LT(major.max_miss_prob, can.max_miss_prob * 1.5);
+}
+
+TEST(ProbRta, JsonCarriesProvenance) {
+  MeasuredRates rates;
+  rates.ber = 1e-5;
+  rates.calibration = 1.25;
+  rates.source = "BENCH_table1.json row ber=1e-05";
+  const auto res = probabilistic_rta(sae_benchmark_set(),
+                                     ProtocolParams::standard_can(), rates);
+  const std::string j = res.to_json();
+  EXPECT_NE(j.find("\"rates_source\": \"BENCH_table1.json row ber=1e-05\""),
+            std::string::npos)
+      << j;
+  EXPECT_NE(j.find("\"calibration\": 1.25"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"miss_prob\""), std::string::npos) << j;
+}
+
 TEST(Rta, SimulatorNeverExceedsTheBound) {
   // Critical-instant experiment: all messages released together, several
   // hyperperiods, per-message worst observed queue->delivery latency must
-  // stay within the analytic response time.
+  // stay within the analytic response time.  Uses the per-instance
+  // harness (release time stamped into the payload), which retransmit
+  // and backlog churn cannot confuse.
   std::vector<RtaMessage> set = {
       {"m1", 0x080, false, 4, 700},
       {"m2", 0x100, false, 8, 900},
@@ -115,38 +318,52 @@ TEST(Rta, SimulatorNeverExceedsTheBound) {
 
     const ProtocolParams proto = eof == 7 ? ProtocolParams::standard_can()
                                           : ProtocolParams::major_can(5);
-    // Senders 0..3, receiver 4.
-    Network net(5, proto);
-    ScopedInvariants net_invariants(net);
-    std::map<std::uint32_t, BitTime> queued_at;
-    std::map<std::uint32_t, BitTime> worst;
-    net.node(4).add_delivery_handler([&](const Frame& f, BitTime t) {
-      auto it = queued_at.find(f.id);
-      if (it == queued_at.end()) return;
-      worst[f.id] = std::max(worst[f.id], t - it->second);
-      queued_at.erase(it);
-    });
-
-    std::vector<BitTime> next(set.size(), 0);
-    for (BitTime t = 0; t < 9000; ++t) {
-      for (std::size_t i = 0; i < set.size(); ++i) {
-        if (t == next[static_cast<std::size_t>(i)]) {
-          next[i] += set[i].period;
-          queued_at[set[i].can_id] = t;
-          net.node(static_cast<int>(i))
-              .enqueue(Frame::make_blank(set[i].can_id,
-                                         static_cast<std::uint8_t>(set[i].dlc)));
-        }
-      }
-      net.sim().step();
+    const SimValidation sim =
+        simulate_response_times(set, proto, 0.0, 9000, 1);
+    ASSERT_EQ(sim.streams.size(), rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const SimStreamObservation& s = sim.streams[i];
+      EXPECT_EQ(s.msg.name, rows[i].msg.name);
+      EXPECT_GT(s.delivered, 0) << s.msg.name << " eof=" << eof;
+      EXPECT_GT(s.worst, 0u);
+      EXPECT_LE(s.worst, rows[i].response) << s.msg.name << " eof=" << eof;
+      EXPECT_EQ(s.missed, 0) << s.msg.name << " eof=" << eof;
     }
+  }
+}
 
-    for (const RtaRow& r : rows) {
-      ASSERT_TRUE(worst.contains(r.msg.can_id) || queued_at.empty());
-      EXPECT_LE(worst[r.msg.can_id], r.response)
-          << r.msg.name << " eof=" << eof;
-      EXPECT_GT(worst[r.msg.can_id], 0u);
+TEST(ProbRta, AnalysisBoundsSimulationWithInjectedFaults) {
+  // The full validation loop, per variant: analytic response-time
+  // quantiles must upper-bound the empirical per-instance quantiles of a
+  // long faulty trace.  This is the CI acceptance property behind
+  // `mcan-rta validate --expect-bounded`.
+  MeasuredRates rates;
+  rates.ber = 2e-4;
+  const auto set = scale_periods(sae_benchmark_set(), 0.9);
+  for (int m : {0, 3, 5}) {
+    const ProtocolParams proto =
+        m == 0 ? ProtocolParams::standard_can() : ProtocolParams::major_can(m);
+    const ProbRtaResult res = probabilistic_rta(set, proto, rates);
+    const SimValidation sim = simulate_response_times(
+        set, proto, rates.effective_ber(), 120000, 7);
+    const auto verdicts = compare_quantiles(res, sim, 0);
+    EXPECT_FALSE(verdicts.empty()) << "m=" << m;
+    for (const ValidationVerdict& v : verdicts) {
+      EXPECT_TRUE(v.ok) << v.stream << " q=" << v.q << " analytic "
+                        << v.analytic << " < simulated " << v.simulated
+                        << " (m=" << m << ")";
     }
+  }
+}
+
+TEST(ProbRta, ValidationIsDeterministic) {
+  const auto set = sae_benchmark_set();
+  const ProtocolParams proto = ProtocolParams::major_can(5);
+  const SimValidation a = simulate_response_times(set, proto, 1e-4, 30000, 3);
+  const SimValidation b = simulate_response_times(set, proto, 1e-4, 30000, 3);
+  ASSERT_EQ(a.streams.size(), b.streams.size());
+  for (std::size_t i = 0; i < a.streams.size(); ++i) {
+    EXPECT_EQ(a.streams[i].latencies, b.streams[i].latencies);
   }
 }
 
