@@ -43,7 +43,8 @@ void usage(std::FILE* to) {
       "usage: mcan-client [--socket PATH] <command> [options]\n"
       "\n"
       "commands:\n"
-      "  submit <fuzz|rare|check> [spec options] [--priority N] [--wait]\n"
+      "  submit <fuzz|rsm|rare|check> [spec options] [--priority N] "
+      "[--wait]\n"
       "  status <id>      job progress as JSON\n"
       "  result <id>      finished job's result bytes\n"
       "  cancel <id>\n"
@@ -55,6 +56,10 @@ void usage(std::FILE* to) {
       "  fuzz:  --protocol TOK --nodes N --seed N --max-execs N --batch N\n"
       "         --minimize-every N --max-flips N --envelope "
       "--mutate-protocol\n"
+      "  rsm:   fuzz options plus the consensus workload: --commands N\n"
+      "         --payload N --rsm-k N --spacing BITS --link "
+      "direct|edcan|relcan|totcan\n"
+      "         --crash-node N --crash-t BITS --recover-t BITS\n"
       "  rare:  --protocol TOK --nodes N --ber X --mode "
       "naive|importance|splitting\n"
       "         --seed N --trials N --batch N\n"
@@ -232,13 +237,21 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (a == "--nodes" || a == "--seed" || a == "--max-execs" ||
                a == "--batch" || a == "--minimize-every" ||
                a == "--max-flips" || a == "--trials" || a == "--errors" ||
-               a == "--budget" || a == "--max-k") {
+               a == "--budget" || a == "--max-k" || a == "--commands" ||
+               a == "--payload" || a == "--rsm-k" || a == "--spacing" ||
+               a == "--crash-node" || a == "--crash-t" ||
+               a == "--recover-t") {
       if (!need_int(a.c_str(), n)) return false;
       std::string key = a.substr(2);
       for (char& c : key) {
         if (c == '-') c = '_';
       }
       if (key == "errors") key = "max_k";
+      // rsm workload flags map onto the .scn directive's key names.
+      if (key == "rsm_k") key = "k";
+      if (key == "crash_node") key = "crash";
+      if (key == "crash_t") key = "crasht";
+      if (key == "recover_t") key = "recovert";
       opt.spec.set(key, Json(n));
     } else if (a == "--ber") {
       if (!need(v) || !parse_double(v, d)) return false;
@@ -246,6 +259,9 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (a == "--mode") {
       if (!need(v)) return false;
       opt.spec.set("mode", Json(v));
+    } else if (a == "--link") {
+      if (!need(v)) return false;
+      opt.spec.set("link", Json(v));
     } else if (a == "--envelope") {
       opt.spec.set("envelope", Json(true));
     } else if (a == "--mutate-protocol") {
@@ -274,10 +290,11 @@ bool parse_args(int argc, char** argv, Options& opt) {
     return false;
   }
   if (opt.command == "submit") {
-    if (opt.backend != "fuzz" && opt.backend != "rare" &&
-        opt.backend != "check") {
-      std::fprintf(stderr,
-                   "mcan-client: submit needs a backend: fuzz|rare|check\n");
+    if (opt.backend != "fuzz" && opt.backend != "rsm" &&
+        opt.backend != "rare" && opt.backend != "check") {
+      std::fprintf(
+          stderr,
+          "mcan-client: submit needs a backend: fuzz|rsm|rare|check\n");
       return false;
     }
     // "backend" leads the spec so journals and fingerprints read well.
@@ -406,7 +423,9 @@ int apply_gates(const Options& opt, const std::string& result_bytes) {
                  error.c_str());
     return 1;
   }
-  if (opt.backend == "fuzz") return check_fuzz_gate(opt, result);
+  if (opt.backend == "fuzz" || opt.backend == "rsm") {
+    return check_fuzz_gate(opt, result);
+  }
   if (opt.backend == "rare") return check_rare_gates(opt, result);
   return 0;
 }

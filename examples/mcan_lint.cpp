@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "analysis/invariants.hpp"
+#include "rsm/runner.hpp"
 #include "scenario/dsl.hpp"
 #include "sim/vcd.hpp"
 
@@ -103,11 +104,13 @@ bool ends_with(const std::string& s, const char* suffix) {
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
-/// Replay one scenario file on a fresh bus; full rule set applies.
+/// Replay one scenario file on a fresh bus; full rule set applies.  A
+/// file with an `rsm` directive runs the full consensus workload — the
+/// bus the invariants watch then carries the replicas' traffic.
 InvariantReport lint_scenario(const std::string& path,
                               const InvariantConfig& cfg) {
   const ScenarioSpec spec = load_scenario_file(path);
-  const DslRunResult run = run_scenario(spec, cfg);
+  const DslRunResult run = run_any_scenario(spec, cfg);
   return run.invariants;
 }
 

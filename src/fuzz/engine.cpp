@@ -13,7 +13,14 @@ FuzzCampaign::FuzzCampaign(const FuzzConfig& cfg,
     : cfg_(cfg),
       seeds_(seeds),
       next_minimize_(cfg.minimize_every),
-      t0_(std::chrono::steady_clock::now()) {}
+      t0_(std::chrono::steady_clock::now()) {
+  // The rsm runner's membership bitmap caps the bus at 8 replicas.
+  if (cfg_.workload) {
+    cfg_.bounds.max_nodes = std::min(cfg_.bounds.max_nodes, 8);
+    cfg_.bounds.min_nodes =
+        std::min(cfg_.bounds.min_nodes, cfg_.bounds.max_nodes);
+  }
+}
 
 bool FuzzCampaign::out_of_time() const {
   if (cfg_.max_time_s <= 0) return false;
@@ -36,7 +43,10 @@ std::size_t FuzzCampaign::plan_round() {
     // overshoot max_execs.
     slots_.push_back({seed_scenario(cfg_.protocol, cfg_.n_nodes), {}});
     for (const ScenarioSpec& s : seeds_) slots_.push_back({s, {}});
-    for (Slot& s : slots_) sanitize_scenario(s.spec, cfg_.bounds);
+    for (Slot& s : slots_) {
+      attach_workload(s.spec);
+      sanitize_scenario(s.spec, cfg_.bounds);
+    }
     return slots_.size();
   }
   if (finished()) return 0;
@@ -47,9 +57,20 @@ std::size_t FuzzCampaign::plan_round() {
   for (std::uint64_t i = 0; i < n_slots; ++i) {
     Rng rng(cfg_.seed, exec_index_ + i);
     const CorpusEntry& parent = res_.corpus.select(rng);
-    slots_.push_back({mutate_scenario(parent.spec, cfg_.bounds, rng), {}});
+    Slot s{mutate_scenario(parent.spec, cfg_.bounds, rng), {}};
+    attach_workload(s.spec);
+    slots_.push_back(std::move(s));
   }
   return slots_.size();
+}
+
+void FuzzCampaign::attach_workload(ScenarioSpec& spec) const {
+  if (!cfg_.workload) return;
+  // Reassert the campaign's workload on every genome (parents already
+  // carry it; this keeps a drifted corpus entry — e.g. a restored
+  // checkpoint from older bounds — from changing what is being fuzzed)
+  // and re-fit it to this genome's node count.
+  spec.rsm = sanitize_rsm_workload(*cfg_.workload, spec.n_nodes);
 }
 
 void FuzzCampaign::execute_slot(std::size_t i) {

@@ -63,6 +63,13 @@ struct FuzzConfig {
   int jobs = 1;           ///< worker threads; 0 = one per hardware thread
   int batch = 64;         ///< executions per round
   FuzzBounds bounds;
+  /// Consensus workload: when set, every planned input (seed round
+  /// included) carries this rsm directive — re-sanitized against the
+  /// mutated node count — so the whole campaign fuzzes the consensus
+  /// stack and the four rsm violation classes are live.  The mutator
+  /// itself never drops or edits the workload; the disturbance genome is
+  /// what evolves.
+  std::optional<RsmWorkload> workload;
   std::uint64_t minimize_every = 2048;  ///< corpus minimize period, in execs
   /// Called after each round with a stats snapshot (progress meters).
   std::function<void(const FuzzStats&)> on_round;
@@ -143,6 +150,7 @@ class FuzzCampaign {
   };
 
   void merge_slot(const Slot& s);
+  void attach_workload(ScenarioSpec& spec) const;
   void refresh_stats();
   [[nodiscard]] bool out_of_time() const;
 

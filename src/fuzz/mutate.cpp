@@ -105,6 +105,14 @@ void sanitize_scenario(ScenarioSpec& spec, const FuzzBounds& b) {
   }
 
   spec.n_nodes = clampi(spec.n_nodes, b.min_nodes, b.max_nodes);
+  if (spec.rsm) {
+    // The consensus runner's membership bitmap caps the bus at 8; the
+    // workload itself re-fits through the same sanitizer every other
+    // consumer (runner, serve backend) uses, so no mutated genome can
+    // carry an unrunnable workload.
+    spec.n_nodes = std::min(spec.n_nodes, 8);
+    spec.rsm = sanitize_rsm_workload(*spec.rsm, spec.n_nodes);
+  }
   spec.frame_id &= kMaxId;
   spec.frame_dlc = static_cast<std::uint8_t>(
       clampi(spec.frame_dlc, 0, kMaxDataBytes));

@@ -1,11 +1,18 @@
 #include "fuzz/oracle.hpp"
 
 #include <sstream>
+#include <utility>
+
+#include "rsm/runner.hpp"
 
 namespace mcan {
 
 const char* fuzz_class_name(FuzzClass c) {
   switch (c) {
+    case FuzzClass::Election: return "election";
+    case FuzzClass::LogDiverge: return "logdiverge";
+    case FuzzClass::StateDiverge: return "statediverge";
+    case FuzzClass::RsmStall: return "rsmstall";
     case FuzzClass::Agreement: return "agreement";
     case FuzzClass::Validity: return "validity";
     case FuzzClass::Duplicate: return "duplicate";
@@ -48,8 +55,9 @@ bool parse_fuzz_classes(const std::string& csv, std::uint32_t& mask,
     }
     if (!found) {
       error = "unknown violation class '" + tok +
-              "' (want none|agreement|validity|duplicate|order|"
-              "nontriviality|invariant|timeout)";
+              "' (want none|election|logdiverge|statediverge|rsmstall|"
+              "agreement|validity|duplicate|order|nontriviality|invariant|"
+              "timeout)";
       return false;
     }
   }
@@ -66,12 +74,32 @@ FuzzClass FuzzVerdict::primary() const {
 FuzzVerdict run_fuzz_case(const ScenarioSpec& spec) {
   FuzzVerdict v;
   DslRunResult run;
+  RsmReport rsm;
+  const bool has_rsm = spec.rsm.has_value();
   {
     // Capture this thread's FSM transitions for the scope of the run.
     ScopedSignatureSink sink(v.sig);
-    run = run_scenario(spec);
+    if (has_rsm) {
+      RsmRunResult rr = run_rsm_scenario(spec);
+      run = std::move(rr.base);
+      rsm = std::move(rr.rsm);
+    } else {
+      run = run_scenario(spec);
+    }
   }
 
+  if (rsm.election_violations > 0) {
+    v.classes |= fuzz_class_bit(FuzzClass::Election);
+  }
+  if (rsm.log_mismatches > 0) {
+    v.classes |= fuzz_class_bit(FuzzClass::LogDiverge);
+  }
+  if (rsm.state_mismatches > 0) {
+    v.classes |= fuzz_class_bit(FuzzClass::StateDiverge);
+  }
+  if (rsm.liveness_violations > 0 || rsm.stalled_recoveries > 0) {
+    v.classes |= fuzz_class_bit(FuzzClass::RsmStall);
+  }
   if (run.ab.agreement_violations > 0) {
     v.classes |= fuzz_class_bit(FuzzClass::Agreement);
   }
@@ -126,6 +154,10 @@ FuzzVerdict run_fuzz_case(const ScenarioSpec& spec) {
 
   if (v.violation()) {
     v.detail = fuzz_classes_to_string(v.classes) + ": " + run.ab.summary();
+    if (has_rsm) {
+      v.detail += "\nrsm: " + rsm.summary();
+      if (!rsm.detail.empty()) v.detail += "\n" + rsm.detail;
+    }
     if (!run.invariants.clean()) {
       v.detail += "\n" + run.invariants.summary();
     }

@@ -1,12 +1,16 @@
 // The fuzzing oracle: one scenario execution, classified.
 //
-// Every input runs through scenario/dsl's run_scenario — the same engine
-// that replays committed .scn files and that mcan-lint checks — with the
-// protocol invariant analyzer attached (InvariantScope) and the atomic
-// broadcast properties AB1..AB5 evaluated over tagged delivery journals
-// (analysis/properties.hpp).  The verdict is a bitmask of violation
-// classes plus the run's coverage signature, so the engine gets its
-// bug-or-not answer and its novelty feedback from a single execution.
+// Every input runs through run_any_scenario (rsm/runner.hpp) — the same
+// engine that replays committed .scn files and that mcan-lint checks —
+// with the protocol invariant analyzer attached (InvariantScope) and the
+// atomic broadcast properties AB1..AB5 evaluated over tagged delivery
+// journals (analysis/properties.hpp).  Scenarios carrying an `rsm`
+// workload additionally run the consensus stack and are judged by the
+// consensus property checkers (rsm/properties.hpp): election safety, log
+// matching, state-machine safety and progress.  The verdict is a bitmask
+// of violation classes plus the run's coverage signature, so the engine
+// gets its bug-or-not answer and its novelty feedback from a single
+// execution.
 #pragma once
 
 #include <cstdint>
@@ -18,10 +22,19 @@
 namespace mcan {
 
 /// Violation classes, in severity order (primary() picks the first set
-/// bit).  Agreement and Validity are the paper's headline properties: a
+/// bit).  The consensus classes lead: an application-level safety break is
+/// the end-to-end consequence the link-level classes only foreshadow.
+/// Agreement and Validity are the paper's headline wire properties: a
 /// MajorCAN_m run within the <= m disturbance envelope must never set
-/// either.
+/// either — and with an rsm workload attached, must set none of the four
+/// consensus classes either.
 enum class FuzzClass : std::uint8_t {
+  Election,       ///< two coordinators claimed the same recovery term
+  LogDiverge,     ///< two replicas hold different entries at one index
+  StateDiverge,   ///< equal applied index, different state digests
+  RsmStall,       ///< consensus progress failure: an in-envelope command
+                  ///< never committed, or a scheduled recovery never
+                  ///< received its snapshot
   Agreement,      ///< AB2: inconsistent message omission
   Validity,       ///< AB1: a correct sender's message was lost everywhere
   Duplicate,      ///< AB3: some node delivered a message twice
@@ -31,7 +44,7 @@ enum class FuzzClass : std::uint8_t {
   Timeout,        ///< the bus never quiesced within the step budget
 };
 
-inline constexpr int kFuzzClassCount = 7;
+inline constexpr int kFuzzClassCount = 11;
 
 [[nodiscard]] const char* fuzz_class_name(FuzzClass c);
 

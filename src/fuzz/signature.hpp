@@ -42,10 +42,10 @@ class Signature {
     kCrashScheduled,     ///< the scenario crashed a node
     kTrafficMix,         ///< extra frames beyond the probe
     kNotQuiesced,        ///< run hit the step budget
-    kClassBase = 8,      ///< + FuzzClass index (see fuzz/oracle.hpp)
-    kInvariantBase = 16, ///< + InvariantRule index (6 rules)
-    kVariantBase = 24,   ///< + Variant index (3 variants)
-    kFeatureBits = 27,
+    kClassBase = 8,      ///< + FuzzClass index (11 classes, fuzz/oracle.hpp)
+    kInvariantBase = 20, ///< + InvariantRule index (6 rules)
+    kVariantBase = 27,   ///< + Variant index (3 variants)
+    kFeatureBits = 30,
   };
 
   void set_transition(FsmState from, FsmState to) {

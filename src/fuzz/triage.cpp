@@ -7,6 +7,8 @@
 #include <map>
 #include <tuple>
 
+#include "rsm/runner.hpp"
+
 namespace mcan {
 
 namespace {
@@ -34,6 +36,7 @@ bool references_node(const ScenarioSpec& spec, NodeId node) {
   for (const TrafficFrame& t : spec.traffic) {
     if (t.sender == node) return true;
   }
+  if (spec.rsm && spec.rsm->crash_node == static_cast<int>(node)) return true;
   return spec.crash && spec.crash->first == node;
 }
 
@@ -93,6 +96,40 @@ ScenarioSpec minimize_finding(const ScenarioSpec& spec, FuzzClass cls) {
         best = std::move(c);
         improved = true;
         continue;
+      }
+    }
+
+    // Shrink the consensus workload: fewer commands, smaller payloads,
+    // then no host crash/recovery at all.
+    if (best.rsm) {
+      ScenarioSpec c = best;
+      if (c.rsm->commands > 1) {
+        c.rsm->commands -= 1;
+        if (reproduces(c, cls)) {
+          best = std::move(c);
+          improved = true;
+          continue;
+        }
+        c = best;
+      }
+      if (c.rsm->payload > 1) {
+        c.rsm->payload -= 1;
+        if (reproduces(c, cls)) {
+          best = std::move(c);
+          improved = true;
+          continue;
+        }
+        c = best;
+      }
+      if (c.rsm->crash_node >= 0) {
+        c.rsm->crash_node = -1;
+        c.rsm->crash_t = 0;
+        c.rsm->recover_t = 0;
+        if (reproduces(c, cls)) {
+          best = std::move(c);
+          improved = true;
+          continue;
+        }
       }
     }
 
@@ -174,14 +211,23 @@ std::vector<TriagedFinding> triage_findings(const std::vector<FuzzFinding>& raw)
                   static_cast<unsigned long long>(h & 0xffffffffffffULL));
     t.spec.name = std::string("fuzz-") + fuzz_class_name(t.cls) + "-" + tail;
     t.spec.expect = Expectation::Any;
-    if (t.cls == FuzzClass::Agreement) {
+    const bool rsm_cls = t.cls == FuzzClass::Election ||
+                         t.cls == FuzzClass::LogDiverge ||
+                         t.cls == FuzzClass::StateDiverge ||
+                         t.cls == FuzzClass::RsmStall;
+    if (t.cls == FuzzClass::Agreement || (rsm_cls && t.spec.rsm)) {
+      // The rsm runner reads `expect imo` as "some consensus property
+      // must break" — the strongest clause the DSL can state for a
+      // consensus finding.
       ScenarioSpec probe = t.spec;
       probe.expect = Expectation::Imo;
-      if (run_scenario(probe).expectation_met) t.spec.expect = Expectation::Imo;
+      if (run_any_scenario(probe).expectation_met) {
+        t.spec.expect = Expectation::Imo;
+      }
     } else if (t.cls == FuzzClass::Duplicate) {
       ScenarioSpec probe = t.spec;
       probe.expect = Expectation::Double;
-      if (run_scenario(probe).expectation_met) {
+      if (run_any_scenario(probe).expectation_met) {
         t.spec.expect = Expectation::Double;
       }
     }

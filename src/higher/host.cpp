@@ -1,5 +1,9 @@
 #include "higher/host.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
 namespace mcan {
 
 namespace {
@@ -10,8 +14,36 @@ std::uint32_t data_id(NodeId node) { return 0x100 + node; }
 std::uint32_t relay_id(NodeId node) { return 0x300 + node; }
 }  // namespace
 
+BitTime host_min_timeout_bits(const ProtocolParams& link) {
+  const auto frame_bits = [&link](int dlc) {
+    const int data_bits = 8 * dlc;
+    // Stuffable region (SOF..CRC) is 34 + 8n bits; worst-case stuffing
+    // inserts one bit per four.  The tail (CRC delimiter, ACK slot and
+    // delimiter, EOF, intermission) adds 6 + eof_bits more.
+    const int stuff_max = (34 + data_bits - 1) / 4;
+    return static_cast<BitTime>(34 + data_bits + stuff_max + 6 +
+                                link.eof_bits());
+  };
+  // The control frame arrives just after a maximal frame started, that
+  // frame errors once and retransmits, then the control frame itself must
+  // complete; 31 bits cover the error flag, delimiter, intermission and
+  // an error-passive suspend window.
+  return 2 * frame_bits(8) + frame_bits(4) + 31;
+}
+
+void HostParams::validate(const ProtocolParams& link) const {
+  const BitTime min = host_min_timeout_bits(link);
+  if (timeout_bits <= min) {
+    throw std::invalid_argument(
+        "HostParams::timeout_bits=" + std::to_string(timeout_bits) +
+        " cannot exceed the worst-case control-frame bus-win time (" +
+        std::to_string(min) + " bits) for this link");
+  }
+}
+
 HigherHost::HigherHost(CanController& ctrl, HostParams params)
     : ctrl_(ctrl), params_(params) {
+  params_.validate(ctrl_.protocol());
   ctrl_.add_delivery_handler(
       [this](const Frame& f, BitTime t) { handle_frame(f, t); });
   ctrl_.add_tx_done_handler([this](const Frame& f, BitTime t) {
@@ -22,6 +54,16 @@ HigherHost::HigherHost(CanController& ctrl, HostParams params)
 void HigherHost::broadcast(MessageKey key) {
   broadcasts_.push_back({key, id()});
   on_broadcast(key, now_);
+}
+
+void HigherHost::broadcast_frame(const Frame& f) {
+  const auto tag = parse_tag(f);
+  if (!tag || tag->kind != MsgKind::Data) {
+    throw std::invalid_argument(
+        "broadcast_frame needs a tagged DATA frame");
+  }
+  payloads_.insert({tag->key, f});
+  broadcast(tag->key);
 }
 
 void HigherHost::on_broadcast(const MessageKey& key, BitTime now) {
@@ -37,12 +79,27 @@ void HigherHost::tick(BitTime now) {
 bool HigherHost::deliver(const MessageKey& key, BitTime t) {
   if (!seen_.insert(key).second) return false;
   delivered_.push_back({key, t});
+  if (app_frame_handler_) {
+    const auto it = payloads_.find(key);
+    app_frame_handler_(it != payloads_.end()
+                           ? it->second
+                           : make_tagged_frame(data_id(key.source),
+                                               MsgKind::Data, key),
+                       t);
+  }
   return true;
 }
 
 void HigherHost::send_data(const MessageKey& key, bool relay) {
   const std::uint32_t id = relay ? relay_id(ctrl_.id()) : data_id(ctrl_.id());
-  ctrl_.enqueue(make_tagged_frame(id, MsgKind::Data, key));
+  Frame f;
+  if (const auto it = payloads_.find(key); it != payloads_.end()) {
+    f = it->second;
+    f.id = id;
+  } else {
+    f = make_tagged_frame(id, MsgKind::Data, key);
+  }
+  ctrl_.enqueue(f);
   if (relay) ++extra_frames_;
 }
 
@@ -55,6 +112,7 @@ void HigherHost::handle_frame(const Frame& f, BitTime t) {
   auto tag = parse_tag(f);
   if (!tag) return;
   if (tag->kind == MsgKind::Data) {
+    payloads_.insert({tag->key, f});  // first copy wins; relays reuse it
     on_data(tag->key, t);
   } else {
     on_control(*tag, t);

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <set>
 #include <vector>
 
@@ -20,11 +22,25 @@
 
 namespace mcan {
 
+/// Smallest safe HostParams::timeout_bits for a link speaking `link`: the
+/// worst-case time for a sender's control frame to win the bus — a maximal
+/// stuffed data frame already on the wire, one error-recovery retransmission
+/// of it, then the control frame itself, plus the error flag / delimiter /
+/// intermission margin.
+[[nodiscard]] BitTime host_min_timeout_bits(const ProtocolParams& link);
+
 struct HostParams {
   /// Timeout, in bit times, a receiver waits for CONFIRM/ACCEPT before
-  /// acting (RELCAN: relay; TOTCAN: discard).  Must exceed the worst-case
-  /// time for the sender's control frame to win the bus.
+  /// acting (RELCAN: relay; TOTCAN: discard).  Must exceed
+  /// host_min_timeout_bits() for the link's ProtocolParams — a shorter
+  /// timeout can expire while the control frame is still legitimately
+  /// queued behind bus traffic, turning normal arbitration delay into
+  /// spurious relays/discards.  HigherHost validates this at construction.
   BitTime timeout_bits = 800;
+
+  /// Throws std::invalid_argument when timeout_bits cannot exceed the
+  /// worst-case control-frame bus-win time on `link`.
+  void validate(const ProtocolParams& link) const;
 };
 
 class HigherHost {
@@ -38,6 +54,24 @@ class HigherHost {
   /// Application broadcast of message `key` (key.source should be this
   /// node).  The message is considered delivered locally right away.
   void broadcast(MessageKey key);
+
+  /// Broadcast a full tagged DATA frame: like broadcast(), but the frame's
+  /// payload bytes beyond the tag travel with the message — through relays
+  /// and into receivers' frame handlers.  This is how a layered client
+  /// (the RSM stack) pipes its segment payloads through EDCAN/RELCAN/
+  /// TOTCAN without the host rebuilding tag-only frames.  Throws
+  /// std::invalid_argument unless `f` parses as a tagged DATA frame.
+  void broadcast_frame(const Frame& f);
+
+  /// Observe application-level deliveries as full frames, in delivery
+  /// order (post-dedup; TOTCAN invokes it at ACCEPT-release time).  The
+  /// frame passed is the one stored for the key — an own broadcast_frame,
+  /// a received DATA frame, or a synthesized tag-only frame for plain
+  /// broadcast() keys.
+  using AppFrameHandler = std::function<void(const Frame&, BitTime)>;
+  void set_app_frame_handler(AppFrameHandler h) {
+    app_frame_handler_ = std::move(h);
+  }
 
   /// Advance host timers; call once per bit after the simulator step.
   void tick(BitTime now);
@@ -92,6 +126,10 @@ class HigherHost {
   DeliveryJournal delivered_;
   std::set<MessageKey> seen_;
   std::vector<BroadcastRecord> broadcasts_;
+  /// Full frame per key, so relays and app-level delivery preserve payload
+  /// bytes beyond the tag (first reception wins; later copies are dedup'd).
+  std::map<MessageKey, Frame> payloads_;
+  AppFrameHandler app_frame_handler_;
   int extra_frames_ = 0;
   BitTime now_ = 0;
 };

@@ -1,0 +1,159 @@
+#include "rsm/cluster.hpp"
+
+#include <algorithm>
+
+namespace mcan {
+
+const char* rsm_link_name(RsmLink link) {
+  switch (link) {
+    case RsmLink::Direct: return "direct";
+    case RsmLink::Edcan: return "edcan";
+    case RsmLink::Relcan: return "relcan";
+    case RsmLink::Totcan: return "totcan";
+  }
+  return "?";
+}
+
+namespace {
+
+[[nodiscard]] HigherKind to_higher_kind(RsmLink link) {
+  switch (link) {
+    case RsmLink::Edcan: return HigherKind::Edcan;
+    case RsmLink::Relcan: return HigherKind::Relcan;
+    case RsmLink::Totcan: return HigherKind::Totcan;
+    case RsmLink::Direct: break;
+  }
+  return HigherKind::Edcan;
+}
+
+}  // namespace
+
+RsmCluster::RsmCluster(const RsmClusterConfig& cfg) : cfg_(cfg) {
+  replicas_.reserve(static_cast<std::size_t>(cfg.n_nodes));
+  if (cfg.link == RsmLink::Direct) {
+    direct_ = std::make_unique<Network>(cfg.n_nodes, cfg.protocol);
+    if (cfg.trace) direct_->enable_trace();
+    for (int i = 0; i < cfg.n_nodes; ++i) {
+      tx_journals_.emplace(static_cast<NodeId>(i), DeliveryJournal{});
+      CanController& node = direct_->node(i);
+      auto rep = std::make_unique<RsmReplica>(
+          ReplicaConfig{static_cast<NodeId>(i), cfg.n_nodes, cfg.k,
+                        cfg.can_id_base},
+          [&node](const Frame& f) { node.enqueue(f); });
+      RsmReplica* r = rep.get();
+      node.add_tx_done_handler(
+          [this, i, r](const Frame& f, BitTime t) {
+            if (auto tag = parse_tag(f)) {
+              broadcasts_.push_back({tag->key, static_cast<NodeId>(i)});
+              tx_journals_.at(static_cast<NodeId>(i))
+                  .push_back({tag->key, t});
+            }
+            r->on_frame(f, t);
+          });
+      node.add_delivery_handler(
+          [r](const Frame& f, BitTime t) { r->on_frame(f, t); });
+      replicas_.push_back(std::move(rep));
+    }
+  } else {
+    higher_ = std::make_unique<HigherNetwork>(to_higher_kind(cfg.link),
+                                              cfg.n_nodes, cfg.host,
+                                              cfg.protocol);
+    if (cfg.trace) higher_->link().enable_trace();
+    for (int i = 0; i < cfg.n_nodes; ++i) {
+      HigherHost& host = higher_->host(i);
+      auto rep = std::make_unique<RsmReplica>(
+          ReplicaConfig{static_cast<NodeId>(i), cfg.n_nodes, cfg.k,
+                        cfg.can_id_base},
+          [&host](const Frame& f) { host.broadcast_frame(f); });
+      host.set_app_frame_handler(
+          [r = rep.get()](const Frame& f, BitTime t) { r->on_frame(f, t); });
+      replicas_.push_back(std::move(rep));
+    }
+  }
+}
+
+Network& RsmCluster::link() {
+  return direct_ ? *direct_ : higher_->link();
+}
+
+const Network& RsmCluster::link() const {
+  return direct_ ? *direct_
+                 : const_cast<HigherNetwork&>(*higher_).link();
+}
+
+BitTime RsmCluster::now() const { return link().sim().now(); }
+
+bool RsmCluster::propose(int node, const std::vector<std::uint8_t>& payload) {
+  return replica(node).propose(payload, now());
+}
+
+void RsmCluster::crash_host(int node) { replica(node).crash(now()); }
+
+void RsmCluster::recover_host(int node) { replica(node).recover(now()); }
+
+void RsmCluster::step() {
+  if (higher_) {
+    higher_->step();
+  } else {
+    direct_->sim().step();
+  }
+}
+
+bool RsmCluster::quiet() const {
+  const Network& net = link();
+  for (int i = 0; i < net.size(); ++i) {
+    const CanController& node = net.node(i);
+    if (net.sim().crashed(node.id()) || !node.active()) continue;
+    if (!node.bus_idle() || node.pending_tx() > 0) return false;
+    if (higher_ &&
+        const_cast<HigherNetwork&>(*higher_).host(i).busy()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool RsmCluster::run_until_quiet(BitTime max_bits) {
+  for (BitTime i = 0; i < max_bits; ++i) {
+    step();
+    if (quiet()) return true;
+  }
+  return false;
+}
+
+std::map<NodeId, RsmJournal> RsmCluster::rsm_journals() const {
+  std::map<NodeId, RsmJournal> out;
+  for (int i = 0; i < cfg_.n_nodes; ++i) {
+    out.emplace(static_cast<NodeId>(i), replica(i).journal());
+  }
+  return out;
+}
+
+AbReport RsmCluster::check_link() const {
+  if (higher_) return higher_->check();
+  std::map<NodeId, DeliveryJournal> journals = tx_journals_;
+  for (int i = 0; i < cfg_.n_nodes; ++i) {
+    DeliveryJournal& journal = journals.at(static_cast<NodeId>(i));
+    for (const Delivery& d : direct_->deliveries(i)) {
+      if (auto tag = parse_tag(d.frame)) {
+        journal.push_back({tag->key, d.t});
+      } else {
+        journal.push_back({MessageKey{255, 0xFFFF}, d.t});  // AB4 sentinel
+      }
+    }
+    std::stable_sort(journal.begin(), journal.end(),
+                     [](const DeliveryEvent& a, const DeliveryEvent& b) {
+                       return a.t < b.t;
+                     });
+  }
+  std::set<NodeId> correct;
+  for (int i = 0; i < cfg_.n_nodes; ++i) {
+    const CanController& node = direct_->node(i);
+    if (!direct_->sim().crashed(node.id()) && node.active()) {
+      correct.insert(node.id());
+    }
+  }
+  return check_atomic_broadcast(broadcasts_, journals, correct);
+}
+
+}  // namespace mcan

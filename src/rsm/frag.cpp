@@ -1,0 +1,155 @@
+#include "rsm/frag.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace mcan {
+
+const char* rsm_msg_type_name(RsmMsgType t) {
+  switch (t) {
+    case RsmMsgType::Cmd: return "cmd";
+    case RsmMsgType::Vote: return "vote";
+    case RsmMsgType::Join: return "join";
+    case RsmMsgType::Snap: return "snap";
+  }
+  return "?";
+}
+
+std::vector<Frame> split_message(RsmMsgType type, NodeId source,
+                                 std::uint8_t epoch,
+                                 std::uint16_t& seq_counter,
+                                 const std::vector<std::uint8_t>& payload,
+                                 std::uint32_t can_id) {
+  if (static_cast<int>(payload.size()) > kRsmMaxPayload) {
+    throw std::length_error("rsm message payload exceeds " +
+                            std::to_string(kRsmMaxPayload) + " bytes");
+  }
+  const int n_segments =
+      payload.empty()
+          ? 1
+          : (static_cast<int>(payload.size()) + kRsmChunkBytes - 1) /
+                kRsmChunkBytes;
+  std::vector<Frame> out;
+  out.reserve(static_cast<std::size_t>(n_segments));
+  for (int s = 0; s < n_segments; ++s) {
+    const std::uint16_t seq = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(epoch & 0x0F) << 12) |
+        (seq_counter & 0x0FFF));
+    seq_counter = static_cast<std::uint16_t>((seq_counter + 1) & 0x0FFF);
+    Frame f = make_tagged_frame(can_id, MsgKind::Data,
+                                MessageKey{source, seq}, 6);
+    f.data[4] = static_cast<std::uint8_t>(
+        (static_cast<std::uint8_t>(type) << 4) | (epoch & 0x0F));
+    const bool last = s == n_segments - 1;
+    f.data[5] = static_cast<std::uint8_t>((last ? 0x80 : 0x00) |
+                                          (s & 0x7F));
+    const int off = s * kRsmChunkBytes;
+    const int chunk =
+        std::min(kRsmChunkBytes, static_cast<int>(payload.size()) - off);
+    for (int b = 0; b < chunk; ++b) {
+      f.data[static_cast<std::size_t>(6 + b)] =
+          payload[static_cast<std::size_t>(off + b)];
+    }
+    f.dlc = static_cast<std::uint8_t>(6 + std::max(0, chunk));
+    out.push_back(f);
+  }
+  return out;
+}
+
+std::optional<RsmMessage> Reassembler::on_frame(const Frame& f, BitTime t) {
+  const auto tag = parse_tag(f);
+  if (!tag || tag->kind != MsgKind::Data || f.dlc < 6) {
+    ++stats_.malformed;
+    return std::nullopt;
+  }
+  const NodeId source = tag->key.source;
+  const std::uint16_t seq = tag->key.seq;
+  const std::uint8_t type_raw = static_cast<std::uint8_t>(f.data[4] >> 4);
+  if (type_raw > static_cast<std::uint8_t>(RsmMsgType::Snap)) {
+    ++stats_.malformed;
+    return std::nullopt;
+  }
+  const auto type = static_cast<RsmMsgType>(type_raw);
+  const std::uint8_t epoch = static_cast<std::uint8_t>(f.data[4] & 0x0F);
+  const bool last = (f.data[5] & 0x80) != 0;
+  const std::uint8_t index = static_cast<std::uint8_t>(f.data[5] & 0x7F);
+
+  SenderState& st = senders_[source];
+
+  // Sequence bookkeeping.  Sequences ascend per sender (epoch in the top
+  // nibble keeps a recovered node monotone); a repeat is CAN's double
+  // reception, a regression is a stale retransmission, a skip is loss.
+  if (st.have_seq) {
+    if (seq == st.last_seq) {
+      ++stats_.duplicates;
+      return std::nullopt;
+    }
+    if (seq < st.last_seq) {
+      ++stats_.stale;
+      return std::nullopt;
+    }
+    const bool epoch_changed = (seq >> 12) != (st.last_seq >> 12);
+    if (epoch_changed) {
+      ++stats_.epoch_resets;
+      if (st.assembling) {
+        ++stats_.dropped;
+        st.assembling = false;
+      }
+    } else if (seq != static_cast<std::uint16_t>(st.last_seq + 1)) {
+      ++stats_.gaps;
+      if (st.assembling) {
+        ++stats_.dropped;
+        st.assembling = false;
+      }
+    }
+  }
+  st.have_seq = true;
+  st.last_seq = seq;
+  ++stats_.segments;
+
+  if (!st.assembling) {
+    if (index != 0) {  // orphan tail of a message whose head was lost
+      ++stats_.dropped;
+      return std::nullopt;
+    }
+    st.assembling = true;
+    st.type = type;
+    st.epoch = epoch;
+    st.first_seq = seq;
+    st.next_index = 0;
+    st.buf.clear();
+  } else if (type != st.type || epoch != st.epoch || index != st.next_index) {
+    // A fresh head interleaved into an unfinished message: the old one is
+    // lost.  Restart when this is a plausible head, drop otherwise.
+    ++stats_.dropped;
+    st.assembling = false;
+    if (index != 0) return std::nullopt;
+    st.assembling = true;
+    st.type = type;
+    st.epoch = epoch;
+    st.first_seq = seq;
+    st.buf.clear();
+  }
+
+  for (int b = 6; b < f.dlc; ++b) {
+    st.buf.push_back(f.data[static_cast<std::size_t>(b)]);
+  }
+  st.next_index = static_cast<std::uint8_t>(index + 1);
+  if (!last) return std::nullopt;
+
+  st.assembling = false;
+  ++stats_.messages;
+  RsmMessage m;
+  m.type = st.type;
+  m.source = source;
+  m.epoch = st.epoch;
+  m.seq = st.first_seq;
+  m.payload = st.buf;
+  m.t = t;
+  return m;
+}
+
+void Reassembler::reset() { senders_.clear(); }
+
+}  // namespace mcan

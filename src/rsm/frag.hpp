@@ -1,0 +1,127 @@
+// Fragmentation/reassembly sublayer for the consensus stack ("Split, Send,
+// Reassemble", arXiv 1703.06569, adapted to this repo's tagged frames).
+//
+// A consensus message (command, vote, join, snapshot) can exceed CAN's
+// 8-byte payload, so it is split into sequenced *segments*.  Each segment
+// is an ordinary tagged data frame (analysis/tagged.hpp) — bytes 0..3 are
+// the standard kind/source/sequence tag, so every existing wire-level
+// property checker (AB1..AB5 over tagged journals) and all higher-level
+// hosts keep working on RSM traffic unchanged — followed by a segment
+// header and up to two payload bytes:
+//
+//   data[0]  MsgKind::Data
+//   data[1]  source node id
+//   data[2..3] wire sequence, big endian: (epoch << 12) | counter.  The
+//            sender's crash-incarnation epoch rides in the top nibble so a
+//            recovered node's fresh segments are never mistaken for stale
+//            retransmissions of its previous life.
+//   data[4]  (RsmMsgType << 4) | (epoch & 0x0F)
+//   data[5]  bit 7: last-segment flag; bits 0..6: segment index
+//   data[6..] payload chunk (0..2 bytes; dlc = 6 + chunk length)
+//
+// The Reassembler detects duplicates (CAN's inconsistent double reception
+// delivers a segment twice), gaps (a lost segment under inconsistent
+// omission), mid-message epoch resets and malformed segments, and feeds
+// the counts to the oracle: fragmentation loss is precisely how a
+// link-level Agreement violation becomes an application-level one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "analysis/tagged.hpp"
+#include "frame/frame.hpp"
+
+namespace mcan {
+
+/// Consensus message types carried above the fragmentation layer.
+enum class RsmMsgType : std::uint8_t {
+  Cmd = 0,   ///< a client command to append to the replicated log
+  Vote = 1,  ///< a commit vote for one log entry (payload: CommandId)
+  Join = 2,  ///< a recovered node (re)joining the membership
+  Snap = 3,  ///< log snapshot transfer to a joiner (multi-segment)
+};
+
+[[nodiscard]] const char* rsm_msg_type_name(RsmMsgType t);
+
+inline constexpr int kRsmChunkBytes = 2;    ///< payload bytes per segment
+inline constexpr int kRsmMaxSegments = 128; ///< 7-bit segment index
+/// Largest payload one message can carry (the snapshot serializer caps
+/// itself below this).
+inline constexpr int kRsmMaxPayload = kRsmChunkBytes * kRsmMaxSegments;
+
+/// One reassembled consensus message.
+struct RsmMessage {
+  RsmMsgType type = RsmMsgType::Cmd;
+  NodeId source = 0;
+  std::uint8_t epoch = 0;
+  std::uint16_t seq = 0;  ///< wire sequence of the first segment
+  std::vector<std::uint8_t> payload;
+  BitTime t = 0;  ///< delivery time of the completing segment
+};
+
+/// Split `payload` into sequenced segment frames.  `seq_counter` is the
+/// sender's running 12-bit segment counter (advanced by the number of
+/// segments produced); `can_id` sets the arbitration identifier of every
+/// segment.  A message always produces at least one segment (an empty
+/// payload rides in a header-only frame).  Throws std::length_error when
+/// the payload exceeds kRsmMaxPayload.
+[[nodiscard]] std::vector<Frame> split_message(
+    RsmMsgType type, NodeId source, std::uint8_t epoch,
+    std::uint16_t& seq_counter, const std::vector<std::uint8_t>& payload,
+    std::uint32_t can_id);
+
+/// Loss/duplicate accounting, per receiver.  Every counter feeds the
+/// consensus oracle's detail output; `gaps` and `dropped` are the smoking
+/// gun when link-level omission breaks application-level consistency.
+struct FragStats {
+  std::uint64_t segments = 0;    ///< well-formed segments processed
+  std::uint64_t messages = 0;    ///< messages completed
+  std::uint64_t duplicates = 0;  ///< segment received twice (same sequence)
+  std::uint64_t stale = 0;       ///< sequence went backwards
+  std::uint64_t gaps = 0;        ///< sequence skipped ahead (lost segment)
+  std::uint64_t epoch_resets = 0;///< sender restarted with a new epoch
+  std::uint64_t dropped = 0;     ///< partial messages abandoned
+  std::uint64_t malformed = 0;   ///< frame not a valid segment
+
+  [[nodiscard]] bool lossless() const {
+    return gaps == 0 && dropped == 0 && malformed == 0;
+  }
+};
+
+/// Per-receiver reassembly: feed every delivered frame in, get a complete
+/// message out when its last segment arrives.  Keyed by sender; segment
+/// sequences must ascend per sender (the wire's total order guarantees it
+/// on a correct link — every deviation is counted, not assumed away).
+class Reassembler {
+ public:
+  /// Process one delivered frame.  Returns the completed message when this
+  /// frame finishes one; nullopt otherwise (mid-message, duplicate, or not
+  /// an RSM segment).
+  std::optional<RsmMessage> on_frame(const Frame& f, BitTime t);
+
+  /// Drop all partial state and sequence history (host crash wipes RAM).
+  /// Statistics survive: they belong to the observer, not the node.
+  void reset();
+
+  [[nodiscard]] const FragStats& stats() const { return stats_; }
+
+ private:
+  struct SenderState {
+    bool have_seq = false;
+    std::uint16_t last_seq = 0;
+    bool assembling = false;
+    RsmMsgType type = RsmMsgType::Cmd;
+    std::uint8_t epoch = 0;
+    std::uint16_t first_seq = 0;
+    std::uint8_t next_index = 0;
+    std::vector<std::uint8_t> buf;
+  };
+
+  std::map<NodeId, SenderState> senders_;
+  FragStats stats_;
+};
+
+}  // namespace mcan

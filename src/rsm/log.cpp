@@ -1,0 +1,194 @@
+#include "rsm/log.hpp"
+
+#include <stdexcept>
+
+namespace mcan {
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t LogEntry::digest() const {
+  std::uint64_t h = kFnvOffset;
+  const std::uint8_t head[5] = {
+      static_cast<std::uint8_t>(id.source),
+      static_cast<std::uint8_t>(id.seq >> 8),
+      static_cast<std::uint8_t>(id.seq & 0xFF),
+      static_cast<std::uint8_t>(is_join ? 1 : 0),
+      static_cast<std::uint8_t>(is_join ? joiner : 0),
+  };
+  h = fnv1a(h, head, sizeof head);
+  if (!payload.empty()) h = fnv1a(h, payload.data(), payload.size());
+  return h;
+}
+
+long long RsmLog::append(LogEntry e) {
+  const long long index = end();
+  ids_.insert(e.id);
+  entries_.push_back(std::move(e));
+  committed_.push_back(false);
+  return index;
+}
+
+std::optional<long long> RsmLog::index_of(const CommandId& id) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].id == id) {
+      return base_ + static_cast<long long>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+void RsmLog::reset_to_base(long long base) {
+  base_ = base;
+  entries_.clear();
+  committed_.clear();
+  ids_.clear();
+}
+
+void RegisterMachine::apply(const LogEntry& e, long long index) {
+  if (index != applied_) {
+    throw std::logic_error("RegisterMachine::apply out of order");
+  }
+  if (!e.is_join && !e.payload.empty()) {
+    const int r = e.payload[0] % kRsmRegisters;
+    std::int64_t delta = 0;
+    for (std::size_t b = e.payload.size(); b > 1; --b) {
+      delta = (delta << 8) | e.payload[b - 1];
+    }
+    // Sign-extend from the payload width so decrements are expressible.
+    const int bits = 8 * static_cast<int>(e.payload.size() - 1);
+    if (bits > 0 && bits < 64 && (delta & (1LL << (bits - 1)))) {
+      delta -= 1LL << bits;
+    }
+    regs_[static_cast<std::size_t>(r)] += delta;
+  }
+  const std::uint64_t ed = e.digest();
+  digest_ = fnv1a(digest_, &ed, sizeof ed);
+  ++applied_;
+}
+
+void RegisterMachine::install(
+    const std::array<std::int64_t, kRsmRegisters>& regs, long long applied,
+    std::uint64_t digest) {
+  regs_ = regs;
+  applied_ = applied;
+  digest_ = digest;
+}
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int b = 7; b >= 0; --b) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+  }
+}
+
+struct Reader {
+  const std::vector<std::uint8_t>& bytes;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool need(std::size_t n) const {
+    return pos + n <= bytes.size();
+  }
+  std::uint8_t u8() { return bytes[pos++]; }
+  std::uint16_t u16() {
+    const std::uint16_t v =
+        static_cast<std::uint16_t>((bytes[pos] << 8) | bytes[pos + 1]);
+    pos += 2;
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) v = (v << 8) | bytes[pos++];
+    return v;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> RsmSnapshot::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.push_back(joiner & 0xFF);
+  out.push_back(joiner_epoch);
+  out.push_back(term);
+  out.push_back(members);
+  put_u16(out, static_cast<std::uint16_t>(base));
+  for (const std::int64_t r : regs) {
+    put_u64(out, static_cast<std::uint64_t>(r));
+  }
+  put_u64(out, digest);
+  const std::size_t count_at = out.size();
+  out.push_back(0);  // tail count + truncation bit, patched below
+  std::uint8_t shipped = 0;
+  bool cut = false;
+  for (const TailEntry& te : tail) {
+    // Fixed 8 bytes of entry header + payload; stop before overflowing
+    // the fragmentation layer's payload ceiling.  The cut is flagged in
+    // the count byte's top bit so the joiner knows its tail is partial.
+    const std::size_t need = 8 + te.entry.payload.size();
+    if (out.size() + need > static_cast<std::size_t>(kRsmMaxPayload)) {
+      cut = true;
+      break;
+    }
+    out.push_back(te.entry.id.source & 0xFF);
+    put_u16(out, te.entry.id.seq);
+    out.push_back(te.voters);
+    out.push_back(static_cast<std::uint8_t>(te.entry.is_join ? 1 : 0));
+    out.push_back(te.entry.joiner & 0xFF);
+    out.push_back(te.entry.joiner_epoch);
+    out.push_back(static_cast<std::uint8_t>(te.entry.payload.size()));
+    out.insert(out.end(), te.entry.payload.begin(), te.entry.payload.end());
+    ++shipped;
+  }
+  out[count_at] = static_cast<std::uint8_t>(shipped | (cut ? 0x80 : 0));
+  return out;
+}
+
+std::optional<RsmSnapshot> RsmSnapshot::parse(
+    const std::vector<std::uint8_t>& bytes) {
+  Reader r{bytes};
+  RsmSnapshot s;
+  if (!r.need(4 + 2 + 8 * kRsmRegisters + 8 + 1)) return std::nullopt;
+  s.joiner = r.u8();
+  s.joiner_epoch = r.u8();
+  s.term = r.u8();
+  s.members = r.u8();
+  s.base = r.u16();
+  for (std::size_t i = 0; i < kRsmRegisters; ++i) {
+    s.regs[i] = static_cast<std::int64_t>(r.u64());
+  }
+  s.digest = r.u64();
+  const std::uint8_t count_byte = r.u8();
+  s.truncated = (count_byte & 0x80) != 0;
+  const std::uint8_t n_tail = count_byte & 0x7F;
+  for (std::uint8_t i = 0; i < n_tail; ++i) {
+    if (!r.need(8)) return std::nullopt;
+    TailEntry te;
+    te.entry.id.source = r.u8();
+    te.entry.id.seq = r.u16();
+    te.voters = r.u8();
+    te.entry.is_join = r.u8() != 0;
+    te.entry.joiner = r.u8();
+    te.entry.joiner_epoch = r.u8();
+    const std::uint8_t len = r.u8();
+    if (!r.need(len)) return std::nullopt;
+    te.entry.payload.assign(bytes.begin() + static_cast<long>(r.pos),
+                            bytes.begin() + static_cast<long>(r.pos + len));
+    r.pos += len;
+    s.tail.push_back(std::move(te));
+  }
+  return s;
+}
+
+}  // namespace mcan

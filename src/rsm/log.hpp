@@ -1,0 +1,157 @@
+// The replicated log and its deterministic state machine.
+//
+// Atomic broadcast gives every correct node the same delivery order, so
+// the log needs no leader to sequence it: each replica appends commands in
+// delivery order and the logs match by construction — exactly while the
+// link really is an atomic broadcast.  Commit is k-threshold voting
+// (the roj_consensus property set): an entry is committed once k distinct
+// replicas have voted for it, and applied strictly in log order.
+//
+// Indices are *absolute*: a recovered replica whose log starts from a
+// snapshot at base B appends its first live entry at index B, so the
+// property checker can compare entries across replicas with different
+// histories position-by-position.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rsm/frag.hpp"
+
+namespace mcan {
+
+/// Identity of one log entry: the proposer and the wire sequence of its
+/// command message (epoch in the top nibble disambiguates incarnations).
+struct CommandId {
+  NodeId source = 0;
+  std::uint16_t seq = 0;
+
+  [[nodiscard]] bool operator==(const CommandId&) const = default;
+  [[nodiscard]] auto operator<=>(const CommandId&) const = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return "c(" + std::to_string(source) + "," + std::to_string(seq) + ")";
+  }
+};
+
+struct LogEntry {
+  CommandId id;
+  std::vector<std::uint8_t> payload;
+  bool is_join = false;       ///< membership entry (joiner re-entering)
+  NodeId joiner = 0;
+  std::uint8_t joiner_epoch = 0;
+
+  /// Content digest (id + payload + kind), for log-matching checks.
+  [[nodiscard]] std::uint64_t digest() const;
+};
+
+/// FNV-1a accumulation helper shared by entry and state digests.
+[[nodiscard]] std::uint64_t fnv1a(std::uint64_t h, const void* data,
+                                  std::size_t n);
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+
+/// The log proper: entries at absolute indices [base, base + size).
+class RsmLog {
+ public:
+  /// Absolute index of the first held entry (snapshot boundary).
+  [[nodiscard]] long long base() const { return base_; }
+  /// Absolute index one past the last held entry.
+  [[nodiscard]] long long end() const {
+    return base_ + static_cast<long long>(entries_.size());
+  }
+  [[nodiscard]] bool holds(long long index) const {
+    return index >= base_ && index < end();
+  }
+  [[nodiscard]] const LogEntry& at(long long index) const {
+    return entries_.at(static_cast<std::size_t>(index - base_));
+  }
+  [[nodiscard]] bool committed(long long index) const {
+    return committed_.at(static_cast<std::size_t>(index - base_));
+  }
+
+  /// Append in delivery order; returns the entry's absolute index.
+  long long append(LogEntry e);
+
+  /// Mark an entry committed (k votes reached).
+  void mark_committed(long long index) {
+    committed_.at(static_cast<std::size_t>(index - base_)) = true;
+  }
+
+  /// True iff some entry carries `id` (duplicate-append guard).
+  [[nodiscard]] bool contains(const CommandId& id) const {
+    return ids_.contains(id);
+  }
+  [[nodiscard]] std::optional<long long> index_of(const CommandId& id) const;
+
+  /// Reset to a snapshot boundary: everything below `base` lives only in
+  /// the installed state.
+  void reset_to_base(long long base);
+
+ private:
+  long long base_ = 0;
+  std::vector<LogEntry> entries_;
+  std::vector<bool> committed_;
+  std::set<CommandId> ids_;
+};
+
+inline constexpr int kRsmRegisters = 8;
+
+/// The deterministic state machine: eight registers under "reg += delta"
+/// commands.  payload[0] % 8 selects the register; the remaining bytes are
+/// a little-endian signed delta (missing bytes = 0).  Join entries change
+/// no register but still advance the chained digest, so replicas that
+/// applied a membership change at different positions diverge detectably.
+class RegisterMachine {
+ public:
+  /// Apply the entry at absolute index `index` (must equal applied()).
+  void apply(const LogEntry& e, long long index);
+
+  [[nodiscard]] long long applied() const { return applied_; }
+  [[nodiscard]] std::uint64_t digest() const { return digest_; }
+  [[nodiscard]] std::int64_t reg(int i) const {
+    return regs_.at(static_cast<std::size_t>(i));
+  }
+
+  /// Overwrite from a snapshot.
+  void install(const std::array<std::int64_t, kRsmRegisters>& regs,
+               long long applied, std::uint64_t digest);
+  [[nodiscard]] const std::array<std::int64_t, kRsmRegisters>& regs() const {
+    return regs_;
+  }
+
+ private:
+  std::array<std::int64_t, kRsmRegisters> regs_{};
+  long long applied_ = 0;
+  std::uint64_t digest_ = kFnvOffset;
+};
+
+/// Snapshot transferred to a joiner: the applied state plus the unapplied
+/// log tail with the votes the coordinator has seen for it, so the joiner
+/// resumes with complete commit bookkeeping (votes broadcast after the
+/// snapshot point reach it live; votes before it are in the voter sets).
+struct RsmSnapshot {
+  NodeId joiner = 0;
+  std::uint8_t joiner_epoch = 0;
+  std::uint8_t term = 0;
+  std::uint8_t members = 0;  ///< membership bitmap (node ids 0..7)
+  long long base = 0;        ///< absolute applied count = first live index
+  std::array<std::int64_t, kRsmRegisters> regs{};
+  std::uint64_t digest = kFnvOffset;
+
+  struct TailEntry {
+    LogEntry entry;
+    std::uint8_t voters = 0;  ///< voter bitmap (node ids 0..7)
+  };
+  std::vector<TailEntry> tail;
+  bool truncated = false;  ///< tail cut to fit kRsmMaxPayload
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static std::optional<RsmSnapshot> parse(
+      const std::vector<std::uint8_t>& bytes);
+};
+
+}  // namespace mcan

@@ -1,0 +1,160 @@
+#include "rsm/properties.hpp"
+
+namespace mcan {
+
+namespace {
+
+void add_detail(std::string& detail, int& shown, const std::string& line) {
+  constexpr int kMaxLines = 6;
+  if (shown >= kMaxLines) return;
+  if (!detail.empty()) detail += "; ";
+  detail += line;
+  ++shown;
+}
+
+}  // namespace
+
+std::string RsmReport::summary() const {
+  std::string s = "participating=" + std::to_string(participating) +
+                  " proposals=" + std::to_string(proposals) +
+                  " commits=" + std::to_string(commits) +
+                  " installs=" + std::to_string(installs) +
+                  " election=" + std::to_string(election_violations) +
+                  " log=" + std::to_string(log_mismatches) +
+                  " state=" + std::to_string(state_mismatches);
+  if (liveness_checked) {
+    s += " liveness=" + std::to_string(liveness_violations);
+  }
+  s += " stall=" + std::to_string(stalled_recoveries);
+  return s;
+}
+
+RsmReport check_rsm(const std::map<NodeId, RsmJournal>& journals,
+                    const RsmCheckContext& ctx) {
+  RsmReport report;
+  report.liveness_checked = ctx.check_liveness;
+  int shown = 0;
+
+  const auto participating = [&](NodeId n) {
+    return !ctx.controller_crashed.contains(n);
+  };
+  for (const auto& [node, j] : journals) {
+    if (!participating(node)) continue;
+    ++report.participating;
+    report.proposals += static_cast<long long>(j.proposals.size());
+    report.commits += static_cast<long long>(j.commits.size());
+    report.installs += static_cast<long long>(j.installs.size());
+  }
+
+  // Election safety: at most one coordinator claim per (joiner, epoch)
+  // term.  Two claimants mean two replicas believed themselves the
+  // deterministic coordinator — their applied counts diverged.
+  std::map<std::uint16_t, std::set<NodeId>> claimants;
+  for (const auto& [node, j] : journals) {
+    if (!participating(node)) continue;
+    for (const RsmClaimEvent& c : j.claims) {
+      claimants[c.term_key].insert(c.claimant);
+    }
+  }
+  for (const auto& [term_key, who] : claimants) {
+    if (who.size() > 1) {
+      ++report.election_violations;
+      std::string line =
+          "election: term " + std::to_string(term_key) + " claimed by";
+      for (const NodeId n : who) line += " n" + std::to_string(n);
+      add_detail(report.detail, shown, line);
+    }
+  }
+
+  // Log matching / state-machine safety compare each node's *final* word
+  // per absolute index: a later append or apply at the same index
+  // (snapshot install after recovery) supersedes the pre-crash one —
+  // discarding an uncommitted suffix on crash is legitimate.
+  std::map<NodeId, std::map<long long, std::uint64_t>> final_appends;
+  std::map<NodeId, std::map<long long, std::uint64_t>> final_applies;
+  for (const auto& [node, j] : journals) {
+    if (!participating(node)) continue;
+    for (const RsmAppendEvent& a : j.appends) {
+      final_appends[node][a.index] = a.digest;
+    }
+    for (const RsmApplyEvent& a : j.applies) {
+      final_applies[node][a.index] = a.state_digest;
+    }
+  }
+  const auto count_mismatches = [&](const auto& per_node, long long& out,
+                                    const char* what) {
+    std::map<long long, std::map<std::uint64_t, std::set<NodeId>>> by_index;
+    for (const auto& [node, entries] : per_node) {
+      for (const auto& [index, digest] : entries) {
+        by_index[index][digest].insert(node);
+      }
+    }
+    for (const auto& [index, digests] : by_index) {
+      if (digests.size() > 1) {
+        ++out;
+        std::string line = std::string(what) + " mismatch at index " +
+                           std::to_string(index) + ":";
+        for (const auto& [digest, nodes] : digests) {
+          line += " {";
+          for (const NodeId n : nodes) line += "n" + std::to_string(n);
+          line += "}";
+        }
+        add_detail(report.detail, shown, line);
+      }
+    }
+  };
+  count_mismatches(final_appends, report.log_mismatches, "log");
+  count_mismatches(final_applies, report.state_mismatches, "state");
+
+  // Recovery stall: a restarted host that never installed a snapshot.
+  if (ctx.expect_install) {
+    for (const auto& [node, j] : journals) {
+      if (!participating(node)) continue;
+      if (j.host_recovered && j.installs.empty()) {
+        ++report.stalled_recoveries;
+        add_detail(report.detail, shown,
+                   "recovery stalled: n" + std::to_string(node) +
+                       " rejoined but never installed a snapshot");
+      }
+    }
+  }
+
+  // Liveness (asserted only inside the fault envelope, after quiescence):
+  // every command proposed by a never-crashed node commits at every
+  // participating node.  A recovered node answers only for proposals made
+  // at or after its snapshot install — earlier commits live inside the
+  // installed state, not its commit journal.
+  if (ctx.check_liveness) {
+    for (const auto& [proposer, pj] : journals) {
+      if (!participating(proposer) || pj.host_crashed) continue;
+      for (const RsmProposeEvent& p : pj.proposals) {
+        for (const auto& [node, j] : journals) {
+          if (!participating(node)) continue;
+          if (j.host_crashed && !j.host_recovered) continue;
+          if (j.host_recovered) {
+            if (j.installs.empty()) continue;  // already flagged as stalled
+            if (p.t < j.installs.front().t) continue;
+          }
+          bool committed = false;
+          for (const RsmCommitEvent& c : j.commits) {
+            if (c.id == p.id) {
+              committed = true;
+              break;
+            }
+          }
+          if (!committed) {
+            ++report.liveness_violations;
+            add_detail(report.detail, shown,
+                       "liveness: " + p.id.to_string() + " from n" +
+                           std::to_string(proposer) +
+                           " never committed at n" + std::to_string(node));
+          }
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace mcan

@@ -1,0 +1,116 @@
+// Consensus property checking over per-replica journals.
+//
+// Every replica journals what it did — appends, commits, applies,
+// coordinator claims, snapshot installs, proposals — and the checker
+// evaluates the roj_consensus property set over the collected journals:
+//
+//   * election safety     — at most one coordinator claim per term;
+//   * log matching        — replicas holding an entry at the same absolute
+//                           index hold the same entry;
+//   * state-machine safety— replicas that applied the entry at the same
+//                           absolute index have equal state digests;
+//   * liveness (envelope) — every command proposed by a never-crashed node
+//                           commits at every participating node; only
+//                           asserted when the run stayed inside the
+//                           protocol's fault envelope and quiesced.
+//
+// "Participating" includes a crash/recovered replica from its snapshot
+// install onward: crash-recovery is part of the model, and safety is
+// exactly what snapshot transfer must preserve.  A node whose *controller*
+// crashed (fail-silent, .scn `crash`) is excluded entirely.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rsm/log.hpp"
+
+namespace mcan {
+
+struct RsmAppendEvent {
+  long long index = 0;
+  CommandId id;
+  std::uint64_t digest = 0;  ///< entry content digest
+  BitTime t = 0;
+};
+
+struct RsmCommitEvent {
+  long long index = 0;
+  CommandId id;
+  BitTime t = 0;
+};
+
+struct RsmApplyEvent {
+  long long index = 0;           ///< absolute index of the applied entry
+  std::uint64_t state_digest = 0;  ///< machine digest after applying it
+  BitTime t = 0;
+};
+
+struct RsmClaimEvent {
+  std::uint16_t term_key = 0;  ///< (joiner << 8) | joiner_epoch
+  NodeId claimant = 0;
+  BitTime t = 0;
+};
+
+struct RsmInstallEvent {
+  std::uint16_t term_key = 0;
+  NodeId from = 0;  ///< the coordinator that shipped the snapshot
+  long long base = 0;
+  BitTime t = 0;
+};
+
+struct RsmProposeEvent {
+  CommandId id;
+  BitTime t = 0;
+};
+
+/// Everything one replica's run produced, as the checker sees it.
+struct RsmJournal {
+  std::vector<RsmAppendEvent> appends;
+  std::vector<RsmCommitEvent> commits;
+  std::vector<RsmApplyEvent> applies;
+  std::vector<RsmClaimEvent> claims;
+  std::vector<RsmInstallEvent> installs;
+  std::vector<RsmProposeEvent> proposals;
+  bool host_crashed = false;   ///< the workload crashed this host
+  bool host_recovered = false; ///< ... and later restarted it
+};
+
+/// What the checker needs to know about the run besides the journals.
+struct RsmCheckContext {
+  /// Nodes whose controller fail-silenced (.scn crash) — out of the model.
+  std::set<NodeId> controller_crashed;
+  /// Assert liveness (run quiesced inside the fault envelope).
+  bool check_liveness = false;
+  /// A recovery was scheduled, so a snapshot install must have happened.
+  bool expect_install = false;
+};
+
+struct RsmReport {
+  int participating = 0;
+  long long proposals = 0;
+  long long commits = 0;        ///< total commit events across replicas
+  long long installs = 0;       ///< snapshot transfers completed
+  int election_violations = 0;
+  long long log_mismatches = 0;
+  long long state_mismatches = 0;
+  int liveness_violations = 0;
+  int stalled_recoveries = 0;   ///< expected install that never happened
+  bool liveness_checked = false;
+  std::string detail;           ///< first few violations, human-readable
+
+  [[nodiscard]] bool clean() const {
+    return election_violations == 0 && log_mismatches == 0 &&
+           state_mismatches == 0 && liveness_violations == 0 &&
+           stalled_recoveries == 0;
+  }
+  [[nodiscard]] std::string summary() const;
+};
+
+[[nodiscard]] RsmReport check_rsm(
+    const std::map<NodeId, RsmJournal>& journals, const RsmCheckContext& ctx);
+
+}  // namespace mcan

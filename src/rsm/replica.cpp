@@ -1,0 +1,280 @@
+#include "rsm/replica.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mcan {
+
+namespace {
+
+[[nodiscard]] std::uint8_t full_membership(int n_nodes) {
+  std::uint8_t bits = 0;
+  for (int i = 0; i < n_nodes && i < 8; ++i) {
+    bits = static_cast<std::uint8_t>(bits | (1u << i));
+  }
+  return bits;
+}
+
+[[nodiscard]] std::uint16_t term_key_of(NodeId joiner, std::uint8_t epoch) {
+  return static_cast<std::uint16_t>((joiner << 8) | epoch);
+}
+
+}  // namespace
+
+RsmReplica::RsmReplica(ReplicaConfig cfg, SendFn send)
+    : cfg_(cfg), send_(std::move(send)),
+      members_(full_membership(cfg.n_nodes)) {}
+
+void RsmReplica::broadcast(RsmMsgType type,
+                           const std::vector<std::uint8_t>& payload) {
+  const std::uint32_t can_id = cfg_.can_id_base + cfg_.id;
+  for (const Frame& f :
+       split_message(type, cfg_.id, epoch_, seq_counter_, payload, can_id)) {
+    send_(f);
+  }
+}
+
+bool RsmReplica::propose(const std::vector<std::uint8_t>& payload,
+                         BitTime now) {
+  if (crashed_ || awaiting_) return false;
+  // The command's identity is the wire sequence its first segment will
+  // carry — known before the split because the counter is ours.
+  const std::uint16_t seq = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(epoch_ & 0x0F) << 12) |
+      (seq_counter_ & 0x0FFF));
+  journal_.proposals.push_back({CommandId{cfg_.id, seq}, now});
+  broadcast(RsmMsgType::Cmd, payload);
+  return true;
+}
+
+void RsmReplica::on_frame(const Frame& f, BitTime t) {
+  if (crashed_) return;
+  if (auto m = reassembler_.on_frame(f, t)) handle_message(*m);
+}
+
+void RsmReplica::handle_message(const RsmMessage& m) {
+  // Own Join echo: our join reached the wire.  Everything buffered before
+  // this point sits below the join entry in the total order, so it is
+  // covered by the snapshot prefix or tail — replaying it would duplicate
+  // history.  Start collecting only what comes after.
+  if (m.type == RsmMsgType::Join && m.source == cfg_.id) {
+    if (awaiting_ && m.epoch == epoch_) {
+      join_echoed_ = true;
+      buffered_.clear();
+      // Vote for our own join entry: with k = n it cannot commit
+      // otherwise, since only the n-1 established members append it.
+      send_vote(CommandId{cfg_.id, m.seq});
+    }
+    return;
+  }
+  if (awaiting_) {
+    if (m.type == RsmMsgType::Snap) {
+      handle_snap(m);
+    } else {
+      if (join_echoed_) buffered_.push_back(m);
+    }
+    return;
+  }
+  switch (m.type) {
+    case RsmMsgType::Cmd: handle_cmd(m); break;
+    case RsmMsgType::Vote: handle_vote(m); break;
+    case RsmMsgType::Join: handle_join(m); break;
+    case RsmMsgType::Snap: break;  // addressed to a joiner, not us
+  }
+}
+
+void RsmReplica::append_and_vote(LogEntry e, BitTime t) {
+  const CommandId id = e.id;
+  const std::uint64_t digest = e.digest();
+  const long long index = log_.append(std::move(e));
+  journal_.appends.push_back({index, id, digest, t});
+  send_vote(id);
+  try_commit_apply(t);
+}
+
+void RsmReplica::send_vote(const CommandId& id) {
+  broadcast(RsmMsgType::Vote,
+            {static_cast<std::uint8_t>(id.source),
+             static_cast<std::uint8_t>(id.seq >> 8),
+             static_cast<std::uint8_t>(id.seq & 0xFF)});
+}
+
+void RsmReplica::handle_cmd(const RsmMessage& m) {
+  const CommandId id{m.source, m.seq};
+  if (log_.contains(id)) return;  // replayed duplicate
+  LogEntry e;
+  e.id = id;
+  e.payload = m.payload;
+  append_and_vote(std::move(e), m.t);
+}
+
+void RsmReplica::handle_vote(const RsmMessage& m) {
+  if (m.payload.size() < 3) return;
+  const CommandId id{
+      static_cast<NodeId>(m.payload[0]),
+      static_cast<std::uint16_t>((m.payload[1] << 8) | m.payload[2])};
+  votes_[id].insert(m.source);
+  try_commit_apply(m.t);
+}
+
+void RsmReplica::handle_join(const RsmMessage& m) {
+  const CommandId id{m.source, m.seq};
+  if (log_.contains(id)) return;
+  LogEntry e;
+  e.id = id;
+  e.is_join = true;
+  e.joiner = m.source;
+  e.joiner_epoch = m.epoch;
+  append_and_vote(std::move(e), m.t);
+}
+
+void RsmReplica::try_commit_apply(BitTime t) {
+  for (long long i = log_.base(); i < log_.end(); ++i) {
+    if (log_.committed(i)) continue;
+    const auto it = votes_.find(log_.at(i).id);
+    if (it != votes_.end() &&
+        static_cast<int>(it->second.size()) >= cfg_.k) {
+      log_.mark_committed(i);
+      journal_.commits.push_back({i, log_.at(i).id, t});
+      // Ship snapshots at *commit* time, not apply time: an uncommitted
+      // entry below the join (proposed while the joiner was down and one
+      // vote short of k) would otherwise block the apply forever — the
+      // joiner cannot supply that vote until it installs, and the
+      // snapshot would wait on the apply.  The tail carries the
+      // uncommitted suffix with vote bitmaps, so the joiner's post-install
+      // votes break the cycle.
+      if (log_.at(i).is_join) committed_join(log_.at(i), i, t);
+    }
+  }
+  while (log_.holds(machine_.applied()) &&
+         log_.committed(machine_.applied())) {
+    const long long index = machine_.applied();
+    const LogEntry& e = log_.at(index);
+    machine_.apply(e, index);
+    journal_.applies.push_back({index, machine_.digest(), t});
+    if (e.is_join) applied_join(e, index, t);
+  }
+}
+
+void RsmReplica::applied_join(const LogEntry& e, long long index, BitTime t) {
+  (void)index;
+  (void)t;
+  members_ = static_cast<std::uint8_t>(members_ | (1u << (e.joiner & 7)));
+  ++term_;
+}
+
+void RsmReplica::committed_join(const LogEntry& e, long long index, BitTime t) {
+  if (e.joiner == cfg_.id) return;  // our own join: we install, not serve
+  // Deterministic coordinator: the eligible member at position (join
+  // index mod eligible count) ships the snapshot.  The joiner is not
+  // eligible — it has nothing to serve itself.  Replicas whose log
+  // positions diverged (inconsistent omission upstream) elect different
+  // coordinators for the same term — the election-safety checker's
+  // falsification handle.
+  std::vector<NodeId> member_list;
+  for (int i = 0; i < 8; ++i) {
+    if ((members_ & (1u << i)) && static_cast<NodeId>(i) != e.joiner) {
+      member_list.push_back(static_cast<NodeId>(i));
+    }
+  }
+  const NodeId coordinator = member_list[static_cast<std::size_t>(
+      index % static_cast<long long>(member_list.size()))];
+  if (coordinator != cfg_.id) return;
+  journal_.claims.push_back({term_key_of(e.joiner, e.joiner_epoch), cfg_.id, t});
+  const RsmSnapshot snap = build_snapshot(e.joiner, e.joiner_epoch);
+  broadcast(RsmMsgType::Snap, snap.serialize());
+}
+
+RsmSnapshot RsmReplica::build_snapshot(NodeId joiner,
+                                       std::uint8_t joiner_epoch) const {
+  RsmSnapshot s;
+  s.joiner = joiner;
+  s.joiner_epoch = joiner_epoch;
+  s.term = term_;
+  s.members = members_;
+  s.base = machine_.applied();
+  s.regs = machine_.regs();
+  s.digest = machine_.digest();
+  for (long long i = s.base; i < log_.end(); ++i) {
+    RsmSnapshot::TailEntry te;
+    te.entry = log_.at(i);
+    if (const auto it = votes_.find(te.entry.id); it != votes_.end()) {
+      for (const NodeId v : it->second) {
+        te.voters = static_cast<std::uint8_t>(te.voters | (1u << (v & 7)));
+      }
+    }
+    s.tail.push_back(std::move(te));
+  }
+  return s;
+}
+
+void RsmReplica::handle_snap(const RsmMessage& m) {
+  const auto snap = RsmSnapshot::parse(m.payload);
+  if (!snap || snap->joiner != cfg_.id || snap->joiner_epoch != epoch_) {
+    return;  // not for this incarnation
+  }
+  log_.reset_to_base(snap->base);
+  machine_.install(snap->regs, snap->base, snap->digest);
+  members_ = snap->members;
+  term_ = snap->term;
+  votes_.clear();
+  for (const RsmSnapshot::TailEntry& te : snap->tail) {
+    const CommandId id = te.entry.id;
+    const std::uint64_t digest = te.entry.digest();
+    const long long index = log_.append(te.entry);
+    journal_.appends.push_back({index, id, digest, m.t});
+    for (int v = 0; v < 8; ++v) {
+      if (te.voters & (1u << v)) votes_[id].insert(static_cast<NodeId>(v));
+    }
+  }
+  if (snap->base > 0) {
+    // The installed state stands in for having applied [0, base): journal
+    // it at the last covered index so state-machine safety can compare it
+    // against replicas that applied that prefix live.
+    journal_.applies.push_back({snap->base - 1, snap->digest, m.t});
+  }
+  journal_.installs.push_back(
+      {term_key_of(cfg_.id, epoch_), m.source, snap->base, m.t});
+  awaiting_ = false;
+  join_echoed_ = false;
+  // Vote for the tail we just adopted — we were not around to vote at
+  // append time — then replay what arrived after our Join echo.  Replays
+  // dedup against the log (commands already in the tail) and the vote
+  // sets (idempotent inserts).
+  for (long long i = log_.base(); i < log_.end(); ++i) {
+    send_vote(log_.at(i).id);
+  }
+  const std::vector<RsmMessage> replay = std::move(buffered_);
+  buffered_.clear();
+  for (const RsmMessage& r : replay) handle_message(r);
+  try_commit_apply(m.t);
+}
+
+void RsmReplica::crash(BitTime now) {
+  (void)now;
+  crashed_ = true;
+  journal_.host_crashed = true;
+  log_.reset_to_base(0);
+  machine_ = RegisterMachine{};
+  votes_.clear();
+  buffered_.clear();
+  members_ = full_membership(cfg_.n_nodes);
+  term_ = 0;
+  awaiting_ = false;
+  join_echoed_ = false;
+  reassembler_.reset();
+}
+
+void RsmReplica::recover(BitTime now) {
+  (void)now;
+  if (!crashed_) return;
+  crashed_ = false;
+  journal_.host_recovered = true;
+  epoch_ = static_cast<std::uint8_t>((epoch_ + 1) & 0x0F);
+  seq_counter_ = 0;
+  awaiting_ = true;
+  join_echoed_ = false;
+  broadcast(RsmMsgType::Join, {});
+}
+
+}  // namespace mcan

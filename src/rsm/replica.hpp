@@ -1,0 +1,116 @@
+// One consensus replica: leaderless replicated state machine over an
+// atomic-broadcast link.
+//
+// The link's total order does the sequencing a leader would: every replica
+// appends commands in delivery order, votes for each append, and commits
+// an entry once k distinct replicas have voted for it.  A replica observes
+// its *own* messages through the same delivery path as everyone else's
+// (direct link: at tx_done, the wire's sequencing point), so the append
+// order is the wire order at every node — as long as the link really
+// delivers atomically.  Standard CAN's inconsistent message omission
+// breaks exactly this assumption; MajorCAN inside its fault envelope
+// restores it, and the journals this replica keeps let the property
+// checker tell the two apart.
+//
+// Crash/recovery: a host crash wipes all volatile state (log, machine,
+// votes, membership view).  Only the incarnation epoch survives — stable
+// storage — and is bumped on recovery.  The recovered node broadcasts a
+// Join, buffers traffic delivered after its own Join echo (total order
+// makes everything before the echo part of the coordinator's snapshot),
+// and resumes from the snapshot a deterministically-chosen coordinator
+// ships back: installed state at base, plus the appended-but-unapplied
+// log tail with the votes seen so far.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "rsm/frag.hpp"
+#include "rsm/log.hpp"
+#include "rsm/properties.hpp"
+
+namespace mcan {
+
+struct ReplicaConfig {
+  NodeId id = 0;
+  int n_nodes = 3;
+  int k = 2;                         ///< commit threshold (distinct voters)
+  std::uint32_t can_id_base = 0x100; ///< segment id = base + node id
+};
+
+class RsmReplica {
+ public:
+  using SendFn = std::function<void(const Frame&)>;
+
+  RsmReplica(ReplicaConfig cfg, SendFn send);
+
+  /// Propose a client command (appended when its segments deliver back).
+  /// Refused (returns false) while crashed or awaiting a snapshot.
+  bool propose(const std::vector<std::uint8_t>& payload, BitTime now);
+
+  /// Feed one delivered frame (own frames included — they carry this
+  /// replica's position in the total order).
+  void on_frame(const Frame& f, BitTime t);
+
+  /// Host crash: volatile state is lost, the journal (observer-side) and
+  /// the incarnation epoch (stable storage) survive.
+  void crash(BitTime now);
+
+  /// Restart after a crash: bump the epoch, broadcast Join, buffer until
+  /// a coordinator ships the snapshot.
+  void recover(BitTime now);
+
+  [[nodiscard]] const ReplicaConfig& config() const { return cfg_; }
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  /// True between recover() and snapshot install.
+  [[nodiscard]] bool awaiting_snapshot() const { return awaiting_; }
+  [[nodiscard]] std::uint8_t epoch() const { return epoch_; }
+  [[nodiscard]] std::uint8_t members() const { return members_; }
+  [[nodiscard]] std::uint8_t term() const { return term_; }
+  [[nodiscard]] const RsmLog& log() const { return log_; }
+  [[nodiscard]] const RegisterMachine& machine() const { return machine_; }
+  [[nodiscard]] const RsmJournal& journal() const { return journal_; }
+  [[nodiscard]] const FragStats& frag_stats() const {
+    return reassembler_.stats();
+  }
+
+ private:
+  void broadcast(RsmMsgType type, const std::vector<std::uint8_t>& payload);
+  void handle_message(const RsmMessage& m);
+  void handle_cmd(const RsmMessage& m);
+  void handle_vote(const RsmMessage& m);
+  void handle_join(const RsmMessage& m);
+  void handle_snap(const RsmMessage& m);
+  void append_and_vote(LogEntry e, BitTime t);
+  void send_vote(const CommandId& id);
+  void try_commit_apply(BitTime t);
+  void applied_join(const LogEntry& e, long long index, BitTime t);
+  void committed_join(const LogEntry& e, long long index, BitTime t);
+  [[nodiscard]] RsmSnapshot build_snapshot(NodeId joiner,
+                                           std::uint8_t joiner_epoch) const;
+
+  ReplicaConfig cfg_;
+  SendFn send_;
+
+  Reassembler reassembler_;
+  RsmLog log_;
+  RegisterMachine machine_;
+  std::map<CommandId, std::set<NodeId>> votes_;
+  std::uint8_t members_ = 0;
+  std::uint8_t term_ = 0;
+
+  std::uint8_t epoch_ = 0;        ///< incarnation (stable storage)
+  std::uint16_t seq_counter_ = 0; ///< 12-bit wire sequence counter
+
+  bool crashed_ = false;
+  bool awaiting_ = false;
+  bool join_echoed_ = false;      ///< own Join seen back in the total order
+  std::vector<RsmMessage> buffered_;
+
+  RsmJournal journal_;
+};
+
+}  // namespace mcan

@@ -56,6 +56,33 @@ std::map<std::string, std::string> parse_kv(
 
 }  // namespace
 
+RsmWorkload sanitize_rsm_workload(RsmWorkload w, int n_nodes) {
+  const auto clamp = [](int v, int lo, int hi) {
+    return v < lo ? lo : (v > hi ? hi : v);
+  };
+  // Command count and payload are bounded so the worst-case uncommitted
+  // log tail always fits one snapshot message (kRsmMaxPayload); the
+  // commit threshold must be reachable by the full membership.
+  w.commands = clamp(w.commands, 1, 10);
+  w.payload = clamp(w.payload, 1, 16);
+  w.k = clamp(w.k, 1, n_nodes < 1 ? 1 : n_nodes);
+  if (w.spacing > 10000) w.spacing = 10000;
+  w.link = clamp(w.link, 0, 3);
+  if (w.crash_node >= n_nodes) w.crash_node = n_nodes - 1;
+  if (w.crash_node < 0) {
+    w.crash_node = -1;
+    w.crash_t = 0;
+    w.recover_t = 0;
+  } else {
+    if (w.crash_t > 100000) w.crash_t = 100000;
+    if (w.recover_t != 0 && w.recover_t <= w.crash_t) {
+      w.recover_t = w.crash_t + 1;
+    }
+    if (w.recover_t > 150000) w.recover_t = 150000;
+  }
+  return w;
+}
+
 ScenarioSpec parse_scenario(const std::string& text) {
   ScenarioSpec spec;
   spec.protocol = ProtocolParams::standard_can();
@@ -142,6 +169,40 @@ ScenarioSpec parse_scenario(const std::string& text) {
       }
       spec.crash = {parse_uint(line_no, kv["node"]),
                     parse_uint(line_no, kv["t"])};
+    } else if (cmd == "rsm") {
+      auto kv = parse_kv(line_no, tok, 1);
+      RsmWorkload w;
+      if (kv.contains("commands")) {
+        w.commands = parse_int(line_no, kv["commands"]);
+      }
+      if (kv.contains("payload")) w.payload = parse_int(line_no, kv["payload"]);
+      if (kv.contains("k")) w.k = parse_int(line_no, kv["k"]);
+      if (kv.contains("spacing")) w.spacing = parse_uint(line_no, kv["spacing"]);
+      if (kv.contains("link")) {
+        const std::string& l = kv["link"];
+        if (l == "direct") {
+          w.link = 0;
+        } else if (l == "edcan") {
+          w.link = 1;
+        } else if (l == "relcan") {
+          w.link = 2;
+        } else if (l == "totcan") {
+          w.link = 3;
+        } else {
+          fail(line_no, "unknown rsm link: " + l);
+        }
+      }
+      if (kv.contains("crash")) w.crash_node = parse_int(line_no, kv["crash"]);
+      if (kv.contains("crasht")) w.crash_t = parse_uint(line_no, kv["crasht"]);
+      if (kv.contains("recovert")) {
+        w.recover_t = parse_uint(line_no, kv["recovert"]);
+      }
+      if (w.crash_node < 0) {  // canonical: no crash means no crash times
+        w.crash_node = -1;
+        w.crash_t = 0;
+        w.recover_t = 0;
+      }
+      spec.rsm = w;
     } else if (cmd == "expect") {
       if (tok.size() < 2) fail(line_no, "expect needs a verdict");
       if (tok[1] == "imo") {
@@ -224,6 +285,22 @@ std::string write_scenario(const ScenarioSpec& spec,
     s += "crash node=" + std::to_string(spec.crash->first) +
          " t=" + std::to_string(spec.crash->second) + "\n";
   }
+  if (spec.rsm) {
+    const RsmWorkload& w = *spec.rsm;
+    static const char* const kLinks[] = {"direct", "edcan", "relcan",
+                                         "totcan"};
+    s += "rsm commands=" + std::to_string(w.commands) +
+         " payload=" + std::to_string(w.payload) +
+         " k=" + std::to_string(w.k) +
+         " spacing=" + std::to_string(w.spacing) + " link=" +
+         kLinks[w.link >= 0 && w.link < 4 ? w.link : 0];
+    if (w.crash_node >= 0) {
+      s += " crash=" + std::to_string(w.crash_node) +
+           " crasht=" + std::to_string(w.crash_t) +
+           " recovert=" + std::to_string(w.recover_t);
+    }
+    s += "\n";
+  }
   switch (spec.expect) {
     case Expectation::Any:
       s += "expect any\n";
@@ -253,6 +330,12 @@ ScenarioSpec load_scenario_file(const std::string& path) {
 
 DslRunResult run_scenario(const ScenarioSpec& spec,
                           const InvariantConfig& inv) {
+  if (spec.rsm) {
+    throw std::invalid_argument(
+        "scenario '" + spec.name +
+        "' carries an rsm workload; run it through run_rsm_scenario or "
+        "run_any_scenario (src/rsm/runner.hpp)");
+  }
   // Reuse the figure engine for the run + trace, then layer the crash.
   Network net(spec.n_nodes, spec.protocol);
   net.enable_trace();

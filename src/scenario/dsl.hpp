@@ -41,6 +41,27 @@ struct TrafficFrame {
   [[nodiscard]] bool operator==(const TrafficFrame&) const = default;
 };
 
+/// A consensus workload riding on a scenario (the `rsm` directive): run a
+/// replicated state machine over the scenario's link instead of the probe
+/// frame, and judge the run with the consensus property checkers
+/// (src/rsm/).  Kept as a plain value here so the DSL stays independent of
+/// the rsm library; src/rsm/runner.hpp interprets it.
+///
+///   rsm commands=3 payload=4 k=2 spacing=0 link=direct
+///   rsm commands=4 k=2 crash=1 crasht=2000 recovert=9000
+struct RsmWorkload {
+  int commands = 3;       ///< proposals, round-robin across nodes
+  int payload = 4;        ///< bytes per command (register op encoding)
+  int k = 2;              ///< commit threshold (distinct voters)
+  BitTime spacing = 0;    ///< bit-time gap between successive proposals
+  int link = 0;           ///< 0 direct, 1 edcan, 2 relcan, 3 totcan
+  int crash_node = -1;    ///< host (application) crash; -1 = none
+  BitTime crash_t = 0;    ///< host crash time, absolute bits
+  BitTime recover_t = 0;  ///< restart + rejoin time; 0 = never
+
+  [[nodiscard]] bool operator==(const RsmWorkload&) const = default;
+};
+
 struct ScenarioSpec {
   std::string name;
   ProtocolParams protocol;
@@ -50,10 +71,18 @@ struct ScenarioSpec {
   std::vector<TrafficFrame> traffic;  ///< extra frames beyond the probe
   std::vector<FaultTarget> flips;
   std::optional<std::pair<NodeId, BitTime>> crash;
+  std::optional<RsmWorkload> rsm;  ///< consensus workload (rsm directive)
   Expectation expect = Expectation::Any;
 
   [[nodiscard]] bool operator==(const ScenarioSpec&) const = default;
 };
+
+/// Clamp a workload into the range every consumer (runner, fuzzer, serve
+/// backend) agrees is runnable on `n_nodes` replicas: command counts and
+/// payload sizes the snapshot tail can always carry, a commit threshold
+/// within the membership, crash/recovery times in causal order.  Shared
+/// here so the fuzz mutator and the rsm runner cannot drift apart.
+[[nodiscard]] RsmWorkload sanitize_rsm_workload(RsmWorkload w, int n_nodes);
 
 /// Parse the DSL; throws std::invalid_argument with a line-numbered message
 /// on syntax errors.
@@ -91,7 +120,10 @@ struct DslRunResult {
 
 /// Run the scenario and evaluate its `expect` clause.  Every run is also
 /// watched by an InvariantChecker; its report lands in the result (pass a
-/// config to tune or disable individual rules).
+/// config to tune or disable individual rules).  Scenarios carrying an
+/// `rsm` workload are rejected with std::invalid_argument — run those
+/// through run_rsm_scenario / run_any_scenario (src/rsm/runner.hpp), which
+/// layer the consensus stack this runner knows nothing about.
 [[nodiscard]] DslRunResult run_scenario(const ScenarioSpec& spec,
                                         const InvariantConfig& inv = {});
 

@@ -7,6 +7,7 @@
 
 #include "fuzz/engine.hpp"
 #include "rare/campaign.hpp"
+#include "rsm/cluster.hpp"
 #include "scenario/model_check.hpp"
 #include "scenario/sweep_cli.hpp"
 
@@ -48,11 +49,17 @@ std::string protocol_token(const ProtocolParams& p) {
   return "can";
 }
 
-// --- fuzz -----------------------------------------------------------------
+// --- fuzz / rsm -----------------------------------------------------------
 
+/// One backend, two kinds: "fuzz" drives the bare wire-level campaign;
+/// "rsm" attaches a consensus workload (FuzzConfig::workload) so every
+/// execution runs the replicated state machine and the four consensus
+/// violation classes are live.  Checkpoint/restore is shared — the corpus
+/// snapshot round-trips through .scn text, and the rsm directive is part
+/// of that text.
 class FuzzServeBackend final : public CampaignBackend {
  public:
-  explicit FuzzServeBackend(const Json& spec) {
+  explicit FuzzServeBackend(const Json& spec, bool rsm = false) : rsm_(rsm) {
     cfg_.protocol = parse_protocol_arg(spec_string(spec, "protocol", "can"));
     cfg_.n_nodes = static_cast<int>(spec_int(spec, "nodes", cfg_.n_nodes));
     cfg_.seed = static_cast<std::uint64_t>(spec_int(
@@ -76,18 +83,56 @@ class FuzzServeBackend final : public CampaignBackend {
       cfg_.bounds.allow_crash = false;
       cfg_.bounds.mutate_protocol = false;
     }
+    if (rsm_) {
+      RsmWorkload w;
+      w.commands = static_cast<int>(spec_int(spec, "commands", w.commands));
+      w.payload = static_cast<int>(spec_int(spec, "payload", w.payload));
+      w.k = static_cast<int>(spec_int(spec, "k", w.k));
+      w.spacing = spec_int(spec, "spacing", w.spacing);
+      const std::string link = spec_string(spec, "link", "direct");
+      w.link = -1;
+      for (int i = 0; i < 4; ++i) {
+        if (link == rsm_link_name(static_cast<RsmLink>(i))) w.link = i;
+      }
+      if (w.link < 0) {
+        throw std::invalid_argument("rsm spec: unknown link \"" + link +
+                                    "\" (want direct|edcan|relcan|totcan)");
+      }
+      w.crash_node = static_cast<int>(spec_int(spec, "crash", -1));
+      w.crash_t = spec_int(spec, "crasht", 0);
+      w.recover_t = spec_int(spec, "recovert", 0);
+      if (cfg_.n_nodes > 8) {
+        throw std::invalid_argument("rsm spec: at most 8 nodes");
+      }
+      cfg_.workload = sanitize_rsm_workload(w, cfg_.n_nodes);
+    }
     cfg_.protocol.validate();
     if (cfg_.n_nodes < 2 || cfg_.max_execs == 0 || cfg_.batch < 1) {
-      throw std::invalid_argument("fuzz spec: nodes/max_execs/batch invalid");
+      throw std::invalid_argument(std::string(kind()) +
+                                  " spec: nodes/max_execs/batch invalid");
     }
     campaign_.emplace(cfg_);
   }
 
-  [[nodiscard]] const char* kind() const override { return "fuzz"; }
+  [[nodiscard]] const char* kind() const override {
+    return rsm_ ? "rsm" : "fuzz";
+  }
 
   [[nodiscard]] std::string fingerprint() const override {
     Json c = Json::object();
-    c.set("backend", Json("fuzz"));
+    c.set("backend", Json(kind()));
+    if (cfg_.workload) {
+      const RsmWorkload& w = *cfg_.workload;
+      c.set("commands", Json(static_cast<long long>(w.commands)));
+      c.set("payload", Json(static_cast<long long>(w.payload)));
+      c.set("k", Json(static_cast<long long>(w.k)));
+      c.set("spacing", Json(static_cast<long long>(w.spacing)));
+      c.set("link",
+            Json(rsm_link_name(static_cast<RsmLink>(w.link))));
+      c.set("crash", Json(static_cast<long long>(w.crash_node)));
+      c.set("crasht", Json(static_cast<long long>(w.crash_t)));
+      c.set("recovert", Json(static_cast<long long>(w.recover_t)));
+    }
     c.set("protocol", Json(protocol_token(cfg_.protocol)));
     c.set("nodes", Json(static_cast<long long>(cfg_.n_nodes)));
     c.set("seed", Json(static_cast<long long>(cfg_.seed)));
@@ -229,6 +274,7 @@ class FuzzServeBackend final : public CampaignBackend {
 
  private:
   FuzzConfig cfg_;
+  bool rsm_ = false;
   bool envelope_ = false;
   std::optional<FuzzCampaign> campaign_;
 };
@@ -457,6 +503,7 @@ std::unique_ptr<CampaignBackend> make_backend(const Json& spec,
   const std::string kind = spec_string(spec, "backend", "");
   try {
     if (kind == "fuzz") return std::make_unique<FuzzServeBackend>(spec);
+    if (kind == "rsm") return std::make_unique<FuzzServeBackend>(spec, true);
     if (kind == "rare") return std::make_unique<RareServeBackend>(spec);
     if (kind == "check") return std::make_unique<CheckServeBackend>(spec);
   } catch (const std::exception& e) {

@@ -36,7 +36,7 @@ class CampaignBackend {
  public:
   virtual ~CampaignBackend() = default;
 
-  /// "fuzz", "rare" or "check".
+  /// "fuzz", "rsm", "rare" or "check".
   [[nodiscard]] virtual const char* kind() const = 0;
 
   /// Canonical identity of the campaign: the spec with every default
