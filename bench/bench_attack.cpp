@@ -1,0 +1,140 @@
+// Adversarial strength benchmark: how much targeted disturbance does each
+// protocol variant withstand?
+//
+// For every variant in the sweep set and every bus size, two numbers:
+//
+//   * the minimum targeted glitch budget that defeats atomic broadcast
+//     (attack/optimize.hpp — heuristic contiguous-run candidates, then the
+//     exhaustive model-check grid; budgets below the minimum are certified
+//     clean exhaustively whenever the case budget allows), and
+//   * the error-frame flooder's certified time-to-bus-off: corrupted
+//     transmission attempts until fault confinement removes the victim,
+//     and the bit time at which it happens.
+//
+// The defaults keep the run CI-sized by capping the exhaustive pass per
+// budget level (--budget flag of the sweep parser, here --max-cases is
+// unused); MajorCAN_5's k = 5 level alone is ~17M patterns, so its
+// below-minimum certification is bounded unless you raise the cap.
+//
+//     bench_attack --json BENCH_attack.json
+//     bench_attack --protocol major:5 --nodes 3 --budget 0   # full certify
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "attack/optimize.hpp"
+#include "scenario/sweep_cli.hpp"
+#include "util/text.hpp"
+
+namespace {
+
+using namespace mcan;
+
+/// Probe budgets 1..max for one (variant, N) cell.
+struct Cell {
+  ProtocolParams protocol;
+  int n_nodes = 3;
+  MinBudgetResult min_budget;
+  AttackReport busoff;
+};
+
+int max_budget_for(const ProtocolParams& p) {
+  // The paper's envelope theorem says MajorCAN_m absorbs m disturbances,
+  // so the defeating budget can sit at m + 1; the classic variants fall
+  // within 2.  One level of headroom keeps "no pattern found" meaningful.
+  return p.variant == Variant::MajorCan ? p.m + 2 : 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepOptions opt;
+  std::vector<std::string> rest;
+  std::string error;
+  if (!parse_sweep_args(argc, argv, opt, rest, error)) {
+    std::fprintf(stderr, "bench_attack: %s\n", error.c_str());
+    return 2;
+  }
+  for (const std::string& a : rest) {
+    std::fprintf(stderr, "bench_attack: unknown option %s\n%s", a.c_str(),
+                 sweep_flags_help());
+    return 2;
+  }
+  const std::vector<ProtocolParams> protocols =
+      opt.protocols.empty() ? default_protocol_set() : opt.protocols;
+  // Default grid N = {3, 5}; an explicit --nodes narrows to that size.
+  const std::vector<int> node_counts =
+      opt.n_nodes != 3 ? std::vector<int>{opt.n_nodes}
+                       : std::vector<int>{3, 5};
+
+  BudgetProbeOptions po;
+  po.jobs = opt.jobs;
+  // SweepOptions::budget is the generic case cap; 0 means exhaustive.
+  // Default to a bounded pass sized for CI — full certification is a
+  // deliberate, slower invocation.
+  po.max_cases = opt.budget > 0 ? opt.budget : 500000;
+  if (opt.win_lo) po.win_lo = *opt.win_lo;
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"protocol", "N", "defeating budget", "certified below",
+                  "busoff attempts", "busoff t"});
+  std::string json = "{\"max_cases_per_budget\": " +
+                     std::to_string(po.max_cases) + ", \"cells\": [";
+  bool first = true;
+  for (const ProtocolParams& proto : protocols) {
+    for (const int n : node_counts) {
+      Cell c;
+      c.protocol = proto;
+      c.n_nodes = n;
+      c.min_budget =
+          find_min_defeating_budget(proto, n, max_budget_for(proto), po);
+      c.busoff = measure_time_to_busoff(proto, n);
+      std::printf("%s\n  bus-off: %s\n", c.min_budget.summary().c_str(),
+                  c.busoff.summary().c_str());
+
+      rows.push_back(
+          {proto.name(), std::to_string(n),
+           c.min_budget.budget < 0 ? "none" :
+                                     std::to_string(c.min_budget.budget),
+           c.min_budget.clean_below_certified() ? "exhaustive" : "bounded",
+           std::to_string(c.busoff.busoff_attempts),
+           std::to_string(c.busoff.busoff_t)});
+
+      if (!first) json += ",";
+      first = false;
+      json += "\n  {\"protocol\": \"" + proto.name() +
+              "\", \"nodes\": " + std::to_string(n) +
+              ", \"min_defeating_budget\": " +
+              std::to_string(c.min_budget.budget) +
+              ", \"clean_below_certified\": " +
+              (c.min_budget.clean_below_certified() ? "true" : "false") +
+              ", \"busoff_attempts\": " +
+              std::to_string(c.busoff.busoff_attempts) +
+              ", \"victim_peak_tec\": " +
+              std::to_string(c.busoff.victim_peak_tec) +
+              ", \"busoff_t\": " + std::to_string(c.busoff.busoff_t) +
+              ", \"probes\": [";
+      for (std::size_t i = 0; i < c.min_budget.probes.size(); ++i) {
+        const BudgetProbe& p = c.min_budget.probes[i];
+        if (i) json += ", ";
+        json += "{\"k\": " + std::to_string(p.k) +
+                ", \"cases\": " + std::to_string(p.cases) +
+                ", \"exhaustive\": " + (p.exhaustive ? "true" : "false") +
+                ", \"violation\": " + (p.violation ? "true" : "false") + "}";
+      }
+      json += "]}";
+    }
+  }
+  json += "\n]}\n";
+  std::printf("%s", render_table(rows).c_str());
+
+  if (!opt.json.empty()) {
+    if (!write_text_file(opt.json, json)) {
+      std::fprintf(stderr, "bench_attack: cannot write %s\n",
+                   opt.json.c_str());
+      return 2;
+    }
+    std::printf("json written to %s\n", opt.json.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,317 @@
+#include "attack/attack.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mcan {
+
+namespace {
+
+[[noreturn]] void fail_attack(const std::string& kind,
+                              const std::string& what) {
+  throw std::invalid_argument("attack " + kind + ": " + what);
+}
+
+long long field_int(const std::string& kind, const std::string& field,
+                    const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(value, &used, 0);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    fail_attack(kind,
+                "field '" + field + "': not an integer: '" + value + "'");
+  }
+}
+
+std::uint32_t field_uint(const std::string& kind, const std::string& field,
+                         const std::string& value) {
+  const long long v = field_int(kind, field, value);
+  if (v < 0) {
+    fail_attack(kind, "field '" + field + "': must be >= 0, got " + value);
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+/// Reject any key outside `allowed`, naming the field and the accepted
+/// vocabulary (ModelParams::validate convention).
+void check_fields(const std::string& kind,
+                  const std::map<std::string, std::string>& kv,
+                  const std::vector<std::string>& allowed) {
+  for (const auto& [key, value] : kv) {
+    if (std::find(allowed.begin(), allowed.end(), key) != allowed.end()) {
+      continue;
+    }
+    std::string want;
+    for (const std::string& a : allowed) {
+      if (!want.empty()) want += ", ";
+      want += a + "=";
+    }
+    fail_attack(kind, "unknown field '" + key + "' (want " + want + ")");
+  }
+}
+
+const char* when_name(GlitchWhen w) {
+  switch (w) {
+    case GlitchWhen::Any: return "any";
+    case GlitchWhen::Dominant: return "dominant";
+    case GlitchWhen::Recessive: return "recessive";
+  }
+  return "any";
+}
+
+}  // namespace
+
+const char* attack_kind_name(AttackKind k) {
+  switch (k) {
+    case AttackKind::Glitch: return "glitch";
+    case AttackKind::BusOff: return "busoff";
+    case AttackKind::Spoof: return "spoof";
+  }
+  return "?";
+}
+
+AttackSpec parse_attack(const std::string& kind_token,
+                        const std::map<std::string, std::string>& kv) {
+  AttackSpec a;
+  if (kind_token == "glitch") {
+    a.kind = AttackKind::Glitch;
+    check_fields(kind_token, kv,
+                 {"victim", "pos", "span", "budget", "frame", "when",
+                  "start"});
+    if (auto it = kv.find("victim"); it != kv.end()) {
+      a.victim = field_uint(kind_token, "victim", it->second);
+    }
+    if (auto it = kv.find("pos"); it != kv.end()) {
+      a.pos = static_cast<int>(field_int(kind_token, "pos", it->second));
+    }
+    if (auto it = kv.find("span"); it != kv.end()) {
+      a.span = static_cast<int>(field_int(kind_token, "span", it->second));
+      if (a.span < 1) {
+        fail_attack(kind_token, "field 'span': must be >= 1, got " +
+                                    it->second);
+      }
+    }
+    if (auto it = kv.find("budget"); it != kv.end()) {
+      a.budget = static_cast<int>(field_int(kind_token, "budget", it->second));
+      if (a.budget < 1) {
+        fail_attack(kind_token, "field 'budget': must be >= 1, got " +
+                                    it->second);
+      }
+    }
+    if (auto it = kv.find("frame"); it != kv.end()) {
+      if (it->second == "any") {
+        a.frame = -1;
+      } else {
+        a.frame =
+            static_cast<int>(field_int(kind_token, "frame", it->second));
+        if (a.frame < 0) {
+          fail_attack(kind_token,
+                      "field 'frame': want a frame index or 'any', got " +
+                          it->second);
+        }
+      }
+    }
+    if (auto it = kv.find("when"); it != kv.end()) {
+      if (it->second == "any") {
+        a.when = GlitchWhen::Any;
+      } else if (it->second == "dominant") {
+        a.when = GlitchWhen::Dominant;
+      } else if (it->second == "recessive") {
+        a.when = GlitchWhen::Recessive;
+      } else {
+        fail_attack(kind_token,
+                    "field 'when': want any|dominant|recessive, got " +
+                        it->second);
+      }
+    }
+    if (auto it = kv.find("start"); it != kv.end()) {
+      a.start = field_uint(kind_token, "start", it->second);
+    }
+  } else if (kind_token == "busoff") {
+    a.kind = AttackKind::BusOff;
+    check_fields(kind_token, kv, {"victim", "budget", "start"});
+    if (auto it = kv.find("victim"); it != kv.end()) {
+      a.victim = field_uint(kind_token, "victim", it->second);
+    }
+    if (auto it = kv.find("budget"); it != kv.end()) {
+      a.budget = static_cast<int>(field_int(kind_token, "budget", it->second));
+      if (a.budget < 1) {
+        fail_attack(kind_token, "field 'budget': must be >= 1, got " +
+                                    it->second);
+      }
+    }
+    if (auto it = kv.find("start"); it != kv.end()) {
+      a.start = field_uint(kind_token, "start", it->second);
+    }
+  } else if (kind_token == "spoof") {
+    a.kind = AttackKind::Spoof;
+    check_fields(kind_token, kv,
+                 {"attacker", "as", "seq", "id", "dlc", "count"});
+    if (auto it = kv.find("attacker"); it != kv.end()) {
+      a.attacker = field_uint(kind_token, "attacker", it->second);
+    }
+    if (auto it = kv.find("as"); it != kv.end()) {
+      a.as = field_uint(kind_token, "as", it->second);
+    }
+    if (auto it = kv.find("seq"); it != kv.end()) {
+      a.seq = static_cast<int>(field_uint(kind_token, "seq", it->second));
+    }
+    if (auto it = kv.find("id"); it != kv.end()) {
+      a.id = field_uint(kind_token, "id", it->second);
+    }
+    if (auto it = kv.find("dlc"); it != kv.end()) {
+      a.dlc = static_cast<std::uint8_t>(
+          field_uint(kind_token, "dlc", it->second));
+    }
+    if (auto it = kv.find("count"); it != kv.end()) {
+      a.count = static_cast<int>(field_int(kind_token, "count", it->second));
+      if (a.count < 1) {
+        fail_attack(kind_token, "field 'count': must be >= 1, got " +
+                                    it->second);
+      }
+    }
+  } else {
+    throw std::invalid_argument("attack: unknown kind '" + kind_token +
+                                "' (want glitch|busoff|spoof)");
+  }
+  return a;
+}
+
+std::string render_attack(const AttackSpec& a) {
+  std::string s = attack_kind_name(a.kind);
+  switch (a.kind) {
+    case AttackKind::Glitch:
+      s += " victim=" + std::to_string(a.victim);
+      if (a.start > 0) {
+        s += " start=" + std::to_string(a.start);
+      } else {
+        s += " pos=" + std::to_string(a.pos);
+        s += a.frame < 0 ? " frame=any" : " frame=" + std::to_string(a.frame);
+      }
+      s += " span=" + std::to_string(a.span);
+      s += " budget=" + std::to_string(a.budget);
+      s += std::string(" when=") + when_name(a.when);
+      break;
+    case AttackKind::BusOff:
+      s += " victim=" + std::to_string(a.victim);
+      s += " budget=" + std::to_string(a.budget);
+      s += " start=" + std::to_string(a.start);
+      break;
+    case AttackKind::Spoof: {
+      char idbuf[16];
+      std::snprintf(idbuf, sizeof idbuf, "0x%x", a.id);
+      s += " attacker=" + std::to_string(a.attacker);
+      s += " as=" + std::to_string(a.as);
+      s += " seq=" + std::to_string(a.seq);
+      s += std::string(" id=") + idbuf;
+      s += " dlc=" + std::to_string(a.dlc);
+      s += " count=" + std::to_string(a.count);
+      break;
+    }
+  }
+  return s;
+}
+
+void sanitize_attack(AttackSpec& a, int n_nodes, int win_lo, int win_hi) {
+  const AttackSpec defaults;
+  const auto clampi = [](int v, int lo, int hi) {
+    return v < lo ? lo : (v > hi ? hi : v);
+  };
+  const NodeId n = static_cast<NodeId>(n_nodes < 1 ? 1 : n_nodes);
+  switch (a.kind) {
+    case AttackKind::Glitch:
+      a.victim = a.victim % n;
+      a.start = std::min<BitTime>(a.start, 100000);
+      if (a.start > 0) {
+        // Scheduled trigger: the reactive fields are out of vocabulary.
+        a.pos = defaults.pos;
+        a.frame = defaults.frame;
+        a.span = clampi(a.span, 1, 64);
+      } else {
+        a.pos = clampi(a.pos, win_lo, win_hi);
+        a.span = clampi(a.span, 1, win_hi - a.pos + 1);
+      }
+      a.budget = clampi(a.budget, 1, 64);
+      a.frame = clampi(a.frame, -1, 8);
+      // spoof / busoff vocabulary back to defaults
+      a.attacker = defaults.attacker;
+      a.id = defaults.id;
+      a.as = defaults.as;
+      a.seq = defaults.seq;
+      a.count = defaults.count;
+      a.dlc = defaults.dlc;
+      break;
+    case AttackKind::BusOff:
+      a.victim = a.victim % n;
+      a.budget = clampi(a.budget, 1, 64);
+      a.start = std::max<BitTime>(0, std::min<BitTime>(a.start, 5000));
+      a.pos = defaults.pos;
+      a.span = defaults.span;
+      a.frame = defaults.frame;
+      a.when = defaults.when;
+      a.attacker = defaults.attacker;
+      a.id = defaults.id;
+      a.as = defaults.as;
+      a.seq = defaults.seq;
+      a.count = defaults.count;
+      a.dlc = defaults.dlc;
+      break;
+    case AttackKind::Spoof:
+      a.attacker = a.attacker % n;
+      a.as = a.as % n;
+      // Keep forged sequences clear of the probe/traffic key ranges so the
+      // masquerade is what the oracle sees, not an accidental collision.
+      a.seq = clampi(a.seq, 512, 0xFFFF - 8);
+      a.id &= kMaxId;
+      a.dlc = static_cast<std::uint8_t>(
+          clampi(a.dlc, 4, static_cast<int>(kMaxDataBytes)));
+      a.count = clampi(a.count, 1, 4);
+      a.victim = defaults.victim;
+      a.pos = defaults.pos;
+      a.span = defaults.span;
+      a.budget = defaults.budget;
+      a.frame = defaults.frame;
+      a.when = defaults.when;
+      a.start = defaults.start;
+      break;
+  }
+}
+
+int attack_glitch_budget(const std::vector<AttackSpec>& attacks) {
+  int total = 0;
+  for (const AttackSpec& a : attacks) {
+    if (a.kind == AttackKind::Glitch) total += a.budget;
+  }
+  return total;
+}
+
+std::vector<MessageKey> spoof_keys(const AttackSpec& a) {
+  std::vector<MessageKey> keys;
+  if (a.kind != AttackKind::Spoof) return keys;
+  for (int j = 0; j < a.count; ++j) {
+    keys.push_back(
+        MessageKey{a.as, static_cast<std::uint16_t>(a.seq + j)});
+  }
+  return keys;
+}
+
+std::string AttackReport::summary() const {
+  std::string s = "glitch flips " + std::to_string(glitch_flips) +
+                  ", busoff attempts " + std::to_string(busoff_attempts);
+  if (victim_peak_tec > 0) {
+    s += " (peak tec " + std::to_string(victim_peak_tec) + ")";
+  }
+  if (victim_busoff) {
+    s += ", victim bus-off at t=" + std::to_string(busoff_t);
+  }
+  if (spoofed > 0) {
+    s += ", spoofed " + std::to_string(spoofed) + " (" +
+         std::to_string(spoofed_delivered) + " delivered)";
+  }
+  return s;
+}
+
+}  // namespace mcan

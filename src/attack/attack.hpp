@@ -1,0 +1,128 @@
+// Adversarial attacker models: targeted disturbances instead of random ones.
+//
+// The paper proves MajorCAN_m atomic under up to m *random* channel faults;
+// this subsystem asks the adversarial version of that question.  Three
+// attacker archetypes from the CAN security literature (SoK: Kicking CAN
+// Down the Road; CAIBA-style reactive bit glitching) are modelled as data —
+// an AttackSpec value the .scn DSL scripts, the fuzzer mutates and the
+// serve backend ships — and executed by the AttackEngine fault injector
+// (attack/injector.hpp):
+//
+//   * glitch — a reactive bit-glitcher: triggers on the victim's observed
+//     EOF-relative position (optionally only when the bus level matches a
+//     predicate), then flips a budgeted span of that one node's view.  This
+//     is the paper's disturbance, but *aimed*: per-receiver, per-position,
+//     per-frame.
+//   * busoff — an error-frame flooder: corrupts the victim transmitter's
+//     own view of one dominant body bit per transmission attempt, driving
+//     its TEC up by 8 each time (node/fault_confinement.hpp) until the
+//     fault confinement entity takes it off the bus.  The engine certifies
+//     the time-to-bus-off.
+//   * spoof — a spoofed-ID arbitration attacker: a compromised node
+//     enqueues frames whose tag impersonates another source
+//     (analysis/tagged.hpp).  Deliveries of the forged keys surface as AB4
+//     non-triviality violations — masquerade made visible to the oracle.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/tagged.hpp"
+#include "util/bit.hpp"
+
+namespace mcan {
+
+enum class AttackKind : std::uint8_t { Glitch, BusOff, Spoof };
+
+[[nodiscard]] const char* attack_kind_name(AttackKind k);
+
+/// Glitch trigger predicate on the resolved bus level (the reactive part:
+/// the attacker only strikes when it *observes* the level it wants to
+/// corrupt).
+enum class GlitchWhen : std::uint8_t { Any, Dominant, Recessive };
+
+/// One scripted attacker.  Fields outside the kind's vocabulary stay at
+/// their defaults (sanitize_attack enforces this), so specs compare equal
+/// across a write_scenario / parse_scenario round trip.
+struct AttackSpec {
+  AttackKind kind = AttackKind::Glitch;
+
+  // glitch + busoff: the node under attack (glitch flips this node's view;
+  // busoff drives this transmitter's TEC).
+  NodeId victim = 1;
+
+  // glitch: trigger window start (EOF-relative, model-check grid), width,
+  // flip budget, which observed frame (-1 = every frame), level predicate.
+  int pos = 0;
+  int span = 1;
+  int budget = 1;
+  int frame = 0;
+  GlitchWhen when = GlitchWhen::Any;
+
+  // busoff: arming time (budget caps corrupted transmission attempts).
+  // glitch: start > 0 switches to the *scheduled* trigger — flip the
+  // victim's view at absolute bits [start, start + span) instead of
+  // reacting to its observed position.  The optimizer emits witnesses in
+  // this form: its grid is absolute (the model checker's), and a reactive
+  // trigger drifts off the grid once the first flip perturbs the victim's
+  // parser.
+  BitTime start = 0;
+
+  // spoof: injecting node, arbitration id, impersonated source, forged
+  // sequence base, frames injected, payload size.
+  NodeId attacker = 0;
+  std::uint32_t id = 0x80;
+  NodeId as = 0;
+  int seq = 900;
+  int count = 1;
+  std::uint8_t dlc = 4;
+
+  [[nodiscard]] bool operator==(const AttackSpec&) const = default;
+};
+
+/// Parse one `attack` directive's fields.  `kind_token` is the word after
+/// "attack" (glitch|busoff|spoof); `kv` the key=value fields.  Throws
+/// std::invalid_argument naming the offending field — unknown fields are
+/// rejected with the accepted field list (the ModelParams::validate
+/// convention), bad values name the field they were given for.
+[[nodiscard]] AttackSpec parse_attack(
+    const std::string& kind_token,
+    const std::map<std::string, std::string>& kv);
+
+/// Render `a` as the directive body parse_attack reads back to an equal
+/// spec ("attack " + render_attack(a) is the .scn line).
+[[nodiscard]] std::string render_attack(const AttackSpec& a);
+
+/// Clamp `a` into runnable shape for an `n_nodes` bus with the glitch
+/// window [win_lo, win_hi], and reset every field outside the kind's
+/// vocabulary to its default (canonical form, so round trips compare
+/// equal).  Shared by the fuzz mutator and the CLI so genomes cannot drift
+/// from what the DSL can express.
+void sanitize_attack(AttackSpec& a, int n_nodes, int win_lo, int win_hi);
+
+/// Sum of glitch flip budgets — the attacker strength the sweep gates and
+/// the fuzzer's --budget cap reason about.
+[[nodiscard]] int attack_glitch_budget(const std::vector<AttackSpec>& attacks);
+
+/// The forged message keys a spoof attack injects (count keys from seq).
+[[nodiscard]] std::vector<MessageKey> spoof_keys(const AttackSpec& a);
+
+/// What the attackers actually did during one run — the oracle's evidence.
+struct AttackReport {
+  int glitch_flips = 0;      ///< view flips fired by glitch attackers
+  int busoff_attempts = 0;   ///< transmission attempts corrupted
+  int victim_peak_tec = 0;   ///< highest TEC observed on a bus-off victim
+  long long busoff_t = -1;   ///< first bus-off bit time (-1: never)
+  bool victim_busoff = false;///< a victim ended the run off the bus
+  int spoofed = 0;           ///< forged frames enqueued
+  int spoofed_delivered = 0; ///< deliveries of forged keys, summed over nodes
+
+  [[nodiscard]] bool any_fired() const {
+    return glitch_flips > 0 || busoff_attempts > 0 || spoofed > 0;
+  }
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace mcan

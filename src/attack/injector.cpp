@@ -1,0 +1,97 @@
+#include "attack/injector.hpp"
+
+#include <algorithm>
+
+namespace mcan {
+
+namespace {
+
+/// First body wire bit a bus-off attacker may strike.  Past the
+/// arbitration and control fields, so corrupting the transmitter's view of
+/// a dominant bit reads as a bit error (TEC += 8) rather than a lost
+/// arbitration; every data/CRC section of a tagged frame has dominant bits
+/// beyond this offset.
+constexpr int kBusOffStrikeFrom = 20;
+
+}  // namespace
+
+AttackEngine::AttackEngine(std::vector<AttackSpec> attacks) {
+  for (AttackSpec& a : attacks) {
+    armed_.push_back(Armed{a, 0, -1, -1});
+  }
+}
+
+bool AttackEngine::flips(NodeId node, BitTime t, const NodeBitInfo& info,
+                         Level bus) {
+  bool flip = false;
+  for (Armed& g : armed_) {
+    const AttackSpec& a = g.spec;
+    switch (a.kind) {
+      case AttackKind::Glitch: {
+        if (node != a.victim || g.used >= a.budget) break;
+        if (a.start > 0) {
+          // Scheduled trigger: absolute bits [start, start + span).
+          if (t < a.start || t >= a.start + static_cast<BitTime>(a.span)) {
+            break;
+          }
+        } else {
+          // Reactive trigger: the victim's observed EOF-relative position.
+          if (info.eof_rel == kNoEofRel) break;
+          if (a.frame >= 0 && info.frame_index != a.frame) break;
+          if (info.eof_rel < a.pos || info.eof_rel >= a.pos + a.span) break;
+        }
+        if (a.when == GlitchWhen::Dominant && !is_dominant(bus)) break;
+        if (a.when == GlitchWhen::Recessive && !is_recessive(bus)) break;
+        ++g.used;
+        ++rep_.glitch_flips;
+        flip = !flip;
+        break;
+      }
+      case AttackKind::BusOff: {
+        if (node != a.victim) break;
+        g.last_seen = static_cast<long long>(t);
+        rep_.victim_peak_tec = std::max(rep_.victim_peak_tec, info.tec);
+        if (t < a.start || g.used >= a.budget) break;
+        if (!info.transmitter || info.seg != Seg::Body) break;
+        if (info.index < kBusOffStrikeFrom || !is_dominant(bus)) break;
+        if (info.frame_index == g.last_frame) break;  // one strike per attempt
+        g.last_frame = info.frame_index;
+        ++g.used;
+        ++rep_.busoff_attempts;
+        flip = !flip;
+        break;
+      }
+      case AttackKind::Spoof:
+        break;  // traffic-level; the runner enqueues the forged frames
+    }
+  }
+  return flip;
+}
+
+std::vector<NodeId> AttackEngine::busoff_victims() const {
+  std::vector<NodeId> victims;
+  for (const Armed& g : armed_) {
+    if (g.spec.kind != AttackKind::BusOff) continue;
+    if (std::find(victims.begin(), victims.end(), g.spec.victim) !=
+        victims.end()) {
+      continue;
+    }
+    victims.push_back(g.spec.victim);
+  }
+  return victims;
+}
+
+void AttackEngine::finalize_victim(NodeId victim, bool off_bus, int tec) {
+  rep_.victim_peak_tec = std::max(rep_.victim_peak_tec, tec);
+  if (!off_bus) return;
+  rep_.victim_busoff = true;
+  for (const Armed& g : armed_) {
+    if (g.spec.kind != AttackKind::BusOff || g.spec.victim != victim) continue;
+    if (g.last_seen >= 0 &&
+        (rep_.busoff_t < 0 || g.last_seen + 1 < rep_.busoff_t)) {
+      rep_.busoff_t = g.last_seen + 1;
+    }
+  }
+}
+
+}  // namespace mcan

@@ -1,0 +1,57 @@
+// The AttackEngine: executes a list of AttackSpecs as one FaultInjector.
+//
+// Glitch and bus-off attackers act through the same per-(node, bit) view
+// interface the stochastic injectors use (sim/injector.hpp) — an attacker
+// is just a *policy* over the same channel the paper's error model grants
+// faults.  Spoof attackers act at the traffic level instead; the scenario
+// runner enqueues their forged frames (spoof_keys / make_tagged_frame) and
+// feeds delivery counts back through note_spoof_delivered().
+//
+// The engine composes with ScriptedFaults via CompositeInjector (odd-parity
+// XOR), so scripted flips and attacks coexist in one scenario.
+#pragma once
+
+#include <vector>
+
+#include "attack/attack.hpp"
+#include "sim/injector.hpp"
+
+namespace mcan {
+
+class AttackEngine final : public FaultInjector {
+ public:
+  AttackEngine() = default;
+  explicit AttackEngine(std::vector<AttackSpec> attacks);
+
+  [[nodiscard]] bool flips(NodeId node, BitTime t, const NodeBitInfo& info,
+                           Level bus) override;
+
+  /// Victims named by bus-off attacks (deduplicated, in spec order).
+  [[nodiscard]] std::vector<NodeId> busoff_victims() const;
+
+  /// Fold a bus-off victim's end-of-run fault-confinement state into the
+  /// report.  The victim leaves the bus the bit after its TEC reaches the
+  /// limit, so the injector never observes the final counter itself; the
+  /// runner reads it off the controller and the engine dates the bus-off
+  /// one bit after the victim was last seen driving.
+  void finalize_victim(NodeId victim, bool off_bus, int tec);
+
+  /// Count forged frames the runner enqueued / saw delivered.
+  void note_spoofed(int frames) { rep_.spoofed += frames; }
+  void note_spoof_delivered() { ++rep_.spoofed_delivered; }
+
+  [[nodiscard]] const AttackReport& report() const { return rep_; }
+
+ private:
+  struct Armed {
+    AttackSpec spec;
+    int used = 0;            ///< budget consumed (flips / struck attempts)
+    int last_frame = -1;     ///< busoff: last frame_index struck
+    long long last_seen = -1;///< busoff: last bit the victim participated
+  };
+
+  std::vector<Armed> armed_;
+  AttackReport rep_;
+};
+
+}  // namespace mcan

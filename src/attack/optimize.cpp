@@ -1,0 +1,154 @@
+#include "attack/optimize.hpp"
+
+#include <algorithm>
+
+#include "scenario/dsl.hpp"
+
+namespace mcan {
+
+BudgetProbe probe_budget(const ProtocolParams& protocol, int n_nodes, int k,
+                         const BudgetProbeOptions& opt) {
+  BudgetProbe p;
+  p.k = k;
+
+  ExhaustiveConfig base;
+  base.protocol = protocol;
+  base.n_nodes = n_nodes;
+  base.errors = k;
+  base.win_lo_rel = opt.win_lo;
+  const int hi = base.window_hi();
+
+  // Targeted candidates: contiguous k-runs on one node's view — the shape
+  // that swings a majority window or re-times one node's end-game.  Cheap
+  // (O(nodes * window)) and usually enough to find the witness.
+  if (opt.heuristics) {
+    for (int node = 0; node < n_nodes; ++node) {
+      for (int start = opt.win_lo; start + k - 1 <= hi; ++start) {
+        std::vector<std::pair<NodeId, int>> flips;
+        for (int j = 0; j < k; ++j) {
+          flips.emplace_back(static_cast<NodeId>(node), start + j);
+        }
+        const FlipCaseResult r = run_flip_case(protocol, n_nodes, flips);
+        ++p.cases;
+        if (r.violation()) {
+          p.violation = true;
+          p.witness = std::move(flips);
+          p.witness_desc = r.describe;
+          return p;
+        }
+      }
+    }
+  }
+
+  // Exhaustive pass: every k-pattern on the grid (re-visits the heuristic
+  // candidates; counting them twice only inflates `cases`, never verdicts).
+  ModelCheckConfig cfg;
+  cfg.base = base;
+  cfg.jobs = opt.jobs;
+  cfg.max_cases = opt.max_cases;
+  cfg.max_examples = 1;
+  const ModelCheckResult r = run_model_check(cfg);
+  p.cases += r.cases;
+  p.exhaustive = r.complete;
+  if (r.violations() > 0) {
+    p.violation = true;
+    if (!r.examples.empty()) {
+      p.witness = r.examples[0].flips;
+      p.witness_desc = r.examples[0].outcome;
+    }
+  }
+  return p;
+}
+
+MinBudgetResult find_min_defeating_budget(const ProtocolParams& protocol,
+                                          int n_nodes, int max_budget,
+                                          const BudgetProbeOptions& opt) {
+  MinBudgetResult res;
+  res.protocol = protocol;
+  res.n_nodes = n_nodes;
+  for (int k = 1; k <= max_budget; ++k) {
+    BudgetProbe p = probe_budget(protocol, n_nodes, k, opt);
+    const bool hit = p.violation;
+    res.probes.push_back(std::move(p));
+    if (hit) {
+      res.budget = k;
+      break;
+    }
+  }
+  return res;
+}
+
+bool MinBudgetResult::clean_below_certified() const {
+  for (const BudgetProbe& p : probes) {
+    if (budget >= 0 && p.k >= budget) continue;
+    if (p.violation || !p.exhaustive) return false;
+  }
+  return true;
+}
+
+std::string MinBudgetResult::summary() const {
+  std::string s = protocol.name() + " N=" + std::to_string(n_nodes) + ": ";
+  if (budget < 0) {
+    s += "no defeating pattern up to budget " +
+         std::to_string(probes.empty() ? 0 : probes.back().k);
+  } else {
+    s += "minimum defeating budget " + std::to_string(budget);
+    const BudgetProbe& p = probes.back();
+    if (!p.witness_desc.empty()) s += " (" + p.witness_desc + ")";
+    s += clean_below_certified() ? "; below certified clean exhaustively"
+                                 : "; below NOT fully certified";
+  }
+  return s;
+}
+
+ScenarioSpec witness_scenario(const ProtocolParams& protocol, int n_nodes,
+                              const BudgetProbe& probe) {
+  ScenarioSpec spec;
+  spec.protocol = protocol;
+  spec.n_nodes = n_nodes;
+  spec.name = "attack-glitch-" + protocol.name() + "-k" +
+              std::to_string(probe.k);
+
+  // Fold the witness into per-victim glitch attackers: contiguous
+  // positions on one node become one budgeted span, anything else gets a
+  // single-flip attacker.  The attackers use the *scheduled* trigger
+  // (absolute bit times, start = eof_start + grid position): the search
+  // grid is absolute, and a reactive trigger would drift off it as soon
+  // as the first flip perturbs the victim's parser.
+  const int eof_start = model_check_eof_start(protocol);
+  std::vector<std::pair<NodeId, int>> flips = probe.witness;
+  std::sort(flips.begin(), flips.end());
+  std::size_t i = 0;
+  while (i < flips.size()) {
+    std::size_t j = i + 1;
+    while (j < flips.size() && flips[j].first == flips[i].first &&
+           flips[j].second == flips[j - 1].second + 1) {
+      ++j;
+    }
+    AttackSpec a;
+    a.kind = AttackKind::Glitch;
+    a.victim = flips[i].first;
+    a.start = static_cast<BitTime>(eof_start + flips[i].second);
+    a.span = static_cast<int>(j - i);
+    a.budget = static_cast<int>(j - i);
+    spec.attacks.push_back(a);
+    i = j;
+  }
+  return spec;
+}
+
+AttackReport measure_time_to_busoff(const ProtocolParams& protocol,
+                                    int n_nodes, NodeId victim, int budget) {
+  ScenarioSpec spec;
+  spec.name = "busoff-probe";
+  spec.protocol = protocol;
+  spec.n_nodes = n_nodes;
+  AttackSpec a;
+  a.kind = AttackKind::BusOff;
+  a.victim = victim;
+  a.budget = budget;
+  spec.attacks.push_back(a);
+  return run_scenario(spec).attack;
+}
+
+}  // namespace mcan

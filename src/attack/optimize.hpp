@@ -1,0 +1,83 @@
+// The budgeted view-flip optimizer: how many *targeted* flips defeat a
+// protocol variant's atomic broadcast?
+//
+// The paper's envelope theorem bounds what <= m random end-game
+// disturbances can do to MajorCAN_m; this module measures the adversarial
+// complement.  For each budget k = 1, 2, ... it searches the EOF-relative
+// flip grid (the exact grid the bounded model checker sweeps) for a
+// k-pattern that breaks agreement / at-most-once:
+//
+//   1. targeted candidates first — contiguous k-runs on a single node's
+//      view (the shape that swings a MajorCAN majority window or re-times
+//      one node's end-game), checked with run_flip_case();
+//   2. exhaustive certification — run_model_check() over every k-pattern,
+//      both to find witnesses the heuristics miss and to certify budgets
+//      *below* the defeating one clean (the --expect-clean gate).
+//
+// The result is the minimum defeating budget with a concrete witness, plus
+// the per-budget clean/violation record BENCH_attack.json commits.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "attack/attack.hpp"
+#include "scenario/dsl.hpp"
+#include "scenario/model_check.hpp"
+
+namespace mcan {
+
+struct BudgetProbeOptions {
+  int jobs = 0;             ///< model-check workers (0 = hardware)
+  long long max_cases = 0;  ///< exhaustive budget per k (0 = unlimited)
+  int win_lo = -4;          ///< flip window, EOF-relative
+  bool heuristics = true;   ///< try targeted candidates before enumerating
+};
+
+/// One budget level's verdict.
+struct BudgetProbe {
+  int k = 0;
+  long long cases = 0;      ///< patterns covered (heuristic + exhaustive)
+  bool exhaustive = false;  ///< true iff every k-pattern was covered
+  bool violation = false;
+  std::vector<std::pair<NodeId, int>> witness;  ///< first defeating pattern
+  std::string witness_desc;                     ///< its classification
+};
+
+struct MinBudgetResult {
+  ProtocolParams protocol;
+  int n_nodes = 3;
+  int budget = -1;  ///< minimum defeating budget found; -1 = none <= max
+  std::vector<BudgetProbe> probes;  ///< k = 1 .. last probed
+
+  /// True iff every probe below `budget` covered its space exhaustively —
+  /// the minimality certificate.
+  [[nodiscard]] bool clean_below_certified() const;
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Probe one budget level.
+[[nodiscard]] BudgetProbe probe_budget(const ProtocolParams& protocol,
+                                       int n_nodes, int k,
+                                       const BudgetProbeOptions& opt = {});
+
+/// Find the minimum defeating budget in 1..max_budget.
+[[nodiscard]] MinBudgetResult find_min_defeating_budget(
+    const ProtocolParams& protocol, int n_nodes, int max_budget,
+    const BudgetProbeOptions& opt = {});
+
+/// Render a witness pattern as a replayable scenario (glitch attacks, one
+/// per victim run — ddmin-shaped by construction: the witness is minimal
+/// in budget).
+[[nodiscard]] ScenarioSpec witness_scenario(const ProtocolParams& protocol,
+                                            int n_nodes,
+                                            const BudgetProbe& probe);
+
+/// Drive `victim`'s transmitter to bus-off with an error-frame flooder and
+/// report what happened (busoff_t is the certified time-to-bus-off).
+[[nodiscard]] AttackReport measure_time_to_busoff(
+    const ProtocolParams& protocol, int n_nodes, NodeId victim = 0,
+    int budget = 40);
+
+}  // namespace mcan

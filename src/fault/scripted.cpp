@@ -1,6 +1,83 @@
 #include "fault/scripted.hpp"
 
+#include <stdexcept>
+
 namespace mcan {
+
+namespace {
+
+[[noreturn]] void fail_flip(const std::string& what) {
+  throw std::invalid_argument("flip: " + what);
+}
+
+long long flip_field_int(const std::string& field, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(value, &used, 0);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    fail_flip("field '" + field + "': not an integer: '" + value + "'");
+  }
+}
+
+long long flip_field_uint(const std::string& field,
+                          const std::string& value) {
+  const long long v = flip_field_int(field, value);
+  if (v < 0) fail_flip("field '" + field + "': must be >= 0, got " + value);
+  return v;
+}
+
+}  // namespace
+
+FaultTarget parse_fault_target(
+    const std::map<std::string, std::string>& kv) {
+  for (const auto& [key, value] : kv) {
+    if (key != "node" && key != "eof" && key != "eofrel" && key != "body" &&
+        key != "t" && key != "frame") {
+      fail_flip("unknown field '" + key +
+                "' (want node=, eof=, eofrel=, body=, t=, frame=)");
+    }
+  }
+  const auto node_it = kv.find("node");
+  if (node_it == kv.end()) fail_flip("needs node=");
+  const NodeId node =
+      static_cast<NodeId>(flip_field_uint("node", node_it->second));
+
+  int forms = 0;
+  for (const char* form : {"eof", "eofrel", "body", "t"}) {
+    if (kv.contains(form)) ++forms;
+  }
+  if (forms != 1) {
+    fail_flip("needs exactly one of eof=, eofrel=, body= or t=");
+  }
+
+  const int frame =
+      kv.contains("frame")
+          ? static_cast<int>(flip_field_uint("frame", kv.at("frame")))
+          : 0;
+  if (auto it = kv.find("eof"); it != kv.end()) {
+    return FaultTarget::eof_bit(
+        node, static_cast<int>(flip_field_uint("eof", it->second)), frame);
+  }
+  if (auto it = kv.find("eofrel"); it != kv.end()) {
+    return FaultTarget::eof_relative(
+        node, static_cast<int>(flip_field_int("eofrel", it->second)), frame);
+  }
+  if (auto it = kv.find("body"); it != kv.end()) {
+    FaultTarget t;
+    t.node = node;
+    t.seg = Seg::Body;
+    t.index = static_cast<int>(flip_field_uint("body", it->second));
+    t.frame_index = frame;
+    return t;
+  }
+  if (kv.contains("frame")) {
+    fail_flip("field 'frame': the t= form carries no frame index");
+  }
+  return FaultTarget::at_time(
+      node, static_cast<BitTime>(flip_field_uint("t", kv.at("t"))));
+}
 
 FaultTarget FaultTarget::eof_bit(NodeId node, int eof_pos, int frame_index) {
   FaultTarget t;

@@ -5,7 +5,9 @@
 // X", "the 4th and 5th bit of the transmitter's EOF", ...).
 #pragma once
 
+#include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "sim/injector.hpp"
@@ -38,6 +40,15 @@ struct FaultTarget {
 
   [[nodiscard]] bool operator==(const FaultTarget&) const = default;
 };
+
+/// Parse one `flip` directive's key=value fields into a FaultTarget.
+/// Throws std::invalid_argument naming the offending field: unknown fields
+/// are rejected with the accepted field list, bad values name the field
+/// they were given for, and exactly one addressing form (eof=, eofrel=,
+/// body= or t=) must be present.  The scenario DSL wraps the message with
+/// its line number, so a bad flip reports both line and field.
+[[nodiscard]] FaultTarget parse_fault_target(
+    const std::map<std::string, std::string>& kv);
 
 /// A bus-wide permanent medium failure: from `from` on, every node sees a
 /// dominant level regardless of what is driven — a wire short, the classic

@@ -146,6 +146,36 @@ void sanitize_scenario(ScenarioSpec& spec, const FuzzBounds& b) {
           std::max<BitTime>(1, std::min<BitTime>(spec.crash->second, 5000));
     }
   }
+
+  if (b.max_attacks <= 0) {
+    spec.attacks.clear();
+  } else {
+    if (static_cast<int>(spec.attacks.size()) > b.max_attacks) {
+      spec.attacks.resize(static_cast<std::size_t>(b.max_attacks));
+    }
+    const int hi = fuzz_window_hi(spec.protocol);
+    std::vector<AttackSpec> kept;
+    int glitch_total = 0;
+    for (AttackSpec a : spec.attacks) {
+      if (!b.allow_spoof && a.kind == AttackKind::Spoof) {
+        a.kind = AttackKind::Glitch;
+      }
+      if (!b.allow_busoff && a.kind == AttackKind::BusOff) {
+        a.kind = AttackKind::Glitch;
+      }
+      sanitize_attack(a, spec.n_nodes, b.win_lo, hi);
+      if (a.kind == AttackKind::Glitch) {
+        // Total glitch strength is capped: that cap is what the CI gates
+        // reason about ("clean below budget k"), so no genome may exceed it.
+        const int left = b.attack_budget - glitch_total;
+        if (left <= 0) continue;
+        a.budget = std::min(a.budget, left);
+        glitch_total += a.budget;
+      }
+      kept.push_back(a);
+    }
+    spec.attacks = std::move(kept);
+  }
 }
 
 bool scenario_in_bounds(const ScenarioSpec& spec, const FuzzBounds& b) {
@@ -200,14 +230,54 @@ FaultTarget random_flip(const ScenarioSpec& spec, const FuzzBounds& b,
   }
 }
 
+AttackSpec random_attack(const ScenarioSpec& spec, const FuzzBounds& b,
+                         Rng& rng) {
+  AttackSpec a;
+  std::vector<AttackKind> kinds{AttackKind::Glitch};
+  if (b.allow_busoff) kinds.push_back(AttackKind::BusOff);
+  if (b.allow_spoof) kinds.push_back(AttackKind::Spoof);
+  a.kind = kinds[rng.next_below(static_cast<std::uint32_t>(kinds.size()))];
+  switch (a.kind) {
+    case AttackKind::Glitch: {
+      a.victim = pick_node(spec, rng);
+      const int hi = fuzz_window_hi(spec.protocol);
+      a.pos = b.win_lo + static_cast<int>(rng.next_below(
+                             static_cast<std::uint32_t>(hi - b.win_lo + 1)));
+      a.span = 1 + static_cast<int>(rng.next_below(3));
+      a.budget = 1 + static_cast<int>(rng.next_below(static_cast<std::uint32_t>(
+                         std::max(1, b.attack_budget))));
+      a.frame = rng.chance(0.25) ? -1 : 0;
+      a.when = static_cast<GlitchWhen>(rng.next_below(3));
+      break;
+    }
+    case AttackKind::BusOff:
+      a.victim = pick_node(spec, rng);
+      a.budget = 8 + static_cast<int>(rng.next_below(57));  // 8..64 attempts
+      a.start = rng.next_below(400);
+      break;
+    case AttackKind::Spoof:
+      a.attacker = pick_node(spec, rng);
+      a.as = pick_node(spec, rng);
+      a.seq = 512 + static_cast<int>(rng.next_below(4096));
+      a.id = rng.next_below(kMaxId + 1);
+      a.count = 1 + static_cast<int>(rng.next_below(4));
+      break;
+  }
+  return a;
+}
+
 }  // namespace
 
 ScenarioSpec mutate_scenario(const ScenarioSpec& parent, const FuzzBounds& b,
                              Rng& rng) {
   ScenarioSpec child = parent;
   const int rounds = 1 + static_cast<int>(rng.next_below(3));
+  // The case count depends on whether attacks are enabled so that legacy
+  // campaigns (max_attacks == 0, the default) replay byte-identically: the
+  // rng draw sequence must not change under a knob that is switched off.
+  const std::uint32_t n_cases = b.max_attacks > 0 ? 14 : 12;
   for (int round = 0; round < rounds; ++round) {
-    switch (rng.next_below(12)) {
+    switch (rng.next_below(n_cases)) {
       case 0:  // add a flip
         if (static_cast<int>(child.flips.size()) < b.max_flips) {
           child.flips.push_back(random_flip(child, b, rng));
@@ -313,6 +383,57 @@ ScenarioSpec mutate_scenario(const ScenarioSpec& parent, const FuzzBounds& b,
                                              b.max_m - 3 + 1)));
               break;
           }
+        }
+        break;
+      case 12:  // add or drop an attacker
+        if (child.attacks.empty() ||
+            (static_cast<int>(child.attacks.size()) < b.max_attacks &&
+             rng.chance(0.7))) {
+          child.attacks.push_back(random_attack(child, b, rng));
+        } else {
+          const auto i = rng.next_below(
+              static_cast<std::uint32_t>(child.attacks.size()));
+          child.attacks.erase(child.attacks.begin() + i);
+        }
+        break;
+      case 13:  // perturb an attacker in place
+        if (!child.attacks.empty()) {
+          AttackSpec& a = child.attacks[rng.next_below(
+              static_cast<std::uint32_t>(child.attacks.size()))];
+          switch (a.kind) {
+            case AttackKind::Glitch:
+              switch (rng.next_below(4)) {
+                case 0:
+                  a.pos += rng.chance(0.5) ? 1 : -1;
+                  break;
+                case 1:
+                  a.span += rng.chance(0.5) ? 1 : -1;
+                  break;
+                case 2:
+                  a.budget += rng.chance(0.5) ? 1 : -1;
+                  break;
+                default:
+                  a.victim = pick_node(child, rng);
+                  break;
+              }
+              break;
+            case AttackKind::BusOff:
+              if (rng.chance(0.5)) {
+                a.victim = pick_node(child, rng);
+              } else {
+                a.start = rng.next_below(400);
+              }
+              break;
+            case AttackKind::Spoof:
+              if (rng.chance(0.5)) {
+                a.as = pick_node(child, rng);
+              } else {
+                a.count = 1 + static_cast<int>(rng.next_below(4));
+              }
+              break;
+          }
+        } else if (b.max_attacks > 0) {
+          child.attacks.push_back(random_attack(child, b, rng));
         }
         break;
       default:  // re-roll a flip wholesale

@@ -28,6 +28,11 @@ struct FuzzBounds {
   bool allow_body = true;    ///< body wire-bit flips (CRC/stuffing space)
   bool allow_crash = true;   ///< scheduled node crashes
   bool allow_traffic = true; ///< traffic-mix mutations
+  int max_attacks = 0;       ///< attack directives per input (0 = off; the
+                             ///< default keeps legacy campaigns byte-stable)
+  int attack_budget = 4;     ///< total glitch flip budget across attackers
+  bool allow_spoof = true;   ///< spoof attackers when attacks are on
+  bool allow_busoff = true;  ///< bus-off attackers when attacks are on
   bool mutate_nodes = true;  ///< node-count mutations
   bool mutate_protocol = false;  ///< variant / m drift (off: gates stay
                                  ///< about one protocol)

@@ -13,6 +13,9 @@ const char* fuzz_class_name(FuzzClass c) {
     case FuzzClass::LogDiverge: return "logdiverge";
     case FuzzClass::StateDiverge: return "statediverge";
     case FuzzClass::RsmStall: return "rsmstall";
+    case FuzzClass::AttackSpoof: return "attackspoof";
+    case FuzzClass::AttackBusOff: return "attackbusoff";
+    case FuzzClass::AttackGlitch: return "attackglitch";
     case FuzzClass::Agreement: return "agreement";
     case FuzzClass::Validity: return "validity";
     case FuzzClass::Duplicate: return "duplicate";
@@ -56,8 +59,8 @@ bool parse_fuzz_classes(const std::string& csv, std::uint32_t& mask,
     if (!found) {
       error = "unknown violation class '" + tok +
               "' (want none|election|logdiverge|statediverge|rsmstall|"
-              "agreement|validity|duplicate|order|nontriviality|invariant|"
-              "timeout)";
+              "attackspoof|attackbusoff|attackglitch|agreement|validity|"
+              "duplicate|order|nontriviality|invariant|timeout)";
       return false;
     }
   }
@@ -123,6 +126,22 @@ FuzzVerdict run_fuzz_case(const ScenarioSpec& spec) {
   }
   if (!run.quiesced) v.classes |= fuzz_class_bit(FuzzClass::Timeout);
 
+  // Attack classes, judged on what the attackers *achieved*, not what was
+  // scheduled: a spoof that lands, a victim actually knocked off the bus,
+  // and — for the glitcher — targeted flips that broke some other property
+  // (a glitch volley that the protocol absorbed is not a finding).
+  if (run.attack.spoofed_delivered > 0) {
+    v.classes |= fuzz_class_bit(FuzzClass::AttackSpoof);
+  }
+  if (run.attack.victim_busoff) {
+    v.classes |= fuzz_class_bit(FuzzClass::AttackBusOff);
+  }
+  const std::uint32_t attack_only = fuzz_class_bit(FuzzClass::AttackSpoof) |
+                                    fuzz_class_bit(FuzzClass::AttackBusOff);
+  if (run.attack.glitch_flips > 0 && (v.classes & ~attack_only) != 0) {
+    v.classes |= fuzz_class_bit(FuzzClass::AttackGlitch);
+  }
+
   // Property-outcome features (the non-FSM half of the novelty signal).
   for (int i = 0; i < kFuzzClassCount; ++i) {
     if (v.classes & (1u << i)) {
@@ -149,6 +168,7 @@ FuzzVerdict run_fuzz_case(const ScenarioSpec& spec) {
     v.sig.set_feature(Signature::kMultiRetransmit);
   }
   if (spec.crash) v.sig.set_feature(Signature::kCrashScheduled);
+  if (!spec.attacks.empty()) v.sig.set_feature(Signature::kAttackScheduled);
   if (!spec.traffic.empty()) v.sig.set_feature(Signature::kTrafficMix);
   if (!run.quiesced) v.sig.set_feature(Signature::kNotQuiesced);
 
@@ -157,6 +177,9 @@ FuzzVerdict run_fuzz_case(const ScenarioSpec& spec) {
     if (has_rsm) {
       v.detail += "\nrsm: " + rsm.summary();
       if (!rsm.detail.empty()) v.detail += "\n" + rsm.detail;
+    }
+    if (run.attack.any_fired()) {
+      v.detail += "\nattack: " + run.attack.summary();
     }
     if (!run.invariants.clean()) {
       v.detail += "\n" + run.invariants.summary();

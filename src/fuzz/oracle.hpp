@@ -35,6 +35,9 @@ enum class FuzzClass : std::uint8_t {
   RsmStall,       ///< consensus progress failure: an in-envelope command
                   ///< never committed, or a scheduled recovery never
                   ///< received its snapshot
+  AttackSpoof,    ///< a spoofed (never-broadcast) frame was delivered
+  AttackBusOff,   ///< an attacker drove a victim controller to bus-off
+  AttackGlitch,   ///< targeted glitch flips broke a broadcast property
   Agreement,      ///< AB2: inconsistent message omission
   Validity,       ///< AB1: a correct sender's message was lost everywhere
   Duplicate,      ///< AB3: some node delivered a message twice
@@ -44,7 +47,7 @@ enum class FuzzClass : std::uint8_t {
   Timeout,        ///< the bus never quiesced within the step budget
 };
 
-inline constexpr int kFuzzClassCount = 11;
+inline constexpr int kFuzzClassCount = 14;
 
 [[nodiscard]] const char* fuzz_class_name(FuzzClass c);
 

@@ -42,10 +42,11 @@ class Signature {
     kCrashScheduled,     ///< the scenario crashed a node
     kTrafficMix,         ///< extra frames beyond the probe
     kNotQuiesced,        ///< run hit the step budget
-    kClassBase = 8,      ///< + FuzzClass index (11 classes, fuzz/oracle.hpp)
-    kInvariantBase = 20, ///< + InvariantRule index (6 rules)
-    kVariantBase = 27,   ///< + Variant index (3 variants)
-    kFeatureBits = 30,
+    kAttackScheduled,    ///< the scenario carried attack directives
+    kClassBase = 9,      ///< + FuzzClass index (14 classes, fuzz/oracle.hpp)
+    kInvariantBase = 23, ///< + InvariantRule index (6 rules)
+    kVariantBase = 29,   ///< + Variant index (3 variants)
+    kFeatureBits = 32,
   };
 
   void set_transition(FsmState from, FsmState to) {

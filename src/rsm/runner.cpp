@@ -1,13 +1,17 @@
 #include "rsm/runner.hpp"
 
+#include <set>
 #include <stdexcept>
 
+#include "analysis/tagged.hpp"
+#include "attack/injector.hpp"
 #include "fault/scripted.hpp"
 
 namespace mcan {
 
 bool rsm_within_envelope(const ScenarioSpec& spec) {
   if (spec.crash) return false;  // controller fail-silence is a fault
+  if (!spec.attacks.empty()) return false;  // adversaries are not faults
   if (spec.protocol.variant != Variant::MajorCan) return spec.flips.empty();
   int total_flips = 0;
   for (const FaultTarget& f : spec.flips) {
@@ -39,11 +43,31 @@ RsmRunResult run_rsm_scenario(const ScenarioSpec& spec,
   Network& net = cluster.link();
 
   ScriptedFaults inj(spec.flips);
-  net.set_injector(inj);
+  AttackEngine attacker(spec.attacks);
+  CompositeInjector faults;
+  faults.add(inj);
+  faults.add(attacker);
+  net.set_injector(faults);
   if (spec.crash) {
     net.sim().schedule_crash(spec.crash->first, spec.crash->second);
   }
   InvariantScope invariants(net, inv);
+
+  // Spoofed frames ride the consensus bus as raw tagged CAN frames: the
+  // replicas' RSM codec ignores them, but the link-level AB check sees the
+  // deliveries — a spoof that lands is a message no replica broadcast.
+  std::set<MessageKey> spoofed;
+  for (const AttackSpec& a : spec.attacks) {
+    if (a.kind != AttackKind::Spoof) continue;
+    const auto src = static_cast<int>(
+        a.attacker % static_cast<std::uint32_t>(spec.n_nodes));
+    for (const MessageKey& key : spoof_keys(a)) {
+      net.node(src).enqueue(make_tagged_frame(a.id, MsgKind::Data, key,
+                                              std::max<std::uint8_t>(4, a.dlc)));
+      attacker.note_spoofed(1);
+      spoofed.insert(key);
+    }
+  }
 
   // Deterministic workload schedule: command j goes to node j mod n at
   // 1 + j*spacing; payload[0] picks the register, the rest is a delta
@@ -127,6 +151,21 @@ RsmRunResult run_rsm_scenario(const ScenarioSpec& spec,
   res.base.outcome.tx_crashed = spec.crash.has_value();
   res.base.outcome.faults_all_fired = inj.all_fired();
   res.base.outcome.notes.push_back("rsm: " + res.rsm.summary());
+
+  for (int i = 0; i < spec.n_nodes; ++i) {
+    for (const Delivery& d : net.deliveries(i)) {
+      if (auto tag = parse_tag(d.frame); tag && spoofed.contains(tag->key)) {
+        attacker.note_spoof_delivered();
+      }
+    }
+  }
+  for (NodeId v : attacker.busoff_victims()) {
+    if (static_cast<int>(v) >= spec.n_nodes) continue;
+    const CanController& victim = net.node(static_cast<int>(v));
+    attacker.finalize_victim(v, victim.fc_state() == FcState::BusOff,
+                             victim.tec());
+  }
+  res.base.attack = attacker.report();
 
   switch (spec.expect) {
     case Expectation::Any:

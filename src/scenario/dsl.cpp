@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "analysis/tagged.hpp"
+#include "attack/injector.hpp"
 #include "core/network.hpp"
 
 namespace mcan {
@@ -137,30 +138,23 @@ ScenarioSpec parse_scenario(const std::string& text) {
       spec.traffic.push_back(t);
     } else if (cmd == "flip") {
       auto kv = parse_kv(line_no, tok, 1);
-      if (!kv.contains("node")) fail(line_no, "flip needs node=");
-      const NodeId node = parse_uint(line_no, kv["node"]);
-      const int frame =
-          kv.contains("frame")
-              ? static_cast<int>(parse_uint(line_no, kv["frame"]))
-              : 0;
-      if (kv.contains("eof")) {
-        spec.flips.push_back(FaultTarget::eof_bit(
-            node, static_cast<int>(parse_uint(line_no, kv["eof"])), frame));
-      } else if (kv.contains("eofrel")) {
-        spec.flips.push_back(FaultTarget::eof_relative(
-            node, parse_int(line_no, kv["eofrel"]), frame));
-      } else if (kv.contains("body")) {
-        FaultTarget t;
-        t.node = node;
-        t.seg = Seg::Body;
-        t.index = static_cast<int>(parse_uint(line_no, kv["body"]));
-        t.frame_index = frame;
-        spec.flips.push_back(t);
-      } else if (kv.contains("t")) {
-        spec.flips.push_back(
-            FaultTarget::at_time(node, parse_uint(line_no, kv["t"])));
-      } else {
-        fail(line_no, "flip needs eof=, eofrel=, body= or t=");
+      // parse_fault_target (fault/scripted.hpp) validates the field set and
+      // names the offending field; prefixing the line number here gives a
+      // bad flip both coordinates.
+      try {
+        spec.flips.push_back(parse_fault_target(kv));
+      } catch (const std::invalid_argument& e) {
+        fail(line_no, e.what());
+      }
+    } else if (cmd == "attack") {
+      if (tok.size() < 2) {
+        fail(line_no, "attack needs a kind (glitch|busoff|spoof)");
+      }
+      auto kv = parse_kv(line_no, tok, 2);
+      try {
+        spec.attacks.push_back(parse_attack(tok[1], kv));
+      } catch (const std::invalid_argument& e) {
+        fail(line_no, e.what());
       }
     } else if (cmd == "crash") {
       auto kv = parse_kv(line_no, tok, 1);
@@ -281,6 +275,9 @@ std::string write_scenario(const ScenarioSpec& spec,
     }
     s += "\n";
   }
+  for (const AttackSpec& a : spec.attacks) {
+    s += "attack " + render_attack(a) + "\n";
+  }
   if (spec.crash) {
     s += "crash node=" + std::to_string(spec.crash->first) +
          " t=" + std::to_string(spec.crash->second) + "\n";
@@ -340,7 +337,11 @@ DslRunResult run_scenario(const ScenarioSpec& spec,
   Network net(spec.n_nodes, spec.protocol);
   net.enable_trace();
   ScriptedFaults inj(spec.flips);
-  net.set_injector(inj);
+  AttackEngine attacker(spec.attacks);
+  CompositeInjector faults;
+  faults.add(inj);
+  faults.add(attacker);
+  net.set_injector(faults);
   if (spec.crash) net.sim().schedule_crash(spec.crash->first, spec.crash->second);
 
   InvariantScope invariants(net, inv);
@@ -382,6 +383,21 @@ DslRunResult run_scenario(const ScenarioSpec& spec,
     }
     broadcasts.push_back({key, sender});
   }
+  // Spoofed frames are enqueued like traffic but deliberately NOT recorded
+  // in `broadcasts`: a delivered spoof is a message no correct sender ever
+  // broadcast, which is exactly what the AB4 non-triviality rule flags.
+  std::set<MessageKey> spoofed;
+  for (const AttackSpec& a : spec.attacks) {
+    if (a.kind != AttackKind::Spoof) continue;
+    const auto src = static_cast<int>(
+        a.attacker % static_cast<std::uint32_t>(spec.n_nodes));
+    for (const MessageKey& key : spoof_keys(a)) {
+      net.node(src).enqueue(make_tagged_frame(a.id, MsgKind::Data, key,
+                                              std::max<std::uint8_t>(4, a.dlc)));
+      attacker.note_spoofed(1);
+      spoofed.insert(key);
+    }
+  }
   const bool quiesced = net.run_until_quiet(30000);
   // run_until_quiet stops *before* an all-idle bit is ever recorded (the
   // predicate is checked pre-step), so the reconvergence rule would never
@@ -397,6 +413,7 @@ DslRunResult run_scenario(const ScenarioSpec& spec,
     auto& journal = journals.at(static_cast<NodeId>(i));
     for (const Delivery& d : net.deliveries(i)) {
       if (auto tag = parse_tag(d.frame)) {
+        if (spoofed.contains(tag->key)) attacker.note_spoof_delivered();
         journal.push_back({tag->key, d.t});
       } else {
         journal.push_back({MessageKey{255, 0xFFFF}, d.t});  // AB4 sentinel
@@ -430,6 +447,16 @@ DslRunResult run_scenario(const ScenarioSpec& spec,
   res.outcome.tx_crashed = spec.crash.has_value();
   res.outcome.faults_all_fired = inj.all_fired();
   res.outcome.trace = net.trace().render(net.labels());
+
+  // The injector never observes a victim's terminal state (a bus-off node
+  // stops driving bits), so the verdict comes from the controller itself.
+  for (NodeId v : attacker.busoff_victims()) {
+    if (static_cast<int>(v) >= spec.n_nodes) continue;
+    const CanController& victim = net.node(static_cast<int>(v));
+    attacker.finalize_victim(v, victim.fc_state() == FcState::BusOff,
+                             victim.tec());
+  }
+  res.attack = attacker.report();
 
   switch (spec.expect) {
     case Expectation::Any:

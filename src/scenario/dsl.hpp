@@ -15,6 +15,14 @@
 // Addressing forms for `flip`: eof=<pos> [frame=<k>], eofrel=<pos>
 // [frame=<k>], body=<wire-bit> [frame=<k>], t=<absolute-bit>.
 //
+// Adversarial attackers (attack/attack.hpp) are scripted with `attack`
+// directives — targeted disturbances instead of scripted single flips:
+//
+//     attack glitch victim=1 pos=5 span=2 budget=2 frame=0 when=any
+//     attack glitch victim=0 start=57 span=3 budget=3 when=any
+//     attack busoff victim=0 budget=40 start=0
+//     attack spoof attacker=2 as=0 seq=900 id=0x80 dlc=4 count=1
+//
 // The format is round-trippable: write_scenario() renders a ScenarioSpec
 // back to text that parse_scenario() reads to an equal spec.  Everything
 // that exports .scn files (the model checker's minimizer, the fuzzer's
@@ -25,6 +33,7 @@
 
 #include "analysis/invariants.hpp"
 #include "analysis/properties.hpp"
+#include "attack/attack.hpp"
 #include "scenario/figures.hpp"
 
 namespace mcan {
@@ -70,6 +79,7 @@ struct ScenarioSpec {
   std::uint8_t frame_dlc = 4;
   std::vector<TrafficFrame> traffic;  ///< extra frames beyond the probe
   std::vector<FaultTarget> flips;
+  std::vector<AttackSpec> attacks;  ///< attacker models (attack directive)
   std::optional<std::pair<NodeId, BitTime>> crash;
   std::optional<RsmWorkload> rsm;  ///< consensus workload (rsm directive)
   Expectation expect = Expectation::Any;
@@ -116,6 +126,8 @@ struct DslRunResult {
   /// stays meaningful with traffic mixes and crashes, where the legacy
   /// delivery-count expectations (imo/double) only describe the probe.
   AbReport ab;
+  /// What the scripted attackers did (empty report without attacks).
+  AttackReport attack;
 };
 
 /// Run the scenario and evaluate its `expect` clause.  Every run is also

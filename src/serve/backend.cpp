@@ -51,15 +51,20 @@ std::string protocol_token(const ProtocolParams& p) {
 
 // --- fuzz / rsm -----------------------------------------------------------
 
-/// One backend, two kinds: "fuzz" drives the bare wire-level campaign;
+/// One backend, three kinds: "fuzz" drives the bare wire-level campaign;
 /// "rsm" attaches a consensus workload (FuzzConfig::workload) so every
 /// execution runs the replicated state machine and the four consensus
-/// violation classes are live.  Checkpoint/restore is shared — the corpus
-/// snapshot round-trips through .scn text, and the rsm directive is part
-/// of that text.
+/// violation classes are live; "attack" opens the adversarial genome space
+/// (attack directives: glitch/busoff/spoof attackers, fuzz/mutate.hpp
+/// bounds) on top of the wire-level campaign.  Checkpoint/restore is
+/// shared — the corpus snapshot round-trips through .scn text, and both
+/// the rsm and attack directives are part of that text.
 class FuzzServeBackend final : public CampaignBackend {
  public:
-  explicit FuzzServeBackend(const Json& spec, bool rsm = false) : rsm_(rsm) {
+  enum class Mode { Fuzz, Rsm, Attack };
+
+  explicit FuzzServeBackend(const Json& spec, Mode mode = Mode::Fuzz)
+      : mode_(mode) {
     cfg_.protocol = parse_protocol_arg(spec_string(spec, "protocol", "can"));
     cfg_.n_nodes = static_cast<int>(spec_int(spec, "nodes", cfg_.n_nodes));
     cfg_.seed = static_cast<std::uint64_t>(spec_int(
@@ -83,7 +88,19 @@ class FuzzServeBackend final : public CampaignBackend {
       cfg_.bounds.allow_crash = false;
       cfg_.bounds.mutate_protocol = false;
     }
-    if (rsm_) {
+    if (mode_ == Mode::Attack) {
+      cfg_.bounds.max_attacks =
+          static_cast<int>(spec_int(spec, "max_attacks", 2));
+      cfg_.bounds.attack_budget =
+          static_cast<int>(spec_int(spec, "attack_budget", 4));
+      cfg_.bounds.allow_spoof = spec_bool(spec, "allow_spoof", true);
+      cfg_.bounds.allow_busoff = spec_bool(spec, "allow_busoff", true);
+      if (cfg_.bounds.max_attacks < 1 || cfg_.bounds.attack_budget < 1) {
+        throw std::invalid_argument(
+            "attack spec: max_attacks/attack_budget must be >= 1");
+      }
+    }
+    if (mode_ == Mode::Rsm) {
       RsmWorkload w;
       w.commands = static_cast<int>(spec_int(spec, "commands", w.commands));
       w.payload = static_cast<int>(spec_int(spec, "payload", w.payload));
@@ -115,7 +132,12 @@ class FuzzServeBackend final : public CampaignBackend {
   }
 
   [[nodiscard]] const char* kind() const override {
-    return rsm_ ? "rsm" : "fuzz";
+    switch (mode_) {
+      case Mode::Rsm: return "rsm";
+      case Mode::Attack: return "attack";
+      case Mode::Fuzz: break;
+    }
+    return "fuzz";
   }
 
   [[nodiscard]] std::string fingerprint() const override {
@@ -143,6 +165,14 @@ class FuzzServeBackend final : public CampaignBackend {
     c.set("max_flips", Json(static_cast<long long>(cfg_.bounds.max_flips)));
     c.set("mutate_protocol", Json(cfg_.bounds.mutate_protocol));
     c.set("envelope", Json(envelope_));
+    if (mode_ == Mode::Attack) {
+      c.set("max_attacks",
+            Json(static_cast<long long>(cfg_.bounds.max_attacks)));
+      c.set("attack_budget",
+            Json(static_cast<long long>(cfg_.bounds.attack_budget)));
+      c.set("allow_spoof", Json(cfg_.bounds.allow_spoof));
+      c.set("allow_busoff", Json(cfg_.bounds.allow_busoff));
+    }
     return c.dump();
   }
 
@@ -274,7 +304,7 @@ class FuzzServeBackend final : public CampaignBackend {
 
  private:
   FuzzConfig cfg_;
-  bool rsm_ = false;
+  Mode mode_ = Mode::Fuzz;
   bool envelope_ = false;
   std::optional<FuzzCampaign> campaign_;
 };
@@ -503,7 +533,14 @@ std::unique_ptr<CampaignBackend> make_backend(const Json& spec,
   const std::string kind = spec_string(spec, "backend", "");
   try {
     if (kind == "fuzz") return std::make_unique<FuzzServeBackend>(spec);
-    if (kind == "rsm") return std::make_unique<FuzzServeBackend>(spec, true);
+    if (kind == "rsm") {
+      return std::make_unique<FuzzServeBackend>(spec,
+                                                FuzzServeBackend::Mode::Rsm);
+    }
+    if (kind == "attack") {
+      return std::make_unique<FuzzServeBackend>(
+          spec, FuzzServeBackend::Mode::Attack);
+    }
     if (kind == "rare") return std::make_unique<RareServeBackend>(spec);
     if (kind == "check") return std::make_unique<CheckServeBackend>(spec);
   } catch (const std::exception& e) {

@@ -36,7 +36,7 @@ class CampaignBackend {
  public:
   virtual ~CampaignBackend() = default;
 
-  /// "fuzz", "rsm", "rare" or "check".
+  /// "fuzz", "rsm", "attack", "rare" or "check".
   [[nodiscard]] virtual const char* kind() const = 0;
 
   /// Canonical identity of the campaign: the spec with every default
@@ -81,6 +81,9 @@ class CampaignBackend {
 ///   {"backend": "fuzz",  "protocol": "major:5", "nodes": 3, "seed": 1,
 ///    "max_execs": 2000, "batch": 64, "minimize_every": 2048,
 ///    "envelope": false, "max_flips": 0, "mutate_protocol": false}
+///   {"backend": "attack", "protocol": "major:5", "nodes": 3, "seed": 1,
+///    "max_execs": 2000, "max_attacks": 2, "attack_budget": 4,
+///    "allow_spoof": true, "allow_busoff": true}
 ///   {"backend": "rare",  "protocol": "can", "nodes": 32, "ber": 1e-5,
 ///    "mode": "importance", "seed": 1, "trials": 20000, "batch": 256}
 ///   {"backend": "check", "protocols": ["can", "major:5"], "max_k": 2,

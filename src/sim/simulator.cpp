@@ -49,8 +49,13 @@ void Simulator::step() {
     }
   }
 
-  // Phase 1: drive.
+  // Phase 1: drive.  Participation is latched here: a node whose
+  // fault-confinement state flips to bus-off during this bit's sample
+  // phase still drove this bit, and the trace record must agree with the
+  // resolution (the wired-AND invariant checks record-internal
+  // consistency).
   Level bus = Level::Recessive;
+  std::vector<bool> active(n, false);
   for (std::size_t i = 0; i < n; ++i) {
     Slot& s = nodes_[i];
     if (s.crashed || !s.node->active()) {
@@ -59,6 +64,7 @@ void Simulator::step() {
       infos_[i].seg = Seg::Off;
       continue;
     }
+    active[i] = true;
     driven_[i] = s.node->drive(now_);
     infos_[i] = s.node->bit_info();
     bus = bus & driven_[i];
@@ -91,10 +97,7 @@ void Simulator::step() {
     rec.view = views_;
     rec.info = infos_;
     rec.disturbed = disturbed;
-    rec.active.reserve(n);
-    for (const Slot& s : nodes_) {
-      rec.active.push_back(!s.crashed && s.node->active());
-    }
+    rec.active = active;
     for (TraceObserver* obs : observers_) obs->on_bit(rec);
   }
 

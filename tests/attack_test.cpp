@@ -1,0 +1,370 @@
+// Adversarial attacker subsystem (src/attack/): spec parsing and DSL round
+// trips, the three attacker engines, the budgeted view-flip optimizer, and
+// the fault-confinement boundaries the bus-off flooder exploits.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "attack/attack.hpp"
+#include "attack/injector.hpp"
+#include "attack/optimize.hpp"
+#include "core/network.hpp"
+#include "fuzz/mutate.hpp"
+#include "fuzz/oracle.hpp"
+#include "node/fault_confinement.hpp"
+#include "scenario/dsl.hpp"
+#include "util/rng.hpp"
+
+namespace mcan {
+namespace {
+
+using KV = std::map<std::string, std::string>;
+
+// --- AttackSpec parse / render ------------------------------------------
+
+TEST(AttackSpec, RenderParseRoundTripPerKind) {
+  AttackSpec glitch;
+  glitch.kind = AttackKind::Glitch;
+  glitch.victim = 2;
+  glitch.pos = -3;
+  glitch.span = 2;
+  glitch.budget = 3;
+  glitch.frame = -1;
+  glitch.when = GlitchWhen::Recessive;
+
+  AttackSpec busoff;
+  busoff.kind = AttackKind::BusOff;
+  busoff.victim = 0;
+  busoff.budget = 40;
+  busoff.start = 123;
+
+  AttackSpec spoof;
+  spoof.kind = AttackKind::Spoof;
+  spoof.attacker = 2;
+  spoof.as = 0;
+  spoof.id = 0x7A;
+  spoof.seq = 1234;
+  spoof.count = 3;
+  spoof.dlc = 2;
+
+  for (const AttackSpec& a : {glitch, busoff, spoof}) {
+    const std::string body = render_attack(a);
+    // body is "<kind> k=v ...": split the kind token off and re-parse.
+    const auto sp = body.find(' ');
+    ASSERT_NE(sp, std::string::npos) << body;
+    KV kv;
+    std::string rest = body.substr(sp + 1);
+    for (std::size_t i = 0; i < rest.size();) {
+      const auto end = rest.find(' ', i);
+      const std::string tok = rest.substr(i, end - i);
+      const auto eq = tok.find('=');
+      ASSERT_NE(eq, std::string::npos) << tok;
+      kv[tok.substr(0, eq)] = tok.substr(eq + 1);
+      i = end == std::string::npos ? rest.size() : end + 1;
+    }
+    EXPECT_EQ(parse_attack(body.substr(0, sp), kv), a) << body;
+  }
+}
+
+TEST(AttackSpec, UnknownKindAndFieldsAreNamed) {
+  try {
+    (void)parse_attack("jam", {});
+    FAIL() << "unknown kind accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("glitch|busoff|spoof"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)parse_attack("glitch", KV{{"bogus", "1"}});
+    FAIL() << "unknown field accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown field 'bogus'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("pos="), std::string::npos)
+        << "error should list the accepted fields: " << msg;
+  }
+  // A spoof-only field on a glitch attacker is out of vocabulary too.
+  EXPECT_THROW((void)parse_attack("glitch", KV{{"seq", "900"}}),
+               std::invalid_argument);
+  // Bad values name the field they were given for.
+  try {
+    (void)parse_attack("glitch", KV{{"when", "sometimes"}});
+    FAIL() << "bad when accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("field 'when'"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(AttackSpec, SanitizeClampsAndCanonicalizes) {
+  AttackSpec a;
+  a.kind = AttackKind::Glitch;
+  a.victim = 99;  // off the bus
+  a.pos = 1000;   // outside the window
+  a.span = 50;
+  a.budget = 0;
+  a.seq = 42;  // spoof vocabulary — must reset to default
+  sanitize_attack(a, 3, -4, 10);
+  EXPECT_LT(a.victim, 3u);
+  EXPECT_GE(a.pos, -4);
+  EXPECT_LE(a.pos, 10);
+  EXPECT_GE(a.budget, 1);
+  EXPECT_EQ(a.seq, AttackSpec{}.seq) << "out-of-vocabulary field kept";
+
+  AttackSpec s;
+  s.kind = AttackKind::Spoof;
+  s.attacker = 7;
+  s.as = 7;
+  s.count = 0;
+  sanitize_attack(s, 3, -4, 10);
+  EXPECT_LT(s.attacker, 3u);
+  EXPECT_GE(s.count, 1);
+}
+
+TEST(AttackSpec, GlitchBudgetSumsGlitchersOnly) {
+  AttackSpec g1, g2, b;
+  g1.budget = 2;
+  g2.budget = 3;
+  b.kind = AttackKind::BusOff;
+  b.budget = 40;
+  EXPECT_EQ(attack_glitch_budget({g1, g2, b}), 5);
+}
+
+TEST(AttackSpec, SpoofKeysEnumerateForgedSequence) {
+  AttackSpec s;
+  s.kind = AttackKind::Spoof;
+  s.as = 1;
+  s.seq = 900;
+  s.count = 3;
+  const auto keys = spoof_keys(s);
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0].source, 1u);
+  EXPECT_EQ(keys[0].seq, 900u);
+  EXPECT_EQ(keys[2].seq, 902u);
+}
+
+// --- DSL integration -----------------------------------------------------
+
+TEST(AttackDsl, ScenarioRoundTripKeepsAttacks) {
+  ScenarioSpec spec = seed_scenario(ProtocolParams::major_can(3), 3);
+  AttackSpec g;
+  g.kind = AttackKind::Glitch;
+  g.victim = 1;
+  g.pos = 2;
+  g.budget = 2;
+  AttackSpec s;
+  s.kind = AttackKind::Spoof;
+  s.attacker = 2;
+  spec.attacks = {g, s};
+  const ScenarioSpec back = parse_scenario(write_scenario(spec));
+  EXPECT_EQ(back, spec);
+}
+
+TEST(AttackDsl, ParseErrorsCarryLineAndField) {
+  const std::string text =
+      "protocol can\n"
+      "nodes 3\n"
+      "attack glitch victim=1 bogus=2\n";
+  try {
+    (void)parse_scenario(text);
+    FAIL() << "unknown attack field accepted by the DSL";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("bogus"), std::string::npos) << msg;
+  }
+  EXPECT_THROW((void)parse_scenario("attack\n"), std::invalid_argument)
+      << "attack with no kind";
+}
+
+TEST(AttackDsl, BusOffAttackRunsAndCertifiesTime) {
+  ScenarioSpec spec = seed_scenario(ProtocolParams::standard_can(), 3);
+  AttackSpec b;
+  b.kind = AttackKind::BusOff;
+  b.victim = 0;
+  b.budget = 40;
+  spec.attacks = {b};
+  const DslRunResult r = run_scenario(spec);
+  EXPECT_TRUE(r.attack.victim_busoff);
+  EXPECT_EQ(r.attack.busoff_attempts, 32)
+      << "TEC +8 per corrupted attempt: 32 attempts reach the 256 limit";
+  EXPECT_EQ(r.attack.victim_peak_tec, 256);
+  EXPECT_GT(r.attack.busoff_t, 0);
+}
+
+TEST(AttackDsl, SpoofDeliveriesAreCountedAndClassified) {
+  ScenarioSpec spec = seed_scenario(ProtocolParams::standard_can(), 3);
+  AttackSpec s;
+  s.kind = AttackKind::Spoof;
+  s.attacker = 2;
+  s.as = 0;
+  s.count = 1;
+  spec.attacks = {s};
+  const DslRunResult r = run_scenario(spec);
+  EXPECT_EQ(r.attack.spoofed, 1);
+  EXPECT_GT(r.attack.spoofed_delivered, 0)
+      << "a forged frame arbitrates like any other and gets delivered";
+
+  const FuzzVerdict v = run_fuzz_case(spec);
+  EXPECT_TRUE(v.classes & fuzz_class_bit(FuzzClass::AttackSpoof)) << v.detail;
+}
+
+// --- engines / optimizer -------------------------------------------------
+
+TEST(AttackEngine, ReportStartsEmpty) {
+  AttackEngine e;
+  EXPECT_FALSE(e.report().any_fired());
+  EXPECT_TRUE(e.busoff_victims().empty());
+}
+
+TEST(AttackOptimize, SingleFlipDefeatsStandardCan) {
+  const BudgetProbe p = probe_budget(ProtocolParams::standard_can(), 3, 1);
+  EXPECT_TRUE(p.violation);
+  ASSERT_FALSE(p.witness.empty());
+  // The witness replays: folding it into glitch attacks breaks a
+  // broadcast property under the fuzz oracle.
+  const ScenarioSpec w =
+      witness_scenario(ProtocolParams::standard_can(), 3, p);
+  const FuzzVerdict v = run_fuzz_case(w);
+  EXPECT_TRUE(v.classes & fuzz_class_bit(FuzzClass::AttackGlitch)) << v.detail;
+}
+
+TEST(AttackOptimize, MinorCanNeedsTwoFlipsCertified) {
+  const MinBudgetResult r =
+      find_min_defeating_budget(ProtocolParams::minor_can(), 3, 3);
+  EXPECT_EQ(r.budget, 2) << r.summary();
+  EXPECT_TRUE(r.clean_below_certified()) << "k=1 space is tiny; must certify";
+}
+
+TEST(AttackOptimize, TimeToBusOffMatchesScenarioRun) {
+  const AttackReport r =
+      measure_time_to_busoff(ProtocolParams::standard_can(), 3);
+  EXPECT_TRUE(r.victim_busoff);
+  EXPECT_EQ(r.busoff_attempts, 32);
+  EXPECT_GT(r.busoff_t, 0);
+}
+
+// --- fault-confinement boundaries (the flooder's lever) ------------------
+
+TEST(FaultConfinementBoundary, ErrorPassiveExactlyAt128) {
+  FaultConfinement fc;
+  fc.force_counters(127, 0);
+  EXPECT_EQ(fc.state(), FcState::ErrorActive);
+  fc.force_counters(128, 0);
+  EXPECT_EQ(fc.state(), FcState::ErrorPassive);
+  // REC crosses the same limit.
+  FaultConfinement rx;
+  rx.force_counters(0, 128);
+  EXPECT_EQ(rx.state(), FcState::ErrorPassive);
+}
+
+TEST(FaultConfinementBoundary, BusOffExactlyAt256) {
+  FaultConfinement fc;
+  fc.force_counters(255, 0);
+  EXPECT_EQ(fc.state(), FcState::ErrorPassive);
+  fc.force_counters(248, 0);
+  fc.on_tx_error();  // 248 + 8 = 256
+  EXPECT_EQ(fc.state(), FcState::BusOff);
+  EXPECT_TRUE(fc.off());
+  // Off the bus, counters freeze.
+  fc.on_tx_error();
+  EXPECT_EQ(fc.tec(), 256);
+  // Recovery resets everything.
+  fc.reset_after_busoff();
+  EXPECT_EQ(fc.state(), FcState::ErrorActive);
+  EXPECT_EQ(fc.tec(), 0);
+  EXPECT_EQ(fc.rec(), 0);
+}
+
+TEST(FaultConfinementBoundary, RecoveryNeeds128RecessiveSequences) {
+  // A lone transmitter never sees an ACK: 32 attempts take it to bus-off.
+  // With auto-recovery it must wait out 128 sequences of 11 recessive
+  // bits before rejoining (ISO 11898) — not a bit earlier.
+  EventLog log;
+  ControllerConfig cfg;
+  cfg.id = 0;
+  cfg.busoff_auto_recovery = true;
+  CanController node(cfg, log);
+  Simulator sim;
+  sim.attach(node);
+  node.enqueue(Frame::make_blank(0x1, 0));
+  sim.run(60000);
+  ASSERT_GE(log.count(EventKind::EnteredBusOff, 0), 1u);
+  ASSERT_GE(log.count(EventKind::BusOffRecovered, 0), 1u);
+  const BitTime off_t = log.filter(EventKind::EnteredBusOff, 0).front().t;
+  const BitTime rec_t = log.filter(EventKind::BusOffRecovered, 0).front().t;
+  EXPECT_GE(rec_t - off_t, BitTime{128 * 11});
+}
+
+// --- fuzz integration ----------------------------------------------------
+
+TEST(AttackFuzz, LegacyMutationStreamUnchangedWithoutAttacks) {
+  // max_attacks = 0 must keep the mutation case table byte-stable: the
+  // same (parent, rng) pair yields the same child as before the attack
+  // cases existed, and no child ever carries an attack.
+  FuzzBounds legacy;
+  const ScenarioSpec seed = seed_scenario(ProtocolParams::major_can(3), 3);
+  Rng a(42, 0), b(42, 0);
+  for (int i = 0; i < 200; ++i) {
+    const ScenarioSpec c1 = mutate_scenario(seed, legacy, a);
+    const ScenarioSpec c2 = mutate_scenario(seed, legacy, b);
+    ASSERT_EQ(c1, c2) << "iteration " << i;
+    ASSERT_TRUE(c1.attacks.empty()) << "attack mutated in with max_attacks=0";
+  }
+}
+
+TEST(AttackFuzz, MutatorReachesAttacksWithinBudget) {
+  FuzzBounds b;
+  b.max_attacks = 2;
+  b.attack_budget = 4;
+  ScenarioSpec g = seed_scenario(ProtocolParams::major_can(3), 3);
+  Rng rng(7, 0);
+  bool saw_attack = false;
+  for (int i = 0; i < 400; ++i) {
+    g = mutate_scenario(g, b, rng);
+    ASSERT_LE(g.attacks.size(), 2u);
+    ASSERT_LE(attack_glitch_budget(g.attacks), 4);
+    saw_attack = saw_attack || !g.attacks.empty();
+  }
+  EXPECT_TRUE(saw_attack) << "400 mutations never produced an attacker";
+}
+
+TEST(AttackFuzz, SanitizeDropsDisallowedKinds) {
+  FuzzBounds b;
+  b.max_attacks = 2;
+  b.allow_spoof = false;
+  b.allow_busoff = false;
+  ScenarioSpec spec = seed_scenario(ProtocolParams::standard_can(), 3);
+  AttackSpec s;
+  s.kind = AttackKind::Spoof;
+  AttackSpec o;
+  o.kind = AttackKind::BusOff;
+  spec.attacks = {s, o};
+  sanitize_scenario(spec, b);
+  for (const AttackSpec& a : spec.attacks) {
+    EXPECT_EQ(a.kind, AttackKind::Glitch)
+        << "disallowed kinds must be rewritten, not kept";
+  }
+}
+
+TEST(AttackFuzz, VerdictDeterministicWithAttacks) {
+  ScenarioSpec spec = seed_scenario(ProtocolParams::minor_can(), 3);
+  AttackSpec g;
+  g.kind = AttackKind::Glitch;
+  g.victim = 1;
+  g.pos = 0;
+  g.span = 2;
+  g.budget = 2;
+  spec.attacks = {g};
+  const FuzzVerdict v1 = run_fuzz_case(spec);
+  const FuzzVerdict v2 = run_fuzz_case(spec);
+  EXPECT_EQ(v1.classes, v2.classes);
+  EXPECT_EQ(v1.detail, v2.detail);
+}
+
+}  // namespace
+}  // namespace mcan
