@@ -1,18 +1,24 @@
 // Simulator performance baseline: how many bus bits (one sim step = one
-// bit time) and whole frames per second the bit-synchronous kernel
-// simulates, across the workloads the campaign engines actually run.
-// Useful for sizing fault-injection campaigns — and committed as
-// BENCH_simperf.json so the repo's bench trajectory has a datapoint.
+// bit time) and whole frames per second each bit engine simulates, across
+// the workloads the campaign engines actually run.  Useful for sizing
+// fault-injection campaigns — and committed as BENCH_simperf.json so the
+// repo's bench trajectory has a datapoint.
 //
-//     bench_simperf                      # table on stdout
+//     bench_simperf                      # table, the selected kernel
+//     bench_simperf --kernel fast        # table, fast kernel only
+//     bench_simperf --compare            # both kernels + speedup ratios,
+//                                        # certifying identical frame counts
 //     bench_simperf --json BENCH_simperf.json
 //     bench_simperf --steps 2000000      # longer measurement window
 //
-// Workloads: an idle bus (pure kernel overhead), a saturated bus (node 0
-// always has a frame in flight) for CAN and MajorCAN_5, and a saturated
-// MajorCAN_5 bus under iid channel noise — the rare-event campaign's
-// regime.  Throughput varies with the host; the workloads themselves are
-// deterministic.
+// Workloads: an idle bus (pure kernel overhead; driven through run() so
+// the fast kernel's idle jump is exercised), a saturated bus (node 0
+// always has a frame in flight; per-bit stepping, the campaign engines'
+// access pattern) for CAN and MajorCAN_5, a pre-loaded burst bus driven
+// through run() (the word-batch regime), and a saturated MajorCAN_5 bus
+// under iid channel noise — the rare-event campaign's regime.  Throughput
+// varies with the host; the workloads themselves are deterministic, and
+// --compare exits 1 if the two kernels disagree on delivered frames.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -22,14 +28,26 @@
 #include "core/network.hpp"
 #include "fault/random_faults.hpp"
 #include "scenario/sweep_cli.hpp"
+#include "sim/kernel.hpp"
 #include "util/text.hpp"
 
 namespace {
 
 using namespace mcan;
 
+enum class Load { Idle, Saturated, Burst };
+
+struct Workload {
+  std::string name;
+  ProtocolParams proto;
+  int nodes = 0;
+  Load load = Load::Idle;
+  double ber = 0;
+};
+
 struct Measurement {
   std::string name;
+  KernelKind kernel = KernelKind::Ref;
   int nodes = 0;
   long long steps = 0;   ///< simulated bit times
   long long frames = 0;  ///< frames delivered at node 1 (0 for idle)
@@ -42,25 +60,44 @@ double now_s() {
       .count();
 }
 
-/// Step `net` for `steps` bit times, keeping node 0 loaded when
-/// `saturate` so a frame is always in flight.
-Measurement run_bus(const std::string& name, const ProtocolParams& proto,
-                    int nodes, long long steps, bool saturate, double ber) {
-  Network net(nodes, proto);
-  RandomFaults inj(ber, Rng(1));
-  if (ber > 0) net.set_injector(inj);
+/// Simulate `steps` bit times of one workload under one kernel.
+Measurement run_bus(const Workload& w, long long steps, KernelKind kind) {
+  set_default_kernel(kind);  // Network's constructor reads the global
+  Network net(w.nodes, w.proto);
+  RandomFaults inj(w.ber, Rng(1));
+  if (w.ber > 0) net.set_injector(inj);
   Measurement m;
-  m.name = name;
-  m.nodes = nodes;
+  m.name = w.name;
+  m.kernel = kind;
+  m.nodes = w.nodes;
   m.steps = steps;
   int next = 0;
   const double t0 = now_s();
-  for (long long i = 0; i < steps; ++i) {
-    if (saturate && net.node(0).pending_tx() < 2) {
-      net.node(0).enqueue(Frame::make_blank(
-          0x100 + static_cast<std::uint32_t>(next++ % 8), 8));
-    }
-    net.sim().step();
+  switch (w.load) {
+    case Load::Idle:
+      // One run() call: lets kernels fast-forward the all-idle stretch.
+      net.sim().run(static_cast<BitTime>(steps));
+      break;
+    case Load::Saturated:
+      // Keep node 0 loaded, checking between every bit — the access
+      // pattern of the campaign engines (step, inspect, step, ...).
+      for (long long i = 0; i < steps; ++i) {
+        if (net.node(0).pending_tx() < 2) {
+          net.node(0).enqueue(Frame::make_blank(
+              0x100 + static_cast<std::uint32_t>(next++ % 8), 8));
+        }
+        net.sim().step();
+      }
+      break;
+    case Load::Burst:
+      // Pre-load a deep queue and hand the whole window to run(): no
+      // per-bit host interaction, the word-batch regime.
+      for (long long i = 0; i < steps / 100 + 1; ++i) {
+        net.node(0).enqueue(Frame::make_blank(
+            0x100 + static_cast<std::uint32_t>(i % 8), 8));
+      }
+      net.sim().run(static_cast<BitTime>(steps));
+      break;
   }
   m.seconds = now_s() - t0;
   m.frames = static_cast<long long>(net.deliveries(1).size());
@@ -75,6 +112,19 @@ double frames_per_s(const Measurement& m) {
   return m.seconds > 0 ? static_cast<double>(m.frames) / m.seconds : 0;
 }
 
+std::string json_row(const Measurement& m, double speedup) {
+  std::string j = "{\"workload\": \"" + m.name + "\", \"kernel\": \"" +
+                  kernel_name(m.kernel) +
+                  "\", \"nodes\": " + std::to_string(m.nodes) +
+                  ", \"steps\": " + std::to_string(m.steps) +
+                  ", \"seconds\": " + json_number(m.seconds) +
+                  ", \"bits_per_s\": " + json_number(bits_per_s(m)) +
+                  ", \"frames\": " + std::to_string(m.frames) +
+                  ", \"frames_per_s\": " + json_number(frames_per_s(m));
+  if (speedup > 0) j += ", \"speedup_vs_ref\": " + json_number(speedup);
+  return j + "}";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -86,6 +136,17 @@ int main(int argc, char** argv) {
     return 2;
   }
   long long steps = 500000;
+  bool compare = false;
+  // --expect-speedup workload:nodes:X — CI gate: with --compare, the fast
+  // kernel must run workload (at the given bus size) at least X times the
+  // reference throughput, else exit 1.  Repeatable.
+  struct SpeedupGate {
+    std::string workload;
+    int nodes = 0;
+    double min_speedup = 0;
+    bool seen = false;
+  };
+  std::vector<SpeedupGate> gates;
   for (std::size_t i = 0; i < rest.size(); ++i) {
     if (rest[i] == "--steps" && i + 1 < rest.size()) {
       steps = std::atoll(rest[++i].c_str());
@@ -93,54 +154,128 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bench_simperf: bad --steps value\n");
         return 2;
       }
+    } else if (rest[i] == "--compare") {
+      compare = true;
+    } else if (rest[i] == "--expect-speedup" && i + 1 < rest.size()) {
+      const std::string v = rest[++i];
+      const std::size_t c1 = v.find(':');
+      const std::size_t c2 = c1 == std::string::npos ? c1 : v.find(':', c1 + 1);
+      SpeedupGate g;
+      if (c2 != std::string::npos) {
+        g.workload = v.substr(0, c1);
+        g.nodes = std::atoi(v.substr(c1 + 1, c2 - c1 - 1).c_str());
+        g.min_speedup = std::atof(v.substr(c2 + 1).c_str());
+      }
+      if (g.workload.empty() || g.nodes < 1 || g.min_speedup <= 0) {
+        std::fprintf(stderr,
+                     "bench_simperf: bad --expect-speedup value '%s'"
+                     " (want workload:nodes:X)\n",
+                     v.c_str());
+        return 2;
+      }
+      gates.push_back(g);
+      compare = true;  // the gate only means anything against a ref run
     } else {
-      std::fprintf(stderr,
-                   "bench_simperf: unknown option %s\n"
-                   "usage: bench_simperf [--steps N] [--json FILE]\n",
-                   rest[i].c_str());
+      std::fprintf(
+          stderr,
+          "bench_simperf: unknown option %s\n"
+          "usage: bench_simperf [--steps N] [--compare] [--kernel K]"
+          " [--expect-speedup workload:nodes:X] [--json FILE]\n",
+          rest[i].c_str());
       return 2;
     }
   }
 
+  const std::vector<Workload> workloads = {
+      {"idle_can", ProtocolParams::standard_can(), 4, Load::Idle, 0},
+      {"idle_can", ProtocolParams::standard_can(), 32, Load::Idle, 0},
+      {"saturated_can", ProtocolParams::standard_can(), 4, Load::Saturated, 0},
+      {"saturated_can", ProtocolParams::standard_can(), 32, Load::Saturated,
+       0},
+      {"saturated_major5", ProtocolParams::major_can(5), 4, Load::Saturated,
+       0},
+      {"saturated_major5", ProtocolParams::major_can(5), 32, Load::Saturated,
+       0},
+      {"burst_can", ProtocolParams::standard_can(), 32, Load::Burst, 0},
+      {"noisy_major5", ProtocolParams::major_can(5), 8, Load::Saturated,
+       1e-4},
+  };
+
   std::printf("=== Simulator throughput (%lld bit times per workload) ===\n\n",
               steps);
 
-  std::vector<Measurement> all;
-  all.push_back(run_bus("idle_can", ProtocolParams::standard_can(), 4, steps,
-                        false, 0));
-  all.push_back(run_bus("idle_can", ProtocolParams::standard_can(), 32, steps,
-                        false, 0));
-  all.push_back(run_bus("saturated_can", ProtocolParams::standard_can(), 4,
-                        steps, true, 0));
-  all.push_back(run_bus("saturated_can", ProtocolParams::standard_can(), 32,
-                        steps, true, 0));
-  all.push_back(run_bus("saturated_major5", ProtocolParams::major_can(5), 4,
-                        steps, true, 0));
-  all.push_back(run_bus("saturated_major5", ProtocolParams::major_can(5), 32,
-                        steps, true, 0));
-  all.push_back(run_bus("noisy_major5", ProtocolParams::major_can(5), 8,
-                        steps, true, 1e-4));
-
   std::vector<std::vector<std::string>> rows;
-  rows.push_back({"workload", "nodes", "bits/s", "frames", "frames/s"});
+  rows.push_back(compare
+                     ? std::vector<std::string>{"workload", "nodes", "kernel",
+                                                "bits/s", "frames", "speedup"}
+                     : std::vector<std::string>{"workload", "nodes", "kernel",
+                                                "bits/s", "frames",
+                                                "frames/s"});
   std::string json = "{\"steps_per_workload\": " + std::to_string(steps) +
+                     ", \"compare\": " + (compare ? "true" : "false") +
                      ", \"workloads\": [";
   bool first = true;
-  for (const Measurement& m : all) {
-    rows.push_back({m.name, std::to_string(m.nodes), sci(bits_per_s(m), 3),
-                    std::to_string(m.frames), sci(frames_per_s(m), 3)});
-    if (!first) json += ",";
-    first = false;
-    json += "\n  {\"workload\": \"" + m.name +
-            "\", \"nodes\": " + std::to_string(m.nodes) +
-            ", \"steps\": " + std::to_string(m.steps) +
-            ", \"seconds\": " + json_number(m.seconds) +
-            ", \"bits_per_s\": " + json_number(bits_per_s(m)) +
-            ", \"frames\": " + std::to_string(m.frames) +
-            ", \"frames_per_s\": " + json_number(frames_per_s(m)) + "}";
+  bool mismatch = false;
+  for (const Workload& w : workloads) {
+    if (compare) {
+      const Measurement ref = run_bus(w, steps, KernelKind::Ref);
+      const Measurement fast = run_bus(w, steps, KernelKind::Fast);
+      const double speedup =
+          bits_per_s(ref) > 0 ? bits_per_s(fast) / bits_per_s(ref) : 0;
+      if (ref.frames != fast.frames) {
+        mismatch = true;
+        std::fprintf(stderr,
+                     "bench_simperf: KERNEL MISMATCH on %s n=%d: "
+                     "ref delivered %lld frames, fast %lld\n",
+                     w.name.c_str(), w.nodes, ref.frames, fast.frames);
+      }
+      rows.push_back({ref.name, std::to_string(ref.nodes), "ref",
+                      sci(bits_per_s(ref), 3), std::to_string(ref.frames),
+                      ""});
+      rows.push_back({fast.name, std::to_string(fast.nodes), "fast",
+                      sci(bits_per_s(fast), 3), std::to_string(fast.frames),
+                      sci(speedup, 3) + "x"});
+      for (SpeedupGate& g : gates) {
+        if (g.workload != w.name || g.nodes != w.nodes) continue;
+        g.seen = true;
+        if (speedup < g.min_speedup) {
+          mismatch = true;
+          std::fprintf(stderr,
+                       "bench_simperf: SPEEDUP GATE FAILED on %s n=%d: "
+                       "%.2fx < required %.2fx\n",
+                       w.name.c_str(), w.nodes, speedup, g.min_speedup);
+        }
+      }
+      json += (first ? "\n  " : ",\n  ") + json_row(ref, 0) + ",\n  " +
+              json_row(fast, speedup);
+      first = false;
+    } else {
+      const Measurement m = run_bus(w, steps, sweep.kernel);
+      rows.push_back({m.name, std::to_string(m.nodes),
+                      kernel_name(m.kernel), sci(bits_per_s(m), 3),
+                      std::to_string(m.frames), sci(frames_per_s(m), 3)});
+      json += (first ? "\n  " : ",\n  ") + json_row(m, 0);
+      first = false;
+    }
   }
   json += "\n]}\n";
+  for (const SpeedupGate& g : gates) {
+    if (!g.seen) {
+      mismatch = true;
+      std::fprintf(stderr,
+                   "bench_simperf: --expect-speedup names unknown workload "
+                   "%s n=%d\n",
+                   g.workload.c_str(), g.nodes);
+    }
+  }
   std::printf("%s", render_table(rows).c_str());
+  if (compare) {
+    std::printf("\n%s\n",
+                mismatch
+                    ? "FRAME-COUNT CERTIFICATION FAILED (see stderr)"
+                    : "frame-count certification: ref and fast agree on "
+                      "every workload");
+  }
 
   if (!sweep.json.empty()) {
     if (!write_text_file(sweep.json, json)) {
@@ -150,5 +285,5 @@ int main(int argc, char** argv) {
     }
     std::printf("json written to %s\n", sweep.json.c_str());
   }
-  return 0;
+  return mismatch ? 1 : 0;
 }

@@ -16,6 +16,7 @@
 #include "analysis/invariants.hpp"
 #include "rsm/runner.hpp"
 #include "scenario/dsl.hpp"
+#include "sim/kernel.hpp"
 #include "sim/vcd.hpp"
 
 namespace {
@@ -48,6 +49,8 @@ void usage(std::FILE* to) {
       "  --no-reconvergence  disable frame-boundary agreement\n"
       "  --max <n>           record at most n violations verbatim (default "
       "64)\n"
+      "  --kernel K          bit engine for the replays: ref or fast\n"
+      "                      (certified bit-identical; default ref)\n"
       "  -v, --verbose       report clean files too\n"
       "  -h, --help          this text\n",
       to);
@@ -83,6 +86,17 @@ bool parse_args(int argc, char** argv, Options& opt) {
         std::fprintf(stderr, "mcan-lint: --max: not a number: %s\n", argv[i]);
         return false;
       }
+    } else if (a == "--kernel") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "mcan-lint: --kernel needs a value\n");
+        return false;
+      }
+      const std::optional<KernelKind> kind = parse_kernel_name(argv[i]);
+      if (!kind) {
+        std::fprintf(stderr, "mcan-lint: bad --kernel value (ref|fast)\n");
+        return false;
+      }
+      set_default_kernel(*kind);
     } else if (a == "-v" || a == "--verbose") {
       opt.verbose = true;
     } else if (!a.empty() && a[0] == '-') {

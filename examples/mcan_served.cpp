@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "serve/server.hpp"
+#include "sim/kernel.hpp"
 
 namespace {
 
@@ -58,6 +59,8 @@ void usage(std::FILE* to) {
       "(default 4096)\n"
       "  --heartbeat-timeout S  declare a silent worker dead after S\n"
       "                       seconds (default 60)\n"
+      "  --kernel K           bit engine for all jobs: ref or fast\n"
+      "                       (certified bit-identical; default ref)\n"
       "  -h, --help           this text\n",
       to);
 }
@@ -133,6 +136,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       cfg.pool.heartbeat_timeout_s = static_cast<double>(n);
+    } else if (a == "--kernel") {
+      if (!need_value(argc, argv, i, v)) return 2;
+      const std::optional<KernelKind> kind = parse_kernel_name(v);
+      if (!kind) {
+        std::fprintf(stderr, "mcan-served: bad --kernel value (ref|fast)\n");
+        return 2;
+      }
+      set_default_kernel(*kind);
     } else {
       std::fprintf(stderr, "mcan-served: unknown option %s\n", a.c_str());
       usage(stderr);

@@ -68,6 +68,13 @@ bool AttackEngine::flips(NodeId node, BitTime t, const NodeBitInfo& info,
   return flip;
 }
 
+BitTime AttackEngine::quiet_until(BitTime t) {
+  for (const Armed& g : armed_) {
+    if (g.spec.kind != AttackKind::Spoof) return t;
+  }
+  return kNoTime;
+}
+
 std::vector<NodeId> AttackEngine::busoff_victims() const {
   std::vector<NodeId> victims;
   for (const Armed& g : armed_) {

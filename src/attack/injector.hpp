@@ -26,6 +26,13 @@ class AttackEngine final : public FaultInjector {
   [[nodiscard]] bool flips(NodeId node, BitTime t, const NodeBitInfo& info,
                            Level bus) override;
 
+  /// Conservative: bus-off attackers update their bookkeeping (last_seen,
+  /// victim_peak_tec) on *every* call for their victim, and glitch
+  /// triggers react to node positions rather than times — so any armed
+  /// non-spoof attacker forbids skipping flips() calls.  Spoof attackers
+  /// act at the traffic level and never flip.
+  [[nodiscard]] BitTime quiet_until(BitTime t) override;
+
   /// Victims named by bus-off attacks (deduplicated, in spec order).
   [[nodiscard]] std::vector<NodeId> busoff_victims() const;
 

@@ -7,6 +7,7 @@
 #include "util/statekey.hpp"
 
 #include "core/fsm_coverage.hpp"
+#include "sim/fast/fast_kernel.hpp"
 
 namespace mcan {
 
@@ -29,9 +30,25 @@ CanController::CanController(ControllerConfig cfg, EventLog& log)
   cfg_.protocol.validate();
 }
 
-void CanController::enqueue(const Frame& f) { queue_.push_back(f); }
+void CanController::detach_shared_state() {
+  if (proxy_ != nullptr) {
+    const CanController* shadow = proxy_;
+    proxy_ = nullptr;
+    copy_runtime_state_from(*shadow);
+  }
+  if (fast_owner_ != nullptr && !fast_touched_) {
+    fast_touched_ = true;
+    fast_owner_->note_extern_mutation(fast_index_);
+  }
+}
+
+void CanController::enqueue(const Frame& f) {
+  detach_shared_state();
+  queue_.push_back(f);
+}
 
 bool CanController::replace_pending(const Frame& f) {
+  detach_shared_state();
   // While a transmission is on the wire the queue front is that frame;
   // leave it alone and only supersede genuinely pending entries.
   const std::size_t first = st_ == St::Tx ? 1 : 0;
@@ -44,7 +61,12 @@ bool CanController::replace_pending(const Frame& f) {
   return false;
 }
 
-std::size_t CanController::pending_tx() const { return queue_.size(); }
+void CanController::force_error_counters(int tec, int rec) {
+  detach_shared_state();
+  fc_.force_counters(tec, rec);
+}
+
+std::size_t CanController::pending_tx() const { return self().queue_.size(); }
 
 void CanController::emit(BitTime t, EventKind kind, std::string detail,
                          std::optional<Frame> frame) {
@@ -889,6 +911,7 @@ void CanController::handle_intermission_bit(BitTime t, Level view) {
 // ---------------------------------------------------------------------------
 
 NodeBitInfo CanController::bit_info() const {
+  if (proxy_ != nullptr) return proxy_->bit_info();
   NodeBitInfo info;
   info.frame_index = frame_index_;
   info.transmitter = tx_role_;
@@ -979,10 +1002,89 @@ NodeBitInfo CanController::bit_info() const {
 }
 
 // ---------------------------------------------------------------------------
+// fast-kernel quiet-sample classification
+// ---------------------------------------------------------------------------
+
+// Mirrors sample()'s dispatch exactly: a bit is quiet iff the handler for
+// the current state, fed `view`, emits no event, fires no handler, and
+// leaves the fault-confinement counters untouched (so note_fc_state cannot
+// emit either — fc_ was synced at the end of the previous sample).  State
+// transitions and pure bookkeeping are allowed: the group shadow carries
+// them for every member.  When in doubt a branch must return false; the
+// only cost of a false negative is one per-member trial bit.
+bool CanController::sample_is_quiet(Level view) const {
+  switch (st_) {
+    case St::Idle:
+      // Dominant starts a reception (SofSeen).  A non-empty queue would
+      // make drive() start a transmission, but grouped nodes always have
+      // empty queues; stay conservative anyway.
+      return is_recessive(view) && queue_.empty();
+    case St::BusOffWait:
+      // Silent counting, except the 128th completed 11-recessive sequence
+      // (recovery + BusOffRecovered emit).
+      if (!is_recessive(view)) return true;
+      return !(recovery_run_ + 1 >= 11 && recovery_runs_ + 1 >= 128);
+    case St::Intermission:
+      // Dominant: overload flag or SOF, both emit.
+      return is_recessive(view);
+    case St::Suspend:
+      // Dominant starts a reception; recessive counts down silently.
+      return is_recessive(view);
+    case St::Tx:
+      // Transmitters are never grouped (non-empty queue); conservative.
+      return false;
+    case St::Rx:
+      return rx_.push_is_quiet(view);
+    case St::RxTail:
+      if (tail_pos_ == 0) return is_recessive(view);  // CRC delim form error
+      if (tail_pos_ == 1) return !will_ack_;          // AckSent emit
+      // ACK delimiter: form error, or the deferred CRC-error flag.
+      return is_recessive(view) && !crc_failed_;
+    case St::RxEof:
+      // Dominant: EOF error (all variants emit).  Last recessive EOF bit:
+      // acceptance (FrameAccepted + delivery handlers).
+      return is_recessive(view) && eof_rel_ < cfg_.protocol.eof_bits() - 1;
+    case St::ErrorFlag:
+    case St::OverloadFlag:
+    case St::PassiveFlag:
+      // Flag progress never emits; after_own_flag only switches state.
+      return true;
+    case St::DelimWait:
+      // Dominant: fc bumps / possible 8-dominant emission.  The first bit
+      // after a MinorCAN flag carries the Primary_error verdict either way.
+      return is_recessive(view) &&
+             !(delim_first_bit_ && after_flag_ == AfterFlag::MinorCheck);
+    case St::Delim:
+      // Fixed and convergent counting ignore content and never emit; the
+      // standard count emits on any dominant (overload or re-flag).
+      if (delim_fixed_ || delim_convergent_) return true;
+      return is_recessive(view);
+    case St::Sampling: {
+      const ProtocolParams& p = cfg_.protocol;
+      if (!p.suppress_second_errors && is_dominant(view) &&
+          eof_rel_ < p.sample_begin()) {
+        return false;  // ablation: fresh error flag during the end-game
+      }
+      // Window counting is silent; the verdict bit emits iff a vote is
+      // pending (vote-less holds just fall through to the delimiter).
+      return eof_rel_ < p.sample_end() || !vote_enabled_;
+    }
+    case St::ExtFlag:
+      // Drives dominant, counts its position, never emits.
+      return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
 // model-checker hooks
 // ---------------------------------------------------------------------------
 
 void CanController::append_state(std::string& out) const {
+  if (proxy_ != nullptr) {
+    proxy_->append_state(out);
+    return;
+  }
   statekey::append_tag(out, 'C');
   fc_.append_state(out);
   rx_.append_state(out);
@@ -1021,6 +1123,11 @@ void CanController::append_state(std::string& out) const {
 }
 
 void CanController::clone_runtime_state(const CanController& src) {
+  detach_shared_state();
+  copy_runtime_state_from(src.self());
+}
+
+void CanController::copy_runtime_state_from(const CanController& src) {
   MCAN_ASSERT(cfg_.protocol.variant == src.cfg_.protocol.variant &&
                   cfg_.protocol.m == src.cfg_.protocol.m,
               "runtime state may only be cloned between same-protocol nodes");

@@ -54,6 +54,8 @@ struct ControllerConfig {
   bool busoff_auto_recovery = false;
 };
 
+class FastKernel;
+
 class CanController final : public BusParticipant {
  public:
   using DeliveryHandler = std::function<void(const Frame&, BitTime)>;
@@ -87,15 +89,15 @@ class CanController final : public BusParticipant {
   }
 
   [[nodiscard]] std::size_t pending_tx() const;
-  [[nodiscard]] bool bus_idle() const { return st_ == St::Idle; }
-  [[nodiscard]] int tec() const { return fc_.tec(); }
-  [[nodiscard]] int rec() const { return fc_.rec(); }
-  [[nodiscard]] FcState fc_state() const { return fc_.state(); }
+  [[nodiscard]] bool bus_idle() const { return self().st_ == St::Idle; }
+  [[nodiscard]] int tec() const { return self().fc_.tec(); }
+  [[nodiscard]] int rec() const { return self().fc_.rec(); }
+  [[nodiscard]] FcState fc_state() const { return self().fc_.state(); }
   [[nodiscard]] const ProtocolParams& protocol() const { return cfg_.protocol; }
 
   /// Scenario/test hook: preload error counters (e.g. "node is already
   /// error-passive", paper §2).
-  void force_error_counters(int tec, int rec) { fc_.force_counters(tec, rec); }
+  void force_error_counters(int tec, int rec);
 
   // ---- model-checker hooks (scenario/model_check.cpp) ----
 
@@ -123,13 +125,33 @@ class CanController final : public BusParticipant {
   [[nodiscard]] NodeBitInfo bit_info() const override;
   [[nodiscard]] NodeId id() const override { return cfg_.id; }
   [[nodiscard]] bool active() const override {
-    if (fc_.state() == FcState::BusOff && cfg_.busoff_auto_recovery) {
+    const CanController& s = self();
+    if (s.fc_.state() == FcState::BusOff && cfg_.busoff_auto_recovery) {
       return true;  // stays on the bus, silently counting towards recovery
     }
-    return !fc_.off();
+    return !s.fc_.off();
+  }
+  [[nodiscard]] bool quiescent() const override {
+    const CanController& s = self();
+    // A bus-off node with auto-recovery needs to observe every bit: the
+    // recovery sequence counts recessive bits, and even a node still in
+    // St::Idle (bus-off forced between bits) only enters BusOffWait on its
+    // next sample.  Never let the idle skip starve it.
+    if (s.fc_.state() == FcState::BusOff && cfg_.busoff_auto_recovery) {
+      return false;
+    }
+    return s.st_ == St::Idle && s.queue_.empty();
   }
 
  private:
+  // The fast kernel (src/sim/fast/) groups controllers that provably evolve
+  // in lockstep and carries their runtime state in one shared shadow
+  // controller.  While grouped, proxy_ points at that shadow: reads go
+  // through self(), and every external mutation first copies the shared
+  // state back (detach_shared_state) and notifies the owning kernel so the
+  // group dissolves before the next bit.  proxy_ == nullptr — the reference
+  // kernel, or an ungrouped node — is the identity path throughout.
+  friend class FastKernel;
   enum class St : std::uint8_t {
     Idle,
     Intermission,
@@ -162,6 +184,29 @@ class CanController final : public BusParticipant {
   // end-game and delimiter.  Every comparison against the sentinel must be
   // an exact equality test — ordering comparisons (e.g. `eof_rel_ >= 0`)
   // would silently treat the sentinel as a position.
+
+  /// The state-bearing controller: the group shadow while proxied, this
+  /// node otherwise.  Every read-only accessor routes through it.
+  [[nodiscard]] const CanController& self() const {
+    return proxy_ != nullptr ? *proxy_ : *this;
+  }
+
+  /// Materialize shared state back into this node (if proxied) and notify
+  /// the owning fast kernel that an external mutation is about to happen.
+  /// Called at the top of every public mutator.
+  void detach_shared_state();
+
+  /// Raw runtime-state copy (no shared-state guard); the body of
+  /// clone_runtime_state and the kernel's group (de)materialization path.
+  void copy_runtime_state_from(const CanController& src);
+
+  /// True only if sampling `view` in the current state is a *silent*
+  /// transition: no event emitted, no delivery/tx handler fired, no
+  /// fault-confinement change.  The fast kernel's gate for advancing a
+  /// whole group through its shared shadow without re-running members.
+  /// Must stay in exact sync with sample()'s handlers — every code path
+  /// that can emit must be classified non-quiet here.
+  [[nodiscard]] bool sample_is_quiet(Level view) const;
 
   // --- helpers ---
   void start_transmission(BitTime t);
@@ -267,6 +312,12 @@ class CanController final : public BusParticipant {
   // FSM-coverage bookkeeping: last state reported to the coverage matrix.
   // Unused (but kept, for a stable layout) when coverage is compiled out.
   St cov_prev_ = St::Idle;
+
+  // --- fast-kernel shared-state plumbing (see the friend declaration) ---
+  const CanController* proxy_ = nullptr;  ///< group shadow while grouped
+  FastKernel* fast_owner_ = nullptr;      ///< kernel to notify, while grouped
+  std::uint32_t fast_index_ = 0;          ///< this node's slot in the kernel
+  bool fast_touched_ = false;             ///< externally mutated this bit
 };
 
 }  // namespace mcan

@@ -1,5 +1,8 @@
 #include "core/network.hpp"
 
+#include "sim/fast/fast_kernel.hpp"
+#include "sim/kernel.hpp"
+
 namespace mcan {
 
 Network::Network(int n, const ProtocolParams& protocol,
@@ -17,6 +20,13 @@ Network::Network(int n, const ProtocolParams& protocol,
         [&journal](const Frame& f, BitTime t) { journal.push_back({f, t}); });
     sim_.attach(*node);
     nodes_.push_back(std::move(node));
+  }
+  // One install point for every engine that assembles buses through
+  // Network: the scenario runner, fuzzer, rare-event trials, model
+  // checker, rsm, attack sweeps and serve backends all inherit the
+  // process-global --kernel selection here.
+  if (default_kernel() == KernelKind::Fast) {
+    sim_.install_kernel(make_fast_kernel(sim_));
   }
 }
 

@@ -59,11 +59,14 @@ class Network {
   [[nodiscard]] std::vector<std::string> labels() const;
 
  private:
+  // Declaration order is a lifetime contract: sim_ last, so its destructor
+  // (which flushes an installed kernel backend's shared state back into
+  // the controllers) runs while the controllers are still alive.
   EventLog log_;
   TraceRecorder trace_;
-  Simulator sim_;
-  std::vector<std::unique_ptr<CanController>> nodes_;
   std::vector<std::vector<Delivery>> deliveries_;
+  std::vector<std::unique_ptr<CanController>> nodes_;
+  Simulator sim_;
 };
 
 }  // namespace mcan

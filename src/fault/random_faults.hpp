@@ -17,6 +17,13 @@ class RandomFaults final : public FaultInjector {
   [[nodiscard]] bool flips(NodeId node, BitTime t, const NodeBitInfo& info,
                            Level bus) override;
 
+  /// Rng::chance(p <= 0) draws nothing, so with a zero rate skipped calls
+  /// cannot desync the RNG stream; any positive rate draws on every call
+  /// and forbids skipping.
+  [[nodiscard]] BitTime quiet_until(BitTime t) override {
+    return ber_star_ <= 0.0 ? kNoTime : t;
+  }
+
   /// Restrict injection to bits where the node is *inside a frame* (any
   /// non-idle, non-intermission segment).  Useful to relate error counts to
   /// "errors per frame" in campaigns.

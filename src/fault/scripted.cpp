@@ -125,6 +125,21 @@ bool ScriptedFaults::flips(NodeId node, BitTime t, const NodeBitInfo& info,
   return false;
 }
 
+BitTime ScriptedFaults::quiet_until(BitTime t) {
+  BitTime q = kNoTime;
+  for (const Armed& a : targets_) {
+    const FaultTarget& tg = a.target;
+    if (a.fired >= tg.count) continue;  // exhausted: inert
+    if (tg.at.has_value()) {
+      if (*tg.at < t) continue;  // absolute time in the past: never matches
+      q = std::min(q, *tg.at);
+      continue;
+    }
+    return t;  // position-addressed: no time-based promise possible
+  }
+  return q;
+}
+
 bool ScriptedFaults::all_fired() const {
   for (const Armed& a : targets_) {
     if (a.fired < a.target.count) return false;

@@ -5,6 +5,7 @@
 // X", "the 4th and 5th bit of the transmitter's EOF", ...).
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <string>
@@ -63,6 +64,10 @@ class StuckDominantBus final : public FaultInjector {
     return t >= from_ && is_recessive(bus);
   }
 
+  [[nodiscard]] BitTime quiet_until(BitTime t) override {
+    return t < from_ ? from_ : t;  // stateless before the short, busy after
+  }
+
  private:
   BitTime from_;
 };
@@ -82,6 +87,12 @@ class CompositeInjector final : public FaultInjector {
     return f;
   }
 
+  [[nodiscard]] BitTime quiet_until(BitTime t) override {
+    BitTime q = kNoTime;
+    for (FaultInjector* c : children_) q = std::min(q, c->quiet_until(t));
+    return q;
+  }
+
  private:
   std::vector<FaultInjector*> children_;
 };
@@ -95,6 +106,12 @@ class ScriptedFaults final : public FaultInjector {
 
   [[nodiscard]] bool flips(NodeId node, BitTime t, const NodeBitInfo& info,
                            Level bus) override;
+
+  /// Exhausted scripts are inert forever; scripts whose only pending
+  /// targets are absolute-time (`at`) ones are quiet until the earliest
+  /// such time.  Position-addressed targets promise nothing (they match on
+  /// node state, not time).
+  [[nodiscard]] BitTime quiet_until(BitTime t) override;
 
   /// Total flips that actually fired.
   [[nodiscard]] int fired() const { return fired_; }

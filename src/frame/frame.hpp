@@ -71,6 +71,18 @@ struct Frame {
   [[nodiscard]] bool operator==(const Frame&) const = default;
 
   [[nodiscard]] std::string to_string() const;
+
+  /// Append the frame to a machine-state digest, field by field.  Never
+  /// digest a Frame's raw object bytes (statekey::append): the struct has
+  /// padding, and padding bytes survive memberwise copy-assignment — two
+  /// value-equal frames can then produce different digests.
+  void append_state(std::string& out) const {
+    out.append(reinterpret_cast<const char*>(&id), sizeof(id));
+    out.push_back(remote ? '\1' : '\0');
+    out.push_back(extended ? '\1' : '\0');
+    out.push_back(static_cast<char>(dlc));
+    out.append(reinterpret_cast<const char*>(data.data()), data.size());
+  }
 };
 
 }  // namespace mcan

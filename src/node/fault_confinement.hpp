@@ -22,6 +22,8 @@ struct FaultConfinementConfig {
   /// Paper §2: disconnect at the warning limit instead of ever going
   /// error-passive.
   bool switch_off_at_warning = false;
+
+  [[nodiscard]] bool operator==(const FaultConfinementConfig&) const = default;
 };
 
 enum class FcState : std::uint8_t {

@@ -44,6 +44,31 @@ RxParser::Status RxParser::push(Level wire_bit) {
   return Status::InBody;
 }
 
+bool RxParser::push_is_quiet(Level wire_bit) const {
+  // Mirrors push() without consuming: every branch that can return
+  // StuffError, FormError or BodyDone must be classified non-quiet.
+  if (field_ == Field::TrailingStuff || field_ == Field::Done) {
+    return false;  // BodyDone or a trailing stuff error either way
+  }
+  if (destuff_.stuff_pending()) {
+    // A stuff bit is owed: same level again is a stuff error, the
+    // complement is silently discarded.
+    return wire_bit != destuff_.run_level();
+  }
+  switch (field_) {
+    case Field::Ide:
+      // Recessive IDE after a dominant SRR is the one body form error.
+      return !(is_recessive(wire_bit) && is_dominant(rtr_or_srr_));
+    case Field::Crc:
+      // The final CRC bit may complete the body (conservative: it may also
+      // just owe a trailing stuff bit, but one trial bit per frame is
+      // cheaper than reproducing the stuffing lookahead here).
+      return field_bits_ + 1 < kCrcBits;
+    default:
+      return true;
+  }
+}
+
 RxParser::Status RxParser::consume_payload(Level bit) {
   // CRC covers SOF through the end of the data field.
   if (field_ != Field::Crc) crc_.feed(bit);
@@ -170,7 +195,7 @@ void RxParser::append_state(std::string& out) const {
   statekey::append(out, destuff_.run_level());
   statekey::append(out, destuff_.run_length());
   statekey::append(out, crc_.value());
-  statekey::append(out, frame_);
+  frame_.append_state(out);
   statekey::append(out, field_);
   statekey::append(out, field_bits_);
   statekey::append(out, data_bits_);

@@ -32,6 +32,12 @@ class RxParser {
   /// Feed the next wire bit; the first bit fed must be the (dominant) SOF.
   Status push(Level wire_bit);
 
+  /// True iff push(wire_bit) would return InBody — i.e. consuming this bit
+  /// is a silent parse step with no error and no body completion.  May be
+  /// conservatively false (the final CRC bit).  Used by the fast kernel to
+  /// advance grouped receivers through their shared shadow.
+  [[nodiscard]] bool push_is_quiet(Level wire_bit) const;
+
   void reset();
 
   /// Valid once push() has returned BodyDone.

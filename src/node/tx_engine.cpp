@@ -16,6 +16,12 @@ bool TxEngine::advance() {
   return idx_ >= bits_.size();
 }
 
+int TxEngine::stuffed_bits_left() const {
+  std::size_t i = idx_;
+  while (i < bits_.size() && bits_[i].phase < TxPhase::CrcDelim) ++i;
+  return static_cast<int>(i - idx_);
+}
+
 int TxEngine::eof_index() const {
   if (idx_ >= eof_start_ && idx_ < bits_.size()) {
     return static_cast<int>(idx_ - eof_start_);
@@ -25,7 +31,7 @@ int TxEngine::eof_index() const {
 
 void TxEngine::append_state(std::string& out) const {
   statekey::append_tag(out, 'T');
-  statekey::append(out, frame_);
+  frame_.append_state(out);
   statekey::append(out, idx_);
   statekey::append(out, eof_start_);
   statekey::append(out, bits_.size());

@@ -40,6 +40,19 @@ class TxEngine {
 
   [[nodiscard]] const Frame& frame() const { return frame_; }
 
+  /// Contiguous wire bits from the cursor (inclusive) still inside the
+  /// stuffed region (SOF .. CRC sequence).  The fast kernel may replay up
+  /// to this many bits word-batched: within the span a clean transmitter
+  /// stays in the body (no ACK, no EOF end-game) and the stream is
+  /// well-formed by construction.
+  [[nodiscard]] int stuffed_bits_left() const;
+
+  /// Level of the wire bit `offset` positions past the cursor (bounds are
+  /// the caller's contract; stuffed_bits_left() is the natural cap).
+  [[nodiscard]] Level level_at(int offset) const {
+    return bits_[idx_ + static_cast<std::size_t>(offset)].level;
+  }
+
   void abort() { idx_ = bits_.size(); }
 
   /// Append every field that determines future transmit behaviour to a

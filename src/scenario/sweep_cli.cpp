@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "sim/kernel.hpp"
+
 namespace mcan {
 
 namespace {
@@ -101,6 +103,18 @@ bool parse_sweep_args(int argc, char** argv, SweepOptions& opt,
       opt.budget = v;
     } else if (a == "--json") {
       if (!need_value(i, a, opt.json)) return false;
+    } else if (a == "--kernel") {
+      std::string k;
+      if (!need_value(i, a, k)) return false;
+      const std::optional<KernelKind> kind = parse_kernel_name(k);
+      if (!kind) {
+        error = "--kernel: '" + k + "' is not ref|fast";
+        return false;
+      }
+      opt.kernel = *kind;
+      // Applied at parse time: every bus this process builds through
+      // Network — campaign workers included — inherits the selection.
+      set_default_kernel(*kind);
     } else if (a == "--no-dedup") {
       opt.dedup = false;
     } else if (a == "--no-symmetry") {
@@ -143,6 +157,8 @@ const char* sweep_flags_help() {
          " exhaustive)\n"
          "  --window LO:HI     flip window override, EOF-relative bits\n"
          "  --json PATH        write a machine-readable result to PATH\n"
+         "  --kernel K         bit engine: ref (reference loop) or fast\n"
+         "                     (event-skipping, certified bit-identical)\n"
          "  --no-dedup         disable tail memoization + prefix cloning\n"
          "  --no-symmetry      disable receiver-permutation reduction\n"
          "  --no-progress      silence the stderr progress meter\n";

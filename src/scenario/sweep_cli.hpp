@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/protocol.hpp"
+#include "sim/kernel.hpp"
 
 namespace mcan {
 
@@ -34,6 +35,7 @@ struct SweepOptions {
   std::optional<int> win_lo;  ///< --window override (EOF-relative)
   std::optional<int> win_hi;
   std::string json;    ///< --json: machine-readable result file ("" = none)
+  KernelKind kernel = KernelKind::Ref;  ///< --kernel (also set globally)
 
   /// Protocols to sweep: the parsed --protocol list, or the default set.
   [[nodiscard]] std::vector<ProtocolParams> protocol_set() const;
@@ -50,6 +52,7 @@ struct SweepOptions {
 ///   --no-progress              silence the stderr meter
 ///   --window LO:HI             flip window override, EOF-relative
 ///   --json PATH                write a machine-readable result to PATH
+///   --kernel ref|fast          bit engine (applied process-globally)
 ///   <int>                      bare positional: same as --errors
 ///
 /// Unrecognized arguments are appended to `rest` in order.  Returns false

@@ -91,6 +91,13 @@ class BusParticipant {
   /// Inactive nodes (crashed, bus-off, switched off) neither drive nor
   /// sample; the bus sees them as permanently recessive.
   [[nodiscard]] virtual bool active() const { return true; }
+
+  /// Idle-skipping contract: true only if, while the bus stays recessive,
+  /// this node drives recessive, samples to no state change and no events,
+  /// and remains in that fixed point.  Kernels use it to fast-forward over
+  /// all-idle stretches; the default (never quiescent) is always sound for
+  /// participants that cannot promise this.
+  [[nodiscard]] virtual bool quiescent() const { return false; }
 };
 
 }  // namespace mcan

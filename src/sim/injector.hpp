@@ -21,6 +21,17 @@ class FaultInjector {
   /// scenarios); `bus` is the resolved level before disturbance.
   [[nodiscard]] virtual bool flips(NodeId node, BitTime t,
                                    const NodeBitInfo& info, Level bus) = 0;
+
+  /// Event-skipping contract: the earliest bit time >= `t` at which this
+  /// injector might flip any view, draw from an RNG, or mutate its own
+  /// bookkeeping.  A kernel may skip all flips() calls for bits strictly
+  /// before the returned time; kNoTime promises the injector is inert
+  /// forever.  The default — return `t` itself — promises nothing, which
+  /// is always sound.  Overrides must be conservative: an injector whose
+  /// flips() has side effects on every call (RNG draws, per-call counters)
+  /// must not claim quiet bits, or skipped calls would change its
+  /// downstream behaviour and break the kernels' bit-identity guarantee.
+  [[nodiscard]] virtual BitTime quiet_until(BitTime t) { return t; }
 };
 
 /// The default: a perfectly clean channel.
@@ -30,6 +41,7 @@ class NoFaults final : public FaultInjector {
                            Level) override {
     return false;
   }
+  [[nodiscard]] BitTime quiet_until(BitTime) override { return kNoTime; }
 };
 
 }  // namespace mcan

@@ -4,6 +4,12 @@
 
 namespace mcan {
 
+Simulator::~Simulator() {
+  // Flush before the backend dies so participants that outlive the
+  // simulator (the documented lifetime contract) carry their true state.
+  if (kernel_) kernel_->flush();
+}
+
 void Simulator::attach(BusParticipant& node) {
   for (const Slot& s : nodes_) {
     if (s.node->id() == node.id()) {
@@ -11,11 +17,18 @@ void Simulator::attach(BusParticipant& node) {
     }
   }
   nodes_.push_back(Slot{&node, kNoTime, false});
+  if (kernel_) kernel_->on_attach();
+}
+
+void Simulator::install_kernel(std::unique_ptr<KernelBackend> k) {
+  if (kernel_) kernel_->flush();
+  kernel_ = std::move(k);
 }
 
 void Simulator::schedule_crash(NodeId node, BitTime t) {
   for (Slot& s : nodes_) {
     if (s.node->id() == node) {
+      if (!s.crashed && s.crash_at == kNoTime) ++pending_crashes_;
       s.crash_at = t;
       return;
     }
@@ -34,20 +47,60 @@ bool Simulator::crashed(NodeId node) const {
   return false;
 }
 
-void Simulator::step() {
-  const std::size_t n = nodes_.size();
-  driven_.assign(n, Level::Recessive);
-  infos_.resize(n);
-  views_.assign(n, Level::Recessive);
-
-  FaultInjector& inj = injector_ ? *injector_ : no_faults_;
-
-  // Apply scheduled crashes for this bit time.
+void Simulator::activate_crashes() {
+  if (pending_crashes_ == 0) return;
   for (Slot& s : nodes_) {
     if (!s.crashed && s.crash_at != kNoTime && now_ >= s.crash_at) {
       s.crashed = true;
+      --pending_crashes_;
     }
   }
+}
+
+void Simulator::step() {
+  if (kernel_) {
+    kernel_->step();
+    return;
+  }
+  step_reference();
+}
+
+void Simulator::step_reference() {
+  const std::size_t n = nodes_.size();
+
+  FaultInjector& inj = effective_injector();
+
+  // Apply scheduled crashes for this bit time.
+  activate_crashes();
+
+  // Idle short-circuit: when the previous bit resolved recessive, probe
+  // whether every participant is in its idle fixed point and the injector
+  // promises this bit is disturbance-free — then the whole bit is a no-op
+  // except the clock.  Observers force the full path (they get a record
+  // per bit); the hint keeps saturated workloads from ever paying for the
+  // scan.
+  if (maybe_idle_ && observers_.empty()) {
+    bool all_quiescent = true;
+    for (const Slot& s : nodes_) {
+      if (s.crashed || !s.node->active()) continue;
+      if (!s.node->quiescent()) {
+        all_quiescent = false;
+        break;
+      }
+    }
+    if (!all_quiescent) {
+      maybe_idle_ = false;
+    } else if (inj.quiet_until(now_) > now_) {
+      ++now_;
+      return;
+    }
+  }
+
+  driven_.assign(n, Level::Recessive);
+  infos_.resize(n);
+  views_.assign(n, Level::Recessive);
+  active_.assign(n, false);
+  disturbed_.assign(n, false);
 
   // Phase 1: drive.  Participation is latched here: a node whose
   // fault-confinement state flips to bus-off during this bit's sample
@@ -55,7 +108,6 @@ void Simulator::step() {
   // resolution (the wired-AND invariant checks record-internal
   // consistency).
   Level bus = Level::Recessive;
-  std::vector<bool> active(n, false);
   for (std::size_t i = 0; i < n; ++i) {
     Slot& s = nodes_[i];
     if (s.crashed || !s.node->active()) {
@@ -64,14 +116,13 @@ void Simulator::step() {
       infos_[i].seg = Seg::Off;
       continue;
     }
-    active[i] = true;
+    active_[i] = true;
     driven_[i] = s.node->drive(now_);
     infos_[i] = s.node->bit_info();
     bus = bus & driven_[i];
   }
 
   // Phase 2: resolve views and sample.
-  std::vector<bool> disturbed(n, false);
   for (std::size_t i = 0; i < n; ++i) {
     Slot& s = nodes_[i];
     if (s.crashed || !s.node->active()) {
@@ -79,7 +130,7 @@ void Simulator::step() {
       continue;
     }
     bool f = inj.flips(s.node->id(), now_, infos_[i], bus);
-    disturbed[i] = f;
+    disturbed_[i] = f;
     views_[i] = f ? flip(bus) : bus;
   }
   for (std::size_t i = 0; i < n; ++i) {
@@ -96,16 +147,21 @@ void Simulator::step() {
     rec.driven = driven_;
     rec.view = views_;
     rec.info = infos_;
-    rec.disturbed = disturbed;
-    rec.active = active;
+    rec.disturbed = disturbed_;
+    rec.active = active_;
     for (TraceObserver* obs : observers_) obs->on_bit(rec);
   }
 
+  maybe_idle_ = bus == Level::Recessive;
   ++now_;
 }
 
 void Simulator::run(BitTime n) {
-  for (BitTime i = 0; i < n; ++i) step();
+  if (kernel_) {
+    kernel_->run(n);
+    return;
+  }
+  for (BitTime i = 0; i < n; ++i) step_reference();
 }
 
 bool Simulator::run_until(const std::function<bool()>& pred, BitTime max_bits) {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/bus.hpp"
@@ -21,10 +22,38 @@
 namespace mcan {
 
 class TraceObserver;
+class FastKernel;
+
+/// A pluggable bit engine.  The simulator's own per-bit loop
+/// (step_reference) is the specification; an installed backend replaces it
+/// with an optimized execution of the *same* semantics — every observable
+/// (events, traces, deliveries, participant state, clock) must be
+/// bit-identical.  Backends are owned by the simulator and torn down (after
+/// flushing any internally shared state back into the participants) before
+/// the participants they reference die.
+class KernelBackend {
+ public:
+  virtual ~KernelBackend() = default;
+
+  /// Advance exactly one bit time.
+  virtual void step() = 0;
+
+  /// Advance `n` bit times; the only entry point allowed to fast-forward
+  /// multiple bits at once (per-bit predicates don't exist here).
+  virtual void run(BitTime n) = 0;
+
+  /// The participant topology changed (attach).
+  virtual void on_attach() = 0;
+
+  /// Write any internally shared participant state back into the real
+  /// participants, so they can be read (or the backend destroyed) safely.
+  virtual void flush() = 0;
+};
 
 class Simulator {
  public:
   Simulator() = default;
+  ~Simulator();
 
   /// Attach a participant (non-owning; must outlive the simulator).
   void attach(BusParticipant& node);
@@ -41,6 +70,13 @@ class Simulator {
 
   /// Mark a node crashed (fail-silent) from bit time `t` on.
   void schedule_crash(NodeId node, BitTime t);
+
+  /// Install (or, with nullptr, remove) a kernel backend.  The previous
+  /// backend is flushed and destroyed.  Install after attaching the
+  /// participants the backend should know about; later attaches are
+  /// forwarded via KernelBackend::on_attach.
+  void install_kernel(std::unique_ptr<KernelBackend> k);
+  [[nodiscard]] KernelBackend* kernel() const { return kernel_.get(); }
 
   /// Advance one bit time.
   void step();
@@ -67,22 +103,43 @@ class Simulator {
   [[nodiscard]] bool crashed(NodeId node) const;
 
  private:
+  friend class FastKernel;
+
   struct Slot {
     BusParticipant* node = nullptr;
     BitTime crash_at = kNoTime;
     bool crashed = false;
   };
 
+  /// The specification kernel: one bit, full per-participant loop.
+  void step_reference();
+
+  /// Fire crashes scheduled at or before now_ (cheap when none pending).
+  void activate_crashes();
+
+  [[nodiscard]] FaultInjector& effective_injector() {
+    return injector_ ? *injector_ : no_faults_;
+  }
+
   std::vector<Slot> nodes_;
   NoFaults no_faults_;
   FaultInjector* injector_ = nullptr;
   std::vector<TraceObserver*> observers_;
   BitTime now_ = 0;
+  std::unique_ptr<KernelBackend> kernel_;
+  int pending_crashes_ = 0;  ///< scheduled, not yet fired
+
+  // Reference-kernel idle hint: set when the previous bit resolved
+  // recessive, so the quiescence scan only runs when the bus is plausibly
+  // idle and saturated workloads never pay for it.
+  bool maybe_idle_ = true;
 
   // Scratch buffers reused across steps to avoid per-bit allocation.
   std::vector<Level> driven_;
   std::vector<NodeBitInfo> infos_;
   std::vector<Level> views_;
+  std::vector<bool> active_;
+  std::vector<bool> disturbed_;
 };
 
 /// Per-bit record handed to trace observers.
